@@ -1,0 +1,74 @@
+//! Criterion benches over the paper's figure configurations (reduced to
+//! bench-friendly sizes: one representative skew per regime, one seed).
+//! The *real* regenerators live in the `experiments` binary; these benches
+//! track the wall-clock of one join under each figure's setup so
+//! regressions in the algorithms or substrates show up in `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use asj_core::{
+    DeploymentBuilder, DistributedJoin, JoinSpec, MobiJoin, SemiJoin, SrJoin, UpJoin,
+};
+use asj_workloads::{default_space, gaussian_clusters, germany_rail, RailSpec, SyntheticSpec};
+
+fn synthetic_dep(clusters: usize, buffer: usize) -> asj_core::Deployment {
+    let space = default_space();
+    let r = gaussian_clusters(&SyntheticSpec::new(space, 1000, clusters), 7);
+    let s = gaussian_clusters(&SyntheticSpec::new(space, 1000, clusters), 1007);
+    DeploymentBuilder::new(r, s)
+        .with_buffer(buffer)
+        .with_space(space)
+        .build()
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    for (fig, buffer) in [("fig7a_buf100", 100), ("fig7b_buf800", 800)] {
+        for clusters in [1usize, 128] {
+            let dep = synthetic_dep(clusters, buffer);
+            let spec = JoinSpec::distance_join(100.0);
+            let mut group = c.benchmark_group(format!("{fig}/k{clusters}"));
+            group.bench_function("mobiJoin", |b| {
+                b.iter(|| black_box(MobiJoin.run(&dep, &spec).unwrap().total_bytes()))
+            });
+            group.bench_function("upJoin", |b| {
+                b.iter(|| black_box(UpJoin::default().run(&dep, &spec).unwrap().total_bytes()))
+            });
+            group.bench_function("srJoin", |b| {
+                b.iter(|| black_box(SrJoin::default().run(&dep, &spec).unwrap().total_bytes()))
+            });
+            group.finish();
+        }
+    }
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let space = default_space();
+    let rail = germany_rail(&RailSpec::default(), 3);
+    let hint = asj_bench::runner::max_half_extent(&rail);
+    let r = gaussian_clusters(&SyntheticSpec::new(space, 1000, 4), 11);
+    let dep = DeploymentBuilder::new(r, rail)
+        .with_buffer(800)
+        .with_space(space)
+        .cooperative()
+        .build();
+    let spec = JoinSpec::distance_join(100.0)
+        .with_bucket_nlsj(true)
+        .with_mbr_half_extent(hint);
+
+    let mut group = c.benchmark_group("fig8_rail/k4");
+    group.sample_size(10);
+    group.bench_function("upJoin", |b| {
+        b.iter(|| black_box(UpJoin::default().run(&dep, &spec).unwrap().total_bytes()))
+    });
+    group.bench_function("srJoin", |b| {
+        b.iter(|| black_box(SrJoin::default().run(&dep, &spec).unwrap().total_bytes()))
+    });
+    group.bench_function("semiJoin", |b| {
+        b.iter(|| black_box(SemiJoin::default().run(&dep, &spec).unwrap().total_bytes()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the substrates: R-tree queries, the
+//! plane-sweep / grid-hash join kernels, and the wire codec.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use asj_device::{memjoin, ResultCollector};
+use asj_geom::{plane_sweep_join, JoinPredicate, Rect, SpatialObject};
+use asj_net::codec;
+use asj_net::{Request, Response};
+use asj_rtree::RTree;
+use asj_workloads::{default_space, gaussian_clusters, uniform, SyntheticSpec};
+
+fn rtree_benches(c: &mut Criterion) {
+    let pts = uniform(&default_space(), 35_000, 1);
+    let tree = RTree::bulk_load(pts.clone(), 16);
+    let w = Rect::from_coords(2000.0, 2000.0, 3000.0, 3000.0);
+
+    c.bench_function("rtree/bulk_load_35k", |b| {
+        b.iter_batched(
+            || pts.clone(),
+            |p| black_box(RTree::bulk_load(p, 16)),
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("rtree/count_window", |b| b.iter(|| black_box(tree.count(&w))));
+    c.bench_function("rtree/window_1pct", |b| b.iter(|| black_box(tree.window(&w))));
+    c.bench_function("rtree/eps_range", |b| {
+        let q = Rect::point(asj_geom::Point::new(5000.0, 5000.0));
+        b.iter(|| black_box(tree.eps_range(&q, 200.0)))
+    });
+}
+
+fn join_kernel_benches(c: &mut Criterion) {
+    let space = default_space();
+    let r = gaussian_clusters(&SyntheticSpec::new(space, 1000, 8), 2);
+    let s = gaussian_clusters(&SyntheticSpec::new(space, 1000, 8), 3);
+    let pred = JoinPredicate::WithinDistance(100.0);
+
+    c.bench_function("memjoin/plane_sweep_1k_x_1k", |b| {
+        b.iter(|| black_box(plane_sweep_join(&r, &s, &pred)))
+    });
+    c.bench_function("memjoin/grid_hash_1k_x_1k", |b| {
+        b.iter(|| {
+            let mut out = ResultCollector::new();
+            memjoin::grid_hash_join(&r, &s, &pred, &space, &space, &mut out);
+            black_box(out.len())
+        })
+    });
+}
+
+fn codec_benches(c: &mut Criterion) {
+    let objs: Vec<SpatialObject> = uniform(&default_space(), 1000, 4);
+    let resp = Response::Objects(objs.clone());
+    let req = Request::BucketEpsRange { probes: objs, eps: 100.0 };
+
+    c.bench_function("codec/encode_1k_objects", |b| {
+        b.iter(|| black_box(codec::encode_response(&resp)))
+    });
+    let encoded = codec::encode_response(&resp);
+    c.bench_function("codec/decode_1k_objects", |b| {
+        b.iter(|| black_box(codec::decode_response(encoded.clone()).unwrap()))
+    });
+    c.bench_function("codec/encode_bucket_request_1k", |b| {
+        b.iter(|| black_box(codec::encode_request(&req)))
+    });
+}
+
+criterion_group!(benches, rtree_benches, join_kernel_benches, codec_benches);
+criterion_main!(benches);

@@ -1,0 +1,332 @@
+//! Sweep execution: job fan-out, averaging, determinism.
+
+use std::sync::Mutex;
+
+use asj_core::{
+    Deployment, DeploymentBuilder, DistributedJoin, GridJoin, JoinSpec, MobiJoin, NaiveJoin,
+    SemiJoin, SrJoin, UpJoin,
+};
+use asj_geom::SpatialObject;
+use asj_net::NetConfig;
+use asj_workloads::{default_space, gaussian_clusters, germany_rail, RailSpec, SyntheticSpec};
+
+/// Which algorithm a sweep runs — a constructible, nameable spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlgoSpec {
+    Naive,
+    Grid { k: u32 },
+    Mobi,
+    Up { alpha: f64, confirm_random: bool },
+    Sr { rho: f64 },
+    Semi,
+}
+
+impl AlgoSpec {
+    /// Instantiates the algorithm.
+    pub fn make(&self) -> Box<dyn DistributedJoin> {
+        match *self {
+            AlgoSpec::Naive => Box::new(NaiveJoin),
+            AlgoSpec::Grid { k } => Box::new(GridJoin::new(k)),
+            AlgoSpec::Mobi => Box::new(MobiJoin),
+            AlgoSpec::Up { alpha, confirm_random } => Box::new(UpJoin {
+                alpha,
+                confirm_random,
+            }),
+            AlgoSpec::Sr { rho } => Box::new(SrJoin::with_rho(rho)),
+            AlgoSpec::Semi => Box::new(SemiJoin::default()),
+        }
+    }
+
+    /// Column label.
+    pub fn label(&self) -> String {
+        match *self {
+            AlgoSpec::Naive => "naive".into(),
+            AlgoSpec::Grid { k } => format!("grid{k}"),
+            AlgoSpec::Mobi => "mobiJoin".into(),
+            AlgoSpec::Up { alpha, confirm_random: true } if alpha == 0.25 => "upJoin".into(),
+            AlgoSpec::Up { alpha, confirm_random } => {
+                if confirm_random {
+                    format!("up(a={alpha})")
+                } else {
+                    format!("up(a={alpha},noconf)")
+                }
+            }
+            AlgoSpec::Sr { rho } if rho == 0.30 => "srJoin".into(),
+            AlgoSpec::Sr { rho } => format!("sr(r={:.0}%)", rho * 100.0),
+            AlgoSpec::Semi => "semiJoin".into(),
+        }
+    }
+}
+
+/// The dataset pair of one sweep row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Two independent 1000-point Gaussian-cluster datasets with the
+    /// given `k` (the paper's synthetic workload).
+    SyntheticPair { clusters: usize },
+    /// Synthetic R (varying skew) joined with the ~35 K-segment rail
+    /// dataset as S (the paper's Figure 8 workload).
+    SyntheticVsRail { clusters: usize },
+}
+
+/// Sweep parameters shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Points per synthetic dataset (paper: 1000).
+    pub n_points: usize,
+    /// Number of dataset seeds averaged (paper: 10).
+    pub seeds: u64,
+    /// Join ε (space is 10 000²; 100 ≈ "500 m in a city map").
+    pub eps: f64,
+    /// Device buffer in objects.
+    pub buffer: usize,
+    /// Bucket NLSJ mode.
+    pub bucket: bool,
+    /// Cooperative servers (needed when any algorithm is SemiJoin).
+    pub cooperative: bool,
+    pub net: NetConfig,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            n_points: 1000,
+            seeds: 10,
+            eps: 100.0,
+            buffer: 800,
+            bucket: false,
+            cooperative: false,
+            net: NetConfig::default(),
+        }
+    }
+}
+
+/// Aggregated outcome of one (row, algorithm) cell.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CellStats {
+    pub mean_bytes: f64,
+    pub std_bytes: f64,
+    pub mean_queries: f64,
+    pub mean_pairs: f64,
+    pub mean_objects: f64,
+}
+
+/// One full sweep: row labels × algorithm columns.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    pub rows: Vec<String>,
+    pub algos: Vec<String>,
+    /// `cells[row][algo]`.
+    pub cells: Vec<Vec<CellStats>>,
+}
+
+/// Builds the deployment for one (workload, seed).
+fn build_deployment(workload: Workload, seed: u64, cfg: &SweepConfig) -> (Deployment, f64) {
+    let space = default_space();
+    match workload {
+        Workload::SyntheticPair { clusters } => {
+            let r = gaussian_clusters(&SyntheticSpec::new(space, cfg.n_points, clusters), seed);
+            let s = gaussian_clusters(
+                &SyntheticSpec::new(space, cfg.n_points, clusters),
+                seed + 1000,
+            );
+            let mut b = DeploymentBuilder::new(r, s)
+                .with_net(cfg.net)
+                .with_buffer(cfg.buffer)
+                .with_space(space);
+            if cfg.cooperative {
+                b = b.cooperative();
+            }
+            (b.build(), 0.0)
+        }
+        Workload::SyntheticVsRail { clusters } => {
+            let r = gaussian_clusters(&SyntheticSpec::new(space, cfg.n_points, clusters), seed);
+            // One rail network per seed (the paper reuses its single real
+            // dataset; we vary it with the seed to avoid overfitting to
+            // one network shape).
+            let s = germany_rail(&RailSpec::default(), seed);
+            let hint = max_half_extent(&s);
+            let mut b = DeploymentBuilder::new(r, s)
+                .with_net(cfg.net)
+                .with_buffer(cfg.buffer)
+                .with_space(space);
+            if cfg.cooperative {
+                b = b.cooperative();
+            }
+            (b.build(), hint)
+        }
+    }
+}
+
+/// Largest half-diagonal among the objects — the window-extension hint.
+pub fn max_half_extent(objects: &[SpatialObject]) -> f64 {
+    objects
+        .iter()
+        .map(|o| o.mbr.width().hypot(o.mbr.height()) * 0.5)
+        .fold(0.0, f64::max)
+}
+
+/// Runs a sweep: `rows` (label + workload) × `algos`, `cfg.seeds` repeats,
+/// fanned out over all cores.
+pub fn run_sweep(
+    rows: &[(String, Workload)],
+    algos: &[AlgoSpec],
+    cfg: &SweepConfig,
+) -> SweepResult {
+    // Job = (row_idx, algo_idx, seed). Each job builds its own deployment:
+    // deployments are cheap relative to the joins, and full isolation
+    // keeps the sweep embarrassingly parallel.
+    let mut jobs = Vec::new();
+    for (ri, _) in rows.iter().enumerate() {
+        for (ai, _) in algos.iter().enumerate() {
+            for seed in 0..cfg.seeds {
+                jobs.push((ri, ai, seed));
+            }
+        }
+    }
+    let results: Mutex<Vec<Vec<Vec<(u64, u64, u64, u64)>>>> = Mutex::new(vec![
+        vec![Vec::new(); algos.len()];
+        rows.len()
+    ]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(ri, ai, seed)) = jobs.get(i) else {
+                    break;
+                };
+                let (dep, hint) = build_deployment(rows[ri].1, 7 + seed * 97, cfg);
+                let spec = JoinSpec::distance_join(cfg.eps)
+                    .with_bucket_nlsj(cfg.bucket)
+                    .with_mbr_half_extent(hint)
+                    .with_seed(seed);
+                let rep = algos[ai]
+                    .make()
+                    .run(&dep, &spec)
+                    .unwrap_or_else(|e| panic!("{:?} failed: {e}", algos[ai]));
+                let tuple = (
+                    rep.total_bytes(),
+                    rep.total_queries(),
+                    rep.pairs.len() as u64,
+                    rep.objects_downloaded(),
+                );
+                results.lock().unwrap()[ri][ai].push(tuple);
+            });
+        }
+    });
+
+    let raw = results.into_inner().unwrap();
+    let cells = raw
+        .into_iter()
+        .map(|row| row.into_iter().map(|samples| aggregate(&samples)).collect())
+        .collect();
+    SweepResult {
+        rows: rows.iter().map(|(l, _)| l.clone()).collect(),
+        algos: algos.iter().map(|a| a.label()).collect(),
+        cells,
+    }
+}
+
+fn aggregate(samples: &[(u64, u64, u64, u64)]) -> CellStats {
+    if samples.is_empty() {
+        return CellStats::default();
+    }
+    let n = samples.len() as f64;
+    let mean = |f: fn(&(u64, u64, u64, u64)) -> u64| {
+        samples.iter().map(|s| f(s) as f64).sum::<f64>() / n
+    };
+    let mean_bytes = mean(|s| s.0);
+    let var = samples
+        .iter()
+        .map(|s| (s.0 as f64 - mean_bytes).powi(2))
+        .sum::<f64>()
+        / n;
+    CellStats {
+        mean_bytes,
+        std_bytes: var.sqrt(),
+        mean_queries: mean(|s| s.1),
+        mean_pairs: mean(|s| s.2),
+        mean_objects: mean(|s| s.3),
+    }
+}
+
+/// The paper's cluster axis.
+pub fn cluster_axis() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 128]
+}
+
+/// Rows for a synthetic-pair sweep over the cluster axis.
+pub fn synthetic_rows() -> Vec<(String, Workload)> {
+    cluster_axis()
+        .into_iter()
+        .map(|k| (k.to_string(), Workload::SyntheticPair { clusters: k }))
+        .collect()
+}
+
+/// Rows for the rail sweep over the cluster axis.
+pub fn rail_rows() -> Vec<(String, Workload)> {
+    cluster_axis()
+        .into_iter()
+        .map(|k| (k.to_string(), Workload::SyntheticVsRail { clusters: k }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(AlgoSpec::Mobi.label(), "mobiJoin");
+        assert_eq!(
+            AlgoSpec::Up { alpha: 0.25, confirm_random: true }.label(),
+            "upJoin"
+        );
+        assert_eq!(AlgoSpec::Sr { rho: 0.30 }.label(), "srJoin");
+        assert_eq!(AlgoSpec::Sr { rho: 2.0 }.label(), "sr(r=200%)");
+        assert_eq!(AlgoSpec::Grid { k: 8 }.label(), "grid8");
+    }
+
+    #[test]
+    fn aggregate_stats() {
+        let s = aggregate(&[(10, 1, 2, 3), (20, 3, 4, 5)]);
+        assert_eq!(s.mean_bytes, 15.0);
+        assert_eq!(s.std_bytes, 5.0);
+        assert_eq!(s.mean_queries, 2.0);
+        assert_eq!(s.mean_pairs, 3.0);
+        assert_eq!(s.mean_objects, 4.0);
+    }
+
+    #[test]
+    fn tiny_sweep_runs_and_is_deterministic() {
+        let cfg = SweepConfig {
+            n_points: 150,
+            seeds: 2,
+            ..SweepConfig::default()
+        };
+        let rows = vec![
+            ("1".to_string(), Workload::SyntheticPair { clusters: 1 }),
+            ("16".to_string(), Workload::SyntheticPair { clusters: 16 }),
+        ];
+        let algos = [AlgoSpec::Mobi, AlgoSpec::Sr { rho: 0.3 }];
+        let a = run_sweep(&rows, &algos, &cfg);
+        let b = run_sweep(&rows, &algos, &cfg);
+        assert_eq!(a.rows, vec!["1", "16"]);
+        assert_eq!(a.algos, vec!["mobiJoin", "srJoin"]);
+        for ri in 0..2 {
+            for ai in 0..2 {
+                assert!(a.cells[ri][ai].mean_bytes > 0.0);
+                assert_eq!(
+                    a.cells[ri][ai].mean_bytes, b.cells[ri][ai].mean_bytes,
+                    "sweeps must be deterministic"
+                );
+            }
+        }
+    }
+}

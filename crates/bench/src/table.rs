@@ -1,0 +1,111 @@
+//! Aligned-table and CSV rendering of sweep results.
+
+use crate::runner::SweepResult;
+
+/// A rendered result table (rows = skew levels, columns = algorithms).
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub title: String,
+    pub row_header: String,
+    pub result: SweepResult,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, row_header: impl Into<String>, result: SweepResult) -> Self {
+        Table {
+            title: title.into(),
+            row_header: row_header.into(),
+            result,
+        }
+    }
+
+    /// Aligned text rendering (mean total bytes, ± std).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let mut widths = vec![self.row_header.len().max(8)];
+        for a in &self.result.algos {
+            widths.push(a.len().max(14));
+        }
+        let mut header = format!("{:>w$}", self.row_header, w = widths[0]);
+        for (i, a) in self.result.algos.iter().enumerate() {
+            header.push_str(&format!("  {:>w$}", a, w = widths[i + 1]));
+        }
+        out.push_str(&header);
+        out.push('\n');
+        out.push_str(&"-".repeat(header.len()));
+        out.push('\n');
+        for (ri, row) in self.result.rows.iter().enumerate() {
+            out.push_str(&format!("{:>w$}", row, w = widths[0]));
+            for (ai, _) in self.result.algos.iter().enumerate() {
+                let c = &self.result.cells[ri][ai];
+                let cell = format!("{:.0} ±{:.0}", c.mean_bytes, c.std_bytes);
+                out.push_str(&format!("  {:>w$}", cell, w = widths[ai + 1]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering with full per-cell statistics.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{},algorithm,mean_bytes,std_bytes,mean_queries,mean_pairs,mean_objects\n",
+            self.row_header
+        ));
+        for (ri, row) in self.result.rows.iter().enumerate() {
+            for (ai, algo) in self.result.algos.iter().enumerate() {
+                let c = &self.result.cells[ri][ai];
+                out.push_str(&format!(
+                    "{row},{algo},{:.1},{:.1},{:.1},{:.1},{:.1}\n",
+                    c.mean_bytes, c.std_bytes, c.mean_queries, c.mean_pairs, c.mean_objects
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::CellStats;
+
+    fn sample() -> Table {
+        Table::new(
+            "Fig X",
+            "clusters",
+            SweepResult {
+                rows: vec!["1".into(), "128".into()],
+                algos: vec!["mobiJoin".into(), "srJoin".into()],
+                cells: vec![
+                    vec![
+                        CellStats { mean_bytes: 100.0, std_bytes: 5.0, ..Default::default() },
+                        CellStats { mean_bytes: 50.0, std_bytes: 2.0, ..Default::default() },
+                    ],
+                    vec![
+                        CellStats { mean_bytes: 200.0, std_bytes: 1.0, ..Default::default() },
+                        CellStats { mean_bytes: 220.0, std_bytes: 9.0, ..Default::default() },
+                    ],
+                ],
+            },
+        )
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let txt = sample().render();
+        assert!(txt.contains("Fig X"));
+        assert!(txt.contains("mobiJoin"));
+        assert!(txt.contains("100 ±5"));
+        assert!(txt.contains("220 ±9"));
+    }
+
+    #[test]
+    fn csv_row_count() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 1 + 4);
+        assert!(csv.starts_with("clusters,algorithm,"));
+    }
+}

@@ -1,0 +1,281 @@
+//! The transfer-cost model — Section 3.1, Equations (1)–(8).
+//!
+//! Costs are in tariff-weighted wire bytes (with `bR = bS = 1` they are
+//! plain bytes). Counts are `f64` because the algorithms also evaluate the
+//! model on *estimated* (fractional) counts — UpJoin keeps `|Dw|/4`
+//! estimates for datasets it has labelled uniform.
+//!
+//! The model predicts what the meters in `asj-net` will measure: the same
+//! packetization (`TB`), the same message framing constants from the codec.
+//! Prediction error — e.g. the uniformity assumption inside `Tdq` — is
+//! intentional and exactly the paper's: decisions are made on estimates,
+//! results are measured on the wire.
+
+use asj_geom::Rect;
+use asj_net::codec::{
+    ANSWER_BYTES, BUCKET_FRAME_BYTES, BUCKET_REQ_HEADER_BYTES, EPS_QUERY_BYTES,
+    OBJECTS_HEADER_BYTES, OBJ_BYTES, QUERY_BYTES,
+};
+use asj_net::{NetConfig, PacketModel};
+
+/// Cost model for one deployment (packetization + tariffs + device buffer).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    packet: PacketModel,
+    /// Per-byte tariff of the R link (`bR`).
+    pub tariff_r: f64,
+    /// Per-byte tariff of the S link (`bS`).
+    pub tariff_s: f64,
+    /// Device buffer capacity in objects; `c1 = ∞` beyond it.
+    pub buffer_capacity: usize,
+}
+
+impl CostModel {
+    pub fn new(net: &NetConfig, buffer_capacity: usize) -> Self {
+        CostModel {
+            packet: net.packet,
+            tariff_r: net.tariff_r,
+            tariff_s: net.tariff_s,
+            buffer_capacity,
+        }
+    }
+
+    /// `TB` of Eq. (1) on fractional byte counts (estimates round up to
+    /// whole packets, like the real link would).
+    pub fn tb(&self, payload: f64) -> f64 {
+        let cap = self.packet.payload_per_packet() as f64;
+        let packets = (payload / cap).ceil().max(1.0);
+        payload + packets * self.packet.header_bytes as f64
+    }
+
+    /// One aggregate (COUNT) round trip on one link, unweighted —
+    /// Eq. (7): query up, scalar answer down.
+    pub fn taq(&self) -> f64 {
+        self.tb(QUERY_BYTES as f64) + self.tb(ANSWER_BYTES as f64)
+    }
+
+    /// Wire bytes of a `WINDOW` download of `n` objects on one link,
+    /// unweighted: query up + object stream down.
+    pub fn window_download(&self, n: f64) -> f64 {
+        self.tb(QUERY_BYTES as f64) + self.tb(OBJECTS_HEADER_BYTES as f64 + n * OBJ_BYTES as f64)
+    }
+
+    /// `c1(w)` — HBSJ: download both windows, join on the device
+    /// (Eq. 2). `None` when the buffer cannot hold both.
+    pub fn c1(&self, count_r: f64, count_s: f64) -> Option<f64> {
+        if count_r + count_s > self.buffer_capacity as f64 {
+            return None;
+        }
+        Some(self.c1_unchecked(count_r, count_s))
+    }
+
+    /// `c1` without the feasibility check — MobiJoin's `c4` heuristic
+    /// needs it (the paper's Figure 2(b) flaw depends on it).
+    pub fn c1_unchecked(&self, count_r: f64, count_s: f64) -> f64 {
+        self.tariff_r * self.window_download(count_r) + self.tariff_s * self.window_download(count_s)
+    }
+
+    /// Expected qualifying partners of one ε-probe into a window holding
+    /// `count_inner` objects, assuming uniformity (the `π·ε²/(wx·wy)·|Sw|`
+    /// of Eq. 3), clamped to the window population.
+    pub fn expected_matches(&self, w: &Rect, count_inner: f64, eps: f64) -> f64 {
+        let area = w.area();
+        if area <= 0.0 {
+            return count_inner;
+        }
+        (std::f64::consts::PI * eps * eps / area * count_inner).min(count_inner)
+    }
+
+    /// NLSJ cost with the given outer/inner orientation (Eq. 4, or Eq. 6
+    /// when `bucket`): download the outer window, probe the inner server
+    /// once per outer object (or once in bulk), receive the matches.
+    ///
+    /// `c2(w)` is `nlsj(w, |Rw|, |Sw|, bR, bS, …)`; `c3(w)` swaps the
+    /// roles.
+    #[allow(clippy::too_many_arguments)]
+    pub fn nlsj(
+        &self,
+        w: &Rect,
+        count_outer: f64,
+        count_inner: f64,
+        tariff_outer: f64,
+        tariff_inner: f64,
+        eps: f64,
+        bucket: bool,
+    ) -> f64 {
+        let mu = self.expected_matches(w, count_inner, eps);
+        let outer_download = tariff_outer * self.window_download(count_outer);
+        if bucket {
+            // Upload every outer object to the inner server in one bucket
+            // request, receive one framed response (Eqs. 5–6).
+            let upload = self
+                .tb(BUCKET_REQ_HEADER_BYTES as f64 + count_outer * OBJ_BYTES as f64);
+            let response = self.tb(
+                OBJECTS_HEADER_BYTES as f64
+                    + count_outer * (BUCKET_FRAME_BYTES as f64 + mu * OBJ_BYTES as f64),
+            );
+            outer_download + tariff_inner * (upload + response)
+        } else {
+            // One ε-RANGE round trip per outer object (Eqs. 3–4).
+            let per_probe = self.tb(EPS_QUERY_BYTES as f64)
+                + self.tb(OBJECTS_HEADER_BYTES as f64 + mu * OBJ_BYTES as f64);
+            outer_download + tariff_inner * count_outer * per_probe
+        }
+    }
+
+    /// `c4(w)` under MobiJoin's optimistic heuristic (Section 3.2):
+    /// `2k²` aggregate queries plus the assumption that the window is
+    /// uniform and every quadrant finishes with one (unchecked) HBSJ.
+    pub fn c4_mobijoin(&self, count_r: f64, count_s: f64, k: u32) -> f64 {
+        let cells = (k * k) as f64;
+        let stats = cells * self.taq() * (self.tariff_r + self.tariff_s);
+        let per_cell = self.c1_unchecked(count_r / cells, count_s / cells);
+        stats + cells * per_cell
+    }
+
+    /// `c1` where a window that overflows the buffer is costed as a
+    /// recursive 2×2 decomposition (SrJoin's reading: "if all the points
+    /// can not fit into the memory, HBSJ is recursively executed"): the
+    /// same object bytes plus the aggregate queries of the estimated
+    /// decomposition levels.
+    pub fn c1_decomposed(&self, count_r: f64, count_s: f64) -> f64 {
+        let base = self.c1_unchecked(count_r, count_s);
+        let total = count_r + count_s;
+        let cap = self.buffer_capacity.max(1) as f64;
+        if total <= cap {
+            return base;
+        }
+        // Levels until uniform quarters fit: 4^L ≥ total/cap.
+        let levels = (total / cap).log(4.0).ceil().max(1.0);
+        let mut cells = 0.0;
+        let mut level_cells = 4.0;
+        for _ in 0..levels as u32 {
+            cells += level_cells;
+            level_cells *= 4.0;
+        }
+        base + 2.0 * cells * self.taq() * (self.tariff_r + self.tariff_s) * 0.5
+    }
+
+    /// "`|Dw|` is large" gate of UpJoin — inequality (10):
+    /// `TB(|Dw|·Bobj) > 3·Taq`.
+    pub fn worth_more_stats(&self, count: f64) -> bool {
+        self.tb(count * OBJ_BYTES as f64) > 3.0 * self.taq()
+    }
+
+    /// SrJoin's "dataset must be large" threshold (Fig. 5 line 16).
+    pub fn cheap_threshold(&self) -> f64 {
+        3.0 * self.taq()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(buffer: usize) -> CostModel {
+        CostModel::new(&NetConfig::default(), buffer)
+    }
+
+    fn w() -> Rect {
+        Rect::from_coords(0.0, 0.0, 1000.0, 1000.0)
+    }
+
+    #[test]
+    fn tb_matches_packet_model_on_integers() {
+        let m = model(800);
+        let p = PacketModel::default();
+        for bytes in [0u64, 1, 100, 1460, 1461, 20_000] {
+            assert_eq!(m.tb(bytes as f64), p.tb(bytes) as f64, "bytes={bytes}");
+        }
+    }
+
+    #[test]
+    fn c1_infeasible_beyond_buffer() {
+        let m = model(100);
+        assert!(m.c1(50.0, 50.0).is_some());
+        assert!(m.c1(50.0, 51.0).is_none());
+        // Unchecked version always answers.
+        assert!(m.c1_unchecked(500.0, 500.0) > 0.0);
+    }
+
+    #[test]
+    fn c1_grows_with_counts() {
+        let m = model(10_000);
+        let small = m.c1(10.0, 10.0).unwrap();
+        let large = m.c1(1000.0, 1000.0).unwrap();
+        assert!(large > small * 10.0);
+    }
+
+    #[test]
+    fn expected_matches_clamped() {
+        let m = model(800);
+        // Tiny eps → few matches; eps covering the window → everything.
+        assert!(m.expected_matches(&w(), 1000.0, 10.0) < 1.0);
+        assert_eq!(m.expected_matches(&w(), 1000.0, 10_000.0), 1000.0);
+        assert_eq!(m.expected_matches(&w(), 0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn bucket_nlsj_cheaper_than_single_for_many_outers() {
+        let m = model(800);
+        // 500 outer probes: per-probe headers dominate the single form.
+        let single = m.nlsj(&w(), 500.0, 1000.0, 1.0, 1.0, 50.0, false);
+        let bucket = m.nlsj(&w(), 500.0, 1000.0, 1.0, 1.0, 50.0, true);
+        assert!(
+            bucket < single,
+            "bucket {bucket} should beat single {single}"
+        );
+    }
+
+    #[test]
+    fn nlsj_prefers_smaller_outer() {
+        let m = model(800);
+        // |R| = 10, |S| = 1000: probing with R as outer is much cheaper.
+        let c2 = m.nlsj(&w(), 10.0, 1000.0, 1.0, 1.0, 50.0, false);
+        let c3 = m.nlsj(&w(), 1000.0, 10.0, 1.0, 1.0, 50.0, false);
+        assert!(c2 < c3);
+    }
+
+    #[test]
+    fn tariffs_weight_sides() {
+        let mut net = NetConfig::default();
+        net.tariff_r = 10.0;
+        let m = CostModel::new(&net, 10_000);
+        // Downloading from R is now 10× more expensive; c3 (download S,
+        // probe R) pays the probes on R but still beats downloading R
+        // wholesale when R is big.
+        let c1 = m.c1(1000.0, 10.0).unwrap();
+        let cheap = m.nlsj(&w(), 10.0, 1000.0, 1.0, 10.0, 50.0, false);
+        assert!(cheap < c1);
+    }
+
+    #[test]
+    fn c4_heuristic_components() {
+        let m = model(800);
+        let c4 = m.c4_mobijoin(1000.0, 1000.0, 2);
+        // At least the 8 aggregate queries.
+        assert!(c4 >= 8.0 * m.taq());
+        // And the per-quadrant HBSJ estimates ignore feasibility: the
+        // quadrant counts (250+250) fit the 800 buffer here, but even with
+        // buffer 10 the estimate must not blow up to infinity.
+        let tiny = CostModel::new(&NetConfig::default(), 10);
+        assert!(tiny.c4_mobijoin(1000.0, 1000.0, 2).is_finite());
+    }
+
+    #[test]
+    fn worth_more_stats_threshold() {
+        let m = model(800);
+        assert!(!m.worth_more_stats(1.0));
+        assert!(m.worth_more_stats(100.0));
+        // Threshold sits near TB(n·20) = 3·Taq → n ≈ 14.
+        let boundary = (1..100).find(|&n| m.worth_more_stats(n as f64)).unwrap();
+        assert!((10..20).contains(&boundary), "boundary {boundary}");
+    }
+
+    #[test]
+    fn taq_matches_paper_shape() {
+        let m = model(800);
+        // (BH+BQ) + (BH+BA) with BQ=17, BA=9, BH=40.
+        assert_eq!(m.taq(), (40.0 + 17.0) + (40.0 + 9.0));
+    }
+}

@@ -1,0 +1,277 @@
+//! Deployment: the two servers, the network, the device's resources.
+
+use std::sync::Arc;
+
+use asj_geom::{Rect, SpatialObject};
+use asj_net::{ChannelServer, Link, NetConfig, QueryHandler};
+use asj_server::{RTreeStore, ServicePolicy, SpatialService};
+
+/// The default device buffer: the paper's 800 points ("40 % of the total
+/// data size for the synthetic datasets").
+pub const DEFAULT_BUFFER: usize = 800;
+
+enum Carrier {
+    InProc(Arc<dyn QueryHandler>),
+    Channel {
+        handle: asj_net::ServerHandle,
+        _server: ChannelServer,
+    },
+}
+
+impl Carrier {
+    fn link(&self, net: &NetConfig, tariff: f64) -> Link {
+        match self {
+            Carrier::InProc(h) => Link::new(
+                Box::new(InProcDyn(Arc::clone(h))),
+                net.packet,
+                tariff,
+            ),
+            Carrier::Channel { handle, .. } => Link::new(Box::new(handle.connect()), net.packet, tariff),
+        }
+    }
+}
+
+/// Adapter: `InProcExchange` is generic; deployments hold `dyn` handlers.
+struct InProcDyn(Arc<dyn QueryHandler>);
+
+impl asj_net::RawExchange for InProcDyn {
+    fn exchange(&self, request: bytes::Bytes) -> bytes::Bytes {
+        let req = asj_net::codec::decode_request(request).expect("malformed request");
+        asj_net::codec::encode_response(&self.0.handle(req))
+    }
+}
+
+/// A ready-to-join deployment: server R, server S, the network
+/// configuration, the device's buffer size and the global data space.
+///
+/// Construct via [`Deployment::in_process`] / [`Deployment::threaded`] or
+/// the full [`DeploymentBuilder`]. Each [`DistributedJoin::run`] call opens
+/// fresh metered links, so reports never bleed into each other.
+///
+/// [`DistributedJoin::run`]: crate::DistributedJoin::run
+pub struct Deployment {
+    r: Carrier,
+    s: Carrier,
+    net: NetConfig,
+    buffer_capacity: usize,
+    space: Rect,
+    cooperative: bool,
+}
+
+impl Deployment {
+    /// In-process deployment (fast; used by the experiment sweeps) with
+    /// non-cooperative R-tree servers and default network/buffer.
+    pub fn in_process(r: Vec<SpatialObject>, s: Vec<SpatialObject>, net: NetConfig) -> Self {
+        DeploymentBuilder::new(r, s).with_net(net).build()
+    }
+
+    /// Deployment with each server on its own thread behind a channel —
+    /// the distributed topology of the paper's prototype.
+    pub fn threaded(r: Vec<SpatialObject>, s: Vec<SpatialObject>, net: NetConfig) -> Self {
+        DeploymentBuilder::new(r, s).with_net(net).threaded().build()
+    }
+
+    /// Fresh metered links `(R, S)` for one algorithm run.
+    pub fn connect(&self) -> (Link, Link) {
+        (
+            self.r.link(&self.net, self.net.tariff_r),
+            self.s.link(&self.net, self.net.tariff_s),
+        )
+    }
+
+    /// The global data space the join partitions.
+    pub fn space(&self) -> Rect {
+        self.space
+    }
+
+    /// Device buffer capacity in objects.
+    pub fn buffer_capacity(&self) -> usize {
+        self.buffer_capacity
+    }
+
+    /// Network configuration.
+    pub fn net(&self) -> &NetConfig {
+        &self.net
+    }
+
+    /// `true` when the servers were built with the cooperative extension
+    /// (required by the SemiJoin baseline).
+    pub fn is_cooperative(&self) -> bool {
+        self.cooperative
+    }
+}
+
+/// Builder for [`Deployment`].
+pub struct DeploymentBuilder {
+    r_objects: Vec<SpatialObject>,
+    s_objects: Vec<SpatialObject>,
+    net: NetConfig,
+    buffer_capacity: usize,
+    space: Option<Rect>,
+    cooperative: bool,
+    threaded: bool,
+    rtree_fanout: usize,
+}
+
+impl DeploymentBuilder {
+    pub fn new(r_objects: Vec<SpatialObject>, s_objects: Vec<SpatialObject>) -> Self {
+        DeploymentBuilder {
+            r_objects,
+            s_objects,
+            net: NetConfig::default(),
+            buffer_capacity: DEFAULT_BUFFER,
+            space: None,
+            cooperative: false,
+            threaded: false,
+            rtree_fanout: asj_rtree::DEFAULT_MAX_ENTRIES,
+        }
+    }
+
+    /// Network parameters (MTU, headers, tariffs).
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Device buffer in objects (the paper sweeps 100 and 800).
+    pub fn with_buffer(mut self, capacity: usize) -> Self {
+        self.buffer_capacity = capacity;
+        self
+    }
+
+    /// Explicit global space (defaults to the union of both datasets'
+    /// bounds).
+    pub fn with_space(mut self, space: Rect) -> Self {
+        self.space = Some(space);
+        self
+    }
+
+    /// Enables the cooperative server extension (SemiJoin baseline only).
+    pub fn cooperative(mut self) -> Self {
+        self.cooperative = true;
+        self
+    }
+
+    /// Runs each server on its own thread.
+    pub fn threaded(mut self) -> Self {
+        self.threaded = true;
+        self
+    }
+
+    /// R-tree fanout of the server stores.
+    pub fn with_rtree_fanout(mut self, fanout: usize) -> Self {
+        self.rtree_fanout = fanout;
+        self
+    }
+
+    pub fn build(self) -> Deployment {
+        let policy = if self.cooperative {
+            ServicePolicy::Cooperative
+        } else {
+            ServicePolicy::NonCooperative
+        };
+        let space = self.space.unwrap_or_else(|| {
+            Rect::union_of(
+                self.r_objects
+                    .iter()
+                    .chain(self.s_objects.iter())
+                    .map(|o| o.mbr),
+            )
+            .unwrap_or_else(|| Rect::from_coords(0.0, 0.0, 1.0, 1.0))
+        });
+        let make = |objects: Vec<SpatialObject>, name: &str| -> Carrier {
+            let service = Arc::new(
+                SpatialService::new(RTreeStore::with_fanout(objects, self.rtree_fanout))
+                    .with_policy(policy),
+            );
+            if self.threaded {
+                let (server, handle) = ChannelServer::spawn(service, name);
+                Carrier::Channel {
+                    handle,
+                    _server: server,
+                }
+            } else {
+                Carrier::InProc(service)
+            }
+        };
+        Deployment {
+            r: make(self.r_objects, "R"),
+            s: make(self.s_objects, "S"),
+            net: self.net,
+            buffer_capacity: self.buffer_capacity,
+            space,
+            cooperative: self.cooperative,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asj_net::Request;
+
+    fn pts(n: u32, offset: f64) -> Vec<SpatialObject> {
+        (0..n)
+            .map(|i| SpatialObject::point(i, offset + i as f64, offset))
+            .collect()
+    }
+
+    #[test]
+    fn default_space_is_union_of_bounds() {
+        let d = Deployment::in_process(pts(10, 0.0), pts(10, 100.0), NetConfig::default());
+        assert_eq!(d.space(), Rect::from_coords(0.0, 0.0, 109.0, 100.0));
+        assert_eq!(d.buffer_capacity(), DEFAULT_BUFFER);
+        assert!(!d.is_cooperative());
+    }
+
+    #[test]
+    fn fresh_links_have_fresh_meters() {
+        let d = Deployment::in_process(pts(10, 0.0), pts(10, 0.0), NetConfig::default());
+        let (r1, _s1) = d.connect();
+        r1.request(Request::Count(d.space()));
+        assert_eq!(r1.meter().snapshot().count_queries, 1);
+        let (r2, _s2) = d.connect();
+        assert_eq!(r2.meter().snapshot().count_queries, 0);
+    }
+
+    #[test]
+    fn threaded_and_inproc_answer_identically() {
+        let a = Deployment::in_process(pts(50, 0.0), pts(50, 5.0), NetConfig::default());
+        let b = Deployment::threaded(pts(50, 0.0), pts(50, 5.0), NetConfig::default());
+        let w = Rect::from_coords(0.0, 0.0, 25.0, 25.0);
+        let (ra, sa) = a.connect();
+        let (rb, sb) = b.connect();
+        assert_eq!(
+            ra.request(Request::Count(w)).into_count(),
+            rb.request(Request::Count(w)).into_count()
+        );
+        assert_eq!(
+            sa.request(Request::Window(w)).into_objects(),
+            sb.request(Request::Window(w)).into_objects()
+        );
+        assert_eq!(
+            ra.meter().snapshot().total_bytes(),
+            rb.meter().snapshot().total_bytes()
+        );
+    }
+
+    #[test]
+    fn cooperative_flag_controls_policy() {
+        let coop = DeploymentBuilder::new(pts(10, 0.0), pts(10, 0.0))
+            .cooperative()
+            .build();
+        assert!(coop.is_cooperative());
+        let (r, _) = coop.connect();
+        assert!(matches!(
+            r.request(Request::CoopLevelMbrs(0)),
+            asj_net::Response::Rects(_)
+        ));
+
+        let strict = Deployment::in_process(pts(10, 0.0), pts(10, 0.0), NetConfig::default());
+        let (r, _) = strict.connect();
+        assert_eq!(
+            r.request(Request::CoopLevelMbrs(0)),
+            asj_net::Response::Refused
+        );
+    }
+}

@@ -1,0 +1,563 @@
+//! Execution context: metered links, device resources, and the two
+//! physical join operators every algorithm composes.
+//!
+//! * **HBSJ** (`c1`) — download both windows, join in device memory
+//!   ([`ExecCtx::hbsj_leaf`]); [`ExecCtx::hbsj`] adds the recursive
+//!   quadrant decomposition with COUNT pruning used when a window
+//!   overflows the buffer.
+//! * **NLSJ** (`c2`/`c3`) — download the outer window, probe the inner
+//!   server with one ε-RANGE per object or one bucket request
+//!   ([`ExecCtx::nlsj`]). The outer side streams: the PDA never holds more
+//!   than one response at a time, so NLSJ has no buffer constraint (as the
+//!   paper assumes).
+//!
+//! Every server interaction uses the ε/2-extended window
+//! ([`ExecCtx::ext`]) and every emitted pair passes the reference-point
+//! filter against the *core* window, so COUNT-based pruning is sound and
+//! output is exactly-once regardless of how algorithms partition space.
+
+use asj_device::{memjoin, BufferExceeded, DeviceBuffer, ResultCollector};
+use asj_geom::{reference_point_in, Rect, SpatialObject};
+use asj_net::{Link, Request};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::cost::CostModel;
+use crate::deploy::Deployment;
+use crate::report::JoinReport;
+use crate::spec::{JoinSpec, OutputKind};
+
+/// Which server a request goes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    R,
+    S,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::R => Side::S,
+            Side::S => Side::R,
+        }
+    }
+}
+
+/// Operator and recursion statistics of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Repartitioning (2×2 split) steps.
+    pub splits: u32,
+    /// In-memory HBSJ executions.
+    pub hbsj_runs: u32,
+    /// NLSJ executions (windows, not probes).
+    pub nlsj_runs: u32,
+    /// Windows pruned because one side counted zero.
+    pub pruned_windows: u32,
+    /// Recursion-limit fallbacks (degenerate inputs only).
+    pub forced_fallbacks: u32,
+}
+
+/// Costs of the three physical choices on one window.
+#[derive(Debug, Clone, Copy)]
+pub struct OperatorCosts {
+    /// HBSJ; `None` when the buffer cannot hold the window.
+    pub c1: Option<f64>,
+    /// NLSJ with R as outer.
+    pub c2: f64,
+    /// NLSJ with S as outer.
+    pub c3: f64,
+}
+
+impl OperatorCosts {
+    /// The cheaper NLSJ orientation: `(outer side, cost)`.
+    pub fn cheaper_nlsj(&self) -> (Side, f64) {
+        if self.c2 <= self.c3 {
+            (Side::R, self.c2)
+        } else {
+            (Side::S, self.c3)
+        }
+    }
+
+    /// `true` when HBSJ is feasible and beats both NLSJ orientations.
+    pub fn hbsj_wins(&self) -> bool {
+        match self.c1 {
+            Some(c1) => c1 < self.cheaper_nlsj().1,
+            None => false,
+        }
+    }
+}
+
+/// Everything one algorithm run needs.
+pub struct ExecCtx<'a> {
+    link_r: Link,
+    link_s: Link,
+    /// The device's bounded buffer.
+    pub buffer: DeviceBuffer,
+    /// Result accumulation (exactly-once verified in debug builds).
+    pub out: ResultCollector,
+    /// The join being executed.
+    pub spec: &'a JoinSpec,
+    /// The global data space.
+    pub space: Rect,
+    /// The decision cost model.
+    pub cost: CostModel,
+    /// Device-local randomness (UpJoin's confirming COUNT placement).
+    pub rng: ChaCha8Rng,
+    /// Run statistics.
+    pub stats: ExecStats,
+    max_depth: u32,
+    min_window: f64,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Opens fresh links against the deployment.
+    pub fn new(deployment: &Deployment, spec: &'a JoinSpec) -> Self {
+        let (link_r, link_s) = deployment.connect();
+        let space = deployment.space();
+        let min_window = (4.0 * spec.extension()).max(space.width() * 1e-7);
+        ExecCtx {
+            link_r,
+            link_s,
+            buffer: DeviceBuffer::new(deployment.buffer_capacity()),
+            out: ResultCollector::new(),
+            spec,
+            space,
+            cost: CostModel::new(deployment.net(), deployment.buffer_capacity()),
+            rng: ChaCha8Rng::seed_from_u64(spec.seed),
+            stats: ExecStats::default(),
+            max_depth: 24,
+            min_window,
+        }
+    }
+
+    /// The link to one server.
+    pub fn link(&self, side: Side) -> &Link {
+        match side {
+            Side::R => &self.link_r,
+            Side::S => &self.link_s,
+        }
+    }
+
+    fn tariff(&self, side: Side) -> f64 {
+        match side {
+            Side::R => self.cost.tariff_r,
+            Side::S => self.cost.tariff_s,
+        }
+    }
+
+    /// The window actually sent to servers for `w`: extended by ε/2 (plus
+    /// the MBR hint) per side, clipped to nothing — servers tolerate
+    /// windows reaching outside the space.
+    pub fn ext(&self, w: &Rect) -> Rect {
+        w.expand(self.spec.extension())
+    }
+
+    /// `COUNT` on the extended window.
+    pub fn count(&self, side: Side, w: &Rect) -> u64 {
+        self.link(side)
+            .request(Request::Count(self.ext(w)))
+            .into_count()
+    }
+
+    /// Counts on both sides: `(|Rw|, |Sw|)`.
+    pub fn counts(&self, w: &Rect) -> (u64, u64) {
+        (self.count(Side::R, w), self.count(Side::S, w))
+    }
+
+    /// Counts of the four quadrants of `w` on one side (4 COUNT queries).
+    pub fn quadrant_counts(&self, side: Side, quads: &[Rect; 4]) -> [u64; 4] {
+        [
+            self.count(side, &quads[0]),
+            self.count(side, &quads[1]),
+            self.count(side, &quads[2]),
+            self.count(side, &quads[3]),
+        ]
+    }
+
+    /// `WINDOW` download of the extended window.
+    pub fn download(&self, side: Side, w: &Rect) -> Vec<SpatialObject> {
+        self.link(side)
+            .request(Request::Window(self.ext(w)))
+            .into_objects()
+    }
+
+    /// Operator costs on `w` given (possibly estimated) counts. Dimensions
+    /// for the ε-selectivity estimate come from the extended window —
+    /// consistent with where probes actually land.
+    pub fn costs(&self, w: &Rect, count_r: f64, count_s: f64) -> OperatorCosts {
+        let ext = self.ext(w);
+        let eps = self.spec.predicate.epsilon();
+        let bucket = self.spec.bucket_nlsj;
+        OperatorCosts {
+            c1: self.cost.c1(count_r, count_s),
+            c2: self.cost.nlsj(
+                &ext,
+                count_r,
+                count_s,
+                self.tariff(Side::R),
+                self.tariff(Side::S),
+                eps,
+                bucket,
+            ),
+            c3: self.cost.nlsj(
+                &ext,
+                count_s,
+                count_r,
+                self.tariff(Side::S),
+                self.tariff(Side::R),
+                eps,
+                bucket,
+            ),
+        }
+    }
+
+    /// `true` when recursion must stop (window shrunk to the ε scale or
+    /// depth bound hit) and a physical operator must be forced.
+    pub fn at_limit(&self, w: &Rect, depth: u32) -> bool {
+        depth >= self.max_depth || w.width() <= self.min_window || w.height() <= self.min_window
+    }
+
+    /// The wire cost of one 2×2 repartitioning round of statistics:
+    /// `2k² · Taq` with `k = 2` — four COUNTs to each server.
+    pub fn stats_cost_per_split(&self) -> f64 {
+        4.0 * self.cost.taq() * (self.cost.tariff_r + self.cost.tariff_s)
+    }
+
+    /// MobiJoin's `c4(w)` — Equation (8) evaluated entirely under the
+    /// uniformity assumption (Section 3.2): quadrant counts are `|Dw|/4`
+    /// at every level, the space is split until those estimated quarters
+    /// fit the device buffer, and **every** resulting subwindow is assumed
+    /// to finish with one HBSJ. No queries are issued; the estimate is
+    /// pure arithmetic.
+    ///
+    /// This optimistic heuristic is the flaw Figures 2, 7 and 8 dissect:
+    /// it never anticipates pruning (so on a skewed-but-co-located pair it
+    /// gladly stops early and downloads everything the buffer can hold),
+    /// and on a huge inner dataset it prices repartitioning at
+    /// full-download cost, pushing MobiJoin into NLSJ "most of the time"
+    /// (Fig. 8a).
+    pub fn c4_mobijoin(&self, count_r: f64, count_s: f64) -> f64 {
+        let capacity = self.buffer.capacity() as f64;
+        let mut stats = 0.0;
+        let mut windows_prev = 1.0; // windows being split at this level
+        for level in 1..=12u32 {
+            stats += self.stats_cost_per_split() * windows_prev;
+            let cells = 4f64.powi(level as i32);
+            let (qr, qs) = (count_r / cells, count_s / cells);
+            if qr + qs <= capacity || level == 12 {
+                return stats + cells * self.cost.c1_unchecked(qr, qs);
+            }
+            windows_prev = cells;
+        }
+        unreachable!("loop always returns by level 12")
+    }
+
+    /// Reports a qualifying pair found while processing window `w`,
+    /// applying the reference-point filter. `outer` tells which side
+    /// `outer_obj` came from so the pair lands as `(r, s)`.
+    fn report_pair(
+        &mut self,
+        outer: Side,
+        outer_obj: &SpatialObject,
+        inner_obj: &SpatialObject,
+        w: &Rect,
+    ) {
+        let (r, s) = match outer {
+            Side::R => (outer_obj, inner_obj),
+            Side::S => (inner_obj, outer_obj),
+        };
+        if reference_point_in(r, s, &self.spec.predicate, w, &self.space) {
+            self.out.push(r.id, s.id);
+        }
+    }
+
+    /// HBSJ on one window that fits the buffer: download both sides, join
+    /// in memory. Fails (without downloading the second side) when the
+    /// window unexpectedly exceeds the buffer — callers fall back to
+    /// splitting.
+    pub fn hbsj_leaf(&mut self, w: &Rect) -> Result<(), BufferExceeded> {
+        let r_objs = self.download(Side::R, w);
+        let r_hold = self.buffer.reserve(r_objs.len())?;
+        let s_objs = self.download(Side::S, w);
+        drop(r_hold);
+        let hold = self.buffer.reserve(r_objs.len() + s_objs.len())?;
+        memjoin::grid_hash_join(
+            &r_objs,
+            &s_objs,
+            &self.spec.predicate,
+            w,
+            &self.space,
+            &mut self.out,
+        );
+        drop(hold);
+        self.stats.hbsj_runs += 1;
+        Ok(())
+    }
+
+    /// HBSJ with recursive quadrant decomposition: windows that overflow
+    /// the buffer are split 2×2, children are COUNT-pruned and recursed —
+    /// "if the data do not fit in memory, the cell can be recursively
+    /// partitioned (e.g., PBSM)" plus SrJoin's "pruning can also be
+    /// applied at each recursion level".
+    pub fn hbsj(&mut self, w: &Rect, count_r: u64, count_s: u64, depth: u32) {
+        if count_r == 0 || count_s == 0 {
+            self.stats.pruned_windows += 1;
+            return;
+        }
+        if (count_r + count_s) as usize <= self.buffer.capacity()
+            && self.hbsj_leaf(w).is_ok()
+        {
+            return;
+        }
+        if self.at_limit(w, depth) {
+            self.forced(w, count_r, count_s);
+            return;
+        }
+        self.stats.splits += 1;
+        let quads = w.quadrants();
+        let qr = self.quadrant_counts(Side::R, &quads);
+        let qs = self.quadrant_counts(Side::S, &quads);
+        for i in 0..4 {
+            self.hbsj(&quads[i], qr[i], qs[i], depth + 1);
+        }
+    }
+
+    /// NLSJ over `w` with the given outer side. Streams the outer window
+    /// and probes the inner server per object (or in one bucket when the
+    /// spec enables it).
+    pub fn nlsj(&mut self, w: &Rect, outer: Side) {
+        let outer_objs = self.download(outer, w);
+        if outer_objs.is_empty() {
+            return;
+        }
+        let eps = self.spec.predicate.epsilon();
+        let inner = outer.other();
+        if self.spec.bucket_nlsj {
+            let buckets = self
+                .link(inner)
+                .request(Request::BucketEpsRange {
+                    probes: outer_objs.clone(),
+                    eps,
+                })
+                .into_buckets();
+            debug_assert_eq!(buckets.len(), outer_objs.len());
+            for (o, matches) in outer_objs.iter().zip(buckets) {
+                for m in matches {
+                    self.report_pair(outer, o, &m, w);
+                }
+            }
+        } else {
+            for o in &outer_objs {
+                let matches = self
+                    .link(inner)
+                    .request(Request::EpsRange { q: o.mbr, eps })
+                    .into_objects();
+                for m in matches {
+                    self.report_pair(outer, o, &m, w);
+                }
+            }
+        }
+        self.stats.nlsj_runs += 1;
+    }
+
+    /// Forces the cheapest feasible operator on `w` — the recursion-limit
+    /// escape hatch (degenerate clustered data at the ε scale). NLSJ is
+    /// always feasible because it streams.
+    pub fn forced(&mut self, w: &Rect, count_r: u64, count_s: u64) {
+        self.stats.forced_fallbacks += 1;
+        let costs = self.costs(w, count_r as f64, count_s as f64);
+        if costs.hbsj_wins() && self.hbsj_leaf(w).is_ok() {
+            return;
+        }
+        let (side, _) = costs.cheaper_nlsj();
+        self.nlsj(w, side);
+    }
+
+    /// Closes the run into a report.
+    pub fn finish(self, algorithm: &'static str) -> JoinReport {
+        let link_r = self.link_r.meter().snapshot();
+        let link_s = self.link_s.meter().snapshot();
+        let cost_units = self.cost.tariff_r * link_r.total_bytes() as f64
+            + self.cost.tariff_s * link_s.total_bytes() as f64;
+        let peak_buffer = self.buffer.peak();
+        let iceberg = match self.spec.output {
+            OutputKind::Pairs => None,
+            OutputKind::Iceberg { min_matches } => Some(self.out.iceberg(min_matches)),
+        };
+        JoinReport {
+            algorithm,
+            pairs: self.out.into_pairs(),
+            iceberg,
+            link_r,
+            link_s,
+            cost_units,
+            peak_buffer,
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: u32, step: f64, id0: u32) -> Vec<SpatialObject> {
+        (0..n * n)
+            .map(|i| {
+                SpatialObject::point(id0 + i, (i % n) as f64 * step, (i / n) as f64 * step)
+            })
+            .collect()
+    }
+
+    fn deployment(buffer: usize) -> Deployment {
+        crate::deploy::DeploymentBuilder::new(grid_points(10, 10.0, 0), grid_points(10, 10.0, 0))
+            .with_buffer(buffer)
+            .with_space(Rect::from_coords(0.0, 0.0, 90.0, 90.0))
+            .build()
+    }
+
+    #[test]
+    fn counts_and_download_use_extended_windows() {
+        let dep = deployment(800);
+        let spec = JoinSpec::distance_join(10.0); // extension 5
+        let ctx = ExecCtx::new(&dep, &spec);
+        // Core window holds exactly one lattice point, the extension pulls
+        // in the four neighbours at distance 10… extension is 5, so only
+        // the point itself.
+        let w = Rect::from_coords(48.0, 48.0, 52.0, 52.0);
+        assert_eq!(ctx.count(Side::R, &w), 1);
+        // Extension 5 on a ±2 window reaches ±7: still one point.
+        assert_eq!(ctx.download(Side::R, &w).len(), 1);
+        let w2 = Rect::from_coords(45.0, 45.0, 55.0, 55.0); // ±5 ext → [40,60]²
+        assert_eq!(ctx.count(Side::R, &w2), 9);
+    }
+
+    #[test]
+    fn hbsj_leaf_joins_and_respects_buffer() {
+        let dep = deployment(800);
+        let spec = JoinSpec::distance_join(0.5);
+        let mut ctx = ExecCtx::new(&dep, &spec);
+        let w = dep.space();
+        ctx.hbsj_leaf(&w).unwrap();
+        // Identical datasets: every point pairs with itself only (ε=0.5 <
+        // lattice step 10).
+        assert_eq!(ctx.out.len(), 100);
+        assert_eq!(ctx.buffer.peak(), 200);
+        assert_eq!(ctx.stats.hbsj_runs, 1);
+    }
+
+    #[test]
+    fn hbsj_leaf_fails_cleanly_when_buffer_small() {
+        let dep = deployment(50);
+        let spec = JoinSpec::distance_join(0.5);
+        let mut ctx = ExecCtx::new(&dep, &spec);
+        assert!(ctx.hbsj_leaf(&dep.space()).is_err());
+        assert_eq!(ctx.out.len(), 0);
+    }
+
+    #[test]
+    fn hbsj_recursive_equals_leaf_result() {
+        let spec = JoinSpec::distance_join(12.0);
+        // Big buffer: single leaf.
+        let dep_big = deployment(800);
+        let mut big = ExecCtx::new(&dep_big, &spec);
+        let (cr, cs) = big.counts(&dep_big.space());
+        big.hbsj(&dep_big.space(), cr, cs, 0);
+        let mut want = big.out.into_pairs();
+        want.sort_unstable();
+
+        // Tiny buffer: forced to decompose.
+        let dep_small = deployment(60);
+        let mut small = ExecCtx::new(&dep_small, &spec);
+        let (cr, cs) = small.counts(&dep_small.space());
+        small.hbsj(&dep_small.space(), cr, cs, 0);
+        assert!(small.stats.splits > 0, "expected decomposition");
+        assert!(small.buffer.peak() <= 60);
+        let mut got = small.out.into_pairs();
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn nlsj_matches_hbsj_both_orientations_and_bucket() {
+        let spec0 = JoinSpec::distance_join(12.0);
+        let dep = deployment(800);
+        let mut h = ExecCtx::new(&dep, &spec0);
+        h.hbsj_leaf(&dep.space()).unwrap();
+        let mut want = h.out.into_pairs();
+        want.sort_unstable();
+
+        for (outer, bucket) in [
+            (Side::R, false),
+            (Side::S, false),
+            (Side::R, true),
+            (Side::S, true),
+        ] {
+            let spec = JoinSpec::distance_join(12.0).with_bucket_nlsj(bucket);
+            let mut ctx = ExecCtx::new(&dep, &spec);
+            ctx.nlsj(&dep.space(), outer);
+            let mut got = ctx.out.into_pairs();
+            got.sort_unstable();
+            assert_eq!(got, want, "outer={outer:?} bucket={bucket}");
+        }
+    }
+
+    #[test]
+    fn operator_costs_orientation() {
+        let dep = deployment(800);
+        let spec = JoinSpec::distance_join(10.0);
+        let ctx = ExecCtx::new(&dep, &spec);
+        let c = ctx.costs(&dep.space(), 10.0, 1000.0);
+        let (side, _) = c.cheaper_nlsj();
+        assert_eq!(side, Side::R, "few outers should win");
+        assert!(c.c1.is_none(), "1010 > 800 buffer");
+        let c_fit = ctx.costs(&dep.space(), 10.0, 20.0);
+        assert!(c_fit.c1.is_some());
+        assert!(c_fit.hbsj_wins());
+    }
+
+    #[test]
+    fn finish_produces_consistent_report() {
+        let dep = deployment(800);
+        let spec = JoinSpec::distance_join(0.5);
+        let mut ctx = ExecCtx::new(&dep, &spec);
+        ctx.hbsj_leaf(&dep.space()).unwrap();
+        let rep = ctx.finish("test");
+        assert_eq!(rep.pairs.len(), 100);
+        assert_eq!(rep.algorithm, "test");
+        assert!(rep.total_bytes() > 0);
+        assert_eq!(
+            rep.cost_units,
+            rep.total_bytes() as f64,
+            "unit tariffs: cost == bytes"
+        );
+        assert_eq!(rep.objects_downloaded(), 200);
+        assert!(rep.iceberg.is_none());
+    }
+
+    #[test]
+    fn iceberg_output() {
+        let dep = deployment(800);
+        let spec = JoinSpec::iceberg(12.0, 3);
+        let mut ctx = ExecCtx::new(&dep, &spec);
+        ctx.hbsj_leaf(&dep.space()).unwrap();
+        let rep = ctx.finish("test");
+        let ice = rep.iceberg.unwrap();
+        // Interior lattice points have 5 partners (self + 4 neighbours at
+        // distance 10 ≤ 12); corners have 3.
+        assert!(!ice.qualifying.is_empty());
+        assert!(ice.qualifying.iter().all(|&(_, c)| c >= 3));
+    }
+
+    #[test]
+    fn at_limit_guards() {
+        let dep = deployment(800);
+        let spec = JoinSpec::distance_join(10.0); // extension 5 → min_window 20
+        let ctx = ExecCtx::new(&dep, &spec);
+        assert!(ctx.at_limit(&Rect::from_coords(0.0, 0.0, 19.0, 19.0), 0));
+        assert!(!ctx.at_limit(&Rect::from_coords(0.0, 0.0, 30.0, 30.0), 0));
+        assert!(ctx.at_limit(&Rect::from_coords(0.0, 0.0, 30.0, 30.0), 24));
+    }
+}

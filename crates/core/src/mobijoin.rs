@@ -1,0 +1,189 @@
+//! MobiJoin — the prior art the paper improves on (Section 3.2, [9]).
+
+use asj_geom::Rect;
+
+use crate::deploy::Deployment;
+use crate::exec::ExecCtx;
+use crate::report::{JoinError, JoinReport};
+use crate::spec::JoinSpec;
+use crate::DistributedJoin;
+
+/// MobiJoin: COUNT both datasets for the current window, prune if either
+/// is empty, otherwise estimate `c1…c4` and follow the cheapest action;
+/// `c4` (repartition into a fixed 2×2 grid) is estimated under the
+/// **uniformity heuristic** — "MobiJoin assumes that w is uniform and small
+/// enough so that every subwindow will be processed by HBSJ after only one
+/// partitioning".
+///
+/// That heuristic is the point: it reproduces the pathologies of Figure 2
+/// (choosing NLSJ where one more split would prune everything; choosing a
+/// barely-feasible HBSJ that downloads two overlapping clusters wholesale
+/// when more memory is available), which Figures 7–8 then quantify.
+/// The repartitioning grid is fixed at `k = 2` as in the paper: "each
+/// recursive step (action c4) divides the space into a regular k × k grid,
+/// where k is fixed to 2" (larger `k` inflates the aggregate-query
+/// overhead, as Section 3.2 notes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MobiJoin;
+
+impl MobiJoin {
+    fn step(&self, ctx: &mut ExecCtx<'_>, w: &Rect, count_r: u64, count_s: u64, depth: u32) {
+        if count_r == 0 || count_s == 0 {
+            ctx.stats.pruned_windows += 1;
+            return;
+        }
+        let costs = ctx.costs(w, count_r as f64, count_s as f64);
+        let (nlsj_side, nlsj_cost) = costs.cheaper_nlsj();
+        let c4 = if ctx.at_limit(w, depth) {
+            f64::INFINITY // cannot repartition further
+        } else {
+            ctx.c4_mobijoin(count_r as f64, count_s as f64)
+        };
+
+        let best_known = match costs.c1 {
+            Some(c1) => c1.min(nlsj_cost),
+            None => nlsj_cost,
+        };
+        if c4 < best_known {
+            // Repartition: pay the aggregate queries, recurse.
+            ctx.stats.splits += 1;
+            let quads = w.quadrants();
+            let qr = ctx.quadrant_counts(crate::exec::Side::R, &quads);
+            let qs = ctx.quadrant_counts(crate::exec::Side::S, &quads);
+            for i in 0..4 {
+                self.step(ctx, &quads[i], qr[i], qs[i], depth + 1);
+            }
+        } else if costs.c1.is_some_and(|c1| c1 <= nlsj_cost) {
+            if ctx.hbsj_leaf(w).is_err() {
+                // Counts said it fits; the buffer disagreed (cannot happen
+                // with exact counts, kept as a defensive fallback).
+                ctx.forced(w, count_r, count_s);
+            }
+        } else {
+            ctx.nlsj(w, nlsj_side);
+        }
+    }
+}
+
+impl DistributedJoin for MobiJoin {
+    fn name(&self) -> &'static str {
+        "mobijoin"
+    }
+
+    fn run(&self, deployment: &Deployment, spec: &JoinSpec) -> Result<JoinReport, JoinError> {
+        let mut ctx = ExecCtx::new(deployment, spec);
+        let space = ctx.space;
+        let (count_r, count_s) = ctx.counts(&space);
+        self.step(&mut ctx, &space, count_r, count_s, 0);
+        Ok(ctx.finish(self.name()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::DeploymentBuilder;
+    use crate::naive::NaiveJoin;
+    use asj_geom::SpatialObject;
+
+    fn cluster(n: u32, cx: f64, cy: f64, id0: u32, spread: f64) -> Vec<SpatialObject> {
+        (0..n)
+            .map(|i| {
+                SpatialObject::point(
+                    id0 + i,
+                    cx + (i % 10) as f64 * spread,
+                    cy + (i / 10) as f64 * spread,
+                )
+            })
+            .collect()
+    }
+
+    fn space() -> Rect {
+        Rect::from_coords(0.0, 0.0, 1000.0, 1000.0)
+    }
+
+    #[test]
+    fn correct_on_overlapping_clusters() {
+        let r = cluster(100, 500.0, 500.0, 0, 1.0);
+        let s = cluster(100, 502.0, 500.0, 1000, 1.0);
+        let dep = DeploymentBuilder::new(r, s)
+            .with_buffer(800)
+            .with_space(space())
+            .build();
+        let spec = JoinSpec::distance_join(4.0);
+        let mut want = NaiveJoin.run(&dep, &spec).unwrap().pairs;
+        let mut got = MobiJoin.run(&dep, &spec).unwrap().pairs;
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!want.is_empty());
+    }
+
+    #[test]
+    fn prunes_disjoint_clusters() {
+        let r = cluster(100, 100.0, 100.0, 0, 1.0);
+        let s = cluster(100, 900.0, 900.0, 1000, 1.0);
+        let dep = DeploymentBuilder::new(r, s)
+            .with_buffer(150) // HBSJ on the whole space infeasible
+            .with_space(space())
+            .build();
+        let rep = MobiJoin.run(&dep, &JoinSpec::distance_join(4.0)).unwrap();
+        assert!(rep.pairs.is_empty());
+        assert!(rep.stats.splits >= 1, "should have repartitioned");
+        assert_eq!(rep.objects_downloaded(), 0, "everything prunable");
+    }
+
+    #[test]
+    fn figure_2b_pathology_more_memory_more_bytes() {
+        // Figure 2(b): R clusters in SW+NE, S clusters in SE+NE — only the
+        // NE quadrant has both. With buffer 1200 MobiJoin must split, the
+        // three single-sided quadrants prune, and only NE (500+500) is
+        // downloaded. With buffer 2000 the whole space fits HBSJ and
+        // MobiJoin downloads *everything*: more memory, more bytes.
+        let mk_r = |id0: u32| {
+            let mut v = cluster(500, 100.0, 100.0, id0, 0.5);
+            v.extend(cluster(500, 850.0, 850.0, id0 + 500, 0.5));
+            v
+        };
+        let mk_s = |id0: u32| {
+            let mut v = cluster(500, 850.0, 100.0, id0, 0.5);
+            v.extend(cluster(500, 851.0, 850.0, id0 + 500, 0.5));
+            v
+        };
+        let spec = JoinSpec::distance_join(2.0);
+        let small = DeploymentBuilder::new(mk_r(0), mk_s(10_000))
+            .with_buffer(1200)
+            .with_space(space())
+            .build();
+        let big = DeploymentBuilder::new(mk_r(0), mk_s(10_000))
+            .with_buffer(2000)
+            .with_space(space())
+            .build();
+        let rep_small = MobiJoin.run(&small, &spec).unwrap();
+        let rep_big = MobiJoin.run(&big, &spec).unwrap();
+        let mut a = rep_small.pairs.clone();
+        let mut b = rep_big.pairs.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "results must agree regardless of buffer");
+        assert!(
+            rep_big.total_bytes() >= rep_small.total_bytes(),
+            "the paper's 2(b) pathology: more memory should not help MobiJoin here \
+             (small={}, big={})",
+            rep_small.total_bytes(),
+            rep_big.total_bytes()
+        );
+    }
+
+    #[test]
+    fn identical_tiny_datasets_single_hbsj() {
+        let r = cluster(20, 500.0, 500.0, 0, 1.0);
+        let dep = DeploymentBuilder::new(r.clone(), r)
+            .with_buffer(800)
+            .with_space(space())
+            .build();
+        let rep = MobiJoin.run(&dep, &JoinSpec::distance_join(2.0)).unwrap();
+        assert_eq!(rep.stats.hbsj_runs, 1);
+        assert_eq!(rep.stats.splits, 0, "tiny data: no repartitioning pays");
+    }
+}

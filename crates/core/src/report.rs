@@ -1,0 +1,118 @@
+//! Join reports and errors.
+
+use asj_device::{BufferExceeded, IcebergResult};
+use asj_geom::ObjectId;
+use asj_net::LinkSnapshot;
+
+use crate::exec::ExecStats;
+
+/// Why a join could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// The algorithm needs a capability the deployment lacks (e.g.
+    /// SemiJoin against non-cooperative servers).
+    Unsupported(String),
+    /// The device buffer cannot hold what the algorithm requires (e.g.
+    /// NaiveJoin on datasets larger than the buffer).
+    Buffer(BufferExceeded),
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            JoinError::Buffer(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl From<BufferExceeded> for JoinError {
+    fn from(b: BufferExceeded) -> Self {
+        JoinError::Buffer(b)
+    }
+}
+
+/// The outcome of one distributed join: results plus the complete wire
+/// accounting, measured (not estimated) on both links.
+#[derive(Debug, Clone)]
+pub struct JoinReport {
+    /// Algorithm identifier.
+    pub algorithm: &'static str,
+    /// Qualifying `(r_id, s_id)` pairs, exactly once each.
+    pub pairs: Vec<(ObjectId, ObjectId)>,
+    /// Iceberg aggregation when the spec asked for it.
+    pub iceberg: Option<IcebergResult>,
+    /// Wire accounting of the R link.
+    pub link_r: LinkSnapshot,
+    /// Wire accounting of the S link.
+    pub link_s: LinkSnapshot,
+    /// Tariff-weighted cost: `bR·bytes_R + bS·bytes_S`.
+    pub cost_units: f64,
+    /// Highest device-buffer occupancy observed.
+    pub peak_buffer: usize,
+    /// Operator / recursion statistics.
+    pub stats: ExecStats,
+}
+
+impl JoinReport {
+    /// The paper's headline metric: total wire bytes over both links.
+    pub fn total_bytes(&self) -> u64 {
+        self.link_r.total_bytes() + self.link_s.total_bytes()
+    }
+
+    /// Total queries issued to both servers.
+    pub fn total_queries(&self) -> u64 {
+        self.link_r.total_queries() + self.link_s.total_queries()
+    }
+
+    /// Aggregate (COUNT/avg-area) queries issued — the statistics overhead
+    /// the paper trades against pruning.
+    pub fn aggregate_queries(&self) -> u64 {
+        self.link_r.count_queries + self.link_s.count_queries
+    }
+
+    /// Objects downloaded from both servers.
+    pub fn objects_downloaded(&self) -> u64 {
+        self.link_r.objects_received + self.link_s.objects_received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_from() {
+        let e: JoinError = BufferExceeded { requested: 9, capacity: 5 }.into();
+        assert!(e.to_string().contains("requested 9"));
+        let u = JoinError::Unsupported("semijoin needs cooperation".into());
+        assert!(u.to_string().contains("semijoin"));
+    }
+
+    #[test]
+    fn report_totals() {
+        let mut link_r = LinkSnapshot::default();
+        link_r.up_bytes = 100;
+        link_r.down_bytes = 200;
+        link_r.count_queries = 3;
+        let mut link_s = LinkSnapshot::default();
+        link_s.up_bytes = 10;
+        link_s.objects_received = 5;
+        let rep = JoinReport {
+            algorithm: "test",
+            pairs: vec![(1, 2)],
+            iceberg: None,
+            link_r,
+            link_s,
+            cost_units: 310.0,
+            peak_buffer: 42,
+            stats: ExecStats::default(),
+        };
+        assert_eq!(rep.total_bytes(), 310);
+        assert_eq!(rep.aggregate_queries(), 3);
+        assert_eq!(rep.objects_downloaded(), 5);
+        assert_eq!(rep.total_queries(), 3);
+    }
+}

@@ -1,0 +1,162 @@
+//! The device's bounded join buffer.
+
+use std::cell::Cell;
+
+/// Error returned when a reservation would overflow the device memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferExceeded {
+    pub requested: usize,
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for BufferExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device buffer exceeded: requested {} objects, capacity {}",
+            self.requested, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for BufferExceeded {}
+
+/// A bounded buffer measured in objects, like the paper's "PDA's buffer
+/// size was set to 800 points".
+///
+/// The device is single-threaded (it is a PDA), so interior mutability via
+/// `Cell` suffices; the type is deliberately `!Sync`.
+#[derive(Debug)]
+pub struct DeviceBuffer {
+    capacity: usize,
+    in_use: Cell<usize>,
+    peak: Cell<usize>,
+}
+
+impl DeviceBuffer {
+    /// Creates a buffer holding at most `capacity` objects.
+    pub fn new(capacity: usize) -> Self {
+        DeviceBuffer {
+            capacity,
+            in_use: Cell::new(0),
+            peak: Cell::new(0),
+        }
+    }
+
+    /// Total capacity in objects.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Objects currently held.
+    pub fn in_use(&self) -> usize {
+        self.in_use.get()
+    }
+
+    /// Highest occupancy ever observed — lets tests assert the memory
+    /// constraint was honored end-to-end.
+    pub fn peak(&self) -> usize {
+        self.peak.get()
+    }
+
+    /// `true` when `n` more objects would fit right now.
+    pub fn fits(&self, n: usize) -> bool {
+        self.in_use.get() + n <= self.capacity
+    }
+
+    /// Reserves room for `n` objects.
+    pub fn reserve(&self, n: usize) -> Result<Reservation<'_>, BufferExceeded> {
+        let new = self.in_use.get() + n;
+        if new > self.capacity {
+            return Err(BufferExceeded {
+                requested: n,
+                capacity: self.capacity,
+            });
+        }
+        self.in_use.set(new);
+        if new > self.peak.get() {
+            self.peak.set(new);
+        }
+        Ok(Reservation { buffer: self, n })
+    }
+}
+
+/// RAII guard for reserved buffer space; dropping releases it.
+#[derive(Debug)]
+pub struct Reservation<'a> {
+    buffer: &'a DeviceBuffer,
+    n: usize,
+}
+
+impl Reservation<'_> {
+    /// Number of objects reserved.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the reservation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        self.buffer.in_use.set(self.buffer.in_use.get() - self.n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let buf = DeviceBuffer::new(10);
+        {
+            let r = buf.reserve(6).unwrap();
+            assert_eq!(r.len(), 6);
+            assert_eq!(buf.in_use(), 6);
+            assert!(buf.fits(4));
+            assert!(!buf.fits(5));
+        }
+        assert_eq!(buf.in_use(), 0);
+        assert_eq!(buf.peak(), 6);
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let buf = DeviceBuffer::new(5);
+        let _a = buf.reserve(3).unwrap();
+        let err = buf.reserve(3).unwrap_err();
+        assert_eq!(err.requested, 3);
+        assert_eq!(err.capacity, 5);
+        assert_eq!(buf.in_use(), 3, "failed reserve must not leak");
+    }
+
+    #[test]
+    fn nested_reservations_track_peak() {
+        let buf = DeviceBuffer::new(100);
+        let _a = buf.reserve(40).unwrap();
+        {
+            let _b = buf.reserve(50).unwrap();
+            assert_eq!(buf.in_use(), 90);
+        }
+        assert_eq!(buf.in_use(), 40);
+        let _c = buf.reserve(10).unwrap();
+        assert_eq!(buf.peak(), 90);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything_but_empty() {
+        let buf = DeviceBuffer::new(0);
+        assert!(buf.reserve(0).is_ok());
+        assert!(buf.reserve(1).is_err());
+    }
+
+    #[test]
+    fn error_displays() {
+        let e = BufferExceeded { requested: 7, capacity: 5 };
+        assert!(e.to_string().contains("requested 7"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Join result accumulation and iceberg aggregation.
+
+use std::collections::HashMap;
+
+use asj_geom::ObjectId;
+
+/// Accumulates the join output on the device.
+///
+/// Pairs must arrive **exactly once** — the duplicate-avoidance discipline
+/// upstream guarantees it, and debug builds verify it with a hash set (the
+/// set is compiled out in release so the PDA memory model stays honest).
+#[derive(Debug, Default)]
+pub struct ResultCollector {
+    pairs: Vec<(ObjectId, ObjectId)>,
+    /// Matches per R-object, for iceberg semi-joins.
+    r_counts: HashMap<ObjectId, u32>,
+    #[cfg(debug_assertions)]
+    seen: std::collections::HashSet<(ObjectId, ObjectId)>,
+}
+
+impl ResultCollector {
+    pub fn new() -> Self {
+        ResultCollector::default()
+    }
+
+    /// Records one qualifying pair `(r, s)`.
+    ///
+    /// # Panics (debug builds)
+    /// If the pair was already reported — a duplicate-avoidance bug.
+    pub fn push(&mut self, r: ObjectId, s: ObjectId) {
+        #[cfg(debug_assertions)]
+        {
+            assert!(
+                self.seen.insert((r, s)),
+                "pair ({r}, {s}) reported twice: duplicate-avoidance violation"
+            );
+        }
+        self.pairs.push((r, s));
+        *self.r_counts.entry(r).or_insert(0) += 1;
+    }
+
+    /// All pairs reported so far.
+    pub fn pairs(&self) -> &[(ObjectId, ObjectId)] {
+        &self.pairs
+    }
+
+    /// Number of reported pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when no pair was reported.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Consumes the collector, returning the pair list.
+    pub fn into_pairs(self) -> Vec<(ObjectId, ObjectId)> {
+        self.pairs
+    }
+
+    /// Iceberg distance semi-join result: R-objects with at least
+    /// `min_matches` qualifying partners, with their match counts
+    /// (sorted by id for determinism).
+    pub fn iceberg(&self, min_matches: u32) -> IcebergResult {
+        let mut qualifying: Vec<(ObjectId, u32)> = self
+            .r_counts
+            .iter()
+            .filter(|&(_, &c)| c >= min_matches)
+            .map(|(&id, &c)| (id, c))
+            .collect();
+        qualifying.sort_unstable();
+        IcebergResult {
+            min_matches,
+            qualifying,
+        }
+    }
+}
+
+/// Output of an iceberg distance semi-join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcebergResult {
+    /// The `m` threshold of the query.
+    pub min_matches: u32,
+    /// `(r_id, match_count)` for every qualifying object, sorted by id.
+    pub qualifying: Vec<(ObjectId, u32)>,
+}
+
+impl IcebergResult {
+    /// Ids only.
+    pub fn ids(&self) -> Vec<ObjectId> {
+        self.qualifying.iter().map(|&(id, _)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_pairs_and_counts() {
+        let mut c = ResultCollector::new();
+        c.push(1, 10);
+        c.push(1, 11);
+        c.push(2, 10);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.pairs(), &[(1, 10), (1, 11), (2, 10)]);
+    }
+
+    #[test]
+    fn iceberg_threshold() {
+        let mut c = ResultCollector::new();
+        for s in 0..5 {
+            c.push(1, s);
+        }
+        for s in 0..2 {
+            c.push(2, 100 + s);
+        }
+        c.push(3, 200);
+        let ice = c.iceberg(2);
+        assert_eq!(ice.qualifying, vec![(1, 5), (2, 2)]);
+        assert_eq!(ice.ids(), vec![1, 2]);
+        assert_eq!(c.iceberg(6).qualifying, vec![]);
+        // Threshold 1 = plain distance semi-join.
+        assert_eq!(c.iceberg(1).ids(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate-avoidance violation")]
+    fn duplicate_pair_panics_in_debug() {
+        let mut c = ResultCollector::new();
+        c.push(1, 1);
+        c.push(1, 1);
+    }
+
+    #[test]
+    fn into_pairs_consumes() {
+        let mut c = ResultCollector::new();
+        c.push(4, 2);
+        assert_eq!(c.into_pairs(), vec![(4, 2)]);
+    }
+}

@@ -1,0 +1,25 @@
+//! # asj-device — the PDA runtime
+//!
+//! Models the resource-constrained side of the system: the paper's HP iPAQ
+//! with a small join buffer (measured in objects, e.g. 100 or 800 points in
+//! Section 5). Three pieces:
+//!
+//! * [`DeviceBuffer`] — the bounded object buffer. `HBSJ` is infeasible for
+//!   a window when `|Rw| + |Sw|` exceeds the capacity (`c1 = ∞` in the cost
+//!   model); the buffer enforces that and tracks peak usage so tests can
+//!   assert the constraint was never violated.
+//! * [`ResultCollector`] — accumulates qualifying pairs, verifies the
+//!   exactly-once discipline (duplicate avoidance) in debug builds, and
+//!   aggregates per-object match counts for the **iceberg distance
+//!   semi-join** ("objects of R joining at least m objects of S").
+//! * [`memjoin`] — the in-memory join kernels the physical operators use:
+//!   a direct plane sweep for buffer-sized inputs and a PBSM-style
+//!   grid-hash + per-cell sweep ([`memjoin::grid_hash_join`]) matching the
+//!   paper's Hash-Based Spatial Join terminology.
+
+pub mod buffer;
+pub mod collect;
+pub mod memjoin;
+
+pub use buffer::{BufferExceeded, DeviceBuffer};
+pub use collect::{IcebergResult, ResultCollector};

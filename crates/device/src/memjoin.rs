@@ -1,0 +1,227 @@
+//! In-memory join kernels used by the physical operators.
+//!
+//! Two kernels compute the same result:
+//!
+//! * [`sweep_join_into`] — a single plane sweep; right choice for
+//!   buffer-sized inputs (≤ a few thousand objects).
+//! * [`grid_hash_join`] — PBSM-style [13]: hash both inputs into a regular
+//!   in-memory grid (objects replicated into every cell their ε-extended
+//!   MBR touches), then sweep cell by cell. This is the literal
+//!   "Hash-Based Spatial Join" of the paper's `c1` operator; it wins on
+//!   large inputs because cells cut the candidate cross-product.
+//!
+//! Both apply the *global* reference-point filter against `(report_cell,
+//! space)` so the caller's partition discipline (exactly-once reporting
+//! across windows) extends seamlessly into the in-memory subdivision.
+
+use asj_geom::grid::owns_reference_point;
+use asj_geom::{
+    pair_reference_point, plane_sweep_pairs, Grid, JoinPredicate, Rect, SpatialObject,
+};
+
+use crate::collect::ResultCollector;
+
+/// Plane-sweep join of `r × s`, reporting into `out` only the pairs whose
+/// reference point lies in `report_cell` (w.r.t. the global `space`).
+pub fn sweep_join_into(
+    r: &[SpatialObject],
+    s: &[SpatialObject],
+    pred: &JoinPredicate,
+    report_cell: &Rect,
+    space: &Rect,
+    out: &mut ResultCollector,
+) {
+    plane_sweep_pairs(r, s, pred, |a, b| {
+        if let Some(p) = pair_reference_point(a, b, pred) {
+            if owns_reference_point(report_cell, space, &p) {
+                out.push(a.id, b.id);
+            }
+        }
+    });
+}
+
+/// PBSM-style grid-hash join over `report_cell`.
+///
+/// `g × g` cells are derived from the input size so each cell sees a few
+/// dozen objects. Objects are replicated into every cell their ε/2-extended
+/// MBR intersects; the reference-point filter (applied per cell, against
+/// the *cell* rectangle clipped into `report_cell`) guarantees exactly-once
+/// output despite replication.
+pub fn grid_hash_join(
+    r: &[SpatialObject],
+    s: &[SpatialObject],
+    pred: &JoinPredicate,
+    report_cell: &Rect,
+    space: &Rect,
+    out: &mut ResultCollector,
+) {
+    if r.is_empty() || s.is_empty() {
+        return;
+    }
+    let n = r.len() + s.len();
+    // ~32 objects per cell; clamp to a sane grid.
+    let g = (((n as f64) / 32.0).sqrt().ceil() as u32).clamp(1, 256);
+    if g == 1 || report_cell.area() == 0.0 {
+        sweep_join_into(r, s, pred, report_cell, space, out);
+        return;
+    }
+    let grid = Grid::square(*report_cell, g);
+    // Replication radius: the reference point (midpoint of centers) of a
+    // qualifying pair is within ε/2 + max-half-diagonal of each member's
+    // MBR — computed exactly from the inputs at hand (0 for points).
+    let max_half = r
+        .iter()
+        .chain(s.iter())
+        .map(|o| (o.mbr.width().hypot(o.mbr.height())) * 0.5)
+        .fold(0.0f64, f64::max);
+    let ext = pred.window_extension() + max_half;
+    let cells = grid.len();
+    let mut r_buckets: Vec<Vec<SpatialObject>> = vec![Vec::new(); cells];
+    let mut s_buckets: Vec<Vec<SpatialObject>> = vec![Vec::new(); cells];
+
+    let hash = |objs: &[SpatialObject], buckets: &mut Vec<Vec<SpatialObject>>| {
+        for o in objs {
+            let probe = o.mbr.expand(ext);
+            for (idx, cell) in grid.cells().enumerate() {
+                if cell.intersects(&probe) {
+                    buckets[idx].push(*o);
+                }
+            }
+        }
+    };
+    hash(r, &mut r_buckets);
+    hash(s, &mut s_buckets);
+
+    for (idx, cell) in grid.cells().enumerate() {
+        let (rb, sb) = (&r_buckets[idx], &s_buckets[idx]);
+        if rb.is_empty() || sb.is_empty() {
+            continue;
+        }
+        // The cell must own the reference point *and* so must the caller's
+        // report_cell — cells tile report_cell, so owning w.r.t. the cell
+        // within `space` composes both conditions.
+        sweep_join_into(rb, sb, pred, &cell, space, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asj_geom::sweep::nested_loop_join;
+
+    fn pt(id: u32, x: f64, y: f64) -> SpatialObject {
+        SpatialObject::point(id, x, y)
+    }
+
+    /// Deterministic pseudo-random points in [0, 100)².
+    fn cloud(n: u32, seed: u64, id_base: u32) -> Vec<SpatialObject> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / u32::MAX as f64) * 100.0
+        };
+        (0..n).map(|i| pt(id_base + i, next(), next())).collect()
+    }
+
+    fn ground_truth(
+        r: &[SpatialObject],
+        s: &[SpatialObject],
+        pred: &JoinPredicate,
+    ) -> Vec<(u32, u32)> {
+        let mut v = nested_loop_join(r, s, pred);
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn sweep_join_filters_by_cell() {
+        let space = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let pred = JoinPredicate::WithinDistance(2.0);
+        let r = vec![pt(1, 4.0, 5.0)];
+        let s = vec![pt(2, 5.0, 5.0)]; // midpoint (4.5, 5.0) → left half
+        let left = Rect::from_coords(0.0, 0.0, 5.0, 10.0);
+        let right = Rect::from_coords(5.0, 0.0, 10.0, 10.0);
+
+        let mut c = ResultCollector::new();
+        sweep_join_into(&r, &s, &pred, &left, &space, &mut c);
+        assert_eq!(c.len(), 1);
+
+        let mut c = ResultCollector::new();
+        sweep_join_into(&r, &s, &pred, &right, &space, &mut c);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn grid_hash_matches_ground_truth() {
+        let space = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let r = cloud(300, 7, 0);
+        let s = cloud(400, 13, 10_000);
+        for eps in [0.5, 2.0, 8.0] {
+            let pred = JoinPredicate::WithinDistance(eps);
+            let mut c = ResultCollector::new();
+            grid_hash_join(&r, &s, &pred, &space, &space, &mut c);
+            let mut got = c.into_pairs();
+            got.sort_unstable();
+            assert_eq!(got, ground_truth(&r, &s, &pred), "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn grid_hash_intersection_join_on_mbrs() {
+        let space = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        // Overlapping boxes scattered deterministically.
+        let mk = |id: u32, x: f64, y: f64, w: f64| {
+            SpatialObject::new(id, Rect::from_coords(x, y, x + w, y + w))
+        };
+        let mut r = Vec::new();
+        let mut s = Vec::new();
+        for i in 0..120u32 {
+            let f = i as f64;
+            r.push(mk(i, (f * 13.7) % 90.0, (f * 7.3) % 90.0, 3.0));
+            s.push(mk(i + 1000, (f * 11.1) % 90.0, (f * 5.9) % 90.0, 4.0));
+        }
+        let pred = JoinPredicate::Intersects;
+        let mut c = ResultCollector::new();
+        grid_hash_join(&r, &s, &pred, &space, &space, &mut c);
+        let mut got = c.into_pairs();
+        got.sort_unstable();
+        assert_eq!(got, ground_truth(&r, &s, &pred));
+    }
+
+    #[test]
+    fn partitioned_reporting_is_exactly_once() {
+        // Join the same data once over the whole space and once per
+        // quadrant; totals must agree (no dups, no losses at seams).
+        let space = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let r = cloud(200, 3, 0);
+        let s = cloud(200, 5, 10_000);
+        let pred = JoinPredicate::WithinDistance(4.0);
+
+        let mut whole = ResultCollector::new();
+        grid_hash_join(&r, &s, &pred, &space, &space, &mut whole);
+        let mut want = whole.into_pairs();
+        want.sort_unstable();
+
+        let mut per_quadrant = ResultCollector::new();
+        for q in space.quadrants() {
+            // Simulate window downloads: only objects near the quadrant.
+            let ext = pred.window_extension();
+            let rq: Vec<_> = r.iter().filter(|o| o.mbr.expand(ext).intersects(&q)).copied().collect();
+            let sq: Vec<_> = s.iter().filter(|o| o.mbr.expand(ext).intersects(&q)).copied().collect();
+            grid_hash_join(&rq, &sq, &pred, &q, &space, &mut per_quadrant);
+        }
+        let mut got = per_quadrant.into_pairs();
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_inputs_no_output() {
+        let space = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let mut c = ResultCollector::new();
+        grid_hash_join(&[], &[pt(1, 1.0, 1.0)], &JoinPredicate::Intersects, &space, &space, &mut c);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests: the in-memory join kernels and the exactly-once
+//! discipline under arbitrary partitioning.
+
+use asj_device::{memjoin, DeviceBuffer, ResultCollector};
+use asj_geom::sweep::nested_loop_join;
+use asj_geom::{JoinPredicate, Rect, SpatialObject};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    (0i32..=4000).prop_map(|v| v as f64 * 0.25)
+}
+
+fn dataset(max: usize, id0: u32) -> impl Strategy<Value = Vec<SpatialObject>> {
+    prop::collection::vec((coord(), coord(), 0.0f64..20.0, 0.0f64..20.0), 0..max).prop_map(
+        move |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y, w, h))| {
+                    SpatialObject::new(id0 + i as u32, Rect::from_coords(x, y, x + w, y + h))
+                })
+                .collect()
+        },
+    )
+}
+
+fn space() -> Rect {
+    Rect::from_coords(0.0, 0.0, 1005.0, 1005.0)
+}
+
+fn oracle(r: &[SpatialObject], s: &[SpatialObject], pred: &JoinPredicate) -> Vec<(u32, u32)> {
+    let mut v = nested_loop_join(r, s, pred);
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn grid_hash_join_equals_oracle(
+        r in dataset(60, 0),
+        s in dataset(60, 10_000),
+        eps in prop_oneof![Just(0.0), 1.0f64..150.0],
+    ) {
+        let pred = if eps == 0.0 {
+            JoinPredicate::Intersects
+        } else {
+            JoinPredicate::WithinDistance(eps)
+        };
+        let mut out = ResultCollector::new();
+        memjoin::grid_hash_join(&r, &s, &pred, &space(), &space(), &mut out);
+        let mut got = out.into_pairs();
+        got.sort_unstable();
+        prop_assert_eq!(got, oracle(&r, &s, &pred));
+    }
+
+    #[test]
+    fn partitioned_join_exactly_once(
+        r in dataset(50, 0),
+        s in dataset(50, 10_000),
+        eps in 1.0f64..120.0,
+        depth in 1u32..3,
+    ) {
+        // Join per cell of a 2^depth × 2^depth partition, simulating the
+        // windowed downloads (extension covers ε/2 + max half-extent);
+        // the union must equal the oracle with no duplicates. The
+        // collector itself panics on duplicates in debug builds.
+        let pred = JoinPredicate::WithinDistance(eps);
+        let max_half = r.iter().chain(s.iter())
+            .map(|o| o.mbr.width().hypot(o.mbr.height()) * 0.5)
+            .fold(0.0f64, f64::max);
+        let ext = eps / 2.0 + max_half;
+        let k = 1u32 << depth;
+        let grid = asj_geom::Grid::square(space(), k);
+        let mut out = ResultCollector::new();
+        for cell in grid.cells() {
+            let cx = cell.expand(ext);
+            let rc: Vec<_> = r.iter().filter(|o| o.mbr.intersects(&cx)).copied().collect();
+            let sc: Vec<_> = s.iter().filter(|o| o.mbr.intersects(&cx)).copied().collect();
+            memjoin::grid_hash_join(&rc, &sc, &pred, &cell, &space(), &mut out);
+        }
+        let mut got = out.into_pairs();
+        got.sort_unstable();
+        prop_assert_eq!(got, oracle(&r, &s, &pred));
+    }
+
+    #[test]
+    fn iceberg_counts_match_oracle(
+        r in dataset(40, 0),
+        s in dataset(40, 10_000),
+        eps in 1.0f64..100.0,
+        m in 1u32..5,
+    ) {
+        let pred = JoinPredicate::WithinDistance(eps);
+        let mut out = ResultCollector::new();
+        memjoin::grid_hash_join(&r, &s, &pred, &space(), &space(), &mut out);
+        let ice = out.iceberg(m);
+        let pairs = oracle(&r, &s, &pred);
+        let mut counts = std::collections::HashMap::new();
+        for (rid, _) in pairs {
+            *counts.entry(rid).or_insert(0u32) += 1;
+        }
+        let mut want: Vec<(u32, u32)> =
+            counts.into_iter().filter(|&(_, c)| c >= m).collect();
+        want.sort_unstable();
+        prop_assert_eq!(ice.qualifying, want);
+    }
+
+    #[test]
+    fn buffer_never_overcommits(
+        capacity in 0usize..100,
+        reserves in prop::collection::vec(0usize..40, 0..12),
+    ) {
+        let buf = DeviceBuffer::new(capacity);
+        let mut held = Vec::new();
+        for n in reserves {
+            if let Ok(r) = buf.reserve(n) {
+                held.push(r);
+            }
+            prop_assert!(buf.in_use() <= capacity);
+            prop_assert!(buf.peak() <= capacity);
+        }
+        let total: usize = held.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(buf.in_use(), total);
+        drop(held);
+        prop_assert_eq!(buf.in_use(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Identified spatial objects — the unit of storage and transfer.
+
+use crate::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Object identifier, unique within one dataset.
+pub type ObjectId = u32;
+
+/// An identified MBR: what the servers store and what travels over the
+/// simulated link.
+///
+/// The wire encoding (see `asj-net`) is `id (4 bytes) + 4 × f32 coordinates
+/// (16 bytes)` = 20 bytes, the `Bobj` of the paper's cost model. Points are
+/// degenerate MBRs and use the same encoding, keeping `Bobj` constant across
+/// workloads as the paper assumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpatialObject {
+    pub id: ObjectId,
+    pub mbr: Rect,
+}
+
+impl SpatialObject {
+    /// Creates an object from an id and its MBR.
+    #[inline]
+    pub const fn new(id: ObjectId, mbr: Rect) -> Self {
+        SpatialObject { id, mbr }
+    }
+
+    /// Creates a point object.
+    #[inline]
+    pub fn point(id: ObjectId, x: f64, y: f64) -> Self {
+        SpatialObject::new(id, Rect::point(Point::new(x, y)))
+    }
+
+    /// Center of the object's MBR (the object itself for points).
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.mbr.center()
+    }
+
+    /// `true` for degenerate (point) objects.
+    #[inline]
+    pub fn is_point(&self) -> bool {
+        self.mbr.min == self.mbr.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_object_is_degenerate() {
+        let o = SpatialObject::point(7, 1.0, 2.0);
+        assert!(o.is_point());
+        assert_eq!(o.center(), Point::new(1.0, 2.0));
+        assert_eq!(o.id, 7);
+    }
+
+    #[test]
+    fn mbr_object_center() {
+        let o = SpatialObject::new(1, Rect::from_coords(0.0, 0.0, 2.0, 4.0));
+        assert!(!o.is_point());
+        assert_eq!(o.center(), Point::new(1.0, 2.0));
+    }
+}

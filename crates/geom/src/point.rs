@@ -1,0 +1,92 @@
+//! 2-D points.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the plane.
+///
+/// Coordinates are `f64`; the workloads in this repository live in a
+/// `10 000 × 10 000` unit space, mirroring a city-scale map in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance — avoids the `sqrt` in hot comparisons.
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Midpoint of the segment between `self` and `other`.
+    ///
+    /// Used as the *reference point* for duplicate avoidance in distance
+    /// joins: the midpoint is within ε/2 of both endpoints whenever the pair
+    /// qualifies, so the cell containing it sees both objects.
+    #[inline]
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-1.5, 2.0);
+        let b = Point::new(7.25, -3.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new(12.0, -7.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 6.0);
+        let m = a.midpoint(&b);
+        assert_eq!(m, Point::new(1.0, 3.0));
+        assert_eq!(a.distance(&m), b.distance(&m));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(p, Point::new(1.0, 2.0));
+    }
+}

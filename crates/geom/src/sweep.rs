@@ -1,0 +1,197 @@
+//! In-memory plane-sweep spatial join.
+//!
+//! The kernel of HBSJ on the device and of the final join step of the
+//! SemiJoin baseline on the server. Classic forward plane sweep over the x
+//! axis (Brinkhoff et al. [2], adapted to ε-distance): both inputs are
+//! sorted by `mbr.min.x`; for each object the other list is scanned forward
+//! while `min.x ≤ current.max.x + ε`, and surviving candidates are tested on
+//! the full predicate.
+//!
+//! Complexity `O(n log n + k)` for k tested candidate pairs — in contrast to
+//! the `O(n·m)` nested loop, which the benches in `asj-bench` quantify.
+
+use crate::{JoinPredicate, ObjectId, SpatialObject};
+
+/// Computes all pairs `(r.id, s.id)` with `pred(r, s)` via plane sweep.
+///
+/// Allocates two sorted index vectors; inputs are borrowed unsorted.
+pub fn plane_sweep_join(
+    r: &[SpatialObject],
+    s: &[SpatialObject],
+    pred: &JoinPredicate,
+) -> Vec<(ObjectId, ObjectId)> {
+    let mut out = Vec::new();
+    plane_sweep_pairs(r, s, pred, |a, b| out.push((a.id, b.id)));
+    out
+}
+
+/// Plane-sweep join driving a callback for every qualifying pair `(r, s)`.
+///
+/// The callback form lets callers apply duplicate-avoidance filters or
+/// iceberg counters without materializing the pair list.
+pub fn plane_sweep_pairs<F: FnMut(&SpatialObject, &SpatialObject)>(
+    r: &[SpatialObject],
+    s: &[SpatialObject],
+    pred: &JoinPredicate,
+    mut emit: F,
+) {
+    if r.is_empty() || s.is_empty() {
+        return;
+    }
+    let eps = pred.epsilon();
+    // Sort indices, not objects: objects are 24 bytes and the borrow stays
+    // intact for the caller.
+    let mut ri: Vec<u32> = (0..r.len() as u32).collect();
+    let mut si: Vec<u32> = (0..s.len() as u32).collect();
+    ri.sort_unstable_by(|&a, &b| {
+        r[a as usize]
+            .mbr
+            .min
+            .x
+            .total_cmp(&r[b as usize].mbr.min.x)
+    });
+    si.sort_unstable_by(|&a, &b| {
+        s[a as usize]
+            .mbr
+            .min
+            .x
+            .total_cmp(&s[b as usize].mbr.min.x)
+    });
+
+    let mut i = 0usize; // cursor into ri
+    let mut j = 0usize; // cursor into si
+    while i < ri.len() && j < si.len() {
+        let ro = &r[ri[i] as usize];
+        let so = &s[si[j] as usize];
+        if ro.mbr.min.x <= so.mbr.min.x {
+            // ro is the sweep head: scan S forward while it can still be
+            // within eps on the x axis.
+            let limit = ro.mbr.max.x + eps;
+            for &sj in &si[j..] {
+                let cand = &s[sj as usize];
+                if cand.mbr.min.x > limit {
+                    break;
+                }
+                if pred.matches(&ro.mbr, &cand.mbr) {
+                    emit(ro, cand);
+                }
+            }
+            i += 1;
+        } else {
+            let limit = so.mbr.max.x + eps;
+            for &rj in &ri[i..] {
+                let cand = &r[rj as usize];
+                if cand.mbr.min.x > limit {
+                    break;
+                }
+                if pred.matches(&cand.mbr, &so.mbr) {
+                    emit(cand, so);
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Reference `O(n·m)` nested-loop join; used by tests and as the ground
+/// truth the property tests compare against.
+pub fn nested_loop_join(
+    r: &[SpatialObject],
+    s: &[SpatialObject],
+    pred: &JoinPredicate,
+) -> Vec<(ObjectId, ObjectId)> {
+    let mut out = Vec::new();
+    for a in r {
+        for b in s {
+            if pred.matches_objects(a, b) {
+                out.push((a.id, b.id));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rect;
+
+    fn pt(id: u32, x: f64, y: f64) -> SpatialObject {
+        SpatialObject::point(id, x, y)
+    }
+
+    fn sorted(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_inputs_produce_nothing() {
+        let pred = JoinPredicate::WithinDistance(1.0);
+        assert!(plane_sweep_join(&[], &[pt(1, 0.0, 0.0)], &pred).is_empty());
+        assert!(plane_sweep_join(&[pt(1, 0.0, 0.0)], &[], &pred).is_empty());
+    }
+
+    #[test]
+    fn distance_join_small() {
+        let r = vec![pt(1, 0.0, 0.0), pt(2, 10.0, 10.0)];
+        let s = vec![pt(1, 0.5, 0.0), pt(2, 10.0, 10.4), pt(3, 50.0, 50.0)];
+        let pred = JoinPredicate::WithinDistance(1.0);
+        let got = sorted(plane_sweep_join(&r, &s, &pred));
+        assert_eq!(got, vec![(1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn intersection_join_mbrs() {
+        let r = vec![
+            SpatialObject::new(1, Rect::from_coords(0.0, 0.0, 2.0, 2.0)),
+            SpatialObject::new(2, Rect::from_coords(5.0, 5.0, 6.0, 6.0)),
+        ];
+        let s = vec![
+            SpatialObject::new(9, Rect::from_coords(1.0, 1.0, 3.0, 3.0)),
+            SpatialObject::new(8, Rect::from_coords(5.5, 0.0, 7.0, 5.5)),
+        ];
+        let got = sorted(plane_sweep_join(&r, &s, &JoinPredicate::Intersects));
+        assert_eq!(got, vec![(1, 9), (2, 8)]);
+    }
+
+    #[test]
+    fn matches_nested_loop_on_grid_cluster() {
+        // Deterministic pseudo-random-ish layout exercising many overlaps.
+        let mut r = Vec::new();
+        let mut s = Vec::new();
+        for i in 0..40u32 {
+            let f = i as f64;
+            r.push(pt(i, (f * 7.3) % 13.0, (f * 3.1) % 11.0));
+            s.push(pt(i, (f * 5.7) % 13.0, (f * 2.9) % 11.0));
+        }
+        for eps in [0.0, 0.5, 2.0, 20.0] {
+            let pred = JoinPredicate::WithinDistance(eps);
+            assert_eq!(
+                sorted(plane_sweep_join(&r, &s, &pred)),
+                sorted(nested_loop_join(&r, &s, &pred)),
+                "eps={eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_coordinates_handled() {
+        let r = vec![pt(1, 1.0, 1.0), pt(2, 1.0, 1.0)];
+        let s = vec![pt(7, 1.0, 1.0)];
+        let pred = JoinPredicate::WithinDistance(0.0);
+        assert_eq!(sorted(plane_sweep_join(&r, &s, &pred)), vec![(1, 7), (2, 7)]);
+    }
+
+    #[test]
+    fn callback_sees_objects_not_just_ids() {
+        let r = vec![pt(3, 0.0, 0.0)];
+        let s = vec![pt(4, 0.1, 0.0)];
+        let mut hits = 0;
+        plane_sweep_pairs(&r, &s, &JoinPredicate::WithinDistance(1.0), |a, b| {
+            assert_eq!((a.id, b.id), (3, 4));
+            hits += 1;
+        });
+        assert_eq!(hits, 1);
+    }
+}

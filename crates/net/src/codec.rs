@@ -1,0 +1,460 @@
+//! Binary wire format.
+//!
+//! Objects travel as `id: u32 + 4 × f32` = **20 bytes** — the `Bobj` of the
+//! paper's cost model (constant across point and MBR workloads). Rectangles
+//! are 16 bytes, counts 8 ("one long integer", the paper's `BA`).
+//!
+//! Coordinates are carried as `f32`. For the round trip to be lossless the
+//! dataset coordinates must be f32-representable; every generator in
+//! `asj-workloads` rounds coordinates through `f32` at creation time, which
+//! the integration tests rely on when comparing against brute-force ground
+//! truth computed on the original data.
+
+use asj_geom::{Point, Rect, SpatialObject};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::proto::{Request, Response};
+
+/// Wire size of one spatial object (`Bobj`).
+pub const OBJ_BYTES: u64 = 20;
+/// Wire size of one rectangle.
+pub const RECT_BYTES: u64 = 16;
+/// Wire size of a `WINDOW`/`COUNT`/`AvgArea` request (opcode + rect): the
+/// paper's `BQ` for simple queries.
+pub const QUERY_BYTES: u64 = 1 + RECT_BYTES;
+/// Wire size of a scalar `Count` response (opcode + u64): the paper's `BA`.
+pub const ANSWER_BYTES: u64 = 1 + 8;
+/// Wire size of a single ε-RANGE request (opcode + rect + f32 ε).
+pub const EPS_QUERY_BYTES: u64 = 1 + RECT_BYTES + 4;
+/// Fixed overhead of a bucket ε-RANGE request (opcode + f32 ε + u32 n);
+/// each probe adds [`OBJ_BYTES`].
+pub const BUCKET_REQ_HEADER_BYTES: u64 = 1 + 4 + 4;
+/// Fixed overhead of an `Objects` response (opcode + u32 length).
+pub const OBJECTS_HEADER_BYTES: u64 = 1 + 4;
+/// Per-probe framing overhead inside a `Buckets` response (u32 length).
+pub const BUCKET_FRAME_BYTES: u64 = 4;
+
+/// Decoding failure: corrupt or truncated message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    Truncated,
+    UnknownOpcode(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "message truncated"),
+            CodecError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+mod op {
+    pub const WINDOW: u8 = 0x01;
+    pub const COUNT: u8 = 0x02;
+    pub const EPS_RANGE: u8 = 0x03;
+    pub const BUCKET_EPS_RANGE: u8 = 0x04;
+    pub const AVG_AREA: u8 = 0x05;
+    pub const COOP_LEVEL_MBRS: u8 = 0x10;
+    pub const COOP_FILTER: u8 = 0x11;
+    pub const COOP_JOIN_PUSH: u8 = 0x12;
+
+    pub const R_OBJECTS: u8 = 0x81;
+    pub const R_COUNT: u8 = 0x82;
+    pub const R_AREA: u8 = 0x83;
+    pub const R_BUCKETS: u8 = 0x84;
+    pub const R_RECTS: u8 = 0x85;
+    pub const R_PAIRS: u8 = 0x86;
+    pub const R_REFUSED: u8 = 0x87;
+}
+
+fn put_rect(buf: &mut BytesMut, r: &Rect) {
+    buf.put_f32(r.min.x as f32);
+    buf.put_f32(r.min.y as f32);
+    buf.put_f32(r.max.x as f32);
+    buf.put_f32(r.max.y as f32);
+}
+
+fn get_rect(buf: &mut Bytes) -> Result<Rect, CodecError> {
+    if buf.remaining() < 16 {
+        return Err(CodecError::Truncated);
+    }
+    let min_x = buf.get_f32() as f64;
+    let min_y = buf.get_f32() as f64;
+    let max_x = buf.get_f32() as f64;
+    let max_y = buf.get_f32() as f64;
+    Ok(Rect::new(Point::new(min_x, min_y), Point::new(max_x, max_y)))
+}
+
+fn put_object(buf: &mut BytesMut, o: &SpatialObject) {
+    buf.put_u32(o.id);
+    put_rect_inline(buf, &o.mbr);
+}
+
+fn put_rect_inline(buf: &mut BytesMut, r: &Rect) {
+    buf.put_f32(r.min.x as f32);
+    buf.put_f32(r.min.y as f32);
+    buf.put_f32(r.max.x as f32);
+    buf.put_f32(r.max.y as f32);
+}
+
+fn get_object(buf: &mut Bytes) -> Result<SpatialObject, CodecError> {
+    if buf.remaining() < 20 {
+        return Err(CodecError::Truncated);
+    }
+    let id = buf.get_u32();
+    let mbr = get_rect(buf)?;
+    Ok(SpatialObject::new(id, mbr))
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u32())
+}
+
+fn get_f32(buf: &mut Bytes) -> Result<f32, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_f32())
+}
+
+/// Encodes a request.
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32);
+    match req {
+        Request::Window(w) => {
+            buf.put_u8(op::WINDOW);
+            put_rect(&mut buf, w);
+        }
+        Request::Count(w) => {
+            buf.put_u8(op::COUNT);
+            put_rect(&mut buf, w);
+        }
+        Request::EpsRange { q, eps } => {
+            buf.put_u8(op::EPS_RANGE);
+            put_rect(&mut buf, q);
+            buf.put_f32(*eps as f32);
+        }
+        Request::BucketEpsRange { probes, eps } => {
+            buf.put_u8(op::BUCKET_EPS_RANGE);
+            buf.put_f32(*eps as f32);
+            buf.put_u32(probes.len() as u32);
+            for p in probes {
+                put_object(&mut buf, p);
+            }
+        }
+        Request::AvgArea(w) => {
+            buf.put_u8(op::AVG_AREA);
+            put_rect(&mut buf, w);
+        }
+        Request::CoopLevelMbrs(level) => {
+            buf.put_u8(op::COOP_LEVEL_MBRS);
+            buf.put_u8(*level);
+        }
+        Request::CoopFilterByMbrs { mbrs, eps } => {
+            buf.put_u8(op::COOP_FILTER);
+            buf.put_f32(*eps as f32);
+            buf.put_u32(mbrs.len() as u32);
+            for m in mbrs {
+                put_rect(&mut buf, m);
+            }
+        }
+        Request::CoopJoinPush { objects, eps } => {
+            buf.put_u8(op::COOP_JOIN_PUSH);
+            buf.put_f32(*eps as f32);
+            buf.put_u32(objects.len() as u32);
+            for o in objects {
+                put_object(&mut buf, o);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a request.
+pub fn decode_request(mut buf: Bytes) -> Result<Request, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    let opcode = buf.get_u8();
+    match opcode {
+        op::WINDOW => Ok(Request::Window(get_rect(&mut buf)?)),
+        op::COUNT => Ok(Request::Count(get_rect(&mut buf)?)),
+        op::EPS_RANGE => {
+            let q = get_rect(&mut buf)?;
+            let eps = get_f32(&mut buf)? as f64;
+            Ok(Request::EpsRange { q, eps })
+        }
+        op::BUCKET_EPS_RANGE => {
+            let eps = get_f32(&mut buf)? as f64;
+            let n = get_u32(&mut buf)? as usize;
+            let mut probes = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                probes.push(get_object(&mut buf)?);
+            }
+            Ok(Request::BucketEpsRange { probes, eps })
+        }
+        op::AVG_AREA => Ok(Request::AvgArea(get_rect(&mut buf)?)),
+        op::COOP_LEVEL_MBRS => {
+            if buf.remaining() < 1 {
+                return Err(CodecError::Truncated);
+            }
+            Ok(Request::CoopLevelMbrs(buf.get_u8()))
+        }
+        op::COOP_FILTER => {
+            let eps = get_f32(&mut buf)? as f64;
+            let n = get_u32(&mut buf)? as usize;
+            let mut mbrs = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                mbrs.push(get_rect(&mut buf)?);
+            }
+            Ok(Request::CoopFilterByMbrs { mbrs, eps })
+        }
+        op::COOP_JOIN_PUSH => {
+            let eps = get_f32(&mut buf)? as f64;
+            let n = get_u32(&mut buf)? as usize;
+            let mut objects = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                objects.push(get_object(&mut buf)?);
+            }
+            Ok(Request::CoopJoinPush { objects, eps })
+        }
+        other => Err(CodecError::UnknownOpcode(other)),
+    }
+}
+
+/// Encodes a response.
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match resp {
+        Response::Objects(objs) => {
+            buf.put_u8(op::R_OBJECTS);
+            buf.put_u32(objs.len() as u32);
+            for o in objs {
+                put_object(&mut buf, o);
+            }
+        }
+        Response::Count(c) => {
+            buf.put_u8(op::R_COUNT);
+            buf.put_u64(*c);
+        }
+        Response::Area(a) => {
+            buf.put_u8(op::R_AREA);
+            buf.put_f64(*a);
+        }
+        Response::Buckets(buckets) => {
+            buf.put_u8(op::R_BUCKETS);
+            buf.put_u32(buckets.len() as u32);
+            for b in buckets {
+                buf.put_u32(b.len() as u32);
+                for o in b {
+                    put_object(&mut buf, o);
+                }
+            }
+        }
+        Response::Rects(rects) => {
+            buf.put_u8(op::R_RECTS);
+            buf.put_u32(rects.len() as u32);
+            for r in rects {
+                put_rect(&mut buf, r);
+            }
+        }
+        Response::Pairs(pairs) => {
+            buf.put_u8(op::R_PAIRS);
+            buf.put_u32(pairs.len() as u32);
+            for (a, b) in pairs {
+                buf.put_u32(*a);
+                buf.put_u32(*b);
+            }
+        }
+        Response::Refused => {
+            buf.put_u8(op::R_REFUSED);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a response.
+pub fn decode_response(mut buf: Bytes) -> Result<Response, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    let opcode = buf.get_u8();
+    match opcode {
+        op::R_OBJECTS => {
+            let n = get_u32(&mut buf)? as usize;
+            let mut objs = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                objs.push(get_object(&mut buf)?);
+            }
+            Ok(Response::Objects(objs))
+        }
+        op::R_COUNT => {
+            if buf.remaining() < 8 {
+                return Err(CodecError::Truncated);
+            }
+            Ok(Response::Count(buf.get_u64()))
+        }
+        op::R_AREA => {
+            if buf.remaining() < 8 {
+                return Err(CodecError::Truncated);
+            }
+            Ok(Response::Area(buf.get_f64()))
+        }
+        op::R_BUCKETS => {
+            let n = get_u32(&mut buf)? as usize;
+            let mut buckets = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                let len = get_u32(&mut buf)? as usize;
+                let mut objs = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    objs.push(get_object(&mut buf)?);
+                }
+                buckets.push(objs);
+            }
+            Ok(Response::Buckets(buckets))
+        }
+        op::R_RECTS => {
+            let n = get_u32(&mut buf)? as usize;
+            let mut rects = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                rects.push(get_rect(&mut buf)?);
+            }
+            Ok(Response::Rects(rects))
+        }
+        op::R_PAIRS => {
+            let n = get_u32(&mut buf)? as usize;
+            let mut pairs = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                pairs.push((get_u32(&mut buf)?, get_u32(&mut buf)?));
+            }
+            Ok(Response::Pairs(pairs))
+        }
+        op::R_REFUSED => Ok(Response::Refused),
+        other => Err(CodecError::UnknownOpcode(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(id: u32, x: f64, y: f64) -> SpatialObject {
+        SpatialObject::point(id, x, y)
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let w = Rect::from_coords(1.0, 2.0, 3.0, 4.0);
+        let reqs = vec![
+            Request::Window(w),
+            Request::Count(w),
+            Request::EpsRange { q: w, eps: 0.5 },
+            Request::BucketEpsRange {
+                probes: vec![obj(1, 1.0, 2.0), obj(2, 3.0, 4.0)],
+                eps: 2.0,
+            },
+            Request::AvgArea(w),
+            Request::CoopLevelMbrs(3),
+            Request::CoopFilterByMbrs { mbrs: vec![w, w], eps: 1.5 },
+            Request::CoopJoinPush { objects: vec![obj(9, 5.0, 5.0)], eps: 0.25 },
+        ];
+        for req in reqs {
+            let bytes = encode_request(&req);
+            let back = decode_request(bytes).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resps = vec![
+            Response::Objects(vec![obj(1, 1.0, 1.0), obj(2, 2.0, 2.0)]),
+            Response::Count(123_456),
+            Response::Area(42.5),
+            Response::Buckets(vec![vec![obj(1, 0.0, 0.0)], vec![], vec![obj(2, 1.0, 1.0)]]),
+            Response::Rects(vec![Rect::from_coords(0.0, 0.0, 1.0, 1.0)]),
+            Response::Pairs(vec![(1, 2), (3, 4)]),
+            Response::Refused,
+        ];
+        for resp in resps {
+            let bytes = encode_response(&resp);
+            let back = decode_response(bytes).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn wire_sizes_match_constants() {
+        let w = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(encode_request(&Request::Window(w)).len() as u64, QUERY_BYTES);
+        assert_eq!(encode_request(&Request::Count(w)).len() as u64, QUERY_BYTES);
+        assert_eq!(
+            encode_response(&Response::Count(7)).len() as u64,
+            ANSWER_BYTES
+        );
+        let objs = vec![obj(1, 0.0, 0.0), obj(2, 1.0, 1.0), obj(3, 2.0, 2.0)];
+        assert_eq!(
+            encode_response(&Response::Objects(objs)).len() as u64,
+            OBJECTS_HEADER_BYTES + 3 * OBJ_BYTES
+        );
+    }
+
+    #[test]
+    fn eps_and_bucket_request_sizes() {
+        let w = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(
+            encode_request(&Request::EpsRange { q: w, eps: 1.0 }).len() as u64,
+            EPS_QUERY_BYTES
+        );
+        let probes = vec![obj(1, 0.0, 0.0), obj(2, 1.0, 1.0)];
+        assert_eq!(
+            encode_request(&Request::BucketEpsRange { probes, eps: 1.0 }).len() as u64,
+            BUCKET_REQ_HEADER_BYTES + 2 * OBJ_BYTES
+        );
+    }
+
+    #[test]
+    fn bucket_wire_size() {
+        let b = Response::Buckets(vec![vec![obj(1, 0.0, 0.0)], vec![]]);
+        // opcode + outer u32 + (frame + obj) + frame
+        assert_eq!(
+            encode_response(&b).len() as u64,
+            OBJECTS_HEADER_BYTES + (BUCKET_FRAME_BYTES + OBJ_BYTES) + BUCKET_FRAME_BYTES
+        );
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let full = encode_request(&Request::Window(Rect::from_coords(0.0, 0.0, 1.0, 1.0)));
+        for cut in [0, 1, 5, 16] {
+            let r = decode_request(full.slice(0..cut));
+            assert_eq!(r, Err(CodecError::Truncated), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let bad = Bytes::from_static(&[0x7f, 0, 0, 0]);
+        assert_eq!(decode_request(bad.clone()), Err(CodecError::UnknownOpcode(0x7f)));
+        assert_eq!(decode_response(bad), Err(CodecError::UnknownOpcode(0x7f)));
+    }
+
+    #[test]
+    fn f32_representable_coordinates_are_lossless() {
+        // The generator invariant: coords rounded through f32 survive.
+        let x = 1234.5678_f32 as f64;
+        let y = 9_876.543_f32 as f64;
+        let o = obj(7, x, y);
+        let back = decode_response(encode_response(&Response::Objects(vec![o])))
+            .unwrap()
+            .into_objects();
+        assert_eq!(back[0], o);
+    }
+}

@@ -1,0 +1,35 @@
+//! # asj-net — the simulated wireless link
+//!
+//! The paper's metric is **total transferred bytes** between the PDA and the
+//! two servers, under telecom per-byte pricing. This crate reproduces that
+//! substrate:
+//!
+//! * [`PacketModel`] — Equation (1) of the paper:
+//!   `TB(B) = B + BH·⌈B/(MTU−BH)⌉`, the bytes a B-byte payload occupies on
+//!   the wire once TCP/IP headers (BH = 40) and the MTU are accounted for;
+//! * [`proto`] — the request/response protocol of a *non-cooperative*
+//!   spatial server (`WINDOW`, `COUNT`, `ε-RANGE`, bucket ε-RANGE, the
+//!   average-area aggregate) plus the cooperative extension used only by
+//!   the SemiJoin baseline;
+//! * [`codec`] — a compact binary wire format (`Bobj` = 20 bytes/object,
+//!   mirroring the paper's constant object size);
+//! * [`LinkMeter`] — atomically counts uplink/downlink wire bytes and query
+//!   mix per link; *this is where every reported number comes from*;
+//! * [`transport`] — synchronous RPC over two interchangeable carriers: an
+//!   in-process call (fast, used by the experiment sweeps) and a
+//!   crossbeam-channel connection to a server thread (the "distributed"
+//!   deployment used by examples and integration tests).
+//!
+//! Every message — including the queries themselves, as the paper insists —
+//! is packetized and metered.
+
+pub mod codec;
+pub mod meter;
+pub mod packet;
+pub mod proto;
+pub mod transport;
+
+pub use meter::{LinkMeter, LinkSnapshot};
+pub use packet::{NetConfig, PacketModel};
+pub use proto::{QueryHandler, Request, Response};
+pub use transport::{ChannelServer, Link, RawExchange, ServerHandle};

@@ -1,0 +1,206 @@
+//! Per-link byte accounting — the source of every number the experiments
+//! report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::packet::PacketModel;
+use crate::proto::Request;
+
+/// Atomic counters for one device↔server link.
+///
+/// All figures in the paper plot "Total bytes": the wire bytes (payload +
+/// TCP/IP headers per Eq. 1) crossing both links in both directions. The
+/// meter also keeps the query mix so reports can show *where* the bytes
+/// went (aggregate statistics vs object downloads), which the paper
+/// discusses qualitatively.
+#[derive(Debug, Default)]
+pub struct LinkMeter {
+    up_bytes: AtomicU64,
+    down_bytes: AtomicU64,
+    up_packets: AtomicU64,
+    down_packets: AtomicU64,
+    count_queries: AtomicU64,
+    window_queries: AtomicU64,
+    range_queries: AtomicU64,
+    bucket_queries: AtomicU64,
+    coop_queries: AtomicU64,
+    objects_received: AtomicU64,
+}
+
+/// A point-in-time copy of a [`LinkMeter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkSnapshot {
+    pub up_bytes: u64,
+    pub down_bytes: u64,
+    pub up_packets: u64,
+    pub down_packets: u64,
+    pub count_queries: u64,
+    pub window_queries: u64,
+    pub range_queries: u64,
+    pub bucket_queries: u64,
+    pub coop_queries: u64,
+    pub objects_received: u64,
+}
+
+impl LinkSnapshot {
+    /// Total wire bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.up_bytes + self.down_bytes
+    }
+
+    /// Total queries of any kind.
+    pub fn total_queries(&self) -> u64 {
+        self.count_queries
+            + self.window_queries
+            + self.range_queries
+            + self.bucket_queries
+            + self.coop_queries
+    }
+
+    /// Difference against an earlier snapshot (for per-phase accounting).
+    pub fn since(&self, earlier: &LinkSnapshot) -> LinkSnapshot {
+        LinkSnapshot {
+            up_bytes: self.up_bytes - earlier.up_bytes,
+            down_bytes: self.down_bytes - earlier.down_bytes,
+            up_packets: self.up_packets - earlier.up_packets,
+            down_packets: self.down_packets - earlier.down_packets,
+            count_queries: self.count_queries - earlier.count_queries,
+            window_queries: self.window_queries - earlier.window_queries,
+            range_queries: self.range_queries - earlier.range_queries,
+            bucket_queries: self.bucket_queries - earlier.bucket_queries,
+            coop_queries: self.coop_queries - earlier.coop_queries,
+            objects_received: self.objects_received - earlier.objects_received,
+        }
+    }
+}
+
+impl LinkMeter {
+    pub fn new() -> Self {
+        LinkMeter::default()
+    }
+
+    /// Records an outgoing request of `payload` bytes.
+    pub fn record_request(&self, req: &Request, payload: u64, packet: &PacketModel) {
+        self.up_bytes.fetch_add(packet.tb(payload), Ordering::Relaxed);
+        self.up_packets
+            .fetch_add(packet.packets(payload), Ordering::Relaxed);
+        let counter = match req {
+            Request::Count(_) | Request::AvgArea(_) => &self.count_queries,
+            Request::Window(_) => &self.window_queries,
+            Request::EpsRange { .. } => &self.range_queries,
+            Request::BucketEpsRange { .. } => &self.bucket_queries,
+            Request::CoopLevelMbrs(_)
+            | Request::CoopFilterByMbrs { .. }
+            | Request::CoopJoinPush { .. } => &self.coop_queries,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an incoming response of `payload` bytes carrying
+    /// `objects` spatial objects.
+    pub fn record_response(&self, payload: u64, objects: u64, packet: &PacketModel) {
+        self.down_bytes
+            .fetch_add(packet.tb(payload), Ordering::Relaxed);
+        self.down_packets
+            .fetch_add(packet.packets(payload), Ordering::Relaxed);
+        self.objects_received.fetch_add(objects, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> LinkSnapshot {
+        LinkSnapshot {
+            up_bytes: self.up_bytes.load(Ordering::Relaxed),
+            down_bytes: self.down_bytes.load(Ordering::Relaxed),
+            up_packets: self.up_packets.load(Ordering::Relaxed),
+            down_packets: self.down_packets.load(Ordering::Relaxed),
+            count_queries: self.count_queries.load(Ordering::Relaxed),
+            window_queries: self.window_queries.load(Ordering::Relaxed),
+            range_queries: self.range_queries.load(Ordering::Relaxed),
+            bucket_queries: self.bucket_queries.load(Ordering::Relaxed),
+            coop_queries: self.coop_queries.load(Ordering::Relaxed),
+            objects_received: self.objects_received.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.up_bytes.store(0, Ordering::Relaxed);
+        self.down_bytes.store(0, Ordering::Relaxed);
+        self.up_packets.store(0, Ordering::Relaxed);
+        self.down_packets.store(0, Ordering::Relaxed);
+        self.count_queries.store(0, Ordering::Relaxed);
+        self.window_queries.store(0, Ordering::Relaxed);
+        self.range_queries.store(0, Ordering::Relaxed);
+        self.bucket_queries.store(0, Ordering::Relaxed);
+        self.coop_queries.store(0, Ordering::Relaxed);
+        self.objects_received.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asj_geom::Rect;
+
+    #[test]
+    fn records_and_snapshots() {
+        let m = LinkMeter::new();
+        let p = PacketModel::default();
+        let w = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        m.record_request(&Request::Count(w), 17, &p);
+        m.record_response(9, 0, &p);
+        m.record_request(&Request::Window(w), 17, &p);
+        m.record_response(5 + 3 * 20, 3, &p);
+
+        let s = m.snapshot();
+        assert_eq!(s.count_queries, 1);
+        assert_eq!(s.window_queries, 1);
+        assert_eq!(s.objects_received, 3);
+        assert_eq!(s.up_bytes, p.tb(17) * 2);
+        assert_eq!(s.down_bytes, p.tb(9) + p.tb(65));
+        assert_eq!(s.total_queries(), 2);
+        assert_eq!(s.total_bytes(), s.up_bytes + s.down_bytes);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let m = LinkMeter::new();
+        let p = PacketModel::default();
+        let w = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        m.record_request(&Request::Count(w), 17, &p);
+        let s1 = m.snapshot();
+        m.record_request(&Request::Count(w), 17, &p);
+        let s2 = m.snapshot();
+        let d = s2.since(&s1);
+        assert_eq!(d.count_queries, 1);
+        assert_eq!(d.up_bytes, p.tb(17));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = LinkMeter::new();
+        let p = PacketModel::default();
+        m.record_response(100, 5, &p);
+        m.reset();
+        assert_eq!(m.snapshot(), LinkSnapshot::default());
+    }
+
+    #[test]
+    fn meter_is_thread_safe() {
+        let m = std::sync::Arc::new(LinkMeter::new());
+        let p = PacketModel::default();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = m.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        m.record_response(10, 1, &p);
+                    }
+                });
+            }
+        });
+        let s = m.snapshot();
+        assert_eq!(s.objects_received, 4000);
+        assert_eq!(s.down_bytes, 4000 * p.tb(10));
+    }
+}

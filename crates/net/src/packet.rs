@@ -1,0 +1,145 @@
+//! Packetization cost model — Equation (1) of the paper.
+
+/// TCP/IP packetization parameters of one link.
+///
+/// `TB(B) = B + BH · ⌈B / (MTU − BH)⌉`: each network packet carries at most
+/// `MTU − BH` payload bytes and pays a `BH`-byte header. The paper uses
+/// `BH = 40` (TCP/IP) and notes `MTU = 1500` for Ethernet-class links and
+/// `576` for dial-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketModel {
+    /// Maximum transmission unit in bytes.
+    pub mtu: u32,
+    /// Per-packet header overhead in bytes (`BH`).
+    pub header_bytes: u32,
+}
+
+impl Default for PacketModel {
+    fn default() -> Self {
+        PacketModel {
+            mtu: 1500,
+            header_bytes: 40,
+        }
+    }
+}
+
+impl PacketModel {
+    /// Creates a model; requires `mtu > header_bytes`.
+    pub fn new(mtu: u32, header_bytes: u32) -> Self {
+        assert!(mtu > header_bytes, "MTU must exceed the header size");
+        PacketModel { mtu, header_bytes }
+    }
+
+    /// Payload capacity of one packet.
+    #[inline]
+    pub fn payload_per_packet(&self) -> u64 {
+        (self.mtu - self.header_bytes) as u64
+    }
+
+    /// Wire bytes for a `payload`-byte message — `TB` of Eq. (1).
+    ///
+    /// A zero-byte payload still costs one header (the packet must exist;
+    /// this also matches the paper's `BH + BQ` accounting for queries where
+    /// the header is always paid).
+    #[inline]
+    pub fn tb(&self, payload: u64) -> u64 {
+        let packets = payload.div_ceil(self.payload_per_packet()).max(1);
+        payload + packets * self.header_bytes as u64
+    }
+
+    /// Number of packets a payload occupies.
+    #[inline]
+    pub fn packets(&self, payload: u64) -> u64 {
+        payload.div_ceil(self.payload_per_packet()).max(1)
+    }
+}
+
+/// Full network configuration of a deployment: one packet model shared by
+/// both links (the paper's prototype used the same WiFi interface for both
+/// servers) and the per-byte tariffs `bR`, `bS`.
+///
+/// All experiments in the paper set `bR = bS`; the tariffs exist so the
+/// cost-based operator choice (`c2` vs `c3`) can be exercised with
+/// asymmetric pricing, which the model explicitly supports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    pub packet: PacketModel,
+    /// Cost per transferred byte from/to server R (`bR`).
+    pub tariff_r: f64,
+    /// Cost per transferred byte from/to server S (`bS`).
+    pub tariff_s: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            packet: PacketModel::default(),
+            tariff_r: 1.0,
+            tariff_s: 1.0,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Dial-up style link (MTU 576), for the MTU-sensitivity ablation.
+    pub fn dialup() -> Self {
+        NetConfig {
+            packet: PacketModel::new(576, 40),
+            ..NetConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tb_single_packet() {
+        let m = PacketModel::default(); // payload capacity 1460
+        assert_eq!(m.tb(100), 140);
+        assert_eq!(m.tb(1460), 1500);
+        assert_eq!(m.packets(1460), 1);
+    }
+
+    #[test]
+    fn tb_multi_packet() {
+        let m = PacketModel::default();
+        assert_eq!(m.tb(1461), 1461 + 2 * 40);
+        assert_eq!(m.packets(1461), 2);
+        // 20_000 bytes → ⌈20000/1460⌉ = 14 packets.
+        assert_eq!(m.tb(20_000), 20_000 + 14 * 40);
+    }
+
+    #[test]
+    fn tb_zero_payload_costs_a_header() {
+        let m = PacketModel::default();
+        assert_eq!(m.tb(0), 40);
+        assert_eq!(m.packets(0), 1);
+    }
+
+    #[test]
+    fn dialup_is_more_expensive_per_byte() {
+        let eth = PacketModel::default();
+        let dial = NetConfig::dialup().packet;
+        // Same payload, more packets on the smaller MTU.
+        assert!(dial.tb(50_000) > eth.tb(50_000));
+    }
+
+    #[test]
+    fn tb_monotone_in_payload() {
+        let m = PacketModel::default();
+        let mut prev = 0;
+        for b in (0..10_000).step_by(97) {
+            let t = m.tb(b);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MTU must exceed")]
+    fn invalid_model_rejected() {
+        PacketModel::new(40, 40);
+    }
+}

@@ -1,0 +1,160 @@
+//! The query protocol of a non-cooperative spatial server.
+
+use asj_geom::{Rect, SpatialObject};
+
+/// A request from the device to one server.
+///
+/// The first five variants are the paper's primitive interface (Section 3):
+/// `WINDOW`, `COUNT`, `ε-RANGE`, the bucket ε-RANGE of Section 3.1, and the
+/// average-MBR-area aggregate mentioned for polygon datasets. The
+/// `Coop*` variants are the *cooperative extension* that only the SemiJoin
+/// baseline uses (Section 5.3) — real non-cooperative servers would reject
+/// them, and [`crate::proto::Request::is_cooperative`] lets servers do so.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// All objects intersecting `w`.
+    Window(Rect),
+    /// Number of objects intersecting `w` (the aggregate/COUNT query).
+    Count(Rect),
+    /// All objects within distance `eps` of `q` (degenerate `q` = a point,
+    /// the paper's original form; a proper rectangle subsumes the
+    /// "WINDOW with sides 2ε" simulation the paper describes).
+    EpsRange { q: Rect, eps: f64 },
+    /// Bucket submission: one ε-RANGE probe per object, answered together
+    /// so TCP header overhead is amortized (Section 3.1).
+    BucketEpsRange { probes: Vec<SpatialObject>, eps: f64 },
+    /// Average MBR area of objects intersecting `w` — the extra aggregate
+    /// the paper piggybacks on COUNT for polygon datasets.
+    AvgArea(Rect),
+    /// Cooperative: the MBRs of one R-tree level (`levels_above_leaves`).
+    CoopLevelMbrs(u8),
+    /// Cooperative: objects within `eps` of any of the given MBRs (the
+    /// semi-join filter step executed at the other server).
+    CoopFilterByMbrs { mbrs: Vec<Rect>, eps: f64 },
+    /// Cooperative: join the pushed objects against the local dataset and
+    /// return qualifying `(pushed_id, local_id)` pairs.
+    CoopJoinPush { objects: Vec<SpatialObject>, eps: f64 },
+}
+
+impl Request {
+    /// `true` for the cooperative-extension queries that a faithful
+    /// non-cooperative server refuses.
+    pub fn is_cooperative(&self) -> bool {
+        matches!(
+            self,
+            Request::CoopLevelMbrs(_)
+                | Request::CoopFilterByMbrs { .. }
+                | Request::CoopJoinPush { .. }
+        )
+    }
+
+    /// `true` for aggregate (statistics) queries, the paper's `Taq` class.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, Request::Count(_) | Request::AvgArea(_))
+    }
+}
+
+/// A server's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Objects, for `WINDOW` / `ε-RANGE` / `CoopFilterByMbrs`.
+    Objects(Vec<SpatialObject>),
+    /// Scalar count (`BA` = 8 bytes on the wire, "one long integer").
+    Count(u64),
+    /// Scalar area average.
+    Area(f64),
+    /// Per-probe result lists for `BucketEpsRange`, probe order preserved.
+    Buckets(Vec<Vec<SpatialObject>>),
+    /// MBRs for `CoopLevelMbrs`.
+    Rects(Vec<Rect>),
+    /// Qualifying id pairs for `CoopJoinPush`.
+    Pairs(Vec<(u32, u32)>),
+    /// The server refuses the request (e.g. cooperative query to a
+    /// non-cooperative server).
+    Refused,
+}
+
+impl Response {
+    /// Unwraps an object list, panicking on protocol mismatch — server
+    /// implementations in this repo are type-correct by construction, so a
+    /// mismatch is a bug, not a runtime condition.
+    pub fn into_objects(self) -> Vec<SpatialObject> {
+        match self {
+            Response::Objects(v) => v,
+            other => panic!("protocol mismatch: expected Objects, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a count.
+    pub fn into_count(self) -> u64 {
+        match self {
+            Response::Count(c) => c,
+            other => panic!("protocol mismatch: expected Count, got {other:?}"),
+        }
+    }
+
+    /// Unwraps bucket lists.
+    pub fn into_buckets(self) -> Vec<Vec<SpatialObject>> {
+        match self {
+            Response::Buckets(b) => b,
+            other => panic!("protocol mismatch: expected Buckets, got {other:?}"),
+        }
+    }
+
+    /// Unwraps level MBRs.
+    pub fn into_rects(self) -> Vec<Rect> {
+        match self {
+            Response::Rects(r) => r,
+            other => panic!("protocol mismatch: expected Rects, got {other:?}"),
+        }
+    }
+
+    /// Unwraps join pairs.
+    pub fn into_pairs(self) -> Vec<(u32, u32)> {
+        match self {
+            Response::Pairs(p) => p,
+            other => panic!("protocol mismatch: expected Pairs, got {other:?}"),
+        }
+    }
+}
+
+/// Server-side request handler. Implemented by `asj-server`; `asj-net` only
+/// needs the shape to wire transports.
+pub trait QueryHandler: Send + Sync {
+    fn handle(&self, req: Request) -> Response;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cooperative_classification() {
+        let w = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        assert!(!Request::Window(w).is_cooperative());
+        assert!(!Request::Count(w).is_cooperative());
+        assert!(Request::CoopLevelMbrs(0).is_cooperative());
+        assert!(Request::CoopJoinPush { objects: vec![], eps: 1.0 }.is_cooperative());
+    }
+
+    #[test]
+    fn aggregate_classification() {
+        let w = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        assert!(Request::Count(w).is_aggregate());
+        assert!(Request::AvgArea(w).is_aggregate());
+        assert!(!Request::Window(w).is_aggregate());
+    }
+
+    #[test]
+    fn unwrap_helpers() {
+        assert_eq!(Response::Count(5).into_count(), 5);
+        assert_eq!(Response::Objects(vec![]).into_objects(), vec![]);
+        assert_eq!(Response::Pairs(vec![(1, 2)]).into_pairs(), vec![(1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol mismatch")]
+    fn unwrap_mismatch_panics() {
+        Response::Count(1).into_objects();
+    }
+}

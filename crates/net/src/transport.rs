@@ -1,0 +1,289 @@
+//! Synchronous RPC transports with mandatory metering.
+//!
+//! A [`Link`] is the device's handle to one server. Every `request` call
+//! encodes the message, charges the uplink meter, carries the bytes over a
+//! [`RawExchange`], charges the downlink meter and decodes the reply — so
+//! no byte can cross unmetered, whichever carrier is used:
+//!
+//! * [`InProcExchange`] — calls the server's handler on the calling thread
+//!   (fast path for the thousands of joins an experiment sweep runs);
+//! * [`ChannelServer`] / [`ChannelExchange`] — the server runs on its own
+//!   thread behind a crossbeam channel, modelling the paper's deployment
+//!   of two independent UNIX servers and a WiFi PDA. Integration tests run
+//!   both carriers and assert identical byte counts.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+use crate::codec::{decode_response, encode_request, encode_response};
+use crate::meter::LinkMeter;
+use crate::packet::PacketModel;
+use crate::proto::{QueryHandler, Request, Response};
+
+/// A byte-level carrier: ships an encoded request, returns the encoded
+/// response. Implementations must be usable from one thread at a time
+/// (the device is single-threaded, as a PDA is).
+pub trait RawExchange: Send {
+    fn exchange(&self, request: Bytes) -> Bytes;
+}
+
+/// In-process carrier: decodes and handles on the calling thread.
+pub struct InProcExchange<H: QueryHandler> {
+    handler: Arc<H>,
+}
+
+impl<H: QueryHandler> InProcExchange<H> {
+    pub fn new(handler: Arc<H>) -> Self {
+        InProcExchange { handler }
+    }
+}
+
+impl<H: QueryHandler> RawExchange for InProcExchange<H> {
+    fn exchange(&self, request: Bytes) -> Bytes {
+        let req = crate::codec::decode_request(request).expect("malformed request");
+        let resp = self.handler.handle(req);
+        encode_response(&resp)
+    }
+}
+
+/// One in-flight RPC on the channel carrier.
+struct Rpc {
+    request: Bytes,
+    reply: Sender<Bytes>,
+}
+
+/// Client side of the channel carrier.
+pub struct ChannelExchange {
+    tx: Sender<Rpc>,
+}
+
+impl RawExchange for ChannelExchange {
+    fn exchange(&self, request: Bytes) -> Bytes {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(Rpc {
+                request,
+                reply: reply_tx,
+            })
+            .expect("server thread terminated");
+        reply_rx.recv().expect("server dropped the reply")
+    }
+}
+
+/// A server running on its own thread, draining RPCs until every client
+/// handle is dropped.
+pub struct ChannelServer {
+    thread: Option<std::thread::JoinHandle<u64>>,
+}
+
+/// Keeps the server thread alive; dropping all handles shuts it down.
+pub struct ServerHandle {
+    tx: Sender<Rpc>,
+}
+
+impl ChannelServer {
+    /// Spawns the server thread. Returns the server (join on drop) and a
+    /// handle from which any number of [`ChannelExchange`] carriers can be
+    /// cloned.
+    pub fn spawn<H: QueryHandler + 'static>(handler: Arc<H>, name: &str) -> (Self, ServerHandle) {
+        let (tx, rx): (Sender<Rpc>, Receiver<Rpc>) = unbounded();
+        let thread = std::thread::Builder::new()
+            .name(format!("asj-server-{name}"))
+            .spawn(move || {
+                let mut served = 0u64;
+                while let Ok(rpc) = rx.recv() {
+                    let req = crate::codec::decode_request(rpc.request).expect("malformed request");
+                    let resp = handler.handle(req);
+                    served += 1;
+                    // A dropped reply channel just means the client gave up.
+                    let _ = rpc.reply.send(encode_response(&resp));
+                }
+                served
+            })
+            .expect("failed to spawn server thread");
+        (
+            ChannelServer {
+                thread: Some(thread),
+            },
+            ServerHandle { tx },
+        )
+    }
+
+    /// Waits for the server to drain and stop (all handles dropped);
+    /// returns the number of requests served.
+    pub fn join(mut self) -> u64 {
+        self.thread
+            .take()
+            .expect("already joined")
+            .join()
+            .expect("server thread panicked")
+    }
+}
+
+impl Drop for ChannelServer {
+    fn drop(&mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl ServerHandle {
+    /// Opens a new connection to the server.
+    pub fn connect(&self) -> ChannelExchange {
+        ChannelExchange {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+/// The device's metered handle to one server.
+pub struct Link {
+    carrier: Box<dyn RawExchange>,
+    meter: Arc<LinkMeter>,
+    packet: PacketModel,
+    /// Per-byte tariff of this link (`bR` or `bS`).
+    tariff: f64,
+}
+
+impl Link {
+    /// Wraps a carrier with a fresh meter.
+    pub fn new(carrier: Box<dyn RawExchange>, packet: PacketModel, tariff: f64) -> Self {
+        Link {
+            carrier,
+            meter: Arc::new(LinkMeter::new()),
+            packet,
+            tariff,
+        }
+    }
+
+    /// In-process link to a handler.
+    pub fn in_process<H: QueryHandler + 'static>(
+        handler: Arc<H>,
+        packet: PacketModel,
+        tariff: f64,
+    ) -> Self {
+        Link::new(Box::new(InProcExchange::new(handler)), packet, tariff)
+    }
+
+    /// Issues one RPC, metering both directions.
+    pub fn request(&self, req: Request) -> Response {
+        let encoded = encode_request(&req);
+        self.meter
+            .record_request(&req, encoded.len() as u64, &self.packet);
+        let raw = self.carrier.exchange(encoded);
+        let len = raw.len() as u64;
+        let resp = decode_response(raw).expect("malformed response");
+        let objects = match &resp {
+            Response::Objects(v) => v.len() as u64,
+            Response::Buckets(b) => b.iter().map(|x| x.len() as u64).sum(),
+            _ => 0,
+        };
+        self.meter.record_response(len, objects, &self.packet);
+        resp
+    }
+
+    /// This link's meter (shared; snapshot at will).
+    pub fn meter(&self) -> &Arc<LinkMeter> {
+        &self.meter
+    }
+
+    /// The link's packet model.
+    pub fn packet(&self) -> PacketModel {
+        self.packet
+    }
+
+    /// The link's per-byte tariff.
+    pub fn tariff(&self) -> f64 {
+        self.tariff
+    }
+
+    /// Monetary cost so far: `tariff × total wire bytes`.
+    pub fn cost(&self) -> f64 {
+        self.tariff * self.meter.snapshot().total_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asj_geom::{Rect, SpatialObject};
+
+    /// Toy handler: COUNT returns 7, WINDOW returns two fixed objects.
+    struct Fixed;
+
+    impl QueryHandler for Fixed {
+        fn handle(&self, req: Request) -> Response {
+            match req {
+                Request::Count(_) => Response::Count(7),
+                Request::Window(_) => Response::Objects(vec![
+                    SpatialObject::point(1, 1.0, 1.0),
+                    SpatialObject::point(2, 2.0, 2.0),
+                ]),
+                _ => Response::Refused,
+            }
+        }
+    }
+
+    fn w() -> Rect {
+        Rect::from_coords(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn in_process_roundtrip_and_metering() {
+        let link = Link::in_process(Arc::new(Fixed), PacketModel::default(), 1.0);
+        assert_eq!(link.request(Request::Count(w())).into_count(), 7);
+        assert_eq!(link.request(Request::Window(w())).into_objects().len(), 2);
+
+        let s = link.meter().snapshot();
+        assert_eq!(s.count_queries, 1);
+        assert_eq!(s.window_queries, 1);
+        assert_eq!(s.objects_received, 2);
+        // 2 requests of 17 bytes each.
+        assert_eq!(s.up_bytes, 2 * PacketModel::default().tb(17));
+        // Count reply 9 bytes, objects reply 5 + 40 bytes.
+        assert_eq!(
+            s.down_bytes,
+            PacketModel::default().tb(9) + PacketModel::default().tb(45)
+        );
+        assert_eq!(link.cost(), s.total_bytes() as f64);
+    }
+
+    #[test]
+    fn channel_server_roundtrip_matches_in_process_bytes() {
+        let inproc = Link::in_process(Arc::new(Fixed), PacketModel::default(), 1.0);
+        inproc.request(Request::Count(w()));
+        inproc.request(Request::Window(w()));
+
+        let (server, handle) = ChannelServer::spawn(Arc::new(Fixed), "test");
+        let remote = Link::new(Box::new(handle.connect()), PacketModel::default(), 1.0);
+        remote.request(Request::Count(w()));
+        remote.request(Request::Window(w()));
+
+        assert_eq!(
+            inproc.meter().snapshot().total_bytes(),
+            remote.meter().snapshot().total_bytes(),
+            "carrier must not change accounting"
+        );
+        drop(remote);
+        drop(handle);
+        assert_eq!(server.join(), 2);
+    }
+
+    #[test]
+    fn tariff_scales_cost() {
+        let link = Link::in_process(Arc::new(Fixed), PacketModel::default(), 2.5);
+        link.request(Request::Count(w()));
+        let s = link.meter().snapshot();
+        assert_eq!(link.cost(), 2.5 * s.total_bytes() as f64);
+    }
+
+    #[test]
+    fn refused_for_unknown() {
+        let link = Link::in_process(Arc::new(Fixed), PacketModel::default(), 1.0);
+        let r = link.request(Request::CoopLevelMbrs(0));
+        assert_eq!(r, Response::Refused);
+    }
+}

@@ -1,0 +1,24 @@
+//! # asj-rtree — a from-scratch aggregate R-tree
+//!
+//! The servers in the IPDPS 2006 paper answer `COUNT` queries "fast, by data
+//! structures such as the aR-tree [11]". This crate implements that
+//! substrate: a classic Guttman R-tree with
+//!
+//! * **quadratic-split insertion** for incremental loads,
+//! * **STR (Sort-Tile-Recursive) bulk loading** for the 35 K-object rail
+//!   dataset,
+//! * **aggregate counts in every node** (the aR-tree of Papadias et al.),
+//!   so `COUNT(window)` visits only nodes whose MBR straddles the window
+//!   boundary,
+//! * window, ε-range and count queries,
+//! * **level-MBR extraction** — the "one level of MBRs" the SemiJoin [16]
+//!   baseline ships between servers.
+//!
+//! The tree is single-threaded and immutable-after-build in server use;
+//! concurrency lives in the server runtime, not here.
+
+mod bulk;
+mod node;
+mod tree;
+
+pub use tree::{RTree, DEFAULT_MAX_ENTRIES};

@@ -1,0 +1,122 @@
+//! R-tree nodes with aggregate counts.
+
+use asj_geom::{Rect, SpatialObject};
+
+/// A tree node: its MBR, the number of objects in its subtree (the aR-tree
+/// aggregate) and either leaf entries or child nodes.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub mbr: Rect,
+    /// Objects in this subtree — maintained on every structural change so
+    /// `COUNT` queries can stop at fully-covered nodes.
+    pub count: u64,
+    pub kind: NodeKind,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum NodeKind {
+    Leaf(Vec<SpatialObject>),
+    Internal(Vec<Node>),
+}
+
+impl Node {
+    pub fn leaf(entries: Vec<SpatialObject>) -> Node {
+        let mbr = mbr_of_objects(&entries);
+        Node {
+            mbr,
+            count: entries.len() as u64,
+            kind: NodeKind::Leaf(entries),
+        }
+    }
+
+    pub fn internal(children: Vec<Node>) -> Node {
+        let mbr = mbr_of_nodes(&children);
+        let count = children.iter().map(|c| c.count).sum();
+        Node {
+            mbr,
+            count,
+            kind: NodeKind::Internal(children),
+        }
+    }
+
+    /// Recomputes this node's MBR and count from its content (after a
+    /// mutation of children / entries).
+    pub fn refresh(&mut self) {
+        match &self.kind {
+            NodeKind::Leaf(es) => {
+                self.mbr = mbr_of_objects(es);
+                self.count = es.len() as u64;
+            }
+            NodeKind::Internal(cs) => {
+                self.mbr = mbr_of_nodes(cs);
+                self.count = cs.iter().map(|c| c.count).sum();
+            }
+        }
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf(_))
+    }
+
+    /// Number of slots in this node (entries or children).
+    pub fn fanout(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf(es) => es.len(),
+            NodeKind::Internal(cs) => cs.len(),
+        }
+    }
+}
+
+/// MBR of a slice of objects; the degenerate empty case maps to a zero rect
+/// at the origin (an empty node only exists transiently during builds).
+pub(crate) fn mbr_of_objects(objects: &[SpatialObject]) -> Rect {
+    Rect::union_of(objects.iter().map(|o| o.mbr))
+        .unwrap_or_else(|| Rect::from_coords(0.0, 0.0, 0.0, 0.0))
+}
+
+pub(crate) fn mbr_of_nodes(nodes: &[Node]) -> Rect {
+    Rect::union_of(nodes.iter().map(|n| n.mbr))
+        .unwrap_or_else(|| Rect::from_coords(0.0, 0.0, 0.0, 0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_aggregates() {
+        let n = Node::leaf(vec![
+            SpatialObject::point(1, 0.0, 0.0),
+            SpatialObject::point(2, 4.0, 2.0),
+        ]);
+        assert_eq!(n.count, 2);
+        assert_eq!(n.mbr, Rect::from_coords(0.0, 0.0, 4.0, 2.0));
+        assert!(n.is_leaf());
+        assert_eq!(n.fanout(), 2);
+    }
+
+    #[test]
+    fn internal_aggregates_sum_children() {
+        let a = Node::leaf(vec![SpatialObject::point(1, 0.0, 0.0)]);
+        let b = Node::leaf(vec![
+            SpatialObject::point(2, 2.0, 2.0),
+            SpatialObject::point(3, 3.0, 3.0),
+        ]);
+        let n = Node::internal(vec![a, b]);
+        assert_eq!(n.count, 3);
+        assert_eq!(n.mbr, Rect::from_coords(0.0, 0.0, 3.0, 3.0));
+        assert!(!n.is_leaf());
+    }
+
+    #[test]
+    fn refresh_recomputes() {
+        let mut n = Node::leaf(vec![SpatialObject::point(1, 0.0, 0.0)]);
+        if let NodeKind::Leaf(es) = &mut n.kind {
+            es.push(SpatialObject::point(2, 5.0, 5.0));
+        }
+        n.refresh();
+        assert_eq!(n.count, 2);
+        assert_eq!(n.mbr.max.x, 5.0);
+    }
+}

@@ -1,0 +1,559 @@
+//! The R-tree proper: insertion with quadratic split, and the query set the
+//! spatial servers expose.
+
+use crate::bulk;
+use crate::node::{mbr_of_nodes, mbr_of_objects, Node, NodeKind};
+use asj_geom::{Rect, SpatialObject};
+
+/// Default maximum node fanout. 16 keeps trees shallow at the paper's
+/// cardinalities (1 K–35 K objects) while exercising multi-level splits.
+pub const DEFAULT_MAX_ENTRIES: usize = 16;
+
+/// An aggregate R-tree over [`SpatialObject`]s.
+///
+/// See the crate docs for the feature set. `max_entries` is the Guttman `M`;
+/// `min_entries` is fixed at `M / 2 ... actually ⌈40 % · M⌉`, the classic
+/// sweet spot.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    root: Option<Node>,
+    max_entries: usize,
+    min_entries: usize,
+    len: usize,
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        RTree::new(DEFAULT_MAX_ENTRIES)
+    }
+}
+
+impl RTree {
+    /// The library-wide default fanout ([`DEFAULT_MAX_ENTRIES`]).
+    pub fn default_max_entries() -> usize {
+        DEFAULT_MAX_ENTRIES
+    }
+
+    /// Creates an empty tree with the given maximum fanout (`≥ 4`).
+    pub fn new(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "max_entries must be at least 4");
+        RTree {
+            root: None,
+            max_entries,
+            min_entries: (max_entries * 2).div_ceil(5).max(2),
+            len: 0,
+        }
+    }
+
+    /// Bulk loads with Sort-Tile-Recursive packing — O(n log n), produces a
+    /// tree with near-100 % node utilization.
+    pub fn bulk_load(objects: Vec<SpatialObject>, max_entries: usize) -> Self {
+        let mut t = RTree::new(max_entries);
+        t.len = objects.len();
+        t.root = bulk::build(objects, max_entries);
+        t
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height: 0 for empty, 1 for a single leaf root.
+    pub fn height(&self) -> usize {
+        let mut h = 0;
+        let mut node = self.root.as_ref();
+        while let Some(n) = node {
+            h += 1;
+            node = match &n.kind {
+                NodeKind::Internal(cs) => cs.first(),
+                NodeKind::Leaf(_) => None,
+            };
+        }
+        h
+    }
+
+    /// MBR of the whole dataset, if any.
+    pub fn root_mbr(&self) -> Option<Rect> {
+        self.root.as_ref().map(|r| r.mbr)
+    }
+
+    /// Inserts one object (Guttman: least-enlargement descent, quadratic
+    /// split on overflow, root split grows the tree).
+    pub fn insert(&mut self, obj: SpatialObject) {
+        self.len += 1;
+        match self.root.take() {
+            None => self.root = Some(Node::leaf(vec![obj])),
+            Some(mut root) => {
+                if let Some(sibling) = self.insert_rec(&mut root, obj) {
+                    self.root = Some(Node::internal(vec![root, sibling]));
+                } else {
+                    self.root = Some(root);
+                }
+            }
+        }
+    }
+
+    fn insert_rec(&self, node: &mut Node, obj: SpatialObject) -> Option<Node> {
+        match &mut node.kind {
+            NodeKind::Leaf(entries) => {
+                entries.push(obj);
+                if entries.len() > self.max_entries {
+                    let spilled = std::mem::take(entries);
+                    let (a, b) = quadratic_split(spilled, |o| o.mbr, self.min_entries);
+                    *node = Node::leaf(a);
+                    Some(Node::leaf(b))
+                } else {
+                    node.refresh();
+                    None
+                }
+            }
+            NodeKind::Internal(children) => {
+                let idx = choose_subtree(children, &obj.mbr);
+                let split = self.insert_rec(&mut children[idx], obj);
+                if let Some(sibling) = split {
+                    children.push(sibling);
+                    if children.len() > self.max_entries {
+                        let spilled = std::mem::take(children);
+                        let (a, b) = quadratic_split(spilled, |n| n.mbr, self.min_entries);
+                        *node = Node::internal(a);
+                        return Some(Node::internal(b));
+                    }
+                }
+                node.refresh();
+                None
+            }
+        }
+    }
+
+    /// `WINDOW(w)`: all objects whose MBR intersects `w`.
+    pub fn window(&self, w: &Rect) -> Vec<SpatialObject> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            window_rec(root, w, &mut out);
+        }
+        out
+    }
+
+    /// `COUNT(w)`: number of objects intersecting `w`. Uses the aggregate
+    /// counts: subtrees fully inside `w` contribute without being visited.
+    pub fn count(&self, w: &Rect) -> u64 {
+        match &self.root {
+            Some(root) => count_rec(root, w),
+            None => 0,
+        }
+    }
+
+    /// `ε-RANGE(q, ε)`: objects within Euclidean distance `eps` of the
+    /// rectangle `q` (a degenerate `q` gives the paper's point form).
+    pub fn eps_range(&self, q: &Rect, eps: f64) -> Vec<SpatialObject> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            range_rec(root, q, eps, &mut out);
+        }
+        out
+    }
+
+    /// Count-only variant of [`RTree::eps_range`].
+    pub fn eps_range_count(&self, q: &Rect, eps: f64) -> u64 {
+        match &self.root {
+            Some(root) => range_count_rec(root, q, eps),
+            None => 0,
+        }
+    }
+
+    /// The MBRs of all nodes `levels_above_leaves` levels above the leaf
+    /// level (0 = the leaf nodes themselves). The SemiJoin baseline ships
+    /// level 0 — the paper's "second to last level of the R-tree".
+    ///
+    /// Returns an empty vector when the tree is shorter than requested.
+    pub fn level_mbrs(&self, levels_above_leaves: usize) -> Vec<Rect> {
+        let h = self.height();
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            if levels_above_leaves < h {
+                // Depth (from root) of the wanted level: leaves are depth
+                // h-1; we want depth h-1-levels_above_leaves.
+                let want = h - 1 - levels_above_leaves;
+                collect_level(root, 0, want, &mut out);
+            }
+        }
+        out
+    }
+
+    /// All stored objects, in tree order.
+    pub fn objects(&self) -> Vec<SpatialObject> {
+        let everything = self
+            .root_mbr()
+            .map(|m| m.expand(1.0))
+            .unwrap_or_else(|| Rect::from_coords(0.0, 0.0, 0.0, 0.0));
+        self.window(&everything)
+    }
+
+    /// Validates structural invariants (MBR containment, aggregate counts,
+    /// fanout bounds); test / debug aid. Returns the number of nodes.
+    pub fn check_invariants(&self) -> usize {
+        match &self.root {
+            None => 0,
+            Some(root) => {
+                let (nodes, count) = check_rec(root, self.max_entries, true);
+                assert_eq!(
+                    count, self.len as u64,
+                    "aggregate count diverges from len()"
+                );
+                nodes
+            }
+        }
+    }
+}
+
+fn choose_subtree(children: &[Node], mbr: &Rect) -> usize {
+    // Least enlargement, ties by smallest area — Guttman's ChooseLeaf.
+    let mut best = 0usize;
+    let mut best_enl = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for (i, c) in children.iter().enumerate() {
+        let enl = c.mbr.enlargement(mbr);
+        let area = c.mbr.area();
+        if enl < best_enl || (enl == best_enl && area < best_area) {
+            best = i;
+            best_enl = enl;
+            best_area = area;
+        }
+    }
+    best
+}
+
+/// Guttman's quadratic split over any entry type with an MBR accessor.
+fn quadratic_split<T, F: Fn(&T) -> Rect>(
+    entries: Vec<T>,
+    mbr_of: F,
+    min_entries: usize,
+) -> (Vec<T>, Vec<T>) {
+    debug_assert!(entries.len() >= 2);
+    // Pick seeds: the pair wasting the most area when paired.
+    let mut seed_a = 0;
+    let mut seed_b = 1;
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let mi = mbr_of(&entries[i]);
+            let mj = mbr_of(&entries[j]);
+            let waste = mi.union(&mj).area() - mi.area() - mj.area();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    let mut group_a: Vec<T> = Vec::new();
+    let mut group_b: Vec<T> = Vec::new();
+    let mut mbr_a: Option<Rect> = None;
+    let mut mbr_b: Option<Rect> = None;
+    let mut rest: Vec<T> = Vec::new();
+    for (i, e) in entries.into_iter().enumerate() {
+        if i == seed_a {
+            mbr_a = Some(mbr_of(&e));
+            group_a.push(e);
+        } else if i == seed_b {
+            mbr_b = Some(mbr_of(&e));
+            group_b.push(e);
+        } else {
+            rest.push(e);
+        }
+    }
+    let mut mbr_a = mbr_a.expect("seed a");
+    let mut mbr_b = mbr_b.expect("seed b");
+
+    // Assign the rest by least enlargement, forcing assignment when a group
+    // must absorb everything left to reach the minimum.
+    while let Some(e) = rest.pop() {
+        let remaining = rest.len();
+        if group_a.len() + remaining < min_entries {
+            mbr_a = mbr_a.union(&mbr_of(&e));
+            group_a.push(e);
+            continue;
+        }
+        if group_b.len() + remaining < min_entries {
+            mbr_b = mbr_b.union(&mbr_of(&e));
+            group_b.push(e);
+            continue;
+        }
+        let m = mbr_of(&e);
+        let enl_a = mbr_a.enlargement(&m);
+        let enl_b = mbr_b.enlargement(&m);
+        if enl_a < enl_b || (enl_a == enl_b && mbr_a.area() <= mbr_b.area()) {
+            mbr_a = mbr_a.union(&m);
+            group_a.push(e);
+        } else {
+            mbr_b = mbr_b.union(&m);
+            group_b.push(e);
+        }
+    }
+    (group_a, group_b)
+}
+
+fn window_rec(node: &Node, w: &Rect, out: &mut Vec<SpatialObject>) {
+    if !node.mbr.intersects(w) {
+        return;
+    }
+    match &node.kind {
+        NodeKind::Leaf(es) => out.extend(es.iter().filter(|o| o.mbr.intersects(w)).copied()),
+        NodeKind::Internal(cs) => cs.iter().for_each(|c| window_rec(c, w, out)),
+    }
+}
+
+fn count_rec(node: &Node, w: &Rect) -> u64 {
+    if !node.mbr.intersects(w) {
+        return 0;
+    }
+    if w.contains_rect(&node.mbr) {
+        return node.count; // aR-tree shortcut: whole subtree qualifies.
+    }
+    match &node.kind {
+        NodeKind::Leaf(es) => es.iter().filter(|o| o.mbr.intersects(w)).count() as u64,
+        NodeKind::Internal(cs) => cs.iter().map(|c| count_rec(c, w)).sum(),
+    }
+}
+
+fn range_rec(node: &Node, q: &Rect, eps: f64, out: &mut Vec<SpatialObject>) {
+    if node.mbr.min_dist(q) > eps {
+        return;
+    }
+    match &node.kind {
+        NodeKind::Leaf(es) => {
+            out.extend(es.iter().filter(|o| o.mbr.within_distance(q, eps)).copied())
+        }
+        NodeKind::Internal(cs) => cs.iter().for_each(|c| range_rec(c, q, eps, out)),
+    }
+}
+
+fn range_count_rec(node: &Node, q: &Rect, eps: f64) -> u64 {
+    if node.mbr.min_dist(q) > eps {
+        return 0;
+    }
+    match &node.kind {
+        NodeKind::Leaf(es) => es.iter().filter(|o| o.mbr.within_distance(q, eps)).count() as u64,
+        NodeKind::Internal(cs) => cs.iter().map(|c| range_count_rec(c, q, eps)).sum(),
+    }
+}
+
+fn collect_level(node: &Node, depth: usize, want: usize, out: &mut Vec<Rect>) {
+    if depth == want {
+        out.push(node.mbr);
+        return;
+    }
+    if let NodeKind::Internal(cs) = &node.kind {
+        for c in cs {
+            collect_level(c, depth + 1, want, out);
+        }
+    }
+}
+
+fn check_rec(node: &Node, max_entries: usize, is_root: bool) -> (usize, u64) {
+    assert!(
+        node.fanout() <= max_entries,
+        "node overflow: {} > {max_entries}",
+        node.fanout()
+    );
+    if !is_root {
+        assert!(node.fanout() >= 1, "empty non-root node");
+    }
+    match &node.kind {
+        NodeKind::Leaf(es) => {
+            assert_eq!(node.count, es.len() as u64, "leaf count mismatch");
+            assert_eq!(node.mbr, mbr_of_objects(es), "leaf mbr stale");
+            (1, node.count)
+        }
+        NodeKind::Internal(cs) => {
+            assert_eq!(node.mbr, mbr_of_nodes(cs), "internal mbr stale");
+            let mut nodes = 1;
+            let mut count = 0;
+            for c in cs {
+                assert!(node.mbr.contains_rect(&c.mbr), "child escapes parent mbr");
+                let (n, cnt) = check_rec(c, max_entries, false);
+                nodes += n;
+                count += cnt;
+            }
+            assert_eq!(node.count, count, "internal aggregate mismatch");
+            (nodes, count)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic LCG so the tests need no rand dependency here.
+    fn lcg_points(n: usize, seed: u64) -> Vec<SpatialObject> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        (0..n)
+            .map(|i| SpatialObject::point(i as u32, next() * 1000.0, next() * 1000.0))
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t = RTree::default();
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.count(&Rect::from_coords(0.0, 0.0, 1.0, 1.0)), 0);
+        assert!(t.window(&Rect::from_coords(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(t.level_mbrs(0).is_empty());
+        assert_eq!(t.check_invariants(), 0);
+    }
+
+    #[test]
+    fn insert_then_query_small() {
+        let mut t = RTree::new(4);
+        for o in lcg_points(3, 1) {
+            t.insert(o);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.height(), 1);
+        let all = t.window(&Rect::from_coords(-1.0, -1.0, 1001.0, 1001.0));
+        assert_eq!(all.len(), 3);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn insert_splits_grow_tree() {
+        let mut t = RTree::new(4);
+        for o in lcg_points(500, 2) {
+            t.insert(o);
+        }
+        assert_eq!(t.len(), 500);
+        assert!(t.height() >= 3, "expected multi-level tree, h={}", t.height());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn window_matches_linear_scan() {
+        let pts = lcg_points(800, 3);
+        let mut t = RTree::new(8);
+        for &o in &pts {
+            t.insert(o);
+        }
+        for w in [
+            Rect::from_coords(0.0, 0.0, 100.0, 100.0),
+            Rect::from_coords(250.0, 250.0, 750.0, 600.0),
+            Rect::from_coords(990.0, 990.0, 1000.0, 1000.0),
+            Rect::from_coords(-50.0, -50.0, -1.0, -1.0),
+        ] {
+            let mut got: Vec<u32> = t.window(&w).iter().map(|o| o.id).collect();
+            let mut want: Vec<u32> = pts
+                .iter()
+                .filter(|o| o.mbr.intersects(&w))
+                .map(|o| o.id)
+                .collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want);
+            assert_eq!(t.count(&w), want.len() as u64);
+        }
+    }
+
+    #[test]
+    fn eps_range_matches_linear_scan() {
+        let pts = lcg_points(600, 4);
+        let t = RTree::bulk_load(pts.clone(), 8);
+        let q = Rect::point(asj_geom::Point::new(500.0, 500.0));
+        for eps in [0.0, 10.0, 120.0, 2000.0] {
+            let mut got: Vec<u32> = t.eps_range(&q, eps).iter().map(|o| o.id).collect();
+            let mut want: Vec<u32> = pts
+                .iter()
+                .filter(|o| o.mbr.within_distance(&q, eps))
+                .map(|o| o.id)
+                .collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "eps={eps}");
+            assert_eq!(t.eps_range_count(&q, eps), want.len() as u64);
+        }
+    }
+
+    #[test]
+    fn bulk_load_equivalent_to_inserts() {
+        let pts = lcg_points(1000, 5);
+        let bulk = RTree::bulk_load(pts.clone(), 16);
+        let mut inc = RTree::new(16);
+        for &o in &pts {
+            inc.insert(o);
+        }
+        bulk.check_invariants();
+        inc.check_invariants();
+        let w = Rect::from_coords(100.0, 100.0, 400.0, 900.0);
+        assert_eq!(bulk.count(&w), inc.count(&w));
+        assert_eq!(bulk.len(), inc.len());
+        // Bulk-loaded trees are well packed: height near log_M(n).
+        assert!(bulk.height() <= inc.height());
+    }
+
+    #[test]
+    fn level_mbrs_cover_dataset() {
+        let pts = lcg_points(2000, 6);
+        let t = RTree::bulk_load(pts.clone(), 16);
+        let h = t.height();
+        assert!(h >= 3);
+        // Leaf-level MBRs (the SemiJoin payload) jointly cover every object.
+        let leaf_mbrs = t.level_mbrs(0);
+        assert!(!leaf_mbrs.is_empty());
+        for o in &pts {
+            assert!(
+                leaf_mbrs.iter().any(|m| m.contains_rect(&o.mbr)),
+                "object {} not covered",
+                o.id
+            );
+        }
+        // Root level has exactly one MBR.
+        assert_eq!(t.level_mbrs(h - 1).len(), 1);
+        // Too-high level: empty.
+        assert!(t.level_mbrs(h).is_empty());
+        // Levels shrink going up.
+        assert!(t.level_mbrs(0).len() >= t.level_mbrs(1).len());
+    }
+
+    #[test]
+    fn objects_roundtrip() {
+        let pts = lcg_points(123, 7);
+        let t = RTree::bulk_load(pts.clone(), 8);
+        let mut got: Vec<u32> = t.objects().iter().map(|o| o.id).collect();
+        got.sort_unstable();
+        let want: Vec<u32> = (0..123).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn duplicate_positions_are_kept() {
+        let mut t = RTree::new(4);
+        for i in 0..50 {
+            t.insert(SpatialObject::point(i, 5.0, 5.0));
+        }
+        assert_eq!(t.count(&Rect::from_coords(0.0, 0.0, 10.0, 10.0)), 50);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn count_uses_closed_window_semantics() {
+        let mut t = RTree::new(4);
+        t.insert(SpatialObject::point(1, 10.0, 10.0));
+        // Point on the window edge counts (closed semantics).
+        assert_eq!(t.count(&Rect::from_coords(0.0, 0.0, 10.0, 10.0)), 1);
+        assert_eq!(t.count(&Rect::from_coords(10.0, 10.0, 20.0, 20.0)), 1);
+        assert_eq!(t.count(&Rect::from_coords(10.1, 10.1, 20.0, 20.0)), 0);
+    }
+}

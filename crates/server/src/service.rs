@@ -1,0 +1,265 @@
+//! The request handler a server exposes over the network.
+
+use std::sync::Arc;
+
+use asj_geom::{plane_sweep_join, JoinPredicate, Rect, SpatialObject};
+use asj_net::{QueryHandler, Request, Response};
+
+use crate::store::SpatialStore;
+
+/// Cooperation policy (paper, Sections 1 and 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServicePolicy {
+    /// The realistic default: only the primitive query set is answered;
+    /// cooperative requests get [`Response::Refused`].
+    #[default]
+    NonCooperative,
+    /// Enables the SemiJoin baseline's extension (level MBRs, semi-join
+    /// filter, server-side final join). Used only for Figure 8(b).
+    Cooperative,
+}
+
+/// Threshold above which bucket ε-RANGE probes are fanned out across
+/// scoped threads. Below it, the spawn overhead exceeds the win.
+const PARALLEL_BUCKET_THRESHOLD: usize = 512;
+
+/// A spatial service: one dataset, one store, one policy.
+///
+/// `handle` is `&self` and the store is immutable, so one service instance
+/// can serve any number of connections concurrently; the channel server in
+/// `asj-net` relies on that.
+pub struct SpatialService<S: SpatialStore> {
+    store: Arc<S>,
+    policy: ServicePolicy,
+    /// Worker threads used for large bucket queries.
+    bucket_workers: usize,
+}
+
+impl<S: SpatialStore> SpatialService<S> {
+    /// Non-cooperative service over `store`.
+    pub fn new(store: S) -> Self {
+        SpatialService {
+            store: Arc::new(store),
+            policy: ServicePolicy::NonCooperative,
+            bucket_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Sets the cooperation policy.
+    pub fn with_policy(mut self, policy: ServicePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the bucket-query worker count (tests / benches).
+    pub fn with_bucket_workers(mut self, workers: usize) -> Self {
+        self.bucket_workers = workers.max(1);
+        self
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<S> {
+        &self.store
+    }
+
+    fn bucket_eps_range(&self, probes: &[SpatialObject], eps: f64) -> Vec<Vec<SpatialObject>> {
+        if probes.len() < PARALLEL_BUCKET_THRESHOLD || self.bucket_workers == 1 {
+            return probes
+                .iter()
+                .map(|p| self.store.eps_range(&p.mbr, eps))
+                .collect();
+        }
+        // Fan the probes across scoped threads in contiguous chunks; probe
+        // order (and thus the response framing) is preserved by
+        // reassembling in chunk order.
+        let chunk = probes.len().div_ceil(self.bucket_workers);
+        let mut results: Vec<Vec<Vec<SpatialObject>>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = probes
+                .chunks(chunk)
+                .map(|part| {
+                    let store = Arc::clone(&self.store);
+                    scope.spawn(move |_| {
+                        part.iter()
+                            .map(|p| store.eps_range(&p.mbr, eps))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("bucket worker panicked"));
+            }
+        })
+        .expect("bucket scope panicked");
+        results.into_iter().flatten().collect()
+    }
+}
+
+impl<S: SpatialStore> QueryHandler for SpatialService<S> {
+    fn handle(&self, req: Request) -> Response {
+        if req.is_cooperative() && self.policy == ServicePolicy::NonCooperative {
+            return Response::Refused;
+        }
+        match req {
+            Request::Window(w) => Response::Objects(self.store.window(&w)),
+            Request::Count(w) => Response::Count(self.store.count(&w)),
+            Request::EpsRange { q, eps } => Response::Objects(self.store.eps_range(&q, eps)),
+            Request::BucketEpsRange { probes, eps } => {
+                Response::Buckets(self.bucket_eps_range(&probes, eps))
+            }
+            Request::AvgArea(w) => Response::Area(self.store.avg_area(&w)),
+            Request::CoopLevelMbrs(level) => match self.store.level_mbrs(level as usize) {
+                Some(mbrs) => Response::Rects(mbrs),
+                None => Response::Refused,
+            },
+            Request::CoopFilterByMbrs { mbrs, eps } => {
+                // Objects within eps of ANY of the shipped MBRs, each once.
+                let mut seen = std::collections::HashSet::new();
+                let mut out = Vec::new();
+                for m in &mbrs {
+                    for o in self.store.eps_range(m, eps) {
+                        if seen.insert(o.id) {
+                            out.push(o);
+                        }
+                    }
+                }
+                Response::Objects(out)
+            }
+            Request::CoopJoinPush { objects, eps } => {
+                // Final join at the server: pushed (outer) × local (inner).
+                let bounds = match Rect::union_of(objects.iter().map(|o| o.mbr)) {
+                    Some(b) => b.expand(eps),
+                    None => return Response::Pairs(Vec::new()),
+                };
+                let local = self.store.window(&bounds);
+                let pred = if eps > 0.0 {
+                    JoinPredicate::WithinDistance(eps)
+                } else {
+                    JoinPredicate::Intersects
+                };
+                Response::Pairs(plane_sweep_join(&objects, &local, &pred))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{RTreeStore, ScanStore};
+
+    fn lattice(n: u32) -> Vec<SpatialObject> {
+        (0..n * n)
+            .map(|i| SpatialObject::point(i, (i % n) as f64, (i / n) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn primitive_queries_served() {
+        let svc = SpatialService::new(ScanStore::new(lattice(10)));
+        let w = Rect::from_coords(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(svc.handle(Request::Count(w)).into_count(), 9);
+        assert_eq!(svc.handle(Request::Window(w)).into_objects().len(), 9);
+        let objs = svc
+            .handle(Request::EpsRange {
+                q: Rect::point(asj_geom::Point::new(5.0, 5.0)),
+                eps: 1.0,
+            })
+            .into_objects();
+        assert_eq!(objs.len(), 5); // center + 4 axis neighbours
+    }
+
+    #[test]
+    fn cooperative_refused_by_default() {
+        let svc = SpatialService::new(RTreeStore::new(lattice(10)));
+        assert_eq!(svc.handle(Request::CoopLevelMbrs(0)), Response::Refused);
+        assert_eq!(
+            svc.handle(Request::CoopJoinPush { objects: vec![], eps: 1.0 }),
+            Response::Refused
+        );
+    }
+
+    #[test]
+    fn cooperative_served_when_enabled() {
+        let svc = SpatialService::new(RTreeStore::new(lattice(10)))
+            .with_policy(ServicePolicy::Cooperative);
+        let mbrs = svc.handle(Request::CoopLevelMbrs(0)).into_rects();
+        assert!(!mbrs.is_empty());
+        let pairs = svc
+            .handle(Request::CoopJoinPush {
+                objects: vec![SpatialObject::point(500, 0.0, 0.0)],
+                eps: 1.0,
+            })
+            .into_pairs();
+        // (0,0) point joins lattice points (0,0), (1,0), (0,1).
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.iter().all(|&(outer, _)| outer == 500));
+    }
+
+    #[test]
+    fn coop_level_mbrs_refused_without_hierarchy() {
+        let svc = SpatialService::new(ScanStore::new(lattice(4)))
+            .with_policy(ServicePolicy::Cooperative);
+        assert_eq!(svc.handle(Request::CoopLevelMbrs(0)), Response::Refused);
+    }
+
+    #[test]
+    fn coop_filter_dedups_objects() {
+        let svc = SpatialService::new(ScanStore::new(lattice(10)))
+            .with_policy(ServicePolicy::Cooperative);
+        // Two overlapping MBRs both covering the origin corner.
+        let objs = svc
+            .handle(Request::CoopFilterByMbrs {
+                mbrs: vec![
+                    Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+                    Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+                ],
+                eps: 0.0,
+            })
+            .into_objects();
+        let mut ids: Vec<u32> = objs.iter().map(|o| o.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), objs.len(), "duplicates leaked");
+        assert_eq!(objs.len(), 4);
+    }
+
+    #[test]
+    fn bucket_parallel_matches_sequential() {
+        let store = RTreeStore::new(lattice(40)); // 1600 points
+        let probes: Vec<SpatialObject> = lattice(40)
+            .into_iter()
+            .step_by(2)
+            .take(PARALLEL_BUCKET_THRESHOLD + 100)
+            .collect();
+
+        let seq = SpatialService::new(RTreeStore::new(lattice(40))).with_bucket_workers(1);
+        let par = SpatialService::new(store).with_bucket_workers(4);
+        let a = seq
+            .handle(Request::BucketEpsRange { probes: probes.clone(), eps: 1.5 })
+            .into_buckets();
+        let b = par
+            .handle(Request::BucketEpsRange { probes, eps: 1.5 })
+            .into_buckets();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            let mut xi: Vec<u32> = x.iter().map(|o| o.id).collect();
+            let mut yi: Vec<u32> = y.iter().map(|o| o.id).collect();
+            xi.sort_unstable();
+            yi.sort_unstable();
+            assert_eq!(xi, yi);
+        }
+    }
+
+    #[test]
+    fn join_push_empty_outer() {
+        let svc = SpatialService::new(ScanStore::new(lattice(4)))
+            .with_policy(ServicePolicy::Cooperative);
+        let pairs = svc
+            .handle(Request::CoopJoinPush { objects: vec![], eps: 5.0 })
+            .into_pairs();
+        assert!(pairs.is_empty());
+    }
+}

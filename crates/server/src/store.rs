@@ -1,0 +1,237 @@
+//! Storage backends for a spatial service.
+
+use asj_geom::{Rect, SpatialObject};
+use asj_rtree::RTree;
+
+/// What a server's storage layer must answer. All methods are read-only;
+/// services share a store across threads (`Sync`).
+pub trait SpatialStore: Send + Sync {
+    /// Objects intersecting `w`.
+    fn window(&self, w: &Rect) -> Vec<SpatialObject>;
+    /// Number of objects intersecting `w`.
+    fn count(&self, w: &Rect) -> u64;
+    /// Objects within `eps` of `q`.
+    fn eps_range(&self, q: &Rect, eps: f64) -> Vec<SpatialObject>;
+    /// Average MBR area among objects intersecting `w` (0.0 when none).
+    fn avg_area(&self, w: &Rect) -> f64;
+    /// MBRs of one index level (`levels_above_leaves`), if the backend is
+    /// hierarchical; `None` otherwise. Cooperative extension only.
+    fn level_mbrs(&self, levels_above_leaves: usize) -> Option<Vec<Rect>>;
+    /// Total number of stored objects.
+    fn len(&self) -> usize;
+    /// `true` when the store holds nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// MBR of the entire dataset.
+    fn bounds(&self) -> Option<Rect>;
+}
+
+/// Linear-scan backend: O(n) everything. The reference implementation the
+/// property tests compare the R-tree against, and a fine choice for tiny
+/// datasets.
+#[derive(Debug, Clone, Default)]
+pub struct ScanStore {
+    objects: Vec<SpatialObject>,
+}
+
+impl ScanStore {
+    pub fn new(objects: Vec<SpatialObject>) -> Self {
+        ScanStore { objects }
+    }
+
+    /// Borrow the raw objects (test helper).
+    pub fn objects(&self) -> &[SpatialObject] {
+        &self.objects
+    }
+}
+
+impl SpatialStore for ScanStore {
+    fn window(&self, w: &Rect) -> Vec<SpatialObject> {
+        self.objects
+            .iter()
+            .filter(|o| o.mbr.intersects(w))
+            .copied()
+            .collect()
+    }
+
+    fn count(&self, w: &Rect) -> u64 {
+        self.objects.iter().filter(|o| o.mbr.intersects(w)).count() as u64
+    }
+
+    fn eps_range(&self, q: &Rect, eps: f64) -> Vec<SpatialObject> {
+        self.objects
+            .iter()
+            .filter(|o| o.mbr.within_distance(q, eps))
+            .copied()
+            .collect()
+    }
+
+    fn avg_area(&self, w: &Rect) -> f64 {
+        let mut n = 0u64;
+        let mut sum = 0.0;
+        for o in &self.objects {
+            if o.mbr.intersects(w) {
+                n += 1;
+                sum += o.mbr.area();
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    fn level_mbrs(&self, _levels_above_leaves: usize) -> Option<Vec<Rect>> {
+        None // no hierarchy to publish
+    }
+
+    fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn bounds(&self) -> Option<Rect> {
+        Rect::union_of(self.objects.iter().map(|o| o.mbr))
+    }
+}
+
+/// aR-tree backend — the production store. `COUNT` queries are answered
+/// from aggregate node counts without touching qualifying subtrees.
+#[derive(Debug, Clone)]
+pub struct RTreeStore {
+    tree: RTree,
+}
+
+impl RTreeStore {
+    /// Bulk-loads the dataset (STR) with the default fanout.
+    pub fn new(objects: Vec<SpatialObject>) -> Self {
+        RTreeStore {
+            tree: RTree::bulk_load(objects, asj_rtree::RTree::default_max_entries()),
+        }
+    }
+
+    /// Bulk-loads with an explicit fanout.
+    pub fn with_fanout(objects: Vec<SpatialObject>, max_entries: usize) -> Self {
+        RTreeStore {
+            tree: RTree::bulk_load(objects, max_entries),
+        }
+    }
+
+    /// The underlying tree (used by benches).
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+}
+
+impl SpatialStore for RTreeStore {
+    fn window(&self, w: &Rect) -> Vec<SpatialObject> {
+        self.tree.window(w)
+    }
+
+    fn count(&self, w: &Rect) -> u64 {
+        self.tree.count(w)
+    }
+
+    fn eps_range(&self, q: &Rect, eps: f64) -> Vec<SpatialObject> {
+        self.tree.eps_range(q, eps)
+    }
+
+    fn avg_area(&self, w: &Rect) -> f64 {
+        let objs = self.tree.window(w);
+        if objs.is_empty() {
+            0.0
+        } else {
+            objs.iter().map(|o| o.mbr.area()).sum::<f64>() / objs.len() as f64
+        }
+    }
+
+    fn level_mbrs(&self, levels_above_leaves: usize) -> Option<Vec<Rect>> {
+        Some(self.tree.level_mbrs(levels_above_leaves))
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn bounds(&self) -> Option<Rect> {
+        self.tree.root_mbr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asj_geom::Point;
+
+    fn dataset() -> Vec<SpatialObject> {
+        // 10×10 lattice of points at integer coordinates.
+        (0..100)
+            .map(|i| SpatialObject::point(i, (i % 10) as f64, (i / 10) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn scan_and_rtree_agree() {
+        let scan = ScanStore::new(dataset());
+        let tree = RTreeStore::with_fanout(dataset(), 4);
+        for w in [
+            Rect::from_coords(0.0, 0.0, 3.0, 3.0),
+            Rect::from_coords(2.5, 2.5, 7.5, 4.5),
+            Rect::from_coords(20.0, 20.0, 30.0, 30.0),
+        ] {
+            assert_eq!(scan.count(&w), tree.count(&w));
+            let mut a: Vec<u32> = scan.window(&w).iter().map(|o| o.id).collect();
+            let mut b: Vec<u32> = tree.window(&w).iter().map(|o| o.id).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+        let q = Rect::point(Point::new(5.0, 5.0));
+        for eps in [0.0, 1.0, 2.5] {
+            assert_eq!(
+                scan.eps_range(&q, eps).len(),
+                tree.eps_range(&q, eps).len(),
+                "eps={eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn avg_area_of_points_is_zero() {
+        let s = ScanStore::new(dataset());
+        assert_eq!(s.avg_area(&Rect::from_coords(0.0, 0.0, 9.0, 9.0)), 0.0);
+    }
+
+    #[test]
+    fn avg_area_of_rect_objects() {
+        let objs = vec![
+            SpatialObject::new(1, Rect::from_coords(0.0, 0.0, 2.0, 2.0)), // area 4
+            SpatialObject::new(2, Rect::from_coords(0.0, 0.0, 1.0, 2.0)), // area 2
+        ];
+        let s = ScanStore::new(objs.clone());
+        let t = RTreeStore::new(objs);
+        let w = Rect::from_coords(-1.0, -1.0, 3.0, 3.0);
+        assert_eq!(s.avg_area(&w), 3.0);
+        assert_eq!(t.avg_area(&w), 3.0);
+        // Empty window → 0.
+        assert_eq!(s.avg_area(&Rect::from_coords(50.0, 50.0, 60.0, 60.0)), 0.0);
+    }
+
+    #[test]
+    fn level_mbrs_only_from_hierarchical_store() {
+        let scan = ScanStore::new(dataset());
+        assert!(scan.level_mbrs(0).is_none());
+        let tree = RTreeStore::with_fanout(dataset(), 4);
+        let leaves = tree.level_mbrs(0).unwrap();
+        assert!(!leaves.is_empty());
+    }
+
+    #[test]
+    fn bounds() {
+        let s = ScanStore::new(dataset());
+        assert_eq!(s.bounds(), Some(Rect::from_coords(0.0, 0.0, 9.0, 9.0)));
+        assert_eq!(ScanStore::default().bounds(), None);
+        assert!(ScanStore::default().is_empty());
+    }
+}

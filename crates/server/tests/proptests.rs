@@ -1,0 +1,107 @@
+//! Differential property tests: the three storage backends (linear scan,
+//! aR-tree, grid file) must be observationally identical through the full
+//! service protocol.
+
+use asj_geom::{Point, Rect, SpatialObject};
+use asj_net::{QueryHandler, Request, Response};
+use asj_server::{GridStore, RTreeStore, ScanStore, SpatialService};
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    (0i32..=2000).prop_map(|v| v as f64 * 0.5)
+}
+
+fn dataset(max: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
+    prop::collection::vec((coord(), coord(), 0.0f64..40.0, 0.0f64..40.0), 0..max).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y, w, h))| {
+                    SpatialObject::new(i as u32, Rect::from_coords(x, y, x + w, y + h))
+                })
+                .collect()
+        },
+    )
+}
+
+fn norm(resp: Response) -> Vec<u32> {
+    let mut ids: Vec<u32> = resp.into_objects().iter().map(|o| o.id).collect();
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn backends_agree_through_the_protocol(
+        data in dataset(120),
+        w in (coord(), coord(), coord(), coord()),
+        q in (coord(), coord()),
+        eps in 0.0f64..400.0,
+    ) {
+        let window = Rect::new(Point::new(w.0, w.1), Point::new(w.2, w.3));
+        let probe = Rect::point(Point::new(q.0, q.1));
+
+        let scan = SpatialService::new(ScanStore::new(data.clone()));
+        let tree = SpatialService::new(RTreeStore::with_fanout(data.clone(), 5));
+        let grid = SpatialService::new(GridStore::with_resolution(data, 6));
+
+        // WINDOW
+        let a = norm(scan.handle(Request::Window(window)));
+        prop_assert_eq!(&a, &norm(tree.handle(Request::Window(window))));
+        prop_assert_eq!(&a, &norm(grid.handle(Request::Window(window))));
+
+        // COUNT
+        let c = scan.handle(Request::Count(window)).into_count();
+        prop_assert_eq!(c, tree.handle(Request::Count(window)).into_count());
+        prop_assert_eq!(c, grid.handle(Request::Count(window)).into_count());
+        prop_assert_eq!(c, a.len() as u64, "COUNT must equal WINDOW cardinality");
+
+        // ε-RANGE
+        let r = norm(scan.handle(Request::EpsRange { q: probe, eps }));
+        prop_assert_eq!(&r, &norm(tree.handle(Request::EpsRange { q: probe, eps })));
+        prop_assert_eq!(&r, &norm(grid.handle(Request::EpsRange { q: probe, eps })));
+
+        // AvgArea
+        let area = |resp: Response| match resp {
+            Response::Area(a) => a,
+            other => panic!("expected Area, got {other:?}"),
+        };
+        let av = area(scan.handle(Request::AvgArea(window)));
+        prop_assert!((av - area(tree.handle(Request::AvgArea(window)))).abs() < 1e-9);
+        prop_assert!((av - area(grid.handle(Request::AvgArea(window)))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_probes_agree_across_backends(
+        data in dataset(80),
+        probes in prop::collection::vec((coord(), coord()), 0..15),
+        eps in 0.0f64..200.0,
+    ) {
+        let probes: Vec<SpatialObject> = probes
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| SpatialObject::point(5000 + i as u32, x, y))
+            .collect();
+        let scan = SpatialService::new(ScanStore::new(data.clone()));
+        let grid = SpatialService::new(GridStore::new(data));
+        let norm_buckets = |r: Response| -> Vec<Vec<u32>> {
+            r.into_buckets()
+                .into_iter()
+                .map(|b| {
+                    let mut ids: Vec<u32> = b.iter().map(|o| o.id).collect();
+                    ids.sort_unstable();
+                    ids
+                })
+                .collect()
+        };
+        let a = norm_buckets(scan.handle(Request::BucketEpsRange {
+            probes: probes.clone(),
+            eps,
+        }));
+        let b = norm_buckets(grid.handle(Request::BucketEpsRange { probes, eps }));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,68 @@
+//! Dataset (de)serialization — JSON files for examples and EXPERIMENTS
+//! artifacts.
+
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+use asj_geom::{Rect, SpatialObject};
+use serde::{Deserialize, Serialize};
+
+/// A named dataset with its space, as stored on disk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    pub name: String,
+    pub space: Rect,
+    pub objects: Vec<SpatialObject>,
+}
+
+impl Dataset {
+    pub fn new(name: impl Into<String>, space: Rect, objects: Vec<SpatialObject>) -> Self {
+        Dataset {
+            name: name.into(),
+            space,
+            objects,
+        }
+    }
+}
+
+/// Saves a dataset as JSON.
+pub fn save_dataset(path: &Path, ds: &Dataset) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    serde_json::to_writer(BufWriter::new(file), ds)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Loads a dataset from JSON.
+pub fn load_dataset(path: &Path) -> std::io::Result<Dataset> {
+    let file = std::fs::File::open(path)?;
+    serde_json::from_reader(BufReader::new(file))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{gaussian_clusters, SyntheticSpec};
+
+    #[test]
+    fn roundtrip() {
+        let space = crate::default_space();
+        let ds = Dataset::new(
+            "test",
+            space,
+            gaussian_clusters(&SyntheticSpec::new(space, 50, 2), 9),
+        );
+        let dir = std::env::temp_dir().join("asj-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        save_dataset(&path, &ds).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(back, ds);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_dataset(Path::new("/nonexistent/nope.json")).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Network-economics explorer: how MTU and per-byte tariffs reshape the
+//! byte bill of a distributed spatial join.
+//!
+//! Sweeps the link MTU (Ethernet 1500 vs dial-up 576) and the tariff
+//! ratio between the two servers, reporting the measured wire bytes and
+//! tariff-weighted cost for SrJoin. Demonstrates the packetization model
+//! of Equation (1): small MTUs multiply header overhead, and query-heavy
+//! plans pay disproportionately.
+//!
+//! ```text
+//! cargo run --release --example tariff_explorer
+//! ```
+
+use adhoc_spatial_joins::prelude::*;
+use asj_core::DeploymentBuilder;
+use asj_net::PacketModel;
+
+fn main() {
+    let space = Rect::from_coords(0.0, 0.0, 10_000.0, 10_000.0);
+    let r = gaussian_clusters(&SyntheticSpec::new(space, 1000, 4), 3);
+    let s = gaussian_clusters(&SyntheticSpec::new(space, 1000, 4), 1003);
+    let spec = JoinSpec::distance_join(100.0);
+
+    println!("-- MTU sweep (tariffs 1:1) --------------------------------");
+    println!("{:>8} {:>12} {:>12} {:>10}", "MTU", "wire bytes", "packets", "queries");
+    for mtu in [1500u32, 1006, 576, 296] {
+        let net = NetConfig {
+            packet: PacketModel::new(mtu, 40),
+            ..NetConfig::default()
+        };
+        let dep = DeploymentBuilder::new(r.clone(), s.clone())
+            .with_space(space)
+            .with_net(net)
+            .build();
+        let rep = SrJoin::default().run(&dep, &spec).unwrap();
+        println!(
+            "{:>8} {:>12} {:>12} {:>10}",
+            mtu,
+            rep.total_bytes(),
+            rep.link_r.up_packets
+                + rep.link_r.down_packets
+                + rep.link_s.up_packets
+                + rep.link_s.down_packets,
+            rep.total_queries()
+        );
+    }
+
+    println!("\n-- tariff sweep (MTU 1500): bR = 1, bS varies -------------");
+    println!(
+        "{:>6} {:>12} {:>14} {:>16}",
+        "bS", "cost units", "bytes via S", "S share of bytes"
+    );
+    for ts in [0.5, 1.0, 2.0, 5.0, 10.0] {
+        let net = NetConfig {
+            tariff_s: ts,
+            ..NetConfig::default()
+        };
+        let dep = DeploymentBuilder::new(r.clone(), s.clone())
+            .with_space(space)
+            .with_net(net)
+            .build();
+        let rep = SrJoin::default().run(&dep, &spec).unwrap();
+        let s_bytes = rep.link_s.total_bytes();
+        println!(
+            "{:>6} {:>12.0} {:>14} {:>15.0}%",
+            ts,
+            rep.cost_units,
+            s_bytes,
+            100.0 * s_bytes as f64 / rep.total_bytes().max(1) as f64
+        );
+    }
+    println!(
+        "\nCost scales with the tariff while the byte split stays put: on this\n\
+         balanced workload HBSJ downloads are unavoidable on both links, so\n\
+         the optimizer has no cheaper plan shape to switch to — only NLSJ\n\
+         orientation (exercised when cardinalities are asymmetric) moves\n\
+         bytes between links."
+    );
+}

@@ -1,0 +1,64 @@
+//! # adhoc-spatial-joins
+//!
+//! Facade crate for the reproduction of *Ad-hoc Distributed Spatial Joins on
+//! Mobile Devices* (Kalnis, Mamoulis, Bakiras, Li — IPDPS 2006).
+//!
+//! A mobile device evaluates a spatial join between two datasets hosted on
+//! **non-cooperative** servers that only answer `WINDOW`, `COUNT` and
+//! `ε-RANGE` queries, minimizing *transferred bytes* under the device's
+//! memory constraint. This crate re-exports the whole system:
+//!
+//! * [`geom`] — geometry kernel (rectangles, grids, duplicate avoidance,
+//!   plane sweep);
+//! * [`rtree`] — from-scratch aggregate R-tree (server indexes, SemiJoin);
+//! * [`net`] — the simulated wireless link: MTU/TCP packet cost model,
+//!   wire codec, metered transports;
+//! * [`server`] — the two remote spatial services;
+//! * [`device`] — the PDA runtime: bounded buffer, HBSJ/NLSJ physical
+//!   operators;
+//! * [`core`] — the paper's contribution: the cost model and the MobiJoin,
+//!   **UpJoin**, **SrJoin** and SemiJoin algorithms;
+//! * [`workloads`] — Gaussian-cluster / uniform / synthetic-rail dataset
+//!   generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adhoc_spatial_joins::prelude::*;
+//!
+//! // Two "remote" datasets: hotels and restaurants.
+//! let space = Rect::from_coords(0.0, 0.0, 10_000.0, 10_000.0);
+//! let hotels = gaussian_clusters(&SyntheticSpec::new(space, 200, 4), 7);
+//! let restaurants = gaussian_clusters(&SyntheticSpec::new(space, 300, 8), 8);
+//!
+//! // Stand up the two non-cooperative servers and a metered deployment.
+//! let deployment = Deployment::in_process(hotels, restaurants, NetConfig::default());
+//!
+//! // "Hotels within 500 units of a restaurant", minimizing transfer bytes.
+//! let spec = JoinSpec::distance_join(500.0);
+//! let report = SrJoin::default().run(&deployment, &spec).unwrap();
+//! println!(
+//!     "pairs: {} | transferred: {} bytes",
+//!     report.pairs.len(),
+//!     report.total_bytes()
+//! );
+//! ```
+
+pub use asj_core as core;
+pub use asj_device as device;
+pub use asj_geom as geom;
+pub use asj_net as net;
+pub use asj_rtree as rtree;
+pub use asj_server as server;
+pub use asj_workloads as workloads;
+
+/// Convenience prelude used by the examples.
+pub mod prelude {
+    pub use asj_core::{
+        CostModel, Deployment, DistributedJoin, GridJoin, JoinReport, JoinSpec, MobiJoin,
+        NaiveJoin, SemiJoin, SrJoin, UpJoin,
+    };
+    pub use asj_geom::{JoinPredicate, Point, Rect, SpatialObject};
+    pub use asj_net::NetConfig;
+    pub use asj_workloads::{gaussian_clusters, germany_rail, uniform, SyntheticSpec};
+}

@@ -1,0 +1,69 @@
+//! End-to-end property test: every distributed algorithm equals the
+//! brute-force oracle on arbitrary small workloads, buffers and ε —
+//! the whole stack (codec, meters, servers, physical operators, cost
+//! model, duplicate avoidance) under random fire.
+
+use adhoc_spatial_joins::prelude::*;
+use asj_core::DeploymentBuilder;
+use asj_geom::sweep::nested_loop_join;
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = f64> {
+    // f32-representable, inside the 10k space.
+    (0i32..=40_000).prop_map(|v| v as f64 * 0.25)
+}
+
+fn dataset(max: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
+    prop::collection::vec((coord(), coord()), 0..max).prop_map(|pts| {
+        pts.into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| SpatialObject::point(i as u32, x, y))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_algorithms_equal_oracle(
+        r in dataset(60),
+        s in dataset(60),
+        eps in 1.0f64..2000.0,
+        buffer in 10usize..200,
+        bucket in any::<bool>(),
+    ) {
+        let spec = JoinSpec::distance_join(eps).with_bucket_nlsj(bucket);
+        let mut want = nested_loop_join(&r, &s, &spec.predicate);
+        want.sort_unstable();
+
+        let space = Rect::from_coords(0.0, 0.0, 10_000.0, 10_000.0);
+        let dep = DeploymentBuilder::new(r.clone(), s.clone())
+            .with_space(space)
+            .with_buffer(buffer)
+            .cooperative() // lets SemiJoin run too
+            .build();
+        let algos: Vec<Box<dyn DistributedJoin>> = vec![
+            Box::new(GridJoin::new(4)),
+            Box::new(MobiJoin),
+            Box::new(UpJoin::default()),
+            Box::new(SrJoin::default()),
+            Box::new(SemiJoin::default()),
+        ];
+        for algo in algos {
+            let rep = algo.run(&dep, &spec).unwrap();
+            let mut got = rep.pairs.clone();
+            got.sort_unstable();
+            prop_assert_eq!(
+                &got, &want,
+                "{} diverged (eps={}, buffer={}, bucket={})",
+                algo.name(), eps, buffer, bucket
+            );
+            // SemiJoin does the join server-side, exempt from the device
+            // buffer; everyone else must respect it.
+            if rep.algorithm != "semijoin" {
+                prop_assert!(rep.peak_buffer <= buffer);
+            }
+        }
+    }
+}
