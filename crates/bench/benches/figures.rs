@@ -7,9 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use asj_core::{
-    DeploymentBuilder, DistributedJoin, JoinSpec, MobiJoin, SemiJoin, SrJoin, UpJoin,
-};
+use asj_core::{DeploymentBuilder, DistributedJoin, JoinSpec, MobiJoin, SemiJoin, SrJoin, UpJoin};
 use asj_workloads::{default_space, gaussian_clusters, germany_rail, RailSpec, SyntheticSpec};
 
 fn synthetic_dep(clusters: usize, buffer: usize) -> asj_core::Deployment {

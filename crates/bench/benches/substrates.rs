@@ -23,8 +23,12 @@ fn rtree_benches(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
-    c.bench_function("rtree/count_window", |b| b.iter(|| black_box(tree.count(&w))));
-    c.bench_function("rtree/window_1pct", |b| b.iter(|| black_box(tree.window(&w))));
+    c.bench_function("rtree/count_window", |b| {
+        b.iter(|| black_box(tree.count(&w)))
+    });
+    c.bench_function("rtree/window_1pct", |b| {
+        b.iter(|| black_box(tree.window(&w)))
+    });
     c.bench_function("rtree/eps_range", |b| {
         let q = Rect::point(asj_geom::Point::new(5000.0, 5000.0));
         b.iter(|| black_box(tree.eps_range(&q, 200.0)))
@@ -52,7 +56,10 @@ fn join_kernel_benches(c: &mut Criterion) {
 fn codec_benches(c: &mut Criterion) {
     let objs: Vec<SpatialObject> = uniform(&default_space(), 1000, 4);
     let resp = Response::Objects(objs.clone());
-    let req = Request::BucketEpsRange { probes: objs, eps: 100.0 };
+    let req = Request::BucketEpsRange {
+        probes: objs,
+        eps: 100.0,
+    };
 
     c.bench_function("codec/encode_1k_objects", |b| {
         b.iter(|| black_box(codec::encode_response(&resp)))

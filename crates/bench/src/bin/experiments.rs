@@ -47,7 +47,10 @@ fn main() {
         println!("expected shape: {}\n", exp.expectation);
         let csv_path = format!("{out_dir}/{id}.csv");
         std::fs::write(&csv_path, table.to_csv()).expect("cannot write CSV");
-        eprintln!("{id} done in {:.1}s → {csv_path}", start.elapsed().as_secs_f64());
+        eprintln!(
+            "{id} done in {:.1}s → {csv_path}",
+            start.elapsed().as_secs_f64()
+        );
     }
 }
 

@@ -8,9 +8,7 @@
 //! ```
 
 use asj_bench::runner::max_half_extent;
-use asj_core::{
-    DeploymentBuilder, DistributedJoin, JoinSpec, MobiJoin, SemiJoin, SrJoin, UpJoin,
-};
+use asj_core::{DeploymentBuilder, DistributedJoin, JoinSpec, MobiJoin, SemiJoin, SrJoin, UpJoin};
 use asj_workloads::{default_space, gaussian_clusters, germany_rail, RailSpec, SyntheticSpec};
 
 fn main() {
@@ -72,7 +70,17 @@ fn main() {
     );
     println!(
         "{:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "algo", "bytes", "pairs", "objs", "counts", "windows", "ranges", "splits", "hbsj", "nlsj", "pruned"
+        "algo",
+        "bytes",
+        "pairs",
+        "objs",
+        "counts",
+        "windows",
+        "ranges",
+        "splits",
+        "hbsj",
+        "nlsj",
+        "pruned"
     );
     for a in algos {
         match a.run(&dep, &spec) {

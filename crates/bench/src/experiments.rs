@@ -1,8 +1,6 @@
 //! One entry per figure of the paper, plus ablations.
 
-use crate::runner::{
-    rail_rows, run_sweep, synthetic_rows, AlgoSpec, SweepConfig,
-};
+use crate::runner::{rail_rows, run_sweep, synthetic_rows, AlgoSpec, SweepConfig};
 use crate::table::Table;
 
 /// A reproducible experiment: a named sweep bound to a figure.
@@ -29,13 +27,13 @@ impl Experiment {
         if self.algos.contains(&AlgoSpec::Semi) {
             cfg.cooperative = true;
         }
-        let rows = if self.rail { rail_rows() } else { synthetic_rows() };
+        let rows = if self.rail {
+            rail_rows()
+        } else {
+            synthetic_rows()
+        };
         let result = run_sweep(&rows, &self.algos, &cfg);
-        Table::new(
-            format!("{} — {}", self.id, self.figure),
-            "clusters",
-            result,
-        )
+        Table::new(format!("{} — {}", self.id, self.figure), "clusters", result)
     }
 }
 
@@ -53,10 +51,22 @@ pub fn all_experiments() -> Vec<Experiment> {
                           workload; on 1 K-point synthetic data all α in the paper's range \
                           behave identically.",
             algos: vec![
-                AlgoSpec::Up { alpha: 0.15, confirm_random: true },
-                AlgoSpec::Up { alpha: 0.20, confirm_random: true },
-                AlgoSpec::Up { alpha: 0.25, confirm_random: true },
-                AlgoSpec::Up { alpha: 0.30, confirm_random: true },
+                AlgoSpec::Up {
+                    alpha: 0.15,
+                    confirm_random: true,
+                },
+                AlgoSpec::Up {
+                    alpha: 0.20,
+                    confirm_random: true,
+                },
+                AlgoSpec::Up {
+                    alpha: 0.25,
+                    confirm_random: true,
+                },
+                AlgoSpec::Up {
+                    alpha: 0.30,
+                    confirm_random: true,
+                },
             ],
             rail: true,
             tweak: |c| c.bucket = true,
@@ -83,7 +93,10 @@ pub fn all_experiments() -> Vec<Experiment> {
                           (over-partitions uniform data) and SrJoin is best.",
             algos: vec![
                 AlgoSpec::Sr { rho: 0.30 },
-                AlgoSpec::Up { alpha: 0.25, confirm_random: true },
+                AlgoSpec::Up {
+                    alpha: 0.25,
+                    confirm_random: true,
+                },
                 AlgoSpec::Mobi,
             ],
             rail: false,
@@ -96,7 +109,10 @@ pub fn all_experiments() -> Vec<Experiment> {
                           best on skew; SrJoin balanced; MobiJoin fine at k=128.",
             algos: vec![
                 AlgoSpec::Sr { rho: 0.30 },
-                AlgoSpec::Up { alpha: 0.25, confirm_random: true },
+                AlgoSpec::Up {
+                    alpha: 0.25,
+                    confirm_random: true,
+                },
                 AlgoSpec::Mobi,
             ],
             rail: false,
@@ -109,7 +125,10 @@ pub fn all_experiments() -> Vec<Experiment> {
                           SrJoin clearly cheaper, especially on skewed data.",
             algos: vec![
                 AlgoSpec::Sr { rho: 0.30 },
-                AlgoSpec::Up { alpha: 0.25, confirm_random: true },
+                AlgoSpec::Up {
+                    alpha: 0.25,
+                    confirm_random: true,
+                },
                 AlgoSpec::Mobi,
             ],
             rail: true,
@@ -121,7 +140,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             expectation: "UpJoin/SrJoin cheaper on skewed data; SemiJoin wins on uniform data \
                           (its MBR-level cost is flat; object transfer varies with skew).",
             algos: vec![
-                AlgoSpec::Up { alpha: 0.25, confirm_random: true },
+                AlgoSpec::Up {
+                    alpha: 0.25,
+                    confirm_random: true,
+                },
                 AlgoSpec::Sr { rho: 0.30 },
                 AlgoSpec::Semi,
             ],
@@ -136,7 +158,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             algos: vec![
                 AlgoSpec::Grid { k: 8 },
                 AlgoSpec::Mobi,
-                AlgoSpec::Up { alpha: 0.25, confirm_random: true },
+                AlgoSpec::Up {
+                    alpha: 0.25,
+                    confirm_random: true,
+                },
                 AlgoSpec::Sr { rho: 0.30 },
             ],
             rail: false,
@@ -147,9 +172,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             figure: "Ablation (ours): one-by-one vs bucket NLSJ (upJoin, buffer 100)",
             expectation: "Bucket submission amortizes per-probe TCP headers; totals drop \
                           wherever NLSJ fires.",
-            algos: vec![
-                AlgoSpec::Up { alpha: 0.25, confirm_random: true },
-            ],
+            algos: vec![AlgoSpec::Up {
+                alpha: 0.25,
+                confirm_random: true,
+            }],
             rail: false,
             tweak: |c| {
                 c.buffer = 100;
@@ -162,8 +188,14 @@ pub fn all_experiments() -> Vec<Experiment> {
             expectation: "Without confirmation, centered clusters get mislabelled uniform and \
                           HBSJ fires early — cheaper sometimes, riskier on Gaussian data.",
             algos: vec![
-                AlgoSpec::Up { alpha: 0.25, confirm_random: true },
-                AlgoSpec::Up { alpha: 0.25, confirm_random: false },
+                AlgoSpec::Up {
+                    alpha: 0.25,
+                    confirm_random: true,
+                },
+                AlgoSpec::Up {
+                    alpha: 0.25,
+                    confirm_random: false,
+                },
             ],
             rail: false,
             tweak: no_tweak,
@@ -175,7 +207,10 @@ pub fn all_experiments() -> Vec<Experiment> {
                           queries (NLSJ-heavy plans) suffer disproportionately.",
             algos: vec![
                 AlgoSpec::Sr { rho: 0.30 },
-                AlgoSpec::Up { alpha: 0.25, confirm_random: true },
+                AlgoSpec::Up {
+                    alpha: 0.25,
+                    confirm_random: true,
+                },
                 AlgoSpec::Mobi,
             ],
             rail: false,

@@ -28,7 +28,10 @@ impl AlgoSpec {
             AlgoSpec::Naive => Box::new(NaiveJoin),
             AlgoSpec::Grid { k } => Box::new(GridJoin::new(k)),
             AlgoSpec::Mobi => Box::new(MobiJoin),
-            AlgoSpec::Up { alpha, confirm_random } => Box::new(UpJoin {
+            AlgoSpec::Up {
+                alpha,
+                confirm_random,
+            } => Box::new(UpJoin {
                 alpha,
                 confirm_random,
             }),
@@ -43,16 +46,25 @@ impl AlgoSpec {
             AlgoSpec::Naive => "naive".into(),
             AlgoSpec::Grid { k } => format!("grid{k}"),
             AlgoSpec::Mobi => "mobiJoin".into(),
-            AlgoSpec::Up { alpha, confirm_random: true } if alpha == 0.25 => "upJoin".into(),
-            AlgoSpec::Up { alpha, confirm_random } => {
-                if confirm_random {
+            AlgoSpec::Up {
+                alpha,
+                confirm_random,
+            } => {
+                if confirm_random && alpha == 0.25 {
+                    "upJoin".into()
+                } else if confirm_random {
                     format!("up(a={alpha})")
                 } else {
                     format!("up(a={alpha},noconf)")
                 }
             }
-            AlgoSpec::Sr { rho } if rho == 0.30 => "srJoin".into(),
-            AlgoSpec::Sr { rho } => format!("sr(r={:.0}%)", rho * 100.0),
+            AlgoSpec::Sr { rho } => {
+                if rho == 0.30 {
+                    "srJoin".into()
+                } else {
+                    format!("sr(r={:.0}%)", rho * 100.0)
+                }
+            }
             AlgoSpec::Semi => "semiJoin".into(),
         }
     }
@@ -158,6 +170,10 @@ fn build_deployment(workload: Workload, seed: u64, cfg: &SweepConfig) -> (Deploy
     }
 }
 
+/// One seed's measurements: (total bytes, queries, aggregate queries,
+/// objects downloaded).
+type Sample = (u64, u64, u64, u64);
+
 /// Largest half-diagonal among the objects — the window-extension hint.
 pub fn max_half_extent(objects: &[SpatialObject]) -> f64 {
     objects
@@ -184,10 +200,8 @@ pub fn run_sweep(
             }
         }
     }
-    let results: Mutex<Vec<Vec<Vec<(u64, u64, u64, u64)>>>> = Mutex::new(vec![
-        vec![Vec::new(); algos.len()];
-        rows.len()
-    ]);
+    let results: Mutex<Vec<Vec<Vec<Sample>>>> =
+        Mutex::new(vec![vec![Vec::new(); algos.len()]; rows.len()]);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -233,14 +247,12 @@ pub fn run_sweep(
     }
 }
 
-fn aggregate(samples: &[(u64, u64, u64, u64)]) -> CellStats {
+fn aggregate(samples: &[Sample]) -> CellStats {
     if samples.is_empty() {
         return CellStats::default();
     }
     let n = samples.len() as f64;
-    let mean = |f: fn(&(u64, u64, u64, u64)) -> u64| {
-        samples.iter().map(|s| f(s) as f64).sum::<f64>() / n
-    };
+    let mean = |f: fn(&Sample) -> u64| samples.iter().map(|s| f(s) as f64).sum::<f64>() / n;
     let mean_bytes = mean(|s| s.0);
     let var = samples
         .iter()
@@ -285,7 +297,11 @@ mod tests {
     fn labels() {
         assert_eq!(AlgoSpec::Mobi.label(), "mobiJoin");
         assert_eq!(
-            AlgoSpec::Up { alpha: 0.25, confirm_random: true }.label(),
+            AlgoSpec::Up {
+                alpha: 0.25,
+                confirm_random: true
+            }
+            .label(),
             "upJoin"
         );
         assert_eq!(AlgoSpec::Sr { rho: 0.30 }.label(), "srJoin");

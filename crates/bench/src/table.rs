@@ -11,7 +11,11 @@ pub struct Table {
 }
 
 impl Table {
-    pub fn new(title: impl Into<String>, row_header: impl Into<String>, result: SweepResult) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        row_header: impl Into<String>,
+        result: SweepResult,
+    ) -> Self {
         Table {
             title: title.into(),
             row_header: row_header.into(),
@@ -81,12 +85,28 @@ mod tests {
                 algos: vec!["mobiJoin".into(), "srJoin".into()],
                 cells: vec![
                     vec![
-                        CellStats { mean_bytes: 100.0, std_bytes: 5.0, ..Default::default() },
-                        CellStats { mean_bytes: 50.0, std_bytes: 2.0, ..Default::default() },
+                        CellStats {
+                            mean_bytes: 100.0,
+                            std_bytes: 5.0,
+                            ..Default::default()
+                        },
+                        CellStats {
+                            mean_bytes: 50.0,
+                            std_bytes: 2.0,
+                            ..Default::default()
+                        },
                     ],
                     vec![
-                        CellStats { mean_bytes: 200.0, std_bytes: 1.0, ..Default::default() },
-                        CellStats { mean_bytes: 220.0, std_bytes: 9.0, ..Default::default() },
+                        CellStats {
+                            mean_bytes: 200.0,
+                            std_bytes: 1.0,
+                            ..Default::default()
+                        },
+                        CellStats {
+                            mean_bytes: 220.0,
+                            std_bytes: 9.0,
+                            ..Default::default()
+                        },
                     ],
                 ],
             },

@@ -72,7 +72,8 @@ impl CostModel {
     /// `c1` without the feasibility check — MobiJoin's `c4` heuristic
     /// needs it (the paper's Figure 2(b) flaw depends on it).
     pub fn c1_unchecked(&self, count_r: f64, count_s: f64) -> f64 {
-        self.tariff_r * self.window_download(count_r) + self.tariff_s * self.window_download(count_s)
+        self.tariff_r * self.window_download(count_r)
+            + self.tariff_s * self.window_download(count_s)
     }
 
     /// Expected qualifying partners of one ε-probe into a window holding
@@ -108,12 +109,9 @@ impl CostModel {
         if bucket {
             // Upload every outer object to the inner server in one bucket
             // request, receive one framed response (Eqs. 5–6).
-            let upload = self
-                .tb(BUCKET_REQ_HEADER_BYTES as f64 + count_outer * OBJ_BYTES as f64);
-            let response = self.tb(
-                OBJECTS_HEADER_BYTES as f64
-                    + count_outer * (BUCKET_FRAME_BYTES as f64 + mu * OBJ_BYTES as f64),
-            );
+            let upload = self.tb(BUCKET_REQ_HEADER_BYTES as f64 + count_outer * OBJ_BYTES as f64);
+            let response = self.tb(OBJECTS_HEADER_BYTES as f64
+                + count_outer * (BUCKET_FRAME_BYTES as f64 + mu * OBJ_BYTES as f64));
             outer_download + tariff_inner * (upload + response)
         } else {
             // One ε-RANGE round trip per outer object (Eqs. 3–4).
@@ -238,8 +236,10 @@ mod tests {
 
     #[test]
     fn tariffs_weight_sides() {
-        let mut net = NetConfig::default();
-        net.tariff_r = 10.0;
+        let net = NetConfig {
+            tariff_r: 10.0,
+            ..NetConfig::default()
+        };
         let m = CostModel::new(&net, 10_000);
         // Downloading from R is now 10× more expensive; c3 (download S,
         // probe R) pays the probes on R but still beats downloading R

@@ -21,12 +21,10 @@ enum Carrier {
 impl Carrier {
     fn link(&self, net: &NetConfig, tariff: f64) -> Link {
         match self {
-            Carrier::InProc(h) => Link::new(
-                Box::new(InProcDyn(Arc::clone(h))),
-                net.packet,
-                tariff,
-            ),
-            Carrier::Channel { handle, .. } => Link::new(Box::new(handle.connect()), net.packet, tariff),
+            Carrier::InProc(h) => Link::new(Box::new(InProcDyn(Arc::clone(h))), net.packet, tariff),
+            Carrier::Channel { handle, .. } => {
+                Link::new(Box::new(handle.connect()), net.packet, tariff)
+            }
         }
     }
 }
@@ -68,7 +66,10 @@ impl Deployment {
     /// Deployment with each server on its own thread behind a channel —
     /// the distributed topology of the paper's prototype.
     pub fn threaded(r: Vec<SpatialObject>, s: Vec<SpatialObject>, net: NetConfig) -> Self {
-        DeploymentBuilder::new(r, s).with_net(net).threaded().build()
+        DeploymentBuilder::new(r, s)
+            .with_net(net)
+            .threaded()
+            .build()
     }
 
     /// Fresh metered links `(R, S)` for one algorithm run.

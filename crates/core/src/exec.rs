@@ -306,9 +306,7 @@ impl<'a> ExecCtx<'a> {
             self.stats.pruned_windows += 1;
             return;
         }
-        if (count_r + count_s) as usize <= self.buffer.capacity()
-            && self.hbsj_leaf(w).is_ok()
-        {
+        if (count_r + count_s) as usize <= self.buffer.capacity() && self.hbsj_leaf(w).is_ok() {
             return;
         }
         if self.at_limit(w, depth) {
@@ -405,9 +403,7 @@ mod tests {
 
     fn grid_points(n: u32, step: f64, id0: u32) -> Vec<SpatialObject> {
         (0..n * n)
-            .map(|i| {
-                SpatialObject::point(id0 + i, (i % n) as f64 * step, (i / n) as f64 * step)
-            })
+            .map(|i| SpatialObject::point(id0 + i, (i % n) as f64 * step, (i / n) as f64 * step))
             .collect()
     }
 

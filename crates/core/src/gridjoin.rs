@@ -70,13 +70,7 @@ mod tests {
 
     fn cluster(n: u32, cx: f64, cy: f64, id0: u32) -> Vec<SpatialObject> {
         (0..n)
-            .map(|i| {
-                SpatialObject::point(
-                    id0 + i,
-                    cx + (i % 10) as f64,
-                    cy + (i / 10) as f64,
-                )
-            })
+            .map(|i| SpatialObject::point(id0 + i, cx + (i % 10) as f64, cy + (i / 10) as f64))
             .collect()
     }
 
@@ -110,9 +104,15 @@ mod tests {
             .with_buffer(800)
             .with_space(space())
             .build();
-        let rep = GridJoin::new(4).run(&dep, &JoinSpec::distance_join(5.0)).unwrap();
+        let rep = GridJoin::new(4)
+            .run(&dep, &JoinSpec::distance_join(5.0))
+            .unwrap();
         assert!(rep.pairs.is_empty());
-        assert_eq!(rep.objects_downloaded(), 0, "disjoint data → zero downloads");
+        assert_eq!(
+            rep.objects_downloaded(),
+            0,
+            "disjoint data → zero downloads"
+        );
         assert!(rep.stats.pruned_windows >= 15);
     }
 
@@ -145,7 +145,9 @@ mod tests {
             .with_buffer(800)
             .with_space(space())
             .build();
-        let rep = GridJoin::new(1).run(&dep, &JoinSpec::distance_join(2.0)).unwrap();
+        let rep = GridJoin::new(1)
+            .run(&dep, &JoinSpec::distance_join(2.0))
+            .unwrap();
         assert_eq!(rep.stats.hbsj_runs, 1);
     }
 }

@@ -71,7 +71,9 @@ mod tests {
         let dep = DeploymentBuilder::new(pts(50, 0), pts(50, 0))
             .with_buffer(99)
             .build();
-        let err = NaiveJoin.run(&dep, &JoinSpec::distance_join(1.0)).unwrap_err();
+        let err = NaiveJoin
+            .run(&dep, &JoinSpec::distance_join(1.0))
+            .unwrap_err();
         assert!(matches!(err, JoinError::Buffer(_)));
     }
 

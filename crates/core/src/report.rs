@@ -85,7 +85,11 @@ mod tests {
 
     #[test]
     fn error_display_and_from() {
-        let e: JoinError = BufferExceeded { requested: 9, capacity: 5 }.into();
+        let e: JoinError = BufferExceeded {
+            requested: 9,
+            capacity: 5,
+        }
+        .into();
         assert!(e.to_string().contains("requested 9"));
         let u = JoinError::Unsupported("semijoin needs cooperation".into());
         assert!(u.to_string().contains("semijoin"));
@@ -93,13 +97,17 @@ mod tests {
 
     #[test]
     fn report_totals() {
-        let mut link_r = LinkSnapshot::default();
-        link_r.up_bytes = 100;
-        link_r.down_bytes = 200;
-        link_r.count_queries = 3;
-        let mut link_s = LinkSnapshot::default();
-        link_s.up_bytes = 10;
-        link_s.objects_received = 5;
+        let link_r = LinkSnapshot {
+            up_bytes: 100,
+            down_bytes: 200,
+            count_queries: 3,
+            ..LinkSnapshot::default()
+        };
+        let link_s = LinkSnapshot {
+            up_bytes: 10,
+            objects_received: 5,
+            ..LinkSnapshot::default()
+        };
         let rep = JoinReport {
             algorithm: "test",
             pairs: vec![(1, 2)],

@@ -24,14 +24,12 @@ use asj_net::Request;
 /// servers are unlikely to publish the internal structures of their
 /// indexes" — running it against a non-cooperative deployment returns
 /// [`JoinError::Unsupported`]. It exists as the Figure 8(b) comparator.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SemiJoin {
     /// Which R-tree level to ship, in levels above the leaves
     /// (0 = leaf nodes, the paper's choice).
     pub level: u8,
 }
-
 
 impl DistributedJoin for SemiJoin {
     fn name(&self) -> &'static str {
@@ -102,7 +100,11 @@ mod tests {
     fn lattice(n: u32, step: f64, id0: u32) -> Vec<SpatialObject> {
         (0..n * n)
             .map(|i| {
-                SpatialObject::point(id0 + i, (i % n) as f64 * step + 3.0, (i / n) as f64 * step + 3.0)
+                SpatialObject::point(
+                    id0 + i,
+                    (i % n) as f64 * step + 3.0,
+                    (i / n) as f64 * step + 3.0,
+                )
             })
             .collect()
     }

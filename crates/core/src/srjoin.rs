@@ -59,7 +59,14 @@ impl SrJoin {
     }
 
     /// Applies the cheaper physical operator on a quadrant.
-    fn apply_operator(&self, ctx: &mut ExecCtx<'_>, w: &Rect, count_r: u64, count_s: u64, depth: u32) {
+    fn apply_operator(
+        &self,
+        ctx: &mut ExecCtx<'_>,
+        w: &Rect,
+        count_r: u64,
+        count_s: u64,
+        depth: u32,
+    ) {
         let costs = ctx.costs(w, count_r as f64, count_s as f64);
         let c1d = ctx.cost.c1_decomposed(count_r as f64, count_s as f64);
         let (nlsj_side, nlsj_cost) = costs.cheaper_nlsj();
@@ -158,7 +165,11 @@ mod tests {
     fn lattice(n: u32, step: f64, id0: u32) -> Vec<SpatialObject> {
         (0..n * n)
             .map(|i| {
-                SpatialObject::point(id0 + i, (i % n) as f64 * step + 3.0, (i / n) as f64 * step + 3.0)
+                SpatialObject::point(
+                    id0 + i,
+                    (i % n) as f64 * step + 3.0,
+                    (i / n) as f64 * step + 3.0,
+                )
             })
             .collect()
     }
@@ -216,7 +227,11 @@ mod tests {
         want.sort_unstable();
         got.sort_unstable();
         assert_eq!(got, want);
-        assert!(rep.peak_buffer <= 100, "buffer violated: {}", rep.peak_buffer);
+        assert!(
+            rep.peak_buffer <= 100,
+            "buffer violated: {}",
+            rep.peak_buffer
+        );
     }
 
     #[test]
@@ -227,7 +242,9 @@ mod tests {
             .with_buffer(800)
             .with_space(space())
             .build();
-        let rep = SrJoin::default().run(&dep, &JoinSpec::distance_join(5.0)).unwrap();
+        let rep = SrJoin::default()
+            .run(&dep, &JoinSpec::distance_join(5.0))
+            .unwrap();
         assert!(rep.pairs.is_empty());
         assert_eq!(rep.objects_downloaded(), 0);
         // 2 global + 8 quadrant counts, nothing else.
@@ -247,7 +264,10 @@ mod tests {
             .build();
         let spec = JoinSpec::distance_join(5.0);
         let rep = SrJoin::default().run(&dep, &spec).unwrap();
-        assert_eq!(rep.stats.splits, 0, "similar distributions: no SrJoin recursion");
+        assert_eq!(
+            rep.stats.splits, 0,
+            "similar distributions: no SrJoin recursion"
+        );
         let mut want = NaiveJoin.run(&dep, &spec).unwrap().pairs;
         let mut got = rep.pairs.clone();
         want.sort_unstable();

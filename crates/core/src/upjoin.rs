@@ -94,9 +94,7 @@ impl UpJoin {
         let tolerance = (self.alpha * ds.count / 4.0)
             .max(3.0 * ds.count.sqrt())
             .min(quarter * (1.0 - 1e-9));
-        let passes_eq9 = real
-            .iter()
-            .all(|&c| (quarter - c as f64).abs() < tolerance);
+        let passes_eq9 = real.iter().all(|&c| (quarter - c as f64).abs() < tolerance);
         let uniform = if !passes_eq9 {
             false
         } else if !self.confirm_random {
@@ -282,7 +280,13 @@ mod tests {
 
     fn lattice(n: u32, step: f64, id0: u32) -> Vec<SpatialObject> {
         (0..n * n)
-            .map(|i| SpatialObject::point(id0 + i, (i % n) as f64 * step + 3.0, (i / n) as f64 * step + 3.0))
+            .map(|i| {
+                SpatialObject::point(
+                    id0 + i,
+                    (i % n) as f64 * step + 3.0,
+                    (i / n) as f64 * step + 3.0,
+                )
+            })
             .collect()
     }
 
@@ -331,11 +335,17 @@ mod tests {
             .with_buffer(800)
             .with_space(space())
             .build();
-        let rep = UpJoin::default().run(&dep, &JoinSpec::distance_join(5.0)).unwrap();
+        let rep = UpJoin::default()
+            .run(&dep, &JoinSpec::distance_join(5.0))
+            .unwrap();
         assert!(rep.pairs.is_empty());
         assert_eq!(rep.objects_downloaded(), 0);
         // 2 global + ≤ a few rounds of quadrant counts.
-        assert!(rep.aggregate_queries() <= 30, "queries: {}", rep.aggregate_queries());
+        assert!(
+            rep.aggregate_queries() <= 30,
+            "queries: {}",
+            rep.aggregate_queries()
+        );
     }
 
     #[test]
@@ -348,7 +358,9 @@ mod tests {
             .with_buffer(900)
             .with_space(space())
             .build();
-        let rep = UpJoin::default().run(&dep, &JoinSpec::distance_join(10.0)).unwrap();
+        let rep = UpJoin::default()
+            .run(&dep, &JoinSpec::distance_join(10.0))
+            .unwrap();
         assert_eq!(rep.stats.hbsj_runs, 1);
         assert_eq!(rep.stats.splits, 0);
         // 2 global counts + 8 quadrant counts + 2 random confirms.
@@ -376,8 +388,14 @@ mod tests {
             .with_buffer(800)
             .with_space(space())
             .build();
-        let rep = UpJoin::default().run(&dep, &JoinSpec::distance_join(4.0)).unwrap();
-        assert_eq!(rep.aggregate_queries(), 2, "no quadrant stats for tiny data");
+        let rep = UpJoin::default()
+            .run(&dep, &JoinSpec::distance_join(4.0))
+            .unwrap();
+        assert_eq!(
+            rep.aggregate_queries(),
+            2,
+            "no quadrant stats for tiny data"
+        );
         assert!(!rep.pairs.is_empty());
     }
 }

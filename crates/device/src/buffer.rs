@@ -156,7 +156,10 @@ mod tests {
 
     #[test]
     fn error_displays() {
-        let e = BufferExceeded { requested: 7, capacity: 5 };
+        let e = BufferExceeded {
+            requested: 7,
+            capacity: 5,
+        };
         assert!(e.to_string().contains("requested 7"));
     }
 }

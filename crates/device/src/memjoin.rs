@@ -15,9 +15,7 @@
 //! across windows) extends seamlessly into the in-memory subdivision.
 
 use asj_geom::grid::owns_reference_point;
-use asj_geom::{
-    pair_reference_point, plane_sweep_pairs, Grid, JoinPredicate, Rect, SpatialObject,
-};
+use asj_geom::{pair_reference_point, plane_sweep_pairs, Grid, JoinPredicate, Rect, SpatialObject};
 
 use crate::collect::ResultCollector;
 
@@ -208,8 +206,16 @@ mod tests {
         for q in space.quadrants() {
             // Simulate window downloads: only objects near the quadrant.
             let ext = pred.window_extension();
-            let rq: Vec<_> = r.iter().filter(|o| o.mbr.expand(ext).intersects(&q)).copied().collect();
-            let sq: Vec<_> = s.iter().filter(|o| o.mbr.expand(ext).intersects(&q)).copied().collect();
+            let rq: Vec<_> = r
+                .iter()
+                .filter(|o| o.mbr.expand(ext).intersects(&q))
+                .copied()
+                .collect();
+            let sq: Vec<_> = s
+                .iter()
+                .filter(|o| o.mbr.expand(ext).intersects(&q))
+                .copied()
+                .collect();
             grid_hash_join(&rq, &sq, &pred, &q, &space, &mut per_quadrant);
         }
         let mut got = per_quadrant.into_pairs();
@@ -221,7 +227,14 @@ mod tests {
     fn empty_inputs_no_output() {
         let space = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
         let mut c = ResultCollector::new();
-        grid_hash_join(&[], &[pt(1, 1.0, 1.0)], &JoinPredicate::Intersects, &space, &space, &mut c);
+        grid_hash_join(
+            &[],
+            &[pt(1, 1.0, 1.0)],
+            &JoinPredicate::Intersects,
+            &space,
+            &space,
+            &mut c,
+        );
         assert!(c.is_empty());
     }
 }

@@ -67,8 +67,16 @@ impl Grid {
             self.window.min.y + j as f64 * ch,
             // Compute far edges from the window to avoid FP drift: the last
             // cell must end exactly at the window boundary.
-            if i + 1 == self.kx { self.window.max.x } else { self.window.min.x + (i + 1) as f64 * cw },
-            if j + 1 == self.ky { self.window.max.y } else { self.window.min.y + (j + 1) as f64 * ch },
+            if i + 1 == self.kx {
+                self.window.max.x
+            } else {
+                self.window.min.x + (i + 1) as f64 * cw
+            },
+            if j + 1 == self.ky {
+                self.window.max.y
+            } else {
+                self.window.min.y + (j + 1) as f64 * ch
+            },
         )
     }
 

@@ -1,7 +1,6 @@
 //! Identified spatial objects — the unit of storage and transfer.
 
 use crate::{Point, Rect};
-use serde::{Deserialize, Serialize};
 
 /// Object identifier, unique within one dataset.
 pub type ObjectId = u32;
@@ -13,7 +12,7 @@ pub type ObjectId = u32;
 /// (16 bytes)` = 20 bytes, the `Bobj` of the paper's cost model. Points are
 /// degenerate MBRs and use the same encoding, keeping `Bobj` constant across
 /// workloads as the paper assumes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpatialObject {
     pub id: ObjectId,
     pub mbr: Rect,

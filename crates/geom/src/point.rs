@@ -1,12 +1,10 @@
 //! 2-D points.
 
-use serde::{Deserialize, Serialize};
-
 /// A point in the plane.
 ///
 /// Coordinates are `f64`; the workloads in this repository live in a
 /// `10 000 × 10 000` unit space, mirroring a city-scale map in meters.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     pub x: f64,
     pub y: f64,

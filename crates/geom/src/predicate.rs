@@ -1,7 +1,6 @@
 //! Join predicates.
 
 use crate::{Rect, SpatialObject};
-use serde::{Deserialize, Serialize};
 
 /// The spatial predicate θ of the join `R ⋈_θ S`.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// (qualifying pairs within distance ε). The iceberg distance semi-join is a
 /// post-aggregation on top of a distance join and therefore reuses
 /// [`JoinPredicate::WithinDistance`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum JoinPredicate {
     /// MBRs intersect (ε = 0 special case).
     Intersects,

@@ -1,13 +1,12 @@
 //! Axis-aligned rectangles (MBRs).
 
 use crate::point::Point;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned rectangle, `min ≤ max` on both axes.
 ///
 /// Doubles as the minimum bounding rectangle (MBR) of a spatial object and
 /// as a query window. Degenerate rectangles (`min == max`) represent points.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     pub min: Point,
     pub max: Point,
@@ -169,8 +168,12 @@ impl Rect {
     /// intersect).
     #[inline]
     pub fn min_dist(&self, other: &Rect) -> f64 {
-        let dx = (self.min.x - other.max.x).max(0.0).max(other.min.x - self.max.x);
-        let dy = (self.min.y - other.max.y).max(0.0).max(other.min.y - self.max.y);
+        let dx = (self.min.x - other.max.x)
+            .max(0.0)
+            .max(other.min.x - self.max.x);
+        let dy = (self.min.y - other.max.y)
+            .max(0.0)
+            .max(other.min.y - self.max.y);
         (dx * dx + dy * dy).sqrt()
     }
 
@@ -179,8 +182,12 @@ impl Rect {
     #[inline]
     pub fn within_distance(&self, other: &Rect, eps: f64) -> bool {
         // Compare squared distances to skip the sqrt.
-        let dx = (self.min.x - other.max.x).max(0.0).max(other.min.x - self.max.x);
-        let dy = (self.min.y - other.max.y).max(0.0).max(other.min.y - self.max.y);
+        let dx = (self.min.x - other.max.x)
+            .max(0.0)
+            .max(other.min.x - self.max.x);
+        let dy = (self.min.y - other.max.y)
+            .max(0.0)
+            .max(other.min.y - self.max.y);
         dx * dx + dy * dy <= eps * eps
     }
 
@@ -242,7 +249,10 @@ mod tests {
     fn intersection_rect() {
         let i = r(0.0, 0.0, 2.0, 2.0).intersection(&r(1.0, 1.0, 3.0, 3.0));
         assert_eq!(i, Some(r(1.0, 1.0, 2.0, 2.0)));
-        assert_eq!(r(0.0, 0.0, 1.0, 1.0).intersection(&r(5.0, 5.0, 6.0, 6.0)), None);
+        assert_eq!(
+            r(0.0, 0.0, 1.0, 1.0).intersection(&r(5.0, 5.0, 6.0, 6.0)),
+            None
+        );
     }
 
     #[test]

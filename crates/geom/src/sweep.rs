@@ -43,20 +43,8 @@ pub fn plane_sweep_pairs<F: FnMut(&SpatialObject, &SpatialObject)>(
     // intact for the caller.
     let mut ri: Vec<u32> = (0..r.len() as u32).collect();
     let mut si: Vec<u32> = (0..s.len() as u32).collect();
-    ri.sort_unstable_by(|&a, &b| {
-        r[a as usize]
-            .mbr
-            .min
-            .x
-            .total_cmp(&r[b as usize].mbr.min.x)
-    });
-    si.sort_unstable_by(|&a, &b| {
-        s[a as usize]
-            .mbr
-            .min
-            .x
-            .total_cmp(&s[b as usize].mbr.min.x)
-    });
+    ri.sort_unstable_by(|&a, &b| r[a as usize].mbr.min.x.total_cmp(&r[b as usize].mbr.min.x));
+    si.sort_unstable_by(|&a, &b| s[a as usize].mbr.min.x.total_cmp(&s[b as usize].mbr.min.x));
 
     let mut i = 0usize; // cursor into ri
     let mut j = 0usize; // cursor into si
@@ -180,7 +168,10 @@ mod tests {
         let r = vec![pt(1, 1.0, 1.0), pt(2, 1.0, 1.0)];
         let s = vec![pt(7, 1.0, 1.0)];
         let pred = JoinPredicate::WithinDistance(0.0);
-        assert_eq!(sorted(plane_sweep_join(&r, &s, &pred)), vec![(1, 7), (2, 7)]);
+        assert_eq!(
+            sorted(plane_sweep_join(&r, &s, &pred)),
+            vec![(1, 7), (2, 7)]
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ fn get_rect(buf: &mut Bytes) -> Result<Rect, CodecError> {
     let min_y = buf.get_f32() as f64;
     let max_x = buf.get_f32() as f64;
     let max_y = buf.get_f32() as f64;
-    Ok(Rect::new(Point::new(min_x, min_y), Point::new(max_x, max_y)))
+    Ok(Rect::new(
+        Point::new(min_x, min_y),
+        Point::new(max_x, max_y),
+    ))
 }
 
 fn put_object(buf: &mut BytesMut, o: &SpatialObject) {
@@ -362,8 +365,14 @@ mod tests {
             },
             Request::AvgArea(w),
             Request::CoopLevelMbrs(3),
-            Request::CoopFilterByMbrs { mbrs: vec![w, w], eps: 1.5 },
-            Request::CoopJoinPush { objects: vec![obj(9, 5.0, 5.0)], eps: 0.25 },
+            Request::CoopFilterByMbrs {
+                mbrs: vec![w, w],
+                eps: 1.5,
+            },
+            Request::CoopJoinPush {
+                objects: vec![obj(9, 5.0, 5.0)],
+                eps: 0.25,
+            },
         ];
         for req in reqs {
             let bytes = encode_request(&req);
@@ -393,7 +402,10 @@ mod tests {
     #[test]
     fn wire_sizes_match_constants() {
         let w = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
-        assert_eq!(encode_request(&Request::Window(w)).len() as u64, QUERY_BYTES);
+        assert_eq!(
+            encode_request(&Request::Window(w)).len() as u64,
+            QUERY_BYTES
+        );
         assert_eq!(encode_request(&Request::Count(w)).len() as u64, QUERY_BYTES);
         assert_eq!(
             encode_response(&Response::Count(7)).len() as u64,
@@ -442,7 +454,10 @@ mod tests {
     #[test]
     fn unknown_opcode_rejected() {
         let bad = Bytes::from_static(&[0x7f, 0, 0, 0]);
-        assert_eq!(decode_request(bad.clone()), Err(CodecError::UnknownOpcode(0x7f)));
+        assert_eq!(
+            decode_request(bad.clone()),
+            Err(CodecError::UnknownOpcode(0x7f))
+        );
         assert_eq!(decode_response(bad), Err(CodecError::UnknownOpcode(0x7f)));
     }
 

@@ -81,7 +81,8 @@ impl LinkMeter {
 
     /// Records an outgoing request of `payload` bytes.
     pub fn record_request(&self, req: &Request, payload: u64, packet: &PacketModel) {
-        self.up_bytes.fetch_add(packet.tb(payload), Ordering::Relaxed);
+        self.up_bytes
+            .fetch_add(packet.tb(payload), Ordering::Relaxed);
         self.up_packets
             .fetch_add(packet.packets(payload), Ordering::Relaxed);
         let counter = match req {

@@ -22,7 +22,10 @@ pub enum Request {
     EpsRange { q: Rect, eps: f64 },
     /// Bucket submission: one ε-RANGE probe per object, answered together
     /// so TCP header overhead is amortized (Section 3.1).
-    BucketEpsRange { probes: Vec<SpatialObject>, eps: f64 },
+    BucketEpsRange {
+        probes: Vec<SpatialObject>,
+        eps: f64,
+    },
     /// Average MBR area of objects intersecting `w` — the extra aggregate
     /// the paper piggybacks on COUNT for polygon datasets.
     AvgArea(Rect),
@@ -33,7 +36,10 @@ pub enum Request {
     CoopFilterByMbrs { mbrs: Vec<Rect>, eps: f64 },
     /// Cooperative: join the pushed objects against the local dataset and
     /// return qualifying `(pushed_id, local_id)` pairs.
-    CoopJoinPush { objects: Vec<SpatialObject>, eps: f64 },
+    CoopJoinPush {
+        objects: Vec<SpatialObject>,
+        eps: f64,
+    },
 }
 
 impl Request {
@@ -134,7 +140,11 @@ mod tests {
         assert!(!Request::Window(w).is_cooperative());
         assert!(!Request::Count(w).is_cooperative());
         assert!(Request::CoopLevelMbrs(0).is_cooperative());
-        assert!(Request::CoopJoinPush { objects: vec![], eps: 1.0 }.is_cooperative());
+        assert!(Request::CoopJoinPush {
+            objects: vec![],
+            eps: 1.0
+        }
+        .is_cooperative());
     }
 
     #[test]

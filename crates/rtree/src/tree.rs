@@ -437,7 +437,11 @@ mod tests {
             t.insert(o);
         }
         assert_eq!(t.len(), 500);
-        assert!(t.height() >= 3, "expected multi-level tree, h={}", t.height());
+        assert!(
+            t.height() >= 3,
+            "expected multi-level tree, h={}",
+            t.height()
+        );
         t.check_invariants();
     }
 

@@ -10,9 +10,8 @@ fn coord() -> impl Strategy<Value = f64> {
 }
 
 fn object(id: u32) -> impl Strategy<Value = SpatialObject> {
-    (coord(), coord(), 0.0f64..30.0, 0.0f64..30.0).prop_map(move |(x, y, w, h)| {
-        SpatialObject::new(id, Rect::from_coords(x, y, x + w, y + h))
-    })
+    (coord(), coord(), 0.0f64..30.0, 0.0f64..30.0)
+        .prop_map(move |(x, y, w, h)| SpatialObject::new(id, Rect::from_coords(x, y, x + w, y + h)))
 }
 
 fn dataset(max: usize) -> impl Strategy<Value = Vec<SpatialObject>> {

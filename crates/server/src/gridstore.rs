@@ -116,8 +116,7 @@ impl SpatialStore for GridStore {
                 continue;
             }
             for o in &self.cells[idx] {
-                if o.mbr.within_distance(q, eps) && o.mbr.intersects(&probe) && seen.insert(o.id)
-                {
+                if o.mbr.within_distance(q, eps) && o.mbr.intersects(&probe) && seen.insert(o.id) {
                     out.push(*o);
                 }
             }
@@ -161,12 +160,16 @@ mod tests {
     fn dataset() -> Vec<SpatialObject> {
         // Mix of points and boxes, some spanning many cells.
         let mut v: Vec<SpatialObject> = (0..200)
-            .map(|i| {
-                SpatialObject::point(i, (i % 20) as f64 * 5.0, (i / 20) as f64 * 10.0)
-            })
+            .map(|i| SpatialObject::point(i, (i % 20) as f64 * 5.0, (i / 20) as f64 * 10.0))
             .collect();
-        v.push(SpatialObject::new(900, Rect::from_coords(0.0, 0.0, 95.0, 90.0)));
-        v.push(SpatialObject::new(901, Rect::from_coords(40.0, 40.0, 60.0, 60.0)));
+        v.push(SpatialObject::new(
+            900,
+            Rect::from_coords(0.0, 0.0, 95.0, 90.0),
+        ));
+        v.push(SpatialObject::new(
+            901,
+            Rect::from_coords(40.0, 40.0, 60.0, 60.0),
+        ));
         v
     }
 
@@ -222,8 +225,12 @@ mod tests {
 
     #[test]
     fn resolution_is_clamped_and_scales() {
-        assert_eq!(GridStore::new(Vec::new()).resolution() >= 1, true);
-        let big = GridStore::new((0..10_000).map(|i| SpatialObject::point(i, (i % 100) as f64, (i / 100) as f64)).collect());
+        assert!(GridStore::new(Vec::new()).resolution() >= 1);
+        let big = GridStore::new(
+            (0..10_000)
+                .map(|i| SpatialObject::point(i, (i % 100) as f64, (i / 100) as f64))
+                .collect(),
+        );
         assert!(big.resolution() >= 10);
     }
 }

@@ -176,7 +176,10 @@ mod tests {
         let svc = SpatialService::new(RTreeStore::new(lattice(10)));
         assert_eq!(svc.handle(Request::CoopLevelMbrs(0)), Response::Refused);
         assert_eq!(
-            svc.handle(Request::CoopJoinPush { objects: vec![], eps: 1.0 }),
+            svc.handle(Request::CoopJoinPush {
+                objects: vec![],
+                eps: 1.0
+            }),
             Response::Refused
         );
     }
@@ -200,8 +203,8 @@ mod tests {
 
     #[test]
     fn coop_level_mbrs_refused_without_hierarchy() {
-        let svc = SpatialService::new(ScanStore::new(lattice(4)))
-            .with_policy(ServicePolicy::Cooperative);
+        let svc =
+            SpatialService::new(ScanStore::new(lattice(4))).with_policy(ServicePolicy::Cooperative);
         assert_eq!(svc.handle(Request::CoopLevelMbrs(0)), Response::Refused);
     }
 
@@ -238,7 +241,10 @@ mod tests {
         let seq = SpatialService::new(RTreeStore::new(lattice(40))).with_bucket_workers(1);
         let par = SpatialService::new(store).with_bucket_workers(4);
         let a = seq
-            .handle(Request::BucketEpsRange { probes: probes.clone(), eps: 1.5 })
+            .handle(Request::BucketEpsRange {
+                probes: probes.clone(),
+                eps: 1.5,
+            })
             .into_buckets();
         let b = par
             .handle(Request::BucketEpsRange { probes, eps: 1.5 })
@@ -255,10 +261,13 @@ mod tests {
 
     #[test]
     fn join_push_empty_outer() {
-        let svc = SpatialService::new(ScanStore::new(lattice(4)))
-            .with_policy(ServicePolicy::Cooperative);
+        let svc =
+            SpatialService::new(ScanStore::new(lattice(4))).with_policy(ServicePolicy::Cooperative);
         let pairs = svc
-            .handle(Request::CoopJoinPush { objects: vec![], eps: 5.0 })
+            .handle(Request::CoopJoinPush {
+                objects: vec![],
+                eps: 5.0,
+            })
             .into_pairs();
         assert!(pairs.is_empty());
     }

@@ -1,14 +1,28 @@
 //! Dataset (de)serialization — JSON files for examples and EXPERIMENTS
 //! artifacts.
+//!
+//! The build environment has no access to a crates registry, so instead
+//! of serde this module carries a small hand-rolled JSON codec for the
+//! one schema it needs:
+//!
+//! ```json
+//! {
+//!   "name": "hotels",
+//!   "space": {"min": {"x": 0.0, "y": 0.0}, "max": {"x": 10000.0, "y": 10000.0}},
+//!   "objects": [{"id": 0, "mbr": {"min": {...}, "max": {...}}}, ...]
+//! }
+//! ```
+//!
+//! Numbers are written via `f64`'s shortest-roundtrip `Display`, so every
+//! coordinate survives the round trip bit-exactly.
 
-use std::io::{BufReader, BufWriter};
+use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
-use asj_geom::{Rect, SpatialObject};
-use serde::{Deserialize, Serialize};
+use asj_geom::{Point, Rect, SpatialObject};
 
 /// A named dataset with its space, as stored on disk.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     pub name: String,
     pub space: Rect,
@@ -26,23 +40,394 @@ impl Dataset {
 }
 
 /// Saves a dataset as JSON.
+///
+/// Fails with `InvalidInput` (before creating the file) if any coordinate
+/// is NaN or infinite: JSON has no encoding for those, so writing them
+/// would produce a file [`load_dataset`] can never read back.
 pub fn save_dataset(path: &Path, ds: &Dataset) -> std::io::Result<()> {
+    let finite = |r: &Rect| {
+        r.min.x.is_finite() && r.min.y.is_finite() && r.max.x.is_finite() && r.max.y.is_finite()
+    };
+    if !finite(&ds.space) || !ds.objects.iter().all(|o| finite(&o.mbr)) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "dataset contains non-finite coordinates, which JSON cannot represent",
+        ));
+    }
     let file = std::fs::File::create(path)?;
-    serde_json::to_writer(BufWriter::new(file), ds)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    let mut w = BufWriter::new(file);
+    write_dataset(&mut w, ds)?;
+    w.flush()
 }
 
 /// Loads a dataset from JSON.
 pub fn load_dataset(path: &Path) -> std::io::Result<Dataset> {
-    let file = std::fs::File::open(path)?;
-    serde_json::from_reader(BufReader::new(file))
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    let mut text = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut text)?;
+    parse_dataset(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+fn write_point(out: &mut impl Write, p: &Point) -> std::io::Result<()> {
+    write!(out, "{{\"x\":{},\"y\":{}}}", p.x, p.y)
+}
+
+fn write_rect(out: &mut impl Write, r: &Rect) -> std::io::Result<()> {
+    out.write_all(b"{\"min\":")?;
+    write_point(out, &r.min)?;
+    out.write_all(b",\"max\":")?;
+    write_point(out, &r.max)?;
+    out.write_all(b"}")
+}
+
+fn write_dataset(out: &mut impl Write, ds: &Dataset) -> std::io::Result<()> {
+    out.write_all(b"{\"name\":")?;
+    write_json_string(out, &ds.name)?;
+    out.write_all(b",\"space\":")?;
+    write_rect(out, &ds.space)?;
+    out.write_all(b",\"objects\":[")?;
+    for (i, o) in ds.objects.iter().enumerate() {
+        if i > 0 {
+            out.write_all(b",")?;
+        }
+        write!(out, "{{\"id\":{},\"mbr\":", o.id)?;
+        write_rect(out, &o.mbr)?;
+        out.write_all(b"}")?;
+    }
+    out.write_all(b"]}")
+}
+
+fn write_json_string(out: &mut impl Write, s: &str) -> std::io::Result<()> {
+    out.write_all(b"\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_all(b"\\\"")?,
+            '\\' => out.write_all(b"\\\\")?,
+            '\n' => out.write_all(b"\\n")?,
+            '\r' => out.write_all(b"\\r")?,
+            '\t' => out.write_all(b"\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_all(b"\"")
+}
+
+// ---------------------------------------------------------------------
+// Parsing: a tiny recursive-descent JSON reader, just enough for the
+// dataset schema (objects, arrays, strings, numbers).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(f64),
+}
+
+impl Json {
+    fn field<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
+        match self {
+            Json::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{key}`")),
+            _ => Err(format!("expected object while reading `{key}`")),
+        }
+    }
+
+    fn as_number(&self) -> Result<f64, String> {
+        match self {
+            Json::Number(n) => Ok(*n),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn as_string(&self) -> Result<&str, String> {
+        match self {
+            Json::String(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    fn as_array(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Array(v) => Ok(v),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+/// Maximum container nesting the parser accepts (serde_json's default);
+/// recursion past this returns an error instead of overflowing the stack.
+const MAX_DEPTH: u32 = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' | b'[' => {
+                self.depth += 1;
+                if self.depth > MAX_DEPTH {
+                    return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+                }
+                let v = if self.peek()? == b'{' {
+                    self.object()
+                } else {
+                    self.array()
+                };
+                self.depth -= 1;
+                v
+            }
+            b'"' => Ok(Json::String(self.string()?)),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                other => return Err(format!("expected `,` or `}}`, found `{}`", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => return Err(format!("expected `,` or `]`, found `{}`", other as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.unicode_escape()?;
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow (JSON encodes non-BMP
+                                // characters as surrogate pairs).
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err(format!("lone high surrogate \\u{code:04x}"));
+                                }
+                                self.pos += 2;
+                                let low = self.unicode_escape()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(format!("invalid low surrogate \\u{low:04x}"));
+                                }
+                                let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(c)
+                                    .ok_or_else(|| format!("invalid \\u pair {c:#x}"))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid \\u{code:04x}"))?
+                            };
+                            out.push(c);
+                        }
+                        other => return Err(format!("bad escape `\\{}`", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 sequences from the source.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| "truncated UTF-8 sequence".to_string())?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    /// Reads the four hex digits after a `\u` (the `\u` itself already
+    /// consumed).
+    fn unicode_escape(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| "truncated \\u escape".to_string())?;
+        self.pos += 4;
+        u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+            .map_err(|e| e.to_string())
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        match text.parse::<f64>() {
+            // Overflowing literals (1e999) parse to ±inf in Rust; JSON has
+            // no non-finite numbers, and accepting them here would break
+            // the finite-coordinate invariant `save_dataset` enforces.
+            Ok(n) if n.is_finite() => Ok(Json::Number(n)),
+            _ => Err(format!("invalid number `{text}` at byte {start}")),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn point_of(v: &Json) -> Result<Point, String> {
+    Ok(Point::new(
+        v.field("x")?.as_number()?,
+        v.field("y")?.as_number()?,
+    ))
+}
+
+fn rect_of(v: &Json) -> Result<Rect, String> {
+    Ok(Rect::new(
+        point_of(v.field("min")?)?,
+        point_of(v.field("max")?)?,
+    ))
+}
+
+fn parse_dataset(text: &str) -> Result<Dataset, String> {
+    let mut p = Parser::new(text);
+    let root = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    let objects = root
+        .field("objects")?
+        .as_array()?
+        .iter()
+        .map(|o| {
+            let id = o.field("id")?.as_number()?;
+            if id < 0.0 || id > f64::from(u32::MAX) || id.fract() != 0.0 {
+                return Err(format!("object id {id} is not a u32"));
+            }
+            Ok(SpatialObject::new(id as u32, rect_of(o.field("mbr")?)?))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Dataset {
+        name: root.field("name")?.as_string()?.to_string(),
+        space: rect_of(root.field("space")?)?,
+        objects,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::synthetic::{gaussian_clusters, SyntheticSpec};
+
+    /// Per-process scratch dir so concurrent test runs (two checkouts,
+    /// shared /tmp) never race on the same files.
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("asj-io-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
 
     #[test]
     fn roundtrip() {
@@ -52,9 +437,7 @@ mod tests {
             space,
             gaussian_clusters(&SyntheticSpec::new(space, 50, 2), 9),
         );
-        let dir = std::env::temp_dir().join("asj-io-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("ds.json");
+        let path = scratch("roundtrip").join("ds.json");
         save_dataset(&path, &ds).unwrap();
         let back = load_dataset(&path).unwrap();
         assert_eq!(back, ds);
@@ -64,5 +447,95 @@ mod tests {
     #[test]
     fn load_missing_file_errors() {
         assert!(load_dataset(Path::new("/nonexistent/nope.json")).is_err());
+    }
+
+    #[test]
+    fn name_escaping_roundtrips() {
+        let space = crate::default_space();
+        let ds = Dataset::new("we\"ird\\näme\tü", space, Vec::new());
+        let path = scratch("esc").join("esc.json");
+        save_dataset(&path, &ds).unwrap();
+        assert_eq!(load_dataset(&path).unwrap(), ds);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_parse() {
+        // Interop: serializers with ensure_ascii semantics encode non-BMP
+        // characters as \u surrogate pairs.
+        let ds = parse_dataset(
+            "{\"name\":\"\\ud83d\\ude00 rail\",\"space\":{\"min\":{\"x\":0,\"y\":0},\
+             \"max\":{\"x\":1,\"y\":1}},\"objects\":[]}",
+        )
+        .unwrap();
+        assert_eq!(ds.name, "😀 rail");
+        // Lone or malformed surrogates are rejected, not mangled.
+        for bad in ["\\ud83d", "\\ud83dx", "\\ud83d\\u0041", "\\ude00"] {
+            let doc = format!(
+                "{{\"name\":\"{bad}\",\"space\":{{\"min\":{{\"x\":0,\"y\":0}},\
+                 \"max\":{{\"x\":1,\"y\":1}}}},\"objects\":[]}}"
+            );
+            assert!(parse_dataset(&doc).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // 200k unclosed arrays: must return Err, not blow the stack.
+        let mut doc = String::from("{\"name\":\"x\",\"space\":");
+        doc.push_str(&"[".repeat(200_000));
+        assert!(parse_dataset(&doc).is_err());
+    }
+
+    #[test]
+    fn overflowing_number_literals_rejected() {
+        // 1e999 → inf under f64 FromStr; the loader must refuse it so the
+        // finite-coordinate invariant of save_dataset holds end to end.
+        let doc = "{\"name\":\"x\",\"space\":{\"min\":{\"x\":0,\"y\":0},\
+                   \"max\":{\"x\":1e999,\"y\":1}},\"objects\":[]}";
+        assert!(parse_dataset(doc).is_err());
+    }
+
+    #[test]
+    fn non_finite_coordinates_refused_at_save() {
+        let dir = scratch("nonfinite");
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let ds = Dataset::new(
+                "bad",
+                crate::default_space(),
+                vec![SpatialObject::point(1, bad, 0.0)],
+            );
+            let path = dir.join("bad.json");
+            let err = save_dataset(&path, &ds).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+            assert!(!path.exists(), "refused save must not create the file");
+        }
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{\"name\":\"x\"}",
+            "{\"name\":\"x\",\"space\":5,\"objects\":[]}",
+            "{\"name\":\"x\",\"space\":{\"min\":{\"x\":0,\"y\":0},\"max\":{\"x\":1,\"y\":1}},\"objects\":[]} extra",
+        ] {
+            assert!(parse_dataset(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn extreme_coordinates_roundtrip() {
+        let space = Rect::from_coords(-1e9, -1e9, 1e9, 1e9);
+        let objs = vec![
+            SpatialObject::point(0, -0.0, 1e-300),
+            SpatialObject::point(u32::MAX, 12345.678901234567, -9.875e8),
+        ];
+        let ds = Dataset::new("extremes", space, objs);
+        let path = scratch("ext").join("ext.json");
+        save_dataset(&path, &ds).unwrap();
+        assert_eq!(load_dataset(&path).unwrap(), ds);
+        std::fs::remove_file(&path).ok();
     }
 }

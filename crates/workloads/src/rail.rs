@@ -67,7 +67,9 @@ pub fn germany_rail(spec: &RailSpec, seed: u64) -> Vec<SpatialObject> {
     let mut out = Vec::with_capacity(spec.target_segments + 1024);
     let mut id = 0u32;
     for &(a, b) in &edges {
-        subdivide_edge(cities[a], cities[b], seg_len, spec, &mut rng, &mut id, &mut out);
+        subdivide_edge(
+            cities[a], cities[b], seg_len, spec, &mut rng, &mut id, &mut out,
+        );
     }
     out
 }
@@ -91,10 +93,10 @@ fn place_cities(spec: &RailSpec, rng: &mut ChaCha8Rng) -> Vec<Point> {
     while cities.len() < spec.cities {
         if rng.random_range(0.0..1.0) < 0.7 {
             let h = hub_points[rng.random_range(0..hub_points.len())];
-            let x = (h.x + rng.random_range(-sigma..sigma))
-                .clamp(spec.space.min.x, spec.space.max.x);
-            let y = (h.y + rng.random_range(-sigma..sigma))
-                .clamp(spec.space.min.y, spec.space.max.y);
+            let x =
+                (h.x + rng.random_range(-sigma..sigma)).clamp(spec.space.min.x, spec.space.max.x);
+            let y =
+                (h.y + rng.random_range(-sigma..sigma)).clamp(spec.space.min.y, spec.space.max.y);
             cities.push(Point::new(x, y));
         } else {
             cities.push(Point::new(
@@ -141,7 +143,8 @@ fn subdivide_edge(
     let steps = (len / seg_len).ceil().max(1.0) as usize;
     let (dx, dy) = ((b.x - a.x) / steps as f64, (b.y - a.y) / steps as f64);
     // Perpendicular unit vector for lateral jitter.
-    let (px, py) = (-dy / (dx * dx + dy * dy).sqrt() * 1.0, dx / (dx * dx + dy * dy).sqrt());
+    let norm = (dx * dx + dy * dy).sqrt();
+    let (px, py) = (-dy / norm, dx / norm);
     let amp = seg_len * spec.jitter;
 
     // Smooth random-walk offset so consecutive segments connect.
@@ -171,7 +174,10 @@ mod tests {
 
     #[test]
     fn deterministic_and_near_target_cardinality() {
-        let spec = RailSpec { target_segments: 5_000, ..RailSpec::default() };
+        let spec = RailSpec {
+            target_segments: 5_000,
+            ..RailSpec::default()
+        };
         let a = germany_rail(&spec, 1);
         let b = germany_rail(&spec, 1);
         assert_eq!(a, b);
@@ -195,7 +201,10 @@ mod tests {
 
     #[test]
     fn segments_are_small_and_in_space() {
-        let spec = RailSpec { target_segments: 3_000, ..RailSpec::default() };
+        let spec = RailSpec {
+            target_segments: 3_000,
+            ..RailSpec::default()
+        };
         let rail = germany_rail(&spec, 3);
         let space = spec.space;
         let diag = (space.width().powi(2) + space.height().powi(2)).sqrt();
@@ -226,7 +235,10 @@ mod tests {
 
     #[test]
     fn coordinates_are_f32_snapped() {
-        let spec = RailSpec { target_segments: 500, ..RailSpec::default() };
+        let spec = RailSpec {
+            target_segments: 500,
+            ..RailSpec::default()
+        };
         for s in germany_rail(&spec, 5) {
             assert_eq!(s.mbr.min.x, snap(s.mbr.min.x));
             assert_eq!(s.mbr.max.y, snap(s.mbr.max.y));
@@ -235,7 +247,10 @@ mod tests {
 
     #[test]
     fn ids_unique() {
-        let spec = RailSpec { target_segments: 2_000, ..RailSpec::default() };
+        let spec = RailSpec {
+            target_segments: 2_000,
+            ..RailSpec::default()
+        };
         let rail = germany_rail(&spec, 6);
         let mut ids: Vec<u32> = rail.iter().map(|s| s.id).collect();
         ids.sort_unstable();

@@ -56,8 +56,10 @@ fn main() {
     // --- Query 3: asymmetric tariffs --------------------------------------
     // The Michelin link (server S) is roaming: 3×/byte. The optimizer
     // should shift traffic toward the cheap local server.
-    let mut net = NetConfig::default();
-    net.tariff_s = 3.0;
+    let net = NetConfig {
+        tariff_s: 3.0,
+        ..NetConfig::default()
+    };
     let dep_roaming = DeploymentBuilder::new(hotels, restaurants)
         .with_space(space)
         .with_buffer(800)
@@ -67,9 +69,7 @@ fn main() {
     let roam = SrJoin::default()
         .run(&dep_roaming, &JoinSpec::distance_join(500.0))
         .unwrap();
-    let frac = |r: &JoinReport| {
-        r.link_s.total_bytes() as f64 / r.total_bytes().max(1) as f64
-    };
+    let frac = |r: &JoinReport| r.link_s.total_bytes() as f64 / r.total_bytes().max(1) as f64;
     println!(
         "share of bytes on the expensive link: {:.0}% at 1:1 tariffs, {:.0}% at 1:3",
         100.0 * frac(&flat),

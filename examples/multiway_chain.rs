@@ -34,8 +34,7 @@ fn main() {
     // The device will need the matched restaurants' geometry for stage 2.
     // It saw every matched object during stage 1; keep the id → MBR map
     // the way the PDA would.
-    let restaurant_mbr: HashMap<u32, Rect> =
-        restaurants.iter().map(|o| (o.id, o.mbr)).collect();
+    let restaurant_mbr: HashMap<u32, Rect> = restaurants.iter().map(|o| (o.id, o.mbr)).collect();
 
     // --- Stage 1: Hotels ⋈ (≤500) Restaurants ---------------------------
     let dep = DeploymentBuilder::new(hotels, restaurants)

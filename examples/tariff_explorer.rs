@@ -22,7 +22,10 @@ fn main() {
     let spec = JoinSpec::distance_join(100.0);
 
     println!("-- MTU sweep (tariffs 1:1) --------------------------------");
-    println!("{:>8} {:>12} {:>12} {:>10}", "MTU", "wire bytes", "packets", "queries");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "MTU", "wire bytes", "packets", "queries"
+    );
     for mtu in [1500u32, 1006, 576, 296] {
         let net = NetConfig {
             packet: PacketModel::new(mtu, 40),

@@ -1,0 +1,213 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the macro and type surface this workspace's benches use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`] with
+//! `bench_function` and `benchmark_group`, and [`Bencher::iter`] /
+//! [`Bencher::iter_batched`]. Instead of statistical sampling it runs a
+//! short warm-up, then a fixed measurement window, and prints mean
+//! wall-clock time per iteration — enough to track regressions by eye
+//! and to keep `cargo bench` compiling and running offline.
+
+use std::time::{Duration, Instant};
+
+/// How long each benchmark measures after warm-up.
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+const WARMUP_WINDOW: Duration = Duration::from_millis(100);
+
+/// Batch-size hint, accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to the closure of `bench_function`; drives the timed loop.
+pub struct Bencher {
+    /// Total time spent in measured routine calls.
+    elapsed: Duration,
+    /// Number of measured routine calls.
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        }
+    }
+
+    /// Times `routine` repeatedly over the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (untimed).
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_WINDOW {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.elapsed += t.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            std::hint::black_box(routine(setup()));
+        }
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_WINDOW {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += t.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iterations == 0 {
+            println!("{name:<48} (no iterations)");
+            return;
+        }
+        let per_iter = self.elapsed / self.iterations as u32;
+        println!(
+            "{name:<48} {:>12} /iter over {} iters",
+            format_duration(per_iter),
+            self.iterations
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// The harness entry point, one per `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness is time-budgeted,
+    /// not sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_feeds_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut setups = 0u64;
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups > 0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(120)), "120 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(7)), "7.00 ms");
+    }
+}

@@ -1,0 +1,215 @@
+//! Minimal offline stand-in for `rand` 0.9.
+//!
+//! Provides the trait surface the workspace uses — [`RngCore`],
+//! [`SeedableRng`] (with the SplitMix64-expanded `seed_from_u64` the real
+//! crate documents), and [`Rng::random_range`] over integer and float
+//! ranges. Deterministic generators only; no OS entropy source.
+
+/// Core generator interface: a source of uniform random words.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+
+    fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// User-facing convenience methods; blanket-implemented for every
+/// [`RngCore`] as in the real crate.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open `a..b` or inclusive `a..=b`).
+    /// Panics on empty ranges, like the real crate.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Uniform boolean.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seedable deterministic generators.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64, mirroring the
+    /// real crate's documented behaviour.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Maps a random word to the unit interval `[0, 1)` with 53-bit precision.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Maps a random word to the closed unit interval `[0, 1]`.
+#[inline]
+fn unit_f64_inclusive(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+}
+
+/// A range that can produce uniform samples of `T`.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + (self.end - self.start) * unit_f64(rng.next_u64());
+        // Guard against rounding up to `end` when the span is tiny.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (a, b) = (*self.start(), *self.end());
+        assert!(a <= b, "cannot sample empty range");
+        if a == b {
+            return a;
+        }
+        a + (b - a) * unit_f64_inclusive(rng.next_u64())
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        (f64::from(self.start)..f64::from(self.end)).sample_from(rng) as f32
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for std::ops::Range<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let idx = widening_index(rng.next_u64(), span);
+                (self.start as i128 + idx as i128) as $ty
+            }
+        }
+
+        impl SampleRange<$ty> for std::ops::RangeInclusive<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "cannot sample empty range");
+                let span = (b as i128 - a as i128) as u128 + 1;
+                let idx = widening_index(rng.next_u64(), span);
+                (a as i128 + idx as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Bias-free-enough index in `[0, span)` via 64×64→128 multiply-shift.
+#[inline]
+fn widening_index(word: u64, span: u128) -> u64 {
+    debug_assert!(span > 0 && span <= u128::from(u64::MAX) + 1);
+    ((u128::from(word) * span) >> 64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Step(u64);
+
+    impl RngCore for Step {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = Step(42);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-3.0f64..7.0);
+            assert!((-3.0..7.0).contains(&v));
+            let w = rng.random_range(1.0f64..=2.0);
+            assert!((1.0..=2.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_hit_all_values() {
+        let mut rng = Step(7);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.random_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all range values reachable");
+        for _ in 0..1000 {
+            let v = rng.random_range(-2i32..=2);
+            assert!((-2..=2).contains(&v));
+        }
+    }
+
+    #[test]
+    fn degenerate_inclusive_range_returns_start() {
+        let mut rng = Step(1);
+        assert_eq!(rng.random_range(5.0f64..=5.0), 5.0);
+        assert_eq!(rng.random_range(9u32..=9), 9);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct Raw([u8; 16]);
+        impl SeedableRng for Raw {
+            type Seed = [u8; 16];
+            fn from_seed(seed: [u8; 16]) -> Self {
+                Raw(seed)
+            }
+        }
+        assert_eq!(Raw::seed_from_u64(3).0, Raw::seed_from_u64(3).0);
+        assert_ne!(Raw::seed_from_u64(3).0, Raw::seed_from_u64(4).0);
+    }
+}

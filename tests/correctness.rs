@@ -9,11 +9,7 @@ use asj_core::DeploymentBuilder;
 use asj_geom::sweep::nested_loop_join;
 use asj_workloads::{default_space, RailSpec};
 
-fn oracle(
-    r: &[SpatialObject],
-    s: &[SpatialObject],
-    pred: &JoinPredicate,
-) -> Vec<(u32, u32)> {
+fn oracle(r: &[SpatialObject], s: &[SpatialObject], pred: &JoinPredicate) -> Vec<(u32, u32)> {
     let mut v = nested_loop_join(r, s, pred);
     v.sort_unstable();
     v
@@ -73,7 +69,12 @@ fn clusters(k: usize, n: usize, seed: u64) -> Vec<SpatialObject> {
 fn skewed_distance_join_all_algorithms() {
     for seed in [1, 2] {
         let spec = JoinSpec::distance_join(100.0);
-        assert_all_correct(clusters(1, 400, seed), clusters(1, 400, seed + 100), 800, &spec);
+        assert_all_correct(
+            clusters(1, 400, seed),
+            clusters(1, 400, seed + 100),
+            800,
+            &spec,
+        );
     }
 }
 
@@ -132,7 +133,10 @@ fn empty_and_disjoint_datasets() {
         // The fixed-grid baseline pays one COUNT per cell by construction;
         // the adaptive algorithms must bail out after the global COUNTs.
         let limit = if name == "grid" { 10_000 } else { 1000 };
-        assert!(bytes < limit, "{name} wasted {bytes} bytes on an empty join");
+        assert!(
+            bytes < limit,
+            "{name} wasted {bytes} bytes on an empty join"
+        );
     }
 }
 
@@ -151,7 +155,12 @@ fn intersection_join_on_segment_mbrs() {
             let c = o.center();
             SpatialObject::new(
                 o.id,
-                Rect::from_coords(c.x, c.y, (c.x + 150.0).min(10_000.0), (c.y + 150.0).min(10_000.0)),
+                Rect::from_coords(
+                    c.x,
+                    c.y,
+                    (c.x + 150.0).min(10_000.0),
+                    (c.y + 150.0).min(10_000.0),
+                ),
             )
         })
         .collect();
@@ -171,9 +180,7 @@ fn distance_join_on_segment_mbrs_with_hint() {
     // Hint must cover the largest half-diagonal of the segment MBRs.
     let max_half = rail
         .iter()
-        .map(|o| {
-            ((o.mbr.width().powi(2) + o.mbr.height().powi(2)).sqrt()) * 0.5
-        })
+        .map(|o| ((o.mbr.width().powi(2) + o.mbr.height().powi(2)).sqrt()) * 0.5)
         .fold(0.0f64, f64::max);
     let spec = JoinSpec::distance_join(100.0).with_mbr_half_extent(max_half);
     assert_all_correct(clusters(8, 400, 14), rail, 900, &spec);
@@ -189,10 +196,7 @@ fn iceberg_semi_join_matches_oracle_counts() {
     for &(rid, _) in &want_pairs {
         *want_counts.entry(rid).or_insert(0u32) += 1;
     }
-    let mut want: Vec<(u32, u32)> = want_counts
-        .into_iter()
-        .filter(|&(_, c)| c >= 5)
-        .collect();
+    let mut want: Vec<(u32, u32)> = want_counts.into_iter().filter(|&(_, c)| c >= 5).collect();
     want.sort_unstable();
 
     let dep = DeploymentBuilder::new(r, s)

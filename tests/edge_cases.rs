@@ -68,8 +68,12 @@ fn eps_spanning_the_whole_space_is_a_cross_product() {
 fn all_points_identical_position() {
     // Degenerate cluster at one spot, counts never shrink under
     // splitting — exercises the recursion-limit fallback.
-    let r: Vec<_> = (0..150).map(|i| SpatialObject::point(i, 4000.0, 4000.0)).collect();
-    let s: Vec<_> = (0..150).map(|i| SpatialObject::point(i, 4000.5, 4000.0)).collect();
+    let r: Vec<_> = (0..150)
+        .map(|i| SpatialObject::point(i, 4000.0, 4000.0))
+        .collect();
+    let s: Vec<_> = (0..150)
+        .map(|i| SpatialObject::point(i, 4000.5, 4000.0))
+        .collect();
     let spec = JoinSpec::distance_join(10.0);
     // Buffer smaller than the co-located mass: HBSJ can never fit.
     check(r, s, 100, &spec);
@@ -146,8 +150,24 @@ fn intersection_join_of_nested_boxes() {
 
 #[test]
 fn dialup_network_still_correct() {
-    let r: Vec<_> = (0..60).map(|i| SpatialObject::point(i, 100.0 + (i as f64 * 37.0) % 2000.0, 150.0 + (i as f64 * 53.0) % 2000.0)).collect();
-    let s: Vec<_> = (0..60).map(|i| SpatialObject::point(i, 100.0 + (i as f64 * 29.0) % 2000.0, 150.0 + (i as f64 * 41.0) % 2000.0)).collect();
+    let r: Vec<_> = (0..60)
+        .map(|i| {
+            SpatialObject::point(
+                i,
+                100.0 + (i as f64 * 37.0) % 2000.0,
+                150.0 + (i as f64 * 53.0) % 2000.0,
+            )
+        })
+        .collect();
+    let s: Vec<_> = (0..60)
+        .map(|i| {
+            SpatialObject::point(
+                i,
+                100.0 + (i as f64 * 29.0) % 2000.0,
+                150.0 + (i as f64 * 41.0) % 2000.0,
+            )
+        })
+        .collect();
     let spec = JoinSpec::distance_join(120.0);
     let want = oracle(&r, &s, &spec.predicate);
     let dep = DeploymentBuilder::new(r, s)
@@ -166,8 +186,12 @@ fn dialup_network_still_correct() {
 #[test]
 fn buffer_of_one_object_still_completes() {
     // HBSJ can never run; everything must go through streaming NLSJ.
-    let r: Vec<_> = (0..25).map(|i| SpatialObject::point(i, 4900.0 + i as f64 * 8.0, 5000.0)).collect();
-    let s: Vec<_> = (0..25).map(|i| SpatialObject::point(i, 4904.0 + i as f64 * 8.0, 5000.0)).collect();
+    let r: Vec<_> = (0..25)
+        .map(|i| SpatialObject::point(i, 4900.0 + i as f64 * 8.0, 5000.0))
+        .collect();
+    let s: Vec<_> = (0..25)
+        .map(|i| SpatialObject::point(i, 4904.0 + i as f64 * 8.0, 5000.0))
+        .collect();
     let spec = JoinSpec::distance_join(5.0);
     let want = oracle(&r, &s, &spec.predicate);
     let dep = DeploymentBuilder::new(r, s)
@@ -185,7 +209,9 @@ fn buffer_of_one_object_still_completes() {
 
 #[test]
 fn naive_reports_buffer_error_with_exact_numbers() {
-    let r: Vec<_> = (0..30).map(|i| SpatialObject::point(i, i as f64, 0.0)).collect();
+    let r: Vec<_> = (0..30)
+        .map(|i| SpatialObject::point(i, i as f64, 0.0))
+        .collect();
     let dep = DeploymentBuilder::new(r.clone(), r)
         .with_buffer(59)
         .with_space(default_space())

@@ -1,0 +1,82 @@
+//! Build/metering smoke tests: the examples must keep compiling, and the
+//! wire meters must never silently report zero traffic.
+
+use adhoc_spatial_joins::prelude::*;
+use asj_core::DeploymentBuilder;
+use asj_geom::sweep::nested_loop_join;
+use asj_workloads::default_space;
+
+/// All five examples stay buildable. `cargo test` already builds examples
+/// for the root package, but only this assertion makes a broken example a
+/// *failing test* rather than a compile step someone may not run.
+#[test]
+fn all_examples_build() {
+    let examples = [
+        "quickstart",
+        "city_guide",
+        "rail_atlas",
+        "multiway_chain",
+        "tariff_explorer",
+    ];
+    let mut cmd = std::process::Command::new(env!("CARGO"));
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR")).arg("build");
+    for ex in examples {
+        cmd.args(["--example", ex]);
+    }
+    let out = cmd.output().expect("failed to spawn cargo");
+    assert!(
+        out.status.success(),
+        "`cargo build --example ...` failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Pinned-seed end-to-end guard for the metering path: NaiveJoin downloads
+/// both datasets, so both links MUST report wire traffic and object
+/// downloads. A refactor that zeroes the meters (or stops routing bytes
+/// through them) fails here even while the join result stays correct.
+#[test]
+fn naive_join_meters_nonzero_wire_bytes() {
+    let space = default_space();
+    let r = gaussian_clusters(&SyntheticSpec::new(space, 400, 4), 42);
+    let s = gaussian_clusters(&SyntheticSpec::new(space, 400, 8), 1042);
+    let spec = JoinSpec::distance_join(100.0);
+    let mut want = nested_loop_join(&r, &s, &spec.predicate);
+    want.sort_unstable();
+
+    let dep = DeploymentBuilder::new(r, s)
+        .with_buffer(800)
+        .with_space(space)
+        .build();
+    let rep = NaiveJoin
+        .run(&dep, &spec)
+        .expect("naive join must fit buffer 800");
+
+    let mut got = rep.pairs.clone();
+    got.sort_unstable();
+    assert_eq!(got, want, "naive join diverged from oracle");
+
+    // Both links moved real bytes, in both directions.
+    for (name, link) in [("R", &rep.link_r), ("S", &rep.link_s)] {
+        assert!(link.up_bytes > 0, "link {name}: uplink metered zero bytes");
+        assert!(
+            link.down_bytes > 0,
+            "link {name}: downlink metered zero bytes"
+        );
+    }
+    assert_eq!(
+        rep.objects_downloaded(),
+        800,
+        "naive join must download every object exactly once"
+    );
+    // 800 objects × 20 wire bytes each is a hard floor on total traffic.
+    assert!(
+        rep.total_bytes() > 16_000,
+        "total wire bytes implausibly low: {}",
+        rep.total_bytes()
+    );
+    assert_eq!(
+        rep.total_bytes(),
+        rep.link_r.total_bytes() + rep.link_s.total_bytes()
+    );
+}
