@@ -3,8 +3,8 @@
 //! ```text
 //! experiments [all | fig6a | fig6b | fig7a | fig7b | fig8a | fig8b |
 //!              ablation-baselines | ablation-bucket | ablation-confirm |
-//!              ablation-mtu]
-//!             [--seeds N] [--out DIR]
+//!              ablation-batched-stats | ablation-mtu]
+//!             [--seeds N] [--points N] [--out DIR]
 //! ```
 //!
 //! Tables print to stdout; CSVs land in `--out` (default `results/`).
@@ -15,6 +15,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
     let mut seeds: u64 = 10;
+    let mut points: Option<usize> = None;
     let mut out_dir = String::from("results");
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -24,6 +25,13 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seeds needs a number"));
+            }
+            "--points" => {
+                points = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--points needs a number")),
+                );
             }
             "--out" => {
                 out_dir = it.next().unwrap_or_else(|| usage("--out needs a path"));
@@ -42,7 +50,7 @@ fn main() {
             experiment_by_name(&id).unwrap_or_else(|| usage(&format!("unknown experiment {id}")));
         eprintln!("running {id} ({seeds} seeds)…");
         let start = std::time::Instant::now();
-        let table = exp.run(seeds);
+        let table = exp.run_sized(seeds, points);
         println!("{}", table.render());
         println!("expected shape: {}\n", exp.expectation);
         let csv_path = format!("{out_dir}/{id}.csv");
@@ -60,7 +68,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: experiments [all|fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|ablation-*] \
-         [--seeds N] [--out DIR]"
+         [--seeds N] [--points N] [--out DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

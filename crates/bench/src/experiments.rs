@@ -1,6 +1,6 @@
 //! One entry per figure of the paper, plus ablations.
 
-use crate::runner::{rail_rows, run_sweep, synthetic_rows, AlgoSpec, SweepConfig};
+use crate::runner::{rail_rows, run_sweep, synthetic_rows, AlgoKind, AlgoSpec, SweepConfig};
 use crate::table::Table;
 
 /// A reproducible experiment: a named sweep bound to a figure.
@@ -19,12 +19,21 @@ pub struct Experiment {
 impl Experiment {
     /// Runs the sweep with `seeds` repeats, returning the rendered table.
     pub fn run(&self, seeds: u64) -> Table {
+        self.run_sized(seeds, None)
+    }
+
+    /// Runs the sweep with an optional dataset-size override — the tiny
+    /// configuration CI exercises so the bench pipeline can't silently rot.
+    pub fn run_sized(&self, seeds: u64, n_points: Option<usize>) -> Table {
         let mut cfg = SweepConfig {
             seeds,
             ..SweepConfig::default()
         };
         (self.tweak)(&mut cfg);
-        if self.algos.contains(&AlgoSpec::Semi) {
+        if let Some(n) = n_points {
+            cfg.n_points = n;
+        }
+        if self.algos.iter().any(|a| a.kind == AlgoKind::Semi) {
             cfg.cooperative = true;
         }
         let rows = if self.rail {
@@ -51,22 +60,26 @@ pub fn all_experiments() -> Vec<Experiment> {
                           workload; on 1 K-point synthetic data all α in the paper's range \
                           behave identically.",
             algos: vec![
-                AlgoSpec::Up {
+                AlgoKind::Up {
                     alpha: 0.15,
                     confirm_random: true,
-                },
-                AlgoSpec::Up {
+                }
+                .into(),
+                AlgoKind::Up {
                     alpha: 0.20,
                     confirm_random: true,
-                },
-                AlgoSpec::Up {
+                }
+                .into(),
+                AlgoKind::Up {
                     alpha: 0.25,
                     confirm_random: true,
-                },
-                AlgoSpec::Up {
+                }
+                .into(),
+                AlgoKind::Up {
                     alpha: 0.30,
                     confirm_random: true,
-                },
+                }
+                .into(),
             ],
             rail: true,
             tweak: |c| c.bucket = true,
@@ -77,11 +90,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             expectation: "ρ=100% over-partitions uniform datasets (k=128 spike); ρ=30% fits \
                           uniform data and wins overall.",
             algos: vec![
-                AlgoSpec::Sr { rho: 0.30 },
-                AlgoSpec::Sr { rho: 0.50 },
-                AlgoSpec::Sr { rho: 1.00 },
-                AlgoSpec::Sr { rho: 2.00 },
-                AlgoSpec::Sr { rho: 3.50 },
+                AlgoKind::Sr { rho: 0.30 }.into(),
+                AlgoKind::Sr { rho: 0.50 }.into(),
+                AlgoKind::Sr { rho: 1.00 }.into(),
+                AlgoKind::Sr { rho: 2.00 }.into(),
+                AlgoKind::Sr { rho: 3.50 }.into(),
             ],
             rail: false,
             tweak: no_tweak,
@@ -92,12 +105,13 @@ pub fn all_experiments() -> Vec<Experiment> {
             expectation: "All similar on skewed data; at k=128 UpJoin deteriorates \
                           (over-partitions uniform data) and SrJoin is best.",
             algos: vec![
-                AlgoSpec::Sr { rho: 0.30 },
-                AlgoSpec::Up {
+                AlgoKind::Sr { rho: 0.30 }.into(),
+                AlgoKind::Up {
                     alpha: 0.25,
                     confirm_random: true,
-                },
-                AlgoSpec::Mobi,
+                }
+                .into(),
+                AlgoKind::Mobi.into(),
             ],
             rail: false,
             tweak: |c| c.buffer = 100,
@@ -108,12 +122,13 @@ pub fn all_experiments() -> Vec<Experiment> {
             expectation: "MobiJoin degrades on skewed data (the Fig. 2 pathologies); UpJoin \
                           best on skew; SrJoin balanced; MobiJoin fine at k=128.",
             algos: vec![
-                AlgoSpec::Sr { rho: 0.30 },
-                AlgoSpec::Up {
+                AlgoKind::Sr { rho: 0.30 }.into(),
+                AlgoKind::Up {
                     alpha: 0.25,
                     confirm_random: true,
-                },
-                AlgoSpec::Mobi,
+                }
+                .into(),
+                AlgoKind::Mobi.into(),
             ],
             rail: false,
             tweak: |c| c.buffer = 800,
@@ -124,12 +139,13 @@ pub fn all_experiments() -> Vec<Experiment> {
             expectation: "MobiJoin performs poorly (chooses NLSJ most of the time); UpJoin and \
                           SrJoin clearly cheaper, especially on skewed data.",
             algos: vec![
-                AlgoSpec::Sr { rho: 0.30 },
-                AlgoSpec::Up {
+                AlgoKind::Sr { rho: 0.30 }.into(),
+                AlgoKind::Up {
                     alpha: 0.25,
                     confirm_random: true,
-                },
-                AlgoSpec::Mobi,
+                }
+                .into(),
+                AlgoKind::Mobi.into(),
             ],
             rail: true,
             tweak: |c| c.bucket = true,
@@ -140,12 +156,13 @@ pub fn all_experiments() -> Vec<Experiment> {
             expectation: "UpJoin/SrJoin cheaper on skewed data; SemiJoin wins on uniform data \
                           (its MBR-level cost is flat; object transfer varies with skew).",
             algos: vec![
-                AlgoSpec::Up {
+                AlgoKind::Up {
                     alpha: 0.25,
                     confirm_random: true,
-                },
-                AlgoSpec::Sr { rho: 0.30 },
-                AlgoSpec::Semi,
+                }
+                .into(),
+                AlgoKind::Sr { rho: 0.30 }.into(),
+                AlgoKind::Semi.into(),
             ],
             rail: true,
             tweak: |c| c.bucket = true,
@@ -156,13 +173,14 @@ pub fn all_experiments() -> Vec<Experiment> {
             expectation: "Grid downloads everything non-empty; adaptive algorithms prune far \
                           below it on skewed data.",
             algos: vec![
-                AlgoSpec::Grid { k: 8 },
-                AlgoSpec::Mobi,
-                AlgoSpec::Up {
+                AlgoKind::Grid { k: 8 }.into(),
+                AlgoKind::Mobi.into(),
+                AlgoKind::Up {
                     alpha: 0.25,
                     confirm_random: true,
-                },
-                AlgoSpec::Sr { rho: 0.30 },
+                }
+                .into(),
+                AlgoKind::Sr { rho: 0.30 }.into(),
             ],
             rail: false,
             tweak: |c| c.buffer = 2500, // lets naive-ish grid cells fit
@@ -172,10 +190,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             figure: "Ablation (ours): one-by-one vs bucket NLSJ (upJoin, buffer 100)",
             expectation: "Bucket submission amortizes per-probe TCP headers; totals drop \
                           wherever NLSJ fires.",
-            algos: vec![AlgoSpec::Up {
+            algos: vec![AlgoKind::Up {
                 alpha: 0.25,
                 confirm_random: true,
-            }],
+            }
+            .into()],
             rail: false,
             tweak: |c| {
                 c.buffer = 100;
@@ -188,17 +207,37 @@ pub fn all_experiments() -> Vec<Experiment> {
             expectation: "Without confirmation, centered clusters get mislabelled uniform and \
                           HBSJ fires early — cheaper sometimes, riskier on Gaussian data.",
             algos: vec![
-                AlgoSpec::Up {
+                AlgoKind::Up {
                     alpha: 0.25,
                     confirm_random: true,
-                },
-                AlgoSpec::Up {
+                }
+                .into(),
+                AlgoKind::Up {
                     alpha: 0.25,
                     confirm_random: false,
-                },
+                }
+                .into(),
             ],
             rail: false,
             tweak: no_tweak,
+        },
+        Experiment {
+            id: "ablation-batched-stats",
+            figure: "Ablation (ours): per-query COUNT vs batched MultiCount statistics, \
+                     buffer 100",
+            expectation: "Each repartitioning round's 2k² COUNT round trips collapse into \
+                          one MultiCount per server; the small buffer makes every run \
+                          split-heavy, so the batched columns (+mc) recover most of the \
+                          Fig. 7 statistics overhead (compare mean_agg_bytes in the CSV) \
+                          with identical join results.",
+            algos: vec![
+                AlgoKind::Mobi.into(),
+                AlgoSpec::batched(AlgoKind::Mobi),
+                AlgoKind::Sr { rho: 0.30 }.into(),
+                AlgoSpec::batched(AlgoKind::Sr { rho: 0.30 }),
+            ],
+            rail: false,
+            tweak: |c| c.buffer = 100,
         },
         Experiment {
             id: "ablation-mtu",
@@ -206,12 +245,13 @@ pub fn all_experiments() -> Vec<Experiment> {
             expectation: "Smaller MTU inflates everything; algorithms that send many small \
                           queries (NLSJ-heavy plans) suffer disproportionately.",
             algos: vec![
-                AlgoSpec::Sr { rho: 0.30 },
-                AlgoSpec::Up {
+                AlgoKind::Sr { rho: 0.30 }.into(),
+                AlgoKind::Up {
                     alpha: 0.25,
                     confirm_random: true,
-                },
-                AlgoSpec::Mobi,
+                }
+                .into(),
+                AlgoKind::Mobi.into(),
             ],
             rail: false,
             tweak: |c| c.net = asj_net::NetConfig::dialup(),
@@ -231,7 +271,15 @@ mod tests {
     #[test]
     fn registry_contains_every_figure() {
         let ids: Vec<_> = all_experiments().iter().map(|e| e.id).collect();
-        for wanted in ["fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8b"] {
+        for wanted in [
+            "fig6a",
+            "fig6b",
+            "fig7a",
+            "fig7b",
+            "fig8a",
+            "fig8b",
+            "ablation-batched-stats",
+        ] {
             assert!(ids.contains(&wanted), "missing {wanted}");
         }
         assert!(experiment_by_name("fig7b").is_some());

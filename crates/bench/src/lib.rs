@@ -18,5 +18,5 @@ pub mod runner;
 pub mod table;
 
 pub use experiments::{all_experiments, experiment_by_name, Experiment};
-pub use runner::{AlgoSpec, CellStats, SweepConfig, SweepResult};
+pub use runner::{AlgoKind, AlgoSpec, CellStats, SweepConfig, SweepResult};
 pub use table::Table;

@@ -10,9 +10,9 @@ use asj_geom::SpatialObject;
 use asj_net::NetConfig;
 use asj_workloads::{default_space, gaussian_clusters, germany_rail, RailSpec, SyntheticSpec};
 
-/// Which algorithm a sweep runs — a constructible, nameable spec.
+/// Which algorithm a sweep column runs — a constructible, nameable kind.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub enum AlgoSpec {
+pub enum AlgoKind {
     Naive,
     Grid { k: u32 },
     Mobi,
@@ -21,32 +21,32 @@ pub enum AlgoSpec {
     Semi,
 }
 
-impl AlgoSpec {
+impl AlgoKind {
     /// Instantiates the algorithm.
     pub fn make(&self) -> Box<dyn DistributedJoin> {
         match *self {
-            AlgoSpec::Naive => Box::new(NaiveJoin),
-            AlgoSpec::Grid { k } => Box::new(GridJoin::new(k)),
-            AlgoSpec::Mobi => Box::new(MobiJoin),
-            AlgoSpec::Up {
+            AlgoKind::Naive => Box::new(NaiveJoin),
+            AlgoKind::Grid { k } => Box::new(GridJoin::new(k)),
+            AlgoKind::Mobi => Box::new(MobiJoin),
+            AlgoKind::Up {
                 alpha,
                 confirm_random,
             } => Box::new(UpJoin {
                 alpha,
                 confirm_random,
             }),
-            AlgoSpec::Sr { rho } => Box::new(SrJoin::with_rho(rho)),
-            AlgoSpec::Semi => Box::new(SemiJoin::default()),
+            AlgoKind::Sr { rho } => Box::new(SrJoin::with_rho(rho)),
+            AlgoKind::Semi => Box::new(SemiJoin::default()),
         }
     }
 
-    /// Column label.
+    /// Base column label.
     pub fn label(&self) -> String {
         match *self {
-            AlgoSpec::Naive => "naive".into(),
-            AlgoSpec::Grid { k } => format!("grid{k}"),
-            AlgoSpec::Mobi => "mobiJoin".into(),
-            AlgoSpec::Up {
+            AlgoKind::Naive => "naive".into(),
+            AlgoKind::Grid { k } => format!("grid{k}"),
+            AlgoKind::Mobi => "mobiJoin".into(),
+            AlgoKind::Up {
                 alpha,
                 confirm_random,
             } => {
@@ -58,15 +58,64 @@ impl AlgoSpec {
                     format!("up(a={alpha},noconf)")
                 }
             }
-            AlgoSpec::Sr { rho } => {
+            AlgoKind::Sr { rho } => {
                 if rho == 0.30 {
                     "srJoin".into()
                 } else {
                     format!("sr(r={:.0}%)", rho * 100.0)
                 }
             }
-            AlgoSpec::Semi => "semiJoin".into(),
+            AlgoKind::Semi => "semiJoin".into(),
         }
+    }
+}
+
+/// One sweep column: an algorithm plus per-column capabilities — today the
+/// batched `MultiCount` statistics mode, so single and batched variants of
+/// the same algorithm can sit side by side in one table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgoSpec {
+    pub kind: AlgoKind,
+    /// Run this column with batched `MultiCount` statistics enabled.
+    pub batched_stats: bool,
+}
+
+impl AlgoSpec {
+    /// A per-query (paper-faithful) column.
+    pub const fn new(kind: AlgoKind) -> Self {
+        AlgoSpec {
+            kind,
+            batched_stats: false,
+        }
+    }
+
+    /// The same column with batched `MultiCount` statistics.
+    pub const fn batched(kind: AlgoKind) -> Self {
+        AlgoSpec {
+            kind,
+            batched_stats: true,
+        }
+    }
+
+    /// Instantiates the algorithm.
+    pub fn make(&self) -> Box<dyn DistributedJoin> {
+        self.kind.make()
+    }
+
+    /// Column label; batched columns carry a `+mc` suffix.
+    pub fn label(&self) -> String {
+        let base = self.kind.label();
+        if self.batched_stats {
+            format!("{base}+mc")
+        } else {
+            base
+        }
+    }
+}
+
+impl From<AlgoKind> for AlgoSpec {
+    fn from(kind: AlgoKind) -> Self {
+        AlgoSpec::new(kind)
     }
 }
 
@@ -97,6 +146,10 @@ pub struct SweepConfig {
     /// Cooperative servers (needed when any algorithm is SemiJoin).
     pub cooperative: bool,
     pub net: NetConfig,
+    /// Worker-thread override; `None` uses all cores. Sweeps are
+    /// bit-identical regardless of this value (samples are indexed by
+    /// seed, not completion order) — the determinism test exercises it.
+    pub workers: Option<usize>,
 }
 
 impl Default for SweepConfig {
@@ -109,6 +162,7 @@ impl Default for SweepConfig {
             bucket: false,
             cooperative: false,
             net: NetConfig::default(),
+            workers: None,
         }
     }
 }
@@ -121,6 +175,9 @@ pub struct CellStats {
     pub mean_queries: f64,
     pub mean_pairs: f64,
     pub mean_objects: f64,
+    /// Mean wire bytes spent on aggregate (statistics) traffic — the
+    /// column the batched-vs-single ablation reads its saving from.
+    pub mean_agg_bytes: f64,
 }
 
 /// One full sweep: row labels × algorithm columns.
@@ -132,8 +189,14 @@ pub struct SweepResult {
     pub cells: Vec<Vec<CellStats>>,
 }
 
-/// Builds the deployment for one (workload, seed).
-fn build_deployment(workload: Workload, seed: u64, cfg: &SweepConfig) -> (Deployment, f64) {
+/// Builds the deployment for one (workload, seed); `net` is the sweep's
+/// network config with any per-column capability overrides applied.
+fn build_deployment(
+    workload: Workload,
+    seed: u64,
+    cfg: &SweepConfig,
+    net: NetConfig,
+) -> (Deployment, f64) {
     let space = default_space();
     match workload {
         Workload::SyntheticPair { clusters } => {
@@ -143,7 +206,7 @@ fn build_deployment(workload: Workload, seed: u64, cfg: &SweepConfig) -> (Deploy
                 seed + 1000,
             );
             let mut b = DeploymentBuilder::new(r, s)
-                .with_net(cfg.net)
+                .with_net(net)
                 .with_buffer(cfg.buffer)
                 .with_space(space);
             if cfg.cooperative {
@@ -159,7 +222,7 @@ fn build_deployment(workload: Workload, seed: u64, cfg: &SweepConfig) -> (Deploy
             let s = germany_rail(&RailSpec::default(), seed);
             let hint = max_half_extent(&s);
             let mut b = DeploymentBuilder::new(r, s)
-                .with_net(cfg.net)
+                .with_net(net)
                 .with_buffer(cfg.buffer)
                 .with_space(space);
             if cfg.cooperative {
@@ -170,9 +233,9 @@ fn build_deployment(workload: Workload, seed: u64, cfg: &SweepConfig) -> (Deploy
     }
 }
 
-/// One seed's measurements: (total bytes, queries, aggregate queries,
-/// objects downloaded).
-type Sample = (u64, u64, u64, u64);
+/// One seed's measurements: (total bytes, queries, pairs, objects
+/// downloaded, aggregate bytes).
+type Sample = (u64, u64, u64, u64, u64);
 
 /// Largest half-diagonal among the objects — the window-extension hint.
 pub fn max_half_extent(objects: &[SpatialObject]) -> f64 {
@@ -200,13 +263,23 @@ pub fn run_sweep(
             }
         }
     }
-    let results: Mutex<Vec<Vec<Vec<Sample>>>> =
-        Mutex::new(vec![vec![Vec::new(); algos.len()]; rows.len()]);
+    // Samples are indexed by seed, never pushed in completion order:
+    // thread scheduling must not change the f64 summation order, so means
+    // are bit-identical for any worker count.
+    let results: Mutex<Vec<Vec<Vec<Option<Sample>>>>> =
+        Mutex::new(vec![
+            vec![vec![None; cfg.seeds as usize]; algos.len()];
+            rows.len()
+        ]);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
+    let workers = cfg
+        .workers
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .clamp(1, jobs.len().max(1));
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -215,7 +288,10 @@ pub fn run_sweep(
                 let Some(&(ri, ai, seed)) = jobs.get(i) else {
                     break;
                 };
-                let (dep, hint) = build_deployment(rows[ri].1, 7 + seed * 97, cfg);
+                let net = cfg
+                    .net
+                    .with_batched_stats(cfg.net.batched_stats || algos[ai].batched_stats);
+                let (dep, hint) = build_deployment(rows[ri].1, 7 + seed * 97, cfg, net);
                 let spec = JoinSpec::distance_join(cfg.eps)
                     .with_bucket_nlsj(cfg.bucket)
                     .with_mbr_half_extent(hint)
@@ -229,8 +305,9 @@ pub fn run_sweep(
                     rep.total_queries(),
                     rep.pairs.len() as u64,
                     rep.objects_downloaded(),
+                    rep.link_r.aggregate_bytes() + rep.link_s.aggregate_bytes(),
                 );
-                results.lock().unwrap()[ri][ai].push(tuple);
+                results.lock().unwrap()[ri][ai][seed as usize] = Some(tuple);
             });
         }
     });
@@ -238,7 +315,17 @@ pub fn run_sweep(
     let raw = results.into_inner().unwrap();
     let cells = raw
         .into_iter()
-        .map(|row| row.into_iter().map(|samples| aggregate(&samples)).collect())
+        .map(|row| {
+            row.into_iter()
+                .map(|samples| {
+                    let samples: Vec<Sample> = samples
+                        .into_iter()
+                        .map(|s| s.expect("every (row, algo, seed) job runs exactly once"))
+                        .collect();
+                    aggregate(&samples)
+                })
+                .collect()
+        })
         .collect();
     SweepResult {
         rows: rows.iter().map(|(l, _)| l.clone()).collect(),
@@ -265,6 +352,7 @@ fn aggregate(samples: &[Sample]) -> CellStats {
         mean_queries: mean(|s| s.1),
         mean_pairs: mean(|s| s.2),
         mean_objects: mean(|s| s.3),
+        mean_agg_bytes: mean(|s| s.4),
     }
 }
 
@@ -295,53 +383,114 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(AlgoSpec::Mobi.label(), "mobiJoin");
+        assert_eq!(AlgoSpec::new(AlgoKind::Mobi).label(), "mobiJoin");
+        assert_eq!(AlgoSpec::batched(AlgoKind::Mobi).label(), "mobiJoin+mc");
         assert_eq!(
-            AlgoSpec::Up {
+            AlgoSpec::new(AlgoKind::Up {
                 alpha: 0.25,
                 confirm_random: true
-            }
+            })
             .label(),
             "upJoin"
         );
-        assert_eq!(AlgoSpec::Sr { rho: 0.30 }.label(), "srJoin");
-        assert_eq!(AlgoSpec::Sr { rho: 2.0 }.label(), "sr(r=200%)");
-        assert_eq!(AlgoSpec::Grid { k: 8 }.label(), "grid8");
+        assert_eq!(AlgoSpec::new(AlgoKind::Sr { rho: 0.30 }).label(), "srJoin");
+        assert_eq!(
+            AlgoSpec::batched(AlgoKind::Sr { rho: 0.30 }).label(),
+            "srJoin+mc"
+        );
+        assert_eq!(
+            AlgoSpec::new(AlgoKind::Sr { rho: 2.0 }).label(),
+            "sr(r=200%)"
+        );
+        assert_eq!(AlgoSpec::new(AlgoKind::Grid { k: 8 }).label(), "grid8");
+        assert_eq!(AlgoSpec::from(AlgoKind::Semi).label(), "semiJoin");
     }
 
     #[test]
     fn aggregate_stats() {
-        let s = aggregate(&[(10, 1, 2, 3), (20, 3, 4, 5)]);
+        let s = aggregate(&[(10, 1, 2, 3, 4), (20, 3, 4, 5, 6)]);
         assert_eq!(s.mean_bytes, 15.0);
         assert_eq!(s.std_bytes, 5.0);
         assert_eq!(s.mean_queries, 2.0);
         assert_eq!(s.mean_pairs, 3.0);
         assert_eq!(s.mean_objects, 4.0);
+        assert_eq!(s.mean_agg_bytes, 5.0);
     }
 
     #[test]
-    fn tiny_sweep_runs_and_is_deterministic() {
+    fn batched_column_recovers_statistics_bytes() {
+        // SrJoin COUNTs the four quadrants of every non-limit window, so
+        // at least one statistics round is guaranteed; buffer 100 makes
+        // the run split-heavy like the Fig. 7(a) configuration.
         let cfg = SweepConfig {
             n_points: 150,
             seeds: 2,
+            buffer: 100,
             ..SweepConfig::default()
         };
+        let rows = vec![("4".to_string(), Workload::SyntheticPair { clusters: 4 })];
+        let algos = [
+            AlgoSpec::new(AlgoKind::Sr { rho: 0.3 }),
+            AlgoSpec::batched(AlgoKind::Sr { rho: 0.3 }),
+        ];
+        let r = run_sweep(&rows, &algos, &cfg);
+        assert_eq!(r.algos, vec!["srJoin", "srJoin+mc"]);
+        let (single, batched) = (r.cells[0][0], r.cells[0][1]);
+        assert_eq!(
+            single.mean_pairs, batched.mean_pairs,
+            "batching must not change join results"
+        );
+        assert!(
+            batched.mean_agg_bytes < single.mean_agg_bytes,
+            "batched {} vs single {} aggregate bytes",
+            batched.mean_agg_bytes,
+            single.mean_agg_bytes
+        );
+        assert!(batched.mean_bytes < single.mean_bytes);
+    }
+
+    #[test]
+    fn tiny_sweep_runs_and_is_deterministic_across_worker_counts() {
         let rows = vec![
             ("1".to_string(), Workload::SyntheticPair { clusters: 1 }),
             ("16".to_string(), Workload::SyntheticPair { clusters: 16 }),
         ];
-        let algos = [AlgoSpec::Mobi, AlgoSpec::Sr { rho: 0.3 }];
-        let a = run_sweep(&rows, &algos, &cfg);
-        let b = run_sweep(&rows, &algos, &cfg);
+        let algos = [
+            AlgoSpec::new(AlgoKind::Mobi),
+            AlgoSpec::new(AlgoKind::Sr { rho: 0.3 }),
+        ];
+        let run = |workers: Option<usize>| {
+            let cfg = SweepConfig {
+                n_points: 150,
+                seeds: 3,
+                workers,
+                ..SweepConfig::default()
+            };
+            run_sweep(&rows, &algos, &cfg)
+        };
+        let a = run(None);
         assert_eq!(a.rows, vec!["1", "16"]);
         assert_eq!(a.algos, vec!["mobiJoin", "srJoin"]);
-        for ri in 0..2 {
-            for ai in 0..2 {
-                assert!(a.cells[ri][ai].mean_bytes > 0.0);
-                assert_eq!(
-                    a.cells[ri][ai].mean_bytes, b.cells[ri][ai].mean_bytes,
-                    "sweeps must be deterministic"
-                );
+        // Means must be *bit*-identical however the jobs are scheduled:
+        // samples are indexed by seed, so the f64 summation order is fixed.
+        for b in [run(None), run(Some(1)), run(Some(2)), run(Some(5))] {
+            for ri in 0..2 {
+                for ai in 0..2 {
+                    assert!(a.cells[ri][ai].mean_bytes > 0.0);
+                    assert_eq!(
+                        a.cells[ri][ai].mean_bytes.to_bits(),
+                        b.cells[ri][ai].mean_bytes.to_bits(),
+                        "sweeps must be deterministic"
+                    );
+                    assert_eq!(
+                        a.cells[ri][ai].std_bytes.to_bits(),
+                        b.cells[ri][ai].std_bytes.to_bits()
+                    );
+                    assert_eq!(
+                        a.cells[ri][ai].mean_agg_bytes.to_bits(),
+                        b.cells[ri][ai].mean_agg_bytes.to_bits()
+                    );
+                }
             }
         }
     }

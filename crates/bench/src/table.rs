@@ -55,15 +55,20 @@ impl Table {
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{},algorithm,mean_bytes,std_bytes,mean_queries,mean_pairs,mean_objects\n",
+            "{},algorithm,mean_bytes,std_bytes,mean_queries,mean_pairs,mean_objects,mean_agg_bytes\n",
             self.row_header
         ));
         for (ri, row) in self.result.rows.iter().enumerate() {
             for (ai, algo) in self.result.algos.iter().enumerate() {
                 let c = &self.result.cells[ri][ai];
                 out.push_str(&format!(
-                    "{row},{algo},{:.1},{:.1},{:.1},{:.1},{:.1}\n",
-                    c.mean_bytes, c.std_bytes, c.mean_queries, c.mean_pairs, c.mean_objects
+                    "{row},{algo},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1}\n",
+                    c.mean_bytes,
+                    c.std_bytes,
+                    c.mean_queries,
+                    c.mean_pairs,
+                    c.mean_objects,
+                    c.mean_agg_bytes
                 ));
             }
         }

@@ -13,8 +13,9 @@
 
 use asj_geom::Rect;
 use asj_net::codec::{
-    ANSWER_BYTES, BUCKET_FRAME_BYTES, BUCKET_REQ_HEADER_BYTES, EPS_QUERY_BYTES,
-    OBJECTS_HEADER_BYTES, OBJ_BYTES, QUERY_BYTES,
+    ANSWER_BYTES, BUCKET_FRAME_BYTES, BUCKET_REQ_HEADER_BYTES, COUNTS_HEADER_BYTES,
+    COUNT_ENTRY_BYTES, EPS_QUERY_BYTES, MULTI_COUNT_HEADER_BYTES, OBJECTS_HEADER_BYTES, OBJ_BYTES,
+    QUERY_BYTES, RECT_BYTES,
 };
 use asj_net::{NetConfig, PacketModel};
 
@@ -28,6 +29,10 @@ pub struct CostModel {
     pub tariff_s: f64,
     /// Device buffer capacity in objects; `c1 = ∞` beyond it.
     pub buffer_capacity: usize,
+    /// Statistics go out as batched `MultiCount` messages
+    /// ([`NetConfig::batched_stats`]); split-cost estimates must price
+    /// what the meter will actually measure.
+    pub batched_stats: bool,
 }
 
 impl CostModel {
@@ -37,6 +42,7 @@ impl CostModel {
             tariff_r: net.tariff_r,
             tariff_s: net.tariff_s,
             buffer_capacity,
+            batched_stats: net.batched_stats,
         }
     }
 
@@ -52,6 +58,33 @@ impl CostModel {
     /// Eq. (7): query up, scalar answer down.
     pub fn taq(&self) -> f64 {
         self.tb(QUERY_BYTES as f64) + self.tb(ANSWER_BYTES as f64)
+    }
+
+    /// One batched `MultiCount` round trip carrying `k` probe windows on
+    /// one link, unweighted — the companion of Eq. (7) for the batched
+    /// statistics protocol: one framed request up, one framed count
+    /// vector down.
+    pub fn taq_batched(&self, k: u32) -> f64 {
+        self.tb(MULTI_COUNT_HEADER_BYTES as f64 + k as f64 * RECT_BYTES as f64)
+            + self.tb(COUNTS_HEADER_BYTES as f64 + k as f64 * COUNT_ENTRY_BYTES as f64)
+    }
+
+    /// Wire cost of counting `probes` windows on one link, unweighted,
+    /// under whichever statistics protocol is active: `probes · Taq`
+    /// per-query, or one `taq_batched(probes)` round trip when batched.
+    pub fn stats_round(&self, probes: u32) -> f64 {
+        if self.batched_stats {
+            self.taq_batched(probes)
+        } else {
+            probes as f64 * self.taq()
+        }
+    }
+
+    /// The wire cost of one 2×2 repartitioning round of statistics on
+    /// both links — the paper's `2k²·Taq` with `k = 2`: four quadrant
+    /// COUNTs to each server (or one batched `MultiCount` each).
+    pub fn split_stats_cost(&self) -> f64 {
+        self.stats_round(4) * (self.tariff_r + self.tariff_s)
     }
 
     /// Wire bytes of a `WINDOW` download of `n` objects on one link,
@@ -126,7 +159,7 @@ impl CostModel {
     /// uniform and every quadrant finishes with one (unchecked) HBSJ.
     pub fn c4_mobijoin(&self, count_r: f64, count_s: f64, k: u32) -> f64 {
         let cells = (k * k) as f64;
-        let stats = cells * self.taq() * (self.tariff_r + self.tariff_s);
+        let stats = self.stats_round(k * k) * (self.tariff_r + self.tariff_s);
         let per_cell = self.c1_unchecked(count_r / cells, count_s / cells);
         stats + cells * per_cell
     }
@@ -135,23 +168,28 @@ impl CostModel {
     /// recursive 2×2 decomposition (SrJoin's reading: "if all the points
     /// can not fit into the memory, HBSJ is recursively executed"): the
     /// same object bytes plus the aggregate queries of the estimated
-    /// decomposition levels.
+    /// decomposition.
+    ///
+    /// The statistics term walks the uniform recursion directly: every
+    /// window whose (estimated) population overflows the buffer is split,
+    /// paying one [`CostModel::split_stats_cost`]; its four quarters carry
+    /// a fourth of the population each. A unit test pins this against a
+    /// simulation of the actual 2×2 recursion's COUNT count — the earlier
+    /// closed form computed levels via `log(4)`/`ceil`, whose FP rounding
+    /// could buy a whole spurious level of 4^L windows near exact powers
+    /// of four.
     pub fn c1_decomposed(&self, count_r: f64, count_s: f64) -> f64 {
         let base = self.c1_unchecked(count_r, count_s);
-        let total = count_r + count_s;
         let cap = self.buffer_capacity.max(1) as f64;
-        if total <= cap {
-            return base;
+        let mut splits = 0.0;
+        let mut level_windows = 1.0;
+        let mut per_window = count_r + count_s;
+        while per_window > cap {
+            splits += level_windows;
+            level_windows *= 4.0;
+            per_window /= 4.0;
         }
-        // Levels until uniform quarters fit: 4^L ≥ total/cap.
-        let levels = (total / cap).log(4.0).ceil().max(1.0);
-        let mut cells = 0.0;
-        let mut level_cells = 4.0;
-        for _ in 0..levels as u32 {
-            cells += level_cells;
-            level_cells *= 4.0;
-        }
-        base + 2.0 * cells * self.taq() * (self.tariff_r + self.tariff_s) * 0.5
+        base + splits * self.split_stats_cost()
     }
 
     /// "`|Dw|` is large" gate of UpJoin — inequality (10):
@@ -277,5 +315,87 @@ mod tests {
         let m = model(800);
         // (BH+BQ) + (BH+BA) with BQ=17, BA=9, BH=40.
         assert_eq!(m.taq(), (40.0 + 17.0) + (40.0 + 9.0));
+    }
+
+    fn batched_model(buffer: usize) -> CostModel {
+        CostModel::new(&NetConfig::default().with_batched_stats(true), buffer)
+    }
+
+    #[test]
+    fn taq_batched_beats_per_query_for_a_quadrant_round() {
+        let m = model(800);
+        // One MultiCount of 4 windows: (BH + 5 + 4·16) + (BH + 5 + 4·8).
+        assert_eq!(m.taq_batched(4), (40.0 + 69.0) + (40.0 + 37.0));
+        assert!(m.taq_batched(4) < 4.0 * m.taq());
+        // Huge batches still pay multi-packet headers, never less than
+        // the payload itself.
+        assert!(m.taq_batched(10_000) > 10_000.0 * RECT_BYTES as f64);
+    }
+
+    #[test]
+    fn stats_round_switches_on_capability() {
+        let single = model(800);
+        let batched = batched_model(800);
+        assert_eq!(single.stats_round(4), 4.0 * single.taq());
+        assert_eq!(batched.stats_round(4), batched.taq_batched(4));
+        assert!(batched.split_stats_cost() < single.split_stats_cost());
+        // With both tariffs at 1, a split costs the round on both links.
+        assert_eq!(single.split_stats_cost(), 8.0 * single.taq());
+    }
+
+    /// Simulates the actual 2×2 recursion under the uniformity assumption:
+    /// every window whose population overflows the buffer splits once
+    /// (8 quadrant COUNTs — one `split_stats_cost`) and hands a quarter of
+    /// its population to each child.
+    fn simulated_decomposition_stats(m: &CostModel, total: f64) -> f64 {
+        fn splits(total: f64, cap: f64) -> f64 {
+            if total <= cap {
+                0.0
+            } else {
+                1.0 + 4.0 * splits(total / 4.0, cap)
+            }
+        }
+        splits(total, m.buffer_capacity as f64) * m.split_stats_cost()
+    }
+
+    #[test]
+    fn c1_decomposed_matches_recursion_simulation() {
+        for m in [model(800), model(100), batched_model(800)] {
+            for (r, s) in [
+                (100.0, 100.0),       // fits: no stats at all
+                (500.0, 301.0),       // barely overflows 800
+                (1600.0, 1600.0),     // total = 4·cap exactly (800)
+                (25_600.0, 25_600.0), // total = 64·cap exactly (800)
+                (3_000.0, 10_000.0),
+                (123_456.0, 789.0),
+            ] {
+                let got = m.c1_decomposed(r, s) - m.c1_unchecked(r, s);
+                let want = simulated_decomposition_stats(&m, r + s);
+                assert_eq!(
+                    got, want,
+                    "stats mismatch for r={r} s={s} cap={}",
+                    m.buffer_capacity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn c1_decomposed_fits_is_plain_c1() {
+        let m = model(800);
+        assert_eq!(m.c1_decomposed(400.0, 400.0), m.c1_unchecked(400.0, 400.0));
+        assert!(m.c1_decomposed(500.0, 500.0) > m.c1_unchecked(500.0, 500.0));
+    }
+
+    #[test]
+    fn batched_c4_prices_fewer_stat_bytes() {
+        let single = model(800);
+        let batched = batched_model(800);
+        let diff = single.c4_mobijoin(1000.0, 1000.0, 2) - batched.c4_mobijoin(1000.0, 1000.0, 2);
+        assert_eq!(
+            diff,
+            single.split_stats_cost() - batched.split_stats_cost(),
+            "only the statistics term may differ"
+        );
     }
 }

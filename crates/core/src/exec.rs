@@ -116,7 +116,11 @@ impl<'a> ExecCtx<'a> {
     pub fn new(deployment: &Deployment, spec: &'a JoinSpec) -> Self {
         let (link_r, link_s) = deployment.connect();
         let space = deployment.space();
-        let min_window = (4.0 * spec.extension()).max(space.width() * 1e-7);
+        // The recursion floor must use the same scale as both guards in
+        // `at_limit`: on an elongated space, deriving it from the width
+        // alone leaves the height guard with the wrong scale.
+        let max_dim = space.width().max(space.height());
+        let min_window = (4.0 * spec.extension()).max(max_dim * 1e-7);
         ExecCtx {
             link_r,
             link_s,
@@ -166,14 +170,36 @@ impl<'a> ExecCtx<'a> {
         (self.count(Side::R, w), self.count(Side::S, w))
     }
 
-    /// Counts of the four quadrants of `w` on one side (4 COUNT queries).
+    /// Batched `COUNT` on many windows in one `MultiCount` message:
+    /// answers in probe order, same ε/2-extended windows as
+    /// [`ExecCtx::count`]. Callers gate on
+    /// [`CostModel::batched_stats`](crate::CostModel) — in per-query mode
+    /// they issue individual COUNTs instead.
+    pub fn multi_count(&self, side: Side, windows: &[Rect]) -> Vec<u64> {
+        let ext: Vec<Rect> = windows.iter().map(|w| self.ext(w)).collect();
+        self.link(side)
+            .request(Request::MultiCount(ext))
+            .into_counts()
+    }
+
+    /// Counts of the four quadrants of `w` on one side: 4 COUNT queries,
+    /// or a single batched `MultiCount` when the deployment's
+    /// [`NetConfig::batched_stats`](asj_net::NetConfig) capability is on.
+    /// Same extended windows, same answers — only the framing differs, so
+    /// every algorithm that repartitions benefits without changes.
     pub fn quadrant_counts(&self, side: Side, quads: &[Rect; 4]) -> [u64; 4] {
-        [
-            self.count(side, &quads[0]),
-            self.count(side, &quads[1]),
-            self.count(side, &quads[2]),
-            self.count(side, &quads[3]),
-        ]
+        if self.cost.batched_stats {
+            let counts = self.multi_count(side, quads);
+            debug_assert_eq!(counts.len(), 4);
+            [counts[0], counts[1], counts[2], counts[3]]
+        } else {
+            [
+                self.count(side, &quads[0]),
+                self.count(side, &quads[1]),
+                self.count(side, &quads[2]),
+                self.count(side, &quads[3]),
+            ]
+        }
     }
 
     /// `WINDOW` download of the extended window.
@@ -220,9 +246,12 @@ impl<'a> ExecCtx<'a> {
     }
 
     /// The wire cost of one 2×2 repartitioning round of statistics:
-    /// `2k² · Taq` with `k = 2` — four COUNTs to each server.
+    /// `2k² · Taq` with `k = 2` — four COUNTs to each server, or one
+    /// batched `MultiCount` each when the capability is on. Delegates to
+    /// the cost model so decisions price what [`ExecCtx::quadrant_counts`]
+    /// will actually put on the wire.
     pub fn stats_cost_per_split(&self) -> f64 {
-        4.0 * self.cost.taq() * (self.cost.tariff_r + self.cost.tariff_s)
+        self.cost.split_stats_cost()
     }
 
     /// MobiJoin's `c4(w)` — Equation (8) evaluated entirely under the
@@ -274,15 +303,36 @@ impl<'a> ExecCtx<'a> {
     }
 
     /// HBSJ on one window that fits the buffer: download both sides, join
-    /// in memory. Fails (without downloading the second side) when the
-    /// window unexpectedly exceeds the buffer — callers fall back to
-    /// splitting.
+    /// in memory. Without a count hint the S side must be downloaded
+    /// before its size is known; prefer [`ExecCtx::hbsj_leaf_counted`]
+    /// when `|Sw|` is already known so the failure path never pays for S.
     pub fn hbsj_leaf(&mut self, w: &Rect) -> Result<(), BufferExceeded> {
+        self.hbsj_leaf_counted(w, None)
+    }
+
+    /// HBSJ with the caller's known `|Sw|` (the extended-window COUNT).
+    /// Fails without downloading — or paying for — the second side when
+    /// `|Rw| + |Sw|` exceeds the buffer: the R window is downloaded and
+    /// reserved, the hint is checked against the remaining capacity, and
+    /// only then is S downloaded (and reserved incrementally, which also
+    /// covers a hint that undershoots). Callers fall back to splitting.
+    pub fn hbsj_leaf_counted(
+        &mut self,
+        w: &Rect,
+        known_count_s: Option<u64>,
+    ) -> Result<(), BufferExceeded> {
         let r_objs = self.download(Side::R, w);
         let r_hold = self.buffer.reserve(r_objs.len())?;
+        if let Some(count_s) = known_count_s {
+            if !self.buffer.fits(count_s as usize) {
+                return Err(BufferExceeded {
+                    requested: count_s as usize,
+                    capacity: self.buffer.capacity(),
+                });
+            }
+        }
         let s_objs = self.download(Side::S, w);
-        drop(r_hold);
-        let hold = self.buffer.reserve(r_objs.len() + s_objs.len())?;
+        let s_hold = self.buffer.reserve(s_objs.len())?;
         memjoin::grid_hash_join(
             &r_objs,
             &s_objs,
@@ -291,7 +341,8 @@ impl<'a> ExecCtx<'a> {
             &self.space,
             &mut self.out,
         );
-        drop(hold);
+        drop(s_hold);
+        drop(r_hold);
         self.stats.hbsj_runs += 1;
         Ok(())
     }
@@ -306,7 +357,9 @@ impl<'a> ExecCtx<'a> {
             self.stats.pruned_windows += 1;
             return;
         }
-        if (count_r + count_s) as usize <= self.buffer.capacity() && self.hbsj_leaf(w).is_ok() {
+        if (count_r + count_s) as usize <= self.buffer.capacity()
+            && self.hbsj_leaf_counted(w, Some(count_s)).is_ok()
+        {
             return;
         }
         if self.at_limit(w, depth) {
@@ -366,7 +419,7 @@ impl<'a> ExecCtx<'a> {
     pub fn forced(&mut self, w: &Rect, count_r: u64, count_s: u64) {
         self.stats.forced_fallbacks += 1;
         let costs = self.costs(w, count_r as f64, count_s as f64);
-        if costs.hbsj_wins() && self.hbsj_leaf(w).is_ok() {
+        if costs.hbsj_wins() && self.hbsj_leaf_counted(w, Some(count_s)).is_ok() {
             return;
         }
         let (side, _) = costs.cheaper_nlsj();
@@ -545,6 +598,113 @@ mod tests {
         // distance 10 ≤ 12); corners have 3.
         assert!(!ice.qualifying.is_empty());
         assert!(ice.qualifying.iter().all(|&(_, c)| c >= 3));
+    }
+
+    #[test]
+    fn hbsj_leaf_counted_fails_before_paying_for_s() {
+        // Buffer 150: R (100 objects) fits, R+S (200) does not. With the
+        // count hint the failure must cost zero S-side window traffic —
+        // the doc's "fails without downloading the second side".
+        let dep = deployment(150);
+        let spec = JoinSpec::distance_join(0.5);
+        let mut ctx = ExecCtx::new(&dep, &spec);
+        let w = dep.space();
+        assert!(ctx.hbsj_leaf_counted(&w, Some(100)).is_err());
+        let s_meter = ctx.link(Side::S).meter().snapshot();
+        assert_eq!(s_meter.window_queries, 0, "S window must not be paid for");
+        assert_eq!(s_meter.objects_received, 0);
+        assert_eq!(s_meter.total_bytes(), 0);
+        let r_meter = ctx.link(Side::R).meter().snapshot();
+        assert_eq!(r_meter.window_queries, 1);
+        assert_eq!(r_meter.objects_received, 100);
+        assert_eq!(ctx.buffer.in_use(), 0, "reservation released on failure");
+        // The un-hinted form must still fail — after the fact.
+        assert!(ctx.hbsj_leaf(&w).is_err());
+        assert!(ctx.link(Side::S).meter().snapshot().window_queries > 0);
+    }
+
+    #[test]
+    fn batched_quadrant_counts_match_per_query() {
+        let pts = grid_points(10, 10.0, 0);
+        let space = Rect::from_coords(0.0, 0.0, 90.0, 90.0);
+        let build = |batched: bool| {
+            crate::deploy::DeploymentBuilder::new(pts.clone(), pts.clone())
+                .with_buffer(800)
+                .with_space(space)
+                .with_net(asj_net::NetConfig::default().with_batched_stats(batched))
+                .build()
+        };
+        let spec = JoinSpec::distance_join(10.0);
+        let dep_single = build(false);
+        let dep_batched = build(true);
+        let single = ExecCtx::new(&dep_single, &spec);
+        let batched = ExecCtx::new(&dep_batched, &spec);
+        let quads = space.quadrants();
+        for side in [Side::R, Side::S] {
+            assert_eq!(
+                single.quadrant_counts(side, &quads),
+                batched.quadrant_counts(side, &quads)
+            );
+        }
+        // One MultiCount message vs four COUNTs, strictly fewer bytes.
+        let sm = single.link(Side::R).meter().snapshot();
+        let bm = batched.link(Side::R).meter().snapshot();
+        assert_eq!(sm.count_queries, 4);
+        assert_eq!(bm.count_queries, 1);
+        assert!(bm.up_packets < sm.up_packets);
+        assert!(bm.aggregate_bytes() < sm.aggregate_bytes());
+        // And the cost model prices exactly what the meter measured.
+        assert_eq!(sm.aggregate_bytes() as f64, single.cost.stats_round(4));
+        assert_eq!(bm.aggregate_bytes() as f64, batched.cost.stats_round(4));
+    }
+
+    #[test]
+    fn min_window_uses_max_space_dimension() {
+        // Intersection join (extension 0) on a 10 × 4000 space: the floor
+        // must come from the max dimension (4000·1e-7 = 4e-4), not the
+        // width (10·1e-7 = 1e-6). A flat window of height 3e-4 sits
+        // between the two formulas, so only the fixed one stops there.
+        let pts = vec![SpatialObject::point(0, 1.0, 1.0)];
+        let dep = crate::deploy::DeploymentBuilder::new(pts.clone(), pts)
+            .with_space(Rect::from_coords(0.0, 0.0, 10.0, 4000.0))
+            .build();
+        let spec = JoinSpec::intersection_join();
+        let ctx = ExecCtx::new(&dep, &spec);
+        assert_eq!(ctx.min_window, 4000.0 * 1e-7);
+        assert!(
+            ctx.at_limit(&Rect::from_coords(0.0, 0.0, 5.0, 3e-4), 0),
+            "height guard must fire at the max-dimension scale"
+        );
+        assert!(!ctx.at_limit(&Rect::from_coords(0.0, 0.0, 5.0, 1.0), 0));
+    }
+
+    #[test]
+    fn non_square_space_recursion_terminates_and_is_exact() {
+        // Elongated space (1 : 400): identical clustered datasets with a
+        // tiny buffer force deep decomposition along the long axis; the
+        // recursion must terminate and reproduce the oracle result.
+        let pts: Vec<SpatialObject> = (0..200)
+            .map(|i| SpatialObject::point(i, (i % 5) as f64 * 2.0, (i / 5) as f64 * 90.0))
+            .collect();
+        let space = Rect::from_coords(0.0, 0.0, 10.0, 4000.0);
+        let dep = crate::deploy::DeploymentBuilder::new(pts.clone(), pts.clone())
+            .with_buffer(60)
+            .with_space(space)
+            .build();
+        let spec = JoinSpec::distance_join(3.0); // extension 1.5 → floor 6
+        let mut ctx = ExecCtx::new(&dep, &spec);
+        assert_eq!(ctx.min_window, 6.0);
+        // Height guard now fires at the same scale as the width guard.
+        assert!(ctx.at_limit(&Rect::from_coords(0.0, 0.0, 9.0, 5.0), 0));
+        let (cr, cs) = ctx.counts(&space);
+        ctx.hbsj(&space, cr, cs, 0);
+        assert!(ctx.stats.splits > 0, "expected decomposition");
+        assert!(ctx.buffer.peak() <= 60);
+        let mut got = ctx.out.into_pairs();
+        got.sort_unstable();
+        let mut want = asj_geom::sweep::nested_loop_join(&pts, &pts, &spec.predicate);
+        want.sort_unstable();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -44,18 +44,45 @@ impl DistributedJoin for GridJoin {
     fn run(&self, deployment: &Deployment, spec: &JoinSpec) -> Result<JoinReport, JoinError> {
         let mut ctx = ExecCtx::new(deployment, spec);
         let grid = Grid::square(ctx.space, self.k);
-        for cell in grid.cells().collect::<Vec<_>>() {
-            let count_r = ctx.count(Side::R, &cell);
-            if count_r == 0 {
-                ctx.stats.pruned_windows += 1;
-                continue;
+        let cells: Vec<_> = grid.cells().collect();
+        if ctx.cost.batched_stats {
+            // The 2k² cell COUNTs collapse to one MultiCount sweep per
+            // server: all cells on R, then only the R-occupied cells on S
+            // — the same pruning order as the per-query loop below.
+            let counts_r = ctx.multi_count(Side::R, &cells);
+            let mut live = Vec::new();
+            for (cell, count_r) in cells.into_iter().zip(counts_r) {
+                if count_r == 0 {
+                    ctx.stats.pruned_windows += 1;
+                } else {
+                    live.push((cell, count_r));
+                }
             }
-            let count_s = ctx.count(Side::S, &cell);
-            if count_s == 0 {
-                ctx.stats.pruned_windows += 1;
-                continue;
+            if !live.is_empty() {
+                let probes: Vec<_> = live.iter().map(|(c, _)| *c).collect();
+                let counts_s = ctx.multi_count(Side::S, &probes);
+                for ((cell, count_r), count_s) in live.into_iter().zip(counts_s) {
+                    if count_s == 0 {
+                        ctx.stats.pruned_windows += 1;
+                    } else {
+                        ctx.hbsj(&cell, count_r, count_s, 0);
+                    }
+                }
             }
-            ctx.hbsj(&cell, count_r, count_s, 0);
+        } else {
+            for cell in cells {
+                let count_r = ctx.count(Side::R, &cell);
+                if count_r == 0 {
+                    ctx.stats.pruned_windows += 1;
+                    continue;
+                }
+                let count_s = ctx.count(Side::S, &cell);
+                if count_s == 0 {
+                    ctx.stats.pruned_windows += 1;
+                    continue;
+                }
+                ctx.hbsj(&cell, count_r, count_s, 0);
+            }
         }
         Ok(ctx.finish(self.name()))
     }
@@ -135,6 +162,34 @@ mod tests {
         assert_eq!(a, b);
         // Grid skips the lonely S cluster at (900,900).
         assert!(grid.objects_downloaded() < naive.objects_downloaded());
+    }
+
+    #[test]
+    fn batched_cell_sweep_same_result_two_aggregate_messages() {
+        let r = cluster(100, 100.0, 100.0, 0);
+        let s = cluster(100, 103.0, 100.0, 1000);
+        let build = |batched: bool| {
+            DeploymentBuilder::new(r.clone(), s.clone())
+                .with_buffer(800)
+                .with_space(space())
+                .with_net(asj_net::NetConfig::default().with_batched_stats(batched))
+                .build()
+        };
+        let spec = JoinSpec::distance_join(5.0);
+        let single = GridJoin::new(8).run(&build(false), &spec).unwrap();
+        let batched = GridJoin::new(8).run(&build(true), &spec).unwrap();
+        let mut a = single.pairs.clone();
+        let mut b = batched.pairs.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // Per-query: 64 R-cell COUNTs + one S COUNT per occupied cell.
+        // Batched: one MultiCount per server.
+        assert!(single.aggregate_queries() >= 64);
+        assert_eq!(batched.aggregate_queries(), 2);
+        assert!(batched.total_bytes() < single.total_bytes());
+        assert_eq!(single.stats.pruned_windows, batched.stats.pruned_windows);
     }
 
     #[test]

@@ -21,6 +21,21 @@
 //! from the cost model. The cost model ([`CostModel`]) is used for
 //! *decisions* — exactly the separation the real prototype had.
 //!
+//! ## Batched statistics (opt-in)
+//!
+//! When a deployment's `NetConfig::batched_stats` capability is on, the
+//! quadrant COUNTs of every repartitioning round go out as one
+//! `MultiCount` message per server instead of `k²` separate COUNT round
+//! trips — [`ExecCtx::quadrant_counts`] switches carriers, and the cost
+//! model's split-cost helpers ([`CostModel::taq_batched`],
+//! [`CostModel::stats_round`], [`CostModel::split_stats_cost`]) price the
+//! batched framing so decisions stay consistent with what the meters
+//! measure. MobiJoin, UpJoin, SrJoin and GridJoin all benefit without
+//! per-algorithm changes. **The flag defaults to off**: per-query mode is
+//! byte-identical to the paper-faithful protocol, and batched mode changes
+//! statistics traffic only — join results are identical by construction
+//! (same extended windows, same answers).
+//!
 //! ## Join semantics
 //!
 //! MBR intersection joins, ε-distance joins, and the iceberg distance

@@ -54,7 +54,7 @@ impl MobiJoin {
                 self.step(ctx, &quads[i], qr[i], qs[i], depth + 1);
             }
         } else if costs.c1.is_some_and(|c1| c1 <= nlsj_cost) {
-            if ctx.hbsj_leaf(w).is_err() {
+            if ctx.hbsj_leaf_counted(w, Some(count_s)).is_err() {
                 // Counts said it fits; the buffer disagreed (cannot happen
                 // with exact counts, kept as a defensive fallback).
                 ctx.forced(w, count_r, count_s);

@@ -198,7 +198,11 @@ impl UpJoin {
             }
             let real = ctx.costs(w, r.count, s.count);
             let (real_side, real_nlsj) = real.cheaper_nlsj();
-            if real.hbsj_wins() && ctx.hbsj_leaf(w).is_ok() {
+            if real.hbsj_wins()
+                && ctx
+                    .hbsj_leaf_counted(w, Some(s.count.round() as u64))
+                    .is_ok()
+            {
                 return;
             }
             if ctx.cost.c1_decomposed(r.count, s.count) < real_nlsj {

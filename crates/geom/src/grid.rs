@@ -104,6 +104,52 @@ impl Grid {
     pub fn cell_owns(&self, i: u32, j: u32, p: &Point) -> bool {
         self.cell_of(p) == Some((i, j))
     }
+
+    /// The inclusive cell index ranges `(i0..=i1, j0..=j1)` whose (closed)
+    /// cells can intersect `r`, or `None` when `r` lies strictly outside
+    /// the window. A superset under FP drift: every returned index range
+    /// is padded by one cell on each side, so callers re-checking
+    /// `cell(i, j).intersects(r)` see exactly the cells a full scan would
+    /// — in O(covered cells) instead of O(kx·ky).
+    pub fn covering(
+        &self,
+        r: &Rect,
+    ) -> Option<(std::ops::RangeInclusive<u32>, std::ops::RangeInclusive<u32>)> {
+        if r.max.x < self.window.min.x
+            || r.min.x > self.window.max.x
+            || r.max.y < self.window.min.y
+            || r.min.y > self.window.max.y
+        {
+            return None;
+        }
+        // Clamp in the f64 domain: a rect reaching (say) 1e308 past the
+        // window would overflow the ±1 padding after an i64 cast, and an
+        // `as` cast of an out-of-range float saturates differently in
+        // debug and release. `clamp` also maps the inf/NaN of degenerate
+        // divisions onto valid indices.
+        let span = |lo: f64, hi: f64, wmin: f64, cell: f64, k: u32| {
+            let last = (k - 1) as f64;
+            let a = (((lo - wmin) / cell).floor() - 1.0).clamp(0.0, last) as u32;
+            let b = (((hi - wmin) / cell).floor() + 1.0).clamp(0.0, last) as u32;
+            a..=b
+        };
+        Some((
+            span(
+                r.min.x,
+                r.max.x,
+                self.window.min.x,
+                self.cell_width(),
+                self.kx,
+            ),
+            span(
+                r.min.y,
+                r.max.y,
+                self.window.min.y,
+                self.cell_height(),
+                self.ky,
+            ),
+        ))
+    }
 }
 
 /// Ownership test used during recursive 2×2 partitioning, where sub-windows
@@ -220,5 +266,58 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn cell_out_of_range_panics() {
         Grid::square(r(0.0, 0.0, 1.0, 1.0), 2).cell(2, 0);
+    }
+
+    #[test]
+    fn covering_is_a_superset_of_intersecting_cells() {
+        let g = Grid::new(r(0.0, 0.0, 10.0, 7.0), 10, 7);
+        let probes = [
+            r(0.0, 0.0, 10.0, 7.0),  // whole window
+            r(2.5, 1.5, 3.5, 2.5),   // interior
+            r(3.0, 2.0, 4.0, 3.0),   // boundary-aligned
+            r(-5.0, -5.0, 0.0, 0.0), // touches the corner
+            r(9.5, 6.5, 20.0, 20.0), // reaches past the far edge
+            r(4.0, 4.0, 4.0, 4.0),   // degenerate point
+        ];
+        for probe in probes {
+            let (is, js) = g.covering(&probe).expect("intersects the window");
+            for j in 0..7u32 {
+                for i in 0..10u32 {
+                    if g.cell(i, j).intersects(&probe) {
+                        assert!(
+                            is.contains(&i) && js.contains(&j),
+                            "cell ({i},{j}) intersects {probe:?} but not covered"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(g.covering(&r(11.0, 0.0, 12.0, 1.0)).is_none());
+        assert!(g.covering(&r(0.0, -3.0, 1.0, -0.1)).is_none());
+    }
+
+    #[test]
+    fn covering_survives_extreme_rects() {
+        // Rects reaching astronomically past the window must not overflow
+        // the index arithmetic (debug panic / release wraparound) and must
+        // still return the full covered range.
+        let g = Grid::new(r(0.0, 0.0, 1.0, 1.0), 4, 4);
+        for probe in [
+            r(0.0, 0.0, 1e308, 0.5),
+            r(-1e308, 0.0, 1e308, 1e308),
+            r(f64::MIN, f64::MIN, f64::MAX, f64::MAX),
+        ] {
+            let (is, js) = g.covering(&probe).expect("intersects the window");
+            for j in 0..4u32 {
+                for i in 0..4u32 {
+                    if g.cell(i, j).intersects(&probe) {
+                        assert!(
+                            is.contains(&i) && js.contains(&j),
+                            "cell ({i},{j}) intersects {probe:?} but not covered"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -33,6 +33,14 @@ pub const BUCKET_REQ_HEADER_BYTES: u64 = 1 + 4 + 4;
 pub const OBJECTS_HEADER_BYTES: u64 = 1 + 4;
 /// Per-probe framing overhead inside a `Buckets` response (u32 length).
 pub const BUCKET_FRAME_BYTES: u64 = 4;
+/// Fixed overhead of a batched `MultiCount` request (opcode + u32 n);
+/// each probe window adds [`RECT_BYTES`].
+pub const MULTI_COUNT_HEADER_BYTES: u64 = 1 + 4;
+/// Fixed overhead of a `Counts` response (opcode + u32 n); each count adds
+/// [`COUNT_ENTRY_BYTES`].
+pub const COUNTS_HEADER_BYTES: u64 = 1 + 4;
+/// Wire size of one count inside a `Counts` response (u64).
+pub const COUNT_ENTRY_BYTES: u64 = 8;
 
 /// Decoding failure: corrupt or truncated message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +66,7 @@ mod op {
     pub const EPS_RANGE: u8 = 0x03;
     pub const BUCKET_EPS_RANGE: u8 = 0x04;
     pub const AVG_AREA: u8 = 0x05;
+    pub const MULTI_COUNT: u8 = 0x06;
     pub const COOP_LEVEL_MBRS: u8 = 0x10;
     pub const COOP_FILTER: u8 = 0x11;
     pub const COOP_JOIN_PUSH: u8 = 0x12;
@@ -69,6 +78,7 @@ mod op {
     pub const R_RECTS: u8 = 0x85;
     pub const R_PAIRS: u8 = 0x86;
     pub const R_REFUSED: u8 = 0x87;
+    pub const R_COUNTS: u8 = 0x88;
 }
 
 fn put_rect(buf: &mut BytesMut, r: &Rect) {
@@ -156,6 +166,13 @@ pub fn encode_request(req: &Request) -> Bytes {
             buf.put_u8(op::AVG_AREA);
             put_rect(&mut buf, w);
         }
+        Request::MultiCount(windows) => {
+            buf.put_u8(op::MULTI_COUNT);
+            buf.put_u32(windows.len() as u32);
+            for w in windows {
+                put_rect(&mut buf, w);
+            }
+        }
         Request::CoopLevelMbrs(level) => {
             buf.put_u8(op::COOP_LEVEL_MBRS);
             buf.put_u8(*level);
@@ -204,6 +221,14 @@ pub fn decode_request(mut buf: Bytes) -> Result<Request, CodecError> {
             Ok(Request::BucketEpsRange { probes, eps })
         }
         op::AVG_AREA => Ok(Request::AvgArea(get_rect(&mut buf)?)),
+        op::MULTI_COUNT => {
+            let n = get_u32(&mut buf)? as usize;
+            let mut windows = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                windows.push(get_rect(&mut buf)?);
+            }
+            Ok(Request::MultiCount(windows))
+        }
         op::COOP_LEVEL_MBRS => {
             if buf.remaining() < 1 {
                 return Err(CodecError::Truncated);
@@ -246,6 +271,13 @@ pub fn encode_response(resp: &Response) -> Bytes {
         Response::Count(c) => {
             buf.put_u8(op::R_COUNT);
             buf.put_u64(*c);
+        }
+        Response::Counts(counts) => {
+            buf.put_u8(op::R_COUNTS);
+            buf.put_u32(counts.len() as u32);
+            for c in counts {
+                buf.put_u64(*c);
+            }
         }
         Response::Area(a) => {
             buf.put_u8(op::R_AREA);
@@ -339,6 +371,17 @@ pub fn decode_response(mut buf: Bytes) -> Result<Response, CodecError> {
             }
             Ok(Response::Pairs(pairs))
         }
+        op::R_COUNTS => {
+            let n = get_u32(&mut buf)? as usize;
+            let mut counts = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                if buf.remaining() < 8 {
+                    return Err(CodecError::Truncated);
+                }
+                counts.push(buf.get_u64());
+            }
+            Ok(Response::Counts(counts))
+        }
         op::R_REFUSED => Ok(Response::Refused),
         other => Err(CodecError::UnknownOpcode(other)),
     }
@@ -364,6 +407,8 @@ mod tests {
                 eps: 2.0,
             },
             Request::AvgArea(w),
+            Request::MultiCount(vec![w, w, w]),
+            Request::MultiCount(vec![]),
             Request::CoopLevelMbrs(3),
             Request::CoopFilterByMbrs {
                 mbrs: vec![w, w],
@@ -386,6 +431,8 @@ mod tests {
         let resps = vec![
             Response::Objects(vec![obj(1, 1.0, 1.0), obj(2, 2.0, 2.0)]),
             Response::Count(123_456),
+            Response::Counts(vec![0, 7, u64::MAX]),
+            Response::Counts(vec![]),
             Response::Area(42.5),
             Response::Buckets(vec![vec![obj(1, 0.0, 0.0)], vec![], vec![obj(2, 1.0, 1.0)]]),
             Response::Rects(vec![Rect::from_coords(0.0, 0.0, 1.0, 1.0)]),
@@ -430,6 +477,50 @@ mod tests {
             encode_request(&Request::BucketEpsRange { probes, eps: 1.0 }).len() as u64,
             BUCKET_REQ_HEADER_BYTES + 2 * OBJ_BYTES
         );
+    }
+
+    #[test]
+    fn multi_count_wire_sizes() {
+        let w = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        // One MultiCount of 4 windows replaces 4 COUNT round trips.
+        assert_eq!(
+            encode_request(&Request::MultiCount(vec![w; 4])).len() as u64,
+            MULTI_COUNT_HEADER_BYTES + 4 * RECT_BYTES
+        );
+        assert_eq!(
+            encode_response(&Response::Counts(vec![1, 2, 3, 4])).len() as u64,
+            COUNTS_HEADER_BYTES + 4 * COUNT_ENTRY_BYTES
+        );
+        // Raw payload is a wash (106 vs 104 bytes for k=4); the win is the
+        // per-message packet headers the batch amortizes.
+        let p = crate::packet::PacketModel::default();
+        let batched = p.tb(MULTI_COUNT_HEADER_BYTES + 4 * RECT_BYTES)
+            + p.tb(COUNTS_HEADER_BYTES + 4 * COUNT_ENTRY_BYTES);
+        let single = 4 * (p.tb(QUERY_BYTES) + p.tb(ANSWER_BYTES));
+        assert!(batched < single, "batched {batched} vs single {single}");
+    }
+
+    #[test]
+    fn multi_count_truncation_rejected() {
+        let full = encode_request(&Request::MultiCount(vec![
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            Rect::from_coords(1.0, 1.0, 2.0, 2.0),
+        ]));
+        for cut in [1, 4, 5, 20, 36] {
+            assert_eq!(
+                decode_request(full.slice(0..cut)),
+                Err(CodecError::Truncated),
+                "cut={cut}"
+            );
+        }
+        let resp = encode_response(&Response::Counts(vec![1, 2]));
+        for cut in [1, 4, 12, 20] {
+            assert_eq!(
+                decode_response(resp.slice(0..cut)),
+                Err(CodecError::Truncated),
+                "cut={cut}"
+            );
+        }
     }
 
     #[test]

@@ -11,6 +11,14 @@
 //!   spatial server (`WINDOW`, `COUNT`, `ε-RANGE`, bucket ε-RANGE, the
 //!   average-area aggregate) plus the cooperative extension used only by
 //!   the SemiJoin baseline;
+//! * the **batched statistics extension** — `Request::MultiCount` carries
+//!   any number of COUNT windows in one message and `Response::Counts`
+//!   answers them together, amortizing message framing and packet headers
+//!   across a repartitioning round's `2k²` aggregate probes. It is gated
+//!   by [`NetConfig::batched_stats`] and **off by default**: in the default
+//!   per-query mode every meter total is byte-identical to the
+//!   paper-faithful protocol, and turning the flag on changes statistics
+//!   traffic only — never join results;
 //! * [`codec`] — a compact binary wire format (`Bobj` = 20 bytes/object,
 //!   mirroring the paper's constant object size);
 //! * [`LinkMeter`] — atomically counts uplink/downlink wire bytes and query

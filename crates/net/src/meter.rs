@@ -12,7 +12,10 @@ use crate::proto::Request;
 /// TCP/IP headers per Eq. 1) crossing both links in both directions. The
 /// meter also keeps the query mix so reports can show *where* the bytes
 /// went (aggregate statistics vs object downloads), which the paper
-/// discusses qualitatively.
+/// discusses qualitatively. Aggregate (COUNT / `MultiCount` / avg-area)
+/// traffic is additionally metered in bytes on both directions, so the
+/// batched-statistics experiments can report exactly how much of the
+/// statistics overhead batching recovers.
 #[derive(Debug, Default)]
 pub struct LinkMeter {
     up_bytes: AtomicU64,
@@ -25,6 +28,8 @@ pub struct LinkMeter {
     bucket_queries: AtomicU64,
     coop_queries: AtomicU64,
     objects_received: AtomicU64,
+    aggregate_up_bytes: AtomicU64,
+    aggregate_down_bytes: AtomicU64,
 }
 
 /// A point-in-time copy of a [`LinkMeter`].
@@ -34,12 +39,18 @@ pub struct LinkSnapshot {
     pub down_bytes: u64,
     pub up_packets: u64,
     pub down_packets: u64,
+    /// Aggregate request *messages* (one `MultiCount` batching k windows
+    /// counts once — compare against per-query mode to see the saving).
     pub count_queries: u64,
     pub window_queries: u64,
     pub range_queries: u64,
     pub bucket_queries: u64,
     pub coop_queries: u64,
     pub objects_received: u64,
+    /// Wire bytes of aggregate requests (uplink direction).
+    pub aggregate_up_bytes: u64,
+    /// Wire bytes of aggregate answers (downlink direction).
+    pub aggregate_down_bytes: u64,
 }
 
 impl LinkSnapshot {
@@ -57,6 +68,12 @@ impl LinkSnapshot {
             + self.coop_queries
     }
 
+    /// Total wire bytes spent on aggregate (statistics) traffic — the
+    /// paper's `Taq` overhead, measured rather than estimated.
+    pub fn aggregate_bytes(&self) -> u64 {
+        self.aggregate_up_bytes + self.aggregate_down_bytes
+    }
+
     /// Difference against an earlier snapshot (for per-phase accounting).
     pub fn since(&self, earlier: &LinkSnapshot) -> LinkSnapshot {
         LinkSnapshot {
@@ -70,6 +87,8 @@ impl LinkSnapshot {
             bucket_queries: self.bucket_queries - earlier.bucket_queries,
             coop_queries: self.coop_queries - earlier.coop_queries,
             objects_received: self.objects_received - earlier.objects_received,
+            aggregate_up_bytes: self.aggregate_up_bytes - earlier.aggregate_up_bytes,
+            aggregate_down_bytes: self.aggregate_down_bytes - earlier.aggregate_down_bytes,
         }
     }
 }
@@ -81,12 +100,15 @@ impl LinkMeter {
 
     /// Records an outgoing request of `payload` bytes.
     pub fn record_request(&self, req: &Request, payload: u64, packet: &PacketModel) {
-        self.up_bytes
-            .fetch_add(packet.tb(payload), Ordering::Relaxed);
+        let wire = packet.tb(payload);
+        self.up_bytes.fetch_add(wire, Ordering::Relaxed);
         self.up_packets
             .fetch_add(packet.packets(payload), Ordering::Relaxed);
+        if req.is_aggregate() {
+            self.aggregate_up_bytes.fetch_add(wire, Ordering::Relaxed);
+        }
         let counter = match req {
-            Request::Count(_) | Request::AvgArea(_) => &self.count_queries,
+            Request::Count(_) | Request::AvgArea(_) | Request::MultiCount(_) => &self.count_queries,
             Request::Window(_) => &self.window_queries,
             Request::EpsRange { .. } => &self.range_queries,
             Request::BucketEpsRange { .. } => &self.bucket_queries,
@@ -98,12 +120,22 @@ impl LinkMeter {
     }
 
     /// Records an incoming response of `payload` bytes carrying
-    /// `objects` spatial objects.
-    pub fn record_response(&self, payload: u64, objects: u64, packet: &PacketModel) {
-        self.down_bytes
-            .fetch_add(packet.tb(payload), Ordering::Relaxed);
+    /// `objects` spatial objects. `aggregate` marks answers to aggregate
+    /// requests so statistics traffic is metered in both directions.
+    pub fn record_response(
+        &self,
+        payload: u64,
+        objects: u64,
+        packet: &PacketModel,
+        aggregate: bool,
+    ) {
+        let wire = packet.tb(payload);
+        self.down_bytes.fetch_add(wire, Ordering::Relaxed);
         self.down_packets
             .fetch_add(packet.packets(payload), Ordering::Relaxed);
+        if aggregate {
+            self.aggregate_down_bytes.fetch_add(wire, Ordering::Relaxed);
+        }
         self.objects_received.fetch_add(objects, Ordering::Relaxed);
     }
 
@@ -120,6 +152,8 @@ impl LinkMeter {
             bucket_queries: self.bucket_queries.load(Ordering::Relaxed),
             coop_queries: self.coop_queries.load(Ordering::Relaxed),
             objects_received: self.objects_received.load(Ordering::Relaxed),
+            aggregate_up_bytes: self.aggregate_up_bytes.load(Ordering::Relaxed),
+            aggregate_down_bytes: self.aggregate_down_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -135,6 +169,8 @@ impl LinkMeter {
         self.bucket_queries.store(0, Ordering::Relaxed);
         self.coop_queries.store(0, Ordering::Relaxed);
         self.objects_received.store(0, Ordering::Relaxed);
+        self.aggregate_up_bytes.store(0, Ordering::Relaxed);
+        self.aggregate_down_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -149,9 +185,9 @@ mod tests {
         let p = PacketModel::default();
         let w = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
         m.record_request(&Request::Count(w), 17, &p);
-        m.record_response(9, 0, &p);
+        m.record_response(9, 0, &p, true);
         m.record_request(&Request::Window(w), 17, &p);
-        m.record_response(5 + 3 * 20, 3, &p);
+        m.record_response(5 + 3 * 20, 3, &p, false);
 
         let s = m.snapshot();
         assert_eq!(s.count_queries, 1);
@@ -161,6 +197,23 @@ mod tests {
         assert_eq!(s.down_bytes, p.tb(9) + p.tb(65));
         assert_eq!(s.total_queries(), 2);
         assert_eq!(s.total_bytes(), s.up_bytes + s.down_bytes);
+        // Only the COUNT round trip is aggregate traffic.
+        assert_eq!(s.aggregate_up_bytes, p.tb(17));
+        assert_eq!(s.aggregate_down_bytes, p.tb(9));
+        assert_eq!(s.aggregate_bytes(), p.tb(17) + p.tb(9));
+    }
+
+    #[test]
+    fn multi_count_is_one_aggregate_message() {
+        let m = LinkMeter::new();
+        let p = PacketModel::default();
+        let w = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        m.record_request(&Request::MultiCount(vec![w; 4]), 69, &p);
+        m.record_response(37, 0, &p, true);
+        let s = m.snapshot();
+        assert_eq!(s.count_queries, 1, "one batched request, one message");
+        assert_eq!(s.aggregate_bytes(), p.tb(69) + p.tb(37));
+        assert_eq!(s.aggregate_bytes(), s.total_bytes());
     }
 
     #[test]
@@ -175,13 +228,14 @@ mod tests {
         let d = s2.since(&s1);
         assert_eq!(d.count_queries, 1);
         assert_eq!(d.up_bytes, p.tb(17));
+        assert_eq!(d.aggregate_up_bytes, p.tb(17));
     }
 
     #[test]
     fn reset_zeroes_everything() {
         let m = LinkMeter::new();
         let p = PacketModel::default();
-        m.record_response(100, 5, &p);
+        m.record_response(100, 5, &p, true);
         m.reset();
         assert_eq!(m.snapshot(), LinkSnapshot::default());
     }
@@ -195,7 +249,7 @@ mod tests {
                 let m = m.clone();
                 scope.spawn(move || {
                     for _ in 0..1000 {
-                        m.record_response(10, 1, &p);
+                        m.record_response(10, 1, &p, false);
                     }
                 });
             }

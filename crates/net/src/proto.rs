@@ -29,6 +29,14 @@ pub enum Request {
     /// Average MBR area of objects intersecting `w` — the extra aggregate
     /// the paper piggybacks on COUNT for polygon datasets.
     AvgArea(Rect),
+    /// Batched statistics: one COUNT per window, answered together in a
+    /// single [`Response::Counts`] so message framing and packet headers
+    /// are amortized across all probes (the `2k²·Taq` of one
+    /// repartitioning round collapses to two round trips). An *extension*
+    /// to the paper's interface — devices only send it when
+    /// `NetConfig::batched_stats` is on; the default is the paper-faithful
+    /// per-query COUNT.
+    MultiCount(Vec<Rect>),
     /// Cooperative: the MBRs of one R-tree level (`levels_above_leaves`).
     CoopLevelMbrs(u8),
     /// Cooperative: objects within `eps` of any of the given MBRs (the
@@ -56,7 +64,10 @@ impl Request {
 
     /// `true` for aggregate (statistics) queries, the paper's `Taq` class.
     pub fn is_aggregate(&self) -> bool {
-        matches!(self, Request::Count(_) | Request::AvgArea(_))
+        matches!(
+            self,
+            Request::Count(_) | Request::AvgArea(_) | Request::MultiCount(_)
+        )
     }
 }
 
@@ -67,6 +78,9 @@ pub enum Response {
     Objects(Vec<SpatialObject>),
     /// Scalar count (`BA` = 8 bytes on the wire, "one long integer").
     Count(u64),
+    /// Per-window counts for [`Request::MultiCount`], probe order
+    /// preserved.
+    Counts(Vec<u64>),
     /// Scalar area average.
     Area(f64),
     /// Per-probe result lists for `BucketEpsRange`, probe order preserved.
@@ -96,6 +110,14 @@ impl Response {
         match self {
             Response::Count(c) => c,
             other => panic!("protocol mismatch: expected Count, got {other:?}"),
+        }
+    }
+
+    /// Unwraps a batched count list.
+    pub fn into_counts(self) -> Vec<u64> {
+        match self {
+            Response::Counts(c) => c,
+            other => panic!("protocol mismatch: expected Counts, got {other:?}"),
         }
     }
 
@@ -152,12 +174,15 @@ mod tests {
         let w = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
         assert!(Request::Count(w).is_aggregate());
         assert!(Request::AvgArea(w).is_aggregate());
+        assert!(Request::MultiCount(vec![w, w]).is_aggregate());
         assert!(!Request::Window(w).is_aggregate());
+        assert!(!Request::MultiCount(vec![w]).is_cooperative());
     }
 
     #[test]
     fn unwrap_helpers() {
         assert_eq!(Response::Count(5).into_count(), 5);
+        assert_eq!(Response::Counts(vec![1, 2, 3]).into_counts(), vec![1, 2, 3]);
         assert_eq!(Response::Objects(vec![]).into_objects(), vec![]);
         assert_eq!(Response::Pairs(vec![(1, 2)]).into_pairs(), vec![(1, 2)]);
     }

@@ -170,6 +170,7 @@ impl Link {
 
     /// Issues one RPC, metering both directions.
     pub fn request(&self, req: Request) -> Response {
+        let aggregate = req.is_aggregate();
         let encoded = encode_request(&req);
         self.meter
             .record_request(&req, encoded.len() as u64, &self.packet);
@@ -181,7 +182,8 @@ impl Link {
             Response::Buckets(b) => b.iter().map(|x| x.len() as u64).sum(),
             _ => 0,
         };
-        self.meter.record_response(len, objects, &self.packet);
+        self.meter
+            .record_response(len, objects, &self.packet, aggregate);
         resp
     }
 

@@ -29,6 +29,7 @@ fn request() -> impl Strategy<Value = Request> {
         rect().prop_map(Request::Window),
         rect().prop_map(Request::Count),
         rect().prop_map(Request::AvgArea),
+        prop::collection::vec(rect(), 0..20).prop_map(Request::MultiCount),
         (rect(), eps()).prop_map(|(q, eps)| Request::EpsRange { q, eps }),
         (prop::collection::vec(object(), 0..20), eps())
             .prop_map(|(probes, eps)| Request::BucketEpsRange { probes, eps }),
@@ -44,6 +45,7 @@ fn response() -> impl Strategy<Value = Response> {
     prop_oneof![
         prop::collection::vec(object(), 0..30).prop_map(Response::Objects),
         any::<u64>().prop_map(Response::Count),
+        prop::collection::vec(any::<u64>(), 0..20).prop_map(Response::Counts),
         (0u32..1_000_000).prop_map(|a| Response::Area(a as f64 * 0.5)),
         prop::collection::vec(prop::collection::vec(object(), 0..6), 0..10)
             .prop_map(Response::Buckets),

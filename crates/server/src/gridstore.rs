@@ -54,9 +54,18 @@ impl GridStore {
         let grid = Grid::square(b, k);
         let mut cells = vec![Vec::new(); grid.len()];
         for o in &objects {
-            for (idx, cell) in grid.cells().enumerate() {
-                if cell.intersects(&o.mbr) {
-                    cells[idx].push(*o);
+            // Only the cells whose index range the MBR covers can
+            // intersect it — O(covered cells) per object instead of
+            // scanning all k² cells. The per-cell intersection re-check
+            // keeps the contents identical to a full scan.
+            let Some((is, js)) = grid.covering(&o.mbr) else {
+                continue;
+            };
+            for j in js {
+                for i in is.clone() {
+                    if grid.cell(i, j).intersects(&o.mbr) {
+                        cells[(j as usize) * k as usize + i as usize].push(*o);
+                    }
                 }
             }
         }
@@ -221,6 +230,73 @@ mod tests {
         let single = GridStore::new(vec![SpatialObject::point(1, 5.0, 5.0)]);
         assert_eq!(single.len(), 1);
         assert_eq!(single.count(&Rect::from_coords(0.0, 0.0, 10.0, 10.0)), 1);
+    }
+
+    /// The pre-optimization O(n·k²) construction: scan every cell per
+    /// object. Kept as the differential oracle for the range-insert build.
+    fn with_resolution_full_scan(objects: Vec<SpatialObject>, k: u32) -> GridStore {
+        let mut store = GridStore::with_resolution(Vec::new(), k);
+        let Some(b) = Rect::union_of(objects.iter().map(|o| o.mbr)) else {
+            return store;
+        };
+        let b = if b.area() == 0.0 { b.expand(1.0) } else { b };
+        let grid = asj_geom::Grid::square(b, k);
+        let mut cells = vec![Vec::new(); grid.len()];
+        for o in &objects {
+            for (idx, cell) in grid.cells().enumerate() {
+                if cell.intersects(&o.mbr) {
+                    cells[idx].push(*o);
+                }
+            }
+        }
+        store.grid = Some(grid);
+        store.cells = cells;
+        store.len = objects.len();
+        store.bounds = Some(b);
+        store
+    }
+
+    #[test]
+    fn range_insert_matches_full_scan_construction() {
+        let fast = GridStore::with_resolution(dataset(), 7);
+        let slow = with_resolution_full_scan(dataset(), 7);
+        assert_eq!(fast.cells.len(), slow.cells.len());
+        for (idx, (a, b)) in fast.cells.iter().zip(slow.cells.iter()).enumerate() {
+            let ai: Vec<u32> = a.iter().map(|o| o.id).collect();
+            let bi: Vec<u32> = b.iter().map(|o| o.id).collect();
+            assert_eq!(ai, bi, "cell {idx} differs");
+        }
+    }
+
+    #[test]
+    fn clustered_high_resolution_build_is_fast_and_correct() {
+        // 10 K objects clustered in a corner of a huge space, k = 512:
+        // the old full-scan construction performs ~2.6 G cell tests here;
+        // the range insert must finish well under a second.
+        let mut objs: Vec<SpatialObject> = (0..10_000)
+            .map(|i| SpatialObject::point(i, (i % 100) as f64 * 0.01, (i / 100) as f64 * 0.01))
+            .collect();
+        objs.push(SpatialObject::point(999_999, 10_000.0, 10_000.0)); // stretches bounds
+        let start = std::time::Instant::now();
+        let fast = GridStore::with_resolution(objs.clone(), 512);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_secs(1),
+            "k=512 build took {elapsed:?}"
+        );
+        // Differential against the full-scan oracle at a resolution the
+        // oracle can afford, plus query-level checks at k = 512.
+        let slow = with_resolution_full_scan(objs.clone(), 64);
+        let mid = GridStore::with_resolution(objs, 64);
+        for w in [
+            Rect::from_coords(0.0, 0.0, 0.5, 0.5),
+            Rect::from_coords(0.3, 0.3, 0.31, 0.31),
+            Rect::from_coords(5_000.0, 5_000.0, 10_000.0, 10_000.0),
+            Rect::from_coords(-1.0, -1.0, 10_001.0, 10_001.0),
+        ] {
+            assert_eq!(mid.count(&w), slow.count(&w), "window {w:?}");
+            assert_eq!(fast.count(&w), slow.count(&w), "window {w:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Differential suite for the batched statistics protocol (`MultiCount`).
+//!
+//! The capability is **off by default**; these tests prove that turning it
+//! on (a) never changes join results, and (b) strictly reduces uplink
+//! messages and aggregate-query bytes on split-heavy workloads — the
+//! Fig. 7 statistics overhead the batch recovers.
+
+use adhoc_spatial_joins::prelude::*;
+use asj_core::DeploymentBuilder;
+use asj_workloads::default_space;
+
+/// A split-heavy deployment: two 4-cluster Gaussian datasets under a
+/// buffer far below the dataset size, so every algorithm repartitions.
+fn deployment(batched: bool, buffer: usize) -> Deployment {
+    let space = default_space();
+    let r = gaussian_clusters(&SyntheticSpec::new(space, 600, 4), 11);
+    let s = gaussian_clusters(&SyntheticSpec::new(space, 600, 4), 1011);
+    DeploymentBuilder::new(r, s)
+        .with_buffer(buffer)
+        .with_space(space)
+        .with_net(NetConfig::default().with_batched_stats(batched))
+        .build()
+}
+
+fn sorted_pairs(rep: &JoinReport) -> Vec<(u32, u32)> {
+    let mut p = rep.pairs.clone();
+    p.sort_unstable();
+    p
+}
+
+#[test]
+fn mobijoin_batched_same_pairs_fewer_messages_fewer_aggregate_bytes() {
+    let spec = JoinSpec::distance_join(100.0);
+    let single = MobiJoin.run(&deployment(false, 100), &spec).unwrap();
+    let batched = MobiJoin.run(&deployment(true, 100), &spec).unwrap();
+
+    assert!(single.stats.splits > 0, "workload must be split-heavy");
+    assert!(batched.stats.splits > 0);
+    assert_eq!(
+        sorted_pairs(&single),
+        sorted_pairs(&batched),
+        "batching must not change the join result"
+    );
+    assert!(!single.pairs.is_empty());
+
+    let msgs = |rep: &JoinReport| rep.link_r.up_packets + rep.link_s.up_packets;
+    let agg = |rep: &JoinReport| rep.link_r.aggregate_bytes() + rep.link_s.aggregate_bytes();
+    assert!(
+        msgs(&batched) < msgs(&single),
+        "uplink messages: batched {} vs single {}",
+        msgs(&batched),
+        msgs(&single)
+    );
+    assert!(
+        agg(&batched) < agg(&single),
+        "aggregate bytes: batched {} vs single {}",
+        agg(&batched),
+        agg(&single)
+    );
+    // The statistics saving shows up in the headline metric too.
+    assert!(batched.total_bytes() < single.total_bytes());
+}
+
+#[test]
+fn every_repartitioning_algorithm_is_result_identical_under_batching() {
+    let algorithms: Vec<Box<dyn DistributedJoin>> = vec![
+        Box::new(GridJoin::default()),
+        Box::new(MobiJoin),
+        Box::new(UpJoin::default()),
+        Box::new(SrJoin::default()),
+    ];
+    let spec = JoinSpec::distance_join(100.0);
+    for algo in &algorithms {
+        let single = algo.run(&deployment(false, 150), &spec).unwrap();
+        let batched = algo.run(&deployment(true, 150), &spec).unwrap();
+        assert_eq!(
+            sorted_pairs(&single),
+            sorted_pairs(&batched),
+            "{} differs under batched statistics",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn batched_mode_issues_fewer_aggregate_messages_not_more_queries_of_other_kinds() {
+    let spec = JoinSpec::distance_join(100.0);
+    let single = SrJoin::default()
+        .run(&deployment(false, 100), &spec)
+        .unwrap();
+    let batched = SrJoin::default()
+        .run(&deployment(true, 100), &spec)
+        .unwrap();
+    // Every 4-probe quadrant round collapses into one message per server.
+    assert!(batched.aggregate_queries() < single.aggregate_queries());
+    // No hidden traffic appears elsewhere: non-aggregate bytes stay in the
+    // same regime (operator choices may shift slightly — the cost model
+    // legitimately prices batched statistics cheaper).
+    let non_agg = |rep: &JoinReport| {
+        rep.total_bytes() - rep.link_r.aggregate_bytes() - rep.link_s.aggregate_bytes()
+    };
+    assert!(non_agg(&batched) > 0);
+    assert!(non_agg(&single) > 0);
+}
+
+#[test]
+fn default_mode_sends_no_multicount() {
+    // With the flag off the wire traffic is the paper-faithful per-query
+    // protocol: exactly as many aggregate messages as aggregate queries,
+    // each of the fixed COUNT/answer size (plus packet headers) — the
+    // byte-identical-to-seed guarantee the existing oracle suites pin.
+    let spec = JoinSpec::distance_join(100.0);
+    let rep = MobiJoin.run(&deployment(false, 100), &spec).unwrap();
+    let n = rep.aggregate_queries();
+    assert!(n > 0);
+    let expected =
+        n * (asj_net::PacketModel::default().tb(17) + asj_net::PacketModel::default().tb(9));
+    let agg = rep.link_r.aggregate_bytes() + rep.link_s.aggregate_bytes();
+    assert_eq!(agg, expected, "per-query mode: n × (TB(BQ) + TB(BA))");
+}
