@@ -240,6 +240,25 @@ pub fn all_experiments() -> Vec<Experiment> {
             tweak: |c| c.buffer = 100,
         },
         Experiment {
+            id: "shard-scaling",
+            figure: "Scaling (ours): scatter-gather shard fleets, N ∈ {1, 2, 4, 7} per side",
+            expectation: "Join results identical at every shard count. Aggregate bytes grow \
+                          mildly with N (per-shard query framing); mean_shard_bytes falls \
+                          roughly as 1/N (the fleet shares the load); pruning_rate rises on \
+                          skewed rows as more shard bounds miss the windows. The +s1 column \
+                          is byte-identical to the flat one (the router is a transparent \
+                          proxy at N = 1).",
+            algos: vec![
+                AlgoKind::Sr { rho: 0.30 }.into(),
+                AlgoSpec::sharded(AlgoKind::Sr { rho: 0.30 }, 1),
+                AlgoSpec::sharded(AlgoKind::Sr { rho: 0.30 }, 2),
+                AlgoSpec::sharded(AlgoKind::Sr { rho: 0.30 }, 4),
+                AlgoSpec::sharded(AlgoKind::Sr { rho: 0.30 }, 7),
+            ],
+            rail: false,
+            tweak: no_tweak,
+        },
+        Experiment {
             id: "ablation-mtu",
             figure: "Ablation (ours): dial-up MTU (576) sensitivity, buffer 800",
             expectation: "Smaller MTU inflates everything; algorithms that send many small \
@@ -279,11 +298,37 @@ mod tests {
             "fig8a",
             "fig8b",
             "ablation-batched-stats",
+            "shard-scaling",
         ] {
             assert!(ids.contains(&wanted), "missing {wanted}");
         }
         assert!(experiment_by_name("fig7b").is_some());
         assert!(experiment_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn smoke_run_shard_scaling_one_seed_one_row() {
+        // Tiny configuration: the flat and +s1 columns must be
+        // byte-identical, and the pruning-rate column populated for real
+        // fleets.
+        let exp = experiment_by_name("shard-scaling").unwrap();
+        let t = exp.run_sized(1, Some(150));
+        assert_eq!(
+            t.result.algos,
+            vec!["srJoin", "srJoin+s1", "srJoin+s2", "srJoin+s4", "srJoin+s7"]
+        );
+        for row in &t.result.cells {
+            assert_eq!(
+                row[0].mean_bytes, row[1].mean_bytes,
+                "1-shard fleet must be byte-identical to flat"
+            );
+            for c in row {
+                assert_eq!(c.mean_pairs, row[0].mean_pairs, "results identical");
+            }
+        }
+        let csv = t.to_csv();
+        assert!(csv.contains("mean_shard_bytes"));
+        assert!(csv.contains("pruning_rate"));
     }
 
     #[test]

@@ -70,14 +70,19 @@ impl AlgoKind {
     }
 }
 
-/// One sweep column: an algorithm plus per-column capabilities — today the
-/// batched `MultiCount` statistics mode, so single and batched variants of
-/// the same algorithm can sit side by side in one table.
+/// One sweep column: an algorithm plus per-column capabilities — the
+/// batched `MultiCount` statistics mode and the shard count of the server
+/// fleets, so flat, batched and sharded variants of the same algorithm can
+/// sit side by side in one table.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlgoSpec {
     pub kind: AlgoKind,
     /// Run this column with batched `MultiCount` statistics enabled.
     pub batched_stats: bool,
+    /// Shard both sides across fleets of this size (`0` = flat
+    /// single-server deployment; `1` = an explicit 1-shard fleet, which is
+    /// byte-identical to flat but exercises the router).
+    pub shards: u32,
 }
 
 impl AlgoSpec {
@@ -86,6 +91,7 @@ impl AlgoSpec {
         AlgoSpec {
             kind,
             batched_stats: false,
+            shards: 0,
         }
     }
 
@@ -94,6 +100,16 @@ impl AlgoSpec {
         AlgoSpec {
             kind,
             batched_stats: true,
+            shards: 0,
+        }
+    }
+
+    /// The same column against `n`-shard fleets on both sides.
+    pub const fn sharded(kind: AlgoKind, n: u32) -> Self {
+        AlgoSpec {
+            kind,
+            batched_stats: false,
+            shards: n,
         }
     }
 
@@ -102,14 +118,17 @@ impl AlgoSpec {
         self.kind.make()
     }
 
-    /// Column label; batched columns carry a `+mc` suffix.
+    /// Column label; batched columns carry a `+mc` suffix, sharded
+    /// columns a `+sN` suffix.
     pub fn label(&self) -> String {
-        let base = self.kind.label();
+        let mut label = self.kind.label();
         if self.batched_stats {
-            format!("{base}+mc")
-        } else {
-            base
+            label.push_str("+mc");
         }
+        if self.shards >= 1 {
+            label.push_str(&format!("+s{}", self.shards));
+        }
+        label
     }
 }
 
@@ -178,6 +197,14 @@ pub struct CellStats {
     /// Mean wire bytes spent on aggregate (statistics) traffic — the
     /// column the batched-vs-single ablation reads its saving from.
     pub mean_agg_bytes: f64,
+    /// Mean wire bytes carried *per shard server* — for flat columns this
+    /// is half the total (one "shard" per side); for fleets it shows how
+    /// scatter-gather spreads the load.
+    pub mean_shard_bytes: f64,
+    /// Mean fraction of scatter slots the routers skipped because a shard
+    /// could not contribute (bounds miss, or a zero-count skip inside a
+    /// merged avg-area); 0 for flat columns.
+    pub pruning_rate: f64,
 }
 
 /// One full sweep: row labels × algorithm columns.
@@ -190,14 +217,25 @@ pub struct SweepResult {
 }
 
 /// Builds the deployment for one (workload, seed); `net` is the sweep's
-/// network config with any per-column capability overrides applied.
+/// network config with any per-column capability overrides applied, and
+/// `shards` the per-column fleet size (0 = flat).
 fn build_deployment(
     workload: Workload,
     seed: u64,
     cfg: &SweepConfig,
     net: NetConfig,
+    shards: u32,
 ) -> (Deployment, f64) {
     let space = default_space();
+    let finish = |mut b: DeploymentBuilder| {
+        if cfg.cooperative {
+            b = b.cooperative();
+        }
+        if shards >= 1 {
+            b = b.with_shards(shards as usize, shards as usize);
+        }
+        b.build()
+    };
     match workload {
         Workload::SyntheticPair { clusters } => {
             let r = gaussian_clusters(&SyntheticSpec::new(space, cfg.n_points, clusters), seed);
@@ -205,14 +243,11 @@ fn build_deployment(
                 &SyntheticSpec::new(space, cfg.n_points, clusters),
                 seed + 1000,
             );
-            let mut b = DeploymentBuilder::new(r, s)
+            let b = DeploymentBuilder::new(r, s)
                 .with_net(net)
                 .with_buffer(cfg.buffer)
                 .with_space(space);
-            if cfg.cooperative {
-                b = b.cooperative();
-            }
-            (b.build(), 0.0)
+            (finish(b), 0.0)
         }
         Workload::SyntheticVsRail { clusters } => {
             let r = gaussian_clusters(&SyntheticSpec::new(space, cfg.n_points, clusters), seed);
@@ -221,21 +256,18 @@ fn build_deployment(
             // one network shape).
             let s = germany_rail(&RailSpec::default(), seed);
             let hint = max_half_extent(&s);
-            let mut b = DeploymentBuilder::new(r, s)
+            let b = DeploymentBuilder::new(r, s)
                 .with_net(net)
                 .with_buffer(cfg.buffer)
                 .with_space(space);
-            if cfg.cooperative {
-                b = b.cooperative();
-            }
-            (b.build(), hint)
+            (finish(b), hint)
         }
     }
 }
 
 /// One seed's measurements: (total bytes, queries, pairs, objects
-/// downloaded, aggregate bytes).
-type Sample = (u64, u64, u64, u64, u64);
+/// downloaded, aggregate bytes, per-shard mean bytes, pruning rate).
+type Sample = (u64, u64, u64, u64, u64, f64, f64);
 
 /// Largest half-diagonal among the objects — the window-extension hint.
 pub fn max_half_extent(objects: &[SpatialObject]) -> f64 {
@@ -291,7 +323,8 @@ pub fn run_sweep(
                 let net = cfg
                     .net
                     .with_batched_stats(cfg.net.batched_stats || algos[ai].batched_stats);
-                let (dep, hint) = build_deployment(rows[ri].1, 7 + seed * 97, cfg, net);
+                let (dep, hint) =
+                    build_deployment(rows[ri].1, 7 + seed * 97, cfg, net, algos[ai].shards);
                 let spec = JoinSpec::distance_join(cfg.eps)
                     .with_bucket_nlsj(cfg.bucket)
                     .with_mbr_half_extent(hint)
@@ -306,6 +339,8 @@ pub fn run_sweep(
                     rep.pairs.len() as u64,
                     rep.objects_downloaded(),
                     rep.link_r.aggregate_bytes() + rep.link_s.aggregate_bytes(),
+                    rep.mean_shard_bytes(),
+                    rep.pruning_rate(),
                 );
                 results.lock().unwrap()[ri][ai][seed as usize] = Some(tuple);
             });
@@ -340,6 +375,7 @@ fn aggregate(samples: &[Sample]) -> CellStats {
     }
     let n = samples.len() as f64;
     let mean = |f: fn(&Sample) -> u64| samples.iter().map(|s| f(s) as f64).sum::<f64>() / n;
+    let mean_f = |f: fn(&Sample) -> f64| samples.iter().map(f).sum::<f64>() / n;
     let mean_bytes = mean(|s| s.0);
     let var = samples
         .iter()
@@ -353,6 +389,8 @@ fn aggregate(samples: &[Sample]) -> CellStats {
         mean_pairs: mean(|s| s.2),
         mean_objects: mean(|s| s.3),
         mean_agg_bytes: mean(|s| s.4),
+        mean_shard_bytes: mean_f(|s| s.5),
+        pruning_rate: mean_f(|s| s.6),
     }
 }
 
@@ -404,17 +442,52 @@ mod tests {
         );
         assert_eq!(AlgoSpec::new(AlgoKind::Grid { k: 8 }).label(), "grid8");
         assert_eq!(AlgoSpec::from(AlgoKind::Semi).label(), "semiJoin");
+        assert_eq!(
+            AlgoSpec::sharded(AlgoKind::Sr { rho: 0.30 }, 4).label(),
+            "srJoin+s4"
+        );
+        assert_eq!(AlgoSpec::sharded(AlgoKind::Mobi, 1).label(), "mobiJoin+s1");
     }
 
     #[test]
     fn aggregate_stats() {
-        let s = aggregate(&[(10, 1, 2, 3, 4), (20, 3, 4, 5, 6)]);
+        let s = aggregate(&[(10, 1, 2, 3, 4, 2.0, 0.5), (20, 3, 4, 5, 6, 4.0, 0.1)]);
         assert_eq!(s.mean_bytes, 15.0);
         assert_eq!(s.std_bytes, 5.0);
         assert_eq!(s.mean_queries, 2.0);
         assert_eq!(s.mean_pairs, 3.0);
         assert_eq!(s.mean_objects, 4.0);
         assert_eq!(s.mean_agg_bytes, 5.0);
+        assert_eq!(s.mean_shard_bytes, 3.0);
+        assert_eq!(s.pruning_rate, 0.3);
+    }
+
+    #[test]
+    fn sharded_column_same_pairs_and_per_shard_load_drops() {
+        let cfg = SweepConfig {
+            n_points: 150,
+            seeds: 2,
+            ..SweepConfig::default()
+        };
+        let rows = vec![("4".to_string(), Workload::SyntheticPair { clusters: 4 })];
+        let algos = [
+            AlgoSpec::new(AlgoKind::Sr { rho: 0.3 }),
+            AlgoSpec::sharded(AlgoKind::Sr { rho: 0.3 }, 4),
+        ];
+        let r = run_sweep(&rows, &algos, &cfg);
+        assert_eq!(r.algos, vec!["srJoin", "srJoin+s4"]);
+        let (flat, sharded) = (r.cells[0][0], r.cells[0][1]);
+        assert_eq!(
+            flat.mean_pairs, sharded.mean_pairs,
+            "sharding must not change join results"
+        );
+        assert!(flat.pruning_rate == 0.0);
+        assert!(
+            sharded.mean_shard_bytes < flat.mean_shard_bytes,
+            "per-shard load must drop: {} vs {}",
+            sharded.mean_shard_bytes,
+            flat.mean_shard_bytes
+        );
     }
 
     #[test]

@@ -51,24 +51,29 @@ impl Table {
         out
     }
 
-    /// CSV rendering with full per-cell statistics.
+    /// CSV rendering with full per-cell statistics (aggregate bytes plus
+    /// the per-shard byte and pruning-rate columns of the shard-scaling
+    /// experiment).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{},algorithm,mean_bytes,std_bytes,mean_queries,mean_pairs,mean_objects,mean_agg_bytes\n",
+            "{},algorithm,mean_bytes,std_bytes,mean_queries,mean_pairs,mean_objects,\
+             mean_agg_bytes,mean_shard_bytes,pruning_rate\n",
             self.row_header
         ));
         for (ri, row) in self.result.rows.iter().enumerate() {
             for (ai, algo) in self.result.algos.iter().enumerate() {
                 let c = &self.result.cells[ri][ai];
                 out.push_str(&format!(
-                    "{row},{algo},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1}\n",
+                    "{row},{algo},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.3}\n",
                     c.mean_bytes,
                     c.std_bytes,
                     c.mean_queries,
                     c.mean_pairs,
                     c.mean_objects,
-                    c.mean_agg_bytes
+                    c.mean_agg_bytes,
+                    c.mean_shard_bytes,
+                    c.pruning_rate
                 ));
             }
         }

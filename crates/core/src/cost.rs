@@ -33,6 +33,15 @@ pub struct CostModel {
     /// ([`NetConfig::batched_stats`]); split-cost estimates must price
     /// what the meter will actually measure.
     pub batched_stats: bool,
+    /// Shard fan-out of the R side: a query to a fleet of `f` shards pays
+    /// up to `f` framed sub-requests and `f` framed responses, which the
+    /// meters measure and the estimates below price. `1.0` for flat
+    /// deployments — every formula then reduces bit-exactly to the
+    /// single-server model. The factor is an upper bound: the router's
+    /// bounds pruning usually contacts fewer shards.
+    pub fanout_r: f64,
+    /// Shard fan-out of the S side.
+    pub fanout_s: f64,
 }
 
 impl CostModel {
@@ -43,7 +52,17 @@ impl CostModel {
             tariff_s: net.tariff_s,
             buffer_capacity,
             batched_stats: net.batched_stats,
+            fanout_r: 1.0,
+            fanout_s: 1.0,
         }
+    }
+
+    /// Sets the per-side shard fan-out factors (≥ 1).
+    pub fn with_fanout(mut self, fanout_r: f64, fanout_s: f64) -> Self {
+        assert!(fanout_r >= 1.0 && fanout_s >= 1.0, "fan-out is at least 1");
+        self.fanout_r = fanout_r;
+        self.fanout_s = fanout_s;
+        self
     }
 
     /// `TB` of Eq. (1) on fractional byte counts (estimates round up to
@@ -80,17 +99,35 @@ impl CostModel {
         }
     }
 
+    /// Tariff- and fan-out-weighted cost of one statistics round sent to
+    /// both sides: each of a fleet's shards receives its own framed
+    /// request and answers with its own framed response, so the per-link
+    /// round is multiplied by the side's fan-out factor.
+    pub fn stats_round_both(&self, probes: u32) -> f64 {
+        self.stats_round(probes) * (self.fanout_r * self.tariff_r + self.fanout_s * self.tariff_s)
+    }
+
     /// The wire cost of one 2×2 repartitioning round of statistics on
     /// both links — the paper's `2k²·Taq` with `k = 2`: four quadrant
-    /// COUNTs to each server (or one batched `MultiCount` each).
+    /// COUNTs to each server (or one batched `MultiCount` each), times
+    /// the shard fan-out on each side.
     pub fn split_stats_cost(&self) -> f64 {
-        self.stats_round(4) * (self.tariff_r + self.tariff_s)
+        self.stats_round_both(4)
     }
 
     /// Wire bytes of a `WINDOW` download of `n` objects on one link,
     /// unweighted: query up + object stream down.
     pub fn window_download(&self, n: f64) -> f64 {
-        self.tb(QUERY_BYTES as f64) + self.tb(OBJECTS_HEADER_BYTES as f64 + n * OBJ_BYTES as f64)
+        self.window_download_fanned(n, 1.0)
+    }
+
+    /// [`CostModel::window_download`] against a fleet of `fanout` shards:
+    /// the query fans out to every shard, the `n` objects come back split
+    /// evenly across `fanout` framed responses. With `fanout = 1` this is
+    /// bit-exactly the flat formula.
+    pub fn window_download_fanned(&self, n: f64, fanout: f64) -> f64 {
+        fanout * self.tb(QUERY_BYTES as f64)
+            + fanout * self.tb(OBJECTS_HEADER_BYTES as f64 + (n / fanout) * OBJ_BYTES as f64)
     }
 
     /// `c1(w)` — HBSJ: download both windows, join on the device
@@ -105,8 +142,8 @@ impl CostModel {
     /// `c1` without the feasibility check — MobiJoin's `c4` heuristic
     /// needs it (the paper's Figure 2(b) flaw depends on it).
     pub fn c1_unchecked(&self, count_r: f64, count_s: f64) -> f64 {
-        self.tariff_r * self.window_download(count_r)
-            + self.tariff_s * self.window_download(count_s)
+        self.tariff_r * self.window_download_fanned(count_r, self.fanout_r)
+            + self.tariff_s * self.window_download_fanned(count_s, self.fanout_s)
     }
 
     /// Expected qualifying partners of one ε-probe into a window holding
@@ -124,8 +161,17 @@ impl CostModel {
     /// when `bucket`): download the outer window, probe the inner server
     /// once per outer object (or once in bulk), receive the matches.
     ///
-    /// `c2(w)` is `nlsj(w, |Rw|, |Sw|, bR, bS, …)`; `c3(w)` swaps the
-    /// roles.
+    /// `c2(w)` is `nlsj(w, |Rw|, |Sw|, bR, bS, fR, fS, …)`; `c3(w)` swaps
+    /// the roles. Fan-out enters the outer download (fleet framing) and
+    /// the bucket submission (the probe set is sub-batched across the
+    /// inner fleet's shards). Both probe paths assume each ε-probe
+    /// reaches exactly one inner shard — probes are ε-scale, far smaller
+    /// than a shard cell. The router actually duplicates a probe into
+    /// *every* shard whose advertised bounds its ε-expanded MBR
+    /// intersects, so near cell edges (or when straddlers widen a shard's
+    /// bounds) the estimate undershoots the meter; like the paper's own
+    /// uniformity assumption, this is a deliberate estimation error, and
+    /// the reported bytes always come from the meters.
     #[allow(clippy::too_many_arguments)]
     pub fn nlsj(
         &self,
@@ -134,17 +180,23 @@ impl CostModel {
         count_inner: f64,
         tariff_outer: f64,
         tariff_inner: f64,
+        fanout_outer: f64,
+        fanout_inner: f64,
         eps: f64,
         bucket: bool,
     ) -> f64 {
         let mu = self.expected_matches(w, count_inner, eps);
-        let outer_download = tariff_outer * self.window_download(count_outer);
+        let outer_download = tariff_outer * self.window_download_fanned(count_outer, fanout_outer);
         if bucket {
-            // Upload every outer object to the inner server in one bucket
-            // request, receive one framed response (Eqs. 5–6).
-            let upload = self.tb(BUCKET_REQ_HEADER_BYTES as f64 + count_outer * OBJ_BYTES as f64);
-            let response = self.tb(OBJECTS_HEADER_BYTES as f64
-                + count_outer * (BUCKET_FRAME_BYTES as f64 + mu * OBJ_BYTES as f64));
+            // Upload every outer object to the inner fleet, sub-batched
+            // per shard; each shard answers with its own framed response
+            // (Eqs. 5–6, shard framing multiplied by the fan-out).
+            let per_shard = count_outer / fanout_inner;
+            let upload = fanout_inner
+                * self.tb(BUCKET_REQ_HEADER_BYTES as f64 + per_shard * OBJ_BYTES as f64);
+            let response = fanout_inner
+                * self.tb(OBJECTS_HEADER_BYTES as f64
+                    + per_shard * (BUCKET_FRAME_BYTES as f64 + mu * OBJ_BYTES as f64));
             outer_download + tariff_inner * (upload + response)
         } else {
             // One ε-RANGE round trip per outer object (Eqs. 3–4).
@@ -159,7 +211,7 @@ impl CostModel {
     /// uniform and every quadrant finishes with one (unchecked) HBSJ.
     pub fn c4_mobijoin(&self, count_r: f64, count_s: f64, k: u32) -> f64 {
         let cells = (k * k) as f64;
-        let stats = self.stats_round(k * k) * (self.tariff_r + self.tariff_s);
+        let stats = self.stats_round_both(k * k);
         let per_cell = self.c1_unchecked(count_r / cells, count_s / cells);
         stats + cells * per_cell
     }
@@ -255,8 +307,8 @@ mod tests {
     fn bucket_nlsj_cheaper_than_single_for_many_outers() {
         let m = model(800);
         // 500 outer probes: per-probe headers dominate the single form.
-        let single = m.nlsj(&w(), 500.0, 1000.0, 1.0, 1.0, 50.0, false);
-        let bucket = m.nlsj(&w(), 500.0, 1000.0, 1.0, 1.0, 50.0, true);
+        let single = m.nlsj(&w(), 500.0, 1000.0, 1.0, 1.0, 1.0, 1.0, 50.0, false);
+        let bucket = m.nlsj(&w(), 500.0, 1000.0, 1.0, 1.0, 1.0, 1.0, 50.0, true);
         assert!(
             bucket < single,
             "bucket {bucket} should beat single {single}"
@@ -267,8 +319,8 @@ mod tests {
     fn nlsj_prefers_smaller_outer() {
         let m = model(800);
         // |R| = 10, |S| = 1000: probing with R as outer is much cheaper.
-        let c2 = m.nlsj(&w(), 10.0, 1000.0, 1.0, 1.0, 50.0, false);
-        let c3 = m.nlsj(&w(), 1000.0, 10.0, 1.0, 1.0, 50.0, false);
+        let c2 = m.nlsj(&w(), 10.0, 1000.0, 1.0, 1.0, 1.0, 1.0, 50.0, false);
+        let c3 = m.nlsj(&w(), 1000.0, 10.0, 1.0, 1.0, 1.0, 1.0, 50.0, false);
         assert!(c2 < c3);
     }
 
@@ -283,7 +335,7 @@ mod tests {
         // probe R) pays the probes on R but still beats downloading R
         // wholesale when R is big.
         let c1 = m.c1(1000.0, 10.0).unwrap();
-        let cheap = m.nlsj(&w(), 10.0, 1000.0, 1.0, 10.0, 50.0, false);
+        let cheap = m.nlsj(&w(), 10.0, 1000.0, 1.0, 10.0, 1.0, 1.0, 50.0, false);
         assert!(cheap < c1);
     }
 
@@ -385,6 +437,50 @@ mod tests {
         let m = model(800);
         assert_eq!(m.c1_decomposed(400.0, 400.0), m.c1_unchecked(400.0, 400.0));
         assert!(m.c1_decomposed(500.0, 500.0) > m.c1_unchecked(500.0, 500.0));
+    }
+
+    #[test]
+    fn fanout_one_is_bit_exactly_the_flat_model() {
+        let flat = model(800);
+        let fanned = model(800).with_fanout(1.0, 1.0);
+        for (r, s) in [(10.0, 10.0), (333.0, 97.0), (0.0, 5.0)] {
+            assert_eq!(flat.c1_unchecked(r, s), fanned.c1_unchecked(r, s));
+            assert_eq!(flat.c1(r, s), fanned.c1(r, s));
+        }
+        assert_eq!(flat.split_stats_cost(), fanned.split_stats_cost());
+        assert_eq!(
+            flat.window_download(50.0),
+            fanned.window_download_fanned(50.0, 1.0)
+        );
+        assert_eq!(
+            flat.nlsj(&w(), 50.0, 100.0, 1.0, 1.0, 1.0, 1.0, 20.0, true),
+            fanned.nlsj(&w(), 50.0, 100.0, 1.0, 1.0, 1.0, 1.0, 20.0, true)
+        );
+    }
+
+    #[test]
+    fn fanout_scales_stats_and_framing_but_not_payload() {
+        let flat = model(800);
+        let fleet = model(800).with_fanout(4.0, 2.0);
+        // Statistics fan out per shard on each side: 4× on R, 2× on S.
+        assert_eq!(fleet.split_stats_cost(), flat.stats_round(4) * (4.0 + 2.0));
+        // A window download to a fleet pays fan-out × query and framing
+        // but streams the same object payload.
+        let one = flat.window_download(100.0);
+        let four = fleet.window_download_fanned(100.0, 4.0);
+        assert!(four > one);
+        assert!(
+            four - one < 4.0 * flat.tb(QUERY_BYTES as f64) + 4.0 * 45.0,
+            "only headers and framing may grow"
+        );
+        // c1 combines both sides' fan-outs.
+        assert!(fleet.c1_unchecked(100.0, 100.0) > flat.c1_unchecked(100.0, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out is at least 1")]
+    fn fanout_below_one_rejected() {
+        model(800).with_fanout(0.5, 1.0);
     }
 
     #[test]

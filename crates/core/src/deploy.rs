@@ -1,16 +1,28 @@
-//! Deployment: the two servers, the network, the device's resources.
+//! Deployment: the two servers (or shard fleets), the network, the
+//! device's resources.
+//!
+//! Each logical side is either a single server or — via
+//! [`DeploymentBuilder::with_shards`] — a *fleet* of spatially partitioned
+//! shard servers behind a client-side scatter-gather
+//! [`ShardRouter`](asj_net::ShardRouter). The fleet presents the exact
+//! same [`Link`] interface, so every join algorithm runs unchanged; its
+//! link meter reports the physical scatter traffic, with per-shard detail
+//! available through [`Link::fleet`].
 
 use std::sync::Arc;
 
 use asj_geom::{Rect, SpatialObject};
-use asj_net::{ChannelServer, Link, NetConfig, QueryHandler};
-use asj_server::{RTreeStore, ServicePolicy, SpatialService};
+use asj_net::{
+    ChannelServer, Link, NetConfig, QueryHandler, RawExchange, ShardEndpoint, ShardRouter,
+};
+use asj_server::{partition_objects, RTreeStore, ServicePolicy, SpatialService, SpatialStore};
 
 /// The default device buffer: the paper's 800 points ("40 % of the total
 /// data size for the synthetic datasets").
 pub const DEFAULT_BUFFER: usize = 800;
 
-enum Carrier {
+/// One server process: in the caller's process or behind its own thread.
+enum Endpoint {
     InProc(Arc<dyn QueryHandler>),
     Channel {
         handle: asj_net::ServerHandle,
@@ -18,13 +30,53 @@ enum Carrier {
     },
 }
 
+impl Endpoint {
+    fn spawn(service: Arc<SpatialService<RTreeStore>>, threaded: bool, name: &str) -> Endpoint {
+        if threaded {
+            let (server, handle) = ChannelServer::spawn(service, name);
+            Endpoint::Channel {
+                handle,
+                _server: server,
+            }
+        } else {
+            Endpoint::InProc(service)
+        }
+    }
+
+    fn raw(&self) -> Box<dyn RawExchange> {
+        match self {
+            Endpoint::InProc(h) => Box::new(InProcDyn(Arc::clone(h))),
+            Endpoint::Channel { handle, .. } => Box::new(handle.connect()),
+        }
+    }
+}
+
+/// One logical side of the join: a single server, or a fleet of shard
+/// servers reached through a scatter-gather [`ShardRouter`].
+enum Carrier {
+    Single(Endpoint),
+    Fleet(Vec<(Option<Rect>, Endpoint)>),
+}
+
 impl Carrier {
     fn link(&self, net: &NetConfig, tariff: f64) -> Link {
         match self {
-            Carrier::InProc(h) => Link::new(Box::new(InProcDyn(Arc::clone(h))), net.packet, tariff),
-            Carrier::Channel { handle, .. } => {
-                Link::new(Box::new(handle.connect()), net.packet, tariff)
+            Carrier::Single(e) => Link::new(e.raw(), net.packet, tariff),
+            Carrier::Fleet(members) => {
+                let shards = members
+                    .iter()
+                    .map(|(bounds, e)| ShardEndpoint::new(*bounds, e.raw()))
+                    .collect();
+                Link::routed(ShardRouter::new(shards, net.packet), tariff)
             }
+        }
+    }
+
+    /// Shard servers behind this side (1 for a single server).
+    fn shard_count(&self) -> usize {
+        match self {
+            Carrier::Single(_) => 1,
+            Carrier::Fleet(members) => members.len(),
         }
     }
 }
@@ -100,6 +152,14 @@ impl Deployment {
     pub fn is_cooperative(&self) -> bool {
         self.cooperative
     }
+
+    /// Shard servers behind each side: `(R, S)`. `(1, 1)` for flat
+    /// deployments *and* for explicit 1-shard fleets — the cost model's
+    /// fan-out factor is the same in both cases, as is the wire traffic
+    /// (a 1-shard router is byte-transparent).
+    pub fn shard_counts(&self) -> (usize, usize) {
+        (self.r.shard_count(), self.s.shard_count())
+    }
 }
 
 /// Builder for [`Deployment`].
@@ -112,6 +172,7 @@ pub struct DeploymentBuilder {
     cooperative: bool,
     threaded: bool,
     rtree_fanout: usize,
+    shards: Option<(usize, usize)>,
 }
 
 impl DeploymentBuilder {
@@ -125,6 +186,7 @@ impl DeploymentBuilder {
             cooperative: false,
             threaded: false,
             rtree_fanout: asj_rtree::DEFAULT_MAX_ENTRIES,
+            shards: None,
         }
     }
 
@@ -165,6 +227,21 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Shards each side across a fleet of `n_r` / `n_s` spatially
+    /// partitioned servers behind a client-side scatter-gather router
+    /// (see `asj_server::partition` and `asj_net::router`). `n = 1` is a
+    /// legitimate fleet: the router is byte-transparent, which the
+    /// differential tests exploit. Combine with [`threaded`] to give every
+    /// shard its own server thread — the router then scatters to them
+    /// concurrently.
+    ///
+    /// [`threaded`]: DeploymentBuilder::threaded
+    pub fn with_shards(mut self, n_r: usize, n_s: usize) -> Self {
+        assert!(n_r >= 1 && n_s >= 1, "each side needs at least one shard");
+        self.shards = Some((n_r, n_s));
+        self
+    }
+
     pub fn build(self) -> Deployment {
         let policy = if self.cooperative {
             ServicePolicy::Cooperative
@@ -180,24 +257,42 @@ impl DeploymentBuilder {
             )
             .unwrap_or_else(|| Rect::from_coords(0.0, 0.0, 1.0, 1.0))
         });
-        let make = |objects: Vec<SpatialObject>, name: &str| -> Carrier {
-            let service = Arc::new(
+        let service = |objects: Vec<SpatialObject>| {
+            Arc::new(
                 SpatialService::new(RTreeStore::with_fanout(objects, self.rtree_fanout))
                     .with_policy(policy),
-            );
-            if self.threaded {
-                let (server, handle) = ChannelServer::spawn(service, name);
-                Carrier::Channel {
-                    handle,
-                    _server: server,
+            )
+        };
+        let make = |objects: Vec<SpatialObject>, shards: Option<usize>, name: &str| -> Carrier {
+            match shards {
+                None => Carrier::Single(Endpoint::spawn(service(objects), self.threaded, name)),
+                Some(n) => {
+                    let part = partition_objects(&space, n, objects);
+                    // Advertised bounds come from the partitioner's
+                    // property-tested helper (union of member MBRs), not
+                    // from the store: router pruning soundness must not
+                    // depend on how a backend reports its bounds.
+                    let bounds = part.bounds();
+                    Carrier::Fleet(
+                        bounds
+                            .into_iter()
+                            .zip(part.members)
+                            .enumerate()
+                            .map(|(i, (bounds, members))| {
+                                let svc = service(members);
+                                debug_assert_eq!(bounds, svc.store().bounds());
+                                let endpoint =
+                                    Endpoint::spawn(svc, self.threaded, &format!("{name}{i}"));
+                                (bounds, endpoint)
+                            })
+                            .collect(),
+                    )
                 }
-            } else {
-                Carrier::InProc(service)
             }
         };
         Deployment {
-            r: make(self.r_objects, "R"),
-            s: make(self.s_objects, "S"),
+            r: make(self.r_objects, self.shards.map(|s| s.0), "R"),
+            s: make(self.s_objects, self.shards.map(|s| s.1), "S"),
             net: self.net,
             buffer_capacity: self.buffer_capacity,
             space,
@@ -254,6 +349,74 @@ mod tests {
             ra.meter().snapshot().total_bytes(),
             rb.meter().snapshot().total_bytes()
         );
+    }
+
+    #[test]
+    fn sharded_fleet_answers_like_flat_and_reports_shards() {
+        let r = pts(50, 0.0);
+        let s = pts(50, 5.0);
+        let flat = Deployment::in_process(r.clone(), s.clone(), NetConfig::default());
+        let fleet = DeploymentBuilder::new(r, s).with_shards(4, 3).build();
+        assert_eq!(flat.shard_counts(), (1, 1));
+        assert_eq!(fleet.shard_counts(), (4, 3));
+        let w = Rect::from_coords(0.0, 0.0, 30.0, 30.0);
+        let (fr, fs) = flat.connect();
+        let (gr, gs) = fleet.connect();
+        assert_eq!(
+            fr.request(Request::Count(w)).into_count(),
+            gr.request(Request::Count(w)).into_count()
+        );
+        let mut a: Vec<u32> = fs
+            .request(Request::Window(w))
+            .into_objects()
+            .iter()
+            .map(|o| o.id)
+            .collect();
+        let mut b: Vec<u32> = gs
+            .request(Request::Window(w))
+            .into_objects()
+            .iter()
+            .map(|o| o.id)
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // The fleet link carries per-shard telemetry; the flat one none.
+        assert!(fr.fleet().is_none());
+        let t = gr.fleet().unwrap().snapshot();
+        assert_eq!(t.shard_count(), 4);
+        assert_eq!(t.summed(), gr.meter().snapshot());
+    }
+
+    #[test]
+    fn threaded_fleet_matches_in_process_fleet() {
+        let build = |threaded: bool| {
+            let mut b = DeploymentBuilder::new(pts(40, 0.0), pts(40, 2.0)).with_shards(3, 3);
+            if threaded {
+                b = b.threaded();
+            }
+            b.build()
+        };
+        let a = build(false);
+        let b = build(true);
+        let w = Rect::from_coords(0.0, 0.0, 25.0, 25.0);
+        let (ra, _) = a.connect();
+        let (rb, _) = b.connect();
+        assert_eq!(
+            ra.request(Request::Count(w)).into_count(),
+            rb.request(Request::Count(w)).into_count()
+        );
+        assert_eq!(
+            ra.meter().snapshot().total_bytes(),
+            rb.meter().snapshot().total_bytes(),
+            "carrier must not change accounting"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = DeploymentBuilder::new(pts(2, 0.0), pts(2, 0.0)).with_shards(0, 2);
     }
 
     #[test]

@@ -116,6 +116,7 @@ impl<'a> ExecCtx<'a> {
     pub fn new(deployment: &Deployment, spec: &'a JoinSpec) -> Self {
         let (link_r, link_s) = deployment.connect();
         let space = deployment.space();
+        let (shards_r, shards_s) = deployment.shard_counts();
         // The recursion floor must use the same scale as both guards in
         // `at_limit`: on an elongated space, deriving it from the width
         // alone leaves the height guard with the wrong scale.
@@ -128,7 +129,8 @@ impl<'a> ExecCtx<'a> {
             out: ResultCollector::new(),
             spec,
             space,
-            cost: CostModel::new(deployment.net(), deployment.buffer_capacity()),
+            cost: CostModel::new(deployment.net(), deployment.buffer_capacity())
+                .with_fanout(shards_r as f64, shards_s as f64),
             rng: ChaCha8Rng::seed_from_u64(spec.seed),
             stats: ExecStats::default(),
             max_depth: 24,
@@ -148,6 +150,13 @@ impl<'a> ExecCtx<'a> {
         match side {
             Side::R => self.cost.tariff_r,
             Side::S => self.cost.tariff_s,
+        }
+    }
+
+    fn fanout(&self, side: Side) -> f64 {
+        match side {
+            Side::R => self.cost.fanout_r,
+            Side::S => self.cost.fanout_s,
         }
     }
 
@@ -224,6 +233,8 @@ impl<'a> ExecCtx<'a> {
                 count_s,
                 self.tariff(Side::R),
                 self.tariff(Side::S),
+                self.fanout(Side::R),
+                self.fanout(Side::S),
                 eps,
                 bucket,
             ),
@@ -233,6 +244,8 @@ impl<'a> ExecCtx<'a> {
                 count_r,
                 self.tariff(Side::S),
                 self.tariff(Side::R),
+                self.fanout(Side::S),
+                self.fanout(Side::R),
                 eps,
                 bucket,
             ),
@@ -430,6 +443,8 @@ impl<'a> ExecCtx<'a> {
     pub fn finish(self, algorithm: &'static str) -> JoinReport {
         let link_r = self.link_r.meter().snapshot();
         let link_s = self.link_s.meter().snapshot();
+        let fleet_r = self.link_r.fleet().map(|t| t.snapshot());
+        let fleet_s = self.link_s.fleet().map(|t| t.snapshot());
         let cost_units = self.cost.tariff_r * link_r.total_bytes() as f64
             + self.cost.tariff_s * link_s.total_bytes() as f64;
         let peak_buffer = self.buffer.peak();
@@ -443,6 +458,8 @@ impl<'a> ExecCtx<'a> {
             iceberg,
             link_r,
             link_s,
+            fleet_r,
+            fleet_s,
             cost_units,
             peak_buffer,
             stats: self.stats,
@@ -656,6 +673,42 @@ mod tests {
         // And the cost model prices exactly what the meter measured.
         assert_eq!(sm.aggregate_bytes() as f64, single.cost.stats_round(4));
         assert_eq!(bm.aggregate_bytes() as f64, batched.cost.stats_round(4));
+    }
+
+    #[test]
+    fn fleet_stats_meter_matches_fanout_priced_cost() {
+        // Two clusters in opposite corners → each of the 2 shards holds
+        // one. A full-space COUNT survives pruning on both shards, so the
+        // meter must record exactly the fan-out-priced statistics round —
+        // the cost model and the wire agree on what a fleet costs.
+        let mut objs = grid_points(5, 2.0, 0);
+        objs.extend(
+            (0..25).map(|i| {
+                SpatialObject::point(100 + i, 80.0 + (i % 5) as f64, 80.0 + (i / 5) as f64)
+            }),
+        );
+        let dep = crate::deploy::DeploymentBuilder::new(objs.clone(), objs)
+            .with_space(Rect::from_coords(0.0, 0.0, 90.0, 90.0))
+            .with_shards(2, 2)
+            .build();
+        let spec = JoinSpec::distance_join(1.0);
+        let ctx = ExecCtx::new(&dep, &spec);
+        assert_eq!(ctx.cost.fanout_r, 2.0);
+        assert_eq!(ctx.count(Side::R, &dep.space()), 50);
+        let m = ctx.link(Side::R).meter().snapshot();
+        assert_eq!(
+            m.aggregate_bytes() as f64,
+            ctx.cost.fanout_r * ctx.cost.stats_round(1),
+            "meter and fan-out-priced model must agree on a full-scatter COUNT"
+        );
+        // A corner window reaches one shard only: the meter then shows
+        // half the full-scatter price (this is why the factor is an upper
+        // bound).
+        let corner = Rect::from_coords(0.0, 0.0, 5.0, 5.0);
+        let before = ctx.link(Side::R).meter().snapshot();
+        assert_eq!(ctx.count(Side::R, &corner), 9);
+        let delta = ctx.link(Side::R).meter().snapshot().since(&before);
+        assert_eq!(delta.aggregate_bytes() as f64, ctx.cost.stats_round(1));
     }
 
     #[test]

@@ -36,6 +36,21 @@
 //! statistics traffic only — join results are identical by construction
 //! (same extended windows, same answers).
 //!
+//! ## Sharded server fleets (opt-in)
+//!
+//! [`DeploymentBuilder::with_shards`] partitions each side across a fleet
+//! of shard servers (space-split assignment, boundary straddlers covered
+//! by advertised bounds) reached through a client-side scatter-gather
+//! router that implements the same carrier seam the single-server
+//! deployment uses — `ExecCtx` and every algorithm work unchanged. The
+//! router prunes shards whose bounds miss the query window, sub-batches
+//! `MultiCount`/bucket probes, merges and deduplicates answers, and
+//! meters per shard and in aggregate; [`CostModel::with_fanout`] teaches
+//! operator decisions the per-round fan-out factor the meters will
+//! measure. A fleet of one is byte-identical on the wire to a flat
+//! deployment, and the `tests/sharded.rs` differential suite proves every
+//! algorithm returns identical pairs at any shard count.
+//!
 //! ## Join semantics
 //!
 //! MBR intersection joins, ε-distance joins, and the iceberg distance

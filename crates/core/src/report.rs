@@ -2,7 +2,7 @@
 
 use asj_device::{BufferExceeded, IcebergResult};
 use asj_geom::ObjectId;
-use asj_net::LinkSnapshot;
+use asj_net::{FleetSnapshot, LinkSnapshot};
 
 use crate::exec::ExecStats;
 
@@ -44,10 +44,15 @@ pub struct JoinReport {
     pub pairs: Vec<(ObjectId, ObjectId)>,
     /// Iceberg aggregation when the spec asked for it.
     pub iceberg: Option<IcebergResult>,
-    /// Wire accounting of the R link.
+    /// Wire accounting of the R link (the router's aggregate over all
+    /// shard exchanges when the side is a fleet).
     pub link_r: LinkSnapshot,
     /// Wire accounting of the S link.
     pub link_s: LinkSnapshot,
+    /// Per-shard accounting of the R side when it is a sharded fleet.
+    pub fleet_r: Option<FleetSnapshot>,
+    /// Per-shard accounting of the S side when it is a sharded fleet.
+    pub fleet_s: Option<FleetSnapshot>,
     /// Tariff-weighted cost: `bR·bytes_R + bS·bytes_S`.
     pub cost_units: f64,
     /// Highest device-buffer occupancy observed.
@@ -76,6 +81,31 @@ impl JoinReport {
     /// Objects downloaded from both servers.
     pub fn objects_downloaded(&self) -> u64 {
         self.link_r.objects_received + self.link_s.objects_received
+    }
+
+    /// Mean wire bytes per shard server across both sides — how much
+    /// load one member of the fleet carries. A flat link counts as a
+    /// one-shard fleet.
+    pub fn mean_shard_bytes(&self) -> f64 {
+        let shards =
+            |fleet: &Option<FleetSnapshot>| fleet.as_ref().map_or(1, FleetSnapshot::shard_count);
+        (self.link_r.total_bytes() + self.link_s.total_bytes()) as f64
+            / (shards(&self.fleet_r) + shards(&self.fleet_s)) as f64
+    }
+
+    /// Fraction of scatter slots the routers skipped by bounds pruning,
+    /// over both fleets (0 when neither side is sharded).
+    pub fn pruning_rate(&self) -> f64 {
+        let (mut scattered, mut pruned) = (0u64, 0u64);
+        for fleet in [&self.fleet_r, &self.fleet_s].into_iter().flatten() {
+            scattered += fleet.scattered;
+            pruned += fleet.pruned;
+        }
+        if scattered + pruned == 0 {
+            0.0
+        } else {
+            pruned as f64 / (scattered + pruned) as f64
+        }
     }
 }
 
@@ -114,6 +144,8 @@ mod tests {
             iceberg: None,
             link_r,
             link_s,
+            fleet_r: None,
+            fleet_s: None,
             cost_units: 310.0,
             peak_buffer: 42,
             stats: ExecStats::default(),
@@ -122,5 +154,38 @@ mod tests {
         assert_eq!(rep.aggregate_queries(), 3);
         assert_eq!(rep.objects_downloaded(), 5);
         assert_eq!(rep.total_queries(), 3);
+        // Flat links: one "shard" per side, no pruning.
+        assert_eq!(rep.mean_shard_bytes(), 155.0);
+        assert_eq!(rep.pruning_rate(), 0.0);
+    }
+
+    #[test]
+    fn fleet_shard_metrics() {
+        let fleet_r = FleetSnapshot {
+            per_shard: vec![LinkSnapshot::default(); 3],
+            scattered: 6,
+            pruned: 2,
+        };
+        let rep = JoinReport {
+            algorithm: "test",
+            pairs: vec![],
+            iceberg: None,
+            link_r: LinkSnapshot {
+                up_bytes: 300,
+                ..LinkSnapshot::default()
+            },
+            link_s: LinkSnapshot {
+                up_bytes: 100,
+                ..LinkSnapshot::default()
+            },
+            fleet_r: Some(fleet_r),
+            fleet_s: None,
+            cost_units: 400.0,
+            peak_buffer: 0,
+            stats: ExecStats::default(),
+        };
+        // 400 bytes over 3 R shards + 1 flat S link.
+        assert_eq!(rep.mean_shard_bytes(), 100.0);
+        assert_eq!(rep.pruning_rate(), 0.25);
     }
 }

@@ -26,7 +26,13 @@
 //! * [`transport`] — synchronous RPC over two interchangeable carriers: an
 //!   in-process call (fast, used by the experiment sweeps) and a
 //!   crossbeam-channel connection to a server thread (the "distributed"
-//!   deployment used by examples and integration tests).
+//!   deployment used by examples and integration tests);
+//! * [`router`] — the **scatter-gather extension**: a [`ShardRouter`]
+//!   fronts a fleet of shard servers behind the same carrier seam, pruning
+//!   shards by advertised bounds, sub-batching batched requests, merging
+//!   and deduplicating answers, and metering both per shard and in
+//!   aggregate. A fleet of one is a byte-transparent proxy, so sharding is
+//!   wire-identical to a flat deployment at N = 1.
 //!
 //! Every message — including the queries themselves, as the paper insists —
 //! is packetized and metered.
@@ -35,9 +41,11 @@ pub mod codec;
 pub mod meter;
 pub mod packet;
 pub mod proto;
+pub mod router;
 pub mod transport;
 
 pub use meter::{LinkMeter, LinkSnapshot};
 pub use packet::{NetConfig, PacketModel};
 pub use proto::{QueryHandler, Request, Response};
+pub use router::{FleetSnapshot, ShardEndpoint, ShardRouter, ShardTelemetry};
 pub use transport::{ChannelServer, Link, RawExchange, ServerHandle};

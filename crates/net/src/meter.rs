@@ -74,6 +74,25 @@ impl LinkSnapshot {
         self.aggregate_up_bytes + self.aggregate_down_bytes
     }
 
+    /// Field-wise sum with another snapshot (for fleet aggregation: the
+    /// sum of per-shard snapshots must equal the router's aggregate).
+    pub fn plus(&self, other: &LinkSnapshot) -> LinkSnapshot {
+        LinkSnapshot {
+            up_bytes: self.up_bytes + other.up_bytes,
+            down_bytes: self.down_bytes + other.down_bytes,
+            up_packets: self.up_packets + other.up_packets,
+            down_packets: self.down_packets + other.down_packets,
+            count_queries: self.count_queries + other.count_queries,
+            window_queries: self.window_queries + other.window_queries,
+            range_queries: self.range_queries + other.range_queries,
+            bucket_queries: self.bucket_queries + other.bucket_queries,
+            coop_queries: self.coop_queries + other.coop_queries,
+            objects_received: self.objects_received + other.objects_received,
+            aggregate_up_bytes: self.aggregate_up_bytes + other.aggregate_up_bytes,
+            aggregate_down_bytes: self.aggregate_down_bytes + other.aggregate_down_bytes,
+        }
+    }
+
     /// Difference against an earlier snapshot (for per-phase accounting).
     pub fn since(&self, earlier: &LinkSnapshot) -> LinkSnapshot {
         LinkSnapshot {

@@ -1,0 +1,766 @@
+//! Client-side scatter-gather router for sharded server fleets.
+//!
+//! A production-scale deployment serves each logical dataset from a
+//! *fleet* of shard servers, each holding a spatial partition of the
+//! objects (see `asj_server::partition`). The [`ShardRouter`] is the
+//! device-side library that makes a fleet look like one server: it
+//! implements [`RawExchange`], so it slots under an ordinary [`Link`] and
+//! every join algorithm works unchanged.
+//!
+//! For each logical request the router
+//!
+//! 1. **prunes** shards whose advertised bounds cannot contain an answer
+//!    (a shard's bounds cover the full MBRs of all its objects, including
+//!    boundary straddlers, so pruning never loses a result);
+//! 2. **scatters** sub-requests to the survivors — split-phase via
+//!    [`RawExchange::begin`], so threaded shard servers work concurrently;
+//!    batched requests (`MultiCount`, `BucketEpsRange`) are *sub-batched*:
+//!    each shard receives only the probes that can touch it;
+//! 3. **merges** the responses: object lists are concatenated and
+//!    deduplicated by id, counts are summed (exact, because the
+//!    partitioner assigns every object to exactly one shard), average
+//!    areas are weighted by matching-object count, and cooperative level
+//!    MBRs concatenate into a forest level (the fleet's defined
+//!    cooperative-mode answer);
+//! 4. **meters** every physical exchange into a per-shard [`LinkMeter`]
+//!    *and* the aggregate meter the fronting [`Link`] exposes — reported
+//!    bytes are the scatter traffic that actually crossed the wire.
+//!
+//! The router lives at the *byte* seam deliberately: it slots under any
+//! [`Link`] without a new interface, at the price of one extra
+//! encode/decode of the merged response per logical RPC (µs-scale CPU in
+//! a simulation whose metric is bytes — a decoded side-channel would
+//! remove it if that ever mattered).
+//!
+//! A fleet of **one** shard is a byte-transparent proxy: the encoded
+//! request and response pass through unchanged and nothing is ever pruned,
+//! so a 1-shard deployment is wire-identical to a flat one — the anchor of
+//! the differential test suite.
+//!
+//! If any contacted shard answers [`Response::Refused`] (e.g. a
+//! cooperative query against a non-cooperative fleet), the merged answer
+//! is `Refused`. Cooperative requests are therefore never pruned-to-zero:
+//! every shard is contacted (with a payload trimmed to its bounds) so the
+//! policy refusal propagates exactly as it would from a flat server.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use asj_geom::{Rect, SpatialObject};
+use bytes::Bytes;
+
+use crate::codec::{decode_request, decode_response, encode_request, encode_response};
+use crate::meter::{LinkMeter, LinkSnapshot};
+use crate::packet::PacketModel;
+use crate::proto::{Request, Response};
+use crate::transport::RawExchange;
+
+/// One shard of a fleet: its advertised data bounds (the union of its
+/// objects' MBRs — `None` for an empty shard, which is always prunable)
+/// and the carrier that reaches it.
+pub struct ShardEndpoint {
+    bounds: Option<Rect>,
+    carrier: Box<dyn RawExchange>,
+}
+
+impl ShardEndpoint {
+    pub fn new(bounds: Option<Rect>, carrier: Box<dyn RawExchange>) -> Self {
+        ShardEndpoint { bounds, carrier }
+    }
+}
+
+/// Shared scatter accounting of one router: per-shard meters plus the
+/// prune/scatter decision counters the bench experiments report.
+#[derive(Debug)]
+pub struct ShardTelemetry {
+    meters: Vec<Arc<LinkMeter>>,
+    scattered: AtomicU64,
+    pruned: AtomicU64,
+}
+
+impl ShardTelemetry {
+    fn new(shards: usize) -> Self {
+        ShardTelemetry {
+            meters: (0..shards).map(|_| Arc::new(LinkMeter::new())).collect(),
+            scattered: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards in the fleet.
+    pub fn shard_count(&self) -> usize {
+        self.meters.len()
+    }
+
+    /// The meter of one shard.
+    pub fn meter(&self, shard: usize) -> &Arc<LinkMeter> {
+        &self.meters[shard]
+    }
+
+    /// Point-in-time copy of the whole fleet's accounting.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        FleetSnapshot {
+            per_shard: self.meters.iter().map(|m| m.snapshot()).collect(),
+            scattered: self.scattered.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a fleet's scatter accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetSnapshot {
+    /// Wire accounting per shard, in shard order.
+    pub per_shard: Vec<LinkSnapshot>,
+    /// Sub-requests actually sent to shards.
+    pub scattered: u64,
+    /// (request, shard) slots skipped because the shard could not
+    /// contribute to the answer — a bounds miss, or a zero-COUNT shard
+    /// skipped by the second phase of a merged `AvgArea`.
+    pub pruned: u64,
+}
+
+impl FleetSnapshot {
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// Field-wise sum of the per-shard snapshots. Equals the router's
+    /// aggregate meter — the conservation law the stress tests pin.
+    pub fn summed(&self) -> LinkSnapshot {
+        self.per_shard
+            .iter()
+            .fold(LinkSnapshot::default(), |acc, s| acc.plus(s))
+    }
+
+    /// Fraction of scatter slots avoided by bounds pruning.
+    pub fn pruning_rate(&self) -> f64 {
+        let total = self.scattered + self.pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / total as f64
+        }
+    }
+}
+
+/// Scatter-gather carrier over a fleet of shard servers. See the module
+/// docs for the routing, merging and metering rules.
+pub struct ShardRouter {
+    shards: Vec<ShardEndpoint>,
+    packet: PacketModel,
+    aggregate: Arc<LinkMeter>,
+    telemetry: Arc<ShardTelemetry>,
+}
+
+impl ShardRouter {
+    /// Builds a router over `shards` (at least one) with fresh meters.
+    pub fn new(shards: Vec<ShardEndpoint>, packet: PacketModel) -> Self {
+        assert!(!shards.is_empty(), "a fleet needs at least one shard");
+        let telemetry = Arc::new(ShardTelemetry::new(shards.len()));
+        ShardRouter {
+            shards,
+            packet,
+            aggregate: Arc::new(LinkMeter::new()),
+            telemetry,
+        }
+    }
+
+    /// The aggregate meter every physical exchange is recorded into.
+    pub fn aggregate_meter(&self) -> &Arc<LinkMeter> {
+        &self.aggregate
+    }
+
+    /// Per-shard meters and prune counters.
+    pub fn telemetry(&self) -> &Arc<ShardTelemetry> {
+        &self.telemetry
+    }
+
+    /// The packet model sub-exchanges are metered under.
+    pub fn packet(&self) -> PacketModel {
+        self.packet
+    }
+
+    fn record_request(&self, shard: usize, req: &Request, payload: u64) {
+        self.telemetry.meters[shard].record_request(req, payload, &self.packet);
+        self.aggregate.record_request(req, payload, &self.packet);
+        self.telemetry.scattered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_response(&self, shard: usize, payload: u64, resp: &Response, aggregate: bool) {
+        let objects = match resp {
+            Response::Objects(v) => v.len() as u64,
+            Response::Buckets(b) => b.iter().map(|x| x.len() as u64).sum(),
+            _ => 0,
+        };
+        self.telemetry.meters[shard].record_response(payload, objects, &self.packet, aggregate);
+        self.aggregate
+            .record_response(payload, objects, &self.packet, aggregate);
+    }
+
+    /// Fleet-of-one fast path: a byte-transparent, fully metered proxy.
+    fn pass_through(&self, raw: Bytes) -> Bytes {
+        let req = decode_request(raw.clone()).expect("malformed request");
+        self.record_request(0, &req, raw.len() as u64);
+        let reply = self.shards[0].carrier.exchange(raw);
+        let resp = decode_response(reply.clone()).expect("malformed response");
+        self.record_response(0, reply.len() as u64, &resp, req.is_aggregate());
+        reply
+    }
+
+    /// One scatter round: sends `subs[i]` (when `Some`) to shard `i`
+    /// split-phase, meters every exchange, counts pruned slots, and
+    /// returns the decoded responses in shard order.
+    fn round(&self, subs: &[Option<Request>]) -> Vec<Option<Response>> {
+        debug_assert_eq!(subs.len(), self.shards.len());
+        let mut pending = Vec::with_capacity(subs.len());
+        for (i, sub) in subs.iter().enumerate() {
+            match sub {
+                Some(req) => {
+                    let encoded = encode_request(req);
+                    self.record_request(i, req, encoded.len() as u64);
+                    pending.push(Some(self.shards[i].carrier.begin(encoded)));
+                }
+                None => {
+                    self.telemetry.pruned.fetch_add(1, Ordering::Relaxed);
+                    pending.push(None);
+                }
+            }
+        }
+        pending
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.map(|complete| {
+                    let raw = complete();
+                    let len = raw.len() as u64;
+                    let resp = decode_response(raw).expect("malformed response");
+                    let aggregate = subs[i].as_ref().expect("sent slot").is_aggregate();
+                    self.record_response(i, len, &resp, aggregate);
+                    resp
+                })
+            })
+            .collect()
+    }
+
+    /// Clones `req` to every shard whose bounds satisfy `reach`.
+    fn prune(&self, req: &Request, reach: impl Fn(&Rect) -> bool) -> Vec<Option<Request>> {
+        self.shards
+            .iter()
+            .map(|s| match s.bounds {
+                Some(b) if reach(&b) => Some(req.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Probe indices each shard can answer, under `reach(bounds, probe)`.
+    fn pick_indices<T>(&self, probes: &[T], reach: impl Fn(&Rect, &T) -> bool) -> Vec<Vec<usize>> {
+        self.shards
+            .iter()
+            .map(|s| match s.bounds {
+                Some(b) => (0..probes.len())
+                    .filter(|&i| reach(&b, &probes[i]))
+                    .collect(),
+                None => Vec::new(),
+            })
+            .collect()
+    }
+
+    fn scatter_gather(&self, req: &Request) -> Response {
+        match req {
+            Request::Window(w) => merge_objects(self.round(&self.prune(req, |b| b.intersects(w)))),
+            Request::EpsRange { q, eps } => {
+                let reach = q.expand(*eps);
+                merge_objects(self.round(&self.prune(req, |b| b.intersects(&reach))))
+            }
+            Request::Count(w) => {
+                let mut total = 0u64;
+                for resp in self
+                    .round(&self.prune(req, |b| b.intersects(w)))
+                    .into_iter()
+                    .flatten()
+                {
+                    match resp {
+                        Response::Count(c) => total += c,
+                        Response::Refused => return Response::Refused,
+                        other => panic!("protocol mismatch: expected Count, got {other:?}"),
+                    }
+                }
+                Response::Count(total)
+            }
+            Request::MultiCount(windows) => {
+                let picks = self.pick_indices(windows, |b, w| b.intersects(w));
+                let subs: Vec<Option<Request>> = picks
+                    .iter()
+                    .map(|p| {
+                        (!p.is_empty())
+                            .then(|| Request::MultiCount(p.iter().map(|&i| windows[i]).collect()))
+                    })
+                    .collect();
+                let mut totals = vec![0u64; windows.len()];
+                for (shard, resp) in self.round(&subs).into_iter().enumerate() {
+                    match resp {
+                        None => {}
+                        Some(Response::Counts(counts)) => {
+                            debug_assert_eq!(counts.len(), picks[shard].len());
+                            for (&i, c) in picks[shard].iter().zip(counts) {
+                                totals[i] += c;
+                            }
+                        }
+                        Some(Response::Refused) => return Response::Refused,
+                        Some(other) => {
+                            panic!("protocol mismatch: expected Counts, got {other:?}")
+                        }
+                    }
+                }
+                Response::Counts(totals)
+            }
+            Request::AvgArea(w) => self.avg_area(w),
+            Request::BucketEpsRange { probes, eps } => {
+                let picks = self.pick_indices(probes, |b, p| b.intersects(&p.mbr.expand(*eps)));
+                let subs: Vec<Option<Request>> = picks
+                    .iter()
+                    .map(|p| {
+                        (!p.is_empty()).then(|| Request::BucketEpsRange {
+                            probes: p.iter().map(|&i| probes[i]).collect(),
+                            eps: *eps,
+                        })
+                    })
+                    .collect();
+                let mut merged: Vec<Vec<SpatialObject>> = vec![Vec::new(); probes.len()];
+                for (shard, resp) in self.round(&subs).into_iter().enumerate() {
+                    match resp {
+                        None => {}
+                        Some(Response::Buckets(buckets)) => {
+                            debug_assert_eq!(buckets.len(), picks[shard].len());
+                            for (&i, bucket) in picks[shard].iter().zip(buckets) {
+                                merged[i].extend(bucket);
+                            }
+                        }
+                        Some(Response::Refused) => return Response::Refused,
+                        Some(other) => {
+                            panic!("protocol mismatch: expected Buckets, got {other:?}")
+                        }
+                    }
+                }
+                for bucket in &mut merged {
+                    dedup_by_id(bucket);
+                }
+                Response::Buckets(merged)
+            }
+            Request::CoopLevelMbrs(_) => {
+                // The fleet's cooperative level is the *forest* level: the
+                // concatenation of every shard's published level, in shard
+                // order. Never pruned — index structure is global.
+                let subs: Vec<Option<Request>> =
+                    self.shards.iter().map(|_| Some(req.clone())).collect();
+                let mut mbrs = Vec::new();
+                for resp in self.round(&subs).into_iter().flatten() {
+                    match resp {
+                        Response::Rects(r) => mbrs.extend(r),
+                        Response::Refused => return Response::Refused,
+                        other => panic!("protocol mismatch: expected Rects, got {other:?}"),
+                    }
+                }
+                Response::Rects(mbrs)
+            }
+            Request::CoopFilterByMbrs { mbrs, eps } => {
+                // Payload trimmed per shard, but every shard is contacted
+                // so a non-cooperative policy refusal propagates.
+                let subs: Vec<Option<Request>> = self
+                    .shards
+                    .iter()
+                    .map(|s| {
+                        let kept: Vec<Rect> = match s.bounds {
+                            Some(b) => mbrs
+                                .iter()
+                                .filter(|m| m.expand(*eps).intersects(&b))
+                                .copied()
+                                .collect(),
+                            None => Vec::new(),
+                        };
+                        Some(Request::CoopFilterByMbrs {
+                            mbrs: kept,
+                            eps: *eps,
+                        })
+                    })
+                    .collect();
+                merge_objects(self.round(&subs))
+            }
+            Request::CoopJoinPush { objects, eps } => {
+                let subs: Vec<Option<Request>> = self
+                    .shards
+                    .iter()
+                    .map(|s| {
+                        let kept: Vec<SpatialObject> = match s.bounds {
+                            Some(b) => objects
+                                .iter()
+                                .filter(|o| o.mbr.expand(*eps).intersects(&b))
+                                .copied()
+                                .collect(),
+                            None => Vec::new(),
+                        };
+                        Some(Request::CoopJoinPush {
+                            objects: kept,
+                            eps: *eps,
+                        })
+                    })
+                    .collect();
+                let mut seen = HashSet::new();
+                let mut pairs = Vec::new();
+                for resp in self.round(&subs).into_iter().flatten() {
+                    match resp {
+                        Response::Pairs(p) => {
+                            for pair in p {
+                                if seen.insert(pair) {
+                                    pairs.push(pair);
+                                }
+                            }
+                        }
+                        Response::Refused => return Response::Refused,
+                        other => panic!("protocol mismatch: expected Pairs, got {other:?}"),
+                    }
+                }
+                Response::Pairs(pairs)
+            }
+        }
+    }
+
+    /// Merged `AvgArea`: per-shard averages weighted by matching-object
+    /// count. An unweighted mean of shard means would be wrong whenever
+    /// shards match different numbers of objects; the weights come from a
+    /// COUNT round, and shards counting zero skip the area round entirely.
+    fn avg_area(&self, w: &Rect) -> Response {
+        let count_subs = self.prune(&Request::Count(*w), |b| b.intersects(w));
+        let mut counts = vec![0u64; self.shards.len()];
+        for (i, resp) in self.round(&count_subs).into_iter().enumerate() {
+            match resp {
+                None => {}
+                Some(Response::Count(c)) => counts[i] = c,
+                Some(Response::Refused) => return Response::Refused,
+                Some(other) => panic!("protocol mismatch: expected Count, got {other:?}"),
+            }
+        }
+        let area_subs: Vec<Option<Request>> = counts
+            .iter()
+            .map(|&c| (c > 0).then_some(Request::AvgArea(*w)))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let mut weighted = 0.0f64;
+        for (i, resp) in self.round(&area_subs).into_iter().enumerate() {
+            match resp {
+                None => {}
+                Some(Response::Area(a)) => weighted += a * counts[i] as f64,
+                Some(Response::Refused) => return Response::Refused,
+                Some(other) => panic!("protocol mismatch: expected Area, got {other:?}"),
+            }
+        }
+        Response::Area(if total == 0 {
+            0.0
+        } else {
+            weighted / total as f64
+        })
+    }
+}
+
+impl RawExchange for ShardRouter {
+    fn exchange(&self, request: Bytes) -> Bytes {
+        if self.shards.len() == 1 {
+            return self.pass_through(request);
+        }
+        let req = decode_request(request).expect("malformed request");
+        encode_response(&self.scatter_gather(&req))
+    }
+}
+
+/// Keeps the first occurrence of each object id, preserving order.
+fn dedup_by_id(objects: &mut Vec<SpatialObject>) {
+    let mut seen = HashSet::with_capacity(objects.len());
+    objects.retain(|o| seen.insert(o.id));
+}
+
+/// Concatenates object responses in shard order, deduplicating by id
+/// (defensive: the partitioner is disjoint, so duplicates indicate a
+/// replicated straddler and must collapse to one object).
+fn merge_objects(responses: Vec<Option<Response>>) -> Response {
+    let mut out = Vec::new();
+    for resp in responses.into_iter().flatten() {
+        match resp {
+            Response::Objects(v) => out.extend(v),
+            Response::Refused => return Response::Refused,
+            other => panic!("protocol mismatch: expected Objects, got {other:?}"),
+        }
+    }
+    dedup_by_id(&mut out);
+    Response::Objects(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::QueryHandler;
+    use crate::transport::{InProcExchange, Link};
+    use asj_geom::Point;
+
+    /// A scan-backed handler over a fixed object list.
+    struct Scan(Vec<SpatialObject>);
+
+    impl QueryHandler for Scan {
+        fn handle(&self, req: Request) -> Response {
+            match req {
+                Request::Window(w) => Response::Objects(
+                    self.0
+                        .iter()
+                        .filter(|o| o.mbr.intersects(&w))
+                        .copied()
+                        .collect(),
+                ),
+                Request::Count(w) => {
+                    Response::Count(self.0.iter().filter(|o| o.mbr.intersects(&w)).count() as u64)
+                }
+                Request::MultiCount(ws) => Response::Counts(
+                    ws.iter()
+                        .map(|w| self.0.iter().filter(|o| o.mbr.intersects(w)).count() as u64)
+                        .collect(),
+                ),
+                Request::EpsRange { q, eps } => Response::Objects(
+                    self.0
+                        .iter()
+                        .filter(|o| o.mbr.within_distance(&q, eps))
+                        .copied()
+                        .collect(),
+                ),
+                Request::AvgArea(w) => {
+                    let areas: Vec<f64> = self
+                        .0
+                        .iter()
+                        .filter(|o| o.mbr.intersects(&w))
+                        .map(|o| o.mbr.area())
+                        .collect();
+                    Response::Area(if areas.is_empty() {
+                        0.0
+                    } else {
+                        areas.iter().sum::<f64>() / areas.len() as f64
+                    })
+                }
+                Request::BucketEpsRange { probes, eps } => Response::Buckets(
+                    probes
+                        .iter()
+                        .map(|p| {
+                            self.0
+                                .iter()
+                                .filter(|o| o.mbr.within_distance(&p.mbr, eps))
+                                .copied()
+                                .collect()
+                        })
+                        .collect(),
+                ),
+                _ => Response::Refused,
+            }
+        }
+    }
+
+    fn endpoint(objects: Vec<SpatialObject>) -> ShardEndpoint {
+        let bounds = Rect::union_of(objects.iter().map(|o| o.mbr));
+        ShardEndpoint::new(
+            bounds,
+            Box::new(InProcExchange::new(Arc::new(Scan(objects)))),
+        )
+    }
+
+    /// Two shards: ids 0..10 on the left (x ≈ 0..9), ids 100..110 on the
+    /// right (x ≈ 100..109).
+    fn two_shard_router() -> ShardRouter {
+        let left: Vec<SpatialObject> = (0..10)
+            .map(|i| SpatialObject::point(i, i as f64, 0.0))
+            .collect();
+        let right: Vec<SpatialObject> = (0..10)
+            .map(|i| SpatialObject::point(100 + i, 100.0 + i as f64, 0.0))
+            .collect();
+        ShardRouter::new(
+            vec![endpoint(left), endpoint(right)],
+            PacketModel::default(),
+        )
+    }
+
+    fn link(router: ShardRouter) -> Link {
+        Link::routed(router, 1.0)
+    }
+
+    #[test]
+    fn count_sums_and_prunes() {
+        let l = link(two_shard_router());
+        // Window touching only the left shard.
+        let w = Rect::from_coords(0.0, -1.0, 5.0, 1.0);
+        assert_eq!(l.request(Request::Count(w)).into_count(), 6);
+        let fleet = l.fleet().unwrap().snapshot();
+        assert_eq!(fleet.scattered, 1, "only the left shard was asked");
+        assert_eq!(fleet.pruned, 1);
+        assert_eq!(fleet.per_shard[1], LinkSnapshot::default());
+        // Both shards.
+        let all = Rect::from_coords(-1.0, -1.0, 200.0, 1.0);
+        assert_eq!(l.request(Request::Count(all)).into_count(), 20);
+        // Aggregate meter equals the per-shard sum.
+        let fleet = l.fleet().unwrap().snapshot();
+        assert_eq!(fleet.summed(), l.meter().snapshot());
+    }
+
+    #[test]
+    fn window_merges_in_shard_order() {
+        let l = link(two_shard_router());
+        let all = Rect::from_coords(-1.0, -1.0, 200.0, 1.0);
+        let objs = l.request(Request::Window(all)).into_objects();
+        assert_eq!(objs.len(), 20);
+        let ids: Vec<u32> = objs.iter().map(|o| o.id).collect();
+        assert_eq!(&ids[..3], &[0, 1, 2], "left shard first");
+        assert_eq!(ids[10], 100, "then the right shard");
+    }
+
+    #[test]
+    fn multi_count_sub_batches_per_shard() {
+        let l = link(two_shard_router());
+        let left = Rect::from_coords(0.0, -1.0, 3.0, 1.0); // 4 points
+        let right = Rect::from_coords(100.0, -1.0, 101.0, 1.0); // 2 points
+        let both = Rect::from_coords(-1.0, -1.0, 200.0, 1.0); // 20 points
+        let nowhere = Rect::from_coords(40.0, 40.0, 50.0, 50.0);
+        let counts = l
+            .request(Request::MultiCount(vec![left, right, both, nowhere]))
+            .into_counts();
+        assert_eq!(counts, vec![4, 2, 20, 0]);
+        let fleet = l.fleet().unwrap().snapshot();
+        // One sub-batch per shard, each carrying 2 windows.
+        assert_eq!(fleet.scattered, 2);
+        assert_eq!(fleet.per_shard[0].count_queries, 1);
+        assert_eq!(fleet.per_shard[1].count_queries, 1);
+        // `nowhere` reached no shard at all, yet got its zero.
+    }
+
+    #[test]
+    fn all_pruned_synthesizes_empty_answers_for_free() {
+        let l = link(two_shard_router());
+        let nowhere = Rect::from_coords(40.0, 40.0, 50.0, 50.0);
+        assert_eq!(l.request(Request::Count(nowhere)).into_count(), 0);
+        assert_eq!(l.request(Request::Window(nowhere)).into_objects(), vec![]);
+        assert_eq!(l.request(Request::AvgArea(nowhere)), Response::Area(0.0));
+        let s = l.meter().snapshot();
+        assert_eq!(s.total_bytes(), 0, "pruned queries cost nothing");
+        // Count 2 + Window 2 + AvgArea 4 (its COUNT round prunes both
+        // shards, then its area round skips both zero-count shards).
+        assert_eq!(l.fleet().unwrap().snapshot().pruned, 8);
+    }
+
+    #[test]
+    fn eps_range_prunes_by_expanded_probe() {
+        let l = link(two_shard_router());
+        let q = Rect::point(Point::new(11.0, 0.0));
+        // eps 2.5: reaches only the left shard (x ≤ 9 + 2.5 window).
+        let near = l.request(Request::EpsRange { q, eps: 2.5 }).into_objects();
+        assert_eq!(near.len(), 1, "only the point at x=9");
+        assert_eq!(l.fleet().unwrap().snapshot().scattered, 1);
+        // eps 95: reaches both shards (left fully, right up to x = 106).
+        let far = l.request(Request::EpsRange { q, eps: 95.0 }).into_objects();
+        assert_eq!(far.len(), 17);
+    }
+
+    #[test]
+    fn bucket_probes_route_to_reachable_shards_only() {
+        let l = link(two_shard_router());
+        let probes = vec![
+            SpatialObject::point(900, 5.0, 0.0),   // left shard
+            SpatialObject::point(901, 105.0, 0.0), // right shard
+            SpatialObject::point(902, 50.0, 0.0),  // neither
+        ];
+        let buckets = l
+            .request(Request::BucketEpsRange { probes, eps: 1.5 })
+            .into_buckets();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].len(), 3); // x ∈ {4,5,6}
+        assert_eq!(buckets[1].len(), 3); // x ∈ {104,105,106}
+        assert!(buckets[2].is_empty());
+        let fleet = l.fleet().unwrap().snapshot();
+        assert_eq!(fleet.per_shard[0].bucket_queries, 1);
+        assert_eq!(fleet.per_shard[1].bucket_queries, 1);
+    }
+
+    #[test]
+    fn avg_area_weights_by_matching_count() {
+        // Left shard: 3 unit squares (area 1). Right shard: 1 big square
+        // (area 4). Flat average over the window = (3·1 + 4)/4 = 1.75; an
+        // unweighted mean of shard means would say (1 + 4)/2 = 2.5.
+        let left: Vec<SpatialObject> = (0..3)
+            .map(|i| {
+                SpatialObject::new(
+                    i,
+                    Rect::from_coords(i as f64 * 10.0, 0.0, i as f64 * 10.0 + 1.0, 1.0),
+                )
+            })
+            .collect();
+        let right = vec![SpatialObject::new(
+            100,
+            Rect::from_coords(100.0, 0.0, 102.0, 2.0),
+        )];
+        let l = link(ShardRouter::new(
+            vec![endpoint(left), endpoint(right)],
+            PacketModel::default(),
+        ));
+        let w = Rect::from_coords(-1.0, -1.0, 200.0, 10.0);
+        match l.request(Request::AvgArea(w)) {
+            Response::Area(a) => assert_eq!(a, 1.75),
+            other => panic!("expected Area, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refused_propagates_from_any_shard() {
+        let l = link(two_shard_router());
+        // Scan refuses cooperative queries; the fleet must too.
+        assert_eq!(l.request(Request::CoopLevelMbrs(0)), Response::Refused);
+        assert_eq!(
+            l.request(Request::CoopJoinPush {
+                objects: vec![SpatialObject::point(1, 5.0, 0.0)],
+                eps: 1.0,
+            }),
+            Response::Refused
+        );
+    }
+
+    #[test]
+    fn single_shard_is_a_transparent_metered_proxy() {
+        let data: Vec<SpatialObject> = (0..10)
+            .map(|i| SpatialObject::point(i, i as f64, 0.0))
+            .collect();
+        let flat = Link::in_process(Arc::new(Scan(data.clone())), PacketModel::default(), 1.0);
+        let routed = link(ShardRouter::new(
+            vec![endpoint(data)],
+            PacketModel::default(),
+        ));
+        // Include a window that misses the data: even that must cross the
+        // wire (no pruning at fleet size 1 — byte-transparency).
+        for w in [
+            Rect::from_coords(0.0, -1.0, 4.0, 1.0),
+            Rect::from_coords(50.0, 50.0, 60.0, 60.0),
+        ] {
+            assert_eq!(
+                flat.request(Request::Count(w)).into_count(),
+                routed.request(Request::Count(w)).into_count()
+            );
+            assert_eq!(
+                flat.request(Request::Window(w)).into_objects(),
+                routed.request(Request::Window(w)).into_objects()
+            );
+        }
+        assert_eq!(flat.meter().snapshot(), routed.meter().snapshot());
+        let fleet = routed.fleet().unwrap().snapshot();
+        assert_eq!(fleet.pruned, 0);
+        assert_eq!(fleet.summed(), routed.meter().snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_fleet_rejected() {
+        ShardRouter::new(Vec::new(), PacketModel::default());
+    }
+}

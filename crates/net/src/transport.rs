@@ -23,10 +23,25 @@ use crate::packet::PacketModel;
 use crate::proto::{QueryHandler, Request, Response};
 
 /// A byte-level carrier: ships an encoded request, returns the encoded
-/// response. Implementations must be usable from one thread at a time
-/// (the device is single-threaded, as a PDA is).
-pub trait RawExchange: Send {
+/// response. Carriers are `Sync` so one carrier can serve interleaved
+/// requests from several device threads (a shard router fans one logical
+/// client out over many carriers, and stress tests drive it from many
+/// threads at once).
+pub trait RawExchange: Send + Sync {
     fn exchange(&self, request: Bytes) -> Bytes;
+
+    /// Starts an exchange and returns a completion that yields the reply.
+    ///
+    /// The default is fully synchronous — the reply is computed before the
+    /// completion is returned, which is the only possibility for in-process
+    /// carriers (the server *is* the calling thread). Carriers backed by a
+    /// server thread override this to ship the request immediately and
+    /// block only inside the completion, so a scatter round's requests are
+    /// serviced concurrently by the shard threads.
+    fn begin<'a>(&'a self, request: Bytes) -> Box<dyn FnOnce() -> Bytes + Send + 'a> {
+        let reply = self.exchange(request);
+        Box::new(move || reply)
+    }
 }
 
 /// In-process carrier: decodes and handles on the calling thread.
@@ -61,6 +76,10 @@ pub struct ChannelExchange {
 
 impl RawExchange for ChannelExchange {
     fn exchange(&self, request: Bytes) -> Bytes {
+        self.begin(request)()
+    }
+
+    fn begin<'a>(&'a self, request: Bytes) -> Box<dyn FnOnce() -> Bytes + Send + 'a> {
         let (reply_tx, reply_rx) = bounded(1);
         self.tx
             .send(Rpc {
@@ -68,7 +87,7 @@ impl RawExchange for ChannelExchange {
                 reply: reply_tx,
             })
             .expect("server thread terminated");
-        reply_rx.recv().expect("server dropped the reply")
+        Box::new(move || reply_rx.recv().expect("server dropped the reply"))
     }
 }
 
@@ -139,13 +158,20 @@ impl ServerHandle {
     }
 }
 
-/// The device's metered handle to one server.
+/// The device's metered handle to one server (or one fleet of shard
+/// servers behind a [`ShardRouter`](crate::router::ShardRouter)).
 pub struct Link {
     carrier: Box<dyn RawExchange>,
     meter: Arc<LinkMeter>,
     packet: PacketModel,
     /// Per-byte tariff of this link (`bR` or `bS`).
     tariff: f64,
+    /// `true` when the carrier meters physical traffic itself (the shard
+    /// router records every per-shard exchange): `request` must not
+    /// re-record the logical message on top.
+    premetered: bool,
+    /// Per-shard accounting when the carrier is a shard router.
+    fleet: Option<Arc<crate::router::ShardTelemetry>>,
 }
 
 impl Link {
@@ -156,6 +182,24 @@ impl Link {
             meter: Arc::new(LinkMeter::new()),
             packet,
             tariff,
+            premetered: false,
+            fleet: None,
+        }
+    }
+
+    /// A link to a shard fleet: the router records every physical
+    /// per-shard exchange into its aggregate meter (which becomes this
+    /// link's meter), so the link itself records nothing — the meter shows
+    /// the scatter traffic that actually crossed the wire, not the logical
+    /// request stream.
+    pub fn routed(router: crate::router::ShardRouter, tariff: f64) -> Self {
+        Link {
+            meter: Arc::clone(router.aggregate_meter()),
+            fleet: Some(Arc::clone(router.telemetry())),
+            packet: router.packet(),
+            carrier: Box::new(router),
+            tariff,
+            premetered: true,
         }
     }
 
@@ -168,28 +212,40 @@ impl Link {
         Link::new(Box::new(InProcExchange::new(handler)), packet, tariff)
     }
 
-    /// Issues one RPC, metering both directions.
+    /// Issues one RPC, metering both directions (unless the carrier is a
+    /// shard router, which meters each physical exchange itself).
     pub fn request(&self, req: Request) -> Response {
         let aggregate = req.is_aggregate();
         let encoded = encode_request(&req);
-        self.meter
-            .record_request(&req, encoded.len() as u64, &self.packet);
+        if !self.premetered {
+            self.meter
+                .record_request(&req, encoded.len() as u64, &self.packet);
+        }
         let raw = self.carrier.exchange(encoded);
         let len = raw.len() as u64;
         let resp = decode_response(raw).expect("malformed response");
-        let objects = match &resp {
-            Response::Objects(v) => v.len() as u64,
-            Response::Buckets(b) => b.iter().map(|x| x.len() as u64).sum(),
-            _ => 0,
-        };
-        self.meter
-            .record_response(len, objects, &self.packet, aggregate);
+        if !self.premetered {
+            let objects = match &resp {
+                Response::Objects(v) => v.len() as u64,
+                Response::Buckets(b) => b.iter().map(|x| x.len() as u64).sum(),
+                _ => 0,
+            };
+            self.meter
+                .record_response(len, objects, &self.packet, aggregate);
+        }
         resp
     }
 
-    /// This link's meter (shared; snapshot at will).
+    /// This link's meter (shared; snapshot at will). For a routed link
+    /// this is the router's aggregate over all shard exchanges.
     pub fn meter(&self) -> &Arc<LinkMeter> {
         &self.meter
+    }
+
+    /// Per-shard telemetry when this link fronts a fleet; `None` for a
+    /// plain single-server link.
+    pub fn fleet(&self) -> Option<&Arc<crate::router::ShardTelemetry>> {
+        self.fleet.as_ref()
     }
 
     /// The link's packet model.
@@ -270,6 +326,24 @@ mod tests {
             "carrier must not change accounting"
         );
         drop(remote);
+        drop(handle);
+        assert_eq!(server.join(), 2);
+    }
+
+    #[test]
+    fn begin_overlaps_requests_on_the_channel_carrier() {
+        // Ship two requests split-phase before collecting either reply:
+        // the server thread drains both; the completions then yield the
+        // replies in issue order.
+        let (server, handle) = ChannelServer::spawn(Arc::new(Fixed), "split-phase");
+        let ex = handle.connect();
+        let first = ex.begin(crate::codec::encode_request(&Request::Count(w())));
+        let second = ex.begin(crate::codec::encode_request(&Request::Window(w())));
+        let r1 = crate::codec::decode_response(first()).unwrap();
+        let r2 = crate::codec::decode_response(second()).unwrap();
+        assert_eq!(r1.into_count(), 7);
+        assert_eq!(r2.into_objects().len(), 2);
+        drop(ex);
         drop(handle);
         assert_eq!(server.join(), 2);
     }

@@ -14,6 +14,11 @@
 //!   dispatches protocol requests onto a store, parallelizing large bucket
 //!   queries across scoped threads (the server machines, unlike the PDA,
 //!   have cores to spare);
+//! * [`partition`] — the spatial partitioner behind **sharded fleets**:
+//!   splits the space into `n` cells (recursive longest-axis cuts, any
+//!   `n`), assigns each object wholly to the cell holding its MBR center,
+//!   and advertises per-shard bounds that cover boundary straddlers so the
+//!   client-side `asj_net::ShardRouter` can prune without losing answers;
 //! * cooperative extension — `CoopLevelMbrs` / `CoopFilterByMbrs` /
 //!   `CoopJoinPush` are enabled only when the service is built with
 //!   [`ServicePolicy::Cooperative`]; the default non-cooperative policy
@@ -21,9 +26,11 @@
 //!   services behave (SemiJoin "cannot be applied in our problem").
 
 pub mod gridstore;
+pub mod partition;
 pub mod service;
 pub mod store;
 
 pub use gridstore::GridStore;
+pub use partition::{partition_objects, split_space, Partition};
 pub use service::{ServicePolicy, SpatialService};
 pub use store::{RTreeStore, ScanStore, SpatialStore};

@@ -1,0 +1,262 @@
+//! Spatial partitioner for shard fleets.
+//!
+//! A fleet deployment splits one logical dataset across `n` shard servers.
+//! The partitioner imposes a **space split**: the global space is cut into
+//! `n` disjoint cells by recursive longest-axis proportional cuts (any
+//! `n ≥ 1` works, not just powers of two — `n = 7` becomes a 3 : 4 cut
+//! whose halves are split further), and every object is assigned *wholly*
+//! to the cell containing its MBR center.
+//!
+//! **Boundary straddlers** — objects whose MBR crosses a cell edge — are
+//! *not* replicated. Replication would make per-shard COUNTs overlap, and
+//! exact additive counts are what keep a sharded deployment
+//! result-identical to a flat one (every algorithm prunes and plans on
+//! COUNTs). Instead, each shard *advertises bounds* equal to the union of
+//! its members' full MBRs: the bounds grow past the cell edge to cover
+//! straddlers, so the router's bounds-based pruning can never skip a shard
+//! that holds a qualifying object.
+//!
+//! Invariants (pinned by the partition property tests):
+//!
+//! * every object lands in exactly one shard — counts are additive;
+//! * an object is answerable from every shard whose advertised bounds
+//!   cover its MBR, and its home shard is always among them;
+//! * the union of per-shard window answers equals the flat answer.
+
+use asj_geom::{Point, Rect, SpatialObject};
+
+/// Splits `space` into `n` disjoint cells that tile it, by recursive
+/// longest-axis proportional cuts. Cells come back in recursion order
+/// (left/bottom halves first), which is deterministic.
+pub fn split_space(space: &Rect, n: usize) -> Vec<Rect> {
+    assert!(n >= 1, "cannot split a space into zero cells");
+    let mut out = Vec::with_capacity(n);
+    split_into(space, n, &mut out);
+    out
+}
+
+fn split_into(region: &Rect, n: usize, out: &mut Vec<Rect>) {
+    if n == 1 {
+        out.push(*region);
+        return;
+    }
+    let low_n = n / 2;
+    let high_n = n - low_n;
+    let frac = low_n as f64 / n as f64;
+    if region.width() >= region.height() {
+        let cut = region.min.x + region.width() * frac;
+        split_into(
+            &Rect::from_coords(region.min.x, region.min.y, cut, region.max.y),
+            low_n,
+            out,
+        );
+        split_into(
+            &Rect::from_coords(cut, region.min.y, region.max.x, region.max.y),
+            high_n,
+            out,
+        );
+    } else {
+        let cut = region.min.y + region.height() * frac;
+        split_into(
+            &Rect::from_coords(region.min.x, region.min.y, region.max.x, cut),
+            low_n,
+            out,
+        );
+        split_into(
+            &Rect::from_coords(region.min.x, cut, region.max.x, region.max.y),
+            high_n,
+            out,
+        );
+    }
+}
+
+/// The cell index of `p` among `cells` tiling `space`. Cells are half-open
+/// on the max edges they share with a neighbour and closed on the space
+/// boundary, so every in-space point matches exactly one cell;
+/// out-of-space points (possible under an explicit `with_space` smaller
+/// than the data) are clamped onto the space first.
+pub fn assign_point(cells: &[Rect], space: &Rect, p: Point) -> usize {
+    let clamped = Point::new(
+        p.x.clamp(space.min.x, space.max.x),
+        p.y.clamp(space.min.y, space.max.y),
+    );
+    cells
+        .iter()
+        .position(|c| in_cell(c, space, clamped))
+        .expect("cells tile the space, every clamped point matches one")
+}
+
+fn in_cell(cell: &Rect, space: &Rect, p: Point) -> bool {
+    let hi_x = if cell.max.x >= space.max.x {
+        p.x <= cell.max.x
+    } else {
+        p.x < cell.max.x
+    };
+    let hi_y = if cell.max.y >= space.max.y {
+        p.y <= cell.max.y
+    } else {
+        p.y < cell.max.y
+    };
+    p.x >= cell.min.x && p.y >= cell.min.y && hi_x && hi_y
+}
+
+/// A dataset split across `n` shards.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// The space cells, one per shard.
+    pub cells: Vec<Rect>,
+    /// The member objects, one list per shard (same order as `cells`).
+    pub members: Vec<Vec<SpatialObject>>,
+}
+
+impl Partition {
+    /// Advertised bounds per shard: the union of its members' MBRs
+    /// (`None` for an empty shard — always prunable). May extend beyond
+    /// the shard's cell when straddlers are present; that is the point.
+    pub fn bounds(&self) -> Vec<Option<Rect>> {
+        self.members
+            .iter()
+            .map(|m| Rect::union_of(m.iter().map(|o| o.mbr)))
+            .collect()
+    }
+
+    /// Total objects across all shards.
+    pub fn len(&self) -> usize {
+        self.members.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when no shard holds anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Partitions `objects` across `n` shards of `space`. Each object goes to
+/// exactly one shard: the cell containing its MBR center.
+pub fn partition_objects(space: &Rect, n: usize, objects: Vec<SpatialObject>) -> Partition {
+    let cells = split_space(space, n);
+    let mut members = vec![Vec::new(); n];
+    for o in objects {
+        members[assign_point(&cells, space, o.mbr.center())].push(o);
+    }
+    Partition { cells, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Rect {
+        Rect::from_coords(0.0, 0.0, 100.0, 50.0)
+    }
+
+    #[test]
+    fn split_counts_and_tiling() {
+        for n in 1..=9 {
+            let cells = split_space(&space(), n);
+            assert_eq!(cells.len(), n);
+            let area: f64 = cells.iter().map(Rect::area).sum();
+            assert!((area - space().area()).abs() < 1e-6, "n={n}: area {area}");
+        }
+    }
+
+    #[test]
+    fn first_cut_is_longest_axis_proportional() {
+        let cells = split_space(&space(), 2);
+        // 100 × 50 space: cut the x axis at 50.
+        assert_eq!(cells[0], Rect::from_coords(0.0, 0.0, 50.0, 50.0));
+        assert_eq!(cells[1], Rect::from_coords(50.0, 0.0, 100.0, 50.0));
+        // n = 3: first cut at x = 100/3.
+        let thirds = split_space(&space(), 3);
+        assert_eq!(thirds.len(), 3);
+        assert!((thirds[0].max.x - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_in_space_point_matches_exactly_one_cell() {
+        let cells = split_space(&space(), 7);
+        let s = space();
+        // Probe a lattice including cell-boundary and space-boundary
+        // coordinates.
+        let mut xs: Vec<f64> = (0..=20).map(|i| i as f64 * 5.0).collect();
+        let mut ys: Vec<f64> = (0..=10).map(|i| i as f64 * 5.0).collect();
+        xs.extend(cells.iter().flat_map(|c| [c.min.x, c.max.x]));
+        ys.extend(cells.iter().flat_map(|c| [c.min.y, c.max.y]));
+        for &x in &xs {
+            for &y in &ys {
+                let p = Point::new(x, y);
+                let matches = cells.iter().filter(|c| in_cell(c, &s, p)).count();
+                assert_eq!(matches, 1, "point ({x}, {y}) matched {matches} cells");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_space_objects_are_clamped_deterministically() {
+        let cells = split_space(&space(), 4);
+        let s = space();
+        let far = Point::new(1e6, -1e6);
+        let i = assign_point(&cells, &s, far);
+        // Clamps to (100, 0): the bottom-right cell.
+        assert!(cells[i].contains(&Point::new(100.0, 0.0)));
+        // Same answer every time (determinism).
+        assert_eq!(i, assign_point(&cells, &s, far));
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_total() {
+        let objects: Vec<SpatialObject> = (0..200)
+            .map(|i| SpatialObject::point(i, (i % 20) as f64 * 5.0, (i / 20) as f64 * 5.0))
+            .collect();
+        let p = partition_objects(&space(), 7, objects.clone());
+        assert_eq!(p.len(), objects.len());
+        let mut ids: Vec<u32> = p
+            .members
+            .iter()
+            .flat_map(|m| m.iter().map(|o| o.id))
+            .collect();
+        ids.sort_unstable();
+        let want: Vec<u32> = (0..200).collect();
+        assert_eq!(ids, want, "every object in exactly one shard");
+    }
+
+    #[test]
+    fn straddlers_grow_bounds_past_the_cell() {
+        // A wide object whose center (x = 65) lies in the right cell but
+        // whose MBR reaches x = 40, deep into the left cell: it is stored
+        // once (right shard), and that shard's advertised bounds extend
+        // past its cell edge to cover the straddling MBR.
+        let wide = SpatialObject::new(1, Rect::from_coords(40.0, 10.0, 90.0, 20.0));
+        let p = partition_objects(&space(), 2, vec![wide]);
+        assert!(p.members[0].is_empty());
+        assert_eq!(p.members[1].len(), 1);
+        let bounds = p.bounds()[1].unwrap();
+        assert!(
+            bounds.min.x < p.cells[1].min.x,
+            "bounds cover the straddler"
+        );
+        assert_eq!(bounds, wide.mbr);
+    }
+
+    #[test]
+    fn empty_shard_has_no_bounds() {
+        let left_only = vec![SpatialObject::point(1, 10.0, 10.0)];
+        let p = partition_objects(&space(), 2, left_only);
+        let bounds = p.bounds();
+        assert!(bounds[0].is_some());
+        assert!(bounds[1].is_none());
+        assert!(!p.is_empty());
+        assert!(partition_objects(&space(), 3, vec![]).is_empty());
+    }
+
+    #[test]
+    fn n1_is_the_flat_dataset() {
+        let objects = vec![
+            SpatialObject::point(1, 10.0, 10.0),
+            SpatialObject::point(2, 90.0, 40.0),
+        ];
+        let p = partition_objects(&space(), 1, objects.clone());
+        assert_eq!(p.cells, vec![space()]);
+        assert_eq!(p.members[0], objects);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the shard partitioner: a sharded dataset must be
+//! observationally identical to the flat dataset through window queries —
+//! every object answerable from exactly the shards whose bounds cover it,
+//! counts exactly additive, and the union of per-shard answers equal to
+//! the unsharded answer after dedup, for arbitrary windows including
+//! degenerate and boundary-aligned ones.
+
+use asj_geom::{Point, Rect, SpatialObject};
+use asj_server::{partition_objects, split_space, ScanStore, SpatialStore};
+use proptest::prelude::*;
+
+fn space() -> Rect {
+    Rect::from_coords(0.0, 0.0, 1000.0, 1000.0)
+}
+
+fn coord() -> impl Strategy<Value = f64> {
+    (0i32..=2000).prop_map(|v| v as f64 * 0.5)
+}
+
+fn dataset(max: usize) -> impl Strategy<Value = Vec<SpatialObject>> {
+    prop::collection::vec((coord(), coord(), 0.0f64..80.0, 0.0f64..80.0), 0..max).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y, w, h))| {
+                    SpatialObject::new(
+                        i as u32,
+                        Rect::from_coords(x, y, (x + w).min(1000.0), (y + h).min(1000.0)),
+                    )
+                })
+                .collect()
+        },
+    )
+}
+
+/// Windows that stress the split boundaries: arbitrary, degenerate
+/// (zero-extent), and aligned exactly on a shard-cell edge.
+fn windows(cells: &[Rect]) -> Vec<Rect> {
+    let mut out = vec![
+        Rect::from_coords(0.0, 0.0, 1000.0, 1000.0),
+        Rect::point(Point::new(500.0, 500.0)), // degenerate
+        Rect::from_coords(250.0, 0.0, 250.0, 1000.0), // degenerate line
+        Rect::from_coords(1500.0, 1500.0, 1600.0, 1600.0), // off-space
+    ];
+    for c in cells {
+        // Boundary-aligned: exactly one cell, and a sliver crossing its
+        // max edges.
+        out.push(*c);
+        out.push(Rect::from_coords(
+            c.max.x - 1.0,
+            c.max.y - 1.0,
+            (c.max.x + 1.0).min(2000.0),
+            (c.max.y + 1.0).min(2000.0),
+        ));
+    }
+    out
+}
+
+fn sorted_ids(objs: &[SpatialObject]) -> Vec<u32> {
+    let mut ids: Vec<u32> = objs.iter().map(|o| o.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sharded_windows_union_to_the_flat_answer(
+        data in dataset(120),
+        n in 1usize..8,
+        wx in coord(), wy in coord(), ww in 0.0f64..600.0, wh in 0.0f64..600.0,
+    ) {
+        let s = space();
+        let part = partition_objects(&s, n, data.clone());
+        let bounds = part.bounds();
+        let flat = ScanStore::new(data.clone());
+        let shards: Vec<ScanStore> =
+            part.members.iter().cloned().map(ScanStore::new).collect();
+
+        // Every object is stored exactly once, and its home shard's bounds
+        // cover it — so it is answerable from the shards whose bounds
+        // cover its MBR, which is never the empty set.
+        prop_assert_eq!(part.len(), data.len());
+        // Merged bounds semantics: the union of shard bounds is exactly
+        // the flat store's bounds (each weighted by what it holds).
+        prop_assert_eq!(
+            Rect::union_of(bounds.iter().flatten().copied()),
+            flat.bounds()
+        );
+        for (shard, members) in part.members.iter().enumerate() {
+            for o in members {
+                let b = bounds[shard].expect("shard with members has bounds");
+                prop_assert!(b.contains_rect(&o.mbr),
+                    "shard {} bounds must cover member {}", shard, o.id);
+            }
+        }
+        for o in &data {
+            let covering: Vec<usize> = (0..n)
+                .filter(|&i| bounds[i].is_some_and(|b| b.contains_rect(&o.mbr)))
+                .collect();
+            let answering: Vec<usize> = (0..n)
+                .filter(|&i| shards[i].window(&o.mbr).iter().any(|x| x.id == o.id))
+                .collect();
+            prop_assert_eq!(answering.len(), 1, "object {} stored once", o.id);
+            prop_assert!(covering.contains(&answering[0]),
+                "object {} answerable only from bounds-covered shards", o.id);
+        }
+
+        // Union-equals-flat and exact additive counts, over stress windows
+        // plus a random one.
+        let mut probe = windows(&part.cells);
+        probe.push(Rect::from_coords(wx, wy, wx + ww, wy + wh));
+        for w in probe {
+            let want = sorted_ids(&flat.window(&w));
+            let mut got_all = Vec::new();
+            let mut count_sum = 0u64;
+            for (i, shard) in shards.iter().enumerate() {
+                let hits = shard.window(&w);
+                // Pruning soundness: a shard with answers must have
+                // bounds intersecting the window.
+                if !hits.is_empty() {
+                    prop_assert!(bounds[i].unwrap().intersects(&w));
+                }
+                count_sum += shard.count(&w);
+                got_all.extend(hits);
+            }
+            prop_assert_eq!(sorted_ids(&got_all), want.clone(), "window {:?}", w);
+            prop_assert_eq!(count_sum, want.len() as u64, "counts additive: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn cells_tile_and_assignment_is_total(
+        n in 1usize..9,
+        px in coord(), py in coord(),
+    ) {
+        let s = space();
+        let cells = split_space(&s, n);
+        prop_assert_eq!(cells.len(), n);
+        let area: f64 = cells.iter().map(Rect::area).sum();
+        prop_assert!((area - s.area()).abs() < 1e-3);
+        // Any point (possibly outside the space) gets exactly one home.
+        let home = asj_server::partition::assign_point(&cells, &s, Point::new(px, py));
+        prop_assert!(home < n);
+    }
+}

@@ -1,0 +1,355 @@
+//! Differential oracles for sharded server fleets.
+//!
+//! Sharding is a deployment concern: it must be invisible in the join
+//! result and fully accounted on the wire. This suite pins that:
+//!
+//! * **Result identity** — for pinned seeds and every algorithm
+//!   (NaiveJoin, GridJoin, MobiJoin, UpJoin, SrJoin, SemiJoin), a
+//!   deployment sharded `N ∈ {1, 2, 4, 7}` ways per side yields exactly
+//!   the pairs of the single-server deployment, in per-query and batched
+//!   statistics modes, with per-probe and bucket NLSJ.
+//! * **Wire identity at N = 1** — a 1-shard fleet's link snapshots are
+//!   byte-identical to the flat deployment's: the router adds zero
+//!   traffic when there is nothing to scatter.
+//! * **Meter conservation** — a threaded fleet under many interleaved
+//!   client threads loses no packet: the sum of per-shard meters equals
+//!   the router's aggregate, field by field.
+//! * **Merged aggregate semantics** — the router's `AvgArea` weights
+//!   per-shard averages by matching-object count, matching the flat
+//!   server's answer.
+
+use adhoc_spatial_joins::prelude::*;
+use asj_core::DeploymentBuilder;
+use asj_geom::{Rect, SpatialObject};
+use asj_net::{Request, Response};
+use asj_server::{ScanStore, SpatialStore};
+use asj_workloads::{default_space, gaussian_clusters, SyntheticSpec};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn clusters(k: usize, n: usize, seed: u64) -> Vec<SpatialObject> {
+    gaussian_clusters(&SyntheticSpec::new(default_space(), n, k), seed)
+}
+
+fn algorithms() -> Vec<Box<dyn DistributedJoin>> {
+    vec![
+        Box::new(NaiveJoin),
+        Box::new(GridJoin::default()),
+        Box::new(MobiJoin),
+        Box::new(UpJoin::default()),
+        Box::new(SrJoin::default()),
+        Box::new(SemiJoin::default()),
+    ]
+}
+
+struct Config {
+    buffer: usize,
+    batched: bool,
+    bucket: bool,
+}
+
+fn build(
+    r: &[SpatialObject],
+    s: &[SpatialObject],
+    cfg: &Config,
+    shards: Option<usize>,
+) -> Deployment {
+    let mut b = DeploymentBuilder::new(r.to_vec(), s.to_vec())
+        .with_buffer(cfg.buffer)
+        .with_space(default_space())
+        .with_net(asj_net::NetConfig::default().with_batched_stats(cfg.batched))
+        .cooperative(); // SemiJoin runs too; others ignore the extension
+    if let Some(n) = shards {
+        b = b.with_shards(n, n);
+    }
+    b.build()
+}
+
+fn sorted_pairs(rep: &JoinReport) -> Vec<(u32, u32)> {
+    let mut pairs = rep.pairs.clone();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Every algorithm, every shard count: identical pairs to the flat
+/// deployment; at N = 1 additionally identical wire bytes.
+fn assert_sharding_invisible(r: &[SpatialObject], s: &[SpatialObject], cfg: &Config, eps: f64) {
+    let spec = JoinSpec::distance_join(eps).with_bucket_nlsj(cfg.bucket);
+    let flat = build(r, s, cfg, None);
+    for alg in algorithms() {
+        let flat_run = alg.run(&flat, &spec);
+        let flat_rep = match flat_run {
+            Ok(rep) => rep,
+            Err(ref flat_err) => {
+                // Infeasible on this configuration (e.g. NaiveJoin with a
+                // tiny buffer): sharding must not change that verdict.
+                for n in SHARD_COUNTS {
+                    let err = alg
+                        .run(&build(r, s, cfg, Some(n)), &spec)
+                        .expect_err("sharding must not make an infeasible join feasible");
+                    assert_eq!(
+                        std::mem::discriminant(&err),
+                        std::mem::discriminant(flat_err),
+                        "{}: error kind must match flat at N={n}",
+                        alg.name()
+                    );
+                }
+                continue;
+            }
+        };
+        let want = sorted_pairs(&flat_rep);
+        for n in SHARD_COUNTS {
+            let fleet = build(r, s, cfg, Some(n));
+            let rep = alg
+                .run(&fleet, &spec)
+                .unwrap_or_else(|e| panic!("{} (N={n}) failed: {e}", alg.name()));
+            assert_eq!(
+                sorted_pairs(&rep),
+                want,
+                "{} diverged at N={n} (batched={}, bucket={})",
+                alg.name(),
+                cfg.batched,
+                cfg.bucket
+            );
+            assert!(
+                rep.fleet_r.is_some() && rep.fleet_s.is_some(),
+                "fleet reports must carry per-shard accounting"
+            );
+            if n == 1 {
+                assert_eq!(
+                    (rep.link_r, rep.link_s),
+                    (flat_rep.link_r, flat_rep.link_s),
+                    "{}: a 1-shard fleet must be byte-identical on the wire",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_joins_identical_skewed_data() {
+    for seed in [11, 42] {
+        assert_sharding_invisible(
+            &clusters(4, 180, seed),
+            &clusters(4, 180, seed + 100),
+            &Config {
+                buffer: 800,
+                batched: false,
+                bucket: false,
+            },
+            150.0,
+        );
+    }
+}
+
+#[test]
+fn sharded_joins_identical_batched_stats() {
+    assert_sharding_invisible(
+        &clusters(2, 180, 7),
+        &clusters(8, 180, 107),
+        &Config {
+            buffer: 800,
+            batched: true,
+            bucket: false,
+        },
+        150.0,
+    );
+}
+
+#[test]
+fn sharded_joins_identical_small_buffer_bucket_nlsj() {
+    // Buffer 100 forces splits and NLSJ; bucket mode exercises the
+    // router's per-probe sub-batching of `BucketEpsRange`.
+    assert_sharding_invisible(
+        &clusters(1, 180, 3),
+        &clusters(1, 180, 103),
+        &Config {
+            buffer: 100,
+            batched: false,
+            bucket: true,
+        },
+        150.0,
+    );
+}
+
+#[test]
+fn sharded_joins_identical_small_buffer_per_probe_nlsj() {
+    assert_sharding_invisible(
+        &clusters(16, 150, 5),
+        &clusters(16, 150, 105),
+        &Config {
+            buffer: 100,
+            batched: false,
+            bucket: false,
+        },
+        120.0,
+    );
+}
+
+/// Satellite: threaded fleets under interleaved load conserve meter
+/// accounting — no lost or double-counted packets, per-shard sums equal
+/// the aggregate exactly.
+#[test]
+fn threaded_fleet_conserves_meter_accounting_under_stress() {
+    let r = clusters(4, 300, 21);
+    let s = clusters(8, 300, 121);
+    let dep = DeploymentBuilder::new(r.clone(), s.clone())
+        .with_space(default_space())
+        .with_shards(4, 3)
+        .threaded()
+        .build();
+    let oracle_r = ScanStore::new(r);
+    let oracle_s = ScanStore::new(s);
+    let (link_r, link_s) = dep.connect();
+    let space = default_space();
+    let threads = 8;
+    let per_thread = 30;
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (link_r, link_s) = (&link_r, &link_s);
+            let (oracle_r, oracle_s) = (&oracle_r, &oracle_s);
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    // Deterministic pseudo-random windows per (t, i).
+                    let a = ((t * 131 + i * 37) % 97) as f64 / 97.0;
+                    let b = ((t * 61 + i * 17) % 89) as f64 / 89.0;
+                    let w = Rect::from_coords(
+                        a * 8000.0,
+                        b * 8000.0,
+                        a * 8000.0 + 2500.0,
+                        b * 8000.0 + 2500.0,
+                    );
+                    assert_eq!(
+                        link_r.request(Request::Count(w)).into_count(),
+                        oracle_r.count(&w),
+                        "fleet COUNT diverged under concurrency"
+                    );
+                    let mut got: Vec<u32> = link_s
+                        .request(Request::Window(w))
+                        .into_objects()
+                        .iter()
+                        .map(|o| o.id)
+                        .collect();
+                    got.sort_unstable();
+                    let mut want: Vec<u32> = oracle_s.window(&w).iter().map(|o| o.id).collect();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "fleet WINDOW diverged under concurrency");
+                    let counts = link_r
+                        .request(Request::MultiCount(vec![w, space]))
+                        .into_counts();
+                    assert_eq!(counts[0], oracle_r.count(&w));
+                    assert_eq!(counts[1], oracle_r.count(&space));
+                }
+            });
+        }
+    });
+
+    for (link, shards) in [(&link_r, 4u64), (&link_s, 3u64)] {
+        let fleet = link.fleet().expect("sharded link").snapshot();
+        let aggregate = link.meter().snapshot();
+        assert_eq!(
+            fleet.summed(),
+            aggregate,
+            "per-shard meters must sum exactly to the aggregate"
+        );
+        // Every logical request produced exactly `shards` scatter slots.
+        let requests = match shards {
+            4 => (threads * per_thread * 2) as u64, // Count + MultiCount on R
+            _ => (threads * per_thread) as u64,     // Window on S
+        };
+        assert_eq!(
+            fleet.scattered + fleet.pruned,
+            requests * shards,
+            "scatter slots must be conserved"
+        );
+        assert!(fleet.scattered > 0);
+    }
+}
+
+/// Satellite: the router's merged `AvgArea` weights per-shard averages by
+/// matching-object count — pinned against the flat server's answer.
+#[test]
+fn router_avg_area_matches_flat_weighted() {
+    // Rectangles with exactly-representable areas, deliberately uneven
+    // across the space so shards hold different counts AND different
+    // mean areas (an unweighted mean of shard means would be wrong).
+    let mut objects = Vec::new();
+    for i in 0..12 {
+        // Cluster of unit squares on the left.
+        let x = 100.0 + (i % 4) as f64 * 300.0;
+        let y = 100.0 + (i / 4) as f64 * 300.0;
+        objects.push(SpatialObject::new(
+            i,
+            Rect::from_coords(x, y, x + 1.0, y + 1.0),
+        ));
+    }
+    for i in 0..3 {
+        // Three big 4-area rectangles on the far right.
+        let x = 9000.0 + i as f64 * 200.0;
+        objects.push(SpatialObject::new(
+            100 + i,
+            Rect::from_coords(x, 5000.0, x + 2.0, 5002.0),
+        ));
+    }
+    let flat = DeploymentBuilder::new(objects.clone(), Vec::new())
+        .with_space(default_space())
+        .build();
+    let expected = {
+        let (link, _) = flat.connect();
+        match link.request(Request::AvgArea(default_space())) {
+            Response::Area(a) => a,
+            other => panic!("expected Area, got {other:?}"),
+        }
+    };
+    // Exactly representable: (12·1 + 3·4)/15 = 1.6.
+    assert_eq!(expected, 1.6);
+    for n in SHARD_COUNTS {
+        let fleet = DeploymentBuilder::new(objects.clone(), Vec::new())
+            .with_space(default_space())
+            .with_shards(n, 1)
+            .build();
+        let (link, _) = fleet.connect();
+        match link.request(Request::AvgArea(default_space())) {
+            Response::Area(a) => assert_eq!(
+                a, expected,
+                "router avg-area must equal flat at N={n} (count-weighted merge)"
+            ),
+            other => panic!("expected Area, got {other:?}"),
+        }
+        // A window matching only the left cluster averages to exactly 1.
+        let left = Rect::from_coords(0.0, 0.0, 2000.0, 2000.0);
+        match link.request(Request::AvgArea(left)) {
+            Response::Area(a) => assert_eq!(a, 1.0),
+            other => panic!("expected Area, got {other:?}"),
+        }
+    }
+}
+
+/// The cooperative forest level: a fleet's `CoopLevelMbrs` concatenates
+/// every shard's published level, and SemiJoin still produces exact pairs
+/// through it (pinned in `assert_sharding_invisible`); here we pin the
+/// shape of the answer itself.
+#[test]
+fn fleet_level_mbrs_concatenate_per_shard_forests() {
+    let objects = clusters(4, 200, 9);
+    let flat = DeploymentBuilder::new(objects.clone(), Vec::new())
+        .with_space(default_space())
+        .cooperative()
+        .build();
+    let fleet = DeploymentBuilder::new(objects, Vec::new())
+        .with_space(default_space())
+        .with_shards(4, 1)
+        .cooperative()
+        .build();
+    let (fl, _) = flat.connect();
+    let (sl, _) = fleet.connect();
+    let flat_leaves = fl.request(Request::CoopLevelMbrs(0)).into_rects();
+    let fleet_leaves = sl.request(Request::CoopLevelMbrs(0)).into_rects();
+    assert!(!fleet_leaves.is_empty());
+    // Four smaller R-trees publish at least as many leaf MBRs as one big
+    // tree over the same data, and every object is under some leaf in
+    // both answers (checked indirectly: SemiJoin exactness above).
+    assert!(fleet_leaves.len() >= flat_leaves.len().min(4));
+}
