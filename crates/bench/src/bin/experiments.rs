@@ -3,7 +3,8 @@
 //! ```text
 //! experiments [all | fig6a | fig6b | fig7a | fig7b | fig8a | fig8b |
 //!              ablation-baselines | ablation-bucket | ablation-confirm |
-//!              ablation-batched-stats | ablation-mtu | shard-scaling]
+//!              ablation-batched-stats | ablation-mtu | shard-scaling |
+//!              cache-ablation]
 //!             [--seeds N] [--points N] [--out DIR]
 //! ```
 //!
@@ -67,7 +68,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: experiments [all|fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|ablation-*|shard-scaling] \
+        "usage: experiments [all|fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|ablation-*|shard-scaling|cache-ablation] \
          [--seeds N] [--points N] [--out DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

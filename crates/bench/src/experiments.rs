@@ -14,6 +14,9 @@ pub struct Experiment {
     algos: Vec<AlgoSpec>,
     rail: bool,
     tweak: fn(&mut SweepConfig),
+    /// Invariant checked on every run (CI included), so the property an
+    /// experiment exists to demonstrate can't silently rot.
+    check: fn(&Table),
 }
 
 impl Experiment {
@@ -42,11 +45,44 @@ impl Experiment {
             synthetic_rows()
         };
         let result = run_sweep(&rows, &self.algos, &cfg);
-        Table::new(format!("{} — {}", self.id, self.figure), "clusters", result)
+        let table = Table::new(format!("{} — {}", self.id, self.figure), "clusters", result);
+        (self.check)(&table);
+        table
     }
 }
 
 fn no_tweak(_: &mut SweepConfig) {}
+
+fn no_check(_: &Table) {}
+
+/// Every `+cc` column must spend at most the aggregate bytes of its
+/// uncached sibling — the cache can only delete statistics traffic, and
+/// the ablation exists to show it does.
+fn check_cached_columns_save_agg_bytes(t: &Table) {
+    for (ci, label) in t.result.algos.iter().enumerate() {
+        let Some(base) = label.strip_suffix("+cc") else {
+            continue;
+        };
+        let bi = t
+            .result
+            .algos
+            .iter()
+            .position(|a| a == base)
+            .unwrap_or_else(|| panic!("no uncached sibling column for {label}"));
+        for (row, cells) in t.result.rows.iter().zip(&t.result.cells) {
+            assert!(
+                cells[ci].mean_agg_bytes <= cells[bi].mean_agg_bytes,
+                "{label} row {row}: {} aggregate bytes exceed uncached {}",
+                cells[ci].mean_agg_bytes,
+                cells[bi].mean_agg_bytes
+            );
+            assert!(
+                cells[ci].mean_pairs == cells[bi].mean_pairs,
+                "{label} row {row}: cached results diverged"
+            );
+        }
+    }
+}
 
 /// All experiments, in paper order.
 pub fn all_experiments() -> Vec<Experiment> {
@@ -83,6 +119,7 @@ pub fn all_experiments() -> Vec<Experiment> {
             ],
             rail: true,
             tweak: |c| c.bucket = true,
+            check: no_check,
         },
         Experiment {
             id: "fig6b",
@@ -98,6 +135,7 @@ pub fn all_experiments() -> Vec<Experiment> {
             ],
             rail: false,
             tweak: no_tweak,
+            check: no_check,
         },
         Experiment {
             id: "fig7a",
@@ -115,6 +153,7 @@ pub fn all_experiments() -> Vec<Experiment> {
             ],
             rail: false,
             tweak: |c| c.buffer = 100,
+            check: no_check,
         },
         Experiment {
             id: "fig7b",
@@ -132,6 +171,7 @@ pub fn all_experiments() -> Vec<Experiment> {
             ],
             rail: false,
             tweak: |c| c.buffer = 800,
+            check: no_check,
         },
         Experiment {
             id: "fig8a",
@@ -149,6 +189,7 @@ pub fn all_experiments() -> Vec<Experiment> {
             ],
             rail: true,
             tweak: |c| c.bucket = true,
+            check: no_check,
         },
         Experiment {
             id: "fig8b",
@@ -166,6 +207,7 @@ pub fn all_experiments() -> Vec<Experiment> {
             ],
             rail: true,
             tweak: |c| c.bucket = true,
+            check: no_check,
         },
         Experiment {
             id: "ablation-baselines",
@@ -184,6 +226,7 @@ pub fn all_experiments() -> Vec<Experiment> {
             ],
             rail: false,
             tweak: |c| c.buffer = 2500, // lets naive-ish grid cells fit
+            check: no_check,
         },
         Experiment {
             id: "ablation-bucket",
@@ -200,6 +243,7 @@ pub fn all_experiments() -> Vec<Experiment> {
                 c.buffer = 100;
                 c.bucket = true;
             },
+            check: no_check,
         },
         Experiment {
             id: "ablation-confirm",
@@ -220,6 +264,7 @@ pub fn all_experiments() -> Vec<Experiment> {
             ],
             rail: false,
             tweak: no_tweak,
+            check: no_check,
         },
         Experiment {
             id: "ablation-batched-stats",
@@ -238,6 +283,7 @@ pub fn all_experiments() -> Vec<Experiment> {
             ],
             rail: false,
             tweak: |c| c.buffer = 100,
+            check: no_check,
         },
         Experiment {
             id: "shard-scaling",
@@ -257,6 +303,32 @@ pub fn all_experiments() -> Vec<Experiment> {
             ],
             rail: false,
             tweak: no_tweak,
+            check: no_check,
+        },
+        Experiment {
+            id: "cache-ablation",
+            figure: "Ablation (ours): client-side statistics/window cache, 3-join session, \
+                     buffer 100",
+            expectation: "Each sample runs a session of 3 correlated joins against one \
+                          deployment. The +cc columns answer repeated COUNTs from the exact \
+                          statistics tier and contained windows from the LRU window tier, so \
+                          mean_agg_bytes and mean_queries drop sharply (joins 2–3 are mostly \
+                          hits; see mean_saved_bytes / cache_hit_rate in the CSV) with \
+                          identical join results; the uncached columns re-pay the full \
+                          session. Asserted on every run: +cc aggregate bytes never exceed \
+                          the uncached sibling's.",
+            algos: vec![
+                AlgoKind::Mobi.into(),
+                AlgoSpec::cached(AlgoKind::Mobi),
+                AlgoKind::Sr { rho: 0.30 }.into(),
+                AlgoSpec::cached(AlgoKind::Sr { rho: 0.30 }),
+            ],
+            rail: false,
+            tweak: |c| {
+                c.buffer = 100;
+                c.session = 3;
+            },
+            check: check_cached_columns_save_agg_bytes,
         },
         Experiment {
             id: "ablation-mtu",
@@ -274,6 +346,7 @@ pub fn all_experiments() -> Vec<Experiment> {
             ],
             rail: false,
             tweak: |c| c.net = asj_net::NetConfig::dialup(),
+            check: no_check,
         },
     ]
 }
@@ -299,6 +372,7 @@ mod tests {
             "fig8b",
             "ablation-batched-stats",
             "shard-scaling",
+            "cache-ablation",
         ] {
             assert!(ids.contains(&wanted), "missing {wanted}");
         }
@@ -329,6 +403,36 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("mean_shard_bytes"));
         assert!(csv.contains("pruning_rate"));
+    }
+
+    #[test]
+    fn smoke_run_cache_ablation_tiny() {
+        // The tiny CI configuration; `run_sized` already enforces the
+        // agg-bytes invariant via the experiment's check hook. On top,
+        // pin the headline claim: the split-heavy MobiJoin session saves
+        // at least 20 % of its aggregate bytes and sends fewer messages.
+        let exp = experiment_by_name("cache-ablation").unwrap();
+        let t = exp.run_sized(2, Some(150));
+        assert_eq!(
+            t.result.algos,
+            vec!["mobiJoin", "mobiJoin+cc", "srJoin", "srJoin+cc"]
+        );
+        for (row, cells) in t.result.rows.iter().zip(&t.result.cells) {
+            let (plain, cached) = (cells[0], cells[1]);
+            assert!(
+                cached.mean_agg_bytes <= 0.8 * plain.mean_agg_bytes,
+                "row {row}: cached {} vs plain {} aggregate bytes — less than 20% saved",
+                cached.mean_agg_bytes,
+                plain.mean_agg_bytes
+            );
+            assert!(
+                cached.mean_queries < plain.mean_queries,
+                "row {row}: the cached session must send fewer messages"
+            );
+        }
+        let csv = t.to_csv();
+        assert!(csv.contains("mean_saved_bytes"));
+        assert!(csv.contains("cache_hit_rate"));
     }
 
     #[test]

@@ -71,9 +71,10 @@ impl AlgoKind {
 }
 
 /// One sweep column: an algorithm plus per-column capabilities — the
-/// batched `MultiCount` statistics mode and the shard count of the server
-/// fleets, so flat, batched and sharded variants of the same algorithm can
-/// sit side by side in one table.
+/// batched `MultiCount` statistics mode, the shard count of the server
+/// fleets, and the client-side cache — so flat, batched, sharded and
+/// cached variants of the same algorithm can sit side by side in one
+/// table.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AlgoSpec {
     pub kind: AlgoKind,
@@ -83,6 +84,8 @@ pub struct AlgoSpec {
     /// single-server deployment; `1` = an explicit 1-shard fleet, which is
     /// byte-identical to flat but exercises the router).
     pub shards: u32,
+    /// Run this column with the client-side statistics/window cache.
+    pub client_cache: bool,
 }
 
 impl AlgoSpec {
@@ -92,24 +95,31 @@ impl AlgoSpec {
             kind,
             batched_stats: false,
             shards: 0,
+            client_cache: false,
         }
     }
 
     /// The same column with batched `MultiCount` statistics.
     pub const fn batched(kind: AlgoKind) -> Self {
         AlgoSpec {
-            kind,
             batched_stats: true,
-            shards: 0,
+            ..AlgoSpec::new(kind)
         }
     }
 
     /// The same column against `n`-shard fleets on both sides.
     pub const fn sharded(kind: AlgoKind, n: u32) -> Self {
         AlgoSpec {
-            kind,
-            batched_stats: false,
             shards: n,
+            ..AlgoSpec::new(kind)
+        }
+    }
+
+    /// The same column with the client-side cache enabled.
+    pub const fn cached(kind: AlgoKind) -> Self {
+        AlgoSpec {
+            client_cache: true,
+            ..AlgoSpec::new(kind)
         }
     }
 
@@ -119,7 +129,7 @@ impl AlgoSpec {
     }
 
     /// Column label; batched columns carry a `+mc` suffix, sharded
-    /// columns a `+sN` suffix.
+    /// columns a `+sN` suffix, cached columns a `+cc` suffix.
     pub fn label(&self) -> String {
         let mut label = self.kind.label();
         if self.batched_stats {
@@ -127,6 +137,9 @@ impl AlgoSpec {
         }
         if self.shards >= 1 {
             label.push_str(&format!("+s{}", self.shards));
+        }
+        if self.client_cache {
+            label.push_str("+cc");
         }
         label
     }
@@ -164,6 +177,15 @@ pub struct SweepConfig {
     pub bucket: bool,
     /// Cooperative servers (needed when any algorithm is SemiJoin).
     pub cooperative: bool,
+    /// Correlated joins run back-to-back per sample on one deployment —
+    /// a *session*: the same join re-evaluated K times (fresh links, same
+    /// servers), as when a user refreshes a query or a bench column sweep
+    /// re-probes identical windows. Byte/query/aggregate measurements are
+    /// summed over the session, so with the client cache enabled the
+    /// cross-join reuse shows up directly in the column totals; without
+    /// it the session simply re-pays everything. `1` (the default) is a
+    /// single join, exactly the pre-session behavior.
+    pub session: usize,
     pub net: NetConfig,
     /// Worker-thread override; `None` uses all cores. Sweeps are
     /// bit-identical regardless of this value (samples are indexed by
@@ -180,6 +202,7 @@ impl Default for SweepConfig {
             buffer: 800,
             bucket: false,
             cooperative: false,
+            session: 1,
             net: NetConfig::default(),
             workers: None,
         }
@@ -205,6 +228,12 @@ pub struct CellStats {
     /// could not contribute (bounds miss, or a zero-count skip inside a
     /// merged avg-area); 0 for flat columns.
     pub pruning_rate: f64,
+    /// Mean wire bytes the client cache kept off the links (summed over a
+    /// session); 0 for uncached columns.
+    pub mean_saved_bytes: f64,
+    /// Mean cache hit rate across both links and both tiers; 0 for
+    /// uncached columns.
+    pub cache_hit_rate: f64,
 }
 
 /// One full sweep: row labels × algorithm columns.
@@ -265,9 +294,21 @@ fn build_deployment(
     }
 }
 
-/// One seed's measurements: (total bytes, queries, pairs, objects
-/// downloaded, aggregate bytes, per-shard mean bytes, pruning rate).
-type Sample = (u64, u64, u64, u64, u64, f64, f64);
+/// One seed's measurements, summed (counters) or averaged (rates) over
+/// the sample's session of joins. `pairs` is the per-join result size —
+/// identical for every join of a session, asserted in the sweep loop.
+#[derive(Debug, Clone, Copy, Default)]
+struct Sample {
+    bytes: u64,
+    queries: u64,
+    pairs: u64,
+    objects: u64,
+    agg_bytes: u64,
+    shard_bytes: f64,
+    pruning: f64,
+    saved_bytes: u64,
+    hit_rate: f64,
+}
 
 /// Largest half-diagonal among the objects — the window-extension hint.
 pub fn max_half_extent(objects: &[SpatialObject]) -> f64 {
@@ -322,27 +363,46 @@ pub fn run_sweep(
                 };
                 let net = cfg
                     .net
-                    .with_batched_stats(cfg.net.batched_stats || algos[ai].batched_stats);
+                    .with_batched_stats(cfg.net.batched_stats || algos[ai].batched_stats)
+                    .with_client_cache(cfg.net.client_cache.enabled || algos[ai].client_cache);
                 let (dep, hint) =
                     build_deployment(rows[ri].1, 7 + seed * 97, cfg, net, algos[ai].shards);
-                let spec = JoinSpec::distance_join(cfg.eps)
-                    .with_bucket_nlsj(cfg.bucket)
-                    .with_mbr_half_extent(hint)
-                    .with_seed(seed);
-                let rep = algos[ai]
-                    .make()
-                    .run(&dep, &spec)
-                    .unwrap_or_else(|e| panic!("{:?} failed: {e}", algos[ai]));
-                let tuple = (
-                    rep.total_bytes(),
-                    rep.total_queries(),
-                    rep.pairs.len() as u64,
-                    rep.objects_downloaded(),
-                    rep.link_r.aggregate_bytes() + rep.link_s.aggregate_bytes(),
-                    rep.mean_shard_bytes(),
-                    rep.pruning_rate(),
-                );
-                results.lock().unwrap()[ri][ai][seed as usize] = Some(tuple);
+                // A session re-runs the same join K times against one
+                // deployment (whose client cache, when enabled, persists
+                // across joins); counters sum, rates average, and the
+                // pair count — identical across the session's repeats by
+                // construction — is recorded once and asserted stable.
+                let session = cfg.session.max(1);
+                let mut sample = Sample::default();
+                for j in 0..session as u64 {
+                    let spec = JoinSpec::distance_join(cfg.eps)
+                        .with_bucket_nlsj(cfg.bucket)
+                        .with_mbr_half_extent(hint)
+                        .with_seed(seed + j * 7919);
+                    let rep = algos[ai]
+                        .make()
+                        .run(&dep, &spec)
+                        .unwrap_or_else(|e| panic!("{:?} failed: {e}", algos[ai]));
+                    sample.bytes += rep.total_bytes();
+                    sample.queries += rep.total_queries();
+                    if j == 0 {
+                        sample.pairs = rep.pairs.len() as u64;
+                    } else {
+                        assert_eq!(
+                            sample.pairs,
+                            rep.pairs.len() as u64,
+                            "{:?}: session joins must reproduce the same result",
+                            algos[ai]
+                        );
+                    }
+                    sample.objects += rep.objects_downloaded();
+                    sample.agg_bytes += rep.link_r.aggregate_bytes() + rep.link_s.aggregate_bytes();
+                    sample.shard_bytes += rep.mean_shard_bytes() / session as f64;
+                    sample.pruning += rep.pruning_rate() / session as f64;
+                    sample.saved_bytes += rep.cache_bytes_saved();
+                    sample.hit_rate += rep.cache_hit_rate() / session as f64;
+                }
+                results.lock().unwrap()[ri][ai][seed as usize] = Some(sample);
             });
         }
     });
@@ -376,21 +436,23 @@ fn aggregate(samples: &[Sample]) -> CellStats {
     let n = samples.len() as f64;
     let mean = |f: fn(&Sample) -> u64| samples.iter().map(|s| f(s) as f64).sum::<f64>() / n;
     let mean_f = |f: fn(&Sample) -> f64| samples.iter().map(f).sum::<f64>() / n;
-    let mean_bytes = mean(|s| s.0);
+    let mean_bytes = mean(|s| s.bytes);
     let var = samples
         .iter()
-        .map(|s| (s.0 as f64 - mean_bytes).powi(2))
+        .map(|s| (s.bytes as f64 - mean_bytes).powi(2))
         .sum::<f64>()
         / n;
     CellStats {
         mean_bytes,
         std_bytes: var.sqrt(),
-        mean_queries: mean(|s| s.1),
-        mean_pairs: mean(|s| s.2),
-        mean_objects: mean(|s| s.3),
-        mean_agg_bytes: mean(|s| s.4),
-        mean_shard_bytes: mean_f(|s| s.5),
-        pruning_rate: mean_f(|s| s.6),
+        mean_queries: mean(|s| s.queries),
+        mean_pairs: mean(|s| s.pairs),
+        mean_objects: mean(|s| s.objects),
+        mean_agg_bytes: mean(|s| s.agg_bytes),
+        mean_shard_bytes: mean_f(|s| s.shard_bytes),
+        pruning_rate: mean_f(|s| s.pruning),
+        mean_saved_bytes: mean(|s| s.saved_bytes),
+        cache_hit_rate: mean_f(|s| s.hit_rate),
     }
 }
 
@@ -447,11 +509,38 @@ mod tests {
             "srJoin+s4"
         );
         assert_eq!(AlgoSpec::sharded(AlgoKind::Mobi, 1).label(), "mobiJoin+s1");
+        assert_eq!(AlgoSpec::cached(AlgoKind::Mobi).label(), "mobiJoin+cc");
+        assert_eq!(
+            AlgoSpec::cached(AlgoKind::Sr { rho: 0.30 }).label(),
+            "srJoin+cc"
+        );
     }
 
     #[test]
     fn aggregate_stats() {
-        let s = aggregate(&[(10, 1, 2, 3, 4, 2.0, 0.5), (20, 3, 4, 5, 6, 4.0, 0.1)]);
+        let a = Sample {
+            bytes: 10,
+            queries: 1,
+            pairs: 2,
+            objects: 3,
+            agg_bytes: 4,
+            shard_bytes: 2.0,
+            pruning: 0.5,
+            saved_bytes: 100,
+            hit_rate: 0.4,
+        };
+        let b = Sample {
+            bytes: 20,
+            queries: 3,
+            pairs: 4,
+            objects: 5,
+            agg_bytes: 6,
+            shard_bytes: 4.0,
+            pruning: 0.1,
+            saved_bytes: 300,
+            hit_rate: 0.6,
+        };
+        let s = aggregate(&[a, b]);
         assert_eq!(s.mean_bytes, 15.0);
         assert_eq!(s.std_bytes, 5.0);
         assert_eq!(s.mean_queries, 2.0);
@@ -460,6 +549,8 @@ mod tests {
         assert_eq!(s.mean_agg_bytes, 5.0);
         assert_eq!(s.mean_shard_bytes, 3.0);
         assert_eq!(s.pruning_rate, 0.3);
+        assert_eq!(s.mean_saved_bytes, 200.0);
+        assert_eq!(s.cache_hit_rate, 0.5);
     }
 
     #[test]
@@ -520,6 +611,47 @@ mod tests {
             single.mean_agg_bytes
         );
         assert!(batched.mean_bytes < single.mean_bytes);
+    }
+
+    #[test]
+    fn cached_session_column_reuses_downloads() {
+        // A 3-join session with the split-heavy buffer: the +cc column
+        // must show fewer aggregate bytes and messages (joins 2 and 3 hit
+        // what join 1 paid for) with identical results.
+        let cfg = SweepConfig {
+            n_points: 150,
+            seeds: 2,
+            buffer: 100,
+            session: 3,
+            ..SweepConfig::default()
+        };
+        let rows = vec![("4".to_string(), Workload::SyntheticPair { clusters: 4 })];
+        let algos = [
+            AlgoSpec::new(AlgoKind::Mobi),
+            AlgoSpec::cached(AlgoKind::Mobi),
+        ];
+        let r = run_sweep(&rows, &algos, &cfg);
+        assert_eq!(r.algos, vec!["mobiJoin", "mobiJoin+cc"]);
+        let (plain, cached) = (r.cells[0][0], r.cells[0][1]);
+        assert_eq!(
+            plain.mean_pairs, cached.mean_pairs,
+            "the cache must not change join results"
+        );
+        assert!(
+            cached.mean_agg_bytes < plain.mean_agg_bytes,
+            "cached {} vs plain {} aggregate bytes",
+            cached.mean_agg_bytes,
+            plain.mean_agg_bytes
+        );
+        assert!(
+            cached.mean_queries < plain.mean_queries,
+            "hits are not messages"
+        );
+        assert!(cached.mean_bytes < plain.mean_bytes);
+        assert!(cached.mean_saved_bytes > 0.0);
+        assert!(cached.cache_hit_rate > 0.0);
+        assert_eq!(plain.mean_saved_bytes, 0.0);
+        assert_eq!(plain.cache_hit_rate, 0.0);
     }
 
     #[test]

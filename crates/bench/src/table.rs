@@ -51,21 +51,22 @@ impl Table {
         out
     }
 
-    /// CSV rendering with full per-cell statistics (aggregate bytes plus
-    /// the per-shard byte and pruning-rate columns of the shard-scaling
-    /// experiment).
+    /// CSV rendering with full per-cell statistics (aggregate bytes, the
+    /// per-shard byte and pruning-rate columns of the shard-scaling
+    /// experiment, and the saved-byte and hit-rate columns of the
+    /// cache-ablation experiment).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
             "{},algorithm,mean_bytes,std_bytes,mean_queries,mean_pairs,mean_objects,\
-             mean_agg_bytes,mean_shard_bytes,pruning_rate\n",
+             mean_agg_bytes,mean_shard_bytes,pruning_rate,mean_saved_bytes,cache_hit_rate\n",
             self.row_header
         ));
         for (ri, row) in self.result.rows.iter().enumerate() {
             for (ai, algo) in self.result.algos.iter().enumerate() {
                 let c = &self.result.cells[ri][ai];
                 out.push_str(&format!(
-                    "{row},{algo},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.3}\n",
+                    "{row},{algo},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{:.3},{:.1},{:.3}\n",
                     c.mean_bytes,
                     c.std_bytes,
                     c.mean_queries,
@@ -73,7 +74,9 @@ impl Table {
                     c.mean_objects,
                     c.mean_agg_bytes,
                     c.mean_shard_bytes,
-                    c.pruning_rate
+                    c.pruning_rate,
+                    c.mean_saved_bytes,
+                    c.cache_hit_rate
                 ));
             }
         }

@@ -42,6 +42,16 @@ pub struct CostModel {
     pub fanout_r: f64,
     /// Shard fan-out of the S side.
     pub fanout_s: f64,
+    /// Price multiplier on statistics (COUNT/`MultiCount`) rounds,
+    /// `(0, 1]`. With the client cache enabled, repeated statistics cost
+    /// nothing on the wire; decisions should price a round at its
+    /// *expected* cost, i.e. discounted by the observed hit rate (see
+    /// [`CostModel::with_cache_discount`]). `1.0` — a bit-exact no-op —
+    /// without a cache.
+    pub stats_discount: f64,
+    /// Price multiplier on `WINDOW` downloads, `(0, 1]`; same idea for
+    /// the cache's window tier.
+    pub window_discount: f64,
 }
 
 impl CostModel {
@@ -54,6 +64,8 @@ impl CostModel {
             batched_stats: net.batched_stats,
             fanout_r: 1.0,
             fanout_s: 1.0,
+            stats_discount: 1.0,
+            window_discount: 1.0,
         }
     }
 
@@ -62,6 +74,26 @@ impl CostModel {
         assert!(fanout_r >= 1.0 && fanout_s >= 1.0, "fan-out is at least 1");
         self.fanout_r = fanout_r;
         self.fanout_s = fanout_s;
+        self
+    }
+
+    /// Applies client-cache hit-rate discounts to the statistics and
+    /// window prices so operator decisions track what the meters will
+    /// actually measure: a statistics round expected to hit the cache
+    /// with rate `h` costs `(1 − h)` of its wire price. Multipliers must
+    /// lie in `(0, 1]`; `with_cache_discount(1.0, 1.0)` is a bit-exact
+    /// no-op (every price is multiplied by exactly `1.0`), which keeps
+    /// cache-off decisions byte-for-byte identical to the undecorated
+    /// model. Callers derive the multipliers from observed hit rates with
+    /// Laplace smoothing (never exactly 0), so prices stay positive and
+    /// recursion never becomes "free".
+    pub fn with_cache_discount(mut self, stats: f64, window: f64) -> Self {
+        assert!(
+            stats > 0.0 && stats <= 1.0 && window > 0.0 && window <= 1.0,
+            "discounts are price multipliers in (0, 1]"
+        );
+        self.stats_discount = stats;
+        self.window_discount = window;
         self
     }
 
@@ -90,13 +122,15 @@ impl CostModel {
 
     /// Wire cost of counting `probes` windows on one link, unweighted,
     /// under whichever statistics protocol is active: `probes · Taq`
-    /// per-query, or one `taq_batched(probes)` round trip when batched.
+    /// per-query, or one `taq_batched(probes)` round trip when batched —
+    /// scaled by the cache's statistics discount (`1.0` without a cache).
     pub fn stats_round(&self, probes: u32) -> f64 {
-        if self.batched_stats {
-            self.taq_batched(probes)
-        } else {
-            probes as f64 * self.taq()
-        }
+        self.stats_discount
+            * if self.batched_stats {
+                self.taq_batched(probes)
+            } else {
+                probes as f64 * self.taq()
+            }
     }
 
     /// Tariff- and fan-out-weighted cost of one statistics round sent to
@@ -123,11 +157,13 @@ impl CostModel {
 
     /// [`CostModel::window_download`] against a fleet of `fanout` shards:
     /// the query fans out to every shard, the `n` objects come back split
-    /// evenly across `fanout` framed responses. With `fanout = 1` this is
-    /// bit-exactly the flat formula.
+    /// evenly across `fanout` framed responses, the whole round scaled by
+    /// the cache's window discount. With `fanout = 1` and no discount
+    /// this is bit-exactly the flat formula.
     pub fn window_download_fanned(&self, n: f64, fanout: f64) -> f64 {
-        fanout * self.tb(QUERY_BYTES as f64)
-            + fanout * self.tb(OBJECTS_HEADER_BYTES as f64 + (n / fanout) * OBJ_BYTES as f64)
+        self.window_discount
+            * (fanout * self.tb(QUERY_BYTES as f64)
+                + fanout * self.tb(OBJECTS_HEADER_BYTES as f64 + (n / fanout) * OBJ_BYTES as f64))
     }
 
     /// `c1(w)` — HBSJ: download both windows, join on the device
@@ -481,6 +517,46 @@ mod tests {
     #[should_panic(expected = "fan-out is at least 1")]
     fn fanout_below_one_rejected() {
         model(800).with_fanout(0.5, 1.0);
+    }
+
+    #[test]
+    fn cache_discount_scales_stats_and_window_prices() {
+        let flat = model(800);
+        let discounted = model(800).with_cache_discount(0.5, 0.25);
+        assert_eq!(discounted.stats_round(4), 0.5 * flat.stats_round(4));
+        assert_eq!(discounted.split_stats_cost(), 0.5 * flat.split_stats_cost());
+        assert_eq!(
+            discounted.window_download(100.0),
+            0.25 * flat.window_download(100.0)
+        );
+        assert_eq!(
+            discounted.c1_unchecked(50.0, 50.0),
+            0.25 * flat.c1_unchecked(50.0, 50.0)
+        );
+        // Probe traffic (ε-RANGE round trips) is not window traffic: only
+        // the outer download discounts.
+        let d = discounted.nlsj(&w(), 10.0, 100.0, 1.0, 1.0, 1.0, 1.0, 20.0, false);
+        let f = flat.nlsj(&w(), 10.0, 100.0, 1.0, 1.0, 1.0, 1.0, 20.0, false);
+        assert!(d < f);
+        assert_eq!(f - d, 0.75 * flat.window_download(10.0));
+    }
+
+    #[test]
+    fn unit_discount_is_bit_exact_noop() {
+        let a = model(800);
+        let b = model(800).with_cache_discount(1.0, 1.0);
+        assert_eq!(a.stats_round(7), b.stats_round(7));
+        assert_eq!(a.c1(100.0, 100.0), b.c1(100.0, 100.0));
+        assert_eq!(
+            a.nlsj(&w(), 50.0, 100.0, 1.0, 1.0, 1.0, 1.0, 20.0, true),
+            b.nlsj(&w(), 50.0, 100.0, 1.0, 1.0, 1.0, 1.0, 20.0, true)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "price multipliers")]
+    fn zero_discount_rejected() {
+        model(800).with_cache_discount(0.0, 1.0);
     }
 
     #[test]

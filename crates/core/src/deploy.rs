@@ -13,7 +13,8 @@ use std::sync::Arc;
 
 use asj_geom::{Rect, SpatialObject};
 use asj_net::{
-    ChannelServer, Link, NetConfig, QueryHandler, RawExchange, ShardEndpoint, ShardRouter,
+    CacheLayer, ChannelServer, ClientCache, Link, NetConfig, QueryHandler, RawExchange,
+    ShardEndpoint, ShardRouter,
 };
 use asj_server::{partition_objects, RTreeStore, ServicePolicy, SpatialService, SpatialStore};
 
@@ -59,15 +60,27 @@ enum Carrier {
 }
 
 impl Carrier {
-    fn link(&self, net: &NetConfig, tariff: f64) -> Link {
+    /// Opens a fresh link; when `cache` is set, a [`CacheLayer`] (with a
+    /// fresh per-link telemetry but the given shared store) is stacked in
+    /// front of the server or fleet.
+    fn link(&self, net: &NetConfig, tariff: f64, cache: Option<&Arc<ClientCache>>) -> Link {
         match self {
-            Carrier::Single(e) => Link::new(e.raw(), net.packet, tariff),
+            Carrier::Single(e) => match cache {
+                Some(c) => {
+                    Link::cached(CacheLayer::new(e.raw(), net.packet, Arc::clone(c)), tariff)
+                }
+                None => Link::new(e.raw(), net.packet, tariff),
+            },
             Carrier::Fleet(members) => {
                 let shards = members
                     .iter()
                     .map(|(bounds, e)| ShardEndpoint::new(*bounds, e.raw()))
                     .collect();
-                Link::routed(ShardRouter::new(shards, net.packet), tariff)
+                let router = ShardRouter::new(shards, net.packet);
+                match cache {
+                    Some(c) => Link::cached(CacheLayer::over_router(router, Arc::clone(c)), tariff),
+                    None => Link::routed(router, tariff),
+                }
             }
         }
     }
@@ -106,6 +119,14 @@ pub struct Deployment {
     buffer_capacity: usize,
     space: Rect,
     cooperative: bool,
+    /// Per-side client caches when `net.client_cache` is enabled. The
+    /// stores live on the deployment — not the links — so a *session* of
+    /// joins against the same immutable servers shares one cache: every
+    /// [`Deployment::connect`] hands out fresh meters and fresh cache
+    /// telemetry, but hits what earlier joins downloaded. The two sides
+    /// never share a store (they front different datasets).
+    cache_r: Option<Arc<ClientCache>>,
+    cache_s: Option<Arc<ClientCache>>,
 }
 
 impl Deployment {
@@ -124,12 +145,25 @@ impl Deployment {
             .build()
     }
 
-    /// Fresh metered links `(R, S)` for one algorithm run.
+    /// Fresh metered links `(R, S)` for one algorithm run. With the
+    /// client cache enabled the links share the deployment's per-side
+    /// cache stores, so consecutive joins (a session) reuse each other's
+    /// statistics and windows; meters and cache telemetry are still per
+    /// link, so reports never bleed into each other.
     pub fn connect(&self) -> (Link, Link) {
         (
-            self.r.link(&self.net, self.net.tariff_r),
-            self.s.link(&self.net, self.net.tariff_s),
+            self.r
+                .link(&self.net, self.net.tariff_r, self.cache_r.as_ref()),
+            self.s
+                .link(&self.net, self.net.tariff_s, self.cache_s.as_ref()),
         )
+    }
+
+    /// The per-side client-cache stores `(R, S)`; `None` per side when
+    /// the cache is disabled. Exposed for session inspection and for the
+    /// differential suites' poisoning instrument.
+    pub fn caches(&self) -> (Option<&Arc<ClientCache>>, Option<&Arc<ClientCache>>) {
+        (self.cache_r.as_ref(), self.cache_s.as_ref())
     }
 
     /// The global data space the join partitions.
@@ -227,6 +261,16 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Enables (or disables) the client-side statistics/window cache in
+    /// front of both servers/fleets — shorthand for setting
+    /// [`NetConfig::client_cache`] on the network configuration. The
+    /// cache store lives on the built [`Deployment`], so joins run
+    /// back-to-back against it form a session that reuses downloads.
+    pub fn with_client_cache(mut self, on: bool) -> Self {
+        self.net = self.net.with_client_cache(on);
+        self
+    }
+
     /// Shards each side across a fleet of `n_r` / `n_s` spatially
     /// partitioned servers behind a client-side scatter-gather router
     /// (see `asj_server::partition` and `asj_net::router`). `n = 1` is a
@@ -290,13 +334,19 @@ impl DeploymentBuilder {
                 }
             }
         };
+        let cache = |cfg: asj_net::CacheConfig| {
+            cfg.enabled
+                .then(|| Arc::new(ClientCache::new(cfg.window_budget_bytes)))
+        };
         Deployment {
             r: make(self.r_objects, self.shards.map(|s| s.0), "R"),
             s: make(self.s_objects, self.shards.map(|s| s.1), "S"),
-            net: self.net,
             buffer_capacity: self.buffer_capacity,
             space,
             cooperative: self.cooperative,
+            cache_r: cache(self.net.client_cache),
+            cache_s: cache(self.net.client_cache),
+            net: self.net,
         }
     }
 }
@@ -324,7 +374,7 @@ mod tests {
     fn fresh_links_have_fresh_meters() {
         let d = Deployment::in_process(pts(10, 0.0), pts(10, 0.0), NetConfig::default());
         let (r1, _s1) = d.connect();
-        r1.request(Request::Count(d.space()));
+        r1.request(&Request::Count(d.space()));
         assert_eq!(r1.meter().snapshot().count_queries, 1);
         let (r2, _s2) = d.connect();
         assert_eq!(r2.meter().snapshot().count_queries, 0);
@@ -338,12 +388,12 @@ mod tests {
         let (ra, sa) = a.connect();
         let (rb, sb) = b.connect();
         assert_eq!(
-            ra.request(Request::Count(w)).into_count(),
-            rb.request(Request::Count(w)).into_count()
+            ra.request(&Request::Count(w)).into_count(),
+            rb.request(&Request::Count(w)).into_count()
         );
         assert_eq!(
-            sa.request(Request::Window(w)).into_objects(),
-            sb.request(Request::Window(w)).into_objects()
+            sa.request(&Request::Window(w)).into_objects(),
+            sb.request(&Request::Window(w)).into_objects()
         );
         assert_eq!(
             ra.meter().snapshot().total_bytes(),
@@ -363,17 +413,17 @@ mod tests {
         let (fr, fs) = flat.connect();
         let (gr, gs) = fleet.connect();
         assert_eq!(
-            fr.request(Request::Count(w)).into_count(),
-            gr.request(Request::Count(w)).into_count()
+            fr.request(&Request::Count(w)).into_count(),
+            gr.request(&Request::Count(w)).into_count()
         );
         let mut a: Vec<u32> = fs
-            .request(Request::Window(w))
+            .request(&Request::Window(w))
             .into_objects()
             .iter()
             .map(|o| o.id)
             .collect();
         let mut b: Vec<u32> = gs
-            .request(Request::Window(w))
+            .request(&Request::Window(w))
             .into_objects()
             .iter()
             .map(|o| o.id)
@@ -403,8 +453,8 @@ mod tests {
         let (ra, _) = a.connect();
         let (rb, _) = b.connect();
         assert_eq!(
-            ra.request(Request::Count(w)).into_count(),
-            rb.request(Request::Count(w)).into_count()
+            ra.request(&Request::Count(w)).into_count(),
+            rb.request(&Request::Count(w)).into_count()
         );
         assert_eq!(
             ra.meter().snapshot().total_bytes(),
@@ -420,6 +470,57 @@ mod tests {
     }
 
     #[test]
+    fn client_cache_links_share_a_session_store_per_side() {
+        let d = DeploymentBuilder::new(pts(20, 0.0), pts(20, 100.0))
+            .with_client_cache(true)
+            .build();
+        let (r_caches, s_caches) = d.caches();
+        assert!(r_caches.is_some() && s_caches.is_some());
+        let w = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let (r1, s1) = d.connect();
+        let first = r1.request(&Request::Count(w)).into_count();
+        assert!(r1.meter().snapshot().total_bytes() > 0);
+        // Sides must not share a store: S sees different data.
+        let s_count = s1.request(&Request::Count(w)).into_count();
+        assert_ne!(first, s_count);
+        // A second connection (next join in the session) hits the store
+        // the first one filled — zero bytes, fresh meter and telemetry.
+        let (r2, _) = d.connect();
+        assert_eq!(r2.request(&Request::Count(w)).into_count(), first);
+        assert_eq!(r2.meter().snapshot().total_bytes(), 0);
+        let snap = r2.cache().expect("cached link").snapshot();
+        assert_eq!((snap.stats_hits, snap.stats_misses), (1, 0));
+        assert_eq!(r1.cache().unwrap().snapshot().stats_hits, 0);
+    }
+
+    #[test]
+    fn cache_disabled_builds_no_layer() {
+        let d = Deployment::in_process(pts(5, 0.0), pts(5, 0.0), NetConfig::default());
+        let (cr, cs) = d.caches();
+        assert!(cr.is_none() && cs.is_none());
+        let (r, _) = d.connect();
+        assert!(r.cache().is_none());
+    }
+
+    #[test]
+    fn cached_fleet_link_keeps_fleet_telemetry() {
+        let d = DeploymentBuilder::new(pts(40, 0.0), pts(40, 0.0))
+            .with_shards(3, 2)
+            .with_client_cache(true)
+            .build();
+        let (r, s) = d.connect();
+        let w = Rect::from_coords(0.0, 0.0, 30.0, 30.0);
+        r.request(&Request::Count(w));
+        assert!(r.fleet().is_some() && s.fleet().is_some());
+        assert!(r.cache().is_some());
+        assert_eq!(
+            r.fleet().unwrap().snapshot().summed(),
+            r.meter().snapshot(),
+            "conservation law must survive the cache layer"
+        );
+    }
+
+    #[test]
     fn cooperative_flag_controls_policy() {
         let coop = DeploymentBuilder::new(pts(10, 0.0), pts(10, 0.0))
             .cooperative()
@@ -427,14 +528,14 @@ mod tests {
         assert!(coop.is_cooperative());
         let (r, _) = coop.connect();
         assert!(matches!(
-            r.request(Request::CoopLevelMbrs(0)),
+            r.request(&Request::CoopLevelMbrs(0)),
             asj_net::Response::Rects(_)
         ));
 
         let strict = Deployment::in_process(pts(10, 0.0), pts(10, 0.0), NetConfig::default());
         let (r, _) = strict.connect();
         assert_eq!(
-            r.request(Request::CoopLevelMbrs(0)),
+            r.request(&Request::CoopLevelMbrs(0)),
             asj_net::Response::Refused
         );
     }

@@ -160,6 +160,35 @@ impl<'a> ExecCtx<'a> {
         }
     }
 
+    /// The cost model operator decisions should use *right now*: the base
+    /// model with the client cache's observed hit rates applied as price
+    /// discounts, so decisions track what the meters will measure. The
+    /// rates are Laplace-smoothed — `(misses + 1) / (hits + misses + 1)`
+    /// never reaches zero, so no operator ever looks free — and pooled
+    /// over both links (one device, one cache policy). Without a cache
+    /// this returns the base model unchanged (multipliers exactly `1.0`),
+    /// keeping every decision bit-identical to an uncached build.
+    pub fn decision_cost(&self) -> CostModel {
+        let (mut sh, mut sm, mut wh, mut wm) = (0u64, 0u64, 0u64, 0u64);
+        let mut cached = false;
+        for link in [&self.link_r, &self.link_s] {
+            if let Some(view) = link.cache() {
+                cached = true;
+                let snap = view.snapshot();
+                sh += snap.stats_hits;
+                sm += snap.stats_misses;
+                wh += snap.window_hits;
+                wm += snap.window_misses;
+            }
+        }
+        if !cached {
+            return self.cost;
+        }
+        let discount = |hits: u64, misses: u64| (misses + 1) as f64 / (hits + misses + 1) as f64;
+        self.cost
+            .with_cache_discount(discount(sh, sm), discount(wh, wm))
+    }
+
     /// The window actually sent to servers for `w`: extended by ε/2 (plus
     /// the MBR hint) per side, clipped to nothing — servers tolerate
     /// windows reaching outside the space.
@@ -170,7 +199,7 @@ impl<'a> ExecCtx<'a> {
     /// `COUNT` on the extended window.
     pub fn count(&self, side: Side, w: &Rect) -> u64 {
         self.link(side)
-            .request(Request::Count(self.ext(w)))
+            .request(&Request::Count(self.ext(w)))
             .into_count()
     }
 
@@ -184,11 +213,18 @@ impl<'a> ExecCtx<'a> {
     /// [`ExecCtx::count`]. Callers gate on
     /// [`CostModel::batched_stats`](crate::CostModel) — in per-query mode
     /// they issue individual COUNTs instead.
+    ///
+    /// The reply length is validated in every build (not just debug):
+    /// quadrant counts feed pruning decisions, so a short or long
+    /// `Counts` vector from a buggy server or cache layer must surface as
+    /// a protocol error rather than silently misindex.
     pub fn multi_count(&self, side: Side, windows: &[Rect]) -> Vec<u64> {
         let ext: Vec<Rect> = windows.iter().map(|w| self.ext(w)).collect();
-        self.link(side)
-            .request(Request::MultiCount(ext))
-            .into_counts()
+        let counts = self
+            .link(side)
+            .request(&Request::MultiCount(ext))
+            .into_counts();
+        validated_counts(windows.len(), counts)
     }
 
     /// Counts of the four quadrants of `w` on one side: 4 COUNT queries,
@@ -199,7 +235,6 @@ impl<'a> ExecCtx<'a> {
     pub fn quadrant_counts(&self, side: Side, quads: &[Rect; 4]) -> [u64; 4] {
         if self.cost.batched_stats {
             let counts = self.multi_count(side, quads);
-            debug_assert_eq!(counts.len(), 4);
             [counts[0], counts[1], counts[2], counts[3]]
         } else {
             [
@@ -214,20 +249,23 @@ impl<'a> ExecCtx<'a> {
     /// `WINDOW` download of the extended window.
     pub fn download(&self, side: Side, w: &Rect) -> Vec<SpatialObject> {
         self.link(side)
-            .request(Request::Window(self.ext(w)))
+            .request(&Request::Window(self.ext(w)))
             .into_objects()
     }
 
     /// Operator costs on `w` given (possibly estimated) counts. Dimensions
     /// for the ε-selectivity estimate come from the extended window —
-    /// consistent with where probes actually land.
+    /// consistent with where probes actually land. Prices come from
+    /// [`ExecCtx::decision_cost`], i.e. they carry the live cache-hit
+    /// discount when a client cache is in play.
     pub fn costs(&self, w: &Rect, count_r: f64, count_s: f64) -> OperatorCosts {
         let ext = self.ext(w);
         let eps = self.spec.predicate.epsilon();
         let bucket = self.spec.bucket_nlsj;
+        let cost = self.decision_cost();
         OperatorCosts {
-            c1: self.cost.c1(count_r, count_s),
-            c2: self.cost.nlsj(
+            c1: cost.c1(count_r, count_s),
+            c2: cost.nlsj(
                 &ext,
                 count_r,
                 count_s,
@@ -261,10 +299,10 @@ impl<'a> ExecCtx<'a> {
     /// The wire cost of one 2×2 repartitioning round of statistics:
     /// `2k² · Taq` with `k = 2` — four COUNTs to each server, or one
     /// batched `MultiCount` each when the capability is on. Delegates to
-    /// the cost model so decisions price what [`ExecCtx::quadrant_counts`]
-    /// will actually put on the wire.
+    /// the (cache-discounted) decision model so decisions price what
+    /// [`ExecCtx::quadrant_counts`] will actually put on the wire.
     pub fn stats_cost_per_split(&self) -> f64 {
-        self.cost.split_stats_cost()
+        self.decision_cost().split_stats_cost()
     }
 
     /// MobiJoin's `c4(w)` — Equation (8) evaluated entirely under the
@@ -282,14 +320,15 @@ impl<'a> ExecCtx<'a> {
     /// (Fig. 8a).
     pub fn c4_mobijoin(&self, count_r: f64, count_s: f64) -> f64 {
         let capacity = self.buffer.capacity() as f64;
+        let cost = self.decision_cost();
         let mut stats = 0.0;
         let mut windows_prev = 1.0; // windows being split at this level
         for level in 1..=12u32 {
-            stats += self.stats_cost_per_split() * windows_prev;
+            stats += cost.split_stats_cost() * windows_prev;
             let cells = 4f64.powi(level as i32);
             let (qr, qs) = (count_r / cells, count_s / cells);
             if qr + qs <= capacity || level == 12 {
-                return stats + cells * self.cost.c1_unchecked(qr, qs);
+                return stats + cells * cost.c1_unchecked(qr, qs);
             }
             windows_prev = cells;
         }
@@ -399,14 +438,31 @@ impl<'a> ExecCtx<'a> {
         let eps = self.spec.predicate.epsilon();
         let inner = outer.other();
         if self.spec.bucket_nlsj {
-            let buckets = self
-                .link(inner)
-                .request(Request::BucketEpsRange {
-                    probes: outer_objs.clone(),
-                    eps,
-                })
-                .into_buckets();
-            debug_assert_eq!(buckets.len(), outer_objs.len());
+            // Frame the bucket request around the downloaded window
+            // without copying it — a hot path that used to clone the
+            // entire outer window just to build the message — then take
+            // the objects back out to pair them with the reply.
+            let req = Request::BucketEpsRange {
+                probes: outer_objs,
+                eps,
+            };
+            let buckets = self.link(inner).request(&req).into_buckets();
+            let Request::BucketEpsRange {
+                probes: outer_objs, ..
+            } = req
+            else {
+                unreachable!("request variant is fixed above")
+            };
+            // Validated in release too: zip would silently drop the
+            // unmatched outer objects on a short reply (same defect
+            // class `validated_counts` closes for `MultiCount`).
+            if buckets.len() != outer_objs.len() {
+                panic!(
+                    "protocol mismatch: BucketEpsRange({}) answered with {} buckets",
+                    outer_objs.len(),
+                    buckets.len()
+                );
+            }
             for (o, matches) in outer_objs.iter().zip(buckets) {
                 for m in matches {
                     self.report_pair(outer, o, &m, w);
@@ -416,7 +472,7 @@ impl<'a> ExecCtx<'a> {
             for o in &outer_objs {
                 let matches = self
                     .link(inner)
-                    .request(Request::EpsRange { q: o.mbr, eps })
+                    .request(&Request::EpsRange { q: o.mbr, eps })
                     .into_objects();
                 for m in matches {
                     self.report_pair(outer, o, &m, w);
@@ -445,6 +501,8 @@ impl<'a> ExecCtx<'a> {
         let link_s = self.link_s.meter().snapshot();
         let fleet_r = self.link_r.fleet().map(|t| t.snapshot());
         let fleet_s = self.link_s.fleet().map(|t| t.snapshot());
+        let cache_r = self.link_r.cache().map(|v| v.snapshot());
+        let cache_s = self.link_s.cache().map(|v| v.snapshot());
         let cost_units = self.cost.tariff_r * link_r.total_bytes() as f64
             + self.cost.tariff_s * link_s.total_bytes() as f64;
         let peak_buffer = self.buffer.peak();
@@ -460,11 +518,28 @@ impl<'a> ExecCtx<'a> {
             link_s,
             fleet_r,
             fleet_s,
+            cache_r,
+            cache_s,
             cost_units,
             peak_buffer,
             stats: self.stats,
         }
     }
+}
+
+/// Validates a `Counts` reply against the number of probe windows sent,
+/// panicking with the protocol-mismatch convention of
+/// [`Response::into_counts`](asj_net::Response) — a named violation in
+/// release builds too, instead of a short reply's opaque index panic or a
+/// long reply's silently dropped entries.
+fn validated_counts(want: usize, counts: Vec<u64>) -> Vec<u64> {
+    if counts.len() != want {
+        panic!(
+            "protocol mismatch: MultiCount({want}) answered with {} counts",
+            counts.len()
+        );
+    }
+    counts
 }
 
 #[cfg(test)]
@@ -758,6 +833,68 @@ mod tests {
         let mut want = asj_geom::sweep::nested_loop_join(&pts, &pts, &spec.predicate);
         want.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn validated_counts_accepts_exact_length() {
+        assert_eq!(validated_counts(3, vec![1, 2, 3]), vec![1, 2, 3]);
+        assert_eq!(validated_counts(0, vec![]), Vec::<u64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol mismatch: MultiCount(4) answered with 5 counts")]
+    fn validated_counts_rejects_long_reply() {
+        validated_counts(4, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol mismatch: MultiCount(4) answered with 2 counts")]
+    fn validated_counts_rejects_short_reply() {
+        validated_counts(4, vec![1, 2]);
+    }
+
+    #[test]
+    fn decision_cost_without_cache_is_the_base_model() {
+        let dep = deployment(800);
+        let spec = JoinSpec::distance_join(10.0);
+        let ctx = ExecCtx::new(&dep, &spec);
+        assert_eq!(ctx.decision_cost().stats_discount, 1.0);
+        assert_eq!(
+            ctx.decision_cost().split_stats_cost(),
+            ctx.cost.split_stats_cost()
+        );
+    }
+
+    #[test]
+    fn decision_cost_discounts_follow_observed_hit_rate() {
+        let dep = crate::deploy::DeploymentBuilder::new(
+            grid_points(10, 10.0, 0),
+            grid_points(10, 10.0, 0),
+        )
+        .with_buffer(800)
+        .with_space(Rect::from_coords(0.0, 0.0, 90.0, 90.0))
+        .with_client_cache(true)
+        .build();
+        let spec = JoinSpec::distance_join(10.0);
+        let ctx = ExecCtx::new(&dep, &spec);
+        // Cache present, nothing observed: Laplace smoothing keeps the
+        // multipliers at exactly 1.
+        assert_eq!(ctx.decision_cost().stats_discount, 1.0);
+        let w = dep.space();
+        ctx.count(Side::R, &w); // miss
+        ctx.count(Side::R, &w); // hit
+        ctx.count(Side::R, &w); // hit
+                                // 2 hits, 1 miss → stats price multiplier (1+1)/(3+1) = 0.5.
+        let cost = ctx.decision_cost();
+        assert_eq!(cost.stats_discount, 0.5);
+        assert_eq!(cost.window_discount, 1.0, "no window lookups yet");
+        assert_eq!(cost.split_stats_cost(), 0.5 * ctx.cost.split_stats_cost());
+        // The report carries the cache snapshots.
+        let rep = ctx.finish("test");
+        let cache = rep.cache_r.expect("cached link");
+        assert_eq!((cache.stats_hits, cache.stats_misses), (2, 1));
+        assert!(rep.cache_bytes_saved() > 0);
+        assert!(rep.cache_hit_rate() > 0.0);
     }
 
     #[test]

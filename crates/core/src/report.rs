@@ -2,7 +2,7 @@
 
 use asj_device::{BufferExceeded, IcebergResult};
 use asj_geom::ObjectId;
-use asj_net::{FleetSnapshot, LinkSnapshot};
+use asj_net::{CacheSnapshot, FleetSnapshot, LinkSnapshot};
 
 use crate::exec::ExecStats;
 
@@ -53,6 +53,11 @@ pub struct JoinReport {
     pub fleet_r: Option<FleetSnapshot>,
     /// Per-shard accounting of the S side when it is a sharded fleet.
     pub fleet_s: Option<FleetSnapshot>,
+    /// Client-cache accounting of the R link when the deployment runs the
+    /// cache (hits, misses, wire bytes saved).
+    pub cache_r: Option<CacheSnapshot>,
+    /// Client-cache accounting of the S link.
+    pub cache_s: Option<CacheSnapshot>,
     /// Tariff-weighted cost: `bR·bytes_R + bS·bytes_S`.
     pub cost_units: f64,
     /// Highest device-buffer occupancy observed.
@@ -91,6 +96,26 @@ impl JoinReport {
             |fleet: &Option<FleetSnapshot>| fleet.as_ref().map_or(1, FleetSnapshot::shard_count);
         (self.link_r.total_bytes() + self.link_s.total_bytes()) as f64
             / (shards(&self.fleet_r) + shards(&self.fleet_s)) as f64
+    }
+
+    /// Combined client-cache accounting over both links; `None` when the
+    /// deployment runs no cache.
+    pub fn cache(&self) -> Option<CacheSnapshot> {
+        match (&self.cache_r, &self.cache_s) {
+            (None, None) => None,
+            (r, s) => Some(r.unwrap_or_default().plus(&s.unwrap_or_default())),
+        }
+    }
+
+    /// Wire bytes the client cache kept off both links (0 without one).
+    pub fn cache_bytes_saved(&self) -> u64 {
+        self.cache().map_or(0, |c| c.bytes_saved)
+    }
+
+    /// Overall cache hit rate across both links and both tiers (0 when
+    /// no cache ran or nothing was looked up).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache().map_or(0.0, |c| c.hit_rate())
     }
 
     /// Fraction of scatter slots the routers skipped by bounds pruning,
@@ -146,6 +171,8 @@ mod tests {
             link_s,
             fleet_r: None,
             fleet_s: None,
+            cache_r: None,
+            cache_s: None,
             cost_units: 310.0,
             peak_buffer: 42,
             stats: ExecStats::default(),
@@ -180,6 +207,8 @@ mod tests {
             },
             fleet_r: Some(fleet_r),
             fleet_s: None,
+            cache_r: None,
+            cache_s: None,
             cost_units: 400.0,
             peak_buffer: 0,
             stats: ExecStats::default(),

@@ -68,7 +68,9 @@ impl SrJoin {
         depth: u32,
     ) {
         let costs = ctx.costs(w, count_r as f64, count_s as f64);
-        let c1d = ctx.cost.c1_decomposed(count_r as f64, count_s as f64);
+        let c1d = ctx
+            .decision_cost()
+            .c1_decomposed(count_r as f64, count_s as f64);
         let (nlsj_side, nlsj_cost) = costs.cheaper_nlsj();
         if c1d <= nlsj_cost {
             // `hbsj` falls back to recursive decomposition when the window
@@ -106,15 +108,17 @@ impl SrJoin {
             }
         } else {
             // Divergent distributions: recurse hoping to prune, unless the
-            // quadrant is already cheap (Fig. 5 lines 12–19).
-            let cheap = ctx.cost.cheap_threshold();
+            // quadrant is already cheap (Fig. 5 lines 12–19). One
+            // discounted-model snapshot prices the whole round.
+            let cost = ctx.decision_cost();
+            let cheap = cost.cheap_threshold();
             for i in 0..4 {
                 if qr[i] == 0 || qs[i] == 0 {
                     ctx.stats.pruned_windows += 1;
                     continue;
                 }
                 let costs = ctx.costs(&quads[i], qr[i] as f64, qs[i] as f64);
-                let c1d = ctx.cost.c1_decomposed(qr[i] as f64, qs[i] as f64);
+                let c1d = cost.c1_decomposed(qr[i] as f64, qs[i] as f64);
                 let (_, nlsj_cost) = costs.cheaper_nlsj();
                 if c1d < cheap || nlsj_cost < cheap {
                     self.apply_operator(ctx, &quads[i], qr[i], qs[i], depth + 1);

@@ -70,7 +70,7 @@ impl UpJoin {
     ) -> ([DsView; 4], bool) {
         // Fig. 3 lines 3 & 7: small or previously-uniform datasets are
         // assumed uniform; quadrant counts are estimated, not queried.
-        if ds.uniform || !ctx.cost.worth_more_stats(ds.count) {
+        if ds.uniform || !ctx.decision_cost().worth_more_stats(ds.count) {
             let est = DsView {
                 count: ds.count / 4.0,
                 uniform: true,
@@ -148,7 +148,7 @@ impl UpJoin {
         let (nlsj_side, nlsj_cost) = costs.cheaper_nlsj();
         // Fig. 3 line 9 compares the *cost formulas*; the memory check is
         // a separate condition on line 10 ("…and there is enough memory").
-        let hbsj_chosen = ctx.cost.c1_unchecked(r.count, s.count) < nlsj_cost;
+        let hbsj_chosen = ctx.decision_cost().c1_unchecked(r.count, s.count) < nlsj_cost;
         // Don't buy another round of statistics (8 COUNTs ≈ one split)
         // when the chosen operator is already cheaper than two such
         // rounds — the Eq. (10) philosophy applied to repartitioning.
@@ -205,7 +205,7 @@ impl UpJoin {
             {
                 return;
             }
-            if ctx.cost.c1_decomposed(r.count, s.count) < real_nlsj {
+            if ctx.decision_cost().c1_decomposed(r.count, s.count) < real_nlsj {
                 // The window overflows the device but downloading it in
                 // buffer-sized pieces still beats NLSJ: decompose with
                 // plain COUNT-pruned HBSJ (real counts at every level) —

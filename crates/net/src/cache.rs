@@ -1,0 +1,932 @@
+//! Client-side semantic statistics/window cache on the [`RawExchange`]
+//! seam.
+//!
+//! The paper's premise is that wireless transfer dominates join cost —
+//! yet the device keeps re-paying for the same bytes: quadrant recursion
+//! re-COUNTs windows an earlier round already priced, a failed HBSJ
+//! attempt re-downloads its outer window for the NLSJ fallback, and a
+//! session of joins against the same servers repeats whole query streams.
+//! Servers in this system are **immutable snapshots**, so a client-side
+//! cache needs no invalidation: every hit simply deletes a round trip and
+//! its wire bytes.
+//!
+//! [`CacheLayer`] uses the same composition trick as
+//! [`ShardRouter`](crate::router::ShardRouter): it implements
+//! [`RawExchange`], so it stacks under an ordinary [`Link`] — in front of
+//! a flat server *or* a whole shard fleet — and every join algorithm
+//! benefits unchanged. Two tiers:
+//!
+//! * **Exact statistics tier** — `COUNT` answers keyed by the bit-exact
+//!   query rectangle (a total-order `f64::to_bits` key, so `-0.0 ≠ 0.0`
+//!   and NaN-free wire rects never alias). A `MultiCount` batch is
+//!   resolved *per entry*: windows with cached counts are answered
+//!   locally, only the misses ship (in one sub-batch), and the answers
+//!   are spliced back in probe order.
+//! * **Semantic window tier** — a byte-budgeted LRU of downloaded
+//!   windows. A `WINDOW` (or ε-RANGE) request whose reach is contained in
+//!   a cached window is answered locally by filtering; the containment
+//!   index also derives `COUNT` answers for covered windows.
+//!
+//! # Containment invariant
+//!
+//! For any query window `w` contained in a cached window `W`, every
+//! object the server would return for `w` intersects `w ⊆ W`, hence was
+//! in the `W` download; filtering the cached objects with the *server's
+//! own predicate* (`intersects` for `WINDOW`/`COUNT`, `within_distance`
+//! for ε-RANGE — whose reach `q.expand(eps)` bounds the qualifying MBRs)
+//! therefore reproduces the server's answer exactly, as a set. All checks
+//! run on the *decoded* request, i.e. after the codec's f32 rounding —
+//! the very rectangle the server would evaluate — so float rounding can
+//! never make a local answer diverge from a remote one.
+//!
+//! # Eviction invariant
+//!
+//! Eviction only ever *forgets*: the LRU drops whole window entries until
+//! the tier fits its byte budget, never mutating a retained entry, so a
+//! hit is always served from a complete, verbatim server download.
+//! Admission keeps the index canonical: a window covered by an existing
+//! entry is not admitted (it is derivable), and admitting a window drops
+//! any cached entries it covers. Exact statistics entries are ~40 bytes
+//! each and invalidation-free; their tier is capped at the same byte
+//! scale as the window budget, replacing an arbitrary entry at the cap
+//! (forgetting a count is always safe — it just re-pays one `Taq`).
+//!
+//! # Accounting
+//!
+//! The layer is *premetered* in the sense of [`Link`]: the fronting link
+//! records nothing, and the layer meters exactly the physical exchanges
+//! that pass through to the inner carrier (or lets an inner
+//! [`ShardRouter`](crate::router::ShardRouter) meter its own scatter
+//! traffic). Locally answered requests touch no meter — they are not
+//! messages — and are instead tallied in a per-link
+//! [`CacheTelemetry`](crate::meter::CacheTelemetry), with saved wire
+//! bytes estimated at the logical-request seam.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use asj_geom::{Rect, SpatialObject};
+use bytes::Bytes;
+
+use crate::codec::{
+    decode_request, decode_response, encode_request, encode_response, OBJECTS_HEADER_BYTES,
+    OBJ_BYTES,
+};
+use crate::meter::{CacheSnapshot, CacheTelemetry, LinkMeter};
+use crate::packet::PacketModel;
+use crate::proto::{Request, Response};
+use crate::transport::RawExchange;
+
+/// Client-cache knob of a deployment's network configuration. Off by
+/// default: with `enabled = false` no [`CacheLayer`] is constructed at
+/// all, so wire traffic is byte-identical to a build without the
+/// extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Construct a [`CacheLayer`] in front of every server/fleet.
+    pub enabled: bool,
+    /// Byte budget of the window tier's LRU (wire-format bytes).
+    pub window_budget_bytes: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            enabled: false,
+            window_budget_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// Bit-exact total-order key of a query rectangle. `Ord` so victim
+/// selection can break ties deterministically (std `HashMap` iteration
+/// order is process-random).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct RectKey([u64; 4]);
+
+impl RectKey {
+    fn of(r: &Rect) -> Self {
+        RectKey([
+            r.min.x.to_bits(),
+            r.min.y.to_bits(),
+            r.max.x.to_bits(),
+            r.max.y.to_bits(),
+        ])
+    }
+}
+
+/// One cached window download.
+struct WindowEntry {
+    window: Rect,
+    objects: Vec<SpatialObject>,
+    /// Wire-format size charged against the budget.
+    bytes: u64,
+    /// LRU recency tick (bumped on every hit).
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct CacheState {
+    counts: HashMap<RectKey, u64>,
+    /// Insertion order of `counts` keys — the deterministic FIFO victim
+    /// queue of the stats tier (std `HashMap` iteration order is
+    /// process-randomized, which would break the repo's bit-identical
+    /// pinned-seed reproducibility once the cap is hit).
+    count_order: VecDeque<RectKey>,
+    windows: Vec<WindowEntry>,
+    tick: u64,
+}
+
+/// The shared cache store behind one logical server (or fleet).
+///
+/// One `ClientCache` is created per *side* of a deployment and shared by
+/// every link the deployment hands out, so a session of joins against the
+/// same immutable servers reuses earlier downloads across joins. All
+/// methods are `&self` (internally locked): concurrent device threads may
+/// share one cache.
+pub struct ClientCache {
+    state: Mutex<CacheState>,
+    window_budget: u64,
+    /// Entry cap of the exact statistics tier, derived from the window
+    /// budget (an exact entry is ~40 bytes of device memory): the device
+    /// the system models is memory-constrained, and a long-lived session
+    /// store must not grow without bound.
+    stats_cap: usize,
+    resident_bytes: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ClientCache {
+    /// An empty cache with the given window-tier byte budget. The exact
+    /// statistics tier is capped at roughly the same byte scale
+    /// (`budget / 40` entries, at least 256).
+    pub fn new(window_budget_bytes: u64) -> Self {
+        ClientCache {
+            state: Mutex::new(CacheState::default()),
+            window_budget: window_budget_bytes,
+            stats_cap: ((window_budget_bytes / 40) as usize).max(256),
+            resident_bytes: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `COUNT(w)`: the exact statistics tier first (bit-exact
+    /// key — a poisoned exact entry *must* win over derivation, which the
+    /// non-vacuity test relies on), then derivation from any cached
+    /// window containing `w`.
+    pub fn count(&self, w: &Rect) -> Option<u64> {
+        let mut state = self.state.lock().expect("cache poisoned");
+        if let Some(&c) = state.counts.get(&RectKey::of(w)) {
+            return Some(c);
+        }
+        let i = state
+            .windows
+            .iter()
+            .position(|e| e.window.contains_rect(w))?;
+        let c = state.windows[i]
+            .objects
+            .iter()
+            .filter(|o| o.mbr.intersects(w))
+            .count() as u64;
+        state.tick += 1;
+        let tick = state.tick;
+        state.windows[i].last_used = tick;
+        Some(c)
+    }
+
+    /// Records an authoritative `COUNT(w)` answer. At the tier's entry
+    /// cap the *oldest* entry is replaced — deterministic FIFO, so
+    /// pinned-seed runs stay bit-identical — which is correctness-safe:
+    /// forgetting a count only re-pays one `Taq`. A long-lived session
+    /// store therefore stays bounded.
+    pub fn observe_count(&self, w: &Rect, count: u64) {
+        let mut state = self.state.lock().expect("cache poisoned");
+        let key = RectKey::of(w);
+        if let Some(resident) = state.counts.get_mut(&key) {
+            *resident = count;
+            return;
+        }
+        if state.counts.len() >= self.stats_cap {
+            let victim = state
+                .count_order
+                .pop_front()
+                .expect("cap reached with an empty order queue");
+            state.counts.remove(&victim);
+        }
+        state.counts.insert(key, count);
+        state.count_order.push_back(key);
+    }
+
+    /// Looks up `WINDOW(w)` via containment: filtered objects of a cached
+    /// window containing `w`.
+    pub fn window(&self, w: &Rect) -> Option<Vec<SpatialObject>> {
+        self.filter_contained(w, |o| o.mbr.intersects(w))
+    }
+
+    /// Looks up `ε-RANGE(q, eps)` via containment: a qualifying object's
+    /// MBR is within `eps` of `q` and therefore intersects
+    /// `q.expand(eps)`; any cached window containing that reach holds
+    /// every answer.
+    pub fn eps_range(&self, q: &Rect, eps: f64) -> Option<Vec<SpatialObject>> {
+        let reach = q.expand(eps);
+        self.filter_contained(&reach, |o| o.mbr.within_distance(q, eps))
+    }
+
+    fn filter_contained(
+        &self,
+        reach: &Rect,
+        keep: impl Fn(&SpatialObject) -> bool,
+    ) -> Option<Vec<SpatialObject>> {
+        let mut state = self.state.lock().expect("cache poisoned");
+        let i = state
+            .windows
+            .iter()
+            .position(|e| e.window.contains_rect(reach))?;
+        let out = state.windows[i]
+            .objects
+            .iter()
+            .filter(|o| keep(o))
+            .copied()
+            .collect();
+        state.tick += 1;
+        let tick = state.tick;
+        state.windows[i].last_used = tick;
+        Some(out)
+    }
+
+    /// Admits a `WINDOW(w)` download, evicting least-recently-used
+    /// entries until the byte budget holds. Skipped when the window is
+    /// already derivable from a cached entry or alone exceeds the budget;
+    /// cached entries covered by `w` are dropped (they become derivable).
+    pub fn admit_window(&self, w: &Rect, objects: &[SpatialObject]) {
+        let bytes = OBJECTS_HEADER_BYTES + objects.len() as u64 * OBJ_BYTES;
+        if bytes > self.window_budget {
+            return;
+        }
+        let mut state = self.state.lock().expect("cache poisoned");
+        if state.windows.iter().any(|e| e.window.contains_rect(w)) {
+            return;
+        }
+        let mut freed = 0u64;
+        state.windows.retain(|e| {
+            let covered = w.contains_rect(&e.window);
+            if covered {
+                freed += e.bytes;
+            }
+            !covered
+        });
+        let mut resident = self.resident_bytes.load(Ordering::Relaxed) - freed;
+        while resident + bytes > self.window_budget {
+            let (i, _) = state
+                .windows
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .expect("budget overflow with no entries");
+            resident -= state.windows.remove(i).bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        state.tick += 1;
+        let entry = WindowEntry {
+            window: *w,
+            objects: objects.to_vec(),
+            bytes,
+            last_used: state.tick,
+        };
+        state.windows.push(entry);
+        self.resident_bytes
+            .store(resident + bytes, Ordering::Relaxed);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bytes currently resident in the window tier.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached window entries.
+    pub fn cached_windows(&self) -> usize {
+        self.state.lock().expect("cache poisoned").windows.len()
+    }
+
+    /// Number of exact statistics entries.
+    pub fn cached_counts(&self) -> usize {
+        self.state.lock().expect("cache poisoned").counts.len()
+    }
+
+    /// Test instrument: flips the largest cached exact count to a wrong
+    /// value (0, or 1 if it was already 0) and returns `true` when an
+    /// entry existed. The differential suites use this to prove they are
+    /// non-vacuous — a single corrupted cached statistic must be caught
+    /// by the result oracle.
+    pub fn poison_one_count(&self) -> bool {
+        let mut state = self.state.lock().expect("cache poisoned");
+        // Ties broken by key so the victim is deterministic across
+        // processes (HashMap iteration order is randomly seeded).
+        match state.counts.iter_mut().max_by_key(|(k, c)| (**c, **k)) {
+            Some((_, c)) => {
+                *c = if *c == 0 { 1 } else { 0 };
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn gauges(&self) -> (u64, u64, u64) {
+        (
+            self.insertions.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+            self.resident_bytes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One link's view of its cache: the per-link telemetry plus the
+/// (possibly session-shared) store. Snapshot at will.
+#[derive(Clone)]
+pub struct CacheView {
+    cache: Arc<ClientCache>,
+    telemetry: Arc<CacheTelemetry>,
+}
+
+impl CacheView {
+    /// Point-in-time copy: this link's hit/miss/saved counters plus the
+    /// shared store's resident gauges.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let (
+            stats_hits,
+            stats_misses,
+            window_hits,
+            window_misses,
+            probe_hits,
+            probe_misses,
+            bytes_saved,
+        ) = self.telemetry.counters();
+        let (insertions, evictions, resident_bytes) = self.cache.gauges();
+        CacheSnapshot {
+            stats_hits,
+            stats_misses,
+            window_hits,
+            window_misses,
+            probe_hits,
+            probe_misses,
+            bytes_saved,
+            insertions,
+            evictions,
+            resident_bytes,
+        }
+    }
+
+    /// The shared store (for session inspection and test poisoning).
+    pub fn store(&self) -> &Arc<ClientCache> {
+        &self.cache
+    }
+}
+
+/// The caching carrier. See the module docs for tiers and invariants.
+pub struct CacheLayer {
+    inner: Box<dyn RawExchange>,
+    packet: PacketModel,
+    meter: Arc<LinkMeter>,
+    /// `true` when the inner carrier meters its own physical traffic (a
+    /// shard router): forwarded exchanges must not be re-recorded here.
+    inner_premetered: bool,
+    fleet: Option<Arc<crate::router::ShardTelemetry>>,
+    cache: Arc<ClientCache>,
+    telemetry: Arc<CacheTelemetry>,
+}
+
+impl CacheLayer {
+    /// A cache in front of a plain (unmetered) carrier: this layer meters
+    /// every forwarded exchange into its own fresh link meter.
+    pub fn new(inner: Box<dyn RawExchange>, packet: PacketModel, cache: Arc<ClientCache>) -> Self {
+        CacheLayer {
+            inner,
+            packet,
+            meter: Arc::new(LinkMeter::new()),
+            inner_premetered: false,
+            fleet: None,
+            cache,
+            telemetry: Arc::new(CacheTelemetry::new()),
+        }
+    }
+
+    /// A cache stacked over a whole shard fleet: forwarded requests
+    /// scatter as usual and the router keeps metering every physical
+    /// per-shard exchange; the fronting link adopts the router's
+    /// aggregate meter and fleet telemetry unchanged.
+    pub fn over_router(router: crate::router::ShardRouter, cache: Arc<ClientCache>) -> Self {
+        CacheLayer {
+            packet: router.packet(),
+            meter: Arc::clone(router.aggregate_meter()),
+            inner_premetered: true,
+            fleet: Some(Arc::clone(router.telemetry())),
+            inner: Box::new(router),
+            cache,
+            telemetry: Arc::new(CacheTelemetry::new()),
+        }
+    }
+
+    /// The meter the fronting [`Link`] should expose.
+    pub fn meter(&self) -> &Arc<LinkMeter> {
+        &self.meter
+    }
+
+    /// Per-shard telemetry when the inner carrier is a fleet router.
+    pub fn fleet(&self) -> Option<&Arc<crate::router::ShardTelemetry>> {
+        self.fleet.as_ref()
+    }
+
+    /// The packet model forwarded exchanges are metered under.
+    pub fn packet(&self) -> PacketModel {
+        self.packet
+    }
+
+    /// This layer's cache view (telemetry + shared store).
+    pub fn view(&self) -> CacheView {
+        CacheView {
+            cache: Arc::clone(&self.cache),
+            telemetry: Arc::clone(&self.telemetry),
+        }
+    }
+
+    /// Ships `raw` to the inner carrier, metering it here unless the
+    /// inner carrier premeters its own traffic. Returns the raw reply,
+    /// plus its decoded form when metering already had to decode it —
+    /// callers that need the decoded reply anyway reuse it via
+    /// [`CacheLayer::decoded`], and callers that don't (ε-RANGE misses,
+    /// raw pass-through over a premetered router) never pay a decode.
+    fn forward(&self, raw: Bytes, req: &Request) -> (Bytes, Option<Response>) {
+        if self.inner_premetered {
+            return (self.inner.exchange(raw), None);
+        }
+        self.meter
+            .record_request(req, raw.len() as u64, &self.packet);
+        let reply = self.inner.exchange(raw);
+        let resp = decode_response(reply.clone()).expect("malformed response");
+        self.meter.record_response(
+            reply.len() as u64,
+            resp.object_count(),
+            &self.packet,
+            req.is_aggregate(),
+        );
+        (reply, Some(resp))
+    }
+
+    /// The decoded reply: reuses what metering decoded, or decodes now.
+    fn decoded(reply: &Bytes, prior: Option<Response>) -> Response {
+        prior.unwrap_or_else(|| decode_response(reply.clone()).expect("malformed response"))
+    }
+
+    /// Pass-through for non-cacheable opcodes. A premetered inner
+    /// carrier gets the bytes verbatim with zero decode work (the router
+    /// decodes and meters on its own); otherwise the layer must decode
+    /// for the meter's query-mix and object counters, exactly as an
+    /// uncached [`Link`] would have.
+    fn forward_raw(&self, raw: Bytes) -> Bytes {
+        if self.inner_premetered {
+            return self.inner.exchange(raw);
+        }
+        let req = decode_request(raw.clone()).expect("malformed request");
+        self.forward(raw, &req).0
+    }
+
+    /// Wire bytes (both directions, packetized) a fully local answer
+    /// avoided.
+    fn saved(&self, req_len: usize, resp_len: usize) -> u64 {
+        self.packet.tb(req_len as u64) + self.packet.tb(resp_len as u64)
+    }
+
+    fn handle_count(&self, raw: Bytes, w: Rect) -> Bytes {
+        if let Some(c) = self.cache.count(&w) {
+            self.telemetry.record_stats(1, 0);
+            let reply = encode_response(&Response::Count(c));
+            self.telemetry
+                .record_saved(self.saved(raw.len(), reply.len()));
+            return reply;
+        }
+        self.telemetry.record_stats(0, 1);
+        let req = Request::Count(w);
+        let (reply, resp) = self.forward(raw, &req);
+        if let Response::Count(c) = Self::decoded(&reply, resp) {
+            self.cache.observe_count(&w, c);
+        }
+        reply
+    }
+
+    fn handle_multi_count(&self, raw: Bytes, windows: Vec<Rect>) -> Bytes {
+        let answers: Vec<Option<u64>> = windows.iter().map(|w| self.cache.count(w)).collect();
+        let miss_idx: Vec<usize> = (0..windows.len())
+            .filter(|&i| answers[i].is_none())
+            .collect();
+        self.telemetry.record_stats(
+            (windows.len() - miss_idx.len()) as u64,
+            miss_idx.len() as u64,
+        );
+        if miss_idx.is_empty() {
+            // Every entry answered locally: the whole round trip vanishes.
+            let counts = answers.into_iter().map(|c| c.expect("all hits")).collect();
+            let reply = encode_response(&Response::Counts(counts));
+            self.telemetry
+                .record_saved(self.saved(raw.len(), reply.len()));
+            return reply;
+        }
+        if miss_idx.len() == windows.len() {
+            // Full miss: forward the original bytes unchanged.
+            let req = Request::MultiCount(windows);
+            let (reply, resp) = self.forward(raw, &req);
+            if let (Request::MultiCount(ws), Response::Counts(cs)) =
+                (&req, Self::decoded(&reply, resp))
+            {
+                if cs.len() == ws.len() {
+                    for (w, c) in ws.iter().zip(cs) {
+                        self.cache.observe_count(w, c);
+                    }
+                }
+            }
+            return reply;
+        }
+        // Partial hit: ship only the misses, splice the answers back in
+        // probe order.
+        let sub = Request::MultiCount(miss_idx.iter().map(|&i| windows[i]).collect());
+        let sub_raw = encode_request(&sub);
+        let sub_len = sub_raw.len();
+        let (sub_reply, resp) = self.forward(sub_raw, &sub);
+        let fresh = match Self::decoded(&sub_reply, resp) {
+            Response::Counts(cs) if cs.len() == miss_idx.len() => cs,
+            Response::Refused => return encode_response(&Response::Refused),
+            other => panic!(
+                "protocol mismatch: MultiCount({}) answered with {other:?}",
+                miss_idx.len()
+            ),
+        };
+        let mut counts: Vec<u64> = answers.into_iter().map(|c| c.unwrap_or(0)).collect();
+        for (&i, &c) in miss_idx.iter().zip(&fresh) {
+            counts[i] = c;
+            self.cache.observe_count(&windows[i], c);
+        }
+        let reply = encode_response(&Response::Counts(counts));
+        // Saved: the framing/entries the sub-batch did not carry.
+        let saved_up = self.packet.tb(raw.len() as u64) - self.packet.tb(sub_len as u64);
+        let saved_down =
+            self.packet.tb(reply.len() as u64) - self.packet.tb(sub_reply.len() as u64);
+        self.telemetry.record_saved(saved_up + saved_down);
+        reply
+    }
+
+    fn handle_window(&self, raw: Bytes, w: Rect) -> Bytes {
+        if let Some(objects) = self.cache.window(&w) {
+            self.telemetry.record_window(true);
+            let reply = encode_response(&Response::Objects(objects));
+            self.telemetry
+                .record_saved(self.saved(raw.len(), reply.len()));
+            return reply;
+        }
+        self.telemetry.record_window(false);
+        let req = Request::Window(w);
+        let (reply, resp) = self.forward(raw, &req);
+        if let Response::Objects(objects) = Self::decoded(&reply, resp) {
+            self.cache.admit_window(&w, &objects);
+        }
+        reply
+    }
+
+    fn handle_eps_range(&self, raw: Bytes, q: Rect, eps: f64) -> Bytes {
+        if let Some(objects) = self.cache.eps_range(&q, eps) {
+            self.telemetry.record_probe(true);
+            let reply = encode_response(&Response::Objects(objects));
+            self.telemetry
+                .record_saved(self.saved(raw.len(), reply.len()));
+            return reply;
+        }
+        self.telemetry.record_probe(false);
+        self.forward(raw, &Request::EpsRange { q, eps }).0
+    }
+}
+
+impl RawExchange for CacheLayer {
+    fn exchange(&self, raw: Bytes) -> Bytes {
+        // Dispatch on the wire opcode so non-cacheable requests (bucket
+        // probes, avg-area, the cooperative extension) are not decoded
+        // just to be re-serialized — a bucket window can carry thousands
+        // of probes, and the lookup path should never re-pay for them.
+        match raw.as_ref().first().copied() {
+            Some(crate::codec::op::COUNT)
+            | Some(crate::codec::op::WINDOW)
+            | Some(crate::codec::op::EPS_RANGE)
+            | Some(crate::codec::op::MULTI_COUNT) => {
+                match decode_request(raw.clone()).expect("malformed request") {
+                    Request::Count(w) => self.handle_count(raw, w),
+                    Request::MultiCount(windows) => self.handle_multi_count(raw, windows),
+                    Request::Window(w) => self.handle_window(raw, w),
+                    Request::EpsRange { q, eps } => self.handle_eps_range(raw, q, eps),
+                    _ => unreachable!("opcode dispatch matches the decoder"),
+                }
+            }
+            _ => self.forward_raw(raw),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{ShardEndpoint, ShardRouter};
+    use crate::testutil::ScanHandler as Scan;
+    use crate::transport::{InProcExchange, Link};
+
+    fn lattice(n: u32) -> Vec<SpatialObject> {
+        (0..n * n)
+            .map(|i| SpatialObject::point(i, (i % n) as f64, (i / n) as f64))
+            .collect()
+    }
+
+    fn cached_link(objects: Vec<SpatialObject>, budget: u64) -> Link {
+        let layer = CacheLayer::new(
+            Box::new(InProcExchange::new(Arc::new(Scan(objects)))),
+            PacketModel::default(),
+            Arc::new(ClientCache::new(budget)),
+        );
+        Link::cached(layer, 1.0)
+    }
+
+    fn plain_link(objects: Vec<SpatialObject>) -> Link {
+        Link::in_process(Arc::new(Scan(objects)), PacketModel::default(), 1.0)
+    }
+
+    fn w(a: f64, b: f64, c: f64, d: f64) -> Rect {
+        Rect::from_coords(a, b, c, d)
+    }
+
+    #[test]
+    fn repeated_count_is_free_and_identical() {
+        let cached = cached_link(lattice(10), 1 << 20);
+        let plain = plain_link(lattice(10));
+        let q = w(0.0, 0.0, 3.0, 3.0);
+        assert_eq!(
+            cached.request(&Request::Count(q)).into_count(),
+            plain.request(&Request::Count(q)).into_count()
+        );
+        let before = cached.meter().snapshot();
+        assert_eq!(cached.request(&Request::Count(q)).into_count(), 16);
+        assert_eq!(
+            cached.meter().snapshot(),
+            before,
+            "a stats hit must not touch the wire"
+        );
+        let snap = cached.cache().unwrap().snapshot();
+        assert_eq!((snap.stats_hits, snap.stats_misses), (1, 1));
+        assert!(snap.bytes_saved > 0);
+    }
+
+    #[test]
+    fn multi_count_partial_hit_ships_only_the_misses() {
+        let cached = cached_link(lattice(10), 1 << 20);
+        let a = w(0.0, 0.0, 2.0, 2.0);
+        let b = w(5.0, 5.0, 9.0, 9.0);
+        let c = w(20.0, 20.0, 30.0, 30.0);
+        cached.request(&Request::Count(a)); // prime a
+        let before = cached.meter().snapshot();
+        let counts = cached
+            .request(&Request::MultiCount(vec![a, b, c]))
+            .into_counts();
+        assert_eq!(counts, vec![9, 25, 0]);
+        let delta = cached.meter().snapshot().since(&before);
+        // The sub-batch carried exactly the two missing windows.
+        let sub = encode_request(&Request::MultiCount(vec![b, c]));
+        assert_eq!(delta.up_bytes, PacketModel::default().tb(sub.len() as u64));
+        assert_eq!(delta.count_queries, 1);
+        // A repeat is now fully local.
+        let before = cached.meter().snapshot();
+        let again = cached
+            .request(&Request::MultiCount(vec![a, b, c]))
+            .into_counts();
+        assert_eq!(again, vec![9, 25, 0]);
+        assert_eq!(cached.meter().snapshot(), before);
+        let snap = cached.cache().unwrap().snapshot();
+        assert_eq!(snap.stats_hits, 1 + 3);
+        assert_eq!(snap.stats_misses, 1 + 2);
+    }
+
+    #[test]
+    fn contained_window_count_and_eps_range_answered_locally() {
+        let cached = cached_link(lattice(10), 1 << 20);
+        let plain = plain_link(lattice(10));
+        let big = w(0.0, 0.0, 6.0, 6.0);
+        let small = w(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(
+            cached.request(&Request::Window(big)).into_objects(),
+            plain.request(&Request::Window(big)).into_objects()
+        );
+        let before = cached.meter().snapshot();
+        // Contained WINDOW, derived COUNT, contained ε-RANGE: all local.
+        assert_eq!(
+            cached.request(&Request::Window(small)).into_objects(),
+            plain.request(&Request::Window(small)).into_objects()
+        );
+        assert_eq!(
+            cached.request(&Request::Count(small)).into_count(),
+            plain.request(&Request::Count(small)).into_count()
+        );
+        let q = Rect::point(asj_geom::Point::new(3.0, 3.0));
+        assert_eq!(
+            cached
+                .request(&Request::EpsRange { q, eps: 1.5 })
+                .into_objects(),
+            plain
+                .request(&Request::EpsRange { q, eps: 1.5 })
+                .into_objects()
+        );
+        assert_eq!(
+            cached.meter().snapshot(),
+            before,
+            "contained lookups must not touch the wire"
+        );
+        let snap = cached.cache().unwrap().snapshot();
+        assert_eq!(snap.window_hits, 1); // Window(small)
+        assert_eq!(snap.probe_hits, 1); // EpsRange, counted apart
+        assert_eq!(snap.stats_hits, 1); // derived Count(small)
+    }
+
+    #[test]
+    fn uncontained_eps_range_passes_through() {
+        let cached = cached_link(lattice(10), 1 << 20);
+        cached.request(&Request::Window(w(0.0, 0.0, 4.0, 4.0)));
+        // Reach [1,1]..[5,5] sticks out of the cached window.
+        let q = Rect::point(asj_geom::Point::new(3.0, 3.0));
+        let before = cached.meter().snapshot();
+        let got = cached
+            .request(&Request::EpsRange { q, eps: 2.0 })
+            .into_objects();
+        assert_eq!(got.len(), 13);
+        assert!(cached.meter().snapshot().total_bytes() > before.total_bytes());
+    }
+
+    #[test]
+    fn budget_lru_evicts_and_tracks_residency() {
+        // The 100-object window is 5 + 2000 bytes; budget fits one.
+        let cached = cached_link(lattice(10), 2200);
+        let whole = w(0.0, 0.0, 9.0, 9.0);
+        cached.request(&Request::Window(whole));
+        let view = cached.cache().unwrap();
+        assert_eq!(view.snapshot().resident_bytes, 2005);
+        assert_eq!(view.store().cached_windows(), 1);
+        // An overlapping (but not nested) window: 81 objects, 1625 bytes.
+        // Both together overflow the budget, so the older entry goes.
+        let shifted = w(0.5, 0.5, 9.5, 9.5);
+        cached.request(&Request::Window(shifted));
+        let snap = view.snapshot();
+        assert_eq!(snap.resident_bytes, 1625);
+        assert_eq!(snap.insertions, 2);
+        assert_eq!(snap.evictions, 1);
+        // The evicted window is a miss again — eviction only forgets.
+        let before = cached.meter().snapshot();
+        assert_eq!(
+            cached.request(&Request::Window(whole)).into_objects().len(),
+            100
+        );
+        assert!(cached.meter().snapshot().total_bytes() > before.total_bytes());
+        let snap = view.snapshot();
+        assert_eq!((snap.insertions, snap.evictions), (3, 2));
+        assert_eq!(snap.resident_bytes, 2005);
+    }
+
+    #[test]
+    fn admission_skips_derivable_and_oversized_windows() {
+        let store = Arc::new(ClientCache::new(1000));
+        let objs = lattice(4);
+        store.admit_window(&w(0.0, 0.0, 4.0, 4.0), &objs);
+        assert_eq!(store.cached_windows(), 1);
+        // Contained window: derivable, not admitted.
+        store.admit_window(&w(1.0, 1.0, 2.0, 2.0), &objs[..2]);
+        assert_eq!(store.cached_windows(), 1);
+        // Covering window: admitted, covered entry dropped.
+        store.admit_window(&w(-1.0, -1.0, 5.0, 5.0), &objs);
+        assert_eq!(store.cached_windows(), 1);
+        assert_eq!(store.resident_bytes(), 5 + 16 * 20);
+        // Oversized: silently skipped.
+        let big = lattice(8);
+        store.admit_window(&w(-2.0, -2.0, 9.0, 9.0), &big);
+        assert_eq!(store.cached_windows(), 1);
+    }
+
+    #[test]
+    fn stats_tier_is_bounded_by_the_cap() {
+        // Budget 400 → cap max(256, 10) = 256 exact entries.
+        let store = Arc::new(ClientCache::new(400));
+        for i in 0..1000 {
+            store.observe_count(&w(i as f64, 0.0, i as f64 + 1.0, 1.0), i);
+        }
+        assert_eq!(store.cached_counts(), 256, "cap must hold");
+        // Further churn replaces entries one-for-one, never grows.
+        let before = store.cached_counts();
+        for i in 900..1000 {
+            store.observe_count(&w(i as f64, 0.0, i as f64 + 1.0, 1.0), i);
+        }
+        assert_eq!(store.cached_counts(), before);
+        // The latest observation is always resident.
+        assert_eq!(store.count(&w(999.0, 0.0, 1000.0, 1.0)), Some(999));
+    }
+
+    #[test]
+    fn poison_flips_the_largest_count() {
+        let store = Arc::new(ClientCache::new(1000));
+        assert!(!store.poison_one_count(), "nothing to poison yet");
+        store.observe_count(&w(0.0, 0.0, 1.0, 1.0), 3);
+        store.observe_count(&w(0.0, 0.0, 2.0, 2.0), 9);
+        assert!(store.poison_one_count());
+        let poisoned = store.count(&w(0.0, 0.0, 2.0, 2.0)).unwrap();
+        assert_eq!(poisoned, 0, "largest entry flipped to 0");
+        assert_eq!(store.count(&w(0.0, 0.0, 1.0, 1.0)), Some(3));
+    }
+
+    #[test]
+    fn non_cached_requests_pass_through_byte_identically() {
+        let cached = cached_link(lattice(6), 1 << 20);
+        let plain = plain_link(lattice(6));
+        for req in [
+            Request::AvgArea(w(0.0, 0.0, 3.0, 3.0)),
+            Request::BucketEpsRange {
+                probes: vec![SpatialObject::point(99, 2.0, 2.0)],
+                eps: 1.0,
+            },
+            Request::CoopLevelMbrs(0),
+        ] {
+            assert_eq!(cached.request(&req), plain.request(&req));
+            // Twice: no caching of these opcodes.
+            assert_eq!(cached.request(&req), plain.request(&req));
+        }
+        assert_eq!(cached.meter().snapshot(), plain.meter().snapshot());
+        let snap = cached.cache().unwrap().snapshot();
+        assert_eq!(snap.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn cache_over_fleet_reuses_router_metering() {
+        let left: Vec<SpatialObject> = (0..8)
+            .map(|i| SpatialObject::point(i, i as f64, 0.0))
+            .collect();
+        let right: Vec<SpatialObject> = (0..8)
+            .map(|i| SpatialObject::point(100 + i, 100.0 + i as f64, 0.0))
+            .collect();
+        let endpoint = |objects: Vec<SpatialObject>| {
+            let bounds = Rect::union_of(objects.iter().map(|o| o.mbr));
+            ShardEndpoint::new(
+                bounds,
+                Box::new(InProcExchange::new(Arc::new(Scan(objects)))),
+            )
+        };
+        let router = ShardRouter::new(
+            vec![endpoint(left), endpoint(right)],
+            PacketModel::default(),
+        );
+        let layer = CacheLayer::over_router(router, Arc::new(ClientCache::new(1 << 20)));
+        let link = Link::cached(layer, 1.0);
+        let all = w(-1.0, -1.0, 200.0, 1.0);
+        assert_eq!(link.request(&Request::Count(all)).into_count(), 16);
+        let fleet = link.fleet().expect("fleet telemetry").snapshot();
+        assert_eq!(fleet.scattered, 2, "both shards asked once");
+        assert_eq!(
+            fleet.summed(),
+            link.meter().snapshot(),
+            "conservation law holds under the cache"
+        );
+        // The repeat is a cache hit: no new scatter, meters frozen.
+        let before = link.meter().snapshot();
+        assert_eq!(link.request(&Request::Count(all)).into_count(), 16);
+        assert_eq!(link.meter().snapshot(), before);
+        assert_eq!(link.fleet().unwrap().snapshot().scattered, 2);
+        assert_eq!(link.cache().unwrap().snapshot().stats_hits, 1);
+    }
+
+    #[test]
+    fn shared_store_carries_hits_across_links() {
+        // Two links (a "session") over one store: the second link's first
+        // lookup hits what the first link downloaded.
+        let store = Arc::new(ClientCache::new(1 << 20));
+        let make = |store: &Arc<ClientCache>| {
+            Link::cached(
+                CacheLayer::new(
+                    Box::new(InProcExchange::new(Arc::new(Scan(lattice(10))))),
+                    PacketModel::default(),
+                    Arc::clone(store),
+                ),
+                1.0,
+            )
+        };
+        let first = make(&store);
+        first.request(&Request::Window(w(0.0, 0.0, 5.0, 5.0)));
+        let second = make(&store);
+        let got = second
+            .request(&Request::Window(w(1.0, 1.0, 4.0, 4.0)))
+            .into_objects();
+        assert_eq!(got.len(), 16);
+        assert_eq!(second.meter().snapshot().total_bytes(), 0);
+        // Telemetry is per link; the store is shared.
+        assert_eq!(second.cache().unwrap().snapshot().window_hits, 1);
+        assert_eq!(first.cache().unwrap().snapshot().window_hits, 0);
+    }
+}

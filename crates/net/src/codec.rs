@@ -60,7 +60,7 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-mod op {
+pub(crate) mod op {
     pub const WINDOW: u8 = 0x01;
     pub const COUNT: u8 = 0x02;
     pub const EPS_RANGE: u8 = 0x03;

@@ -32,11 +32,20 @@
 //!   shards by advertised bounds, sub-batching batched requests, merging
 //!   and deduplicating answers, and metering both per shard and in
 //!   aggregate. A fleet of one is a byte-transparent proxy, so sharding is
-//!   wire-identical to a flat deployment at N = 1.
+//!   wire-identical to a flat deployment at N = 1;
+//! * [`cache`] — the **client-cache extension**: a [`CacheLayer`] on the
+//!   same carrier seam (in front of a flat server *or* a whole fleet)
+//!   answers repeated `COUNT`s from an exact statistics tier and
+//!   contained `WINDOW`/ε-RANGE requests from a byte-budgeted window
+//!   tier, which is invalidation-free because servers are immutable
+//!   snapshots. Gated by [`NetConfig::client_cache`] and **off by
+//!   default** (off ⇒ byte-identical wire traffic); hits/misses/saved
+//!   bytes are tallied in a [`CacheSnapshot`].
 //!
 //! Every message — including the queries themselves, as the paper insists —
 //! is packetized and metered.
 
+pub mod cache;
 pub mod codec;
 pub mod meter;
 pub mod packet;
@@ -44,7 +53,77 @@ pub mod proto;
 pub mod router;
 pub mod transport;
 
-pub use meter::{LinkMeter, LinkSnapshot};
+/// Test support: one linear-scan [`QueryHandler`] oracle with the
+/// reference server semantics for the primitive (non-cooperative)
+/// queries, shared by this crate's unit and integration suites so there
+/// is a single copy to keep in lockstep with the real server.
+#[doc(hidden)]
+pub mod testutil {
+    use asj_geom::SpatialObject;
+
+    use crate::proto::{QueryHandler, Request, Response};
+
+    /// Scan-backed handler: O(n) everything, cooperative queries refused.
+    pub struct ScanHandler(pub Vec<SpatialObject>);
+
+    impl QueryHandler for ScanHandler {
+        fn handle(&self, req: Request) -> Response {
+            match req {
+                Request::Window(w) => Response::Objects(
+                    self.0
+                        .iter()
+                        .filter(|o| o.mbr.intersects(&w))
+                        .copied()
+                        .collect(),
+                ),
+                Request::Count(w) => {
+                    Response::Count(self.0.iter().filter(|o| o.mbr.intersects(&w)).count() as u64)
+                }
+                Request::MultiCount(ws) => Response::Counts(
+                    ws.iter()
+                        .map(|w| self.0.iter().filter(|o| o.mbr.intersects(w)).count() as u64)
+                        .collect(),
+                ),
+                Request::EpsRange { q, eps } => Response::Objects(
+                    self.0
+                        .iter()
+                        .filter(|o| o.mbr.within_distance(&q, eps))
+                        .copied()
+                        .collect(),
+                ),
+                Request::AvgArea(w) => {
+                    let areas: Vec<f64> = self
+                        .0
+                        .iter()
+                        .filter(|o| o.mbr.intersects(&w))
+                        .map(|o| o.mbr.area())
+                        .collect();
+                    Response::Area(if areas.is_empty() {
+                        0.0
+                    } else {
+                        areas.iter().sum::<f64>() / areas.len() as f64
+                    })
+                }
+                Request::BucketEpsRange { probes, eps } => Response::Buckets(
+                    probes
+                        .iter()
+                        .map(|p| {
+                            self.0
+                                .iter()
+                                .filter(|o| o.mbr.within_distance(&p.mbr, eps))
+                                .copied()
+                                .collect()
+                        })
+                        .collect(),
+                ),
+                _ => Response::Refused,
+            }
+        }
+    }
+}
+
+pub use cache::{CacheConfig, CacheLayer, CacheView, ClientCache};
+pub use meter::{CacheSnapshot, CacheTelemetry, LinkMeter, LinkSnapshot};
 pub use packet::{NetConfig, PacketModel};
 pub use proto::{QueryHandler, Request, Response};
 pub use router::{FleetSnapshot, ShardEndpoint, ShardRouter, ShardTelemetry};

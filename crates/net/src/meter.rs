@@ -112,6 +112,154 @@ impl LinkSnapshot {
     }
 }
 
+/// Atomic hit/miss/bytes-saved counters of one link's client-side cache
+/// (see `crate::cache`). Kept separate from [`LinkMeter`] deliberately:
+/// the link meter records what *crossed the wire*, and its conservation
+/// laws (per-shard sums equal the aggregate) must keep holding when a
+/// cache answers requests that never reach any shard.
+#[derive(Debug, Default)]
+pub struct CacheTelemetry {
+    stats_hits: AtomicU64,
+    stats_misses: AtomicU64,
+    window_hits: AtomicU64,
+    window_misses: AtomicU64,
+    probe_hits: AtomicU64,
+    probe_misses: AtomicU64,
+    bytes_saved: AtomicU64,
+}
+
+impl CacheTelemetry {
+    pub fn new() -> Self {
+        CacheTelemetry::default()
+    }
+
+    /// Records `hits` statistics entries answered locally and `misses`
+    /// shipped to the server (a `MultiCount` batch contributes per entry).
+    pub fn record_stats(&self, hits: u64, misses: u64) {
+        self.stats_hits.fetch_add(hits, Ordering::Relaxed);
+        self.stats_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Records one `WINDOW` lookup against the window tier.
+    pub fn record_window(&self, hit: bool) {
+        if hit {
+            self.window_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.window_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one ε-RANGE probe lookup against the window tier. Kept
+    /// apart from `WINDOW` lookups: probe traffic and window downloads
+    /// are priced by different cost-model terms, so pooling the counters
+    /// would let probe hits discount window prices they never touch.
+    pub fn record_probe(&self, hit: bool) {
+        if hit {
+            self.probe_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.probe_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records wire bytes (both directions, packetized) that a local
+    /// answer avoided putting on the link.
+    pub fn record_saved(&self, bytes: u64) {
+        self.bytes_saved.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Counter part of a [`CacheSnapshot`]; the cache's resident-size
+    /// gauges are filled in by the cache itself.
+    #[allow(clippy::type_complexity)]
+    pub fn counters(&self) -> (u64, u64, u64, u64, u64, u64, u64) {
+        (
+            self.stats_hits.load(Ordering::Relaxed),
+            self.stats_misses.load(Ordering::Relaxed),
+            self.window_hits.load(Ordering::Relaxed),
+            self.window_misses.load(Ordering::Relaxed),
+            self.probe_hits.load(Ordering::Relaxed),
+            self.probe_misses.load(Ordering::Relaxed),
+            self.bytes_saved.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A point-in-time copy of one link's cache accounting: per-link hit/miss
+/// counters plus the (possibly session-shared) cache's resident gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    /// Statistics entries (COUNT / `MultiCount` windows) answered locally.
+    pub stats_hits: u64,
+    /// Statistics entries that had to be shipped.
+    pub stats_misses: u64,
+    /// `WINDOW` requests answered from a cached superset window.
+    pub window_hits: u64,
+    /// `WINDOW` requests that had to be shipped.
+    pub window_misses: u64,
+    /// ε-RANGE probes answered from a cached superset window.
+    pub probe_hits: u64,
+    /// ε-RANGE probes that had to be shipped.
+    pub probe_misses: u64,
+    /// Wire bytes (packetized, both directions) local answers avoided.
+    pub bytes_saved: u64,
+    /// Windows admitted into the window tier over the cache's lifetime.
+    pub insertions: u64,
+    /// Windows evicted by the byte-budget LRU.
+    pub evictions: u64,
+    /// Bytes currently resident in the window tier.
+    pub resident_bytes: u64,
+}
+
+impl CacheSnapshot {
+    /// Hit rate over statistics lookups (0 when none happened).
+    pub fn stats_hit_rate(&self) -> f64 {
+        rate(self.stats_hits, self.stats_misses)
+    }
+
+    /// Hit rate over `WINDOW` lookups only (0 when none happened) — the
+    /// rate that discounts window-download prices.
+    pub fn window_hit_rate(&self) -> f64 {
+        rate(self.window_hits, self.window_misses)
+    }
+
+    /// Hit rate over ε-RANGE probe lookups (0 when none happened).
+    pub fn probe_hit_rate(&self) -> f64 {
+        rate(self.probe_hits, self.probe_misses)
+    }
+
+    /// Overall hit rate across every tier (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        rate(
+            self.stats_hits + self.window_hits + self.probe_hits,
+            self.stats_misses + self.window_misses + self.probe_misses,
+        )
+    }
+
+    /// Field-wise sum (for both-links accounting in reports). Resident
+    /// gauges add too: the two links front different caches.
+    pub fn plus(&self, other: &CacheSnapshot) -> CacheSnapshot {
+        CacheSnapshot {
+            stats_hits: self.stats_hits + other.stats_hits,
+            stats_misses: self.stats_misses + other.stats_misses,
+            window_hits: self.window_hits + other.window_hits,
+            window_misses: self.window_misses + other.window_misses,
+            probe_hits: self.probe_hits + other.probe_hits,
+            probe_misses: self.probe_misses + other.probe_misses,
+            bytes_saved: self.bytes_saved + other.bytes_saved,
+            insertions: self.insertions + other.insertions,
+            evictions: self.evictions + other.evictions,
+            resident_bytes: self.resident_bytes + other.resident_bytes,
+        }
+    }
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
 impl LinkMeter {
     pub fn new() -> Self {
         LinkMeter::default()
@@ -257,6 +405,41 @@ mod tests {
         m.record_response(100, 5, &p, true);
         m.reset();
         assert_eq!(m.snapshot(), LinkSnapshot::default());
+    }
+
+    #[test]
+    fn cache_snapshot_rates_and_sum() {
+        let t = CacheTelemetry::new();
+        t.record_stats(3, 1);
+        t.record_window(true);
+        t.record_window(false);
+        t.record_probe(true);
+        t.record_probe(true);
+        t.record_saved(100);
+        let (sh, sm, wh, wm, ph, pm, saved) = t.counters();
+        let a = CacheSnapshot {
+            stats_hits: sh,
+            stats_misses: sm,
+            window_hits: wh,
+            window_misses: wm,
+            probe_hits: ph,
+            probe_misses: pm,
+            bytes_saved: saved,
+            insertions: 2,
+            evictions: 1,
+            resident_bytes: 500,
+        };
+        assert_eq!(a.stats_hit_rate(), 0.75);
+        assert_eq!(a.window_hit_rate(), 0.5, "probe hits must not pollute it");
+        assert_eq!(a.probe_hit_rate(), 1.0);
+        assert_eq!(a.hit_rate(), 6.0 / 8.0);
+        assert_eq!(CacheSnapshot::default().hit_rate(), 0.0);
+        let b = a.plus(&a);
+        assert_eq!(b.stats_hits, 6);
+        assert_eq!(b.probe_hits, 4);
+        assert_eq!(b.bytes_saved, 200);
+        assert_eq!(b.resident_bytes, 1000);
+        assert_eq!(b.hit_rate(), a.hit_rate());
     }
 
     #[test]

@@ -75,6 +75,12 @@ pub struct NetConfig {
     /// totals to a build without the extension; turning it on changes
     /// only the statistics traffic, never the join result.
     pub batched_stats: bool,
+    /// Client-side semantic statistics/window cache in front of every
+    /// server or fleet (see [`crate::cache`]). **Off by default** — when
+    /// disabled no cache layer is constructed at all, so every wire byte
+    /// is identical to a build without the extension; turning it on never
+    /// changes join results, only deletes repeated traffic.
+    pub client_cache: crate::cache::CacheConfig,
 }
 
 impl Default for NetConfig {
@@ -84,6 +90,7 @@ impl Default for NetConfig {
             tariff_r: 1.0,
             tariff_s: 1.0,
             batched_stats: false,
+            client_cache: crate::cache::CacheConfig::default(),
         }
     }
 }
@@ -100,6 +107,19 @@ impl NetConfig {
     /// Enables batched `MultiCount` statistics on the device.
     pub fn with_batched_stats(mut self, on: bool) -> Self {
         self.batched_stats = on;
+        self
+    }
+
+    /// Enables the client-side statistics/window cache on the device.
+    pub fn with_client_cache(mut self, on: bool) -> Self {
+        self.client_cache.enabled = on;
+        self
+    }
+
+    /// Sets the window tier's byte budget (implies nothing about
+    /// `enabled`).
+    pub fn with_cache_budget(mut self, bytes: u64) -> Self {
+        self.client_cache.window_budget_bytes = bytes;
         self
     }
 }
@@ -162,5 +182,16 @@ mod tests {
         assert!(!NetConfig::default().batched_stats);
         assert!(!NetConfig::dialup().batched_stats);
         assert!(NetConfig::default().with_batched_stats(true).batched_stats);
+    }
+
+    #[test]
+    fn client_cache_defaults_off() {
+        assert!(!NetConfig::default().client_cache.enabled);
+        assert!(!NetConfig::dialup().client_cache.enabled);
+        let on = NetConfig::default()
+            .with_client_cache(true)
+            .with_cache_budget(1024);
+        assert!(on.client_cache.enabled);
+        assert_eq!(on.client_cache.window_budget_bytes, 1024);
     }
 }

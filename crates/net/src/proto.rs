@@ -95,6 +95,18 @@ pub enum Response {
 }
 
 impl Response {
+    /// Spatial objects this answer carries — what the meters charge as
+    /// "objects received". The single source of truth for that count:
+    /// every metering site (plain link, shard router, cache layer) must
+    /// agree, or the differential byte-identity suites diverge.
+    pub fn object_count(&self) -> u64 {
+        match self {
+            Response::Objects(v) => v.len() as u64,
+            Response::Buckets(b) => b.iter().map(|x| x.len() as u64).sum(),
+            _ => 0,
+        }
+    }
+
     /// Unwraps an object list, panicking on protocol mismatch — server
     /// implementations in this repo are type-correct by construction, so a
     /// mismatch is a bug, not a runtime condition.

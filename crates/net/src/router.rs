@@ -190,11 +190,7 @@ impl ShardRouter {
     }
 
     fn record_response(&self, shard: usize, payload: u64, resp: &Response, aggregate: bool) {
-        let objects = match resp {
-            Response::Objects(v) => v.len() as u64,
-            Response::Buckets(b) => b.iter().map(|x| x.len() as u64).sum(),
-            _ => 0,
-        };
+        let objects = resp.object_count();
         self.telemetry.meters[shard].record_response(payload, objects, &self.packet, aggregate);
         self.aggregate
             .record_response(payload, objects, &self.packet, aggregate);
@@ -595,14 +591,14 @@ mod tests {
         let l = link(two_shard_router());
         // Window touching only the left shard.
         let w = Rect::from_coords(0.0, -1.0, 5.0, 1.0);
-        assert_eq!(l.request(Request::Count(w)).into_count(), 6);
+        assert_eq!(l.request(&Request::Count(w)).into_count(), 6);
         let fleet = l.fleet().unwrap().snapshot();
         assert_eq!(fleet.scattered, 1, "only the left shard was asked");
         assert_eq!(fleet.pruned, 1);
         assert_eq!(fleet.per_shard[1], LinkSnapshot::default());
         // Both shards.
         let all = Rect::from_coords(-1.0, -1.0, 200.0, 1.0);
-        assert_eq!(l.request(Request::Count(all)).into_count(), 20);
+        assert_eq!(l.request(&Request::Count(all)).into_count(), 20);
         // Aggregate meter equals the per-shard sum.
         let fleet = l.fleet().unwrap().snapshot();
         assert_eq!(fleet.summed(), l.meter().snapshot());
@@ -612,7 +608,7 @@ mod tests {
     fn window_merges_in_shard_order() {
         let l = link(two_shard_router());
         let all = Rect::from_coords(-1.0, -1.0, 200.0, 1.0);
-        let objs = l.request(Request::Window(all)).into_objects();
+        let objs = l.request(&Request::Window(all)).into_objects();
         assert_eq!(objs.len(), 20);
         let ids: Vec<u32> = objs.iter().map(|o| o.id).collect();
         assert_eq!(&ids[..3], &[0, 1, 2], "left shard first");
@@ -627,7 +623,7 @@ mod tests {
         let both = Rect::from_coords(-1.0, -1.0, 200.0, 1.0); // 20 points
         let nowhere = Rect::from_coords(40.0, 40.0, 50.0, 50.0);
         let counts = l
-            .request(Request::MultiCount(vec![left, right, both, nowhere]))
+            .request(&Request::MultiCount(vec![left, right, both, nowhere]))
             .into_counts();
         assert_eq!(counts, vec![4, 2, 20, 0]);
         let fleet = l.fleet().unwrap().snapshot();
@@ -642,9 +638,9 @@ mod tests {
     fn all_pruned_synthesizes_empty_answers_for_free() {
         let l = link(two_shard_router());
         let nowhere = Rect::from_coords(40.0, 40.0, 50.0, 50.0);
-        assert_eq!(l.request(Request::Count(nowhere)).into_count(), 0);
-        assert_eq!(l.request(Request::Window(nowhere)).into_objects(), vec![]);
-        assert_eq!(l.request(Request::AvgArea(nowhere)), Response::Area(0.0));
+        assert_eq!(l.request(&Request::Count(nowhere)).into_count(), 0);
+        assert_eq!(l.request(&Request::Window(nowhere)).into_objects(), vec![]);
+        assert_eq!(l.request(&Request::AvgArea(nowhere)), Response::Area(0.0));
         let s = l.meter().snapshot();
         assert_eq!(s.total_bytes(), 0, "pruned queries cost nothing");
         // Count 2 + Window 2 + AvgArea 4 (its COUNT round prunes both
@@ -657,11 +653,13 @@ mod tests {
         let l = link(two_shard_router());
         let q = Rect::point(Point::new(11.0, 0.0));
         // eps 2.5: reaches only the left shard (x ≤ 9 + 2.5 window).
-        let near = l.request(Request::EpsRange { q, eps: 2.5 }).into_objects();
+        let near = l.request(&Request::EpsRange { q, eps: 2.5 }).into_objects();
         assert_eq!(near.len(), 1, "only the point at x=9");
         assert_eq!(l.fleet().unwrap().snapshot().scattered, 1);
         // eps 95: reaches both shards (left fully, right up to x = 106).
-        let far = l.request(Request::EpsRange { q, eps: 95.0 }).into_objects();
+        let far = l
+            .request(&Request::EpsRange { q, eps: 95.0 })
+            .into_objects();
         assert_eq!(far.len(), 17);
     }
 
@@ -674,7 +672,7 @@ mod tests {
             SpatialObject::point(902, 50.0, 0.0),  // neither
         ];
         let buckets = l
-            .request(Request::BucketEpsRange { probes, eps: 1.5 })
+            .request(&Request::BucketEpsRange { probes, eps: 1.5 })
             .into_buckets();
         assert_eq!(buckets.len(), 3);
         assert_eq!(buckets[0].len(), 3); // x ∈ {4,5,6}
@@ -707,7 +705,7 @@ mod tests {
             PacketModel::default(),
         ));
         let w = Rect::from_coords(-1.0, -1.0, 200.0, 10.0);
-        match l.request(Request::AvgArea(w)) {
+        match l.request(&Request::AvgArea(w)) {
             Response::Area(a) => assert_eq!(a, 1.75),
             other => panic!("expected Area, got {other:?}"),
         }
@@ -717,9 +715,9 @@ mod tests {
     fn refused_propagates_from_any_shard() {
         let l = link(two_shard_router());
         // Scan refuses cooperative queries; the fleet must too.
-        assert_eq!(l.request(Request::CoopLevelMbrs(0)), Response::Refused);
+        assert_eq!(l.request(&Request::CoopLevelMbrs(0)), Response::Refused);
         assert_eq!(
-            l.request(Request::CoopJoinPush {
+            l.request(&Request::CoopJoinPush {
                 objects: vec![SpatialObject::point(1, 5.0, 0.0)],
                 eps: 1.0,
             }),
@@ -744,12 +742,12 @@ mod tests {
             Rect::from_coords(50.0, 50.0, 60.0, 60.0),
         ] {
             assert_eq!(
-                flat.request(Request::Count(w)).into_count(),
-                routed.request(Request::Count(w)).into_count()
+                flat.request(&Request::Count(w)).into_count(),
+                routed.request(&Request::Count(w)).into_count()
             );
             assert_eq!(
-                flat.request(Request::Window(w)).into_objects(),
-                routed.request(Request::Window(w)).into_objects()
+                flat.request(&Request::Window(w)).into_objects(),
+                routed.request(&Request::Window(w)).into_objects()
             );
         }
         assert_eq!(flat.meter().snapshot(), routed.meter().snapshot());

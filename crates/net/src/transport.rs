@@ -166,12 +166,16 @@ pub struct Link {
     packet: PacketModel,
     /// Per-byte tariff of this link (`bR` or `bS`).
     tariff: f64,
-    /// `true` when the carrier meters physical traffic itself (the shard
-    /// router records every per-shard exchange): `request` must not
-    /// re-record the logical message on top.
+    /// `true` when the carrier meters physical traffic itself (a shard
+    /// router records every per-shard exchange; a cache layer records
+    /// only the exchanges that miss): `request` must not re-record the
+    /// logical message on top.
     premetered: bool,
-    /// Per-shard accounting when the carrier is a shard router.
+    /// Per-shard accounting when the carrier is (or fronts) a shard
+    /// router.
     fleet: Option<Arc<crate::router::ShardTelemetry>>,
+    /// Cache accounting when the carrier is a cache layer.
+    cache: Option<crate::cache::CacheView>,
 }
 
 impl Link {
@@ -184,6 +188,7 @@ impl Link {
             tariff,
             premetered: false,
             fleet: None,
+            cache: None,
         }
     }
 
@@ -200,6 +205,23 @@ impl Link {
             carrier: Box::new(router),
             tariff,
             premetered: true,
+            cache: None,
+        }
+    }
+
+    /// A link through a client-side cache (which may itself front a shard
+    /// fleet): the layer meters only the exchanges that actually reach
+    /// the server — a cache hit is not a message — so the link records
+    /// nothing on top, exactly like a routed link.
+    pub fn cached(layer: crate::cache::CacheLayer, tariff: f64) -> Self {
+        Link {
+            meter: Arc::clone(layer.meter()),
+            fleet: layer.fleet().cloned(),
+            cache: Some(layer.view()),
+            packet: layer.packet(),
+            carrier: Box::new(layer),
+            tariff,
+            premetered: true,
         }
     }
 
@@ -213,25 +235,22 @@ impl Link {
     }
 
     /// Issues one RPC, metering both directions (unless the carrier is a
-    /// shard router, which meters each physical exchange itself).
-    pub fn request(&self, req: Request) -> Response {
+    /// shard router or cache layer, which meters each physical exchange
+    /// itself). Takes the request by reference — framing a request never
+    /// requires surrendering (or cloning) its payload.
+    pub fn request(&self, req: &Request) -> Response {
         let aggregate = req.is_aggregate();
-        let encoded = encode_request(&req);
+        let encoded = encode_request(req);
         if !self.premetered {
             self.meter
-                .record_request(&req, encoded.len() as u64, &self.packet);
+                .record_request(req, encoded.len() as u64, &self.packet);
         }
         let raw = self.carrier.exchange(encoded);
         let len = raw.len() as u64;
         let resp = decode_response(raw).expect("malformed response");
         if !self.premetered {
-            let objects = match &resp {
-                Response::Objects(v) => v.len() as u64,
-                Response::Buckets(b) => b.iter().map(|x| x.len() as u64).sum(),
-                _ => 0,
-            };
             self.meter
-                .record_response(len, objects, &self.packet, aggregate);
+                .record_response(len, resp.object_count(), &self.packet, aggregate);
         }
         resp
     }
@@ -246,6 +265,12 @@ impl Link {
     /// plain single-server link.
     pub fn fleet(&self) -> Option<&Arc<crate::router::ShardTelemetry>> {
         self.fleet.as_ref()
+    }
+
+    /// Cache accounting when this link runs through a client-side cache;
+    /// `None` otherwise.
+    pub fn cache(&self) -> Option<&crate::cache::CacheView> {
+        self.cache.as_ref()
     }
 
     /// The link's packet model.
@@ -292,8 +317,8 @@ mod tests {
     #[test]
     fn in_process_roundtrip_and_metering() {
         let link = Link::in_process(Arc::new(Fixed), PacketModel::default(), 1.0);
-        assert_eq!(link.request(Request::Count(w())).into_count(), 7);
-        assert_eq!(link.request(Request::Window(w())).into_objects().len(), 2);
+        assert_eq!(link.request(&Request::Count(w())).into_count(), 7);
+        assert_eq!(link.request(&Request::Window(w())).into_objects().len(), 2);
 
         let s = link.meter().snapshot();
         assert_eq!(s.count_queries, 1);
@@ -312,13 +337,13 @@ mod tests {
     #[test]
     fn channel_server_roundtrip_matches_in_process_bytes() {
         let inproc = Link::in_process(Arc::new(Fixed), PacketModel::default(), 1.0);
-        inproc.request(Request::Count(w()));
-        inproc.request(Request::Window(w()));
+        inproc.request(&Request::Count(w()));
+        inproc.request(&Request::Window(w()));
 
         let (server, handle) = ChannelServer::spawn(Arc::new(Fixed), "test");
         let remote = Link::new(Box::new(handle.connect()), PacketModel::default(), 1.0);
-        remote.request(Request::Count(w()));
-        remote.request(Request::Window(w()));
+        remote.request(&Request::Count(w()));
+        remote.request(&Request::Window(w()));
 
         assert_eq!(
             inproc.meter().snapshot().total_bytes(),
@@ -351,7 +376,7 @@ mod tests {
     #[test]
     fn tariff_scales_cost() {
         let link = Link::in_process(Arc::new(Fixed), PacketModel::default(), 2.5);
-        link.request(Request::Count(w()));
+        link.request(&Request::Count(w()));
         let s = link.meter().snapshot();
         assert_eq!(link.cost(), 2.5 * s.total_bytes() as f64);
     }
@@ -359,7 +384,7 @@ mod tests {
     #[test]
     fn refused_for_unknown() {
         let link = Link::in_process(Arc::new(Fixed), PacketModel::default(), 1.0);
-        let r = link.request(Request::CoopLevelMbrs(0));
+        let r = link.request(&Request::CoopLevelMbrs(0));
         assert_eq!(r, Response::Refused);
     }
 }

@@ -1,0 +1,131 @@
+//! Property tests for the cache's containment index: for random
+//! window/query workloads, locally-filtered answers from a cached
+//! superset window must equal a fresh server download (dedup-normalized),
+//! including ε/2-extension derivations and degenerate (point) rectangles.
+
+use std::sync::Arc;
+
+use asj_geom::{Point, Rect, SpatialObject};
+use asj_net::cache::{CacheLayer, ClientCache};
+use asj_net::testutil::ScanHandler as Scan;
+use asj_net::transport::InProcExchange;
+use asj_net::{Link, PacketModel, Request};
+use proptest::prelude::*;
+
+/// f32-representable coordinates on a coarse grid, so random rectangles
+/// overlap, nest and share edges often.
+fn coord() -> impl Strategy<Value = f64> {
+    (-16i32..=16).prop_map(|v| (v as f32 * 0.5) as f64)
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (coord(), coord(), coord(), coord())
+        .prop_map(|(a, b, c, d)| Rect::new(Point::new(a, b), Point::new(c, d)))
+}
+
+fn object() -> impl Strategy<Value = SpatialObject> {
+    (0u32..1000, rect()).prop_map(|(id, r)| SpatialObject::new(id, r))
+}
+
+fn eps() -> impl Strategy<Value = f64> {
+    (0u32..16).prop_map(|v| (v as f32 * 0.25) as f64)
+}
+
+/// How a query window is derived from a base rectangle — designed to
+/// produce containment relations against earlier queries.
+#[derive(Debug, Clone, Copy)]
+enum Derive {
+    /// The base rectangle itself.
+    Identity,
+    /// Grown by ε/2 on every side (the executor's window extension).
+    ExtendHalfEps,
+    /// Shrunk by ε/2 (clamps to the center point when too small).
+    ShrinkHalfEps,
+    /// Collapsed to its center — a degenerate rectangle.
+    Degenerate,
+}
+
+fn derive() -> impl Strategy<Value = Derive> {
+    prop_oneof![
+        Just(Derive::Identity),
+        Just(Derive::ExtendHalfEps),
+        Just(Derive::ShrinkHalfEps),
+        Just(Derive::Degenerate),
+    ]
+}
+
+fn apply(base: &Rect, how: Derive, eps: f64) -> Rect {
+    match how {
+        Derive::Identity => *base,
+        Derive::ExtendHalfEps => base.expand(eps * 0.5),
+        Derive::ShrinkHalfEps => base.expand(-eps * 0.5),
+        Derive::Degenerate => Rect::point(base.center()),
+    }
+}
+
+/// One query against both links: 0 = WINDOW, 1 = COUNT, 2 = ε-RANGE,
+/// 3 = MultiCount over every base window derived the same way.
+type Op = (u8, usize, Derive, f64);
+
+fn op(bases: usize) -> impl Strategy<Value = Op> {
+    (0u8..4, 0..bases, derive(), eps())
+}
+
+fn ids(mut objects: Vec<SpatialObject>) -> Vec<u32> {
+    objects.sort_unstable_by_key(|o| o.id);
+    objects.dedup_by_key(|o| o.id);
+    objects.into_iter().map(|o| o.id).collect()
+}
+
+proptest! {
+    #[test]
+    fn cached_answers_equal_fresh_downloads(
+        objects in prop::collection::vec(object(), 0..60),
+        bases in prop::collection::vec(rect(), 1..8),
+        ops in prop::collection::vec(op(8), 1..30),
+        budget in prop_oneof![Just(400u64), Just(4_000u64), Just(1u64 << 20)],
+    ) {
+        let cached = Link::cached(
+            CacheLayer::new(
+                Box::new(InProcExchange::new(Arc::new(Scan(objects.clone())))),
+                PacketModel::default(),
+                Arc::new(ClientCache::new(budget)),
+            ),
+            1.0,
+        );
+        let plain = Link::in_process(Arc::new(Scan(objects)), PacketModel::default(), 1.0);
+        for &(kind, base, how, e) in &ops {
+            let w = apply(&bases[base % bases.len()], how, e);
+            match kind {
+                0 => {
+                    let got = cached.request(&Request::Window(w)).into_objects();
+                    let want = plain.request(&Request::Window(w)).into_objects();
+                    prop_assert_eq!(ids(got), ids(want), "WINDOW({:?})", w);
+                }
+                1 => prop_assert_eq!(
+                    cached.request(&Request::Count(w)).into_count(),
+                    plain.request(&Request::Count(w)).into_count(),
+                    "COUNT({:?})", w
+                ),
+                2 => {
+                    let got = cached.request(&Request::EpsRange { q: w, eps: e }).into_objects();
+                    let want = plain.request(&Request::EpsRange { q: w, eps: e }).into_objects();
+                    prop_assert_eq!(ids(got), ids(want), "EPS({:?}, {})", w, e);
+                }
+                _ => {
+                    let windows: Vec<Rect> =
+                        bases.iter().map(|b| apply(b, how, e)).collect();
+                    prop_assert_eq!(
+                        cached.request(&Request::MultiCount(windows.clone())).into_counts(),
+                        plain.request(&Request::MultiCount(windows)).into_counts(),
+                        "MULTI({:?}, {:?})", how, e
+                    );
+                }
+            }
+        }
+        // The cache may only ever delete traffic.
+        prop_assert!(
+            cached.meter().snapshot().total_bytes() <= plain.meter().snapshot().total_bytes()
+        );
+    }
+}

@@ -64,7 +64,7 @@ fn main() {
         .map(|&id| SpatialObject::new(id, restaurant_mbr[&id]))
         .collect();
     let buckets = metro_link
-        .request(Request::BucketEpsRange {
+        .request(&Request::BucketEpsRange {
             probes: probes.clone(),
             eps: 300.0,
         })

@@ -12,7 +12,8 @@
 //!   plane sweep);
 //! * [`rtree`] — from-scratch aggregate R-tree (server indexes, SemiJoin);
 //! * [`net`] — the simulated wireless link: MTU/TCP packet cost model,
-//!   wire codec, metered transports;
+//!   wire codec, metered transports, the scatter-gather shard router and
+//!   the client-side statistics/window cache;
 //! * [`server`] — the two remote spatial services;
 //! * [`device`] — the PDA runtime: bounded buffer, HBSJ/NLSJ physical
 //!   operators;

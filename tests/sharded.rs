@@ -222,12 +222,12 @@ fn threaded_fleet_conserves_meter_accounting_under_stress() {
                         b * 8000.0 + 2500.0,
                     );
                     assert_eq!(
-                        link_r.request(Request::Count(w)).into_count(),
+                        link_r.request(&Request::Count(w)).into_count(),
                         oracle_r.count(&w),
                         "fleet COUNT diverged under concurrency"
                     );
                     let mut got: Vec<u32> = link_s
-                        .request(Request::Window(w))
+                        .request(&Request::Window(w))
                         .into_objects()
                         .iter()
                         .map(|o| o.id)
@@ -237,7 +237,7 @@ fn threaded_fleet_conserves_meter_accounting_under_stress() {
                     want.sort_unstable();
                     assert_eq!(got, want, "fleet WINDOW diverged under concurrency");
                     let counts = link_r
-                        .request(Request::MultiCount(vec![w, space]))
+                        .request(&Request::MultiCount(vec![w, space]))
                         .into_counts();
                     assert_eq!(counts[0], oracle_r.count(&w));
                     assert_eq!(counts[1], oracle_r.count(&space));
@@ -298,7 +298,7 @@ fn router_avg_area_matches_flat_weighted() {
         .build();
     let expected = {
         let (link, _) = flat.connect();
-        match link.request(Request::AvgArea(default_space())) {
+        match link.request(&Request::AvgArea(default_space())) {
             Response::Area(a) => a,
             other => panic!("expected Area, got {other:?}"),
         }
@@ -311,7 +311,7 @@ fn router_avg_area_matches_flat_weighted() {
             .with_shards(n, 1)
             .build();
         let (link, _) = fleet.connect();
-        match link.request(Request::AvgArea(default_space())) {
+        match link.request(&Request::AvgArea(default_space())) {
             Response::Area(a) => assert_eq!(
                 a, expected,
                 "router avg-area must equal flat at N={n} (count-weighted merge)"
@@ -320,7 +320,7 @@ fn router_avg_area_matches_flat_weighted() {
         }
         // A window matching only the left cluster averages to exactly 1.
         let left = Rect::from_coords(0.0, 0.0, 2000.0, 2000.0);
-        match link.request(Request::AvgArea(left)) {
+        match link.request(&Request::AvgArea(left)) {
             Response::Area(a) => assert_eq!(a, 1.0),
             other => panic!("expected Area, got {other:?}"),
         }
@@ -345,8 +345,8 @@ fn fleet_level_mbrs_concatenate_per_shard_forests() {
         .build();
     let (fl, _) = flat.connect();
     let (sl, _) = fleet.connect();
-    let flat_leaves = fl.request(Request::CoopLevelMbrs(0)).into_rects();
-    let fleet_leaves = sl.request(Request::CoopLevelMbrs(0)).into_rects();
+    let flat_leaves = fl.request(&Request::CoopLevelMbrs(0)).into_rects();
+    let fleet_leaves = sl.request(&Request::CoopLevelMbrs(0)).into_rects();
     assert!(!fleet_leaves.is_empty());
     // Four smaller R-trees publish at least as many leaf MBRs as one big
     // tree over the same data, and every object is under some leaf in
