@@ -100,7 +100,11 @@ struct InProcDyn(Arc<dyn QueryHandler>);
 impl asj_net::RawExchange for InProcDyn {
     fn exchange(&self, request: bytes::Bytes) -> bytes::Bytes {
         let req = asj_net::codec::decode_request(request).expect("malformed request");
-        asj_net::codec::encode_response(&self.0.handle(req))
+        // Zero-copy serving: the handler streams its answer straight into
+        // the reply buffer (see `SpatialService::handle_into`).
+        let mut buf = bytes::BytesMut::new();
+        self.0.handle_into(req, &mut buf);
+        buf.freeze()
     }
 }
 
@@ -179,6 +183,19 @@ impl Deployment {
     /// Network configuration.
     pub fn net(&self) -> &NetConfig {
         &self.net
+    }
+
+    /// The resolved device join-kernel worker count:
+    /// [`NetConfig::sweep_workers`], with `0` mapped to the machine's
+    /// available parallelism. Results are identical at every value — the
+    /// knob only moves wall-clock time.
+    pub fn sweep_workers(&self) -> usize {
+        match self.net.sweep_workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
     }
 
     /// `true` when the servers were built with the cooperative extension
@@ -268,6 +285,16 @@ impl DeploymentBuilder {
     /// back-to-back against it form a session that reuses downloads.
     pub fn with_client_cache(mut self, on: bool) -> Self {
         self.net = self.net.with_client_cache(on);
+        self
+    }
+
+    /// Device join-kernel worker count — shorthand for setting
+    /// [`NetConfig::sweep_workers`] (`0` = auto, `1` = serial). The
+    /// parallel kernels are differentially proven result- and
+    /// byte-identical to the serial ones, so this knob only trades
+    /// wall-clock time.
+    pub fn with_sweep_workers(mut self, workers: usize) -> Self {
+        self.net = self.net.with_sweep_workers(workers);
         self
     }
 

@@ -109,6 +109,11 @@ pub struct ExecCtx<'a> {
     pub stats: ExecStats,
     max_depth: u32,
     min_window: f64,
+    /// Resolved worker count for the in-memory join kernels (the
+    /// deployment's [`NetConfig::sweep_workers`](asj_net::NetConfig) with
+    /// `0` mapped to available parallelism). Result-identical at every
+    /// value.
+    sweep_workers: usize,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -135,6 +140,7 @@ impl<'a> ExecCtx<'a> {
             stats: ExecStats::default(),
             max_depth: 24,
             min_window,
+            sweep_workers: deployment.sweep_workers(),
         }
     }
 
@@ -385,12 +391,13 @@ impl<'a> ExecCtx<'a> {
         }
         let s_objs = self.download(Side::S, w);
         let s_hold = self.buffer.reserve(s_objs.len())?;
-        memjoin::grid_hash_join(
+        memjoin::grid_hash_join_with_workers(
             &r_objs,
             &s_objs,
             &self.spec.predicate,
             w,
             &self.space,
+            self.sweep_workers,
             &mut self.out,
         );
         drop(s_hold);

@@ -15,9 +15,32 @@
 //! across windows) extends seamlessly into the in-memory subdivision.
 
 use asj_geom::grid::owns_reference_point;
-use asj_geom::{pair_reference_point, plane_sweep_pairs, Grid, JoinPredicate, Rect, SpatialObject};
+use asj_geom::{
+    pair_reference_point, plane_sweep_filtered_parallel, plane_sweep_pairs, Grid, JoinPredicate,
+    Rect, SpatialObject,
+};
 
 use crate::collect::ResultCollector;
+
+/// Input size (|R| + |S|) below which the parallel kernels fall back to the
+/// serial sweep: thread spawn overhead exceeds the win on small windows.
+pub const PARALLEL_JOIN_THRESHOLD: usize = 4096;
+
+/// The exactly-once discipline of every kernel in this module: a pair
+/// counts for `report_cell` iff its reference point falls in the cell
+/// (w.r.t. the global `space`). One definition shared by the serial and
+/// parallel branches — it must never fork, or parallel output would
+/// diverge from serial only above the threshold.
+#[inline]
+fn owns_pair(
+    pred: &JoinPredicate,
+    report_cell: &Rect,
+    space: &Rect,
+    a: &SpatialObject,
+    b: &SpatialObject,
+) -> bool {
+    pair_reference_point(a, b, pred).is_some_and(|p| owns_reference_point(report_cell, space, &p))
+}
 
 /// Plane-sweep join of `r × s`, reporting into `out` only the pairs whose
 /// reference point lies in `report_cell` (w.r.t. the global `space`).
@@ -29,13 +52,35 @@ pub fn sweep_join_into(
     space: &Rect,
     out: &mut ResultCollector,
 ) {
-    plane_sweep_pairs(r, s, pred, |a, b| {
-        if let Some(p) = pair_reference_point(a, b, pred) {
-            if owns_reference_point(report_cell, space, &p) {
+    sweep_join_into_with_workers(r, s, pred, report_cell, space, 1, out);
+}
+
+/// [`sweep_join_into`] with a worker-count knob: inputs at or above
+/// [`PARALLEL_JOIN_THRESHOLD`] run the partitioned parallel sweep on
+/// `workers` scoped threads. Output is identical (same pairs, same order)
+/// at every worker count — the reference-point filter is pure, so it moves
+/// onto the workers unchanged.
+pub fn sweep_join_into_with_workers(
+    r: &[SpatialObject],
+    s: &[SpatialObject],
+    pred: &JoinPredicate,
+    report_cell: &Rect,
+    space: &Rect,
+    workers: usize,
+    out: &mut ResultCollector,
+) {
+    let owns = |a: &SpatialObject, b: &SpatialObject| owns_pair(pred, report_cell, space, a, b);
+    if workers > 1 && r.len() + s.len() >= PARALLEL_JOIN_THRESHOLD {
+        for (a, b) in plane_sweep_filtered_parallel(r, s, pred, workers, owns) {
+            out.push(a, b);
+        }
+    } else {
+        plane_sweep_pairs(r, s, pred, |a, b| {
+            if owns(a, b) {
                 out.push(a.id, b.id);
             }
-        }
-    });
+        });
+    }
 }
 
 /// PBSM-style grid-hash join over `report_cell`.
@@ -53,6 +98,23 @@ pub fn grid_hash_join(
     space: &Rect,
     out: &mut ResultCollector,
 ) {
+    grid_hash_join_with_workers(r, s, pred, report_cell, space, 1, out);
+}
+
+/// [`grid_hash_join`] with a worker-count knob: at or above
+/// [`PARALLEL_JOIN_THRESHOLD`] the per-cell sweeps fan out over `workers`
+/// scoped threads (contiguous cell ranges per worker; per-cell outputs are
+/// appended in cell order), so the result is identical — same pairs, same
+/// order — at every worker count.
+pub fn grid_hash_join_with_workers(
+    r: &[SpatialObject],
+    s: &[SpatialObject],
+    pred: &JoinPredicate,
+    report_cell: &Rect,
+    space: &Rect,
+    workers: usize,
+    out: &mut ResultCollector,
+) {
     if r.is_empty() || s.is_empty() {
         return;
     }
@@ -60,7 +122,7 @@ pub fn grid_hash_join(
     // ~32 objects per cell; clamp to a sane grid.
     let g = (((n as f64) / 32.0).sqrt().ceil() as u32).clamp(1, 256);
     if g == 1 || report_cell.area() == 0.0 {
-        sweep_join_into(r, s, pred, report_cell, space, out);
+        sweep_join_into_with_workers(r, s, pred, report_cell, space, workers, out);
         return;
     }
     let grid = Grid::square(*report_cell, g);
@@ -77,12 +139,22 @@ pub fn grid_hash_join(
     let mut r_buckets: Vec<Vec<SpatialObject>> = vec![Vec::new(); cells];
     let mut s_buckets: Vec<Vec<SpatialObject>> = vec![Vec::new(); cells];
 
+    // Hash via `Grid::covering` index ranges — O(covered cells) per object
+    // instead of scanning all g² cells, the same range-insert build the
+    // grid *store* uses. The per-cell intersection re-check keeps bucket
+    // contents (and order) identical to a full scan, which the
+    // `covering_hash_matches_full_scan` test pins.
     let hash = |objs: &[SpatialObject], buckets: &mut Vec<Vec<SpatialObject>>| {
         for o in objs {
             let probe = o.mbr.expand(ext);
-            for (idx, cell) in grid.cells().enumerate() {
-                if cell.intersects(&probe) {
-                    buckets[idx].push(*o);
+            let Some((is, js)) = grid.covering(&probe) else {
+                continue;
+            };
+            for j in js {
+                for i in is.clone() {
+                    if grid.cell(i, j).intersects(&probe) {
+                        buckets[(j as usize) * g as usize + i as usize].push(*o);
+                    }
                 }
             }
         }
@@ -90,15 +162,53 @@ pub fn grid_hash_join(
     hash(r, &mut r_buckets);
     hash(s, &mut s_buckets);
 
-    for (idx, cell) in grid.cells().enumerate() {
-        let (rb, sb) = (&r_buckets[idx], &s_buckets[idx]);
-        if rb.is_empty() || sb.is_empty() {
-            continue;
+    // The cell must own the reference point *and* so must the caller's
+    // report_cell — cells tile report_cell, so owning w.r.t. the cell
+    // within `space` composes both conditions.
+    let live: Vec<(usize, Rect)> = grid
+        .cells()
+        .enumerate()
+        .filter(|(idx, _)| !r_buckets[*idx].is_empty() && !s_buckets[*idx].is_empty())
+        .collect();
+    if workers > 1 && n >= PARALLEL_JOIN_THRESHOLD && live.len() > 1 {
+        // Fan contiguous cell ranges across scoped threads; each worker
+        // collects its cells' pairs locally (cell sweeps are serial — the
+        // buckets are small by construction) and the main thread reports
+        // them in cell order, so the output matches the serial loop
+        // exactly and the collector's exactly-once discipline is kept.
+        let workers = workers.min(live.len());
+        let chunk = live.len().div_ceil(workers);
+        let (r_buckets, s_buckets) = (&r_buckets, &s_buckets);
+        let parts: Vec<Vec<(u32, u32)>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = live
+                .chunks(chunk)
+                .map(|cells| {
+                    scope.spawn(move |_| {
+                        let mut pairs = Vec::new();
+                        for &(idx, cell) in cells {
+                            plane_sweep_pairs(&r_buckets[idx], &s_buckets[idx], pred, |a, b| {
+                                if owns_pair(pred, &cell, space, a, b) {
+                                    pairs.push((a.id, b.id));
+                                }
+                            });
+                        }
+                        pairs
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cell-join worker panicked"))
+                .collect()
+        })
+        .expect("cell-join scope panicked");
+        for (a, b) in parts.into_iter().flatten() {
+            out.push(a, b);
         }
-        // The cell must own the reference point *and* so must the caller's
-        // report_cell — cells tile report_cell, so owning w.r.t. the cell
-        // within `space` composes both conditions.
-        sweep_join_into(rb, sb, pred, &cell, space, out);
+    } else {
+        for &(idx, cell) in &live {
+            sweep_join_into(&r_buckets[idx], &s_buckets[idx], pred, &cell, space, out);
+        }
     }
 }
 
@@ -221,6 +331,100 @@ mod tests {
         let mut got = per_quadrant.into_pairs();
         got.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn covering_hash_matches_full_scan() {
+        // The range-insert hash must fill every bucket with exactly the
+        // objects (in the same order) the old full-cell scan produced.
+        let cell = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let grid = Grid::square(cell, 9);
+        let objs = {
+            let mut v = cloud(400, 11, 0);
+            v.push(SpatialObject::new(
+                9_000,
+                Rect::from_coords(-5.0, 40.0, 120.0, 44.0), // spans a row, pokes outside
+            ));
+            v.push(SpatialObject::new(
+                9_001,
+                Rect::from_coords(200.0, 200.0, 210.0, 210.0),
+            ));
+            v
+        };
+        let ext = 3.0;
+        let mut fast: Vec<Vec<SpatialObject>> = vec![Vec::new(); grid.len()];
+        for o in &objs {
+            let probe = o.mbr.expand(ext);
+            let Some((is, js)) = grid.covering(&probe) else {
+                continue;
+            };
+            for j in js {
+                for i in is.clone() {
+                    if grid.cell(i, j).intersects(&probe) {
+                        fast[(j as usize) * 9 + i as usize].push(*o);
+                    }
+                }
+            }
+        }
+        let mut slow: Vec<Vec<SpatialObject>> = vec![Vec::new(); grid.len()];
+        for o in &objs {
+            let probe = o.mbr.expand(ext);
+            for (idx, c) in grid.cells().enumerate() {
+                if c.intersects(&probe) {
+                    slow[idx].push(*o);
+                }
+            }
+        }
+        assert_eq!(fast, slow);
+        assert!(fast.iter().any(|b| !b.is_empty()));
+    }
+
+    #[test]
+    fn workers_do_not_change_output_above_threshold() {
+        // 5 200 objects clears PARALLEL_JOIN_THRESHOLD, so workers > 1
+        // really engage the partitioned kernels; output must be identical
+        // — same pairs, same order — to the serial run for both the
+        // direct sweep and the celled grid-hash path.
+        let space = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let r = cloud(2600, 17, 0);
+        let s = cloud(2600, 29, 100_000);
+        assert!(r.len() + s.len() >= PARALLEL_JOIN_THRESHOLD);
+        let pred = JoinPredicate::WithinDistance(0.8);
+
+        let mut serial = ResultCollector::new();
+        grid_hash_join(&r, &s, &pred, &space, &space, &mut serial);
+        let serial = serial.into_pairs();
+        assert!(!serial.is_empty(), "non-vacuous");
+        for workers in [2, 4, 9] {
+            let mut par = ResultCollector::new();
+            grid_hash_join_with_workers(&r, &s, &pred, &space, &space, workers, &mut par);
+            assert_eq!(par.into_pairs(), serial, "grid-hash, workers={workers}");
+
+            let mut sweep_serial = ResultCollector::new();
+            sweep_join_into(&r, &s, &pred, &space, &space, &mut sweep_serial);
+            let mut sweep_par = ResultCollector::new();
+            sweep_join_into_with_workers(&r, &s, &pred, &space, &space, workers, &mut sweep_par);
+            assert_eq!(
+                sweep_par.into_pairs(),
+                sweep_serial.into_pairs(),
+                "direct sweep, workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn workers_knob_is_inert_below_threshold() {
+        // Small inputs fall back to the serial kernel; the knob must be a
+        // no-op on both output and the exactly-once discipline.
+        let space = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let r = cloud(120, 3, 0);
+        let s = cloud(120, 5, 10_000);
+        let pred = JoinPredicate::WithinDistance(4.0);
+        let mut a = ResultCollector::new();
+        grid_hash_join(&r, &s, &pred, &space, &space, &mut a);
+        let mut b = ResultCollector::new();
+        grid_hash_join_with_workers(&r, &s, &pred, &space, &space, 8, &mut b);
+        assert_eq!(a.into_pairs(), b.into_pairs());
     }
 
     #[test]

@@ -7,6 +7,25 @@
 //! while `min.x ≤ current.max.x + ε`, and surviving candidates are tested on
 //! the full predicate.
 //!
+//! Two implementation notes:
+//!
+//! * The sort operates on **packed `(f64 key, u32 idx)` pairs**, not bare
+//!   indices with an indirect comparator — both the sort and the forward
+//!   candidate scan read keys sequentially from a dense array instead of
+//!   chasing into the 40-byte object array, and ties break on the original
+//!   index so the order is a total order (deterministic even with
+//!   duplicated coordinates).
+//! * The sweep is expressed as a walk over the *merged head sequence* (both
+//!   sorted inputs merged by key, R before S on ties — exactly the order
+//!   the classic two-cursor loop processes heads in). That formulation
+//!   makes the kernel trivially partitionable: [`plane_sweep_join_parallel`]
+//!   splits the head sequence into contiguous x-spans, processes each on a
+//!   scoped thread (each worker reads past its span's right edge for
+//!   ε-overlap candidates — the seam), and concatenates the per-span
+//!   outputs in span order. The merged output is **identical — same pairs,
+//!   same order — to the serial kernel at every worker count**, which the
+//!   unit and property tests pin.
+//!
 //! Complexity `O(n log n + k)` for k tested candidate pairs — in contrast to
 //! the `O(n·m)` nested loop, which the benches in `asj-bench` quantify.
 
@@ -14,7 +33,7 @@ use crate::{JoinPredicate, ObjectId, SpatialObject};
 
 /// Computes all pairs `(r.id, s.id)` with `pred(r, s)` via plane sweep.
 ///
-/// Allocates two sorted index vectors; inputs are borrowed unsorted.
+/// Allocates two sorted key vectors; inputs are borrowed unsorted.
 pub fn plane_sweep_join(
     r: &[SpatialObject],
     s: &[SpatialObject],
@@ -38,40 +57,187 @@ pub fn plane_sweep_pairs<F: FnMut(&SpatialObject, &SpatialObject)>(
     if r.is_empty() || s.is_empty() {
         return;
     }
-    let eps = pred.epsilon();
-    // Sort indices, not objects: objects are 24 bytes and the borrow stays
-    // intact for the caller.
-    let mut ri: Vec<u32> = (0..r.len() as u32).collect();
-    let mut si: Vec<u32> = (0..s.len() as u32).collect();
-    ri.sort_unstable_by(|&a, &b| r[a as usize].mbr.min.x.total_cmp(&r[b as usize].mbr.min.x));
-    si.sort_unstable_by(|&a, &b| s[a as usize].mbr.min.x.total_cmp(&s[b as usize].mbr.min.x));
+    let rk = packed_keys(r);
+    let sk = packed_keys(s);
+    let heads = rk.len() + sk.len();
+    sweep_span(
+        Lane { objs: r, keys: &rk },
+        Lane { objs: s, keys: &sk },
+        pred,
+        Cursor { i: 0, j: 0, heads },
+        &mut emit,
+    );
+}
 
-    let mut i = 0usize; // cursor into ri
-    let mut j = 0usize; // cursor into si
-    while i < ri.len() && j < si.len() {
-        let ro = &r[ri[i] as usize];
-        let so = &s[si[j] as usize];
-        if ro.mbr.min.x <= so.mbr.min.x {
-            // ro is the sweep head: scan S forward while it can still be
-            // within eps on the x axis.
+/// Parallel plane sweep: identical output (same pairs, same order) to
+/// [`plane_sweep_join`] at every `workers` count, computed on `workers`
+/// scoped threads. `workers ≤ 1` runs the serial kernel.
+pub fn plane_sweep_join_parallel(
+    r: &[SpatialObject],
+    s: &[SpatialObject],
+    pred: &JoinPredicate,
+    workers: usize,
+) -> Vec<(ObjectId, ObjectId)> {
+    plane_sweep_filtered_parallel(r, s, pred, workers, |_, _| true)
+}
+
+/// Parallel plane sweep keeping only pairs accepted by `keep` — the hook
+/// the device kernels use for reference-point duplicate avoidance. The
+/// filter must be pure: it runs on worker threads and its verdict must not
+/// depend on call order, or the serial/parallel identity breaks.
+///
+/// Output is identical (same pairs, same order) to running
+/// [`plane_sweep_pairs`] with the same filter, at every worker count.
+pub fn plane_sweep_filtered_parallel<F>(
+    r: &[SpatialObject],
+    s: &[SpatialObject],
+    pred: &JoinPredicate,
+    workers: usize,
+    keep: F,
+) -> Vec<(ObjectId, ObjectId)>
+where
+    F: Fn(&SpatialObject, &SpatialObject) -> bool + Sync,
+{
+    if r.is_empty() || s.is_empty() {
+        return Vec::new();
+    }
+    let heads = r.len() + s.len();
+    let workers = workers.clamp(1, heads);
+    if workers == 1 {
+        let mut out = Vec::new();
+        plane_sweep_pairs(r, s, pred, |a, b| {
+            if keep(a, b) {
+                out.push((a.id, b.id));
+            }
+        });
+        return out;
+    }
+    let rk = packed_keys(r);
+    let sk = packed_keys(s);
+    // Span boundaries of the merged head sequence, with the (i, j) cursor
+    // state at each boundary recorded during one O(n + m) merge pass so
+    // every worker starts exactly where the serial sweep would stand.
+    let per_span = heads.div_ceil(workers);
+    let mut spans: Vec<(usize, usize, usize)> = Vec::with_capacity(workers); // (i, j, head_count)
+    {
+        let (mut i, mut j) = (0usize, 0usize);
+        for t in 0..heads {
+            if t % per_span == 0 {
+                spans.push((i, j, per_span.min(heads - t)));
+            }
+            if i < rk.len() && (j >= sk.len() || rk[i].0 <= sk[j].0) {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+    let keep = &keep;
+    let (rk, sk) = (&rk, &sk);
+    let parts: Vec<Vec<(ObjectId, ObjectId)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = spans
+            .iter()
+            .map(|&(i, j, heads)| {
+                scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    sweep_span(
+                        Lane { objs: r, keys: rk },
+                        Lane { objs: s, keys: sk },
+                        pred,
+                        Cursor { i, j, heads },
+                        &mut |a, b| {
+                            if keep(a, b) {
+                                out.push((a.id, b.id));
+                            }
+                        },
+                    );
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("sweep scope panicked");
+    parts.concat()
+}
+
+/// Packed sort keys `(min.x, original index)`, ordered by key then index —
+/// a total order, so duplicated coordinates cannot make the emission order
+/// depend on sort internals.
+fn packed_keys(objs: &[SpatialObject]) -> Vec<(f64, u32)> {
+    let mut keys: Vec<(f64, u32)> = objs
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (o.mbr.min.x, i as u32))
+        .collect();
+    keys.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    keys
+}
+
+/// One sweep input: the objects and their packed sort keys.
+#[derive(Clone, Copy)]
+struct Lane<'a> {
+    objs: &'a [SpatialObject],
+    keys: &'a [(f64, u32)],
+}
+
+/// A position in the merged head sequence: `i` / `j` heads of each lane
+/// already consumed, `heads` left to process.
+#[derive(Clone, Copy)]
+struct Cursor {
+    i: usize,
+    j: usize,
+    heads: usize,
+}
+
+/// Processes `cur.heads` consecutive heads of the merged sweep sequence,
+/// starting from cursor state `(cur.i, cur.j)`. Heads merge by key with R
+/// first on ties, matching the classic loop's `ro.min.x <= so.min.x`
+/// branch; a head past the other side's end scans an empty candidate
+/// slice, so a full walk (`i = j = 0`, `heads = n + m`) is exactly the
+/// serial kernel.
+fn sweep_span<F: FnMut(&SpatialObject, &SpatialObject)>(
+    r: Lane<'_>,
+    s: Lane<'_>,
+    pred: &JoinPredicate,
+    cur: Cursor,
+    emit: &mut F,
+) {
+    let eps = pred.epsilon();
+    let (r, rk) = (r.objs, r.keys);
+    let (s, sk) = (s.objs, s.keys);
+    let Cursor {
+        mut i,
+        mut j,
+        heads,
+    } = cur;
+    for _ in 0..heads {
+        if i < rk.len() && (j >= sk.len() || rk[i].0 <= sk[j].0) {
+            // An R head: scan S forward while it can still be within eps
+            // on the x axis.
+            let ro = &r[rk[i].1 as usize];
             let limit = ro.mbr.max.x + eps;
-            for &sj in &si[j..] {
-                let cand = &s[sj as usize];
-                if cand.mbr.min.x > limit {
+            for &(key, sj) in &sk[j..] {
+                if key > limit {
                     break;
                 }
+                let cand = &s[sj as usize];
                 if pred.matches(&ro.mbr, &cand.mbr) {
                     emit(ro, cand);
                 }
             }
             i += 1;
         } else {
+            let so = &s[sk[j].1 as usize];
             let limit = so.mbr.max.x + eps;
-            for &rj in &ri[i..] {
-                let cand = &r[rj as usize];
-                if cand.mbr.min.x > limit {
+            for &(key, rj) in &rk[i..] {
+                if key > limit {
                     break;
                 }
+                let cand = &r[rj as usize];
                 if pred.matches(&cand.mbr, &so.mbr) {
                     emit(cand, so);
                 }
@@ -118,6 +284,7 @@ mod tests {
         let pred = JoinPredicate::WithinDistance(1.0);
         assert!(plane_sweep_join(&[], &[pt(1, 0.0, 0.0)], &pred).is_empty());
         assert!(plane_sweep_join(&[pt(1, 0.0, 0.0)], &[], &pred).is_empty());
+        assert!(plane_sweep_join_parallel(&[], &[pt(1, 0.0, 0.0)], &pred, 4).is_empty());
     }
 
     #[test]
@@ -164,6 +331,59 @@ mod tests {
     }
 
     #[test]
+    fn parallel_output_identical_to_serial_every_worker_count() {
+        // Includes duplicated x coordinates so the seam and tie handling
+        // are both exercised; equality is on the full vector — same pairs
+        // in the same order, not just the same set.
+        let mut r = Vec::new();
+        let mut s = Vec::new();
+        for i in 0..150u32 {
+            let f = i as f64;
+            r.push(pt(i, (f * 7.3) % 13.0, (f * 3.1) % 11.0));
+            s.push(pt(1000 + i, (f * 5.7) % 13.0, (f * 2.9) % 11.0));
+            if i % 10 == 0 {
+                s.push(pt(2000 + i, (f * 7.3) % 13.0, (f * 2.9) % 11.0)); // shared min.x
+            }
+        }
+        for eps in [0.0, 0.5, 2.0, 20.0] {
+            let pred = JoinPredicate::WithinDistance(eps);
+            let serial = plane_sweep_join(&r, &s, &pred);
+            for workers in [1, 2, 3, 4, 7, 16, 1000] {
+                assert_eq!(
+                    plane_sweep_join_parallel(&r, &s, &pred, workers),
+                    serial,
+                    "eps={eps} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_filter_applies_identically() {
+        let r: Vec<_> = (0..80)
+            .map(|i| pt(i, (i as f64 * 3.7) % 10.0, 0.0))
+            .collect();
+        let s: Vec<_> = (0..80)
+            .map(|i| pt(i, (i as f64 * 2.3) % 10.0, 0.5))
+            .collect();
+        let pred = JoinPredicate::WithinDistance(1.5);
+        let keep = |a: &SpatialObject, b: &SpatialObject| (a.id + b.id) % 3 == 0;
+        let mut serial = Vec::new();
+        plane_sweep_pairs(&r, &s, &pred, |a, b| {
+            if keep(a, b) {
+                serial.push((a.id, b.id));
+            }
+        });
+        assert!(!serial.is_empty());
+        for workers in [2, 5] {
+            assert_eq!(
+                plane_sweep_filtered_parallel(&r, &s, &pred, workers, keep),
+                serial
+            );
+        }
+    }
+
+    #[test]
     fn duplicate_coordinates_handled() {
         let r = vec![pt(1, 1.0, 1.0), pt(2, 1.0, 1.0)];
         let s = vec![pt(7, 1.0, 1.0)];
@@ -171,6 +391,20 @@ mod tests {
         assert_eq!(
             sorted(plane_sweep_join(&r, &s, &pred)),
             vec![(1, 7), (2, 7)]
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_emit_in_input_order() {
+        // The packed keys break ties on the original index, so objects
+        // sharing min.x sweep in input order — pinned here so the order
+        // is a contract, not an accident of the sort.
+        let r = vec![pt(5, 2.0, 0.0), pt(3, 2.0, 1.0), pt(9, 2.0, 2.0)];
+        let s = vec![pt(1, 2.0, 0.0)];
+        let pred = JoinPredicate::WithinDistance(5.0);
+        assert_eq!(
+            plane_sweep_join(&r, &s, &pred),
+            vec![(5, 1), (3, 1), (9, 1)]
         );
     }
 

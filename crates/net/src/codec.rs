@@ -41,6 +41,26 @@ pub const MULTI_COUNT_HEADER_BYTES: u64 = 1 + 4;
 pub const COUNTS_HEADER_BYTES: u64 = 1 + 4;
 /// Wire size of one count inside a `Counts` response (u64).
 pub const COUNT_ENTRY_BYTES: u64 = 8;
+/// Wire size of a scalar `Area` response (opcode + f64).
+pub const AREA_BYTES: u64 = 1 + 8;
+/// Wire size of a `CoopLevelMbrs` request (opcode + u8 level).
+pub const COOP_LEVEL_REQ_BYTES: u64 = 1 + 1;
+/// Fixed overhead of a `CoopFilterByMbrs` request (opcode + f32 ε + u32 n);
+/// each MBR adds [`RECT_BYTES`].
+pub const COOP_FILTER_HEADER_BYTES: u64 = 1 + 4 + 4;
+/// Fixed overhead of a `CoopJoinPush` request (opcode + f32 ε + u32 n);
+/// each object adds [`OBJ_BYTES`].
+pub const COOP_JOIN_HEADER_BYTES: u64 = 1 + 4 + 4;
+/// Fixed overhead of a `Rects` response (opcode + u32 n); each rectangle
+/// adds [`RECT_BYTES`].
+pub const RECTS_HEADER_BYTES: u64 = 1 + 4;
+/// Fixed overhead of a `Pairs` response (opcode + u32 n); each pair adds
+/// [`PAIR_BYTES`].
+pub const PAIRS_HEADER_BYTES: u64 = 1 + 4;
+/// Wire size of one id pair inside a `Pairs` response (2 × u32).
+pub const PAIR_BYTES: u64 = 8;
+/// Wire size of a `Refused` response (opcode only).
+pub const REFUSED_BYTES: u64 = 1;
 
 /// Decoding failure: corrupt or truncated message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +108,50 @@ fn put_rect(buf: &mut BytesMut, r: &Rect) {
     buf.put_f32(r.max.y as f32);
 }
 
+/// Exact wire size of an encoded request, from the published constants —
+/// what [`encode_request_into`] reserves and debug-asserts against, so the
+/// cost-model constants can never drift from the real wire format.
+pub fn request_wire_bytes(req: &Request) -> u64 {
+    match req {
+        Request::Window(_) | Request::Count(_) | Request::AvgArea(_) => QUERY_BYTES,
+        Request::EpsRange { .. } => EPS_QUERY_BYTES,
+        Request::BucketEpsRange { probes, .. } => {
+            BUCKET_REQ_HEADER_BYTES + probes.len() as u64 * OBJ_BYTES
+        }
+        Request::MultiCount(windows) => {
+            MULTI_COUNT_HEADER_BYTES + windows.len() as u64 * RECT_BYTES
+        }
+        Request::CoopLevelMbrs(_) => COOP_LEVEL_REQ_BYTES,
+        Request::CoopFilterByMbrs { mbrs, .. } => {
+            COOP_FILTER_HEADER_BYTES + mbrs.len() as u64 * RECT_BYTES
+        }
+        Request::CoopJoinPush { objects, .. } => {
+            COOP_JOIN_HEADER_BYTES + objects.len() as u64 * OBJ_BYTES
+        }
+    }
+}
+
+/// Exact wire size of an encoded response, from the published constants —
+/// what [`encode_response_into`] reserves and debug-asserts against.
+pub fn response_wire_bytes(resp: &Response) -> u64 {
+    match resp {
+        Response::Objects(objs) => OBJECTS_HEADER_BYTES + objs.len() as u64 * OBJ_BYTES,
+        Response::Count(_) => ANSWER_BYTES,
+        Response::Counts(counts) => COUNTS_HEADER_BYTES + counts.len() as u64 * COUNT_ENTRY_BYTES,
+        Response::Area(_) => AREA_BYTES,
+        Response::Buckets(buckets) => {
+            OBJECTS_HEADER_BYTES
+                + buckets
+                    .iter()
+                    .map(|b| BUCKET_FRAME_BYTES + b.len() as u64 * OBJ_BYTES)
+                    .sum::<u64>()
+        }
+        Response::Rects(rects) => RECTS_HEADER_BYTES + rects.len() as u64 * RECT_BYTES,
+        Response::Pairs(pairs) => PAIRS_HEADER_BYTES + pairs.len() as u64 * PAIR_BYTES,
+        Response::Refused => REFUSED_BYTES,
+    }
+}
+
 fn get_rect(buf: &mut Bytes) -> Result<Rect, CodecError> {
     if buf.remaining() < 16 {
         return Err(CodecError::Truncated);
@@ -104,14 +168,7 @@ fn get_rect(buf: &mut Bytes) -> Result<Rect, CodecError> {
 
 fn put_object(buf: &mut BytesMut, o: &SpatialObject) {
     buf.put_u32(o.id);
-    put_rect_inline(buf, &o.mbr);
-}
-
-fn put_rect_inline(buf: &mut BytesMut, r: &Rect) {
-    buf.put_f32(r.min.x as f32);
-    buf.put_f32(r.min.y as f32);
-    buf.put_f32(r.max.x as f32);
-    buf.put_f32(r.max.y as f32);
+    put_rect(buf, &o.mbr);
 }
 
 fn get_object(buf: &mut Bytes) -> Result<SpatialObject, CodecError> {
@@ -139,19 +196,30 @@ fn get_f32(buf: &mut Bytes) -> Result<f32, CodecError> {
 
 /// Encodes a request.
 pub fn encode_request(req: &Request) -> Bytes {
-    let mut buf = BytesMut::with_capacity(32);
+    let mut buf = BytesMut::new();
+    encode_request_into(req, &mut buf);
+    buf.freeze()
+}
+
+/// Encodes a request by appending to `buf`, reserving the exact capacity
+/// [`request_wire_bytes`] publishes up front (one allocation at most) and
+/// debug-asserting the encoded length against it.
+pub fn encode_request_into(req: &Request, buf: &mut BytesMut) {
+    let expected = request_wire_bytes(req);
+    let start = buf.len();
+    buf.reserve(expected as usize);
     match req {
         Request::Window(w) => {
             buf.put_u8(op::WINDOW);
-            put_rect(&mut buf, w);
+            put_rect(buf, w);
         }
         Request::Count(w) => {
             buf.put_u8(op::COUNT);
-            put_rect(&mut buf, w);
+            put_rect(buf, w);
         }
         Request::EpsRange { q, eps } => {
             buf.put_u8(op::EPS_RANGE);
-            put_rect(&mut buf, q);
+            put_rect(buf, q);
             buf.put_f32(*eps as f32);
         }
         Request::BucketEpsRange { probes, eps } => {
@@ -159,18 +227,18 @@ pub fn encode_request(req: &Request) -> Bytes {
             buf.put_f32(*eps as f32);
             buf.put_u32(probes.len() as u32);
             for p in probes {
-                put_object(&mut buf, p);
+                put_object(buf, p);
             }
         }
         Request::AvgArea(w) => {
             buf.put_u8(op::AVG_AREA);
-            put_rect(&mut buf, w);
+            put_rect(buf, w);
         }
         Request::MultiCount(windows) => {
             buf.put_u8(op::MULTI_COUNT);
             buf.put_u32(windows.len() as u32);
             for w in windows {
-                put_rect(&mut buf, w);
+                put_rect(buf, w);
             }
         }
         Request::CoopLevelMbrs(level) => {
@@ -182,7 +250,7 @@ pub fn encode_request(req: &Request) -> Bytes {
             buf.put_f32(*eps as f32);
             buf.put_u32(mbrs.len() as u32);
             for m in mbrs {
-                put_rect(&mut buf, m);
+                put_rect(buf, m);
             }
         }
         Request::CoopJoinPush { objects, eps } => {
@@ -190,11 +258,15 @@ pub fn encode_request(req: &Request) -> Bytes {
             buf.put_f32(*eps as f32);
             buf.put_u32(objects.len() as u32);
             for o in objects {
-                put_object(&mut buf, o);
+                put_object(buf, o);
             }
         }
     }
-    buf.freeze()
+    debug_assert_eq!(
+        (buf.len() - start) as u64,
+        expected,
+        "request wire size diverged from the published constants"
+    );
 }
 
 /// Decodes a request.
@@ -259,13 +331,25 @@ pub fn decode_request(mut buf: Bytes) -> Result<Request, CodecError> {
 
 /// Encodes a response.
 pub fn encode_response(resp: &Response) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+    let mut buf = BytesMut::new();
+    encode_response_into(resp, &mut buf);
+    buf.freeze()
+}
+
+/// Encodes a response by appending to `buf`, reserving the exact capacity
+/// [`response_wire_bytes`] publishes up front (one allocation at most) and
+/// debug-asserting the encoded length against it. Servers call this with a
+/// reused buffer, so steady-state encoding allocates nothing.
+pub fn encode_response_into(resp: &Response, buf: &mut BytesMut) {
+    let expected = response_wire_bytes(resp);
+    let start = buf.len();
+    buf.reserve(expected as usize);
     match resp {
         Response::Objects(objs) => {
             buf.put_u8(op::R_OBJECTS);
             buf.put_u32(objs.len() as u32);
             for o in objs {
-                put_object(&mut buf, o);
+                put_object(buf, o);
             }
         }
         Response::Count(c) => {
@@ -289,7 +373,7 @@ pub fn encode_response(resp: &Response) -> Bytes {
             for b in buckets {
                 buf.put_u32(b.len() as u32);
                 for o in b {
-                    put_object(&mut buf, o);
+                    put_object(buf, o);
                 }
             }
         }
@@ -297,7 +381,7 @@ pub fn encode_response(resp: &Response) -> Bytes {
             buf.put_u8(op::R_RECTS);
             buf.put_u32(rects.len() as u32);
             for r in rects {
-                put_rect(&mut buf, r);
+                put_rect(buf, r);
             }
         }
         Response::Pairs(pairs) => {
@@ -312,7 +396,87 @@ pub fn encode_response(resp: &Response) -> Bytes {
             buf.put_u8(op::R_REFUSED);
         }
     }
-    buf.freeze()
+    debug_assert_eq!(
+        (buf.len() - start) as u64,
+        expected,
+        "response wire size diverged from the published constants"
+    );
+}
+
+/// Streaming encoder for an `Objects` response — the zero-copy serving
+/// path. The header and every object go **directly into the wire
+/// buffer**: no intermediate object `Vec`, no `Response`. Two modes:
+///
+/// * [`ObjectsEncoder::new`] — count unknown: a placeholder length prefix
+///   is written and **patched** on [`finish`](ObjectsEncoder::finish), so
+///   the store is traversed exactly once (a second counting pass would
+///   cost a scan-backed store as much as the query itself). Only the
+///   header is reserved; a reused server buffer grows to its high-water
+///   capacity once and never again.
+/// * [`ObjectsEncoder::with_exact_count`] — count known exactly *and
+///   cheaply* (the aR-tree's aggregate `COUNT`): the exact frame capacity
+///   is reserved up front from the published constants and the count is
+///   hard-asserted on finish (in every build — a frame whose length
+///   prefix lies would corrupt the stream for the peer).
+///
+/// Either mode produces bytes identical to encoding `Response::Objects`
+/// over the same object sequence.
+pub struct ObjectsEncoder<'a> {
+    buf: &'a mut BytesMut,
+    announced: Option<u64>,
+    len_at: usize,
+    written: u64,
+}
+
+impl<'a> ObjectsEncoder<'a> {
+    /// Opens a frame whose length prefix is patched on `finish`.
+    pub fn new(buf: &'a mut BytesMut) -> Self {
+        buf.reserve(OBJECTS_HEADER_BYTES as usize);
+        buf.put_u8(op::R_OBJECTS);
+        let len_at = buf.len();
+        buf.put_u32(0);
+        ObjectsEncoder {
+            buf,
+            announced: None,
+            len_at,
+            written: 0,
+        }
+    }
+
+    /// Opens a frame for exactly `count` objects, reserving the exact
+    /// frame capacity.
+    pub fn with_exact_count(buf: &'a mut BytesMut, count: u64) -> Self {
+        buf.reserve((OBJECTS_HEADER_BYTES + count * OBJ_BYTES) as usize);
+        buf.put_u8(op::R_OBJECTS);
+        let len_at = buf.len();
+        buf.put_u32(count as u32);
+        ObjectsEncoder {
+            buf,
+            announced: Some(count),
+            len_at,
+            written: 0,
+        }
+    }
+
+    /// Appends one object to the frame.
+    pub fn push(&mut self, o: &SpatialObject) {
+        put_object(self.buf, o);
+        self.written += 1;
+    }
+
+    /// Closes the frame: patches the streamed count in, or asserts the
+    /// announced one was honoured.
+    pub fn finish(self) {
+        match self.announced {
+            Some(count) => assert_eq!(
+                self.written, count,
+                "objects-response framing mismatch: announced {count} objects, streamed {}",
+                self.written
+            ),
+            None => self.buf[self.len_at..self.len_at + 4]
+                .copy_from_slice(&(self.written as u32).to_be_bytes()),
+        }
+    }
 }
 
 /// Decodes a response.

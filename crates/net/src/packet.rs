@@ -81,6 +81,14 @@ pub struct NetConfig {
     /// is identical to a build without the extension; turning it on never
     /// changes join results, only deletes repeated traffic.
     pub client_cache: crate::cache::CacheConfig,
+    /// Worker threads the device's in-memory join kernels (the partitioned
+    /// parallel plane sweep) may use. `0` (the default) resolves to the
+    /// machine's available parallelism; `1` forces the serial kernel. A
+    /// device-compute knob, not a wire capability: the kernels produce
+    /// identical output — same pairs, same order, same wire traffic — at
+    /// every worker count (differentially tested), so this only moves
+    /// wall-clock time.
+    pub sweep_workers: usize,
 }
 
 impl Default for NetConfig {
@@ -91,6 +99,7 @@ impl Default for NetConfig {
             tariff_s: 1.0,
             batched_stats: false,
             client_cache: crate::cache::CacheConfig::default(),
+            sweep_workers: 0,
         }
     }
 }
@@ -120,6 +129,13 @@ impl NetConfig {
     /// `enabled`).
     pub fn with_cache_budget(mut self, bytes: u64) -> Self {
         self.client_cache.window_budget_bytes = bytes;
+        self
+    }
+
+    /// Sets the device join-kernel worker count (`0` = auto, `1` =
+    /// serial). Results and wire traffic are identical at every value.
+    pub fn with_sweep_workers(mut self, workers: usize) -> Self {
+        self.sweep_workers = workers;
         self
     }
 }
@@ -182,6 +198,12 @@ mod tests {
         assert!(!NetConfig::default().batched_stats);
         assert!(!NetConfig::dialup().batched_stats);
         assert!(NetConfig::default().with_batched_stats(true).batched_stats);
+    }
+
+    #[test]
+    fn sweep_workers_defaults_to_auto() {
+        assert_eq!(NetConfig::default().sweep_workers, 0);
+        assert_eq!(NetConfig::default().with_sweep_workers(4).sweep_workers, 4);
     }
 
     #[test]

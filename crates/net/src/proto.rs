@@ -162,6 +162,17 @@ impl Response {
 /// needs the shape to wire transports.
 pub trait QueryHandler: Send + Sync {
     fn handle(&self, req: Request) -> Response;
+
+    /// Handles a request by encoding the answer directly into `buf`
+    /// (appending; callers clear between requests to reuse the
+    /// allocation). The default materializes a [`Response`] and encodes
+    /// it; servers with streaming storage (the visitor-style
+    /// `SpatialStore` queries) override this to encode qualifying objects
+    /// into the wire buffer as they are visited — **byte-identical** to
+    /// the default, without the intermediate `Vec` and `Response`.
+    fn handle_into(&self, req: Request, buf: &mut bytes::BytesMut) {
+        crate::codec::encode_response_into(&self.handle(req), buf);
+    }
 }
 
 #[cfg(test)]

@@ -14,10 +14,10 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
-use crate::codec::{decode_response, encode_request, encode_response};
+use crate::codec::{decode_response, encode_request};
 use crate::meter::LinkMeter;
 use crate::packet::PacketModel;
 use crate::proto::{QueryHandler, Request, Response};
@@ -58,8 +58,12 @@ impl<H: QueryHandler> InProcExchange<H> {
 impl<H: QueryHandler> RawExchange for InProcExchange<H> {
     fn exchange(&self, request: Bytes) -> Bytes {
         let req = crate::codec::decode_request(request).expect("malformed request");
-        let resp = self.handler.handle(req);
-        encode_response(&resp)
+        // The zero-copy serving path: the handler encodes straight into
+        // the reply buffer (exact-capacity reserve inside the codec), so
+        // no intermediate `Response` vectors are materialized.
+        let mut buf = BytesMut::new();
+        self.handler.handle_into(req, &mut buf);
+        buf.freeze()
     }
 }
 
@@ -112,12 +116,26 @@ impl ChannelServer {
             .name(format!("asj-server-{name}"))
             .spawn(move || {
                 let mut served = 0u64;
+                // One encode buffer for the life of the server thread:
+                // each request clears it (keeping the allocation) and the
+                // handler encodes its answer straight in, so steady-state
+                // serving performs no per-request buffer growth — the
+                // only per-request allocation left is the reply message
+                // itself.
+                let mut buf = BytesMut::with_capacity(4096);
                 while let Ok(rpc) = rx.recv() {
                     let req = crate::codec::decode_request(rpc.request).expect("malformed request");
-                    let resp = handler.handle(req);
+                    buf.clear();
+                    handler.handle_into(req, &mut buf);
                     served += 1;
                     // A dropped reply channel just means the client gave up.
-                    let _ = rpc.reply.send(encode_response(&resp));
+                    // With the real `bytes` crate this would be
+                    // `buf.split().freeze()` (zero-copy hand-off that
+                    // recycles the allocation); the shim's `Bytes` is
+                    // `Arc<[u8]>`-backed, so one copy into the reply is
+                    // the closest equivalent — the same copy `freeze()`
+                    // itself performs under the shim.
+                    let _ = rpc.reply.send(Bytes::copy_from_slice(&buf));
                 }
                 served
             })

@@ -2,14 +2,19 @@
 
 use asj_geom::{Rect, SpatialObject};
 
-/// A tree node: its MBR, the number of objects in its subtree (the aR-tree
-/// aggregate) and either leaf entries or child nodes.
+/// A tree node: its MBR, the aR-tree aggregates of its subtree (object
+/// count and MBR-area sum) and either leaf entries or child nodes.
 #[derive(Debug, Clone)]
 pub(crate) struct Node {
     pub mbr: Rect,
     /// Objects in this subtree — maintained on every structural change so
     /// `COUNT` queries can stop at fully-covered nodes.
     pub count: u64,
+    /// Σ of the subtree's object MBR areas — the second aR aggregate, so
+    /// `AvgArea` queries stop at fully-covered nodes exactly like `COUNT`.
+    /// Always recomputed bottom-up from direct content (never adjusted
+    /// incrementally), so the stored value is bit-reproducible.
+    pub area_sum: f64,
     pub kind: NodeKind,
 }
 
@@ -25,6 +30,7 @@ impl Node {
         Node {
             mbr,
             count: entries.len() as u64,
+            area_sum: area_of_objects(&entries),
             kind: NodeKind::Leaf(entries),
         }
     }
@@ -32,24 +38,28 @@ impl Node {
     pub fn internal(children: Vec<Node>) -> Node {
         let mbr = mbr_of_nodes(&children);
         let count = children.iter().map(|c| c.count).sum();
+        let area_sum = children.iter().map(|c| c.area_sum).sum();
         Node {
             mbr,
             count,
+            area_sum,
             kind: NodeKind::Internal(children),
         }
     }
 
-    /// Recomputes this node's MBR and count from its content (after a
+    /// Recomputes this node's MBR and aggregates from its content (after a
     /// mutation of children / entries).
     pub fn refresh(&mut self) {
         match &self.kind {
             NodeKind::Leaf(es) => {
                 self.mbr = mbr_of_objects(es);
                 self.count = es.len() as u64;
+                self.area_sum = area_of_objects(es);
             }
             NodeKind::Internal(cs) => {
                 self.mbr = mbr_of_nodes(cs);
                 self.count = cs.iter().map(|c| c.count).sum();
+                self.area_sum = cs.iter().map(|c| c.area_sum).sum();
             }
         }
     }
@@ -80,6 +90,12 @@ pub(crate) fn mbr_of_nodes(nodes: &[Node]) -> Rect {
         .unwrap_or_else(|| Rect::from_coords(0.0, 0.0, 0.0, 0.0))
 }
 
+/// Σ of the objects' MBR areas, folded in entry order (the canonical order
+/// the invariant checker reproduces).
+pub(crate) fn area_of_objects(objects: &[SpatialObject]) -> f64 {
+    objects.iter().map(|o| o.mbr.area()).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,9 +107,26 @@ mod tests {
             SpatialObject::point(2, 4.0, 2.0),
         ]);
         assert_eq!(n.count, 2);
+        assert_eq!(n.area_sum, 0.0, "points have zero area");
         assert_eq!(n.mbr, Rect::from_coords(0.0, 0.0, 4.0, 2.0));
         assert!(n.is_leaf());
         assert_eq!(n.fanout(), 2);
+    }
+
+    #[test]
+    fn area_aggregates_sum_bottom_up() {
+        let a = Node::leaf(vec![SpatialObject::new(
+            1,
+            Rect::from_coords(0.0, 0.0, 2.0, 2.0), // area 4
+        )]);
+        let b = Node::leaf(vec![
+            SpatialObject::new(2, Rect::from_coords(3.0, 3.0, 4.0, 5.0)), // area 2
+            SpatialObject::new(3, Rect::from_coords(5.0, 5.0, 6.0, 6.0)), // area 1
+        ]);
+        assert_eq!(a.area_sum, 4.0);
+        assert_eq!(b.area_sum, 3.0);
+        let n = Node::internal(vec![a, b]);
+        assert_eq!(n.area_sum, 7.0);
     }
 
     #[test]

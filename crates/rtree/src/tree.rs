@@ -134,10 +134,25 @@ impl RTree {
     /// `WINDOW(w)`: all objects whose MBR intersects `w`.
     pub fn window(&self, w: &Rect) -> Vec<SpatialObject> {
         let mut out = Vec::new();
-        if let Some(root) = &self.root {
-            window_rec(root, w, &mut out);
-        }
+        self.for_each_in_window(w, &mut |o| out.push(*o));
         out
+    }
+
+    /// Visits every object intersecting `w`, in tree (traversal) order —
+    /// the same order [`RTree::window`] materializes, which the zero-copy
+    /// serving path in `asj-server` relies on for wire-byte identity.
+    pub fn for_each_in_window(&self, w: &Rect, f: &mut dyn FnMut(&SpatialObject)) {
+        if let Some(root) = &self.root {
+            window_rec(root, w, f);
+        }
+    }
+
+    /// Visits every object within distance `eps` of `q`, in tree order —
+    /// the visitor form of [`RTree::eps_range`].
+    pub fn for_each_eps_range(&self, q: &Rect, eps: f64, f: &mut dyn FnMut(&SpatialObject)) {
+        if let Some(root) = &self.root {
+            range_rec(root, q, eps, f);
+        }
     }
 
     /// `COUNT(w)`: number of objects intersecting `w`. Uses the aggregate
@@ -153,9 +168,7 @@ impl RTree {
     /// rectangle `q` (a degenerate `q` gives the paper's point form).
     pub fn eps_range(&self, q: &Rect, eps: f64) -> Vec<SpatialObject> {
         let mut out = Vec::new();
-        if let Some(root) = &self.root {
-            range_rec(root, q, eps, &mut out);
-        }
+        self.for_each_eps_range(q, eps, &mut |o| out.push(*o));
         out
     }
 
@@ -164,6 +177,17 @@ impl RTree {
         match &self.root {
             Some(root) => range_count_rec(root, q, eps),
             None => 0,
+        }
+    }
+
+    /// `(count, Σ area)` of the objects intersecting `w`, answered from the
+    /// aR aggregates: subtrees fully inside `w` contribute their
+    /// pre-computed `(count, area_sum)` without being visited — `AvgArea`
+    /// costs the same as `COUNT` instead of materializing the window.
+    pub fn area_stats(&self, w: &Rect) -> (u64, f64) {
+        match &self.root {
+            Some(root) => area_stats_rec(root, w),
+            None => (0, 0.0),
         }
     }
 
@@ -300,13 +324,13 @@ fn quadratic_split<T, F: Fn(&T) -> Rect>(
     (group_a, group_b)
 }
 
-fn window_rec(node: &Node, w: &Rect, out: &mut Vec<SpatialObject>) {
+fn window_rec(node: &Node, w: &Rect, f: &mut dyn FnMut(&SpatialObject)) {
     if !node.mbr.intersects(w) {
         return;
     }
     match &node.kind {
-        NodeKind::Leaf(es) => out.extend(es.iter().filter(|o| o.mbr.intersects(w)).copied()),
-        NodeKind::Internal(cs) => cs.iter().for_each(|c| window_rec(c, w, out)),
+        NodeKind::Leaf(es) => es.iter().filter(|o| o.mbr.intersects(w)).for_each(f),
+        NodeKind::Internal(cs) => cs.iter().for_each(|c| window_rec(c, w, f)),
     }
 }
 
@@ -323,15 +347,35 @@ fn count_rec(node: &Node, w: &Rect) -> u64 {
     }
 }
 
-fn range_rec(node: &Node, q: &Rect, eps: f64, out: &mut Vec<SpatialObject>) {
+fn range_rec(node: &Node, q: &Rect, eps: f64, f: &mut dyn FnMut(&SpatialObject)) {
     if node.mbr.min_dist(q) > eps {
         return;
     }
     match &node.kind {
-        NodeKind::Leaf(es) => {
-            out.extend(es.iter().filter(|o| o.mbr.within_distance(q, eps)).copied())
-        }
-        NodeKind::Internal(cs) => cs.iter().for_each(|c| range_rec(c, q, eps, out)),
+        NodeKind::Leaf(es) => es
+            .iter()
+            .filter(|o| o.mbr.within_distance(q, eps))
+            .for_each(f),
+        NodeKind::Internal(cs) => cs.iter().for_each(|c| range_rec(c, q, eps, f)),
+    }
+}
+
+fn area_stats_rec(node: &Node, w: &Rect) -> (u64, f64) {
+    if !node.mbr.intersects(w) {
+        return (0, 0.0);
+    }
+    if w.contains_rect(&node.mbr) {
+        return (node.count, node.area_sum); // aR shortcut, as for COUNT
+    }
+    match &node.kind {
+        NodeKind::Leaf(es) => es
+            .iter()
+            .filter(|o| o.mbr.intersects(w))
+            .fold((0, 0.0), |(n, a), o| (n + 1, a + o.mbr.area())),
+        NodeKind::Internal(cs) => cs
+            .iter()
+            .map(|c| area_stats_rec(c, w))
+            .fold((0, 0.0), |(n, a), (cn, ca)| (n + cn, a + ca)),
     }
 }
 
@@ -369,11 +413,24 @@ fn check_rec(node: &Node, max_entries: usize, is_root: bool) -> (usize, u64) {
     match &node.kind {
         NodeKind::Leaf(es) => {
             assert_eq!(node.count, es.len() as u64, "leaf count mismatch");
+            // Aggregates are always recomputed from direct content in
+            // entry order, so the stored sum must be *bit*-identical to
+            // this recompute — no tolerance.
+            assert_eq!(
+                node.area_sum,
+                crate::node::area_of_objects(es),
+                "leaf area aggregate stale"
+            );
             assert_eq!(node.mbr, mbr_of_objects(es), "leaf mbr stale");
             (1, node.count)
         }
         NodeKind::Internal(cs) => {
             assert_eq!(node.mbr, mbr_of_nodes(cs), "internal mbr stale");
+            assert_eq!(
+                node.area_sum,
+                cs.iter().map(|c| c.area_sum).sum::<f64>(),
+                "internal area aggregate stale"
+            );
             let mut nodes = 1;
             let mut count = 0;
             for c in cs {
@@ -529,6 +586,62 @@ mod tests {
         assert!(t.level_mbrs(h).is_empty());
         // Levels shrink going up.
         assert!(t.level_mbrs(0).len() >= t.level_mbrs(1).len());
+    }
+
+    #[test]
+    fn area_stats_match_window_materialization() {
+        // Rect objects (nonzero areas) in both bulk-loaded and
+        // incrementally built trees: the aggregate answer must match the
+        // window-materializing fold to float tolerance on every query,
+        // and exactly on full coverage of exactly-representable areas.
+        let boxes: Vec<SpatialObject> = (0..400)
+            .map(|i| {
+                let x = (i % 20) as f64 * 50.0;
+                let y = (i / 20) as f64 * 50.0;
+                let w = 1.0 + (i % 7) as f64; // integral side lengths
+                SpatialObject::new(i, Rect::from_coords(x, y, x + w, y + w))
+            })
+            .collect();
+        let bulk = RTree::bulk_load(boxes.clone(), 8);
+        let mut inc = RTree::new(4);
+        for &o in &boxes {
+            inc.insert(o);
+        }
+        bulk.check_invariants();
+        inc.check_invariants();
+        for w in [
+            Rect::from_coords(0.0, 0.0, 2000.0, 2000.0), // everything
+            Rect::from_coords(100.0, 100.0, 480.0, 770.0),
+            Rect::from_coords(-10.0, -10.0, -1.0, -1.0), // nothing
+        ] {
+            for t in [&bulk, &inc] {
+                let (n, sum) = t.area_stats(&w);
+                let objs = t.window(&w);
+                assert_eq!(n, objs.len() as u64, "window {w:?}");
+                let naive: f64 = objs.iter().map(|o| o.mbr.area()).sum();
+                assert!((sum - naive).abs() <= 1e-9 * naive.max(1.0), "window {w:?}");
+            }
+        }
+        // Full coverage hits the root aggregate: both trees agree exactly
+        // (integral areas sum exactly in f64 at this scale).
+        let everything = Rect::from_coords(-1.0, -1.0, 2000.0, 2000.0);
+        assert_eq!(bulk.area_stats(&everything), inc.area_stats(&everything));
+        assert_eq!(RTree::default().area_stats(&everything), (0, 0.0));
+    }
+
+    #[test]
+    fn visitors_match_materializing_queries_in_order() {
+        let pts = lcg_points(500, 9);
+        let t = RTree::bulk_load(pts, 8);
+        let w = Rect::from_coords(200.0, 200.0, 700.0, 600.0);
+        let mut visited = Vec::new();
+        t.for_each_in_window(&w, &mut |o| visited.push(*o));
+        assert_eq!(visited, t.window(&w), "same objects, same order");
+        let q = Rect::point(asj_geom::Point::new(500.0, 500.0));
+        let mut ranged = Vec::new();
+        t.for_each_eps_range(&q, 150.0, &mut |o| ranged.push(*o));
+        assert_eq!(ranged, t.eps_range(&q, 150.0));
+        assert!(!visited.is_empty() && !ranged.is_empty());
     }
 
     #[test]

@@ -99,6 +99,34 @@ proptest! {
     }
 
     #[test]
+    fn area_stats_match_scan_fold(
+        data in dataset(120),
+        w in (coord(), coord(), coord(), coord()),
+    ) {
+        // The aggregate (count, Σ area) walk — which shortcuts at fully
+        // covered nodes — must agree with a linear fold over the same
+        // window, for bulk-loaded and incrementally built trees alike.
+        let window = Rect::new(Point::new(w.0, w.1), Point::new(w.2, w.3));
+        let (want_n, want_sum) = data
+            .iter()
+            .filter(|o| o.mbr.intersects(&window))
+            .fold((0u64, 0.0f64), |(n, a), o| (n + 1, a + o.mbr.area()));
+        let bulk = RTree::bulk_load(data.clone(), 6);
+        let mut inc = RTree::new(4);
+        for &o in &data {
+            inc.insert(o);
+        }
+        for tree in [&bulk, &inc] {
+            let (n, sum) = tree.area_stats(&window);
+            prop_assert_eq!(n, want_n);
+            prop_assert!(
+                (sum - want_sum).abs() <= 1e-9 * want_sum.max(1.0),
+                "aggregate Σ area {} vs scan fold {}", sum, want_sum
+            );
+        }
+    }
+
+    #[test]
     fn leaf_level_mbrs_cover_everything(data in dataset(200)) {
         prop_assume!(!data.is_empty());
         let tree = RTree::bulk_load(data.clone(), 6);

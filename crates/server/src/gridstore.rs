@@ -84,7 +84,7 @@ impl GridStore {
     }
 
     /// Visits each object intersecting `probe` exactly once.
-    fn visit<F: FnMut(&SpatialObject)>(&self, probe: &Rect, mut f: F) {
+    fn visit(&self, probe: &Rect, f: &mut dyn FnMut(&SpatialObject)) {
         let Some(grid) = &self.grid else { return };
         let mut seen = HashSet::new();
         for (idx, cell) in grid.cells().enumerate() {
@@ -101,42 +101,36 @@ impl GridStore {
 }
 
 impl SpatialStore for GridStore {
-    fn window(&self, w: &Rect) -> Vec<SpatialObject> {
-        let mut out = Vec::new();
-        self.visit(w, |o| out.push(*o));
-        out
+    fn for_each_in_window(&self, w: &Rect, f: &mut dyn FnMut(&SpatialObject)) {
+        self.visit(w, f)
     }
 
-    fn count(&self, w: &Rect) -> u64 {
-        let mut n = 0;
-        self.visit(w, |_| n += 1);
-        n
-    }
-
-    fn eps_range(&self, q: &Rect, eps: f64) -> Vec<SpatialObject> {
-        let Some(grid) = &self.grid else {
-            return Vec::new();
-        };
+    fn for_each_eps_range(&self, q: &Rect, eps: f64, f: &mut dyn FnMut(&SpatialObject)) {
+        let Some(grid) = &self.grid else { return };
         let probe = q.expand(eps);
         let mut seen = HashSet::new();
-        let mut out = Vec::new();
         for (idx, cell) in grid.cells().enumerate() {
             if cell.min_dist(q) > eps {
                 continue;
             }
             for o in &self.cells[idx] {
                 if o.mbr.within_distance(q, eps) && o.mbr.intersects(&probe) && seen.insert(o.id) {
-                    out.push(*o);
+                    f(o);
                 }
             }
         }
-        out
+    }
+
+    fn count(&self, w: &Rect) -> u64 {
+        let mut n = 0;
+        self.visit(w, &mut |_| n += 1);
+        n
     }
 
     fn avg_area(&self, w: &Rect) -> f64 {
         let mut n = 0u64;
         let mut sum = 0.0;
-        self.visit(w, |o| {
+        self.visit(w, &mut |o| {
             n += 1;
             sum += o.mbr.area();
         });

@@ -3,7 +3,9 @@
 use std::sync::Arc;
 
 use asj_geom::{plane_sweep_join, JoinPredicate, Rect, SpatialObject};
+use asj_net::codec::ObjectsEncoder;
 use asj_net::{QueryHandler, Request, Response};
+use bytes::BytesMut;
 
 use crate::store::SpatialStore;
 
@@ -146,6 +148,38 @@ impl<S: SpatialStore> QueryHandler for SpatialService<S> {
                 };
                 Response::Pairs(plane_sweep_join(&objects, &local, &pred))
             }
+        }
+    }
+
+    /// The zero-copy serving path for the hot object-shipping queries:
+    /// `WINDOW` and `ε-RANGE` answers are encoded **directly into the wire
+    /// buffer** by the store's visitor — no intermediate object `Vec`, no
+    /// `Response`, single store traversal. When the backend can announce
+    /// the exact count more cheaply than the visit (the aR-tree's
+    /// aggregate COUNT), the codec reserves the exact frame capacity from
+    /// its published constants up front; otherwise the frame's length
+    /// prefix is patched after the one and only pass. Byte-identical to
+    /// the materializing default (differentially tested in
+    /// `tests/zero_copy.rs`).
+    fn handle_into(&self, req: Request, buf: &mut BytesMut) {
+        match req {
+            Request::Window(w) => {
+                let mut enc = match self.store.window_count_hint(&w) {
+                    Some(n) => ObjectsEncoder::with_exact_count(buf, n),
+                    None => ObjectsEncoder::new(buf),
+                };
+                self.store.for_each_in_window(&w, &mut |o| enc.push(o));
+                enc.finish();
+            }
+            Request::EpsRange { q, eps } => {
+                let mut enc = ObjectsEncoder::new(buf);
+                self.store.for_each_eps_range(&q, eps, &mut |o| enc.push(o));
+                enc.finish();
+            }
+            // Everything else is either scalar (nothing to stream) or
+            // cold (cooperative/bucket paths); the materializing default
+            // stays the single source of semantics for those.
+            other => asj_net::codec::encode_response_into(&self.handle(other), buf),
         }
     }
 }

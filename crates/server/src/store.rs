@@ -5,13 +5,50 @@ use asj_rtree::RTree;
 
 /// What a server's storage layer must answer. All methods are read-only;
 /// services share a store across threads (`Sync`).
+///
+/// The **visitor methods are the primitives**: `window` / `eps_range` are
+/// provided on top of them, so a backend's materialized results and its
+/// streamed visits are identical — same objects, same order — by
+/// construction. The zero-copy serving path in [`crate::service`] leans on
+/// that: it announces the count (`count` / `eps_count` must agree exactly
+/// with what the visitor yields), then encodes each visited object straight
+/// into the wire buffer.
 pub trait SpatialStore: Send + Sync {
-    /// Objects intersecting `w`.
-    fn window(&self, w: &Rect) -> Vec<SpatialObject>;
+    /// Visits every object intersecting `w`, exactly once, in the
+    /// backend's canonical order.
+    fn for_each_in_window(&self, w: &Rect, f: &mut dyn FnMut(&SpatialObject));
+    /// Visits every object within `eps` of `q`, exactly once, in the
+    /// backend's canonical order.
+    fn for_each_eps_range(&self, q: &Rect, eps: f64, f: &mut dyn FnMut(&SpatialObject));
     /// Number of objects intersecting `w`.
     fn count(&self, w: &Rect) -> u64;
-    /// Objects within `eps` of `q`.
-    fn eps_range(&self, q: &Rect, eps: f64) -> Vec<SpatialObject>;
+    /// Number of objects within `eps` of `q`. The default counts via the
+    /// visitor; hierarchical backends override with an aggregate walk.
+    fn eps_count(&self, q: &Rect, eps: f64) -> u64 {
+        let mut n = 0;
+        self.for_each_eps_range(q, eps, &mut |_| n += 1);
+        n
+    }
+    /// The exact `WINDOW(w)` cardinality, **only when the backend can
+    /// answer it more cheaply than the visit itself** (aggregate
+    /// indexes). `None` — the default — tells the zero-copy serving path
+    /// to stream single-pass and patch the frame length, instead of
+    /// paying a second traversal just to pre-size the frame.
+    fn window_count_hint(&self, _w: &Rect) -> Option<u64> {
+        None
+    }
+    /// Objects intersecting `w` (materialized visitor order).
+    fn window(&self, w: &Rect) -> Vec<SpatialObject> {
+        let mut out = Vec::new();
+        self.for_each_in_window(w, &mut |o| out.push(*o));
+        out
+    }
+    /// Objects within `eps` of `q` (materialized visitor order).
+    fn eps_range(&self, q: &Rect, eps: f64) -> Vec<SpatialObject> {
+        let mut out = Vec::new();
+        self.for_each_eps_range(q, eps, &mut |o| out.push(*o));
+        out
+    }
     /// Average MBR area among objects intersecting `w` (0.0 when none).
     fn avg_area(&self, w: &Rect) -> f64;
     /// MBRs of one index level (`levels_above_leaves`), if the backend is
@@ -47,24 +84,22 @@ impl ScanStore {
 }
 
 impl SpatialStore for ScanStore {
-    fn window(&self, w: &Rect) -> Vec<SpatialObject> {
+    fn for_each_in_window(&self, w: &Rect, f: &mut dyn FnMut(&SpatialObject)) {
         self.objects
             .iter()
             .filter(|o| o.mbr.intersects(w))
-            .copied()
-            .collect()
+            .for_each(f)
+    }
+
+    fn for_each_eps_range(&self, q: &Rect, eps: f64, f: &mut dyn FnMut(&SpatialObject)) {
+        self.objects
+            .iter()
+            .filter(|o| o.mbr.within_distance(q, eps))
+            .for_each(f)
     }
 
     fn count(&self, w: &Rect) -> u64 {
         self.objects.iter().filter(|o| o.mbr.intersects(w)).count() as u64
-    }
-
-    fn eps_range(&self, q: &Rect, eps: f64) -> Vec<SpatialObject> {
-        self.objects
-            .iter()
-            .filter(|o| o.mbr.within_distance(q, eps))
-            .copied()
-            .collect()
     }
 
     fn avg_area(&self, w: &Rect) -> f64 {
@@ -125,24 +160,45 @@ impl RTreeStore {
 }
 
 impl SpatialStore for RTreeStore {
-    fn window(&self, w: &Rect) -> Vec<SpatialObject> {
-        self.tree.window(w)
+    fn for_each_in_window(&self, w: &Rect, f: &mut dyn FnMut(&SpatialObject)) {
+        self.tree.for_each_in_window(w, f)
+    }
+
+    fn for_each_eps_range(&self, q: &Rect, eps: f64, f: &mut dyn FnMut(&SpatialObject)) {
+        self.tree.for_each_eps_range(q, eps, f)
     }
 
     fn count(&self, w: &Rect) -> u64 {
         self.tree.count(w)
     }
 
-    fn eps_range(&self, q: &Rect, eps: f64) -> Vec<SpatialObject> {
-        self.tree.eps_range(q, eps)
+    fn eps_count(&self, q: &Rect, eps: f64) -> u64 {
+        self.tree.eps_range_count(q, eps)
+    }
+
+    fn window_count_hint(&self, w: &Rect) -> Option<u64> {
+        // The aR aggregate COUNT shortcuts whole covered subtrees, so it
+        // is usually far cheaper than the visit (a thin window covering
+        // no subtree degenerates to a second traversal — but one that
+        // touches no payload and allocates nothing). Announcing it buys
+        // the serving path an exact-capacity frame reserve, which the
+        // in-process carrier's fresh-buffer replies depend on.
+        Some(self.tree.count(w))
     }
 
     fn avg_area(&self, w: &Rect) -> f64 {
-        let objs = self.tree.window(w);
-        if objs.is_empty() {
+        // Answered from the aR area aggregates, like `count` — fully
+        // covered subtrees contribute without being materialized. The sum
+        // associates per subtree instead of per flat result vector, so
+        // the f64 can differ in the last ulp from a linear fold; no join
+        // algorithm consumes AvgArea (only the router's weighted merge
+        // and the differential suites, which compare with tolerance), so
+        // no decision or wire byte depends on those bits.
+        let (n, sum) = self.tree.area_stats(w);
+        if n == 0 {
             0.0
         } else {
-            objs.iter().map(|o| o.mbr.area()).sum::<f64>() / objs.len() as f64
+            sum / n as f64
         }
     }
 

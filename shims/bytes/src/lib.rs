@@ -43,6 +43,12 @@ impl Bytes {
         Bytes::from(data.to_vec())
     }
 
+    /// Copies a slice into a fresh buffer — how a server ships the
+    /// contents of a reused encode buffer without surrendering it.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
     pub fn len(&self) -> usize {
         self.end - self.start
     }
@@ -165,8 +171,38 @@ impl BytesMut {
         self.buf.is_empty()
     }
 
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes — the exact
+    /// one-allocation reserve the codec's encoders rely on.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Empties the buffer, keeping its allocation — the reuse primitive of
+    /// the server dispatch loop.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.buf)
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
     }
 }
 
@@ -220,6 +256,20 @@ mod tests {
         b.get_u8();
         let s = b.slice(1..3);
         assert_eq!(s.as_slice(), &[3, 4]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_for_reuse() {
+        let mut b = BytesMut::with_capacity(8);
+        b.reserve(100);
+        let cap = b.capacity();
+        assert!(cap >= 100);
+        b.put_u64(7);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap, "clear must keep the allocation");
+        b.put_u32(9);
+        assert_eq!(Bytes::copy_from_slice(&b).as_slice(), 9u32.to_be_bytes());
     }
 
     #[test]

@@ -7,12 +7,29 @@
 //! short warm-up, then a fixed measurement window, and prints mean
 //! wall-clock time per iteration — enough to track regressions by eye
 //! and to keep `cargo bench` compiling and running offline.
+//!
+//! Two additions over the real crate's surface, used by the `wallclock`
+//! perf-trajectory harness in `asj-bench`: [`Criterion::with_windows`]
+//! (shorter warm-up/measure windows for a `--quick` CI mode) and
+//! [`Criterion::measurements`] (the recorded per-benchmark means, so a
+//! harness can persist them as JSON instead of scraping stdout).
 
 use std::time::{Duration, Instant};
 
 /// How long each benchmark measures after warm-up.
 const MEASURE_WINDOW: Duration = Duration::from_millis(300);
 const WARMUP_WINDOW: Duration = Duration::from_millis(100);
+
+/// The recorded outcome of one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Full benchmark name (`group/name` for grouped benches).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured inside the window.
+    pub iterations: u64,
+}
 
 /// Batch-size hint, accepted for API compatibility.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,13 +45,17 @@ pub struct Bencher {
     elapsed: Duration,
     /// Number of measured routine calls.
     iterations: u64,
+    warmup: Duration,
+    measure: Duration,
 }
 
 impl Bencher {
-    fn new() -> Self {
+    fn new(warmup: Duration, measure: Duration) -> Self {
         Bencher {
             elapsed: Duration::ZERO,
             iterations: 0,
+            warmup,
+            measure,
         }
     }
 
@@ -42,11 +63,11 @@ impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm-up (untimed).
         let warm_start = Instant::now();
-        while warm_start.elapsed() < WARMUP_WINDOW {
+        while warm_start.elapsed() < self.warmup {
             std::hint::black_box(routine());
         }
         let start = Instant::now();
-        while start.elapsed() < MEASURE_WINDOW {
+        while start.elapsed() < self.measure {
             let t = Instant::now();
             std::hint::black_box(routine());
             self.elapsed += t.elapsed();
@@ -62,16 +83,29 @@ impl Bencher {
         F: FnMut(I) -> O,
     {
         let warm_start = Instant::now();
-        while warm_start.elapsed() < WARMUP_WINDOW {
+        while warm_start.elapsed() < self.warmup {
             std::hint::black_box(routine(setup()));
         }
         let start = Instant::now();
-        while start.elapsed() < MEASURE_WINDOW {
+        while start.elapsed() < self.measure {
             let input = setup();
             let t = Instant::now();
             std::hint::black_box(routine(input));
             self.elapsed += t.elapsed();
             self.iterations += 1;
+        }
+    }
+
+    fn measurement(&self, name: &str) -> Measurement {
+        let mean_ns = if self.iterations == 0 {
+            0.0
+        } else {
+            self.elapsed.as_nanos() as f64 / self.iterations as f64
+        };
+        Measurement {
+            name: name.to_string(),
+            mean_ns,
+            iterations: self.iterations,
         }
     }
 
@@ -103,23 +137,54 @@ fn format_duration(d: Duration) -> String {
 }
 
 /// The harness entry point, one per `criterion_group!`.
-#[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: WARMUP_WINDOW,
+            measure: MEASURE_WINDOW,
+            measurements: Vec::new(),
+        }
+    }
+}
 
 impl Criterion {
-    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    /// Overrides the warm-up / measurement windows (e.g. a `--quick` CI
+    /// mode that trades precision for turnaround).
+    pub fn with_windows(mut self, warmup: Duration, measure: Duration) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self
+    }
+
+    /// Everything measured so far, in execution order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher::new(self.warmup, self.measure);
+        f(&mut b);
+        b.report(name);
+        self.measurements.push(b.measurement(name));
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher::new();
-        f(&mut b);
-        b.report(name);
+        self.run_one(name, f);
         self
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: name.into(),
         }
     }
@@ -127,7 +192,7 @@ impl Criterion {
 
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
 }
 
@@ -138,13 +203,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher::new();
-        f(&mut b);
-        b.report(&format!("{}/{}", self.name, name));
+        let full = format!("{}/{}", self.name, name);
+        self.parent.run_one(&full, f);
         self
     }
 
@@ -185,6 +249,22 @@ mod tests {
             })
         });
         assert!(calls > 0);
+        let m = &c.measurements()[0];
+        assert_eq!(m.name, "shim/self_test");
+        assert!(m.iterations > 0);
+        assert!(m.mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn windows_are_configurable_and_groups_record() {
+        let mut c =
+            Criterion::default().with_windows(Duration::from_millis(1), Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("x", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(c.measurements().len(), 1);
+        assert_eq!(c.measurements()[0].name, "g/x");
+        assert!(c.measurements()[0].iterations > 0);
     }
 
     #[test]

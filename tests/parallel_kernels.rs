@@ -1,0 +1,118 @@
+//! Differential proof that the parallel join kernels and the worker knob
+//! change nothing but wall-clock time.
+//!
+//! The serial kernel (`sweep_workers = 1`) is the reference: for every
+//! algorithm, every worker count must reproduce its **exact pair list
+//! (same order)** and **byte-identical wire traffic** — across flat,
+//! 4-shard, and client-cached deployments. Combined with
+//! `crates/server/tests/zero_copy.rs` (zero-copy serving ≡ materializing
+//! serving, byte for byte) this pins the whole perf PR as
+//! behavior-invisible.
+
+use adhoc_spatial_joins::prelude::*;
+use asj_core::DeploymentBuilder;
+use asj_geom::SpatialObject;
+use asj_workloads::default_space;
+
+fn clusters(k: usize, n: usize, seed: u64) -> Vec<SpatialObject> {
+    gaussian_clusters(&SyntheticSpec::new(default_space(), n, k), seed)
+}
+
+fn algorithms() -> Vec<Box<dyn DistributedJoin>> {
+    vec![
+        Box::new(NaiveJoin),
+        Box::new(GridJoin::default()),
+        Box::new(MobiJoin),
+        Box::new(UpJoin::default()),
+        Box::new(SrJoin::default()),
+        Box::new(SemiJoin::default()),
+    ]
+}
+
+#[derive(Clone, Copy)]
+enum Flavor {
+    Flat,
+    Sharded4,
+    Cached,
+}
+
+fn build(
+    r: &[SpatialObject],
+    s: &[SpatialObject],
+    buffer: usize,
+    flavor: Flavor,
+    workers: usize,
+) -> Deployment {
+    let mut b = DeploymentBuilder::new(r.to_vec(), s.to_vec())
+        .with_buffer(buffer)
+        .with_space(default_space())
+        .with_sweep_workers(workers)
+        .cooperative(); // SemiJoin runs too; others ignore the extension
+    match flavor {
+        Flavor::Flat => {}
+        Flavor::Sharded4 => b = b.with_shards(4, 4),
+        Flavor::Cached => b = b.with_client_cache(true),
+    }
+    b.build()
+}
+
+/// All six algorithms, three deployment flavors: any worker count must be
+/// pair- and byte-identical to the serial run.
+#[test]
+fn worker_count_invisible_for_every_algorithm_and_deployment() {
+    let r = clusters(4, 200, 31);
+    let s = clusters(8, 200, 131);
+    let spec = JoinSpec::distance_join(150.0);
+    for flavor in [Flavor::Flat, Flavor::Sharded4, Flavor::Cached] {
+        for alg in algorithms() {
+            let serial = alg
+                .run(&build(&r, &s, 800, flavor, 1), &spec)
+                .unwrap_or_else(|e| panic!("{} serial failed: {e}", alg.name()));
+            for workers in [2, 5] {
+                let par = alg
+                    .run(&build(&r, &s, 800, flavor, workers), &spec)
+                    .unwrap_or_else(|e| panic!("{} workers={workers} failed: {e}", alg.name()));
+                assert_eq!(
+                    par.pairs,
+                    serial.pairs,
+                    "{}: pair list must be identical (same order) at workers={workers}",
+                    alg.name()
+                );
+                assert_eq!(
+                    (par.link_r, par.link_s),
+                    (serial.link_r, serial.link_s),
+                    "{}: wire traffic must be byte-identical at workers={workers}",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
+/// Large single-window joins actually engage the parallel kernels (the
+/// input clears `PARALLEL_JOIN_THRESHOLD`), and the result is still exact.
+#[test]
+fn parallel_kernels_engage_on_large_windows_and_stay_exact() {
+    let r = uniform(&default_space(), 2600, 3);
+    let s = clusters(4, 2600, 103);
+    assert!(r.len() + s.len() >= asj_device::memjoin::PARALLEL_JOIN_THRESHOLD);
+    let spec = JoinSpec::distance_join(60.0);
+    // Buffer 8000 lets NaiveJoin run one HBSJ over everything — a single
+    // 5 200-object kernel invocation, well above the parallel threshold.
+    let serial = NaiveJoin
+        .run(&build(&r, &s, 8000, Flavor::Flat, 1), &spec)
+        .unwrap();
+    assert!(!serial.pairs.is_empty(), "non-vacuous");
+    for workers in [2, 4, 8] {
+        let par = NaiveJoin
+            .run(&build(&r, &s, 8000, Flavor::Flat, workers), &spec)
+            .unwrap();
+        assert_eq!(par.pairs, serial.pairs, "workers={workers}");
+        assert_eq!((par.link_r, par.link_s), (serial.link_r, serial.link_s));
+    }
+    // The auto setting (0 → available parallelism) is equally invisible.
+    let auto = NaiveJoin
+        .run(&build(&r, &s, 8000, Flavor::Flat, 0), &spec)
+        .unwrap();
+    assert_eq!(auto.pairs, serial.pairs);
+}
