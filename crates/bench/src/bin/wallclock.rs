@@ -33,8 +33,8 @@ use asj_geom::{
     JoinPredicate, Rect, SpatialObject,
 };
 use asj_net::codec::{self, encode_response};
-use asj_net::{QueryHandler, Request, Response};
-use asj_server::{GridStore, RTreeStore, ScanStore, SpatialService, SpatialStore};
+use asj_net::{QueryHandler, Request, Response, Update};
+use asj_server::{GridStore, RTreeStore, ScanStore, SpatialService, SpatialStore, VersionedStore};
 use asj_workloads::{default_space, gaussian_clusters, uniform, SyntheticSpec};
 use bytes::{BufMut, Bytes, BytesMut};
 use criterion::{Criterion, Measurement};
@@ -103,6 +103,7 @@ fn main() {
     bench_stores(&mut c, &cfg);
     bench_codec(&mut c);
     bench_serving(&mut c, &cfg);
+    bench_updates(&mut c, &cfg);
     bench_end_to_end(&mut c, &cfg);
 
     let speedups = speedups(c.measurements());
@@ -382,6 +383,51 @@ fn bench_serving(c: &mut Criterion, cfg: &Config) {
     });
 }
 
+/// Generational stores: window serving through a `VersionedStore`
+/// snapshot vs the frozen R-tree it wraps (the target is ≤ 5 % overhead —
+/// a lock-free read plus two `Arc` bumps per query), and update-apply
+/// throughput batched vs one-at-a-time (each apply is a copy-on-write
+/// rebuild, so batching amortizes the rebuild across the batch).
+fn bench_updates(c: &mut Criterion, cfg: &Config) {
+    let space = default_space();
+    let objs = uniform(&space, cfg.store_n, 3);
+    let frozen = RTreeStore::new(objs.clone());
+    let versioned = VersionedStore::new(objs.clone(), RTreeStore::new);
+    let w = Rect::from_coords(2000.0, 2000.0, 3000.0, 3000.0);
+    assert_eq!(
+        frozen.window(&w),
+        versioned.window(&w),
+        "generation 0 must answer exactly like the frozen store"
+    );
+
+    c.bench_function("store/window_frozen_rtree", |b| {
+        b.iter(|| std::hint::black_box(frozen.window(&w)))
+    });
+    c.bench_function("store/window_versioned_rtree", |b| {
+        b.iter(|| std::hint::black_box(versioned.window(&w)))
+    });
+
+    // The same 32 moves applied as one tick vs 32 separate ticks.
+    let batch: Vec<Update> = objs
+        .iter()
+        .take(32)
+        .map(|o| Update::Move {
+            id: o.id,
+            to: o.mbr.expand(1.0),
+        })
+        .collect();
+    c.bench_function("versioned/apply_batch32", |b| {
+        b.iter(|| std::hint::black_box(versioned.apply(&batch)))
+    });
+    c.bench_function("versioned/apply_32_singly", |b| {
+        b.iter(|| {
+            for u in &batch {
+                std::hint::black_box(versioned.apply(std::slice::from_ref(u)));
+            }
+        })
+    });
+}
+
 /// End-to-end join throughput against a threaded server deployment.
 fn bench_end_to_end(c: &mut Criterion, cfg: &Config) {
     let space = default_space();
@@ -435,6 +481,18 @@ fn speedups(ms: &[Measurement]) -> Vec<(String, String, String, f64)> {
             "codec/encode_1k_objects_exact_reserve",
         ),
         ("parallel_sweep_w4", "sweep/serial", "sweep/parallel_w4"),
+        // ~1.0 expected: the versioned wrapper must stay within ~5 % of
+        // the frozen store on the window-serving hot path.
+        (
+            "frozen_vs_versioned_window",
+            "store/window_versioned_rtree",
+            "store/window_frozen_rtree",
+        ),
+        (
+            "update_apply_throughput",
+            "versioned/apply_32_singly",
+            "versioned/apply_batch32",
+        ),
     ];
     pairs
         .iter()

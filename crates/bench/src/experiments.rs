@@ -84,6 +84,23 @@ fn check_cached_columns_save_agg_bytes(t: &Table) {
     }
 }
 
+/// Every column of a live sweep replays the same pinned movement
+/// history, so — whatever the algorithm, shard count or cache — the
+/// session's summed pair count must agree everywhere: updates may change
+/// *what* the join returns, never differently per column.
+fn check_live_columns_agree(t: &Table) {
+    for (row, cells) in t.result.rows.iter().zip(&t.result.cells) {
+        let expect = cells[0].mean_pairs;
+        for (label, c) in t.result.algos.iter().zip(cells) {
+            assert_eq!(
+                c.mean_pairs, expect,
+                "{label} row {row}: live columns diverged ({} vs {expect} pairs)",
+                c.mean_pairs
+            );
+        }
+    }
+}
+
 /// All experiments, in paper order.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
@@ -331,6 +348,30 @@ pub fn all_experiments() -> Vec<Experiment> {
             check: check_cached_columns_save_agg_bytes,
         },
         Experiment {
+            id: "live-update",
+            figure: "Live updates (ours): joins racing a moving fleet, 3-join session, \
+                     1 trajectory tick between joins",
+            expectation: "Each sample interleaves pinned-seed Move batches with the session's \
+                          joins: the deployments are live (generational stores), responses \
+                          carry generation stamps, and the cache keys by epoch. Flat, 4-shard \
+                          and cached columns replay the same movement history, so their \
+                          summed pair counts must be identical — asserted on every run. \
+                          Bytes rise slightly over the frozen session (update traffic is \
+                          metered like any other message).",
+            algos: vec![
+                AlgoKind::Sr { rho: 0.30 }.into(),
+                AlgoSpec::sharded(AlgoKind::Sr { rho: 0.30 }, 4),
+                AlgoSpec::cached(AlgoKind::Sr { rho: 0.30 }),
+                AlgoKind::Mobi.into(),
+            ],
+            rail: false,
+            tweak: |c| {
+                c.session = 3;
+                c.live_ticks = 1;
+            },
+            check: check_live_columns_agree,
+        },
+        Experiment {
             id: "ablation-mtu",
             figure: "Ablation (ours): dial-up MTU (576) sensitivity, buffer 800",
             expectation: "Smaller MTU inflates everything; algorithms that send many small \
@@ -373,6 +414,7 @@ mod tests {
             "ablation-batched-stats",
             "shard-scaling",
             "cache-ablation",
+            "live-update",
         ] {
             assert!(ids.contains(&wanted), "missing {wanted}");
         }
@@ -433,6 +475,29 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("mean_saved_bytes"));
         assert!(csv.contains("cache_hit_rate"));
+    }
+
+    #[test]
+    fn smoke_run_live_update_tiny() {
+        // The tiny CI configuration; `run_sized` already enforces the
+        // columns-agree invariant via the check hook. On top, pin that
+        // the sweep really went live: sessions total more pairs than one
+        // frozen join (they sum 3 joins) and every cell carries bytes.
+        let exp = experiment_by_name("live-update").unwrap();
+        let t = exp.run_sized(1, Some(150));
+        assert_eq!(
+            t.result.algos,
+            vec!["srJoin", "srJoin+s4", "srJoin+cc", "mobiJoin"]
+        );
+        for row in &t.result.cells {
+            for c in row {
+                assert!(c.mean_bytes > 0.0);
+            }
+        }
+        // Individual rows may legitimately join to nothing at the tiny
+        // size, but the sweep as a whole must produce results.
+        let total: f64 = t.result.cells.iter().map(|row| row[0].mean_pairs).sum();
+        assert!(total > 0.0, "no pairs anywhere in the live sweep");
     }
 
     #[test]

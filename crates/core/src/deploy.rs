@@ -13,10 +13,12 @@ use std::sync::Arc;
 
 use asj_geom::{Rect, SpatialObject};
 use asj_net::{
-    CacheLayer, ChannelServer, ClientCache, Link, NetConfig, QueryHandler, RawExchange,
-    ShardEndpoint, ShardRouter,
+    CacheLayer, ChannelServer, ClientCache, Link, NetConfig, QueryHandler, RawExchange, Request,
+    Response, ShardEndpoint, ShardMeta, ShardRouter, Update,
 };
-use asj_server::{partition_objects, RTreeStore, ServicePolicy, SpatialService, SpatialStore};
+use asj_server::{partition_objects, RTreeStore, ServicePolicy, SpatialService, VersionedStore};
+
+use crate::Side;
 
 /// The default device buffer: the paper's 800 points ("40 % of the total
 /// data size for the synthetic datasets").
@@ -32,7 +34,7 @@ enum Endpoint {
 }
 
 impl Endpoint {
-    fn spawn(service: Arc<SpatialService<RTreeStore>>, threaded: bool, name: &str) -> Endpoint {
+    fn spawn<H: QueryHandler + 'static>(service: Arc<H>, threaded: bool, name: &str) -> Endpoint {
         if threaded {
             let (server, handle) = ChannelServer::spawn(service, name);
             Endpoint::Channel {
@@ -56,13 +58,17 @@ impl Endpoint {
 /// servers reached through a scatter-gather [`ShardRouter`].
 enum Carrier {
     Single(Endpoint),
-    Fleet(Vec<(Option<Rect>, Endpoint)>),
+    Fleet(Vec<(Arc<ShardMeta>, Endpoint)>),
 }
 
 impl Carrier {
     /// Opens a fresh link; when `cache` is set, a [`CacheLayer`] (with a
     /// fresh per-link telemetry but the given shared store) is stacked in
     /// front of the server or fleet.
+    ///
+    /// Fleet links all share the carrier's [`ShardMeta`]s, so generation
+    /// stamps and bounds growth observed through any link (including the
+    /// update path) are visible to every other link's router.
     fn link(&self, net: &NetConfig, tariff: f64, cache: Option<&Arc<ClientCache>>) -> Link {
         match self {
             Carrier::Single(e) => match cache {
@@ -74,7 +80,7 @@ impl Carrier {
             Carrier::Fleet(members) => {
                 let shards = members
                     .iter()
-                    .map(|(bounds, e)| ShardEndpoint::new(*bounds, e.raw()))
+                    .map(|(meta, e)| ShardEndpoint::with_meta(Arc::clone(meta), e.raw()))
                     .collect();
                 let router = ShardRouter::new(shards, net.packet);
                 match cache {
@@ -123,6 +129,7 @@ pub struct Deployment {
     buffer_capacity: usize,
     space: Rect,
     cooperative: bool,
+    live: bool,
     /// Per-side client caches when `net.client_cache` is enabled. The
     /// stores live on the deployment — not the links — so a *session* of
     /// joins against the same immutable servers shares one cache: every
@@ -204,6 +211,40 @@ impl Deployment {
         self.cooperative
     }
 
+    /// `true` when the servers were built live
+    /// ([`DeploymentBuilder::live`]) and accept [`Request::ApplyUpdates`].
+    pub fn is_live(&self) -> bool {
+        self.live
+    }
+
+    /// Applies one batched update tick to the given side and returns the
+    /// acknowledged serving generation (for a fleet: the sum of per-shard
+    /// generations, the same number subsequent response frames are
+    /// stamped with).
+    ///
+    /// The batch travels over a regular metered wire link — updates are
+    /// traffic like any other message. When the client cache is enabled
+    /// the link is cached, so the shared session store observes the
+    /// acknowledgement and stops serving entries keyed to older
+    /// generations by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the deployment is frozen (built without
+    /// [`DeploymentBuilder::live`]) — frozen stores refuse updates.
+    pub fn apply_updates(&self, side: Side, batch: Vec<Update>) -> u64 {
+        let (carrier, tariff, cache) = match side {
+            Side::R => (&self.r, self.net.tariff_r, self.cache_r.as_ref()),
+            Side::S => (&self.s, self.net.tariff_s, self.cache_s.as_ref()),
+        };
+        let link = carrier.link(&self.net, tariff, cache);
+        match link.request(&Request::ApplyUpdates(batch)) {
+            Response::Ack { generation } => generation,
+            Response::Refused => panic!("apply_updates on a frozen deployment"),
+            other => panic!("unexpected update acknowledgement: {other:?}"),
+        }
+    }
+
     /// Shard servers behind each side: `(R, S)`. `(1, 1)` for flat
     /// deployments *and* for explicit 1-shard fleets — the cost model's
     /// fan-out factor is the same in both cases, as is the wire traffic
@@ -222,6 +263,7 @@ pub struct DeploymentBuilder {
     space: Option<Rect>,
     cooperative: bool,
     threaded: bool,
+    live: bool,
     rtree_fanout: usize,
     shards: Option<(usize, usize)>,
 }
@@ -236,6 +278,7 @@ impl DeploymentBuilder {
             space: None,
             cooperative: false,
             threaded: false,
+            live: false,
             rtree_fanout: asj_rtree::DEFAULT_MAX_ENTRIES,
             shards: None,
         }
@@ -269,6 +312,18 @@ impl DeploymentBuilder {
     /// Runs each server on its own thread.
     pub fn threaded(mut self) -> Self {
         self.threaded = true;
+        self
+    }
+
+    /// Builds *live* servers: each store is wrapped in a
+    /// [`VersionedStore`] that applies [`Request::ApplyUpdates`] batches
+    /// copy-on-write into a freshly rebuilt R-tree and atomically
+    /// publishes it as the next generation. Queries served from a
+    /// generation > 0 carry the generation stamp on the wire; until the
+    /// first update tick a live deployment is byte-identical to a frozen
+    /// one.
+    pub fn live(mut self) -> Self {
+        self.live = true;
         self
     }
 
@@ -328,33 +383,53 @@ impl DeploymentBuilder {
             )
             .unwrap_or_else(|| Rect::from_coords(0.0, 0.0, 1.0, 1.0))
         });
-        let service = |objects: Vec<SpatialObject>| {
-            Arc::new(
-                SpatialService::new(RTreeStore::with_fanout(objects, self.rtree_fanout))
-                    .with_policy(policy),
-            )
+        let fanout = self.rtree_fanout;
+        // Frozen servers answer straight from an immutable R-tree; live
+        // servers wrap the same store in a `VersionedStore` whose rebuild
+        // closure re-packs the R-tree at the same fanout, so generation 0
+        // answers identically either way.
+        let spawn = |objects: Vec<SpatialObject>, name: &str| -> Endpoint {
+            if self.live {
+                let store =
+                    VersionedStore::new(objects, move |objs| RTreeStore::with_fanout(objs, fanout));
+                Endpoint::spawn(
+                    Arc::new(SpatialService::new(store).with_policy(policy)),
+                    self.threaded,
+                    name,
+                )
+            } else {
+                Endpoint::spawn(
+                    Arc::new(
+                        SpatialService::new(RTreeStore::with_fanout(objects, fanout))
+                            .with_policy(policy),
+                    ),
+                    self.threaded,
+                    name,
+                )
+            }
         };
         let make = |objects: Vec<SpatialObject>, shards: Option<usize>, name: &str| -> Carrier {
             match shards {
-                None => Carrier::Single(Endpoint::spawn(service(objects), self.threaded, name)),
+                None => Carrier::Single(spawn(objects, name)),
                 Some(n) => {
                     let part = partition_objects(&space, n, objects);
                     // Advertised bounds come from the partitioner's
                     // property-tested helper (union of member MBRs), not
                     // from the store: router pruning soundness must not
-                    // depend on how a backend reports its bounds.
+                    // depend on how a backend reports its bounds. The
+                    // partition cell rides along on the shard meta so the
+                    // router can route updates to their owning shard.
                     let bounds = part.bounds();
                     Carrier::Fleet(
                         bounds
                             .into_iter()
                             .zip(part.members)
+                            .zip(part.cells)
                             .enumerate()
-                            .map(|(i, (bounds, members))| {
-                                let svc = service(members);
-                                debug_assert_eq!(bounds, svc.store().bounds());
-                                let endpoint =
-                                    Endpoint::spawn(svc, self.threaded, &format!("{name}{i}"));
-                                (bounds, endpoint)
+                            .map(|(i, ((bounds, members), cell))| {
+                                let endpoint = spawn(members, &format!("{name}{i}"));
+                                let meta = Arc::new(ShardMeta::with_cell(bounds, Some(cell)));
+                                (meta, endpoint)
                             })
                             .collect(),
                     )
@@ -371,6 +446,7 @@ impl DeploymentBuilder {
             buffer_capacity: self.buffer_capacity,
             space,
             cooperative: self.cooperative,
+            live: self.live,
             cache_r: cache(self.net.client_cache),
             cache_s: cache(self.net.client_cache),
             net: self.net,
@@ -381,7 +457,7 @@ impl DeploymentBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asj_net::Request;
+    use asj_geom::Point;
 
     fn pts(n: u32, offset: f64) -> Vec<SpatialObject> {
         (0..n)
@@ -545,6 +621,114 @@ mod tests {
             r.meter().snapshot(),
             "conservation law must survive the cache layer"
         );
+    }
+
+    #[test]
+    fn live_flat_deployment_applies_updates_and_stamps() {
+        let d = DeploymentBuilder::new(pts(10, 0.0), pts(10, 0.0))
+            .live()
+            .build();
+        assert!(d.is_live());
+        let w = Rect::from_coords(-10.0, -10.0, 200.0, 200.0);
+        let (r, _) = d.connect();
+        assert_eq!(r.request(&Request::Count(w)).into_count(), 10);
+        assert_eq!(r.last_generation(), 0, "no update yet: frozen wire");
+        let gen = d.apply_updates(
+            Side::R,
+            vec![Update::Insert(SpatialObject::point(99, 150.0, 150.0))],
+        );
+        assert_eq!(gen, 1);
+        assert_eq!(r.request(&Request::Count(w)).into_count(), 11);
+        assert_eq!(r.last_generation(), 1, "stamp observed on the old link");
+        // The untouched side is unaffected.
+        let (_, s) = d.connect();
+        assert_eq!(s.request(&Request::Count(w)).into_count(), 10);
+        assert_eq!(s.last_generation(), 0);
+    }
+
+    #[test]
+    fn live_fleet_routes_updates_and_sums_generations() {
+        let d = DeploymentBuilder::new(pts(40, 0.0), pts(40, 0.0))
+            .with_shards(4, 2)
+            .live()
+            .build();
+        let w = Rect::from_coords(-10.0, -10.0, 200.0, 200.0);
+        // Every fleet batch touches all 4 shards, so the fleet generation
+        // (sum of per-shard generations) advances by 4 per tick.
+        let g1 = d.apply_updates(Side::R, vec![Update::Delete(0)]);
+        assert_eq!(g1, 4);
+        let g2 = d.apply_updates(
+            Side::R,
+            vec![Update::Move {
+                id: 1,
+                to: Rect::point(Point::new(120.0, 0.0)),
+            }],
+        );
+        assert_eq!(g2, 8);
+        let (r, _) = d.connect();
+        assert_eq!(r.request(&Request::Count(w)).into_count(), 39);
+        assert_eq!(r.last_generation(), 8, "merged replies carry the fleet sum");
+        let t = r.fleet().unwrap().snapshot();
+        assert_eq!(t.fleet_generation(), 8);
+    }
+
+    #[test]
+    fn threaded_live_fleet_matches_in_process() {
+        let run = |threaded: bool| {
+            let mut b = DeploymentBuilder::new(pts(30, 0.0), pts(30, 2.0))
+                .with_shards(3, 3)
+                .live();
+            if threaded {
+                b = b.threaded();
+            }
+            let d = b.build();
+            d.apply_updates(
+                Side::S,
+                vec![Update::Insert(SpatialObject::point(77, 3.0, 3.0))],
+            );
+            let (_, s) = d.connect();
+            let w = Rect::from_coords(0.0, 0.0, 25.0, 25.0);
+            let mut ids: Vec<u32> = s
+                .request(&Request::Window(w))
+                .into_objects()
+                .iter()
+                .map(|o| o.id)
+                .collect();
+            ids.sort_unstable();
+            (ids, s.meter().snapshot().total_bytes())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen deployment")]
+    fn frozen_deployment_refuses_updates() {
+        let d = Deployment::in_process(pts(5, 0.0), pts(5, 0.0), NetConfig::default());
+        assert!(!d.is_live());
+        d.apply_updates(Side::R, vec![Update::Delete(0)]);
+    }
+
+    #[test]
+    fn cached_live_deployment_notes_the_ack_generation() {
+        let d = DeploymentBuilder::new(pts(20, 0.0), pts(20, 0.0))
+            .with_client_cache(true)
+            .live()
+            .build();
+        let w = Rect::from_coords(-10.0, -10.0, 200.0, 200.0);
+        let (r1, _) = d.connect();
+        assert_eq!(r1.request(&Request::Count(w)).into_count(), 20);
+        // The update travels over a cached link, so the shared session
+        // store hears the Ack and re-keys lookups to generation 1: the
+        // stale generation-0 count can no longer be served.
+        d.apply_updates(Side::R, vec![Update::Delete(3)]);
+        let (r2, _) = d.connect();
+        assert_eq!(r2.request(&Request::Count(w)).into_count(), 19);
+        let snap = r2.cache().unwrap().snapshot();
+        assert_eq!((snap.stats_hits, snap.stats_misses), (0, 1));
+        // At the *same* generation the refreshed entry is hot again.
+        let (r3, _) = d.connect();
+        assert_eq!(r3.request(&Request::Count(w)).into_count(), 19);
+        assert_eq!(r3.cache().unwrap().snapshot().stats_hits, 1);
     }
 
     #[test]

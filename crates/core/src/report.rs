@@ -190,6 +190,7 @@ mod tests {
     fn fleet_shard_metrics() {
         let fleet_r = FleetSnapshot {
             per_shard: vec![LinkSnapshot::default(); 3],
+            generations: vec![0; 3],
             scattered: 6,
             pruned: 2,
         };

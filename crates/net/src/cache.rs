@@ -6,9 +6,14 @@
 //! re-COUNTs windows an earlier round already priced, a failed HBSJ
 //! attempt re-downloads its outer window for the NLSJ fallback, and a
 //! session of joins against the same servers repeats whole query streams.
-//! Servers in this system are **immutable snapshots**, so a client-side
-//! cache needs no invalidation: every hit simply deletes a round trip and
-//! its wire bytes.
+//! Servers serve **generational snapshots**: every response is (implicitly
+//! or explicitly) stamped with the generation it was answered from, and
+//! the cache keys *both tiers* by `(generation, rectangle)`. Invalidation
+//! falls out of the keying — when an update bumps the serving generation,
+//! entries from older generations simply stop matching and age out of the
+//! LRU budget; no invalidation protocol crosses the wire. Against a
+//! frozen (generation-0) server the cache behaves exactly as before:
+//! every hit simply deletes a round trip and its wire bytes.
 //!
 //! [`CacheLayer`] uses the same composition trick as
 //! [`ShardRouter`](crate::router::ShardRouter): it implements
@@ -67,11 +72,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use asj_geom::{Rect, SpatialObject};
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 
 use crate::codec::{
-    decode_request, decode_response, encode_request, encode_response, OBJECTS_HEADER_BYTES,
-    OBJ_BYTES,
+    decode_request, decode_response_gen, encode_request, encode_response, encode_response_into,
+    peel_generation, stamp_generation, OBJECTS_HEADER_BYTES, OBJ_BYTES,
 };
 use crate::meter::{CacheSnapshot, CacheTelemetry, LinkMeter};
 use crate::packet::PacketModel;
@@ -116,9 +121,11 @@ impl RectKey {
     }
 }
 
-/// One cached window download.
+/// One cached window download, pinned to the generation it was served
+/// from: a lookup at any other generation never matches it.
 struct WindowEntry {
     window: Rect,
+    generation: u64,
     objects: Vec<SpatialObject>,
     /// Wire-format size charged against the budget.
     bytes: u64,
@@ -126,14 +133,17 @@ struct WindowEntry {
     last_used: u64,
 }
 
+/// Stats-tier key: the serving generation plus the bit-exact rectangle.
+type CountKey = (u64, RectKey);
+
 #[derive(Default)]
 struct CacheState {
-    counts: HashMap<RectKey, u64>,
+    counts: HashMap<CountKey, u64>,
     /// Insertion order of `counts` keys — the deterministic FIFO victim
     /// queue of the stats tier (std `HashMap` iteration order is
     /// process-randomized, which would break the repo's bit-identical
     /// pinned-seed reproducibility once the cap is hit).
-    count_order: VecDeque<RectKey>,
+    count_order: VecDeque<CountKey>,
     windows: Vec<WindowEntry>,
     tick: u64,
 }
@@ -156,6 +166,9 @@ pub struct ClientCache {
     resident_bytes: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    /// Highest serving generation observed from the server(s) behind this
+    /// cache. Lookups only match entries at this generation.
+    current_generation: AtomicU64,
 }
 
 impl ClientCache {
@@ -170,22 +183,37 @@ impl ClientCache {
             resident_bytes: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            current_generation: AtomicU64::new(0),
         }
     }
 
-    /// Looks up `COUNT(w)`: the exact statistics tier first (bit-exact
-    /// key — a poisoned exact entry *must* win over derivation, which the
-    /// non-vacuity test relies on), then derivation from any cached
-    /// window containing `w`.
-    pub fn count(&self, w: &Rect) -> Option<u64> {
+    /// The highest serving generation observed so far (0 until the
+    /// servers go live — frozen responses carry no stamp).
+    pub fn generation(&self) -> u64 {
+        self.current_generation.load(Ordering::Acquire)
+    }
+
+    /// Records an observed serving generation (monotone max). Entries
+    /// keyed at older generations stop matching from here on and age out
+    /// of the LRU budget; nothing is actively purged.
+    pub fn note_generation(&self, generation: u64) {
+        self.current_generation
+            .fetch_max(generation, Ordering::AcqRel);
+    }
+
+    /// Looks up `COUNT(w)` at `generation`: the exact statistics tier
+    /// first (bit-exact key — a poisoned exact entry *must* win over
+    /// derivation, which the non-vacuity test relies on), then derivation
+    /// from any cached same-generation window containing `w`.
+    pub fn count(&self, w: &Rect, generation: u64) -> Option<u64> {
         let mut state = self.state.lock().expect("cache poisoned");
-        if let Some(&c) = state.counts.get(&RectKey::of(w)) {
+        if let Some(&c) = state.counts.get(&(generation, RectKey::of(w))) {
             return Some(c);
         }
         let i = state
             .windows
             .iter()
-            .position(|e| e.window.contains_rect(w))?;
+            .position(|e| e.generation == generation && e.window.contains_rect(w))?;
         let c = state.windows[i]
             .objects
             .iter()
@@ -202,9 +230,9 @@ impl ClientCache {
     /// pinned-seed runs stay bit-identical — which is correctness-safe:
     /// forgetting a count only re-pays one `Taq`. A long-lived session
     /// store therefore stays bounded.
-    pub fn observe_count(&self, w: &Rect, count: u64) {
+    pub fn observe_count(&self, w: &Rect, count: u64, generation: u64) {
         let mut state = self.state.lock().expect("cache poisoned");
-        let key = RectKey::of(w);
+        let key = (generation, RectKey::of(w));
         if let Some(resident) = state.counts.get_mut(&key) {
             *resident = count;
             return;
@@ -220,31 +248,32 @@ impl ClientCache {
         state.count_order.push_back(key);
     }
 
-    /// Looks up `WINDOW(w)` via containment: filtered objects of a cached
-    /// window containing `w`.
-    pub fn window(&self, w: &Rect) -> Option<Vec<SpatialObject>> {
-        self.filter_contained(w, |o| o.mbr.intersects(w))
+    /// Looks up `WINDOW(w)` at `generation` via containment: filtered
+    /// objects of a cached same-generation window containing `w`.
+    pub fn window(&self, w: &Rect, generation: u64) -> Option<Vec<SpatialObject>> {
+        self.filter_contained(w, generation, |o| o.mbr.intersects(w))
     }
 
-    /// Looks up `ε-RANGE(q, eps)` via containment: a qualifying object's
-    /// MBR is within `eps` of `q` and therefore intersects
-    /// `q.expand(eps)`; any cached window containing that reach holds
-    /// every answer.
-    pub fn eps_range(&self, q: &Rect, eps: f64) -> Option<Vec<SpatialObject>> {
+    /// Looks up `ε-RANGE(q, eps)` at `generation` via containment: a
+    /// qualifying object's MBR is within `eps` of `q` and therefore
+    /// intersects `q.expand(eps)`; any cached same-generation window
+    /// containing that reach holds every answer.
+    pub fn eps_range(&self, q: &Rect, eps: f64, generation: u64) -> Option<Vec<SpatialObject>> {
         let reach = q.expand(eps);
-        self.filter_contained(&reach, |o| o.mbr.within_distance(q, eps))
+        self.filter_contained(&reach, generation, |o| o.mbr.within_distance(q, eps))
     }
 
     fn filter_contained(
         &self,
         reach: &Rect,
+        generation: u64,
         keep: impl Fn(&SpatialObject) -> bool,
     ) -> Option<Vec<SpatialObject>> {
         let mut state = self.state.lock().expect("cache poisoned");
         let i = state
             .windows
             .iter()
-            .position(|e| e.window.contains_rect(reach))?;
+            .position(|e| e.generation == generation && e.window.contains_rect(reach))?;
         let out = state.windows[i]
             .objects
             .iter()
@@ -257,22 +286,29 @@ impl ClientCache {
         Some(out)
     }
 
-    /// Admits a `WINDOW(w)` download, evicting least-recently-used
-    /// entries until the byte budget holds. Skipped when the window is
-    /// already derivable from a cached entry or alone exceeds the budget;
-    /// cached entries covered by `w` are dropped (they become derivable).
-    pub fn admit_window(&self, w: &Rect, objects: &[SpatialObject]) {
+    /// Admits a `WINDOW(w)` download served at `generation`, evicting
+    /// least-recently-used entries until the byte budget holds. Skipped
+    /// when the window is already derivable from a same-generation entry
+    /// or alone exceeds the budget; same-generation entries covered by
+    /// `w` are dropped (they become derivable). Entries from *other*
+    /// generations are left alone — they are unreachable for lookups at
+    /// the current generation and age out through the LRU budget.
+    pub fn admit_window(&self, w: &Rect, objects: &[SpatialObject], generation: u64) {
         let bytes = OBJECTS_HEADER_BYTES + objects.len() as u64 * OBJ_BYTES;
         if bytes > self.window_budget {
             return;
         }
         let mut state = self.state.lock().expect("cache poisoned");
-        if state.windows.iter().any(|e| e.window.contains_rect(w)) {
+        if state
+            .windows
+            .iter()
+            .any(|e| e.generation == generation && e.window.contains_rect(w))
+        {
             return;
         }
         let mut freed = 0u64;
         state.windows.retain(|e| {
-            let covered = w.contains_rect(&e.window);
+            let covered = e.generation == generation && w.contains_rect(&e.window);
             if covered {
                 freed += e.bytes;
             }
@@ -292,6 +328,7 @@ impl ClientCache {
         state.tick += 1;
         let entry = WindowEntry {
             window: *w,
+            generation,
             objects: objects.to_vec(),
             bytes,
             last_used: state.tick,
@@ -321,7 +358,10 @@ impl ClientCache {
     /// value (0, or 1 if it was already 0) and returns `true` when an
     /// entry existed. The differential suites use this to prove they are
     /// non-vacuous — a single corrupted cached statistic must be caught
-    /// by the result oracle.
+    /// by the result oracle. Compiled only for this crate's own tests and
+    /// for downstream suites that opt in via the `testing` feature: a
+    /// production build carries no cache-corruption entry point.
+    #[cfg(any(test, feature = "testing"))]
     pub fn poison_one_count(&self) -> bool {
         let mut state = self.state.lock().expect("cache poisoned");
         // Ties broken by key so the victim is deterministic across
@@ -455,43 +495,68 @@ impl CacheLayer {
 
     /// Ships `raw` to the inner carrier, metering it here unless the
     /// inner carrier premeters its own traffic. Returns the raw reply,
-    /// plus its decoded form when metering already had to decode it —
-    /// callers that need the decoded reply anyway reuse it via
+    /// its decoded form when metering already had to decode it — callers
+    /// that need the decoded reply anyway reuse it via
     /// [`CacheLayer::decoded`], and callers that don't (ε-RANGE misses,
-    /// raw pass-through over a premetered router) never pay a decode.
-    fn forward(&self, raw: Bytes, req: &Request) -> (Bytes, Option<Response>) {
+    /// raw pass-through over a premetered router) never pay a decode —
+    /// and the serving generation the reply was stamped with (0 when
+    /// unstamped), which is also noted into the shared store so older
+    /// generations stop matching.
+    fn forward(&self, raw: Bytes, req: &Request) -> (Bytes, Option<Response>, u64) {
         if self.inner_premetered {
-            return (self.inner.exchange(raw), None);
+            let reply = self.inner.exchange(raw);
+            // Peek the stamp only — the reply is forwarded verbatim.
+            let (generation, _) = peel_generation(reply.clone()).expect("malformed response");
+            self.cache.note_generation(generation);
+            return (reply, None, generation);
         }
         self.meter
             .record_request(req, raw.len() as u64, &self.packet);
         let reply = self.inner.exchange(raw);
-        let resp = decode_response(reply.clone()).expect("malformed response");
+        let (resp, generation) = decode_response_gen(reply.clone()).expect("malformed response");
+        self.cache.note_generation(generation);
         self.meter.record_response(
             reply.len() as u64,
             resp.object_count(),
             &self.packet,
             req.is_aggregate(),
         );
-        (reply, Some(resp))
+        (reply, Some(resp), generation)
     }
 
     /// The decoded reply: reuses what metering decoded, or decodes now.
     fn decoded(reply: &Bytes, prior: Option<Response>) -> Response {
-        prior.unwrap_or_else(|| decode_response(reply.clone()).expect("malformed response"))
+        prior.unwrap_or_else(|| {
+            decode_response_gen(reply.clone())
+                .expect("malformed response")
+                .0
+        })
     }
 
     /// Pass-through for non-cacheable opcodes. A premetered inner
-    /// carrier gets the bytes verbatim with zero decode work (the router
-    /// decodes and meters on its own); otherwise the layer must decode
-    /// for the meter's query-mix and object counters, exactly as an
-    /// uncached [`Link`] would have.
+    /// carrier gets the bytes verbatim with a stamp peek only (the
+    /// router decodes and meters on its own); otherwise the layer must
+    /// decode for the meter's query-mix and object counters, exactly as
+    /// an uncached [`Link`] would have.
     fn forward_raw(&self, raw: Bytes) -> Bytes {
         if self.inner_premetered {
-            return self.inner.exchange(raw);
+            let reply = self.inner.exchange(raw);
+            let (generation, _) = peel_generation(reply.clone()).expect("malformed response");
+            self.cache.note_generation(generation);
+            return reply;
         }
         let req = decode_request(raw.clone()).expect("malformed request");
         self.forward(raw, &req).0
+    }
+
+    /// A locally answered request: encode at `generation`, stamped
+    /// exactly as the server would have stamped it (generation 0 carries
+    /// no stamp — byte-identical to the frozen wire format).
+    fn local_reply(&self, resp: &Response, generation: u64) -> Bytes {
+        let mut buf = BytesMut::new();
+        stamp_generation(generation, &mut buf);
+        encode_response_into(resp, &mut buf);
+        buf.freeze()
     }
 
     /// Wire bytes (both directions, packetized) a fully local answer
@@ -501,24 +566,29 @@ impl CacheLayer {
     }
 
     fn handle_count(&self, raw: Bytes, w: Rect) -> Bytes {
-        if let Some(c) = self.cache.count(&w) {
+        let generation = self.cache.generation();
+        if let Some(c) = self.cache.count(&w, generation) {
             self.telemetry.record_stats(1, 0);
-            let reply = encode_response(&Response::Count(c));
+            let reply = self.local_reply(&Response::Count(c), generation);
             self.telemetry
                 .record_saved(self.saved(raw.len(), reply.len()));
             return reply;
         }
         self.telemetry.record_stats(0, 1);
         let req = Request::Count(w);
-        let (reply, resp) = self.forward(raw, &req);
+        let (reply, resp, generation) = self.forward(raw, &req);
         if let Response::Count(c) = Self::decoded(&reply, resp) {
-            self.cache.observe_count(&w, c);
+            self.cache.observe_count(&w, c, generation);
         }
         reply
     }
 
     fn handle_multi_count(&self, raw: Bytes, windows: Vec<Rect>) -> Bytes {
-        let answers: Vec<Option<u64>> = windows.iter().map(|w| self.cache.count(w)).collect();
+        let generation = self.cache.generation();
+        let answers: Vec<Option<u64>> = windows
+            .iter()
+            .map(|w| self.cache.count(w, generation))
+            .collect();
         let miss_idx: Vec<usize> = (0..windows.len())
             .filter(|&i| answers[i].is_none())
             .collect();
@@ -529,7 +599,7 @@ impl CacheLayer {
         if miss_idx.is_empty() {
             // Every entry answered locally: the whole round trip vanishes.
             let counts = answers.into_iter().map(|c| c.expect("all hits")).collect();
-            let reply = encode_response(&Response::Counts(counts));
+            let reply = self.local_reply(&Response::Counts(counts), generation);
             self.telemetry
                 .record_saved(self.saved(raw.len(), reply.len()));
             return reply;
@@ -537,13 +607,13 @@ impl CacheLayer {
         if miss_idx.len() == windows.len() {
             // Full miss: forward the original bytes unchanged.
             let req = Request::MultiCount(windows);
-            let (reply, resp) = self.forward(raw, &req);
+            let (reply, resp, generation) = self.forward(raw, &req);
             if let (Request::MultiCount(ws), Response::Counts(cs)) =
                 (&req, Self::decoded(&reply, resp))
             {
                 if cs.len() == ws.len() {
                     for (w, c) in ws.iter().zip(cs) {
-                        self.cache.observe_count(w, c);
+                        self.cache.observe_count(w, c, generation);
                     }
                 }
             }
@@ -554,7 +624,23 @@ impl CacheLayer {
         let sub = Request::MultiCount(miss_idx.iter().map(|&i| windows[i]).collect());
         let sub_raw = encode_request(&sub);
         let sub_len = sub_raw.len();
-        let (sub_reply, resp) = self.forward(sub_raw, &sub);
+        let (sub_reply, resp, fresh_generation) = self.forward(sub_raw, &sub);
+        if fresh_generation != generation {
+            // The servers advanced between our local answers and the
+            // sub-batch reply: the splice would mix generations. Re-ask
+            // the full batch at the new generation — correctness first;
+            // this only costs bytes when an update races the query.
+            let req = Request::MultiCount(windows.clone());
+            let (reply, resp, generation) = self.forward(raw, &req);
+            if let Response::Counts(cs) = Self::decoded(&reply, resp) {
+                if cs.len() == windows.len() {
+                    for (w, c) in windows.iter().zip(cs) {
+                        self.cache.observe_count(w, c, generation);
+                    }
+                }
+            }
+            return reply;
+        }
         let fresh = match Self::decoded(&sub_reply, resp) {
             Response::Counts(cs) if cs.len() == miss_idx.len() => cs,
             Response::Refused => return encode_response(&Response::Refused),
@@ -566,9 +652,9 @@ impl CacheLayer {
         let mut counts: Vec<u64> = answers.into_iter().map(|c| c.unwrap_or(0)).collect();
         for (&i, &c) in miss_idx.iter().zip(&fresh) {
             counts[i] = c;
-            self.cache.observe_count(&windows[i], c);
+            self.cache.observe_count(&windows[i], c, generation);
         }
-        let reply = encode_response(&Response::Counts(counts));
+        let reply = self.local_reply(&Response::Counts(counts), generation);
         // Saved: the framing/entries the sub-batch did not carry.
         let saved_up = self.packet.tb(raw.len() as u64) - self.packet.tb(sub_len as u64);
         let saved_down =
@@ -578,26 +664,28 @@ impl CacheLayer {
     }
 
     fn handle_window(&self, raw: Bytes, w: Rect) -> Bytes {
-        if let Some(objects) = self.cache.window(&w) {
+        let generation = self.cache.generation();
+        if let Some(objects) = self.cache.window(&w, generation) {
             self.telemetry.record_window(true);
-            let reply = encode_response(&Response::Objects(objects));
+            let reply = self.local_reply(&Response::Objects(objects), generation);
             self.telemetry
                 .record_saved(self.saved(raw.len(), reply.len()));
             return reply;
         }
         self.telemetry.record_window(false);
         let req = Request::Window(w);
-        let (reply, resp) = self.forward(raw, &req);
+        let (reply, resp, generation) = self.forward(raw, &req);
         if let Response::Objects(objects) = Self::decoded(&reply, resp) {
-            self.cache.admit_window(&w, &objects);
+            self.cache.admit_window(&w, &objects, generation);
         }
         reply
     }
 
     fn handle_eps_range(&self, raw: Bytes, q: Rect, eps: f64) -> Bytes {
-        if let Some(objects) = self.cache.eps_range(&q, eps) {
+        let generation = self.cache.generation();
+        if let Some(objects) = self.cache.eps_range(&q, eps, generation) {
             self.telemetry.record_probe(true);
-            let reply = encode_response(&Response::Objects(objects));
+            let reply = self.local_reply(&Response::Objects(objects), generation);
             self.telemetry
                 .record_saved(self.saved(raw.len(), reply.len()));
             return reply;
@@ -625,6 +713,17 @@ impl RawExchange for CacheLayer {
                     Request::EpsRange { q, eps } => self.handle_eps_range(raw, q, eps),
                     _ => unreachable!("opcode dispatch matches the decoder"),
                 }
+            }
+            Some(crate::codec::op::APPLY_UPDATES) => {
+                // Updates always ship (the cache never absorbs a write);
+                // the `Ack` carries the new serving generation, which the
+                // store must learn *before* the next lookup so stale
+                // entries stop matching immediately.
+                let reply = self.forward_raw(raw);
+                if let Ok((Response::Ack { generation }, _)) = decode_response_gen(reply.clone()) {
+                    self.cache.note_generation(generation);
+                }
+                reply
             }
             _ => self.forward_raw(raw),
         }
@@ -659,6 +758,123 @@ mod tests {
 
     fn w(a: f64, b: f64, c: f64, d: f64) -> Rect {
         Rect::from_coords(a, b, c, d)
+    }
+
+    #[test]
+    fn generation_bump_makes_old_entries_unreachable() {
+        let store = Arc::new(ClientCache::new(1 << 20));
+        let objs = lattice(4);
+        let big = w(0.0, 0.0, 4.0, 4.0);
+        store.admit_window(&big, &objs, 0);
+        store.observe_count(&big, 16, 0);
+        assert_eq!(store.count(&big, 0), Some(16));
+        assert!(store.window(&w(1.0, 1.0, 2.0, 2.0), 0).is_some());
+        // The servers advance: generation-0 entries stop matching.
+        store.note_generation(3);
+        assert_eq!(store.generation(), 3);
+        assert_eq!(store.count(&big, 3), None, "stale count must not serve");
+        assert!(store.window(&w(1.0, 1.0, 2.0, 2.0), 3).is_none());
+        assert!(store.eps_range(&w(1.0, 1.0, 1.0, 1.0), 0.5, 3).is_none());
+        // Same rect at the new generation is a distinct entry.
+        store.observe_count(&big, 15, 3);
+        assert_eq!(store.count(&big, 3), Some(15));
+        assert_eq!(store.count(&big, 0), Some(16), "old key still intact");
+        // note_generation is monotone: a late gen-1 stamp cannot regress.
+        store.note_generation(1);
+        assert_eq!(store.generation(), 3);
+    }
+
+    #[test]
+    fn layer_switches_generations_on_an_ack() {
+        // A server double that serves gen 0 until it sees ApplyUpdates,
+        // then serves a changed dataset stamped gen 1.
+        struct Flip {
+            objects: Mutex<Vec<SpatialObject>>,
+            generation: AtomicU64,
+        }
+        impl RawExchange for Flip {
+            fn exchange(&self, raw: Bytes) -> Bytes {
+                let req = decode_request(raw).expect("malformed request");
+                let generation = self.generation.load(Ordering::SeqCst);
+                let resp = match req {
+                    Request::ApplyUpdates(batch) => {
+                        let mut objs = self.objects.lock().unwrap();
+                        for u in &batch {
+                            match u {
+                                crate::proto::Update::Delete(id) => objs.retain(|o| o.id != *id),
+                                crate::proto::Update::Insert(o) => objs.push(*o),
+                                crate::proto::Update::Move { id, to } => {
+                                    objs.retain(|o| o.id != *id);
+                                    objs.push(SpatialObject::new(*id, *to));
+                                }
+                            }
+                        }
+                        let g = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+                        return encode_response(&Response::Ack { generation: g });
+                    }
+                    Request::Count(w) => Response::Count(
+                        self.objects
+                            .lock()
+                            .unwrap()
+                            .iter()
+                            .filter(|o| o.mbr.intersects(&w))
+                            .count() as u64,
+                    ),
+                    Request::Window(w) => Response::Objects(
+                        self.objects
+                            .lock()
+                            .unwrap()
+                            .iter()
+                            .filter(|o| o.mbr.intersects(&w))
+                            .copied()
+                            .collect(),
+                    ),
+                    _ => Response::Refused,
+                };
+                let mut buf = BytesMut::new();
+                stamp_generation(generation, &mut buf);
+                encode_response_into(&resp, &mut buf);
+                buf.freeze()
+            }
+        }
+        let server = Arc::new(Flip {
+            objects: Mutex::new(lattice(4)),
+            generation: AtomicU64::new(0),
+        });
+        struct Shared(Arc<Flip>);
+        impl RawExchange for Shared {
+            fn exchange(&self, raw: Bytes) -> Bytes {
+                self.0.exchange(raw)
+            }
+        }
+        let link = Link::cached(
+            CacheLayer::new(
+                Box::new(Shared(Arc::clone(&server))),
+                PacketModel::default(),
+                Arc::new(ClientCache::new(1 << 20)),
+            ),
+            1.0,
+        );
+        let big = w(0.0, 0.0, 4.0, 4.0);
+        assert_eq!(link.request(&Request::Count(big)).into_count(), 16);
+        assert_eq!(link.request(&Request::Count(big)).into_count(), 16, "hit");
+        assert_eq!(link.cache().unwrap().snapshot().stats_hits, 1);
+        // Delete one object through the cache layer: the Ack bumps the
+        // cache's generation, so the primed count must NOT be served.
+        let ack = link.request(&Request::ApplyUpdates(vec![crate::proto::Update::Delete(
+            0,
+        )]));
+        assert_eq!(ack, Response::Ack { generation: 1 });
+        assert_eq!(link.last_generation(), 1);
+        assert_eq!(
+            link.request(&Request::Count(big)).into_count(),
+            15,
+            "a stale cached count must never be served after the bump"
+        );
+        // And the fresh gen-1 entry is hot again.
+        let before = link.meter().snapshot();
+        assert_eq!(link.request(&Request::Count(big)).into_count(), 15);
+        assert_eq!(link.meter().snapshot(), before);
     }
 
     #[test]
@@ -798,18 +1014,18 @@ mod tests {
     fn admission_skips_derivable_and_oversized_windows() {
         let store = Arc::new(ClientCache::new(1000));
         let objs = lattice(4);
-        store.admit_window(&w(0.0, 0.0, 4.0, 4.0), &objs);
+        store.admit_window(&w(0.0, 0.0, 4.0, 4.0), &objs, 0);
         assert_eq!(store.cached_windows(), 1);
         // Contained window: derivable, not admitted.
-        store.admit_window(&w(1.0, 1.0, 2.0, 2.0), &objs[..2]);
+        store.admit_window(&w(1.0, 1.0, 2.0, 2.0), &objs[..2], 0);
         assert_eq!(store.cached_windows(), 1);
         // Covering window: admitted, covered entry dropped.
-        store.admit_window(&w(-1.0, -1.0, 5.0, 5.0), &objs);
+        store.admit_window(&w(-1.0, -1.0, 5.0, 5.0), &objs, 0);
         assert_eq!(store.cached_windows(), 1);
         assert_eq!(store.resident_bytes(), 5 + 16 * 20);
         // Oversized: silently skipped.
         let big = lattice(8);
-        store.admit_window(&w(-2.0, -2.0, 9.0, 9.0), &big);
+        store.admit_window(&w(-2.0, -2.0, 9.0, 9.0), &big, 0);
         assert_eq!(store.cached_windows(), 1);
     }
 
@@ -818,29 +1034,29 @@ mod tests {
         // Budget 400 → cap max(256, 10) = 256 exact entries.
         let store = Arc::new(ClientCache::new(400));
         for i in 0..1000 {
-            store.observe_count(&w(i as f64, 0.0, i as f64 + 1.0, 1.0), i);
+            store.observe_count(&w(i as f64, 0.0, i as f64 + 1.0, 1.0), i, 0);
         }
         assert_eq!(store.cached_counts(), 256, "cap must hold");
         // Further churn replaces entries one-for-one, never grows.
         let before = store.cached_counts();
         for i in 900..1000 {
-            store.observe_count(&w(i as f64, 0.0, i as f64 + 1.0, 1.0), i);
+            store.observe_count(&w(i as f64, 0.0, i as f64 + 1.0, 1.0), i, 0);
         }
         assert_eq!(store.cached_counts(), before);
         // The latest observation is always resident.
-        assert_eq!(store.count(&w(999.0, 0.0, 1000.0, 1.0)), Some(999));
+        assert_eq!(store.count(&w(999.0, 0.0, 1000.0, 1.0), 0), Some(999));
     }
 
     #[test]
     fn poison_flips_the_largest_count() {
         let store = Arc::new(ClientCache::new(1000));
         assert!(!store.poison_one_count(), "nothing to poison yet");
-        store.observe_count(&w(0.0, 0.0, 1.0, 1.0), 3);
-        store.observe_count(&w(0.0, 0.0, 2.0, 2.0), 9);
+        store.observe_count(&w(0.0, 0.0, 1.0, 1.0), 3, 0);
+        store.observe_count(&w(0.0, 0.0, 2.0, 2.0), 9, 0);
         assert!(store.poison_one_count());
-        let poisoned = store.count(&w(0.0, 0.0, 2.0, 2.0)).unwrap();
+        let poisoned = store.count(&w(0.0, 0.0, 2.0, 2.0), 0).unwrap();
         assert_eq!(poisoned, 0, "largest entry flipped to 0");
-        assert_eq!(store.count(&w(0.0, 0.0, 1.0, 1.0)), Some(3));
+        assert_eq!(store.count(&w(0.0, 0.0, 1.0, 1.0), 0), Some(3));
     }
 
     #[test]

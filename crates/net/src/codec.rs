@@ -13,7 +13,7 @@
 use asj_geom::{Point, Rect, SpatialObject};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::proto::{Request, Response};
+use crate::proto::{Request, Response, Update};
 
 /// Wire size of one spatial object (`Bobj`).
 pub const OBJ_BYTES: u64 = 20;
@@ -61,6 +61,23 @@ pub const PAIRS_HEADER_BYTES: u64 = 1 + 4;
 pub const PAIR_BYTES: u64 = 8;
 /// Wire size of a `Refused` response (opcode only).
 pub const REFUSED_BYTES: u64 = 1;
+/// Fixed overhead of an `ApplyUpdates` request (opcode + u32 n); each
+/// update adds its tagged wire size ([`UPDATE_INSERT_BYTES`],
+/// [`UPDATE_DELETE_BYTES`] or [`UPDATE_MOVE_BYTES`]).
+pub const UPDATES_HEADER_BYTES: u64 = 1 + 4;
+/// Wire size of one `Insert` update (tag + object).
+pub const UPDATE_INSERT_BYTES: u64 = 1 + OBJ_BYTES;
+/// Wire size of one `Delete` update (tag + u32 id).
+pub const UPDATE_DELETE_BYTES: u64 = 1 + 4;
+/// Wire size of one `Move` update (tag + u32 id + rect).
+pub const UPDATE_MOVE_BYTES: u64 = 1 + 4 + RECT_BYTES;
+/// Wire size of an `Ack` response (opcode + u64 generation).
+pub const ACK_BYTES: u64 = 1 + 8;
+/// Wire size of the generation-stamp envelope prefixed to response frames
+/// served from a generation > 0 (opcode + u64 generation). Generation-0
+/// frames carry **no** stamp, so frozen-store traffic is bit-for-bit the
+/// pre-generation wire format.
+pub const GEN_STAMP_BYTES: u64 = 1 + 8;
 
 /// Decoding failure: corrupt or truncated message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,6 +104,7 @@ pub(crate) mod op {
     pub const BUCKET_EPS_RANGE: u8 = 0x04;
     pub const AVG_AREA: u8 = 0x05;
     pub const MULTI_COUNT: u8 = 0x06;
+    pub const APPLY_UPDATES: u8 = 0x07;
     pub const COOP_LEVEL_MBRS: u8 = 0x10;
     pub const COOP_FILTER: u8 = 0x11;
     pub const COOP_JOIN_PUSH: u8 = 0x12;
@@ -99,6 +117,24 @@ pub(crate) mod op {
     pub const R_PAIRS: u8 = 0x86;
     pub const R_REFUSED: u8 = 0x87;
     pub const R_COUNTS: u8 = 0x88;
+    pub const R_ACK: u8 = 0x89;
+    /// Not a response in its own right: the generation-stamp envelope
+    /// prefix. `[R_GEN][u64 generation][response frame]`.
+    pub const R_GEN: u8 = 0x8A;
+
+    /// Wire tags of the three [`crate::proto::Update`] kinds.
+    pub const UPD_INSERT: u8 = 0x01;
+    pub const UPD_DELETE: u8 = 0x02;
+    pub const UPD_MOVE: u8 = 0x03;
+}
+
+/// Exact wire size of one encoded update.
+pub fn update_wire_bytes(u: &Update) -> u64 {
+    match u {
+        Update::Insert(_) => UPDATE_INSERT_BYTES,
+        Update::Delete(_) => UPDATE_DELETE_BYTES,
+        Update::Move { .. } => UPDATE_MOVE_BYTES,
+    }
 }
 
 fn put_rect(buf: &mut BytesMut, r: &Rect) {
@@ -128,6 +164,9 @@ pub fn request_wire_bytes(req: &Request) -> u64 {
         Request::CoopJoinPush { objects, .. } => {
             COOP_JOIN_HEADER_BYTES + objects.len() as u64 * OBJ_BYTES
         }
+        Request::ApplyUpdates(batch) => {
+            UPDATES_HEADER_BYTES + batch.iter().map(update_wire_bytes).sum::<u64>()
+        }
     }
 }
 
@@ -149,6 +188,7 @@ pub fn response_wire_bytes(resp: &Response) -> u64 {
         Response::Rects(rects) => RECTS_HEADER_BYTES + rects.len() as u64 * RECT_BYTES,
         Response::Pairs(pairs) => PAIRS_HEADER_BYTES + pairs.len() as u64 * PAIR_BYTES,
         Response::Refused => REFUSED_BYTES,
+        Response::Ack { .. } => ACK_BYTES,
     }
 }
 
@@ -261,6 +301,27 @@ pub fn encode_request_into(req: &Request, buf: &mut BytesMut) {
                 put_object(buf, o);
             }
         }
+        Request::ApplyUpdates(batch) => {
+            buf.put_u8(op::APPLY_UPDATES);
+            buf.put_u32(batch.len() as u32);
+            for u in batch {
+                match u {
+                    Update::Insert(o) => {
+                        buf.put_u8(op::UPD_INSERT);
+                        put_object(buf, o);
+                    }
+                    Update::Delete(id) => {
+                        buf.put_u8(op::UPD_DELETE);
+                        buf.put_u32(*id);
+                    }
+                    Update::Move { id, to } => {
+                        buf.put_u8(op::UPD_MOVE);
+                        buf.put_u32(*id);
+                        put_rect(buf, to);
+                    }
+                }
+            }
+        }
     }
     debug_assert_eq!(
         (buf.len() - start) as u64,
@@ -324,6 +385,25 @@ pub fn decode_request(mut buf: Bytes) -> Result<Request, CodecError> {
                 objects.push(get_object(&mut buf)?);
             }
             Ok(Request::CoopJoinPush { objects, eps })
+        }
+        op::APPLY_UPDATES => {
+            let n = get_u32(&mut buf)? as usize;
+            let mut batch = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                if buf.remaining() < 1 {
+                    return Err(CodecError::Truncated);
+                }
+                batch.push(match buf.get_u8() {
+                    op::UPD_INSERT => Update::Insert(get_object(&mut buf)?),
+                    op::UPD_DELETE => Update::Delete(get_u32(&mut buf)?),
+                    op::UPD_MOVE => Update::Move {
+                        id: get_u32(&mut buf)?,
+                        to: get_rect(&mut buf)?,
+                    },
+                    tag => return Err(CodecError::UnknownOpcode(tag)),
+                });
+            }
+            Ok(Request::ApplyUpdates(batch))
         }
         other => Err(CodecError::UnknownOpcode(other)),
     }
@@ -394,6 +474,10 @@ pub fn encode_response_into(resp: &Response, buf: &mut BytesMut) {
         }
         Response::Refused => {
             buf.put_u8(op::R_REFUSED);
+        }
+        Response::Ack { generation } => {
+            buf.put_u8(op::R_ACK);
+            buf.put_u64(*generation);
         }
     }
     debug_assert_eq!(
@@ -547,7 +631,60 @@ pub fn decode_response(mut buf: Bytes) -> Result<Response, CodecError> {
             Ok(Response::Counts(counts))
         }
         op::R_REFUSED => Ok(Response::Refused),
+        op::R_ACK => {
+            if buf.remaining() < 8 {
+                return Err(CodecError::Truncated);
+            }
+            Ok(Response::Ack {
+                generation: buf.get_u64(),
+            })
+        }
         other => Err(CodecError::UnknownOpcode(other)),
+    }
+}
+
+/// Prefixes `buf` (appending) with the generation-stamp envelope — a no-op
+/// at generation 0, so frozen-store frames stay bit-identical to the
+/// pre-generation wire format. Callers stamp **before** encoding the
+/// response frame: `[R_GEN][u64 gen][frame]`.
+pub fn stamp_generation(generation: u64, buf: &mut BytesMut) {
+    if generation > 0 {
+        buf.reserve(GEN_STAMP_BYTES as usize);
+        buf.put_u8(op::R_GEN);
+        buf.put_u64(generation);
+    }
+}
+
+/// Decodes a response frame that may carry a generation stamp. Unstamped
+/// frames (everything a frozen, generation-0 store serves) decode exactly
+/// as [`decode_response`] and report generation 0.
+pub fn decode_response_gen(mut buf: Bytes) -> Result<(Response, u64), CodecError> {
+    if buf.remaining() >= 1 && buf[0] == op::R_GEN {
+        buf.advance(1);
+        if buf.remaining() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        let generation = buf.get_u64();
+        Ok((decode_response(buf)?, generation))
+    } else {
+        Ok((decode_response(buf)?, 0))
+    }
+}
+
+/// Splits a raw response frame into its generation and the unstamped
+/// remainder **without decoding the payload** — the cheap peek the
+/// premetered forwarding paths use. Unstamped frames report generation 0
+/// and come back unchanged.
+pub fn peel_generation(buf: Bytes) -> Result<(u64, Bytes), CodecError> {
+    if buf.remaining() >= 1 && buf[0] == op::R_GEN {
+        if buf.remaining() < GEN_STAMP_BYTES as usize {
+            return Err(CodecError::Truncated);
+        }
+        let generation = u64::from_be_bytes(buf[1..9].try_into().expect("9-byte stamp"));
+        let rest = buf.slice(GEN_STAMP_BYTES as usize..buf.len());
+        Ok((generation, rest))
+    } else {
+        Ok((0, buf))
     }
 }
 
@@ -714,6 +851,116 @@ mod tests {
             Err(CodecError::UnknownOpcode(0x7f))
         );
         assert_eq!(decode_response(bad), Err(CodecError::UnknownOpcode(0x7f)));
+    }
+
+    #[test]
+    fn update_batch_roundtrips_and_matches_constants() {
+        let batch = Request::ApplyUpdates(vec![
+            Update::Insert(obj(1, 1.0, 2.0)),
+            Update::Delete(7),
+            Update::Move {
+                id: 9,
+                to: Rect::from_coords(1.0, 1.0, 2.0, 2.0),
+            },
+        ]);
+        let bytes = encode_request(&batch);
+        assert_eq!(
+            bytes.len() as u64,
+            UPDATES_HEADER_BYTES + UPDATE_INSERT_BYTES + UPDATE_DELETE_BYTES + UPDATE_MOVE_BYTES
+        );
+        assert_eq!(decode_request(bytes).unwrap(), batch);
+        let empty = Request::ApplyUpdates(vec![]);
+        assert_eq!(
+            decode_request(encode_request(&empty)).unwrap(),
+            Request::ApplyUpdates(vec![])
+        );
+    }
+
+    #[test]
+    fn update_truncation_and_bad_tag_rejected() {
+        let full = encode_request(&Request::ApplyUpdates(vec![
+            Update::Insert(obj(1, 1.0, 2.0)),
+            Update::Delete(7),
+        ]));
+        for cut in [1, 4, 5, 6, 25, 26] {
+            assert_eq!(
+                decode_request(full.slice(0..cut)),
+                Err(CodecError::Truncated),
+                "cut={cut}"
+            );
+        }
+        let mut bad = full.as_slice().to_vec();
+        bad[UPDATES_HEADER_BYTES as usize] = 0x7e; // corrupt the first tag
+        assert_eq!(
+            decode_request(Bytes::from(bad)),
+            Err(CodecError::UnknownOpcode(0x7e))
+        );
+    }
+
+    #[test]
+    fn ack_roundtrips() {
+        let ack = Response::Ack { generation: 42 };
+        let bytes = encode_response(&ack);
+        assert_eq!(bytes.len() as u64, ACK_BYTES);
+        assert_eq!(decode_response(bytes.clone()).unwrap(), ack);
+        assert_eq!(decode_response_gen(bytes).unwrap(), (ack, 0));
+        assert_eq!(
+            decode_response(encode_response(&Response::Ack { generation: 42 }).slice(0..5)),
+            Err(CodecError::Truncated)
+        );
+    }
+
+    #[test]
+    fn generation_zero_stamps_nothing() {
+        // The bit-for-bit compatibility proof at the codec level: stamping
+        // generation 0 appends no bytes, so a frozen store's frames are
+        // exactly the pre-generation encoding, and they decode to gen 0.
+        let resp = Response::Objects(vec![obj(1, 1.0, 1.0)]);
+        let mut buf = BytesMut::new();
+        stamp_generation(0, &mut buf);
+        assert!(buf.is_empty());
+        encode_response_into(&resp, &mut buf);
+        assert_eq!(buf.freeze(), encode_response(&resp));
+        let (back, gen) = decode_response_gen(encode_response(&resp)).unwrap();
+        assert_eq!((back, gen), (resp, 0));
+    }
+
+    #[test]
+    fn stamped_frames_roundtrip_and_peel() {
+        let resp = Response::Objects(vec![obj(1, 1.0, 1.0), obj(2, 2.0, 2.0)]);
+        let mut buf = BytesMut::new();
+        stamp_generation(3, &mut buf);
+        encode_response_into(&resp, &mut buf);
+        let raw = buf.freeze();
+        assert_eq!(
+            raw.len() as u64,
+            GEN_STAMP_BYTES + response_wire_bytes(&resp)
+        );
+        assert_eq!(decode_response_gen(raw.clone()).unwrap(), (resp.clone(), 3));
+        let (gen, rest) = peel_generation(raw.clone()).unwrap();
+        assert_eq!(gen, 3);
+        assert_eq!(rest, encode_response(&resp));
+        // Peeling an unstamped frame is the identity.
+        let plain = encode_response(&resp);
+        assert_eq!(peel_generation(plain.clone()).unwrap(), (0, plain));
+        // A truncated stamp is rejected, not misread as generation 0.
+        for cut in [1, 5, 8] {
+            assert_eq!(
+                decode_response_gen(raw.slice(0..cut)),
+                Err(CodecError::Truncated),
+                "cut={cut}"
+            );
+            assert_eq!(
+                peel_generation(raw.slice(0..cut)),
+                Err(CodecError::Truncated),
+                "cut={cut}"
+            );
+        }
+        // A bare stamp with no frame behind it is also truncated.
+        assert_eq!(
+            decode_response_gen(raw.slice(0..GEN_STAMP_BYTES as usize)),
+            Err(CodecError::Truncated)
+        );
     }
 
     #[test]

@@ -37,10 +37,18 @@
 //!   same carrier seam (in front of a flat server *or* a whole fleet)
 //!   answers repeated `COUNT`s from an exact statistics tier and
 //!   contained `WINDOW`/ε-RANGE requests from a byte-budgeted window
-//!   tier, which is invalidation-free because servers are immutable
-//!   snapshots. Gated by [`NetConfig::client_cache`] and **off by
-//!   default** (off ⇒ byte-identical wire traffic); hits/misses/saved
-//!   bytes are tallied in a [`CacheSnapshot`].
+//!   tier. Entries are keyed by the **serving generation** each response
+//!   frame is stamped with, so live updates need no invalidation
+//!   protocol: a generation bump simply stops matching and stale entries
+//!   age out of the LRU budget. Gated by [`NetConfig::client_cache`] and
+//!   **off by default** (off ⇒ byte-identical wire traffic);
+//!   hits/misses/saved bytes are tallied in a [`CacheSnapshot`];
+//! * the **generation stamp** — servers answering from a generation > 0
+//!   prefix every response frame with `[R_GEN][u64 generation]`
+//!   ([`codec::stamp_generation`]); generation-0 (frozen) traffic carries
+//!   no stamp and stays bit-for-bit the pre-generation wire format.
+//!   `Request::ApplyUpdates` ships batched inserts/deletes/moves and is
+//!   acknowledged with `Response::Ack { generation }`.
 //!
 //! Every message — including the queries themselves, as the paper insists —
 //! is packetized and metered.
@@ -125,6 +133,6 @@ pub mod testutil {
 pub use cache::{CacheConfig, CacheLayer, CacheView, ClientCache};
 pub use meter::{CacheSnapshot, CacheTelemetry, LinkMeter, LinkSnapshot};
 pub use packet::{NetConfig, PacketModel};
-pub use proto::{QueryHandler, Request, Response};
-pub use router::{FleetSnapshot, ShardEndpoint, ShardRouter, ShardTelemetry};
+pub use proto::{QueryHandler, Request, Response, Update};
+pub use router::{FleetSnapshot, ShardEndpoint, ShardMeta, ShardRouter, ShardTelemetry};
 pub use transport::{ChannelServer, Link, RawExchange, ServerHandle};

@@ -275,15 +275,23 @@ impl LinkMeter {
             self.aggregate_up_bytes.fetch_add(wire, Ordering::Relaxed);
         }
         let counter = match req {
-            Request::Count(_) | Request::AvgArea(_) | Request::MultiCount(_) => &self.count_queries,
-            Request::Window(_) => &self.window_queries,
-            Request::EpsRange { .. } => &self.range_queries,
-            Request::BucketEpsRange { .. } => &self.bucket_queries,
+            Request::Count(_) | Request::AvgArea(_) | Request::MultiCount(_) => {
+                Some(&self.count_queries)
+            }
+            Request::Window(_) => Some(&self.window_queries),
+            Request::EpsRange { .. } => Some(&self.range_queries),
+            Request::BucketEpsRange { .. } => Some(&self.bucket_queries),
             Request::CoopLevelMbrs(_)
             | Request::CoopFilterByMbrs { .. }
-            | Request::CoopJoinPush { .. } => &self.coop_queries,
+            | Request::CoopJoinPush { .. } => Some(&self.coop_queries),
+            // Updates are maintenance traffic, not a query: bytes and
+            // packets are metered above, but no query-mix counter moves,
+            // so join-time message accounting is undisturbed.
+            Request::ApplyUpdates(_) => None,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = counter {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records an incoming response of `payload` bytes carrying

@@ -48,6 +48,26 @@ pub enum Request {
         objects: Vec<SpatialObject>,
         eps: f64,
     },
+    /// A batched dataset update (inserts/deletes/moves), applied
+    /// copy-on-write into a fresh store generation and acknowledged with
+    /// the new generation number. Frozen stores answer [`Response::Refused`].
+    ApplyUpdates(Vec<Update>),
+}
+
+/// One element of a batched dataset update.
+///
+/// Semantics are upsert-like so flat and sharded deployments agree without
+/// coordination: `Insert` replaces any existing object with the same id,
+/// `Delete` of an absent id is a no-op, and `Move` is an upsert of the
+/// object at its new MBR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Update {
+    /// Insert (or replace, by id) one object.
+    Insert(SpatialObject),
+    /// Remove the object with this id, if present.
+    Delete(u32),
+    /// Re-place object `id` at MBR `to` (insert if absent).
+    Move { id: u32, to: Rect },
 }
 
 impl Request {
@@ -92,6 +112,9 @@ pub enum Response {
     /// The server refuses the request (e.g. cooperative query to a
     /// non-cooperative server).
     Refused,
+    /// Acknowledges [`Request::ApplyUpdates`]: the generation number of the
+    /// freshly published snapshot.
+    Ack { generation: u64 },
 }
 
 impl Response {
@@ -104,6 +127,14 @@ impl Response {
             Response::Objects(v) => v.len() as u64,
             Response::Buckets(b) => b.iter().map(|x| x.len() as u64).sum(),
             _ => 0,
+        }
+    }
+
+    /// Unwraps an update acknowledgement into its generation number.
+    pub fn into_ack(self) -> u64 {
+        match self {
+            Response::Ack { generation } => generation,
+            other => panic!("protocol mismatch: expected Ack, got {other:?}"),
         }
     }
 
@@ -200,6 +231,22 @@ mod tests {
         assert!(Request::MultiCount(vec![w, w]).is_aggregate());
         assert!(!Request::Window(w).is_aggregate());
         assert!(!Request::MultiCount(vec![w]).is_cooperative());
+    }
+
+    #[test]
+    fn update_requests_are_neither_cooperative_nor_aggregate() {
+        let batch = Request::ApplyUpdates(vec![
+            Update::Insert(SpatialObject::point(1, 0.0, 0.0)),
+            Update::Delete(2),
+            Update::Move {
+                id: 3,
+                to: Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            },
+        ]);
+        assert!(!batch.is_cooperative());
+        assert!(!batch.is_aggregate());
+        assert_eq!(Response::Ack { generation: 4 }.object_count(), 0);
+        assert_eq!(Response::Ack { generation: 4 }.into_ack(), 4);
     }
 
     #[test]

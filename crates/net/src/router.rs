@@ -37,6 +37,22 @@
 //! so a 1-shard deployment is wire-identical to a flat one — the anchor of
 //! the differential test suite.
 //!
+//! **Live updates.** `Request::ApplyUpdates` scatters to *owning* shards:
+//! each insert or move is routed to the shard whose partition cell holds
+//! the object's new center (every other shard receives a `Delete` of that
+//! id, so an object migrating across a cell boundary settles in exactly
+//! one place), while deletes broadcast. Every shard is contacted on every
+//! fleet-level batch — an empty sub-batch still bumps that shard's
+//! generation — so the **fleet generation**, defined as the *sum* of the
+//! per-shard generations, advances by exactly the shard count per batch
+//! and is injective in the number of applied batches. The router learns
+//! shard generations from the `Ack`s and from the generation stamps on
+//! query responses, tracks them in per-shard [`ShardMeta`]s, and stamps
+//! every merged response with the fleet generation (a frozen fleet sums
+//! to 0 and stays stamp-free, i.e. bit-identical to the pre-generation
+//! wire format). Owner routing needs a declared partition: a fleet whose
+//! shards carry no cells refuses updates.
+//!
 //! If any contacted shard answers [`Response::Refused`] (e.g. a
 //! cooperative query against a non-cooperative fleet), the merged answer
 //! is `Refused`. Cooperative requests are therefore never pruned-to-zero:
@@ -45,28 +61,107 @@
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
-use asj_geom::{Rect, SpatialObject};
-use bytes::Bytes;
+use asj_geom::{Point, Rect, SpatialObject};
+use bytes::{Bytes, BytesMut};
 
-use crate::codec::{decode_request, decode_response, encode_request, encode_response};
+use crate::codec::{
+    decode_request, decode_response_gen, encode_request, encode_response_into, stamp_generation,
+};
 use crate::meter::{LinkMeter, LinkSnapshot};
 use crate::packet::PacketModel;
-use crate::proto::{Request, Response};
+use crate::proto::{Request, Response, Update};
 use crate::transport::RawExchange;
 
-/// One shard of a fleet: its advertised data bounds (the union of its
-/// objects' MBRs — `None` for an empty shard, which is always prunable)
-/// and the carrier that reaches it.
+/// Client-side knowledge about one shard, shared between the router and
+/// whoever built the fleet (a `Deployment` keeps its own `Arc`s so update
+/// routing and query routing always agree):
+///
+/// * **bounds** — the advertised union of the shard's objects' MBRs, the
+///   pruning predicate. Updates only ever *grow* bounds (a delete never
+///   shrinks them): over-covering bounds cost pruning efficiency, never
+///   correctness;
+/// * **cell** — the shard's partition cell, the *ownership* predicate for
+///   routing inserts and moves. `None` on fleets built without a declared
+///   partition (such fleets refuse updates);
+/// * **generation** — the highest snapshot generation observed from this
+///   shard (monotone; fed by `Ack`s and response stamps).
+#[derive(Debug)]
+pub struct ShardMeta {
+    bounds: RwLock<Option<Rect>>,
+    cell: Option<Rect>,
+    generation: AtomicU64,
+}
+
+impl ShardMeta {
+    /// Meta for a shard with no declared partition cell.
+    pub fn new(bounds: Option<Rect>) -> Self {
+        ShardMeta::with_cell(bounds, None)
+    }
+
+    /// Meta for a shard owning `cell` of the partitioned space.
+    pub fn with_cell(bounds: Option<Rect>, cell: Option<Rect>) -> Self {
+        ShardMeta {
+            bounds: RwLock::new(bounds),
+            cell,
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Current advertised bounds (`None` = empty shard, always prunable).
+    pub fn bounds(&self) -> Option<Rect> {
+        *self.bounds.read().expect("bounds lock poisoned")
+    }
+
+    /// The shard's partition cell, if the fleet declared one.
+    pub fn cell(&self) -> Option<Rect> {
+        self.cell
+    }
+
+    /// Highest generation observed from this shard so far.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Records an observed generation (monotone max).
+    pub fn note_generation(&self, generation: u64) {
+        self.generation.fetch_max(generation, Ordering::AcqRel);
+    }
+
+    /// Grows the advertised bounds to cover `r` (union; only-grow).
+    pub fn grow_bounds(&self, r: &Rect) {
+        let mut b = self.bounds.write().expect("bounds lock poisoned");
+        *b = Some(match *b {
+            Some(old) => old.union(r),
+            None => *r,
+        });
+    }
+}
+
+/// One shard of a fleet: its client-side meta (bounds, cell, observed
+/// generation) and the carrier that reaches it.
 pub struct ShardEndpoint {
-    bounds: Option<Rect>,
+    meta: Arc<ShardMeta>,
     carrier: Box<dyn RawExchange>,
 }
 
 impl ShardEndpoint {
+    /// Endpoint with fresh meta and no partition cell (query routing
+    /// only; a fleet of such endpoints refuses updates).
     pub fn new(bounds: Option<Rect>, carrier: Box<dyn RawExchange>) -> Self {
-        ShardEndpoint { bounds, carrier }
+        ShardEndpoint::with_meta(Arc::new(ShardMeta::new(bounds)), carrier)
+    }
+
+    /// Endpoint over externally shared meta (a deployment keeps the
+    /// `Arc` so several links to the same fleet share one view).
+    pub fn with_meta(meta: Arc<ShardMeta>, carrier: Box<dyn RawExchange>) -> Self {
+        ShardEndpoint { meta, carrier }
+    }
+
+    /// This shard's meta.
+    pub fn meta(&self) -> &Arc<ShardMeta> {
+        &self.meta
     }
 }
 
@@ -75,14 +170,18 @@ impl ShardEndpoint {
 #[derive(Debug)]
 pub struct ShardTelemetry {
     meters: Vec<Arc<LinkMeter>>,
+    metas: Vec<Arc<ShardMeta>>,
     scattered: AtomicU64,
     pruned: AtomicU64,
 }
 
 impl ShardTelemetry {
-    fn new(shards: usize) -> Self {
+    fn new(metas: Vec<Arc<ShardMeta>>) -> Self {
         ShardTelemetry {
-            meters: (0..shards).map(|_| Arc::new(LinkMeter::new())).collect(),
+            meters: (0..metas.len())
+                .map(|_| Arc::new(LinkMeter::new()))
+                .collect(),
+            metas,
             scattered: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
         }
@@ -98,10 +197,17 @@ impl ShardTelemetry {
         &self.meters[shard]
     }
 
+    /// The per-shard generation vector, in shard order — each entry the
+    /// highest generation observed from that shard so far.
+    pub fn generations(&self) -> Vec<u64> {
+        self.metas.iter().map(|m| m.generation()).collect()
+    }
+
     /// Point-in-time copy of the whole fleet's accounting.
     pub fn snapshot(&self) -> FleetSnapshot {
         FleetSnapshot {
             per_shard: self.meters.iter().map(|m| m.snapshot()).collect(),
+            generations: self.generations(),
             scattered: self.scattered.load(Ordering::Relaxed),
             pruned: self.pruned.load(Ordering::Relaxed),
         }
@@ -113,6 +219,9 @@ impl ShardTelemetry {
 pub struct FleetSnapshot {
     /// Wire accounting per shard, in shard order.
     pub per_shard: Vec<LinkSnapshot>,
+    /// Per-shard generation vector (highest observed, in shard order).
+    /// All zeros on a frozen fleet.
+    pub generations: Vec<u64>,
     /// Sub-requests actually sent to shards.
     pub scattered: u64,
     /// (request, shard) slots skipped because the shard could not
@@ -133,6 +242,13 @@ impl FleetSnapshot {
         self.per_shard
             .iter()
             .fold(LinkSnapshot::default(), |acc, s| acc.plus(s))
+    }
+
+    /// The fleet generation: the sum of the per-shard generations (every
+    /// shard bumps exactly once per fleet-level update batch, so this
+    /// advances by `shard_count` per batch).
+    pub fn fleet_generation(&self) -> u64 {
+        self.generations.iter().sum()
     }
 
     /// Fraction of scatter slots avoided by bounds pruning.
@@ -159,7 +275,9 @@ impl ShardRouter {
     /// Builds a router over `shards` (at least one) with fresh meters.
     pub fn new(shards: Vec<ShardEndpoint>, packet: PacketModel) -> Self {
         assert!(!shards.is_empty(), "a fleet needs at least one shard");
-        let telemetry = Arc::new(ShardTelemetry::new(shards.len()));
+        let telemetry = Arc::new(ShardTelemetry::new(
+            shards.iter().map(|s| Arc::clone(&s.meta)).collect(),
+        ));
         ShardRouter {
             shards,
             packet,
@@ -196,12 +314,24 @@ impl ShardRouter {
             .record_response(payload, objects, &self.packet, aggregate);
     }
 
+    /// The fleet generation: sum of per-shard observed generations.
+    pub fn fleet_generation(&self) -> u64 {
+        self.shards.iter().map(|s| s.meta.generation()).sum()
+    }
+
     /// Fleet-of-one fast path: a byte-transparent, fully metered proxy.
+    /// The reply is forwarded verbatim (stamp and all); the router only
+    /// *notes* the shard generation it carries.
     fn pass_through(&self, raw: Bytes) -> Bytes {
         let req = decode_request(raw.clone()).expect("malformed request");
         self.record_request(0, &req, raw.len() as u64);
         let reply = self.shards[0].carrier.exchange(raw);
-        let resp = decode_response(reply.clone()).expect("malformed response");
+        let (resp, generation) = decode_response_gen(reply.clone()).expect("malformed response");
+        match &resp {
+            Response::Ack { generation } => self.shards[0].meta.note_generation(*generation),
+            _ if generation > 0 => self.shards[0].meta.note_generation(generation),
+            _ => {}
+        }
         self.record_response(0, reply.len() as u64, &resp, req.is_aggregate());
         reply
     }
@@ -232,7 +362,10 @@ impl ShardRouter {
                 slot.map(|complete| {
                     let raw = complete();
                     let len = raw.len() as u64;
-                    let resp = decode_response(raw).expect("malformed response");
+                    let (resp, generation) = decode_response_gen(raw).expect("malformed response");
+                    if generation > 0 {
+                        self.shards[i].meta.note_generation(generation);
+                    }
                     let aggregate = subs[i].as_ref().expect("sent slot").is_aggregate();
                     self.record_response(i, len, &resp, aggregate);
                     resp
@@ -245,7 +378,7 @@ impl ShardRouter {
     fn prune(&self, req: &Request, reach: impl Fn(&Rect) -> bool) -> Vec<Option<Request>> {
         self.shards
             .iter()
-            .map(|s| match s.bounds {
+            .map(|s| match s.meta.bounds() {
                 Some(b) if reach(&b) => Some(req.clone()),
                 _ => None,
             })
@@ -256,7 +389,7 @@ impl ShardRouter {
     fn pick_indices<T>(&self, probes: &[T], reach: impl Fn(&Rect, &T) -> bool) -> Vec<Vec<usize>> {
         self.shards
             .iter()
-            .map(|s| match s.bounds {
+            .map(|s| match s.meta.bounds() {
                 Some(b) => (0..probes.len())
                     .filter(|&i| reach(&b, &probes[i]))
                     .collect(),
@@ -370,7 +503,7 @@ impl ShardRouter {
                     .shards
                     .iter()
                     .map(|s| {
-                        let kept: Vec<Rect> = match s.bounds {
+                        let kept: Vec<Rect> = match s.meta.bounds() {
                             Some(b) => mbrs
                                 .iter()
                                 .filter(|m| m.expand(*eps).intersects(&b))
@@ -386,12 +519,13 @@ impl ShardRouter {
                     .collect();
                 merge_objects(self.round(&subs))
             }
+            Request::ApplyUpdates(batch) => self.apply_updates(batch),
             Request::CoopJoinPush { objects, eps } => {
                 let subs: Vec<Option<Request>> = self
                     .shards
                     .iter()
                     .map(|s| {
-                        let kept: Vec<SpatialObject> = match s.bounds {
+                        let kept: Vec<SpatialObject> = match s.meta.bounds() {
                             Some(b) => objects
                                 .iter()
                                 .filter(|o| o.mbr.expand(*eps).intersects(&b))
@@ -423,6 +557,71 @@ impl ShardRouter {
                 Response::Pairs(pairs)
             }
         }
+    }
+
+    /// Scattered `ApplyUpdates`: each insert/move goes to the shard whose
+    /// partition cell owns the object's new center; **every other shard
+    /// receives a `Delete` of that id** (upsert-by-id makes the delete a
+    /// no-op where the object never lived, and the eviction that keeps
+    /// the fleet disjoint where it did). Plain deletes broadcast. All
+    /// shards are contacted on every batch — empty sub-batches included —
+    /// so each shard's generation advances exactly once and the summed
+    /// fleet generation stays injective in the batch count. The merged
+    /// `Ack` carries that sum.
+    fn apply_updates(&self, batch: &[Update]) -> Response {
+        let cells: Option<Vec<Rect>> = self.shards.iter().map(|s| s.meta.cell()).collect();
+        let Some(cells) = cells else {
+            // No declared partition — the router cannot pick owners.
+            return Response::Refused;
+        };
+        let mut subs: Vec<Vec<Update>> = vec![Vec::new(); self.shards.len()];
+        for u in batch {
+            match u {
+                Update::Insert(o) => {
+                    let owner = owner_of(&cells, &o.mbr.center());
+                    self.shards[owner].meta.grow_bounds(&o.mbr);
+                    for (i, sub) in subs.iter_mut().enumerate() {
+                        sub.push(if i == owner {
+                            Update::Insert(*o)
+                        } else {
+                            Update::Delete(o.id)
+                        });
+                    }
+                }
+                Update::Delete(id) => {
+                    for sub in subs.iter_mut() {
+                        sub.push(Update::Delete(*id));
+                    }
+                }
+                Update::Move { id, to } => {
+                    let owner = owner_of(&cells, &to.center());
+                    self.shards[owner].meta.grow_bounds(to);
+                    for (i, sub) in subs.iter_mut().enumerate() {
+                        sub.push(if i == owner {
+                            Update::Move { id: *id, to: *to }
+                        } else {
+                            Update::Delete(*id)
+                        });
+                    }
+                }
+            }
+        }
+        let reqs: Vec<Option<Request>> = subs
+            .into_iter()
+            .map(|s| Some(Request::ApplyUpdates(s)))
+            .collect();
+        let mut sum = 0u64;
+        for (i, resp) in self.round(&reqs).into_iter().enumerate() {
+            match resp.expect("every shard is contacted") {
+                Response::Ack { generation } => {
+                    self.shards[i].meta.note_generation(generation);
+                    sum += generation;
+                }
+                Response::Refused => return Response::Refused,
+                other => panic!("protocol mismatch: expected Ack, got {other:?}"),
+            }
+        }
+        Response::Ack { generation: sum }
     }
 
     /// Merged `AvgArea`: per-shard averages weighted by matching-object
@@ -468,8 +667,41 @@ impl RawExchange for ShardRouter {
             return self.pass_through(request);
         }
         let req = decode_request(request).expect("malformed request");
-        encode_response(&self.scatter_gather(&req))
+        let resp = self.scatter_gather(&req);
+        let mut buf = BytesMut::new();
+        // Merged responses are re-encoded, so the per-shard stamps are
+        // gone; re-stamp with the fleet generation observed while
+        // answering. Acks carry their generation in the payload and are
+        // never stamped; a frozen fleet sums to 0 and stays stamp-free
+        // (bit-identical to the pre-generation format).
+        if !matches!(resp, Response::Ack { .. }) {
+            stamp_generation(self.fleet_generation(), &mut buf);
+        }
+        encode_response_into(&resp, &mut buf);
+        buf.freeze()
     }
+}
+
+/// The shard owning point `p`: the first whose cell contains it
+/// (half-open, matching the partitioner's assignment rule), else —
+/// for points outside the partitioned space entirely — the shard with
+/// the nearest cell center (lowest index on ties). Deterministic, so
+/// every client routes the same object the same way.
+fn owner_of(cells: &[Rect], p: &Point) -> usize {
+    if let Some(i) = cells.iter().position(|c| c.contains_half_open(p)) {
+        return i;
+    }
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in cells.iter().enumerate() {
+        let cc = c.center();
+        let d = (cc.x - p.x).powi(2) + (cc.y - p.y).powi(2);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
 }
 
 /// Keeps the first occurrence of each object id, preserving order.
@@ -760,5 +992,245 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn empty_fleet_rejected() {
         ShardRouter::new(Vec::new(), PacketModel::default());
+    }
+
+    use crate::codec::{encode_request, encode_response};
+    use std::sync::Mutex;
+
+    /// A live shard server double: upsert-by-id update semantics, a
+    /// generation counter bumped per batch, and query replies stamped
+    /// with the serving generation — the wire behaviour of a
+    /// `SpatialService<VersionedStore<_>>` without depending on it.
+    struct LiveShard {
+        objects: Mutex<Vec<SpatialObject>>,
+        generation: AtomicU64,
+    }
+
+    impl LiveShard {
+        fn new(objects: Vec<SpatialObject>) -> Self {
+            LiveShard {
+                objects: Mutex::new(objects),
+                generation: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl RawExchange for LiveShard {
+        fn exchange(&self, raw: Bytes) -> Bytes {
+            let req = decode_request(raw).expect("malformed request");
+            let resp = match req {
+                Request::ApplyUpdates(batch) => {
+                    let mut objs = self.objects.lock().unwrap();
+                    for u in &batch {
+                        match u {
+                            Update::Insert(o) => match objs.iter_mut().find(|x| x.id == o.id) {
+                                Some(slot) => *slot = *o,
+                                None => objs.push(*o),
+                            },
+                            Update::Delete(id) => objs.retain(|x| x.id != *id),
+                            Update::Move { id, to } => {
+                                let moved = SpatialObject::new(*id, *to);
+                                match objs.iter_mut().find(|x| x.id == moved.id) {
+                                    Some(slot) => *slot = moved,
+                                    None => objs.push(moved),
+                                }
+                            }
+                        }
+                    }
+                    let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+                    return encode_response(&Response::Ack { generation });
+                }
+                Request::Window(w) => {
+                    let objs = self.objects.lock().unwrap();
+                    Response::Objects(
+                        objs.iter()
+                            .filter(|o| o.mbr.intersects(&w))
+                            .copied()
+                            .collect(),
+                    )
+                }
+                Request::Count(w) => {
+                    let objs = self.objects.lock().unwrap();
+                    Response::Count(objs.iter().filter(|o| o.mbr.intersects(&w)).count() as u64)
+                }
+                _ => Response::Refused,
+            };
+            let mut buf = BytesMut::new();
+            stamp_generation(self.generation.load(Ordering::SeqCst), &mut buf);
+            encode_response_into(&resp, &mut buf);
+            buf.freeze()
+        }
+    }
+
+    /// Two live shards partitioned at x = 50: left cell `[0, 50)`, right
+    /// cell `[50, 110)`; same datasets as `two_shard_router`.
+    fn live_fleet() -> ShardRouter {
+        let left: Vec<SpatialObject> = (0..10)
+            .map(|i| SpatialObject::point(i, i as f64, 0.0))
+            .collect();
+        let right: Vec<SpatialObject> = (0..10)
+            .map(|i| SpatialObject::point(100 + i, 100.0 + i as f64, 0.0))
+            .collect();
+        let shard = |objects: Vec<SpatialObject>, cell: Rect| {
+            let bounds = Rect::union_of(objects.iter().map(|o| o.mbr));
+            ShardEndpoint::with_meta(
+                Arc::new(ShardMeta::with_cell(bounds, Some(cell))),
+                Box::new(LiveShard::new(objects)),
+            )
+        };
+        ShardRouter::new(
+            vec![
+                shard(left, Rect::from_coords(0.0, -10.0, 50.0, 10.0)),
+                shard(right, Rect::from_coords(50.0, -10.0, 110.0, 10.0)),
+            ],
+            PacketModel::default(),
+        )
+    }
+
+    fn roundtrip(router: &ShardRouter, req: &Request) -> (Response, u64) {
+        decode_response_gen(router.exchange(encode_request(req))).expect("malformed reply")
+    }
+
+    #[test]
+    fn updates_scatter_to_owners_and_sum_generations() {
+        let router = live_fleet();
+        // Insert at x = 10: the left cell owns it.
+        let (ack, stamp) = roundtrip(
+            &router,
+            &Request::ApplyUpdates(vec![Update::Insert(SpatialObject::point(900, 10.0, 0.0))]),
+        );
+        assert_eq!(stamp, 0, "Acks are never stamped");
+        assert_eq!(ack, Response::Ack { generation: 2 }, "1 + 1 across shards");
+        assert_eq!(router.telemetry().generations(), vec![1, 1]);
+        assert_eq!(router.fleet_generation(), 2);
+
+        let everywhere = Rect::from_coords(-1.0, -1.0, 200.0, 1.0);
+        let (resp, stamp) = roundtrip(&router, &Request::Window(everywhere));
+        assert_eq!(stamp, 2, "merged replies carry the fleet generation");
+        let ids: Vec<u32> = resp.into_objects().iter().map(|o| o.id).collect();
+        assert_eq!(ids.iter().filter(|&&id| id == 900).count(), 1);
+        assert_eq!(ids.len(), 21);
+
+        // Move it across the boundary: the right cell takes ownership and
+        // the left shard is told to forget it.
+        let (ack, _) = roundtrip(
+            &router,
+            &Request::ApplyUpdates(vec![Update::Move {
+                id: 900,
+                to: Rect::point(Point::new(60.0, 0.0)),
+            }]),
+        );
+        assert_eq!(ack, Response::Ack { generation: 4 });
+        assert_eq!(router.telemetry().generations(), vec![2, 2]);
+        let (resp, stamp) = roundtrip(&router, &Request::Window(everywhere));
+        assert_eq!(stamp, 4);
+        let objs = resp.into_objects();
+        let at_900: Vec<_> = objs.iter().filter(|o| o.id == 900).collect();
+        assert_eq!(at_900.len(), 1, "exactly one copy after migrating");
+        assert_eq!(at_900[0].mbr, Rect::point(Point::new(60.0, 0.0)));
+
+        // Delete broadcasts; cardinality drops back.
+        let (ack, _) = roundtrip(&router, &Request::ApplyUpdates(vec![Update::Delete(900)]));
+        assert_eq!(ack, Response::Ack { generation: 6 });
+        let (resp, _) = roundtrip(&router, &Request::Window(everywhere));
+        assert_eq!(resp.into_objects().len(), 20);
+    }
+
+    #[test]
+    fn insert_outside_every_cell_routes_to_nearest_and_grows_bounds() {
+        let router = live_fleet();
+        // x = 200 is outside both cells: nearest cell center wins (the
+        // right shard at x = 80), whose bounds must grow to cover it.
+        let (ack, _) = roundtrip(
+            &router,
+            &Request::ApplyUpdates(vec![Update::Insert(SpatialObject::point(901, 200.0, 0.0))]),
+        );
+        assert_eq!(ack, Response::Ack { generation: 2 });
+        let w = Rect::from_coords(199.0, -1.0, 201.0, 1.0);
+        let (resp, stamp) = roundtrip(&router, &Request::Window(w));
+        assert_eq!(stamp, 2);
+        assert_eq!(
+            resp.into_objects().iter().map(|o| o.id).collect::<Vec<_>>(),
+            vec![901],
+            "grown bounds keep the straddler reachable"
+        );
+    }
+
+    #[test]
+    fn fleet_without_cells_refuses_updates() {
+        let router = two_shard_router();
+        let (resp, stamp) = roundtrip(&router, &Request::ApplyUpdates(Vec::new()));
+        assert_eq!(resp, Response::Refused);
+        assert_eq!(stamp, 0);
+        assert_eq!(router.telemetry().generations(), vec![0, 0]);
+    }
+
+    #[test]
+    fn frozen_fleet_replies_stay_unstamped() {
+        let router = two_shard_router();
+        let all = Rect::from_coords(-1.0, -1.0, 200.0, 1.0);
+        let raw = router.exchange(encode_request(&Request::Window(all)));
+        assert_eq!(
+            raw,
+            encode_response(&Response::Objects(
+                decode_response_gen(raw.clone()).unwrap().0.into_objects()
+            )),
+            "generation 0 is encoded without a stamp — bit-identical"
+        );
+    }
+
+    #[test]
+    fn single_live_shard_is_transparent_and_notes_generations() {
+        let data: Vec<SpatialObject> = (0..5)
+            .map(|i| SpatialObject::point(i, i as f64, 0.0))
+            .collect();
+        let shard = Arc::new(LiveShard::new(data.clone()));
+        let meta = Arc::new(ShardMeta::with_cell(
+            Rect::union_of(data.iter().map(|o| o.mbr)),
+            Some(Rect::from_coords(0.0, -10.0, 10.0, 10.0)),
+        ));
+        struct Shared(Arc<LiveShard>);
+        impl RawExchange for Shared {
+            fn exchange(&self, raw: Bytes) -> Bytes {
+                self.0.exchange(raw)
+            }
+        }
+        let router = ShardRouter::new(
+            vec![ShardEndpoint::with_meta(
+                meta,
+                Box::new(Shared(Arc::clone(&shard))),
+            )],
+            PacketModel::default(),
+        );
+        let (ack, _) = roundtrip(&router, &Request::ApplyUpdates(vec![Update::Delete(0)]));
+        assert_eq!(ack, Response::Ack { generation: 1 });
+        assert_eq!(router.telemetry().generations(), vec![1]);
+        // Pass-through stays byte-transparent: the reply (stamp included)
+        // is exactly what the shard itself produces.
+        let w = Rect::from_coords(-1.0, -1.0, 10.0, 1.0);
+        let via_router = router.exchange(encode_request(&Request::Window(w)));
+        let direct = shard.exchange(encode_request(&Request::Window(w)));
+        assert_eq!(via_router, direct);
+        let (resp, stamp) = decode_response_gen(via_router).unwrap();
+        assert_eq!(stamp, 1);
+        assert_eq!(resp.into_objects().len(), 4);
+    }
+
+    #[test]
+    fn routed_link_tracks_the_fleet_generation() {
+        let l = link(live_fleet());
+        assert_eq!(l.last_generation(), 0);
+        let ack = l.request(&Request::ApplyUpdates(vec![Update::Insert(
+            SpatialObject::point(902, 20.0, 0.0),
+        )]));
+        assert_eq!(ack, Response::Ack { generation: 2 });
+        assert_eq!(l.last_generation(), 2, "Ack generations are noted");
+        let everywhere = Rect::from_coords(-1.0, -1.0, 200.0, 1.0);
+        assert_eq!(l.request(&Request::Count(everywhere)).into_count(), 21);
+        assert_eq!(l.last_generation(), 2, "stamps agree with the Ack");
+        let fleet = l.fleet().unwrap().snapshot();
+        assert_eq!(fleet.generations, vec![1, 1]);
+        assert_eq!(fleet.fleet_generation(), 2);
+        assert_eq!(fleet.summed(), l.meter().snapshot());
     }
 }

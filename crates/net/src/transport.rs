@@ -12,12 +12,13 @@
 //!   of two independent UNIX servers and a WiFi PDA. Integration tests run
 //!   both carriers and assert identical byte counts.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
-use crate::codec::{decode_response, encode_request};
+use crate::codec::{decode_response_gen, encode_request};
 use crate::meter::LinkMeter;
 use crate::packet::PacketModel;
 use crate::proto::{QueryHandler, Request, Response};
@@ -194,6 +195,9 @@ pub struct Link {
     fleet: Option<Arc<crate::router::ShardTelemetry>>,
     /// Cache accounting when the carrier is a cache layer.
     cache: Option<crate::cache::CacheView>,
+    /// Highest serving generation observed on this link (from response
+    /// stamps and `Ack`s). 0 until the server goes live.
+    last_generation: AtomicU64,
 }
 
 impl Link {
@@ -207,6 +211,7 @@ impl Link {
             premetered: false,
             fleet: None,
             cache: None,
+            last_generation: AtomicU64::new(0),
         }
     }
 
@@ -224,6 +229,7 @@ impl Link {
             tariff,
             premetered: true,
             cache: None,
+            last_generation: AtomicU64::new(0),
         }
     }
 
@@ -240,6 +246,7 @@ impl Link {
             carrier: Box::new(layer),
             tariff,
             premetered: true,
+            last_generation: AtomicU64::new(0),
         }
     }
 
@@ -265,12 +272,25 @@ impl Link {
         }
         let raw = self.carrier.exchange(encoded);
         let len = raw.len() as u64;
-        let resp = decode_response(raw).expect("malformed response");
+        let (resp, generation) = decode_response_gen(raw).expect("malformed response");
+        match &resp {
+            Response::Ack { generation } => self
+                .last_generation
+                .fetch_max(*generation, Ordering::AcqRel),
+            _ => self.last_generation.fetch_max(generation, Ordering::AcqRel),
+        };
         if !self.premetered {
             self.meter
                 .record_response(len, resp.object_count(), &self.packet, aggregate);
         }
         resp
+    }
+
+    /// Highest serving generation observed on this link so far — from
+    /// response stamps and update `Ack`s. 0 while the server is frozen
+    /// (frozen responses carry no stamp).
+    pub fn last_generation(&self) -> u64 {
+        self.last_generation.load(Ordering::Acquire)
     }
 
     /// This link's meter (shared; snapshot at will). For a routed link

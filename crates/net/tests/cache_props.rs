@@ -2,14 +2,19 @@
 //! window/query workloads, locally-filtered answers from a cached
 //! superset window must equal a fresh server download (dedup-normalized),
 //! including ε/2-extension derivations and degenerate (point) rectangles.
+//! A second suite interleaves live update batches with the queries and
+//! proves the generation-keyed cache never serves a stale answer.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use asj_geom::{Point, Rect, SpatialObject};
 use asj_net::cache::{CacheLayer, ClientCache};
+use asj_net::codec::{encode_response_into, stamp_generation};
 use asj_net::testutil::ScanHandler as Scan;
 use asj_net::transport::InProcExchange;
-use asj_net::{Link, PacketModel, Request};
+use asj_net::{Link, PacketModel, QueryHandler, Request, Response, Update};
+use bytes::BytesMut;
 use proptest::prelude::*;
 
 /// f32-representable coordinates on a coarse grid, so random rectangles
@@ -127,5 +132,157 @@ proptest! {
         prop_assert!(
             cached.meter().snapshot().total_bytes() <= plain.meter().snapshot().total_bytes()
         );
+    }
+}
+
+/// Reference update semantics, shared by the live test double and the
+/// offline mirror so both evolve identically: Insert/Move upsert by id,
+/// Delete is a no-op when absent.
+fn apply_all(objects: &mut Vec<SpatialObject>, batch: &[Update]) {
+    fn upsert(objects: &mut Vec<SpatialObject>, o: SpatialObject) {
+        match objects.iter_mut().find(|e| e.id == o.id) {
+            Some(e) => *e = o,
+            None => objects.push(o),
+        }
+    }
+    for u in batch {
+        match *u {
+            Update::Insert(o) => upsert(objects, o),
+            Update::Move { id, to } => upsert(objects, SpatialObject::new(id, to)),
+            Update::Delete(id) => objects.retain(|o| o.id != id),
+        }
+    }
+}
+
+/// Live scan server: applies update batches under a lock, bumps its
+/// generation per batch, and stamps every query response with it — the
+/// minimal server contract the generation-keyed cache relies on.
+struct LiveScan {
+    objects: Mutex<Vec<SpatialObject>>,
+    generation: AtomicU64,
+}
+
+impl LiveScan {
+    fn new(objects: Vec<SpatialObject>) -> Self {
+        LiveScan {
+            objects: Mutex::new(objects),
+            generation: AtomicU64::new(0),
+        }
+    }
+}
+
+impl QueryHandler for LiveScan {
+    fn handle(&self, req: Request) -> Response {
+        match req {
+            Request::ApplyUpdates(batch) => {
+                let mut objects = self.objects.lock().unwrap();
+                apply_all(&mut objects, &batch);
+                Response::Ack {
+                    generation: self.generation.fetch_add(1, Ordering::AcqRel) + 1,
+                }
+            }
+            other => Scan(self.objects.lock().unwrap().clone()).handle(other),
+        }
+    }
+
+    fn handle_into(&self, req: Request, buf: &mut BytesMut) {
+        let is_update = matches!(req, Request::ApplyUpdates(_));
+        let resp = self.handle(req);
+        if !is_update {
+            stamp_generation(self.generation.load(Ordering::Acquire), buf);
+        }
+        encode_response_into(&resp, buf);
+    }
+}
+
+/// One step of the live workload: a query or an update batch.
+#[derive(Debug, Clone)]
+enum Step {
+    Query(Op),
+    Update(Vec<Update>),
+}
+
+fn update() -> impl Strategy<Value = Update> {
+    prop_oneof![
+        object().prop_map(Update::Insert),
+        (0u32..1000).prop_map(Update::Delete),
+        (0u32..1000, rect()).prop_map(|(id, to)| Update::Move { id, to }),
+    ]
+}
+
+// The staleness oracle: after any interleaving of update batches and
+// queries, the generation-keyed cache never serves an object set (or
+// count) differing from a fresh evaluation of the server's *current*
+// state — stale entries stop matching by keying alone, with no
+// invalidation protocol anywhere.
+proptest! {
+    #[test]
+    fn generation_keyed_cache_never_serves_stale_answers(
+        objects in prop::collection::vec(object(), 0..40),
+        bases in prop::collection::vec(rect(), 1..6),
+        steps in prop::collection::vec(
+            prop_oneof![
+                op(6).prop_map(Step::Query),
+                op(6).prop_map(Step::Query),
+                op(6).prop_map(Step::Query),
+                prop::collection::vec(update(), 1..8).prop_map(Step::Update),
+            ],
+            1..30,
+        ),
+        budget in prop_oneof![Just(400u64), Just(1u64 << 20)],
+    ) {
+        let server = Arc::new(LiveScan::new(objects.clone()));
+        let cached = Link::cached(
+            CacheLayer::new(
+                Box::new(InProcExchange::new(Arc::clone(&server))),
+                PacketModel::default(),
+                Arc::new(ClientCache::new(budget)),
+            ),
+            1.0,
+        );
+        let mut mirror = objects;
+        let mut batches = 0u64;
+        for step in steps {
+            match step {
+                Step::Update(batch) => {
+                    batches += 1;
+                    let resp = cached.request(&Request::ApplyUpdates(batch.clone()));
+                    prop_assert_eq!(resp, Response::Ack { generation: batches });
+                    apply_all(&mut mirror, &batch);
+                }
+                Step::Query((kind, base, how, e)) => {
+                    let w = apply(&bases[base % bases.len()], how, e);
+                    let oracle = Scan(mirror.clone());
+                    match kind {
+                        0 => prop_assert_eq!(
+                            ids(cached.request(&Request::Window(w)).into_objects()),
+                            ids(oracle.handle(Request::Window(w)).into_objects()),
+                            "WINDOW({:?}) after {} batches", w, batches
+                        ),
+                        1 => prop_assert_eq!(
+                            cached.request(&Request::Count(w)).into_count(),
+                            oracle.handle(Request::Count(w)).into_count(),
+                            "COUNT({:?}) after {} batches", w, batches
+                        ),
+                        2 => prop_assert_eq!(
+                            ids(cached.request(&Request::EpsRange { q: w, eps: e }).into_objects()),
+                            ids(oracle.handle(Request::EpsRange { q: w, eps: e }).into_objects()),
+                            "EPS({:?}, {}) after {} batches", w, e, batches
+                        ),
+                        _ => {
+                            let windows: Vec<Rect> =
+                                bases.iter().map(|b| apply(b, how, e)).collect();
+                            prop_assert_eq!(
+                                cached.request(&Request::MultiCount(windows.clone())).into_counts(),
+                                oracle.handle(Request::MultiCount(windows)).into_counts(),
+                                "MULTI({:?}, {}) after {} batches", how, e, batches
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // The link heard every generation the server reached.
+        prop_assert_eq!(cached.last_generation(), batches);
     }
 }

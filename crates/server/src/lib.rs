@@ -14,6 +14,11 @@
 //!   dispatches protocol requests onto a store, parallelizing large bucket
 //!   queries across scoped threads (the server machines, unlike the PDA,
 //!   have cores to spare);
+//! * [`versioned`] — generational snapshots: [`versioned::VersionedStore`]
+//!   wraps any frozen backend, applies batched updates copy-on-write into
+//!   a fresh generation, and atomically publishes it (`RwLock` + `Arc`
+//!   swap — readers always see one consistent frozen snapshot, never
+//!   in-place mutation);
 //! * [`partition`] — the spatial partitioner behind **sharded fleets**:
 //!   splits the space into `n` cells (recursive longest-axis cuts, any
 //!   `n`), assigns each object wholly to the cell holding its MBR center,
@@ -29,8 +34,10 @@ pub mod gridstore;
 pub mod partition;
 pub mod service;
 pub mod store;
+pub mod versioned;
 
 pub use gridstore::GridStore;
 pub use partition::{partition_objects, split_space, Partition};
 pub use service::{ServicePolicy, SpatialService};
 pub use store::{RTreeStore, ScanStore, SpatialStore};
+pub use versioned::{apply_updates_to, VersionedStore};

@@ -66,89 +66,127 @@ impl<S: SpatialStore> SpatialService<S> {
         &self.store
     }
 
-    fn bucket_eps_range(&self, probes: &[SpatialObject], eps: f64) -> Vec<Vec<SpatialObject>> {
-        if probes.len() < PARALLEL_BUCKET_THRESHOLD || self.bucket_workers == 1 {
-            return probes
-                .iter()
-                .map(|p| self.store.eps_range(&p.mbr, eps))
-                .collect();
+    /// Dispatches an update batch — handled **before** a snapshot is
+    /// pinned (it creates the next one), and never stamped: the Ack's
+    /// payload already *is* the generation.
+    fn apply(&self, batch: &[asj_net::Update]) -> Response {
+        match self.store.apply_updates(batch) {
+            Some(generation) => Response::Ack { generation },
+            None => Response::Refused,
         }
-        // Fan the probes across scoped threads in contiguous chunks; probe
-        // order (and thus the response framing) is preserved by
-        // reassembling in chunk order.
-        let chunk = probes.len().div_ceil(self.bucket_workers);
-        let mut results: Vec<Vec<Vec<SpatialObject>>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = probes
-                .chunks(chunk)
-                .map(|part| {
-                    let store = Arc::clone(&self.store);
-                    scope.spawn(move |_| {
-                        part.iter()
-                            .map(|p| store.eps_range(&p.mbr, eps))
-                            .collect::<Vec<_>>()
-                    })
+    }
+}
+
+fn bucket_eps_range(
+    store: &dyn SpatialStore,
+    probes: &[SpatialObject],
+    eps: f64,
+    workers: usize,
+) -> Vec<Vec<SpatialObject>> {
+    if probes.len() < PARALLEL_BUCKET_THRESHOLD || workers == 1 {
+        return probes
+            .iter()
+            .map(|p| store.eps_range(&p.mbr, eps))
+            .collect();
+    }
+    // Fan the probes across scoped threads in contiguous chunks; probe
+    // order (and thus the response framing) is preserved by reassembling
+    // in chunk order. The borrowed store reference is the *pinned
+    // snapshot*, so all workers answer from the same generation.
+    let chunk = probes.len().div_ceil(workers);
+    let mut results: Vec<Vec<Vec<SpatialObject>>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = probes
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move |_| {
+                    part.iter()
+                        .map(|p| store.eps_range(&p.mbr, eps))
+                        .collect::<Vec<_>>()
                 })
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("bucket worker panicked"));
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("bucket worker panicked"));
+        }
+    })
+    .expect("bucket scope panicked");
+    results.into_iter().flatten().collect()
+}
+
+/// Answers one query against a pinned store snapshot — the full dispatch,
+/// shared by [`QueryHandler::handle`] and the zero-copy `handle_into`
+/// (which overrides only the object-streaming arms). `ApplyUpdates` never
+/// reaches this: it is dispatched before the snapshot is pinned.
+fn answer(
+    store: &dyn SpatialStore,
+    policy: ServicePolicy,
+    bucket_workers: usize,
+    req: Request,
+) -> Response {
+    if req.is_cooperative() && policy == ServicePolicy::NonCooperative {
+        return Response::Refused;
+    }
+    match req {
+        Request::Window(w) => Response::Objects(store.window(&w)),
+        Request::Count(w) => Response::Count(store.count(&w)),
+        Request::EpsRange { q, eps } => Response::Objects(store.eps_range(&q, eps)),
+        Request::BucketEpsRange { probes, eps } => {
+            Response::Buckets(bucket_eps_range(store, &probes, eps, bucket_workers))
+        }
+        Request::AvgArea(w) => Response::Area(store.avg_area(&w)),
+        Request::MultiCount(windows) => {
+            // Batched statistics: one COUNT per window, answered in
+            // probe order from the same store path as single COUNTs.
+            Response::Counts(windows.iter().map(|w| store.count(w)).collect())
+        }
+        Request::CoopLevelMbrs(level) => match store.level_mbrs(level as usize) {
+            Some(mbrs) => Response::Rects(mbrs),
+            None => Response::Refused,
+        },
+        Request::CoopFilterByMbrs { mbrs, eps } => {
+            // Objects within eps of ANY of the shipped MBRs, each once.
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            for m in &mbrs {
+                for o in store.eps_range(m, eps) {
+                    if seen.insert(o.id) {
+                        out.push(o);
+                    }
+                }
             }
-        })
-        .expect("bucket scope panicked");
-        results.into_iter().flatten().collect()
+            Response::Objects(out)
+        }
+        Request::CoopJoinPush { objects, eps } => {
+            // Final join at the server: pushed (outer) × local (inner).
+            let bounds = match Rect::union_of(objects.iter().map(|o| o.mbr)) {
+                Some(b) => b.expand(eps),
+                None => return Response::Pairs(Vec::new()),
+            };
+            let local = store.window(&bounds);
+            let pred = if eps > 0.0 {
+                JoinPredicate::WithinDistance(eps)
+            } else {
+                JoinPredicate::Intersects
+            };
+            Response::Pairs(plane_sweep_join(&objects, &local, &pred))
+        }
+        Request::ApplyUpdates(_) => unreachable!("ApplyUpdates is dispatched before pinning"),
     }
 }
 
 impl<S: SpatialStore> QueryHandler for SpatialService<S> {
     fn handle(&self, req: Request) -> Response {
-        if req.is_cooperative() && self.policy == ServicePolicy::NonCooperative {
-            return Response::Refused;
+        if let Request::ApplyUpdates(batch) = req {
+            return self.apply(&batch);
         }
-        match req {
-            Request::Window(w) => Response::Objects(self.store.window(&w)),
-            Request::Count(w) => Response::Count(self.store.count(&w)),
-            Request::EpsRange { q, eps } => Response::Objects(self.store.eps_range(&q, eps)),
-            Request::BucketEpsRange { probes, eps } => {
-                Response::Buckets(self.bucket_eps_range(&probes, eps))
-            }
-            Request::AvgArea(w) => Response::Area(self.store.avg_area(&w)),
-            Request::MultiCount(windows) => {
-                // Batched statistics: one COUNT per window, answered in
-                // probe order from the same store path as single COUNTs.
-                Response::Counts(windows.iter().map(|w| self.store.count(w)).collect())
-            }
-            Request::CoopLevelMbrs(level) => match self.store.level_mbrs(level as usize) {
-                Some(mbrs) => Response::Rects(mbrs),
-                None => Response::Refused,
-            },
-            Request::CoopFilterByMbrs { mbrs, eps } => {
-                // Objects within eps of ANY of the shipped MBRs, each once.
-                let mut seen = std::collections::HashSet::new();
-                let mut out = Vec::new();
-                for m in &mbrs {
-                    for o in self.store.eps_range(m, eps) {
-                        if seen.insert(o.id) {
-                            out.push(o);
-                        }
-                    }
-                }
-                Response::Objects(out)
-            }
-            Request::CoopJoinPush { objects, eps } => {
-                // Final join at the server: pushed (outer) × local (inner).
-                let bounds = match Rect::union_of(objects.iter().map(|o| o.mbr)) {
-                    Some(b) => b.expand(eps),
-                    None => return Response::Pairs(Vec::new()),
-                };
-                let local = self.store.window(&bounds);
-                let pred = if eps > 0.0 {
-                    JoinPredicate::WithinDistance(eps)
-                } else {
-                    JoinPredicate::Intersects
-                };
-                Response::Pairs(plane_sweep_join(&objects, &local, &pred))
-            }
-        }
+        let mut req = Some(req);
+        let mut out = None;
+        self.store.with_frozen(&mut |store, _generation| {
+            let req = req.take().expect("with_frozen invokes exactly once");
+            out = Some(answer(store, self.policy, self.bucket_workers, req));
+        });
+        out.expect("with_frozen must invoke its closure")
     }
 
     /// The zero-copy serving path for the hot object-shipping queries:
@@ -161,26 +199,42 @@ impl<S: SpatialStore> QueryHandler for SpatialService<S> {
     /// prefix is patched after the one and only pass. Byte-identical to
     /// the materializing default (differentially tested in
     /// `tests/zero_copy.rs`).
+    /// Every frame served from a generation > 0 is prefixed with the
+    /// generation stamp **inside the same pinned-snapshot closure** that
+    /// answers, so the stamp can never disagree with the snapshot that
+    /// produced the payload. Generation 0 stamps nothing: frozen-store
+    /// traffic is bit-identical to the pre-generation wire format. Ack
+    /// frames are never stamped (the payload already is the generation).
     fn handle_into(&self, req: Request, buf: &mut BytesMut) {
-        match req {
-            Request::Window(w) => {
-                let mut enc = match self.store.window_count_hint(&w) {
-                    Some(n) => ObjectsEncoder::with_exact_count(buf, n),
-                    None => ObjectsEncoder::new(buf),
-                };
-                self.store.for_each_in_window(&w, &mut |o| enc.push(o));
-                enc.finish();
-            }
-            Request::EpsRange { q, eps } => {
-                let mut enc = ObjectsEncoder::new(buf);
-                self.store.for_each_eps_range(&q, eps, &mut |o| enc.push(o));
-                enc.finish();
-            }
-            // Everything else is either scalar (nothing to stream) or
-            // cold (cooperative/bucket paths); the materializing default
-            // stays the single source of semantics for those.
-            other => asj_net::codec::encode_response_into(&self.handle(other), buf),
+        if let Request::ApplyUpdates(batch) = req {
+            return asj_net::codec::encode_response_into(&self.apply(&batch), buf);
         }
+        let mut req = Some(req);
+        self.store.with_frozen(&mut |store, generation| {
+            asj_net::codec::stamp_generation(generation, buf);
+            match req.take().expect("with_frozen invokes exactly once") {
+                Request::Window(w) => {
+                    let mut enc = match store.window_count_hint(&w) {
+                        Some(n) => ObjectsEncoder::with_exact_count(buf, n),
+                        None => ObjectsEncoder::new(buf),
+                    };
+                    store.for_each_in_window(&w, &mut |o| enc.push(o));
+                    enc.finish();
+                }
+                Request::EpsRange { q, eps } => {
+                    let mut enc = ObjectsEncoder::new(buf);
+                    store.for_each_eps_range(&q, eps, &mut |o| enc.push(o));
+                    enc.finish();
+                }
+                // Everything else is either scalar (nothing to stream) or
+                // cold (cooperative/bucket paths); the materializing
+                // default stays the single source of semantics for those.
+                other => asj_net::codec::encode_response_into(
+                    &answer(store, self.policy, self.bucket_workers, other),
+                    buf,
+                ),
+            }
+        });
     }
 }
 
@@ -325,6 +379,56 @@ mod tests {
             yi.sort_unstable();
             assert_eq!(xi, yi);
         }
+    }
+
+    #[test]
+    fn frozen_service_refuses_updates() {
+        let svc = SpatialService::new(ScanStore::new(lattice(4)));
+        assert_eq!(
+            svc.handle(Request::ApplyUpdates(vec![])),
+            Response::Refused,
+            "frozen stores must refuse updates"
+        );
+    }
+
+    #[test]
+    fn live_service_acks_updates_and_stamps_generations() {
+        use crate::versioned::VersionedStore;
+        use asj_net::codec::decode_response_gen;
+        use asj_net::Update;
+
+        let svc = SpatialService::new(VersionedStore::new(lattice(10), RTreeStore::new));
+        let w = Rect::from_coords(0.0, 0.0, 2.0, 2.0);
+        // Generation 0 serves bit-identically to a frozen service.
+        let mut live_buf = BytesMut::new();
+        svc.handle_into(Request::Window(w), &mut live_buf);
+        let frozen = SpatialService::new(RTreeStore::new(lattice(10)));
+        let mut frozen_buf = BytesMut::new();
+        frozen.handle_into(Request::Window(w), &mut frozen_buf);
+        assert_eq!(
+            live_buf.freeze(),
+            frozen_buf.freeze(),
+            "generation 0 must be bit-identical to the frozen path"
+        );
+        // An update batch is acknowledged with the new generation,
+        // unstamped.
+        let mut ack_buf = BytesMut::new();
+        svc.handle_into(Request::ApplyUpdates(vec![Update::Delete(0)]), &mut ack_buf);
+        let (ack, stamp) = decode_response_gen(ack_buf.freeze()).unwrap();
+        assert_eq!(stamp, 0, "Ack frames are never stamped");
+        assert_eq!(ack, Response::Ack { generation: 1 });
+        // Queries now serve generation 1 and say so on the wire.
+        let mut buf = BytesMut::new();
+        svc.handle_into(Request::Window(w), &mut buf);
+        let (resp, stamp) = decode_response_gen(buf.freeze()).unwrap();
+        assert_eq!(stamp, 1);
+        assert_eq!(resp.into_objects().len(), 8); // 9 lattice points minus id 0
+        assert_eq!(svc.handle(Request::Count(w)).into_count(), 8);
+        assert_eq!(
+            svc.handle(Request::ApplyUpdates(vec![])),
+            Response::Ack { generation: 2 },
+            "empty batches still tick the generation"
+        );
     }
 
     #[test]

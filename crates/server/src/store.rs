@@ -1,6 +1,7 @@
 //! Storage backends for a spatial service.
 
 use asj_geom::{Rect, SpatialObject};
+use asj_net::Update;
 use asj_rtree::RTree;
 
 /// What a server's storage layer must answer. All methods are read-only;
@@ -62,6 +63,33 @@ pub trait SpatialStore: Send + Sync {
     }
     /// MBR of the entire dataset.
     fn bounds(&self) -> Option<Rect>;
+    /// The snapshot generation this store currently serves. Frozen
+    /// backends (everything except [`crate::versioned::VersionedStore`])
+    /// are generation 0 forever — and generation-0 responses are encoded
+    /// without a stamp, keeping their wire traffic bit-identical to the
+    /// pre-generation format.
+    fn generation(&self) -> u64 {
+        0
+    }
+    /// Applies a batched update copy-on-write and publishes the result as
+    /// a new generation, returning its number. `None` — the default —
+    /// marks a frozen store; the service answers such requests with
+    /// `Refused`.
+    fn apply_updates(&self, _batch: &[Update]) -> Option<u64> {
+        None
+    }
+    /// Runs `f` against one consistent `(snapshot, generation)` pair. The
+    /// default serves `self` directly (a frozen store *is* its only
+    /// snapshot); a live store overrides this to pin one published
+    /// generation for the whole call, so a multi-part request never
+    /// straddles a concurrent generation swap and the stamped generation
+    /// always matches the snapshot that answered.
+    fn with_frozen(&self, f: &mut dyn FnMut(&dyn SpatialStore, u64))
+    where
+        Self: Sized,
+    {
+        f(self, self.generation());
+    }
 }
 
 /// Linear-scan backend: O(n) everything. The reference implementation the

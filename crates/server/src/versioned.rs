@@ -1,0 +1,312 @@
+//! Generational snapshots: a live-updating wrapper over any frozen store.
+//!
+//! [`VersionedStore`] never mutates a snapshot readers can see. An update
+//! batch is applied **copy-on-write**: the current object set is cloned,
+//! the batch applied, a fresh inner store built from scratch, and the
+//! result atomically published as generation `n + 1` behind an `RwLock` +
+//! `Arc` swap (the lcrr-tree discipline: writers build aside, readers
+//! always hold one consistent frozen tree). Queries in flight keep the
+//! `Arc` of the snapshot they started on, so a swap never invalidates a
+//! traversal; [`SpatialStore::with_frozen`] pins one snapshot for an
+//! entire multi-part request.
+
+use std::sync::{Arc, Mutex, RwLock};
+
+use asj_geom::{Rect, SpatialObject};
+use asj_net::Update;
+
+use crate::store::SpatialStore;
+
+/// Applies one update batch, in order, to a materialized object set — the
+/// single source of update semantics, shared by [`VersionedStore`] and the
+/// offline replay oracles in the differential tests.
+///
+/// `Insert` replaces any existing object with the same id (else appends),
+/// `Delete` of an absent id is a no-op, and `Move` is an upsert of the
+/// object at its new MBR. Upsert-by-id keeps flat and sharded deployments
+/// convergent without coordination: wherever an object currently lives,
+/// re-inserting it settles it in exactly one place.
+pub fn apply_updates_to(objects: &mut Vec<SpatialObject>, batch: &[Update]) {
+    for u in batch {
+        match u {
+            Update::Insert(o) => upsert(objects, *o),
+            Update::Delete(id) => objects.retain(|x| x.id != *id),
+            Update::Move { id, to } => upsert(objects, SpatialObject::new(*id, *to)),
+        }
+    }
+}
+
+fn upsert(objects: &mut Vec<SpatialObject>, o: SpatialObject) {
+    match objects.iter_mut().find(|x| x.id == o.id) {
+        Some(slot) => *slot = o,
+        None => objects.push(o),
+    }
+}
+
+/// One published snapshot: the built store, the object set it was built
+/// from (the base of the next copy-on-write), and its generation number.
+struct Generation<S> {
+    store: Arc<S>,
+    objects: Arc<Vec<SpatialObject>>,
+    number: u64,
+}
+
+impl<S> Clone for Generation<S> {
+    fn clone(&self) -> Self {
+        Generation {
+            store: Arc::clone(&self.store),
+            objects: Arc::clone(&self.objects),
+            number: self.number,
+        }
+    }
+}
+
+/// A live store: serves the current generation, applies update batches
+/// into fresh ones. Generic over the frozen backend it rebuilds (the
+/// production deployments use `VersionedStore<RTreeStore>`).
+pub struct VersionedStore<S: SpatialStore> {
+    current: RwLock<Generation<S>>,
+    build: Box<dyn Fn(Vec<SpatialObject>) -> S + Send + Sync>,
+    /// Serializes writers so concurrent batches can't both build from the
+    /// same base and lose one of the two. Readers never take this lock.
+    writer: Mutex<()>,
+}
+
+impl<S: SpatialStore> VersionedStore<S> {
+    /// Builds generation 0 from `objects`; `build` is reused to construct
+    /// every later generation.
+    pub fn new(
+        objects: Vec<SpatialObject>,
+        build: impl Fn(Vec<SpatialObject>) -> S + Send + Sync + 'static,
+    ) -> Self {
+        let store = Arc::new(build(objects.clone()));
+        VersionedStore {
+            current: RwLock::new(Generation {
+                store,
+                objects: Arc::new(objects),
+                number: 0,
+            }),
+            build: Box::new(build),
+            writer: Mutex::new(()),
+        }
+    }
+
+    fn snapshot(&self) -> Generation<S> {
+        self.current.read().expect("snapshot lock poisoned").clone()
+    }
+
+    /// Applies `batch` copy-on-write and publishes the result, returning
+    /// the new generation number. An **empty batch still bumps** — the
+    /// generation tick the fleet router relies on so every shard advances
+    /// exactly once per fleet-level batch, making the summed fleet
+    /// generation injective in the batch count.
+    pub fn apply(&self, batch: &[Update]) -> u64 {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let base = self.snapshot();
+        let mut objects = (*base.objects).clone();
+        apply_updates_to(&mut objects, batch);
+        // The expensive rebuild happens outside the snapshot lock: readers
+        // keep serving the old generation until the one-pointer swap below.
+        let next = Generation {
+            store: Arc::new((self.build)(objects.clone())),
+            objects: Arc::new(objects),
+            number: base.number + 1,
+        };
+        let number = next.number;
+        *self.current.write().expect("snapshot lock poisoned") = next;
+        number
+    }
+
+    /// The current generation's materialized object set (shared, cheap).
+    pub fn current_objects(&self) -> Arc<Vec<SpatialObject>> {
+        self.snapshot().objects
+    }
+}
+
+/// Every query delegates to the generation current at call time. A single
+/// query is always consistent (it holds that generation's `Arc` for its
+/// whole traversal); callers needing *cross*-query consistency use
+/// [`SpatialStore::with_frozen`].
+impl<S: SpatialStore> SpatialStore for VersionedStore<S> {
+    fn for_each_in_window(&self, w: &Rect, f: &mut dyn FnMut(&SpatialObject)) {
+        self.snapshot().store.for_each_in_window(w, f)
+    }
+
+    fn for_each_eps_range(&self, q: &Rect, eps: f64, f: &mut dyn FnMut(&SpatialObject)) {
+        self.snapshot().store.for_each_eps_range(q, eps, f)
+    }
+
+    fn count(&self, w: &Rect) -> u64 {
+        self.snapshot().store.count(w)
+    }
+
+    fn eps_count(&self, q: &Rect, eps: f64) -> u64 {
+        self.snapshot().store.eps_count(q, eps)
+    }
+
+    fn window_count_hint(&self, w: &Rect) -> Option<u64> {
+        self.snapshot().store.window_count_hint(w)
+    }
+
+    fn avg_area(&self, w: &Rect) -> f64 {
+        self.snapshot().store.avg_area(w)
+    }
+
+    fn level_mbrs(&self, levels_above_leaves: usize) -> Option<Vec<Rect>> {
+        self.snapshot().store.level_mbrs(levels_above_leaves)
+    }
+
+    fn len(&self) -> usize {
+        self.snapshot().store.len()
+    }
+
+    fn bounds(&self) -> Option<Rect> {
+        self.snapshot().store.bounds()
+    }
+
+    fn generation(&self) -> u64 {
+        self.current.read().expect("snapshot lock poisoned").number
+    }
+
+    fn apply_updates(&self, batch: &[Update]) -> Option<u64> {
+        Some(self.apply(batch))
+    }
+
+    fn with_frozen(&self, f: &mut dyn FnMut(&dyn SpatialStore, u64)) {
+        let snap = self.snapshot();
+        f(&*snap.store, snap.number);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{RTreeStore, ScanStore};
+
+    fn lattice(n: u32) -> Vec<SpatialObject> {
+        (0..n * n)
+            .map(|i| SpatialObject::point(i, (i % n) as f64, (i / n) as f64))
+            .collect()
+    }
+
+    fn versioned(objects: Vec<SpatialObject>) -> VersionedStore<RTreeStore> {
+        VersionedStore::new(objects, RTreeStore::new)
+    }
+
+    #[test]
+    fn generation_zero_serves_like_the_frozen_store() {
+        let frozen = RTreeStore::new(lattice(10));
+        let live = versioned(lattice(10));
+        assert_eq!(live.generation(), 0);
+        let w = Rect::from_coords(0.0, 0.0, 3.0, 3.0);
+        assert_eq!(live.count(&w), frozen.count(&w));
+        assert_eq!(live.window(&w), frozen.window(&w));
+        assert_eq!(live.bounds(), frozen.bounds());
+        assert_eq!(live.len(), frozen.len());
+        assert_eq!(live.window_count_hint(&w), frozen.window_count_hint(&w));
+    }
+
+    #[test]
+    fn apply_semantics_match_offline_replay() {
+        let live = versioned(lattice(4));
+        let batch = vec![
+            Update::Insert(SpatialObject::point(100, 9.0, 9.0)),
+            Update::Delete(0),
+            Update::Delete(999), // absent: no-op
+            Update::Move {
+                id: 5,
+                to: Rect::point(asj_geom::Point::new(8.0, 8.0)),
+            },
+            Update::Move {
+                id: 200, // absent: insert
+                to: Rect::point(asj_geom::Point::new(7.0, 7.0)),
+            },
+            Update::Insert(SpatialObject::point(100, 6.0, 6.0)), // replace
+        ];
+        assert_eq!(live.apply(&batch), 1);
+        assert_eq!(live.generation(), 1);
+        let mut replay = lattice(4);
+        apply_updates_to(&mut replay, &batch);
+        assert_eq!(*live.current_objects(), replay);
+        // The served store is rebuilt from exactly the replayed set.
+        let everything = Rect::from_coords(-100.0, -100.0, 100.0, 100.0);
+        let mut got = live.window(&everything);
+        let mut want = ScanStore::new(replay).window(&everything);
+        got.sort_unstable_by_key(|o| o.id);
+        want.sort_unstable_by_key(|o| o.id);
+        assert_eq!(got, want);
+        // Exactly one object with the upserted id, at its final position.
+        let at_100: Vec<_> = got.iter().filter(|o| o.id == 100).collect();
+        assert_eq!(at_100.len(), 1);
+        assert_eq!(at_100[0].mbr, Rect::point(asj_geom::Point::new(6.0, 6.0)));
+    }
+
+    #[test]
+    fn empty_batch_still_bumps_the_generation() {
+        let live = versioned(lattice(3));
+        assert_eq!(live.apply(&[]), 1);
+        assert_eq!(live.apply(&[]), 2);
+        assert_eq!(live.generation(), 2);
+        assert_eq!(live.len(), 9);
+    }
+
+    #[test]
+    fn with_frozen_pins_one_snapshot() {
+        let live = versioned(lattice(3));
+        live.apply(&[Update::Delete(0)]);
+        let mut seen = None;
+        live.with_frozen(&mut |store, generation| {
+            assert_eq!(generation, 1);
+            // A swap published mid-request must not affect the pinned view.
+            live.apply(&[Update::Delete(1)]);
+            assert_eq!(store.len(), 8, "pinned snapshot changed under us");
+            seen = Some(store.len());
+        });
+        assert_eq!(seen, Some(8));
+        assert_eq!(live.len(), 7, "the concurrent batch did publish");
+        assert_eq!(live.generation(), 2);
+    }
+
+    #[test]
+    fn readers_holding_old_arcs_survive_swaps() {
+        let live = Arc::new(versioned(lattice(8)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let live = Arc::clone(&live);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let w = Rect::from_coords(0.0, 0.0, 7.0, 7.0);
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let c = live.count(&w);
+                        assert!(c <= 64, "count {c} exceeds the dataset");
+                        let objs = live.window(&w);
+                        assert!(objs.len() <= 64);
+                    }
+                });
+            }
+            for round in 0..50u32 {
+                let id = round % 64;
+                live.apply(&[Update::Move {
+                    id,
+                    to: Rect::point(asj_geom::Point::new(
+                        (round % 8) as f64,
+                        (round / 8 % 8) as f64,
+                    )),
+                }]);
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(live.generation(), 50);
+        assert_eq!(live.len(), 64, "moves never change cardinality");
+    }
+
+    #[test]
+    fn frozen_stores_refuse_updates_by_default() {
+        let frozen = RTreeStore::new(lattice(3));
+        assert_eq!(frozen.apply_updates(&[]), None);
+        assert_eq!(frozen.generation(), 0);
+        let live = versioned(lattice(3));
+        assert_eq!(live.apply_updates(&[Update::Delete(0)]), Some(1));
+    }
+}

@@ -23,7 +23,7 @@ pub mod rail;
 pub mod synthetic;
 
 pub use io::{load_dataset, save_dataset, Dataset};
-pub use rail::{germany_rail, RailSpec};
+pub use rail::{germany_rail, RailSpec, TrajectorySpec, TrajectoryStream};
 pub use synthetic::{gaussian_clusters, uniform, SyntheticSpec};
 
 /// Snaps a coordinate to the nearest `f32`-representable value.

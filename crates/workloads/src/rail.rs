@@ -168,6 +168,92 @@ fn subdivide_edge(
     }
 }
 
+/// Parameters of a [`TrajectoryStream`]: how far objects drift per tick
+/// and how many of them move at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectorySpec {
+    /// The space objects are confined to; drifting objects clamp at its
+    /// edges (trains do not leave the map).
+    pub space: Rect,
+    /// Maximum per-axis displacement per tick.
+    pub step: f64,
+    /// Fraction of the fleet that moves each tick (the rest idles).
+    pub move_fraction: f64,
+}
+
+impl Default for TrajectorySpec {
+    fn default() -> Self {
+        let space = crate::default_space();
+        TrajectorySpec {
+            space,
+            step: space.width() * 0.01,
+            move_fraction: 0.2,
+        }
+    }
+}
+
+/// A pinned-seed stream of stepwise movement over a fleet of objects —
+/// the update workload of the live-update experiments.
+///
+/// Each [`tick`](TrajectoryStream::tick) picks a deterministic random
+/// subset of the fleet, drifts every picked object's MBR by an
+/// independent random-walk step (extent preserved, clamped to the space,
+/// coordinates f32-snapped like all generators in this crate), and
+/// returns the objects that moved *at their new position*. Callers map
+/// them onto wire updates (`Update::Move { id, to: o.mbr }`); keeping
+/// the stream free of any protocol dependency lets oracles replay the
+/// same batches against offline stores.
+///
+/// Deterministic in `(initial objects, spec, seed)`: two streams built
+/// alike produce identical tick sequences forever.
+pub struct TrajectoryStream {
+    spec: TrajectorySpec,
+    rng: ChaCha8Rng,
+    fleet: Vec<SpatialObject>,
+}
+
+impl TrajectoryStream {
+    pub fn new(objects: &[SpatialObject], spec: TrajectorySpec, seed: u64) -> Self {
+        TrajectoryStream {
+            spec,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x5452_414a), // "TRAJ"
+            fleet: objects.to_vec(),
+        }
+    }
+
+    /// The fleet at its current (post-tick) positions.
+    pub fn objects(&self) -> &[SpatialObject] {
+        &self.fleet
+    }
+
+    /// Advances every object one step; returns the movers.
+    pub fn tick(&mut self) -> Vec<SpatialObject> {
+        let space = self.spec.space;
+        let step = self.spec.step;
+        let mut moved = Vec::new();
+        for o in &mut self.fleet {
+            if self.rng.random_range(0.0..1.0) >= self.spec.move_fraction {
+                continue;
+            }
+            let (dx, dy) = (
+                self.rng.random_range(-step..=step),
+                self.rng.random_range(-step..=step),
+            );
+            // Translate the MBR, keeping its extent, then clamp the whole
+            // box back into the space before snapping.
+            let (w, h) = (o.mbr.width(), o.mbr.height());
+            let min_x = (o.mbr.min.x + dx).clamp(space.min.x, space.max.x - w);
+            let min_y = (o.mbr.min.y + dy).clamp(space.min.y, space.max.y - h);
+            o.mbr = Rect::new(
+                Point::new(snap(min_x), snap(min_y)),
+                Point::new(snap(min_x + w), snap(min_y + h)),
+            );
+            moved.push(*o);
+        }
+        moved
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +328,52 @@ mod tests {
         for s in germany_rail(&spec, 5) {
             assert_eq!(s.mbr.min.x, snap(s.mbr.min.x));
             assert_eq!(s.mbr.max.y, snap(s.mbr.max.y));
+        }
+    }
+
+    #[test]
+    fn trajectory_ticks_are_deterministic() {
+        let spec = RailSpec {
+            target_segments: 400,
+            ..RailSpec::default()
+        };
+        let rail = germany_rail(&spec, 7);
+        let tspec = TrajectorySpec::default();
+        let mut a = TrajectoryStream::new(&rail, tspec, 11);
+        let mut b = TrajectoryStream::new(&rail, tspec, 11);
+        for _ in 0..5 {
+            assert_eq!(a.tick(), b.tick());
+        }
+        assert_eq!(a.objects(), b.objects());
+        // A different seed diverges.
+        let mut c = TrajectoryStream::new(&rail, tspec, 12);
+        assert_ne!(a.tick(), c.tick());
+    }
+
+    #[test]
+    fn trajectory_moves_a_fraction_and_stays_in_space() {
+        let spec = RailSpec {
+            target_segments: 2_000,
+            ..RailSpec::default()
+        };
+        let rail = germany_rail(&spec, 8);
+        let tspec = TrajectorySpec::default();
+        let mut s = TrajectoryStream::new(&rail, tspec, 13);
+        for _ in 0..3 {
+            let moved = s.tick();
+            let frac = moved.len() as f64 / rail.len() as f64;
+            assert!((0.1..0.3).contains(&frac), "move fraction {frac}");
+            for o in &moved {
+                assert!(tspec.space.contains_rect(&o.mbr), "object left the space");
+                assert_eq!(o.mbr.min.x, snap(o.mbr.min.x), "coordinates must snap");
+            }
+        }
+        // The stream's fleet reflects the accumulated drift: movers in
+        // its `objects()` view sit exactly where the last tick put them.
+        let moved = s.tick();
+        for o in &moved {
+            let cur = s.objects().iter().find(|f| f.id == o.id).unwrap();
+            assert_eq!(cur.mbr, o.mbr);
         }
     }
 

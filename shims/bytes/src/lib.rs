@@ -14,6 +14,9 @@ use std::sync::Arc;
 /// [`Buf::remaining`] checks.
 pub trait Buf {
     fn remaining(&self) -> usize;
+    /// Discards the next `n` bytes (panics past the end, like the real
+    /// crate).
+    fn advance(&mut self, n: usize);
     fn get_u8(&mut self) -> u8;
     fn get_u32(&mut self) -> u32;
     fn get_u64(&mut self) -> u64;
@@ -104,6 +107,14 @@ impl AsRef<[u8]> for Bytes {
     }
 }
 
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
         self.as_slice() == other.as_slice()
@@ -123,6 +134,10 @@ macro_rules! get_be {
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
         self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.take(n);
     }
 
     fn get_u8(&mut self) -> u8 {

@@ -1,0 +1,212 @@
+//! Differential oracles for generational snapshots (live updates).
+//!
+//! Three laws pin the live-update extension end to end:
+//!
+//! * **Byte identity when idle** — a live deployment that never receives
+//!   an update serves generation 0 and is *bit-for-bit* the frozen wire
+//!   format: for every algorithm, flat / 4-shard / cached, the link
+//!   snapshots (not just the pairs) equal the frozen deployment's.
+//! * **Replay identity** — with updates flowing, every join's pairs
+//!   exactly equal a replay against an offline store rebuilt frozen at
+//!   the observed generation (the same `apply_updates_to` fold the
+//!   server runs), and the byte-conservation law survives.
+//! * **Staleness** — a deliberately planted cache entry keyed to a wrong
+//!   (stale) generation is never served; the same plant at the current
+//!   generation *is* served, so the check is not vacuous.
+
+use adhoc_spatial_joins::prelude::*;
+use asj_core::{DeploymentBuilder, Side};
+use asj_geom::SpatialObject;
+use asj_net::{Request, Update};
+use asj_server::apply_updates_to;
+use asj_workloads::{
+    default_space, gaussian_clusters, SyntheticSpec, TrajectorySpec, TrajectoryStream,
+};
+
+fn clusters(k: usize, n: usize, seed: u64) -> Vec<SpatialObject> {
+    gaussian_clusters(&SyntheticSpec::new(default_space(), n, k), seed)
+}
+
+fn algorithms() -> Vec<Box<dyn DistributedJoin>> {
+    vec![
+        Box::new(NaiveJoin),
+        Box::new(GridJoin::default()),
+        Box::new(MobiJoin),
+        Box::new(UpJoin::default()),
+        Box::new(SrJoin::default()),
+        Box::new(SemiJoin::default()),
+    ]
+}
+
+fn sorted_pairs(rep: &JoinReport) -> Vec<(u32, u32)> {
+    let mut pairs = rep.pairs.clone();
+    pairs.sort_unstable();
+    pairs
+}
+
+fn build(
+    r: &[SpatialObject],
+    s: &[SpatialObject],
+    shards: Option<usize>,
+    cache: bool,
+    live: bool,
+) -> Deployment {
+    let mut b = DeploymentBuilder::new(r.to_vec(), s.to_vec())
+        .with_buffer(800)
+        .with_space(default_space())
+        .with_client_cache(cache)
+        .cooperative(); // SemiJoin runs too; others ignore the extension
+    if let Some(n) = shards {
+        b = b.with_shards(n, n);
+    }
+    if live {
+        b = b.live();
+    }
+    b.build()
+}
+
+/// A live deployment with zero updates serves generation 0, and
+/// generation 0 emits no stamp: every algorithm must produce identical
+/// pairs *and identical link snapshots* — the same bytes in the same
+/// messages — as a frozen deployment, flat, sharded and cached.
+#[test]
+fn idle_live_deployment_is_byte_identical_to_frozen() {
+    let r = clusters(4, 200, 7);
+    let s = clusters(8, 200, 1007);
+    let spec = JoinSpec::distance_join(150.0);
+    for (shards, cache) in [(None, false), (Some(4), false), (None, true)] {
+        let frozen = build(&r, &s, shards, cache, false);
+        let live = build(&r, &s, shards, cache, true);
+        assert!(live.is_live() && !frozen.is_live());
+        for alg in algorithms() {
+            let want = match alg.run(&frozen, &spec) {
+                Ok(rep) => rep,
+                Err(_) => continue, // buffer-bound config: skip both sides
+            };
+            let got = alg.run(&live, &spec).unwrap_or_else(|e| {
+                panic!("{} failed on the idle live deployment: {e}", alg.name())
+            });
+            assert_eq!(
+                sorted_pairs(&got),
+                sorted_pairs(&want),
+                "{} shards={shards:?} cache={cache}: pairs diverged",
+                alg.name()
+            );
+            assert_eq!(
+                (got.link_r, got.link_s),
+                (want.link_r, want.link_s),
+                "{} shards={shards:?} cache={cache}: wire traffic diverged",
+                alg.name()
+            );
+        }
+    }
+}
+
+/// With updates flowing, each join must equal a replay against an
+/// offline mirror folded with the *same* `apply_updates_to` the server
+/// runs, frozen at the observed generation — exact pair identity, and
+/// the byte-conservation law holds on the live reports.
+#[test]
+fn live_joins_replay_exactly_at_the_observed_generation() {
+    let r0 = clusters(4, 200, 31);
+    let s0 = clusters(8, 200, 1031);
+    let spec = JoinSpec::distance_join(150.0);
+    let tspec = TrajectorySpec {
+        step: 250.0,
+        ..TrajectorySpec::default()
+    };
+    for shards in [None, Some(3)] {
+        let live = build(&r0, &s0, shards, false, true);
+        let mut traj_r = TrajectoryStream::new(&r0, tspec, 5);
+        let mut traj_s = TrajectoryStream::new(&s0, tspec, 1005);
+        let (mut mirror_r, mut mirror_s) = (r0.clone(), s0.clone());
+        let mut last_gen = 0;
+        for tick in 0..3 {
+            let moves = |t: &mut TrajectoryStream| -> Vec<Update> {
+                t.tick()
+                    .into_iter()
+                    .map(|o| Update::Move {
+                        id: o.id,
+                        to: o.mbr,
+                    })
+                    .collect()
+            };
+            let (batch_r, batch_s) = (moves(&mut traj_r), moves(&mut traj_s));
+            apply_updates_to(&mut mirror_r, &batch_r);
+            apply_updates_to(&mut mirror_s, &batch_s);
+            let gen_r = live.apply_updates(Side::R, batch_r);
+            let gen_s = live.apply_updates(Side::S, batch_s);
+            assert!(gen_r > last_gen, "tick {tick}: generation must advance");
+            last_gen = gen_r;
+            assert_eq!(gen_r, gen_s, "symmetric ticks reach the same generation");
+
+            // The oracle: a frozen deployment rebuilt from the mirrors at
+            // exactly this generation's state.
+            let oracle = build(&mirror_r, &mirror_s, shards, false, false);
+            for alg in [
+                Box::new(MobiJoin) as Box<dyn DistributedJoin>,
+                Box::new(SrJoin::default()),
+                Box::new(NaiveJoin),
+            ] {
+                let got = alg
+                    .run(&live, &spec)
+                    .unwrap_or_else(|e| panic!("{} failed live at tick {tick}: {e}", alg.name()));
+                let want = alg.run(&oracle, &spec).unwrap();
+                assert_eq!(
+                    sorted_pairs(&got),
+                    sorted_pairs(&want),
+                    "{} shards={shards:?} tick {tick} (generation {gen_r}): \
+                     live join diverged from the frozen replay",
+                    alg.name()
+                );
+                assert!(!want.pairs.is_empty(), "vacuous tick");
+                // Meters conserved: the report total is exactly the sum
+                // of its per-link snapshots, stamps included.
+                assert_eq!(
+                    got.total_bytes(),
+                    got.link_r.total_bytes() + got.link_s.total_bytes()
+                );
+            }
+        }
+    }
+}
+
+/// Staleness proof: an entry planted at a *wrong* generation is never
+/// served — and the identical plant at the current generation is, so the
+/// keying (not luck) is what protects the results.
+#[test]
+fn stale_cache_entries_are_never_served() {
+    let r = clusters(4, 200, 51);
+    let s = clusters(8, 200, 1051);
+    let live = build(&r, &s, None, true, true);
+    let w = default_space();
+    let (cache_r, _) = live.caches();
+    let cache_r = cache_r.expect("cache enabled");
+
+    // Tick once so the deployment sits at generation 1.
+    let gen = live.apply_updates(Side::R, vec![Update::Delete(r[0].id)]);
+    assert_eq!(gen, 1);
+
+    // Plant a poisoned count at the *stale* generation 0: invisible.
+    cache_r.observe_count(&w, 999_999, 0);
+    let (link_r, _) = live.connect();
+    let truth = link_r.request(&Request::Count(w)).into_count();
+    assert_eq!(truth, r.len() as u64 - 1, "fresh download after the delete");
+    let snap = link_r.cache().expect("cached link").snapshot();
+    assert_eq!(
+        (snap.stats_hits, snap.stats_misses),
+        (0, 1),
+        "the stale plant must not register as a hit"
+    );
+
+    // Non-vacuity: the same plant at the *current* generation is served.
+    cache_r.observe_count(&w, 777_777, gen);
+    let (link2, _) = live.connect();
+    assert_eq!(
+        link2.request(&Request::Count(w)).into_count(),
+        777_777,
+        "a current-generation entry must be served — otherwise the stale \
+         check above proves nothing"
+    );
+    assert_eq!(link2.cache().unwrap().snapshot().stats_hits, 1);
+}

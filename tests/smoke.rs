@@ -6,7 +6,7 @@ use asj_core::DeploymentBuilder;
 use asj_geom::sweep::nested_loop_join;
 use asj_workloads::default_space;
 
-/// All five examples stay buildable. `cargo test` already builds examples
+/// All six examples stay buildable. `cargo test` already builds examples
 /// for the root package, but only this assertion makes a broken example a
 /// *failing test* rather than a compile step someone may not run.
 #[test]
@@ -17,6 +17,7 @@ fn all_examples_build() {
         "rail_atlas",
         "multiway_chain",
         "tariff_explorer",
+        "live_update",
     ];
     let mut cmd = std::process::Command::new(env!("CARGO"));
     cmd.current_dir(env!("CARGO_MANIFEST_DIR")).arg("build");
