@@ -68,7 +68,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: experiments [all|fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|ablation-*|shard-scaling|cache-ablation|live-update] \
+        "usage: experiments [all|fig6a|fig6b|fig7a|fig7b|fig8a|fig8b|ablation-*|shard-scaling|cache-ablation|live-update|codec-v2] \
          [--seeds N] [--points N] [--out DIR]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -4,10 +4,11 @@
 //! metric); this one measures *CPU time* on the hot paths the byte
 //! optimizations ride on: store backends (scan vs grid vs aR-tree), the
 //! wire codec, the serial vs partitioned-parallel plane sweep, the
-//! zero-copy window-serving path, and end-to-end join throughput against a
-//! threaded server. Results are written as JSON (`BENCH_pr5.json` at the
-//! repo root by convention) so later PRs have a baseline to regress
-//! against.
+//! zero-copy window-serving path, the wire-v2 object codec, and
+//! end-to-end join throughput against a threaded server. Results are
+//! written as JSON (`BENCH_pr7.json` at the repo root by convention) so
+//! later PRs have a baseline to regress against; the v2 codec entries
+//! also carry the `BENCH_pr5.json` v1 anchors for cross-machine context.
 //!
 //! ```text
 //! wallclock [--quick] [--out PATH]
@@ -77,7 +78,7 @@ impl Config {
 
 fn main() {
     let mut quick = false;
-    let mut out = String::from("BENCH_pr5.json");
+    let mut out = String::from("BENCH_pr7.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -101,7 +102,7 @@ fn main() {
     let sweep_pairs = bench_sweep(&mut c, &cfg);
     bench_grid_hash(&mut c, &cfg);
     bench_stores(&mut c, &cfg);
-    bench_codec(&mut c);
+    let codec_sizes = bench_codec(&mut c);
     bench_serving(&mut c, &cfg);
     bench_updates(&mut c, &cfg);
     bench_end_to_end(&mut c, &cfg);
@@ -110,7 +111,7 @@ fn main() {
     for (label, baseline, fast, factor) in &speedups {
         println!("speedup {label:<28} {factor:>7.2}×   ({baseline} vs {fast})");
     }
-    let json = render_json(&cfg, c.measurements(), &speedups, sweep_pairs);
+    let json = render_json(&cfg, c.measurements(), &speedups, sweep_pairs, codec_sizes);
     std::fs::write(&out, json).expect("cannot write JSON output");
     eprintln!(
         "wallclock done in {:.1}s → {out}",
@@ -329,9 +330,13 @@ fn encode_response_seedpath(resp: &Response) -> Bytes {
     buf.freeze()
 }
 
-/// Codec throughput: exact-reserve encode vs the seed growth encode.
-fn bench_codec(c: &mut Criterion) {
-    let objs = uniform(&default_space(), 1000, 4);
+/// Codec throughput: exact-reserve encode vs the seed growth encode, plus
+/// the wire-v2 frame (delta-varint ids, window-quantized coordinates).
+/// Returns `(v1_bytes, v2_bytes)` of the 1 k-object frame so the report
+/// can state the measured density ratio next to the ns/object numbers.
+fn bench_codec(c: &mut Criterion) -> (usize, usize) {
+    let space = default_space();
+    let objs = uniform(&space, 1000, 4);
     let resp = Response::Objects(objs.clone());
     assert_eq!(
         encode_response_seedpath(&resp),
@@ -348,6 +353,38 @@ fn bench_codec(c: &mut Criterion) {
     c.bench_function("codec/decode_1k_objects", |b| {
         b.iter(|| std::hint::black_box(codec::decode_response(encoded.clone()).unwrap()))
     });
+
+    // v2: every benched object sits inside the quantization window (the
+    // whole space), mirroring a WINDOW download — the density headline.
+    let ctx = codec::QuantCtx::new(space);
+    let encode_v2 = || {
+        let mut buf = BytesMut::new();
+        codec::encode_response_versioned(&resp, codec::WireVersion::V2, ctx.as_ref(), &mut buf);
+        buf.freeze()
+    };
+    let encoded_v2 = encode_v2();
+    assert_eq!(
+        codec::decode_response(encoded.clone()).unwrap(),
+        codec::decode_response_ctx(encoded_v2.clone(), ctx.as_ref()).unwrap(),
+        "v2 decode must be bit-equal to v1"
+    );
+    eprintln!(
+        "check: v2 objects frame decodes bit-equal to v1 ({} B vs {} B, {:.2}× denser)",
+        encoded_v2.len(),
+        encoded.len(),
+        encoded.len() as f64 / encoded_v2.len() as f64
+    );
+    c.bench_function("codec/codec_v2_encode_1k_objects", |b| {
+        b.iter(|| std::hint::black_box(encode_v2()))
+    });
+    c.bench_function("codec/codec_v2_decode_1k_objects", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                codec::decode_response_ctx(encoded_v2.clone(), ctx.as_ref()).unwrap(),
+            )
+        })
+    });
+    (encoded.len(), encoded_v2.len())
 }
 
 /// The window-serving allocations path: materialize-then-encode (seed)
@@ -364,7 +401,7 @@ fn bench_serving(c: &mut Criterion, cfg: &Config) {
         // Sanity: both paths produce the same bytes (the differential
         // suite proves it exhaustively; this pins the benched inputs).
         let mut buf = BytesMut::new();
-        svc.handle_into(req.clone(), &mut buf);
+        svc.handle_into(req.clone(), codec::WireVersion::V1, &mut buf);
         assert_eq!(
             &buf[..],
             encode_response(&svc.handle(req.clone())).as_slice()
@@ -377,7 +414,7 @@ fn bench_serving(c: &mut Criterion, cfg: &Config) {
     c.bench_function("serve/window_zerocopy_reused_buffer", |b| {
         b.iter(|| {
             buf.clear();
-            svc.handle_into(req.clone(), &mut buf);
+            svc.handle_into(req.clone(), codec::WireVersion::V1, &mut buf);
             std::hint::black_box(Bytes::copy_from_slice(&buf))
         })
     });
@@ -480,6 +517,18 @@ fn speedups(ms: &[Measurement]) -> Vec<(String, String, String, f64)> {
             "codec/encode_1k_objects_seedpath",
             "codec/encode_1k_objects_exact_reserve",
         ),
+        // The v2 frame trades CPU for wire density; these ratios say how
+        // much. < 1.0 means v2 costs more CPU per 1 k objects than v1.
+        (
+            "codec_v2_encode",
+            "codec/encode_1k_objects_exact_reserve",
+            "codec/codec_v2_encode_1k_objects",
+        ),
+        (
+            "codec_v2_decode",
+            "codec/decode_1k_objects",
+            "codec/codec_v2_decode_1k_objects",
+        ),
         ("parallel_sweep_w4", "sweep/serial", "sweep/parallel_w4"),
         // ~1.0 expected: the versioned wrapper must stay within ~5 % of
         // the frozen store on the window-serving hot path.
@@ -516,6 +565,7 @@ fn render_json(
     ms: &[Measurement],
     speedups: &[(String, String, String, f64)],
     sweep_pairs: usize,
+    codec_sizes: (usize, usize),
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -533,6 +583,17 @@ fn render_json(
     ));
     out.push_str(&format!(
         "  \"checks\": {{\"parallel_sweep_identical_to_serial\": true, \"sweep_pairs\": {sweep_pairs}}},\n"
+    ));
+    // The pr5 anchors let a reader compare the v2 codec's ns/object
+    // against the recorded v1 trajectory even across machines.
+    let (v1_bytes, v2_bytes) = codec_sizes;
+    out.push_str(&format!(
+        "  \"codec_v2\": {{\"objects\": 1000, \"v1_bytes\": {v1_bytes}, \"v2_bytes\": {v2_bytes}, \
+         \"density_ratio\": {:.3}, \"pr5_v1_anchors_ns\": {{\
+         \"encode_1k_objects_seedpath\": 30712.2, \
+         \"encode_1k_objects_exact_reserve\": 30557.5, \
+         \"decode_1k_objects\": 36197.4}}}},\n",
+        v2_bytes as f64 / v1_bytes as f64
     ));
     out.push_str("  \"entries\": [\n");
     for (i, m) in ms.iter().enumerate() {

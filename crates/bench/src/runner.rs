@@ -89,6 +89,9 @@ pub struct AlgoSpec {
     pub shards: u32,
     /// Run this column with the client-side statistics/window cache.
     pub client_cache: bool,
+    /// Negotiate wire protocol v2 (compact object frames) on this
+    /// column's links.
+    pub wire_v2: bool,
 }
 
 impl AlgoSpec {
@@ -99,6 +102,7 @@ impl AlgoSpec {
             batched_stats: false,
             shards: 0,
             client_cache: false,
+            wire_v2: false,
         }
     }
 
@@ -126,13 +130,22 @@ impl AlgoSpec {
         }
     }
 
+    /// The same column speaking wire protocol v2 on every link.
+    pub const fn v2(kind: AlgoKind) -> Self {
+        AlgoSpec {
+            wire_v2: true,
+            ..AlgoSpec::new(kind)
+        }
+    }
+
     /// Instantiates the algorithm.
     pub fn make(&self) -> Box<dyn DistributedJoin> {
         self.kind.make()
     }
 
     /// Column label; batched columns carry a `+mc` suffix, sharded
-    /// columns a `+sN` suffix, cached columns a `+cc` suffix.
+    /// columns a `+sN` suffix, cached columns a `+cc` suffix, wire-v2
+    /// columns a `+v2` suffix.
     pub fn label(&self) -> String {
         let mut label = self.kind.label();
         if self.batched_stats {
@@ -143,6 +156,9 @@ impl AlgoSpec {
         }
         if self.client_cache {
             label.push_str("+cc");
+        }
+        if self.wire_v2 {
+            label.push_str("+v2");
         }
         label
     }
@@ -381,7 +397,8 @@ pub fn run_sweep(
                 let net = cfg
                     .net
                     .with_batched_stats(cfg.net.batched_stats || algos[ai].batched_stats)
-                    .with_client_cache(cfg.net.client_cache.enabled || algos[ai].client_cache);
+                    .with_client_cache(cfg.net.client_cache.enabled || algos[ai].client_cache)
+                    .with_wire_v2(cfg.net.wire_v2 || algos[ai].wire_v2);
                 let (dep, hint, data_r, data_s) =
                     build_deployment(rows[ri].1, 7 + seed * 97, cfg, net, algos[ai].shards);
                 // Live sweeps drive one pinned-seed trajectory stream per
@@ -564,6 +581,15 @@ mod tests {
         assert_eq!(
             AlgoSpec::cached(AlgoKind::Sr { rho: 0.30 }).label(),
             "srJoin+cc"
+        );
+        assert_eq!(AlgoSpec::v2(AlgoKind::Mobi).label(), "mobiJoin+v2");
+        assert_eq!(
+            AlgoSpec {
+                client_cache: true,
+                ..AlgoSpec::v2(AlgoKind::Sr { rho: 0.30 })
+            }
+            .label(),
+            "srJoin+cc+v2"
         );
     }
 

@@ -15,7 +15,7 @@ use asj_geom::Rect;
 use asj_net::codec::{
     ANSWER_BYTES, BUCKET_FRAME_BYTES, BUCKET_REQ_HEADER_BYTES, COUNTS_HEADER_BYTES,
     COUNT_ENTRY_BYTES, EPS_QUERY_BYTES, MULTI_COUNT_HEADER_BYTES, OBJECTS_HEADER_BYTES, OBJ_BYTES,
-    QUERY_BYTES, RECT_BYTES,
+    OBJ_BYTES_V2_EST, QUERY_BYTES, RECT_BYTES,
 };
 use asj_net::{NetConfig, PacketModel};
 
@@ -52,6 +52,16 @@ pub struct CostModel {
     /// Price multiplier on `WINDOW` downloads, `(0, 1]`; same idea for
     /// the cache's window tier.
     pub window_discount: f64,
+    /// Estimated wire bytes of one object in a `WINDOW`/ε-RANGE response
+    /// frame. Exactly [`OBJ_BYTES`] on v1 links (bit-exact — the v1
+    /// layout is fixed-width); the codec's published [`OBJ_BYTES_V2_EST`]
+    /// when the deployment negotiates wire v2, whose frames are
+    /// variable-width (delta-varint ids, quantized-or-escaped
+    /// coordinates). Decisions price the expected v2 density; reported
+    /// bytes always come from the meters. Probe *uploads* and bucket
+    /// frames keep pricing [`OBJ_BYTES`]: v2 compacts only the object
+    /// response stream, not request payloads or bucket framing.
+    pub object_bytes: f64,
 }
 
 impl CostModel {
@@ -66,6 +76,11 @@ impl CostModel {
             fanout_s: 1.0,
             stats_discount: 1.0,
             window_discount: 1.0,
+            object_bytes: if net.wire_v2 {
+                OBJ_BYTES_V2_EST
+            } else {
+                OBJ_BYTES as f64
+            },
         }
     }
 
@@ -163,7 +178,7 @@ impl CostModel {
     pub fn window_download_fanned(&self, n: f64, fanout: f64) -> f64 {
         self.window_discount
             * (fanout * self.tb(QUERY_BYTES as f64)
-                + fanout * self.tb(OBJECTS_HEADER_BYTES as f64 + (n / fanout) * OBJ_BYTES as f64))
+                + fanout * self.tb(OBJECTS_HEADER_BYTES as f64 + (n / fanout) * self.object_bytes))
     }
 
     /// `c1(w)` — HBSJ: download both windows, join on the device
@@ -237,7 +252,7 @@ impl CostModel {
         } else {
             // One ε-RANGE round trip per outer object (Eqs. 3–4).
             let per_probe = self.tb(EPS_QUERY_BYTES as f64)
-                + self.tb(OBJECTS_HEADER_BYTES as f64 + mu * OBJ_BYTES as f64);
+                + self.tb(OBJECTS_HEADER_BYTES as f64 + mu * self.object_bytes);
             outer_download + tariff_inner * count_outer * per_probe
         }
     }
@@ -281,9 +296,10 @@ impl CostModel {
     }
 
     /// "`|Dw|` is large" gate of UpJoin — inequality (10):
-    /// `TB(|Dw|·Bobj) > 3·Taq`.
+    /// `TB(|Dw|·Bobj) > 3·Taq`, with `Bobj` the active wire version's
+    /// object density.
     pub fn worth_more_stats(&self, count: f64) -> bool {
-        self.tb(count * OBJ_BYTES as f64) > 3.0 * self.taq()
+        self.tb(count * self.object_bytes) > 3.0 * self.taq()
     }
 
     /// SrJoin's "dataset must be large" threshold (Fig. 5 line 16).

@@ -69,20 +69,40 @@ impl Carrier {
     /// Fleet links all share the carrier's [`ShardMeta`]s, so generation
     /// stamps and bounds growth observed through any link (including the
     /// update path) are visible to every other link's router.
+    /// When `net.wire_v2` is on, whichever layer owns the *physical*
+    /// edge negotiates protocol v2 over it before the link is handed
+    /// out: a bare link negotiates with its server, a cache layer with
+    /// the server behind it, a shard router per shard. With the flag
+    /// off (the default) no handshake frame is ever sent and every link
+    /// speaks v1 byte-identically.
     fn link(&self, net: &NetConfig, tariff: f64, cache: Option<&Arc<ClientCache>>) -> Link {
         match self {
             Carrier::Single(e) => match cache {
                 Some(c) => {
-                    Link::cached(CacheLayer::new(e.raw(), net.packet, Arc::clone(c)), tariff)
+                    let mut layer = CacheLayer::new(e.raw(), net.packet, Arc::clone(c));
+                    if net.wire_v2 {
+                        layer.negotiate_v2();
+                    }
+                    Link::cached(layer, tariff)
                 }
-                None => Link::new(e.raw(), net.packet, tariff),
+                None => {
+                    let link = Link::new(e.raw(), net.packet, tariff);
+                    if net.wire_v2 {
+                        link.negotiate()
+                    } else {
+                        link
+                    }
+                }
             },
             Carrier::Fleet(members) => {
                 let shards = members
                     .iter()
                     .map(|(meta, e)| ShardEndpoint::with_meta(Arc::clone(meta), e.raw()))
                     .collect();
-                let router = ShardRouter::new(shards, net.packet);
+                let mut router = ShardRouter::new(shards, net.packet);
+                if net.wire_v2 {
+                    router.negotiate_v2();
+                }
                 match cache {
                     Some(c) => Link::cached(CacheLayer::over_router(router, Arc::clone(c)), tariff),
                     None => Link::routed(router, tariff),
@@ -105,11 +125,17 @@ struct InProcDyn(Arc<dyn QueryHandler>);
 
 impl asj_net::RawExchange for InProcDyn {
     fn exchange(&self, request: bytes::Bytes) -> bytes::Bytes {
-        let req = asj_net::codec::decode_request(request).expect("malformed request");
+        // Version negotiation is link control: answered at the transport
+        // adapter, never surfaced to the query handler.
+        if let Some(accept) = asj_net::codec::try_answer_hello(&request) {
+            return accept;
+        }
+        let (req, wire) =
+            asj_net::codec::decode_request_versioned(request).expect("malformed request");
         // Zero-copy serving: the handler streams its answer straight into
         // the reply buffer (see `SpatialService::handle_into`).
         let mut buf = bytes::BytesMut::new();
-        self.0.handle_into(req, &mut buf);
+        self.0.handle_into(req, wire, &mut buf);
         buf.freeze()
     }
 }

@@ -75,8 +75,9 @@ use asj_geom::{Rect, SpatialObject};
 use bytes::{Bytes, BytesMut};
 
 use crate::codec::{
-    decode_request, decode_response_gen, encode_request, encode_response, encode_response_into,
-    peel_generation, stamp_generation, OBJECTS_HEADER_BYTES, OBJ_BYTES,
+    decode_request, decode_response_gen, decode_response_gen_ctx, encode_request,
+    encode_request_versioned, encode_response, encode_response_into, peel_generation,
+    stamp_generation, QuantCtx, WireVersion, OBJECTS_HEADER_BYTES, OBJ_BYTES,
 };
 use crate::meter::{CacheSnapshot, CacheTelemetry, LinkMeter};
 use crate::packet::PacketModel;
@@ -437,6 +438,14 @@ pub struct CacheLayer {
     fleet: Option<Arc<crate::router::ShardTelemetry>>,
     cache: Arc<ClientCache>,
     telemetry: Arc<CacheTelemetry>,
+    /// Wire version of the inner physical link. Stays [`WireVersion::V1`]
+    /// unless [`CacheLayer::negotiate_v2`] ran (only meaningful when the
+    /// inner carrier is a direct server edge — a premetered inner router
+    /// negotiates its own shard links instead). The cache itself is
+    /// version-agnostic: it admits and serves *decoded* objects, so a
+    /// window downloaded over v2 answers later v1-framed lookups and
+    /// vice versa.
+    wire: WireVersion,
 }
 
 impl CacheLayer {
@@ -451,6 +460,7 @@ impl CacheLayer {
             fleet: None,
             cache,
             telemetry: Arc::new(CacheTelemetry::new()),
+            wire: WireVersion::V1,
         }
     }
 
@@ -467,7 +477,23 @@ impl CacheLayer {
             inner: Box::new(router),
             cache,
             telemetry: Arc::new(CacheTelemetry::new()),
+            wire: WireVersion::V1,
         }
+    }
+
+    /// Negotiates wire protocol v2 with the server behind this layer's
+    /// *own* physical edge (one `HELLO`/`ACCEPT` round trip, 4 unmetered
+    /// link-control bytes). Meaningful only for a cache over a direct
+    /// server carrier: a premetered inner (a [`ShardRouter`]) owns its
+    /// physical links and negotiates per shard itself. Only the
+    /// deployment layer calls this, and only when `NetConfig::wire_v2`
+    /// is on; a peer that never `ACCEPT`s leaves the link at v1.
+    pub fn negotiate_v2(&mut self) {
+        debug_assert!(
+            !self.inner_premetered,
+            "a premetered inner carrier negotiates its own physical links"
+        );
+        self.wire = crate::transport::negotiate_wire(self.inner.as_ref());
     }
 
     /// The meter the fronting [`Link`] should expose.
@@ -510,10 +536,21 @@ impl CacheLayer {
             self.cache.note_generation(generation);
             return (reply, None, generation);
         }
+        // On a v2 inner link the request is re-framed compact; the reply
+        // comes back v2 and is handed upstream as-is (the fronting link
+        // decodes either version), so the meter below prices exactly the
+        // frames that crossed the physical edge.
+        let raw = if self.wire == WireVersion::V2 {
+            encode_request_versioned(req, WireVersion::V2)
+        } else {
+            raw
+        };
         self.meter
             .record_request(req, raw.len() as u64, &self.packet);
         let reply = self.inner.exchange(raw);
-        let (resp, generation) = decode_response_gen(reply.clone()).expect("malformed response");
+        let ctx = QuantCtx::for_request(req);
+        let (resp, generation) =
+            decode_response_gen_ctx(reply.clone(), ctx.as_ref()).expect("malformed response");
         self.cache.note_generation(generation);
         self.meter.record_response(
             reply.len() as u64,
@@ -720,7 +757,11 @@ impl RawExchange for CacheLayer {
                 // store must learn *before* the next lookup so stale
                 // entries stop matching immediately.
                 let reply = self.forward_raw(raw);
-                if let Ok((Response::Ack { generation }, _)) = decode_response_gen(reply.clone()) {
+                // `Ack`s need no window context to decode in either wire
+                // version.
+                if let Ok((Response::Ack { generation }, _)) =
+                    decode_response_gen_ctx(reply.clone(), None)
+                {
                     self.cache.note_generation(generation);
                 }
                 reply

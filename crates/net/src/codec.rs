@@ -79,11 +79,60 @@ pub const ACK_BYTES: u64 = 1 + 8;
 /// pre-generation wire format.
 pub const GEN_STAMP_BYTES: u64 = 1 + 8;
 
+/// Frame-layout strategy of one physical link — the negotiated wire
+/// protocol version. `V1` is the seed format every peer speaks; `V2` is a
+/// strict superset a link may upgrade to via the `HELLO`/`ACCEPT`
+/// handshake (see [`crate::proto::Hello`]): requests gain a 1-byte
+/// envelope marker, object frames switch to the compact layout
+/// ([`ObjectsEncoder`]), counts and acks travel as LEB128 varints, and
+/// generation stamps shrink to a varint. Everything else keeps its v1
+/// layout — a v2 decoder accepts both, so the upgrade is per-frame
+/// self-describing and stateless on the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireVersion {
+    /// The seed wire format — always spoken when negotiation is off.
+    #[default]
+    V1,
+    /// Compact frames: varint ids/counts, quantized coordinates.
+    V2,
+}
+
+/// Highest wire protocol version this build speaks.
+pub const MAX_WIRE_VERSION: u8 = 2;
+/// Wire size of a `HELLO` handshake probe (opcode + u8 max version).
+pub const HELLO_BYTES: u64 = 2;
+/// Wire size of an `ACCEPT` handshake reply (opcode + u8 version).
+pub const ACCEPT_BYTES: u64 = 2;
+/// Per-request envelope overhead on a v2 link (the marker byte that asks
+/// the server to answer in v2 framing).
+pub const V2_MARK_BYTES: u64 = 1;
+/// Worst-case wire size of one object inside a v2 `Objects` frame: tag
+/// byte + 5-byte zigzag id delta + full exact-`f32` rect escape. This is
+/// the per-object bound the exact-count reservation uses; typical point
+/// objects encode in 6–11 bytes (see the quantization contract on
+/// [`QuantCtx`]).
+pub const OBJ_BYTES_V2_MAX: u64 = 1 + 5 + RECT_BYTES;
+/// Best-case wire size of one v2 object: a fully quantized point (tag +
+/// 1-byte id delta + one u16 per axis).
+pub const OBJ_BYTES_V2_MIN: u64 = 1 + 1 + 4;
+/// Planning estimate of the v2 per-object wire size the cost model prices
+/// window downloads with when [`crate::NetConfig::wire_v2`] is on: tag +
+/// short id delta + one escaped-`f32` point pair (the dominant shape on
+/// the point workloads). Deliberately conservative — quantized points are
+/// smaller, full-rect escapes larger.
+pub const OBJ_BYTES_V2_EST: f64 = 11.0;
+/// Worst-case wire size of a v2 generation stamp (opcode + 10-byte
+/// varint); small generations take 2–3 bytes instead of v1's fixed 9.
+pub const GEN_STAMP_BYTES_V2_MAX: u64 = 1 + 10;
+
 /// Decoding failure: corrupt or truncated message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
     Truncated,
     UnknownOpcode(u8),
+    /// A compact v2 frame carries quantized coordinates but the decoder
+    /// was given no request window to dequantize against.
+    MissingContext,
 }
 
 impl std::fmt::Display for CodecError {
@@ -91,6 +140,9 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::Truncated => write!(f, "message truncated"),
             CodecError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#x}"),
+            CodecError::MissingContext => {
+                write!(f, "quantized frame requires the request window context")
+            }
         }
     }
 }
@@ -126,6 +178,37 @@ pub(crate) mod op {
     pub const UPD_INSERT: u8 = 0x01;
     pub const UPD_DELETE: u8 = 0x02;
     pub const UPD_MOVE: u8 = 0x03;
+
+    // ---- wire protocol v2 (negotiated; see `WireVersion`) ----
+
+    /// Link-control probe `[HELLO][u8 max_version]` — the only frame a
+    /// negotiating client sends before knowing the peer's version.
+    pub const HELLO: u8 = 0x70;
+    /// Request-envelope prefix `[V2_MARK][v1-layout request]`: marks a
+    /// request whose sender wants the reply in v2 framing. Stateless —
+    /// a server can interleave v1 and v2 peers on one queue.
+    pub const V2_MARK: u8 = 0x71;
+    /// Handshake reply `[R_ACCEPT][u8 version]`.
+    pub const R_ACCEPT: u8 = 0x8B;
+    /// Compact objects frame: `[R_OBJECTS_V2][u32 count]` then per-object
+    /// `[tag][zigzag varint Δid][coords]` (see [`QuantCtx`]).
+    pub const R_OBJECTS_V2: u8 = 0x8C;
+    /// Compact count: `[R_COUNT_V2][varint]`.
+    pub const R_COUNT_V2: u8 = 0x8D;
+    /// Compact batched counts: `[R_COUNTS_V2][varint n][varint × n]`.
+    pub const R_COUNTS_V2: u8 = 0x8E;
+    /// Compact update ack: `[R_ACK_V2][varint generation]`.
+    pub const R_ACK_V2: u8 = 0x8F;
+    /// Compact generation-stamp envelope: `[R_GEN_V2][varint generation]`.
+    pub const R_GEN_V2: u8 = 0x90;
+
+    /// v2 object tag bit: min == max on both axes (a point) — the max
+    /// coordinates are omitted entirely.
+    pub const V2_POINT: u8 = 0x01;
+    /// v2 object tag bit: x coordinates are u16 grid cells, not f32.
+    pub const V2_QX: u8 = 0x02;
+    /// v2 object tag bit: y coordinates are u16 grid cells, not f32.
+    pub const V2_QY: u8 = 0x04;
 }
 
 /// Exact wire size of one encoded update.
@@ -330,8 +413,45 @@ pub fn encode_request_into(req: &Request, buf: &mut BytesMut) {
     );
 }
 
-/// Decodes a request.
-pub fn decode_request(mut buf: Bytes) -> Result<Request, CodecError> {
+/// Encodes a request in the negotiated wire version: v1 requests are
+/// exactly [`encode_request`]; v2 requests prepend the 1-byte
+/// [`op::V2_MARK`] envelope to the unchanged v1 body, telling the server
+/// to answer in v2 framing. Request bodies are not recoded — they are
+/// dominated by rectangles both peers must read exactly, and the marker
+/// keeps the server stateless.
+pub fn encode_request_versioned(req: &Request, wire: WireVersion) -> Bytes {
+    let mut buf = BytesMut::new();
+    encode_request_versioned_into(req, wire, &mut buf);
+    buf.freeze()
+}
+
+/// Appending form of [`encode_request_versioned`].
+pub fn encode_request_versioned_into(req: &Request, wire: WireVersion, buf: &mut BytesMut) {
+    if wire == WireVersion::V2 {
+        buf.reserve((V2_MARK_BYTES + request_wire_bytes(req)) as usize);
+        buf.put_u8(op::V2_MARK);
+    }
+    encode_request_into(req, buf);
+}
+
+/// Decodes a request, accepting both the bare v1 layout and the
+/// v2-marked envelope; the returned [`WireVersion`] is the framing the
+/// sender wants the *reply* in.
+pub fn decode_request_versioned(mut buf: Bytes) -> Result<(Request, WireVersion), CodecError> {
+    if buf.remaining() >= 1 && buf[0] == op::V2_MARK {
+        buf.advance(1);
+        Ok((decode_request_body(buf)?, WireVersion::V2))
+    } else {
+        Ok((decode_request_body(buf)?, WireVersion::V1))
+    }
+}
+
+/// Decodes a request (either version), discarding the reply framing.
+pub fn decode_request(buf: Bytes) -> Result<Request, CodecError> {
+    Ok(decode_request_versioned(buf)?.0)
+}
+
+fn decode_request_body(mut buf: Bytes) -> Result<Request, CodecError> {
     if buf.remaining() < 1 {
         return Err(CodecError::Truncated);
     }
@@ -510,13 +630,33 @@ pub struct ObjectsEncoder<'a> {
     announced: Option<u64>,
     len_at: usize,
     written: u64,
+    wire: WireVersion,
+    ctx: Option<QuantCtx>,
+    prev_id: u32,
 }
 
 impl<'a> ObjectsEncoder<'a> {
-    /// Opens a frame whose length prefix is patched on `finish`.
+    /// Opens a v1 frame whose length prefix is patched on `finish`.
     pub fn new(buf: &'a mut BytesMut) -> Self {
+        Self::new_versioned(buf, WireVersion::V1, None)
+    }
+
+    /// Opens a v1 frame for exactly `count` objects, reserving the exact
+    /// frame capacity.
+    pub fn with_exact_count(buf: &'a mut BytesMut, count: u64) -> Self {
+        Self::with_exact_count_versioned(buf, count, WireVersion::V1, None)
+    }
+
+    /// Opens a patched-length frame in the negotiated wire version. Under
+    /// [`WireVersion::V2`] objects stream in the compact layout, quantized
+    /// against `ctx` when one exists (escaping per the [`QuantCtx`]
+    /// contract); under `V1` this is exactly [`ObjectsEncoder::new`].
+    pub fn new_versioned(buf: &'a mut BytesMut, wire: WireVersion, ctx: Option<QuantCtx>) -> Self {
         buf.reserve(OBJECTS_HEADER_BYTES as usize);
-        buf.put_u8(op::R_OBJECTS);
+        buf.put_u8(match wire {
+            WireVersion::V1 => op::R_OBJECTS,
+            WireVersion::V2 => op::R_OBJECTS_V2,
+        });
         let len_at = buf.len();
         buf.put_u32(0);
         ObjectsEncoder {
@@ -524,14 +664,28 @@ impl<'a> ObjectsEncoder<'a> {
             announced: None,
             len_at,
             written: 0,
+            wire,
+            ctx,
+            prev_id: 0,
         }
     }
 
-    /// Opens a frame for exactly `count` objects, reserving the exact
-    /// frame capacity.
-    pub fn with_exact_count(buf: &'a mut BytesMut, count: u64) -> Self {
-        buf.reserve((OBJECTS_HEADER_BYTES + count * OBJ_BYTES) as usize);
-        buf.put_u8(op::R_OBJECTS);
+    /// Opens an exact-count frame in the negotiated wire version. v2
+    /// objects are variable-width, so the reservation uses the published
+    /// per-object *bound* [`OBJ_BYTES_V2_MAX`] — still one allocation at
+    /// most, never less than the frame needs.
+    pub fn with_exact_count_versioned(
+        buf: &'a mut BytesMut,
+        count: u64,
+        wire: WireVersion,
+        ctx: Option<QuantCtx>,
+    ) -> Self {
+        let (opcode, per_obj) = match wire {
+            WireVersion::V1 => (op::R_OBJECTS, OBJ_BYTES),
+            WireVersion::V2 => (op::R_OBJECTS_V2, OBJ_BYTES_V2_MAX),
+        };
+        buf.reserve((OBJECTS_HEADER_BYTES + count * per_obj) as usize);
+        buf.put_u8(opcode);
         let len_at = buf.len();
         buf.put_u32(count as u32);
         ObjectsEncoder {
@@ -539,12 +693,21 @@ impl<'a> ObjectsEncoder<'a> {
             announced: Some(count),
             len_at,
             written: 0,
+            wire,
+            ctx,
+            prev_id: 0,
         }
     }
 
     /// Appends one object to the frame.
     pub fn push(&mut self, o: &SpatialObject) {
-        put_object(self.buf, o);
+        match self.wire {
+            WireVersion::V1 => put_object(self.buf, o),
+            WireVersion::V2 => {
+                put_object_v2(self.buf, o, self.prev_id, self.ctx.as_ref());
+                self.prev_id = o.id;
+            }
+        }
         self.written += 1;
     }
 
@@ -673,8 +836,9 @@ pub fn decode_response_gen(mut buf: Bytes) -> Result<(Response, u64), CodecError
 
 /// Splits a raw response frame into its generation and the unstamped
 /// remainder **without decoding the payload** — the cheap peek the
-/// premetered forwarding paths use. Unstamped frames report generation 0
-/// and come back unchanged.
+/// premetered forwarding paths use. Handles both stamp envelopes (v1's
+/// fixed `[R_GEN][u64]` and v2's `[R_GEN_V2][varint]`); unstamped frames
+/// report generation 0 and come back unchanged.
 pub fn peel_generation(buf: Bytes) -> Result<(u64, Bytes), CodecError> {
     if buf.remaining() >= 1 && buf[0] == op::R_GEN {
         if buf.remaining() < GEN_STAMP_BYTES as usize {
@@ -683,9 +847,432 @@ pub fn peel_generation(buf: Bytes) -> Result<(u64, Bytes), CodecError> {
         let generation = u64::from_be_bytes(buf[1..9].try_into().expect("9-byte stamp"));
         let rest = buf.slice(GEN_STAMP_BYTES as usize..buf.len());
         Ok((generation, rest))
+    } else if buf.remaining() >= 1 && buf[0] == op::R_GEN_V2 {
+        let mut generation = 0u64;
+        let mut shift = 0u32;
+        let mut at = 1usize;
+        loop {
+            if at >= buf.len() || shift > 63 {
+                return Err(CodecError::Truncated);
+            }
+            let b = buf[at];
+            at += 1;
+            generation |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                break;
+            }
+            shift += 7;
+        }
+        if at >= buf.len() {
+            // A bare stamp with no frame behind it.
+            return Err(CodecError::Truncated);
+        }
+        Ok((generation, buf.slice(at..buf.len())))
     } else {
         Ok((0, buf))
     }
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol v2: varint primitives, the quantization grid, compact frames.
+// ---------------------------------------------------------------------------
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    while v >= 0x80 {
+        buf.put_u8((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.put_u8(v as u8);
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if buf.remaining() < 1 {
+            return Err(CodecError::Truncated);
+        }
+        let b = buf.get_u8();
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CodecError::Truncated);
+        }
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_u16be(buf: &mut BytesMut, v: u16) {
+    buf.put_u8((v >> 8) as u8);
+    buf.put_u8(v as u8);
+}
+
+fn get_u16be(buf: &mut Bytes) -> Result<u16, CodecError> {
+    if buf.remaining() < 2 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(u16::from(buf.get_u8()) << 8 | u16::from(buf.get_u8()))
+}
+
+fn snap_rect_f32(r: &Rect) -> Rect {
+    Rect::new(
+        Point::new((r.min.x as f32) as f64, (r.min.y as f32) as f64),
+        Point::new((r.max.x as f32) as f64, (r.max.y as f32) as f64),
+    )
+}
+
+/// The u16 coordinate grid of one request/response exchange — the request
+/// window both peers of a v2 link derive it from.
+///
+/// # The quantization contract
+///
+/// v2 object frames may carry coordinates as u16 grid cells relative to
+/// the request window instead of exact `f32` values. Three clauses make
+/// that safe:
+///
+/// 1. **Shared grid.** Both peers derive the grid from the *wire form* of
+///    the request: rect coordinates and ε are snapped through `f32`
+///    exactly as [`decode_request`] delivers them, so the server (which
+///    only sees the decoded request) and the client (which knows the
+///    original) compute bit-identical grids. `WINDOW` grids over the
+///    window itself, `ε-RANGE` over the probe expanded by ε; requests
+///    without a natural window have no grid and every coordinate escapes.
+/// 2. **Verified round trip.** The encoder quantizes a coordinate only if
+///    dequantizing the candidate cell reproduces — compared bitwise — the
+///    exact `f64` value v1's `f32` wire cast would deliver (`(v as f32)
+///    as f64`). Anything else (out-of-window, off-grid, degenerate or
+///    non-finite spans) **escapes** to the exact `f32`. A v2 decode is
+///    therefore bit-equal to the v1 decode of the same objects, always:
+///    join results cannot depend on the negotiated version.
+/// 3. **Exact endpoints.** Cell 0 dequantizes to exactly the window min
+///    and cell 65535 to exactly the max, so window-edge and grid-aligned
+///    coordinates always quantize.
+///
+/// Density on the point workloads comes mostly from the tag's POINT bit
+/// (min == max ships one coordinate pair, not two) and the delta-varint
+/// ids; quantization adds a further 2× on grid-aligned data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantCtx {
+    rect: Rect,
+}
+
+impl QuantCtx {
+    /// Grid over the f32-snapped `rect`; `None` when either axis span is
+    /// degenerate or non-finite (no grid exists — every coordinate would
+    /// escape anyway).
+    pub fn new(rect: Rect) -> Option<QuantCtx> {
+        let r = snap_rect_f32(&rect);
+        let ok = |min: f64, max: f64| (max - min).is_finite() && max - min > 0.0;
+        (ok(r.min.x, r.max.x) && ok(r.min.y, r.max.y)).then_some(QuantCtx { rect: r })
+    }
+
+    /// The grid both peers of `req` agree on (clause 1 of the contract).
+    /// Callers on the *client* side pass the request they are about to
+    /// encode; the server passes the request it decoded — both land on
+    /// the same grid because the derivation starts from the f32 wire
+    /// form.
+    pub fn for_request(req: &Request) -> Option<QuantCtx> {
+        match req {
+            Request::Window(w) => QuantCtx::new(*w),
+            Request::EpsRange { q, eps } => {
+                QuantCtx::new(snap_rect_f32(q).expand((*eps as f32) as f64))
+            }
+            _ => None,
+        }
+    }
+
+    fn quant(min: f64, max: f64, v: f64) -> Option<u16> {
+        if !(v >= min && v <= max) {
+            return None;
+        }
+        let t = ((v - min) / (max - min) * 65535.0).round();
+        if !(0.0..=65535.0).contains(&t) {
+            return None;
+        }
+        let q = t as u16;
+        (Self::dequant(min, max, q).to_bits() == v.to_bits()).then_some(q)
+    }
+
+    fn dequant(min: f64, max: f64, q: u16) -> f64 {
+        match q {
+            0 => min,
+            u16::MAX => max,
+            q => min + (f64::from(q) / 65535.0) * (max - min),
+        }
+    }
+
+    fn quant_x(&self, v: f64) -> Option<u16> {
+        Self::quant(self.rect.min.x, self.rect.max.x, v)
+    }
+
+    fn quant_y(&self, v: f64) -> Option<u16> {
+        Self::quant(self.rect.min.y, self.rect.max.y, v)
+    }
+
+    fn dequant_x(&self, q: u16) -> f64 {
+        Self::dequant(self.rect.min.x, self.rect.max.x, q)
+    }
+
+    fn dequant_y(&self, q: u16) -> f64 {
+        Self::dequant(self.rect.min.y, self.rect.max.y, q)
+    }
+}
+
+fn put_object_v2(buf: &mut BytesMut, o: &SpatialObject, prev_id: u32, ctx: Option<&QuantCtx>) {
+    // The f32 values a v1 frame would deliver — the bit-faithfulness
+    // target every quantization candidate is verified against.
+    let xmin = (o.mbr.min.x as f32) as f64;
+    let ymin = (o.mbr.min.y as f32) as f64;
+    let xmax = (o.mbr.max.x as f32) as f64;
+    let ymax = (o.mbr.max.y as f32) as f64;
+    let point = xmin.to_bits() == xmax.to_bits() && ymin.to_bits() == ymax.to_bits();
+    let qx = ctx.and_then(|c| {
+        let lo = c.quant_x(xmin)?;
+        let hi = if point { lo } else { c.quant_x(xmax)? };
+        Some((lo, hi))
+    });
+    let qy = ctx.and_then(|c| {
+        let lo = c.quant_y(ymin)?;
+        let hi = if point { lo } else { c.quant_y(ymax)? };
+        Some((lo, hi))
+    });
+    let mut tag = 0u8;
+    if point {
+        tag |= op::V2_POINT;
+    }
+    if qx.is_some() {
+        tag |= op::V2_QX;
+    }
+    if qy.is_some() {
+        tag |= op::V2_QY;
+    }
+    buf.put_u8(tag);
+    put_varint(buf, zigzag(i64::from(o.id) - i64::from(prev_id)));
+    match qx {
+        Some((lo, hi)) => {
+            put_u16be(buf, lo);
+            if !point {
+                put_u16be(buf, hi);
+            }
+        }
+        None => {
+            buf.put_f32(xmin as f32);
+            if !point {
+                buf.put_f32(xmax as f32);
+            }
+        }
+    }
+    match qy {
+        Some((lo, hi)) => {
+            put_u16be(buf, lo);
+            if !point {
+                put_u16be(buf, hi);
+            }
+        }
+        None => {
+            buf.put_f32(ymin as f32);
+            if !point {
+                buf.put_f32(ymax as f32);
+            }
+        }
+    }
+}
+
+fn get_object_v2(
+    buf: &mut Bytes,
+    prev_id: u32,
+    ctx: Option<&QuantCtx>,
+) -> Result<SpatialObject, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let point = tag & op::V2_POINT != 0;
+    let delta = unzigzag(get_varint(buf)?);
+    let id =
+        u32::try_from(i64::from(prev_id).wrapping_add(delta)).map_err(|_| CodecError::Truncated)?;
+    let (xmin, xmax) = if tag & op::V2_QX != 0 {
+        let c = ctx.ok_or(CodecError::MissingContext)?;
+        let lo = c.dequant_x(get_u16be(buf)?);
+        let hi = if point {
+            lo
+        } else {
+            c.dequant_x(get_u16be(buf)?)
+        };
+        (lo, hi)
+    } else {
+        let lo = get_f32(buf)? as f64;
+        let hi = if point { lo } else { get_f32(buf)? as f64 };
+        (lo, hi)
+    };
+    let (ymin, ymax) = if tag & op::V2_QY != 0 {
+        let c = ctx.ok_or(CodecError::MissingContext)?;
+        let lo = c.dequant_y(get_u16be(buf)?);
+        let hi = if point {
+            lo
+        } else {
+            c.dequant_y(get_u16be(buf)?)
+        };
+        (lo, hi)
+    } else {
+        let lo = get_f32(buf)? as f64;
+        let hi = if point { lo } else { get_f32(buf)? as f64 };
+        (lo, hi)
+    };
+    Ok(SpatialObject::new(
+        id,
+        Rect::new(Point::new(xmin, ymin), Point::new(xmax, ymax)),
+    ))
+}
+
+/// Encodes a response in the negotiated wire version. `V1` is exactly
+/// [`encode_response_into`]. `V2` swaps in the compact layouts — objects
+/// (delta-varint ids, quantized/escaped coordinates), varint counts and
+/// acks — and keeps the v1 layout for everything else (buckets, rects,
+/// pairs, areas, refusals): v2 is a superset, the decoder dispatches on
+/// the opcode.
+pub fn encode_response_versioned(
+    resp: &Response,
+    wire: WireVersion,
+    ctx: Option<&QuantCtx>,
+    buf: &mut BytesMut,
+) {
+    if wire == WireVersion::V1 {
+        return encode_response_into(resp, buf);
+    }
+    match resp {
+        Response::Objects(objs) => {
+            let mut enc = ObjectsEncoder::with_exact_count_versioned(
+                buf,
+                objs.len() as u64,
+                wire,
+                ctx.copied(),
+            );
+            for o in objs {
+                enc.push(o);
+            }
+            enc.finish();
+        }
+        Response::Count(c) => {
+            buf.put_u8(op::R_COUNT_V2);
+            put_varint(buf, *c);
+        }
+        Response::Counts(counts) => {
+            buf.put_u8(op::R_COUNTS_V2);
+            put_varint(buf, counts.len() as u64);
+            for c in counts {
+                put_varint(buf, *c);
+            }
+        }
+        Response::Ack { generation } => {
+            buf.put_u8(op::R_ACK_V2);
+            put_varint(buf, *generation);
+        }
+        other => encode_response_into(other, buf),
+    }
+}
+
+/// Decodes a response frame of either version. `ctx` is the request's
+/// quantization grid ([`QuantCtx::for_request`]); it is only consulted for
+/// quantized v2 object frames — pass `None` when the request had no
+/// window (such frames never quantize).
+pub fn decode_response_ctx(mut buf: Bytes, ctx: Option<&QuantCtx>) -> Result<Response, CodecError> {
+    if buf.remaining() >= 1 && buf[0] == op::R_OBJECTS_V2 {
+        buf.advance(1);
+        let n = get_u32(&mut buf)? as usize;
+        let mut objs = Vec::with_capacity(n.min(1 << 20));
+        let mut prev_id = 0u32;
+        for _ in 0..n {
+            let o = get_object_v2(&mut buf, prev_id, ctx)?;
+            prev_id = o.id;
+            objs.push(o);
+        }
+        return Ok(Response::Objects(objs));
+    }
+    if buf.remaining() >= 1 {
+        match buf[0] {
+            op::R_COUNT_V2 => {
+                buf.advance(1);
+                return Ok(Response::Count(get_varint(&mut buf)?));
+            }
+            op::R_COUNTS_V2 => {
+                buf.advance(1);
+                let n = get_varint(&mut buf)? as usize;
+                let mut counts = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    counts.push(get_varint(&mut buf)?);
+                }
+                return Ok(Response::Counts(counts));
+            }
+            op::R_ACK_V2 => {
+                buf.advance(1);
+                return Ok(Response::Ack {
+                    generation: get_varint(&mut buf)?,
+                });
+            }
+            _ => {}
+        }
+    }
+    decode_response(buf)
+}
+
+/// Versioned [`stamp_generation`]: v1 stamps the fixed 9-byte envelope,
+/// v2 a varint one ([`op::R_GEN_V2`]). Generation 0 stamps nothing in
+/// either version.
+pub fn stamp_generation_versioned(generation: u64, wire: WireVersion, buf: &mut BytesMut) {
+    match wire {
+        WireVersion::V1 => stamp_generation(generation, buf),
+        WireVersion::V2 => {
+            if generation > 0 {
+                buf.reserve(GEN_STAMP_BYTES_V2_MAX as usize);
+                buf.put_u8(op::R_GEN_V2);
+                put_varint(buf, generation);
+            }
+        }
+    }
+}
+
+/// [`decode_response_gen`] for frames of either version: handles both
+/// stamp envelopes, then decodes with `ctx`.
+pub fn decode_response_gen_ctx(
+    buf: Bytes,
+    ctx: Option<&QuantCtx>,
+) -> Result<(Response, u64), CodecError> {
+    let (generation, rest) = peel_generation(buf)?;
+    Ok((decode_response_ctx(rest, ctx)?, generation))
+}
+
+/// Encodes the `HELLO` probe a negotiating client opens a link with.
+pub fn encode_hello(max_version: u8) -> Bytes {
+    Bytes::copy_from_slice(&[op::HELLO, max_version])
+}
+
+///// Answers a raw frame if — and only if — it is a `HELLO` probe: the
+/// transport-adapter intercept servers use so version negotiation never
+/// reaches the query handler. Returns the `ACCEPT` reply to send back, or
+/// `None` for every non-handshake frame.
+pub fn try_answer_hello(raw: &[u8]) -> Option<Bytes> {
+    (raw.len() == HELLO_BYTES as usize && raw[0] == op::HELLO).then(|| {
+        let version = raw[1].clamp(1, MAX_WIRE_VERSION);
+        Bytes::copy_from_slice(&[op::R_ACCEPT, version])
+    })
+}
+
+/// Parses an `ACCEPT` handshake reply. Anything else — including a v1
+/// peer's `UnknownOpcode` refusal or garbage — means the link must fall
+/// back to v1, so this returns `Option`, not `Result`.
+pub fn decode_accept(raw: &[u8]) -> Option<u8> {
+    (raw.len() == ACCEPT_BYTES as usize && raw[0] == op::R_ACCEPT).then(|| raw[1])
 }
 
 #[cfg(test)]
@@ -973,5 +1560,83 @@ mod tests {
             .unwrap()
             .into_objects();
         assert_eq!(back[0], o);
+    }
+
+    #[test]
+    fn hello_accept_handshake() {
+        let hello = encode_hello(2);
+        assert_eq!(hello.len() as u64, HELLO_BYTES);
+        let accept = try_answer_hello(&hello).expect("a HELLO probe must be intercepted");
+        assert_eq!(accept.len() as u64, ACCEPT_BYTES);
+        assert_eq!(decode_accept(&accept), Some(2));
+        // An over-eager client is clamped to what the server speaks; an
+        // ancient one is lifted to v1.
+        let answer = |max| decode_accept(&try_answer_hello(&encode_hello(max)).unwrap());
+        assert_eq!(answer(9), Some(MAX_WIRE_VERSION));
+        assert_eq!(answer(0), Some(1));
+        // Ordinary request frames are not the handshake's business.
+        let count = encode_request(&Request::Count(Rect::from_coords(0.0, 0.0, 1.0, 1.0)));
+        assert_eq!(try_answer_hello(&count), None);
+        // A v1 peer's refusal byte — or any garbage — is not an ACCEPT:
+        // the link must fall back, not error.
+        assert_eq!(decode_accept(&[0x00]), None);
+        assert_eq!(decode_accept(&encode_response(&Response::Refused)), None);
+        assert_eq!(decode_accept(&[]), None);
+    }
+
+    #[test]
+    fn v2_object_frames_hit_published_bounds() {
+        let ctx = QuantCtx::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0));
+        // Densest layout: a point on the window corner (cell 0 is exact
+        // by construction) one id away from its predecessor.
+        let densest = Response::Objects(vec![obj(1, 0.0, 0.0)]);
+        let mut buf = BytesMut::new();
+        encode_response_versioned(&densest, WireVersion::V2, ctx.as_ref(), &mut buf);
+        assert_eq!(buf.len() as u64, OBJECTS_HEADER_BYTES + OBJ_BYTES_V2_MIN);
+        // Widest layout: an out-of-window rectangle (both axes escape to
+        // exact f32 pairs) under the worst-case id delta.
+        let widest = Response::Objects(vec![SpatialObject::new(
+            u32::MAX,
+            Rect::from_coords(5.0, 5.0, 6.0, 7.0),
+        )]);
+        let mut buf = BytesMut::new();
+        encode_response_versioned(&widest, WireVersion::V2, ctx.as_ref(), &mut buf);
+        assert_eq!(buf.len() as u64, OBJECTS_HEADER_BYTES + OBJ_BYTES_V2_MAX);
+        // Either extreme decodes bit-equal to its v1 self.
+        for resp in [densest, widest] {
+            let mut buf = BytesMut::new();
+            encode_response_versioned(&resp, WireVersion::V2, ctx.as_ref(), &mut buf);
+            assert_eq!(
+                decode_response_ctx(buf.freeze(), ctx.as_ref()).unwrap(),
+                decode_response(encode_response(&resp)).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn versioned_encoders_at_v1_are_the_v1_encoders() {
+        // The structural half of the off-means-off guarantee: asking the
+        // versioned entry points for V1 produces the v1 bytes exactly.
+        let resps = [
+            Response::Objects(vec![obj(1, 1.0, 1.0), obj(2, 2.0, 2.0)]),
+            Response::Count(123_456),
+            Response::Counts(vec![0, 7, u64::MAX]),
+            Response::Ack { generation: 4 },
+            Response::Refused,
+        ];
+        for resp in resps {
+            let mut buf = BytesMut::new();
+            encode_response_versioned(&resp, WireVersion::V1, None, &mut buf);
+            assert_eq!(buf.freeze(), encode_response(&resp));
+        }
+        let mut versioned = BytesMut::new();
+        stamp_generation_versioned(5, WireVersion::V1, &mut versioned);
+        let mut plain = BytesMut::new();
+        stamp_generation(5, &mut plain);
+        assert_eq!(versioned.freeze(), plain.freeze());
+        // And v2's generation-0 stamp is as silent as v1's.
+        let mut empty = BytesMut::new();
+        stamp_generation_versioned(0, WireVersion::V2, &mut empty);
+        assert!(empty.is_empty());
     }
 }

@@ -81,6 +81,15 @@ pub struct NetConfig {
     /// is identical to a build without the extension; turning it on never
     /// changes join results, only deletes repeated traffic.
     pub client_cache: crate::cache::CacheConfig,
+    /// Capability flag: negotiate the compact wire protocol v2 per
+    /// physical link (`HELLO`/`ACCEPT` handshake, then delta-varint ids,
+    /// quantized coordinates and varint scalars on links whose peer
+    /// accepts — see `asj_net::codec::WireVersion`). **Off by default** —
+    /// no handshake frame is ever sent and every link speaks v1
+    /// byte-identically to a build without the extension. Turning it on
+    /// changes frame density only, never decoded objects or join results:
+    /// the quantization contract guarantees bit-faithful decode.
+    pub wire_v2: bool,
     /// Worker threads the device's in-memory join kernels (the partitioned
     /// parallel plane sweep) may use. `0` (the default) resolves to the
     /// machine's available parallelism; `1` forces the serial kernel. A
@@ -99,6 +108,7 @@ impl Default for NetConfig {
             tariff_s: 1.0,
             batched_stats: false,
             client_cache: crate::cache::CacheConfig::default(),
+            wire_v2: false,
             sweep_workers: 0,
         }
     }
@@ -129,6 +139,13 @@ impl NetConfig {
     /// `enabled`).
     pub fn with_cache_budget(mut self, bytes: u64) -> Self {
         self.client_cache.window_budget_bytes = bytes;
+        self
+    }
+
+    /// Enables wire protocol v2 negotiation on the device's physical
+    /// links.
+    pub fn with_wire_v2(mut self, on: bool) -> Self {
+        self.wire_v2 = on;
         self
     }
 
@@ -204,6 +221,13 @@ mod tests {
     fn sweep_workers_defaults_to_auto() {
         assert_eq!(NetConfig::default().sweep_workers, 0);
         assert_eq!(NetConfig::default().with_sweep_workers(4).sweep_workers, 4);
+    }
+
+    #[test]
+    fn wire_v2_defaults_off() {
+        assert!(!NetConfig::default().wire_v2);
+        assert!(!NetConfig::dialup().wire_v2);
+        assert!(NetConfig::default().with_wire_v2(true).wire_v2);
     }
 
     #[test]

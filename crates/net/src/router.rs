@@ -67,7 +67,8 @@ use asj_geom::{Point, Rect, SpatialObject};
 use bytes::{Bytes, BytesMut};
 
 use crate::codec::{
-    decode_request, decode_response_gen, encode_request, encode_response_into, stamp_generation,
+    decode_request, decode_response_gen, decode_response_gen_ctx, encode_request_versioned,
+    encode_response_into, stamp_generation, QuantCtx, WireVersion,
 };
 use crate::meter::{LinkMeter, LinkSnapshot};
 use crate::packet::PacketModel;
@@ -144,6 +145,9 @@ impl ShardMeta {
 pub struct ShardEndpoint {
     meta: Arc<ShardMeta>,
     carrier: Box<dyn RawExchange>,
+    /// Wire version of this shard's physical link: [`WireVersion::V1`]
+    /// until [`ShardRouter::negotiate_v2`] runs and the shard `ACCEPT`s.
+    wire: WireVersion,
 }
 
 impl ShardEndpoint {
@@ -156,7 +160,11 @@ impl ShardEndpoint {
     /// Endpoint over externally shared meta (a deployment keeps the
     /// `Arc` so several links to the same fleet share one view).
     pub fn with_meta(meta: Arc<ShardMeta>, carrier: Box<dyn RawExchange>) -> Self {
-        ShardEndpoint { meta, carrier }
+        ShardEndpoint {
+            meta,
+            carrier,
+            wire: WireVersion::V1,
+        }
     }
 
     /// This shard's meta.
@@ -301,6 +309,24 @@ impl ShardRouter {
         self.packet
     }
 
+    /// Negotiates wire protocol v2 on every shard's physical link (one
+    /// `HELLO`/`ACCEPT` round trip per shard; 4 unmetered link-control
+    /// bytes each). A shard that never answers `ACCEPT` — a v1-only
+    /// build — keeps its link at [`WireVersion::V1`]: mixed-version
+    /// fleets degrade per link, never fail. Only the deployment layer
+    /// calls this, and only when `NetConfig::wire_v2` is on.
+    pub fn negotiate_v2(&mut self) {
+        for s in &mut self.shards {
+            s.wire = crate::transport::negotiate_wire(s.carrier.as_ref());
+        }
+    }
+
+    /// The wire version of each shard link, in shard order. All
+    /// [`WireVersion::V1`] unless [`ShardRouter::negotiate_v2`] ran.
+    pub fn wire_versions(&self) -> Vec<WireVersion> {
+        self.shards.iter().map(|s| s.wire).collect()
+    }
+
     fn record_request(&self, shard: usize, req: &Request, payload: u64) {
         self.telemetry.meters[shard].record_request(req, payload, &self.packet);
         self.aggregate.record_request(req, payload, &self.packet);
@@ -320,10 +346,35 @@ impl ShardRouter {
     }
 
     /// Fleet-of-one fast path: a byte-transparent, fully metered proxy.
-    /// The reply is forwarded verbatim (stamp and all); the router only
-    /// *notes* the shard generation it carries.
+    /// On a v1 shard link the reply is forwarded verbatim (stamp and
+    /// all) and the router only *notes* the shard generation it carries.
+    /// When the single shard negotiated v2 the router re-frames instead
+    /// — v2 to the shard (metering the compact frames that actually
+    /// crossed the physical link), v1 back to the client, re-stamped
+    /// with the shard's generation — so everything above the router
+    /// keeps speaking v1 regardless of the fleet's mix.
     fn pass_through(&self, raw: Bytes) -> Bytes {
         let req = decode_request(raw.clone()).expect("malformed request");
+        if self.shards[0].wire == WireVersion::V2 {
+            let encoded = encode_request_versioned(&req, WireVersion::V2);
+            self.record_request(0, &req, encoded.len() as u64);
+            let reply = self.shards[0].carrier.exchange(encoded);
+            let ctx = QuantCtx::for_request(&req);
+            let (resp, generation) =
+                decode_response_gen_ctx(reply.clone(), ctx.as_ref()).expect("malformed response");
+            match &resp {
+                Response::Ack { generation } => self.shards[0].meta.note_generation(*generation),
+                _ if generation > 0 => self.shards[0].meta.note_generation(generation),
+                _ => {}
+            }
+            self.record_response(0, reply.len() as u64, &resp, req.is_aggregate());
+            let mut buf = BytesMut::new();
+            if !matches!(resp, Response::Ack { .. }) {
+                stamp_generation(generation, &mut buf);
+            }
+            encode_response_into(&resp, &mut buf);
+            return buf.freeze();
+        }
         self.record_request(0, &req, raw.len() as u64);
         let reply = self.shards[0].carrier.exchange(raw);
         let (resp, generation) = decode_response_gen(reply.clone()).expect("malformed response");
@@ -345,7 +396,7 @@ impl ShardRouter {
         for (i, sub) in subs.iter().enumerate() {
             match sub {
                 Some(req) => {
-                    let encoded = encode_request(req);
+                    let encoded = encode_request_versioned(req, self.shards[i].wire);
                     self.record_request(i, req, encoded.len() as u64);
                     pending.push(Some(self.shards[i].carrier.begin(encoded)));
                 }
@@ -362,7 +413,12 @@ impl ShardRouter {
                 slot.map(|complete| {
                     let raw = complete();
                     let len = raw.len() as u64;
-                    let (resp, generation) = decode_response_gen(raw).expect("malformed response");
+                    // Quantized v2 frames decode against the grid of the
+                    // *sub-request* this shard was sent — the same grid
+                    // the shard derived server-side.
+                    let ctx = QuantCtx::for_request(subs[i].as_ref().expect("sent slot"));
+                    let (resp, generation) =
+                        decode_response_gen_ctx(raw, ctx.as_ref()).expect("malformed response");
                     if generation > 0 {
                         self.shards[i].meta.note_generation(generation);
                     }

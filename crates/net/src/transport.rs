@@ -18,7 +18,9 @@ use std::sync::Arc;
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
-use crate::codec::{decode_response_gen, encode_request};
+use crate::codec::{
+    decode_response_gen_ctx, encode_request_versioned, QuantCtx, WireVersion, MAX_WIRE_VERSION,
+};
 use crate::meter::LinkMeter;
 use crate::packet::PacketModel;
 use crate::proto::{QueryHandler, Request, Response};
@@ -58,12 +60,18 @@ impl<H: QueryHandler> InProcExchange<H> {
 
 impl<H: QueryHandler> RawExchange for InProcExchange<H> {
     fn exchange(&self, request: Bytes) -> Bytes {
-        let req = crate::codec::decode_request(request).expect("malformed request");
+        // Version negotiation is link control: answered by the transport
+        // adapter, never seen by the query handler.
+        if let Some(accept) = crate::codec::try_answer_hello(&request) {
+            return accept;
+        }
+        let (req, wire) =
+            crate::codec::decode_request_versioned(request).expect("malformed request");
         // The zero-copy serving path: the handler encodes straight into
         // the reply buffer (exact-capacity reserve inside the codec), so
         // no intermediate `Response` vectors are materialized.
         let mut buf = BytesMut::new();
-        self.handler.handle_into(req, &mut buf);
+        self.handler.handle_into(req, wire, &mut buf);
         buf.freeze()
     }
 }
@@ -125,9 +133,16 @@ impl ChannelServer {
                 // itself.
                 let mut buf = BytesMut::with_capacity(4096);
                 while let Ok(rpc) = rx.recv() {
-                    let req = crate::codec::decode_request(rpc.request).expect("malformed request");
+                    if let Some(accept) = crate::codec::try_answer_hello(&rpc.request) {
+                        // Handshake frames are link control: answered here,
+                        // never counted as served queries.
+                        let _ = rpc.reply.send(accept);
+                        continue;
+                    }
+                    let (req, wire) = crate::codec::decode_request_versioned(rpc.request)
+                        .expect("malformed request");
                     buf.clear();
-                    handler.handle_into(req, &mut buf);
+                    handler.handle_into(req, wire, &mut buf);
                     served += 1;
                     // A dropped reply channel just means the client gave up.
                     // With the real `bytes` crate this would be
@@ -198,6 +213,24 @@ pub struct Link {
     /// Highest serving generation observed on this link (from response
     /// stamps and `Ack`s). 0 until the server goes live.
     last_generation: AtomicU64,
+    /// Negotiated wire version of this link's own encode/decode. Stays
+    /// `V1` on premetered carriers (a router or cache negotiates its own
+    /// physical edges itself).
+    wire: WireVersion,
+}
+
+/// Runs the `HELLO`/`ACCEPT` handshake over a carrier and returns the
+/// version the link will speak. A peer that rejects or garbles the probe
+/// (every v1-only server) yields [`WireVersion::V1`] — negotiation can
+/// only fall back, never fail. Call sites gate on `NetConfig::wire_v2`:
+/// with the flag off no probe is ever sent. The 4 handshake bytes are
+/// link control and are not metered, like TCP's own connection setup.
+pub fn negotiate_wire(carrier: &dyn RawExchange) -> WireVersion {
+    let reply = carrier.exchange(crate::codec::encode_hello(MAX_WIRE_VERSION));
+    match crate::codec::decode_accept(&reply) {
+        Some(v) if v >= 2 => WireVersion::V2,
+        _ => WireVersion::V1,
+    }
 }
 
 impl Link {
@@ -212,6 +245,7 @@ impl Link {
             fleet: None,
             cache: None,
             last_generation: AtomicU64::new(0),
+            wire: WireVersion::V1,
         }
     }
 
@@ -230,6 +264,7 @@ impl Link {
             premetered: true,
             cache: None,
             last_generation: AtomicU64::new(0),
+            wire: WireVersion::V1,
         }
     }
 
@@ -247,6 +282,7 @@ impl Link {
             tariff,
             premetered: true,
             last_generation: AtomicU64::new(0),
+            wire: WireVersion::V1,
         }
     }
 
@@ -265,14 +301,16 @@ impl Link {
     /// requires surrendering (or cloning) its payload.
     pub fn request(&self, req: &Request) -> Response {
         let aggregate = req.is_aggregate();
-        let encoded = encode_request(req);
+        let encoded = encode_request_versioned(req, self.wire);
         if !self.premetered {
             self.meter
                 .record_request(req, encoded.len() as u64, &self.packet);
         }
         let raw = self.carrier.exchange(encoded);
         let len = raw.len() as u64;
-        let (resp, generation) = decode_response_gen(raw).expect("malformed response");
+        let ctx = QuantCtx::for_request(req);
+        let (resp, generation) =
+            decode_response_gen_ctx(raw, ctx.as_ref()).expect("malformed response");
         match &resp {
             Response::Ack { generation } => self
                 .last_generation
@@ -284,6 +322,26 @@ impl Link {
                 .record_response(len, resp.object_count(), &self.packet, aggregate);
         }
         resp
+    }
+
+    /// Runs the version handshake over this link's own carrier and
+    /// upgrades the link to whatever the peer accepted. Only meaningful
+    /// for links that own their physical edge (not routed/cached ones —
+    /// those layers negotiate their own edges); call sites gate on
+    /// `NetConfig::wire_v2`.
+    pub fn negotiate(mut self) -> Self {
+        debug_assert!(
+            !self.premetered,
+            "premetered carriers negotiate their own physical edges"
+        );
+        self.wire = negotiate_wire(self.carrier.as_ref());
+        self
+    }
+
+    /// The wire version this link encodes with (`V1` until a successful
+    /// [`Link::negotiate`]).
+    pub fn wire(&self) -> WireVersion {
+        self.wire
     }
 
     /// Highest serving generation observed on this link so far — from

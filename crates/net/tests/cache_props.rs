@@ -10,7 +10,7 @@ use std::sync::{Arc, Mutex};
 
 use asj_geom::{Point, Rect, SpatialObject};
 use asj_net::cache::{CacheLayer, ClientCache};
-use asj_net::codec::{encode_response_into, stamp_generation};
+use asj_net::codec::{encode_response_versioned, stamp_generation_versioned, WireVersion};
 use asj_net::testutil::ScanHandler as Scan;
 use asj_net::transport::InProcExchange;
 use asj_net::{Link, PacketModel, QueryHandler, Request, Response, Update};
@@ -185,13 +185,15 @@ impl QueryHandler for LiveScan {
         }
     }
 
-    fn handle_into(&self, req: Request, buf: &mut BytesMut) {
+    fn handle_into(&self, req: Request, wire: WireVersion, buf: &mut BytesMut) {
         let is_update = matches!(req, Request::ApplyUpdates(_));
         let resp = self.handle(req);
         if !is_update {
-            stamp_generation(self.generation.load(Ordering::Acquire), buf);
+            stamp_generation_versioned(self.generation.load(Ordering::Acquire), wire, buf);
         }
-        encode_response_into(&resp, buf);
+        // No quantization context: v2 objects ship as exact-f32 escapes,
+        // which decode bit-equal to v1 without the window grid.
+        encode_response_versioned(&resp, wire, None, buf);
     }
 }
 

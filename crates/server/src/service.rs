@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use asj_geom::{plane_sweep_join, JoinPredicate, Rect, SpatialObject};
-use asj_net::codec::ObjectsEncoder;
+use asj_net::codec::{ObjectsEncoder, QuantCtx, WireVersion};
 use asj_net::{QueryHandler, Request, Response};
 use bytes::BytesMut;
 
@@ -205,32 +205,42 @@ impl<S: SpatialStore> QueryHandler for SpatialService<S> {
     /// produced the payload. Generation 0 stamps nothing: frozen-store
     /// traffic is bit-identical to the pre-generation wire format. Ack
     /// frames are never stamped (the payload already is the generation).
-    fn handle_into(&self, req: Request, buf: &mut BytesMut) {
+    /// The same single-traversal path serves both wire versions: the
+    /// encoder is parameterized by the negotiated [`WireVersion`] and the
+    /// request's quantization context, so v2 frames stream with the same
+    /// exact-capacity reservation discipline (from the `*_BYTES_V2`
+    /// bounds) as v1.
+    fn handle_into(&self, req: Request, wire: WireVersion, buf: &mut BytesMut) {
         if let Request::ApplyUpdates(batch) = req {
-            return asj_net::codec::encode_response_into(&self.apply(&batch), buf);
+            return asj_net::codec::encode_response_versioned(&self.apply(&batch), wire, None, buf);
         }
+        // Derived from the *decoded* request — the post-f32-rounding
+        // rectangle — so client and server agree on the grid bit-for-bit.
+        let ctx = QuantCtx::for_request(&req);
         let mut req = Some(req);
         self.store.with_frozen(&mut |store, generation| {
-            asj_net::codec::stamp_generation(generation, buf);
+            asj_net::codec::stamp_generation_versioned(generation, wire, buf);
             match req.take().expect("with_frozen invokes exactly once") {
                 Request::Window(w) => {
                     let mut enc = match store.window_count_hint(&w) {
-                        Some(n) => ObjectsEncoder::with_exact_count(buf, n),
-                        None => ObjectsEncoder::new(buf),
+                        Some(n) => ObjectsEncoder::with_exact_count_versioned(buf, n, wire, ctx),
+                        None => ObjectsEncoder::new_versioned(buf, wire, ctx),
                     };
                     store.for_each_in_window(&w, &mut |o| enc.push(o));
                     enc.finish();
                 }
                 Request::EpsRange { q, eps } => {
-                    let mut enc = ObjectsEncoder::new(buf);
+                    let mut enc = ObjectsEncoder::new_versioned(buf, wire, ctx);
                     store.for_each_eps_range(&q, eps, &mut |o| enc.push(o));
                     enc.finish();
                 }
                 // Everything else is either scalar (nothing to stream) or
                 // cold (cooperative/bucket paths); the materializing
                 // default stays the single source of semantics for those.
-                other => asj_net::codec::encode_response_into(
+                other => asj_net::codec::encode_response_versioned(
                     &answer(store, self.policy, self.bucket_workers, other),
+                    wire,
+                    ctx.as_ref(),
                     buf,
                 ),
             }
@@ -401,10 +411,10 @@ mod tests {
         let w = Rect::from_coords(0.0, 0.0, 2.0, 2.0);
         // Generation 0 serves bit-identically to a frozen service.
         let mut live_buf = BytesMut::new();
-        svc.handle_into(Request::Window(w), &mut live_buf);
+        svc.handle_into(Request::Window(w), WireVersion::V1, &mut live_buf);
         let frozen = SpatialService::new(RTreeStore::new(lattice(10)));
         let mut frozen_buf = BytesMut::new();
-        frozen.handle_into(Request::Window(w), &mut frozen_buf);
+        frozen.handle_into(Request::Window(w), WireVersion::V1, &mut frozen_buf);
         assert_eq!(
             live_buf.freeze(),
             frozen_buf.freeze(),
@@ -413,13 +423,17 @@ mod tests {
         // An update batch is acknowledged with the new generation,
         // unstamped.
         let mut ack_buf = BytesMut::new();
-        svc.handle_into(Request::ApplyUpdates(vec![Update::Delete(0)]), &mut ack_buf);
+        svc.handle_into(
+            Request::ApplyUpdates(vec![Update::Delete(0)]),
+            WireVersion::V1,
+            &mut ack_buf,
+        );
         let (ack, stamp) = decode_response_gen(ack_buf.freeze()).unwrap();
         assert_eq!(stamp, 0, "Ack frames are never stamped");
         assert_eq!(ack, Response::Ack { generation: 1 });
         // Queries now serve generation 1 and say so on the wire.
         let mut buf = BytesMut::new();
-        svc.handle_into(Request::Window(w), &mut buf);
+        svc.handle_into(Request::Window(w), WireVersion::V1, &mut buf);
         let (resp, stamp) = decode_response_gen(buf.freeze()).unwrap();
         assert_eq!(stamp, 1);
         assert_eq!(resp.into_objects().len(), 8); // 9 lattice points minus id 0

@@ -9,7 +9,7 @@
 //! without any differential suite noticing.
 
 use asj_geom::{Point, Rect, SpatialObject};
-use asj_net::codec::{encode_response, encode_response_into};
+use asj_net::codec::{encode_response, encode_response_into, WireVersion};
 use asj_net::{QueryHandler, Request};
 use asj_server::{GridStore, RTreeStore, ScanStore, ServicePolicy, SpatialService, SpatialStore};
 use bytes::BytesMut;
@@ -76,7 +76,7 @@ fn assert_paths_identical<S: SpatialStore>(svc: &SpatialService<S>, objs: &[Spat
     for req in requests(objs) {
         let materialized = encode_response(&svc.handle(req.clone()));
         let mut buf = BytesMut::new();
-        svc.handle_into(req.clone(), &mut buf);
+        svc.handle_into(req.clone(), WireVersion::V1, &mut buf);
         assert_eq!(
             materialized.as_slice(),
             &buf[..],
@@ -115,12 +115,12 @@ fn zero_copy_appends_like_the_materializing_encoder() {
     let svc = SpatialService::new(RTreeStore::new(objs.clone()));
     let w = Rect::from_coords(0.0, 0.0, 600.0, 600.0);
     let mut buf = BytesMut::new();
-    svc.handle_into(Request::Count(w), &mut buf);
+    svc.handle_into(Request::Count(w), WireVersion::V1, &mut buf);
     let count_len = buf.len();
-    svc.handle_into(Request::Window(w), &mut buf);
+    svc.handle_into(Request::Window(w), WireVersion::V1, &mut buf);
     let fresh = {
         let mut b = BytesMut::new();
-        svc.handle_into(Request::Window(w), &mut b);
+        svc.handle_into(Request::Window(w), WireVersion::V1, &mut b);
         b
     };
     assert_eq!(&buf[count_len..], &fresh[..]);
