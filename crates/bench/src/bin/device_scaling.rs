@@ -1,0 +1,271 @@
+//! `device_scaling` — concurrency as a first-class bench axis.
+//!
+//! The paper's deployment is many PDAs sharing a few spatial servers;
+//! every earlier benchmark measured one device at a time. This binary
+//! sweeps **device count × shard count × cache sharing** on the
+//! event-loop carrier (one reactor thread multiplexing every connection)
+//! and reports, per cell:
+//!
+//! * p50/p95/p99 request latency across every device's every request;
+//! * per-shard queue-depth high-water marks and served counts from the
+//!   reactor's [`EndpointStats`] gauges;
+//! * a fairness ratio (slowest device's mean latency over the fastest's)
+//!   — the "no device starves" check;
+//! * total join pairs and summed meter bytes, so byte-accounting stays
+//!   visible next to the wall-clock numbers.
+//!
+//! The **identity check** runs in every cell and fails the process on
+//! divergence: the pooled run's per-device outcomes (response digests,
+//! pairs, meters) must equal a serial replay (`workers = 1`) of the same
+//! scripts against the same deployment. Results are written as JSON
+//! (`BENCH_pr8.json` at the repo root by convention).
+//!
+//! ```text
+//! device_scaling [--seeds N] [--points N] [--out PATH]
+//! ```
+//!
+//! CI runs `--seeds 2 --points 150` (quick mode: the 1024-device row is
+//! kept, the dataset just shrinks so each request is cheap).
+
+use std::time::Instant;
+
+use asj_core::{DeploymentBuilder, Side};
+use asj_device::{run_traffic, TrafficConfig};
+use asj_net::EndpointStats;
+use asj_workloads::{default_space, uniform};
+
+struct Config {
+    seeds: u64,
+    /// Objects per server side.
+    points: usize,
+    out: String,
+}
+
+struct Cell {
+    devices: usize,
+    shards: usize,
+    cache: bool,
+    seed: u64,
+    workers: usize,
+    requests: usize,
+    pairs: u64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    fairness: f64,
+    wall_ms: f64,
+    serial_wall_ms: f64,
+    uplink_bytes: u64,
+    downlink_bytes: u64,
+    depth_r: Vec<u64>,
+    served_r: Vec<u64>,
+    depth_s: Vec<u64>,
+    served_s: Vec<u64>,
+}
+
+fn main() {
+    let mut seeds: u64 = 3;
+    let mut points: usize = 2000;
+    let mut out = String::from("BENCH_pr8.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seeds" => {
+                seeds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seeds needs a number"));
+            }
+            "--points" => {
+                points = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--points needs a number"));
+            }
+            "--out" => out = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    let cfg = Config { seeds, points, out };
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+
+    // The three axes. The 1024-device row is the headline — thousands of
+    // simulated devices over one reactor thread — and runs in quick mode
+    // too; only the dataset size shrinks there.
+    let device_grid = [64usize, 256, 1024];
+    let shard_grid = [1usize, 3];
+    let cache_grid = [false, true];
+
+    eprintln!(
+        "device_scaling: points={}, seeds={}, workers={}, grid={:?}×{:?}×{:?}",
+        cfg.points, cfg.seeds, workers, device_grid, shard_grid, cache_grid
+    );
+    let started = Instant::now();
+    let space = default_space();
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for seed in 0..cfg.seeds {
+        let r = uniform(&space, cfg.points, 7 + seed * 100);
+        let s = uniform(&space, cfg.points, 1007 + seed * 100);
+        for &shards in &shard_grid {
+            for &cache in &cache_grid {
+                let dep = DeploymentBuilder::new(r.clone(), s.clone())
+                    .with_space(space)
+                    .with_shards(shards, shards)
+                    .with_client_cache(cache)
+                    .event_loop()
+                    .build();
+                assert!(dep.is_event_loop(), "bench must run the async carrier");
+                for &devices in &device_grid {
+                    let tc = TrafficConfig::new(devices, workers, space);
+                    let t0 = Instant::now();
+                    let pooled = run_traffic(&tc, |_| dep.connect());
+                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+                    // Identity check: a serial replay of the same scripts
+                    // must agree device-by-device on every deterministic
+                    // field. (Fresh links per device, immutable servers —
+                    // concurrency must be unobservable in the outcomes.)
+                    let serial_cfg = TrafficConfig { workers: 1, ..tc };
+                    let t1 = Instant::now();
+                    let serial = run_traffic(&serial_cfg, |_| dep.connect());
+                    let serial_wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+                    // With a shared cache, who warms it (and therefore who
+                    // pays the miss bytes) is scheduling-dependent, so the
+                    // meter-inclusive digest only applies cache-off; the
+                    // decoded answers must agree in every cell.
+                    let (pd, sd) = if cache {
+                        (pooled.result_digest(), serial.result_digest())
+                    } else {
+                        (pooled.determinism_digest(), serial.determinism_digest())
+                    };
+                    assert_eq!(
+                        pd, sd,
+                        "pooled run diverged from serial replay \
+                         (devices={devices} shards={shards} cache={cache} seed={seed})"
+                    );
+                    assert_eq!(pooled.outcomes.len(), devices, "a device starved");
+
+                    let (p50, p95, p99) = pooled.latency_percentiles_us();
+                    let fairness = pooled.fairness_ratio();
+                    assert!(fairness.is_finite(), "fairness ratio diverged");
+                    let (rm, sm) = pooled.summed_meters();
+                    let gauges = |side| -> (Vec<u64>, Vec<u64>) {
+                        let stats: Vec<_> = dep.event_stats(side);
+                        (
+                            stats
+                                .iter()
+                                .map(|g: &std::sync::Arc<EndpointStats>| g.max_queue_depth())
+                                .collect(),
+                            stats.iter().map(|g| g.served()).collect(),
+                        )
+                    };
+                    let (depth_r, served_r) = gauges(Side::R);
+                    let (depth_s, served_s) = gauges(Side::S);
+                    eprintln!(
+                        "  d={devices:>4} k={shards} cache={cache:<5} seed={seed}: \
+                         p50={p50}µs p95={p95}µs p99={p99}µs fair={fairness:.2} \
+                         wall={wall_ms:.0}ms serial={serial_wall_ms:.0}ms"
+                    );
+                    cells.push(Cell {
+                        devices,
+                        shards,
+                        cache,
+                        seed,
+                        workers,
+                        requests: devices * tc.steps * 3,
+                        pairs: pooled.total_pairs(),
+                        p50_us: p50,
+                        p95_us: p95,
+                        p99_us: p99,
+                        fairness,
+                        wall_ms,
+                        serial_wall_ms,
+                        uplink_bytes: rm.up_bytes + sm.up_bytes,
+                        downlink_bytes: rm.down_bytes + sm.down_bytes,
+                        depth_r,
+                        served_r,
+                        depth_s,
+                        served_s,
+                    });
+                }
+            }
+        }
+    }
+
+    let json = render_json(&cfg, &cells);
+    std::fs::write(&cfg.out, json).expect("cannot write JSON output");
+    eprintln!(
+        "device_scaling done in {:.1}s → {} ({} cells, all identical to serial replay)",
+        started.elapsed().as_secs_f64(),
+        cfg.out,
+        cells.len()
+    );
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: device_scaling [--seeds N] [--points N] [--out PATH]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn vec_json(v: &[u64]) -> String {
+    let items: Vec<String> = v.iter().map(|n| n.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn render_json(cfg: &Config, cells: &[Cell]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"device_scaling\",\n");
+    out.push_str("  \"carrier\": \"event_loop\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"points\": {}, \"seeds\": {}}},\n",
+        cfg.points, cfg.seeds
+    ));
+    out.push_str(&format!(
+        "  \"checks\": {{\"pooled_identical_to_serial_replay\": true, \
+         \"no_device_starved\": true, \"cells\": {}}},\n",
+        cells.len()
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"devices\": {}, \"shards\": {}, \"cache_shared\": {}, \"seed\": {}, \
+             \"workers\": {}, \"requests\": {}, \"pairs\": {}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"fairness\": {:.3}, \
+             \"wall_ms\": {:.1}, \"serial_wall_ms\": {:.1}, \
+             \"uplink_bytes\": {}, \"downlink_bytes\": {}, \
+             \"queue_depth_r\": {}, \"served_r\": {}, \
+             \"queue_depth_s\": {}, \"served_s\": {}}}{}\n",
+            c.devices,
+            c.shards,
+            c.cache,
+            c.seed,
+            c.workers,
+            c.requests,
+            c.pairs,
+            c.p50_us,
+            c.p95_us,
+            c.p99_us,
+            c.fairness,
+            c.wall_ms,
+            c.serial_wall_ms,
+            c.uplink_bytes,
+            c.downlink_bytes,
+            vec_json(&c.depth_r),
+            vec_json(&c.served_r),
+            vec_json(&c.depth_s),
+            vec_json(&c.served_s),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -481,6 +481,33 @@ fn bench_end_to_end(c: &mut Criterion, cfg: &Config) {
     c.bench_function("e2e/srjoin_threaded_server", |b| {
         b.iter(|| std::hint::black_box(SrJoin::default().run(&dep, &spec).unwrap().total_bytes()))
     });
+
+    // The same join over the event-loop carrier: every request now rides
+    // the shared reactor thread instead of a per-server thread pair. The
+    // byte totals must agree — the carrier is unobservable in the
+    // protocol — and the ns ratio says what the multiplexing costs.
+    let (r2, s2) = {
+        let r = gaussian_clusters(&SyntheticSpec::new(space, n, 4), 7);
+        let s = gaussian_clusters(&SyntheticSpec::new(space, n, 4), 1007);
+        (r, s)
+    };
+    let dep_ev = DeploymentBuilder::new(r2, s2)
+        .with_space(space)
+        .with_buffer(800)
+        .event_loop()
+        .build();
+    let threaded_bytes = SrJoin::default().run(&dep, &spec).unwrap().total_bytes();
+    let event_bytes = SrJoin::default().run(&dep_ev, &spec).unwrap().total_bytes();
+    assert_eq!(
+        threaded_bytes, event_bytes,
+        "event-loop carrier changed the metered byte total"
+    );
+    eprintln!("check: event-loop e2e join ≡ threaded join ({event_bytes} bytes)");
+    c.bench_function("e2e/srjoin_event_loop", |b| {
+        b.iter(|| {
+            std::hint::black_box(SrJoin::default().run(&dep_ev, &spec).unwrap().total_bytes())
+        })
+    });
 }
 
 /// The headline ratios later PRs regress against.
@@ -530,6 +557,14 @@ fn speedups(ms: &[Measurement]) -> Vec<(String, String, String, f64)> {
             "codec/codec_v2_decode_1k_objects",
         ),
         ("parallel_sweep_w4", "sweep/serial", "sweep/parallel_w4"),
+        // ~1.0 expected: the reactor multiplexes instead of dedicating a
+        // thread per server; per-request overhead should stay in the
+        // channel-hop noise.
+        (
+            "threaded_vs_event_loop_e2e",
+            "e2e/srjoin_event_loop",
+            "e2e/srjoin_threaded_server",
+        ),
         // ~1.0 expected: the versioned wrapper must stay within ~5 % of
         // the frozen store on the window-serving hot path.
         (

@@ -24,25 +24,48 @@ use crate::Side;
 /// data size for the synthetic datasets").
 pub const DEFAULT_BUFFER: usize = 800;
 
-/// One server process: in the caller's process or behind its own thread.
+/// How servers are carried: in the caller's process, one thread per
+/// server, or multiplexed onto one shared reactor thread (the
+/// many-device carrier — see `asj_net::event_loop`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CarrierKind {
+    InProc,
+    Threaded,
+    EventLoop,
+}
+
+/// One server process: in the caller's process, behind its own thread,
+/// or registered as an endpoint on the deployment's shared reactor.
 enum Endpoint {
     InProc(Arc<dyn QueryHandler>),
     Channel {
         handle: asj_net::ServerHandle,
         _server: ChannelServer,
     },
+    Event(asj_net::EventEndpoint),
 }
 
 impl Endpoint {
-    fn spawn<H: QueryHandler + 'static>(service: Arc<H>, threaded: bool, name: &str) -> Endpoint {
-        if threaded {
-            let (server, handle) = ChannelServer::spawn(service, name);
-            Endpoint::Channel {
-                handle,
-                _server: server,
+    fn spawn<H: QueryHandler + 'static>(
+        service: Arc<H>,
+        kind: CarrierKind,
+        reactor: Option<&Arc<asj_net::EventLoop>>,
+        name: &str,
+    ) -> Endpoint {
+        match kind {
+            CarrierKind::InProc => Endpoint::InProc(service),
+            CarrierKind::Threaded => {
+                let (server, handle) = ChannelServer::spawn(service, name);
+                Endpoint::Channel {
+                    handle,
+                    _server: server,
+                }
             }
-        } else {
-            Endpoint::InProc(service)
+            CarrierKind::EventLoop => Endpoint::Event(
+                reactor
+                    .expect("event-loop deployments carry a reactor")
+                    .serve(service),
+            ),
         }
     }
 
@@ -50,6 +73,14 @@ impl Endpoint {
         match self {
             Endpoint::InProc(h) => Box::new(InProcDyn(Arc::clone(h))),
             Endpoint::Channel { handle, .. } => Box::new(handle.connect()),
+            Endpoint::Event(endpoint) => Box::new(endpoint.connect()),
+        }
+    }
+
+    fn event_stats(&self) -> Option<Arc<asj_net::EndpointStats>> {
+        match self {
+            Endpoint::Event(endpoint) => Some(Arc::clone(endpoint.stats())),
+            _ => None,
         }
     }
 }
@@ -118,6 +149,18 @@ impl Carrier {
             Carrier::Fleet(members) => members.len(),
         }
     }
+
+    /// Per-shard reactor endpoint stats, in shard order; empty unless
+    /// this side rides the event-loop carrier.
+    fn event_stats(&self) -> Vec<Arc<asj_net::EndpointStats>> {
+        match self {
+            Carrier::Single(e) => e.event_stats().into_iter().collect(),
+            Carrier::Fleet(members) => members
+                .iter()
+                .filter_map(|(_, e)| e.event_stats())
+                .collect(),
+        }
+    }
 }
 
 /// Adapter: `InProcExchange` is generic; deployments hold `dyn` handlers.
@@ -130,8 +173,12 @@ impl asj_net::RawExchange for InProcDyn {
         if let Some(accept) = asj_net::codec::try_answer_hello(&request) {
             return accept;
         }
-        let (req, wire) =
-            asj_net::codec::decode_request_versioned(request).expect("malformed request");
+        let (req, wire) = match asj_net::codec::decode_request_versioned(request) {
+            Ok(pair) => pair,
+            // Same contract as every transport adapter: a garbled frame
+            // is answered with the typed error, never panicked on.
+            Err(_) => return asj_net::codec::malformed_frame(),
+        };
         // Zero-copy serving: the handler streams its answer straight into
         // the reply buffer (see `SpatialService::handle_into`).
         let mut buf = bytes::BytesMut::new();
@@ -164,6 +211,11 @@ pub struct Deployment {
     /// never share a store (they front different datasets).
     cache_r: Option<Arc<ClientCache>>,
     cache_s: Option<Arc<ClientCache>>,
+    /// The shared reactor thread when the deployment was built with
+    /// [`DeploymentBuilder::event_loop`]: every endpoint of both sides is
+    /// served by this one thread, and it must outlive every link handed
+    /// out by [`Deployment::connect`]. `None` on the other carriers.
+    reactor: Option<Arc<asj_net::EventLoop>>,
 }
 
 impl Deployment {
@@ -278,6 +330,22 @@ impl Deployment {
     pub fn shard_counts(&self) -> (usize, usize) {
         (self.r.shard_count(), self.s.shard_count())
     }
+
+    /// `true` when every server is multiplexed onto the shared reactor
+    /// thread (built via [`DeploymentBuilder::event_loop`]).
+    pub fn is_event_loop(&self) -> bool {
+        self.reactor.is_some()
+    }
+
+    /// Per-shard reactor endpoint stats (queue-depth high-water mark,
+    /// served/malformed counters) for one side, in shard order. Empty
+    /// unless the deployment rides the event-loop carrier.
+    pub fn event_stats(&self, side: Side) -> Vec<Arc<asj_net::EndpointStats>> {
+        match side {
+            Side::R => self.r.event_stats(),
+            Side::S => self.s.event_stats(),
+        }
+    }
 }
 
 /// Builder for [`Deployment`].
@@ -288,7 +356,7 @@ pub struct DeploymentBuilder {
     buffer_capacity: usize,
     space: Option<Rect>,
     cooperative: bool,
-    threaded: bool,
+    carrier: CarrierKind,
     live: bool,
     rtree_fanout: usize,
     shards: Option<(usize, usize)>,
@@ -303,7 +371,7 @@ impl DeploymentBuilder {
             buffer_capacity: DEFAULT_BUFFER,
             space: None,
             cooperative: false,
-            threaded: false,
+            carrier: CarrierKind::InProc,
             live: false,
             rtree_fanout: asj_rtree::DEFAULT_MAX_ENTRIES,
             shards: None,
@@ -337,7 +405,21 @@ impl DeploymentBuilder {
 
     /// Runs each server on its own thread.
     pub fn threaded(mut self) -> Self {
-        self.threaded = true;
+        self.carrier = CarrierKind::Threaded;
+        self
+    }
+
+    /// Multiplexes every server (both sides, every shard) onto **one**
+    /// shared reactor thread — the many-device carrier. Unlike
+    /// [`threaded`], the thread count stays constant no matter how many
+    /// shards the fleet has or how many devices [`Deployment::connect`];
+    /// each connection carries its own negotiation state inside the
+    /// reactor (see `asj_net::event_loop`). Replies are byte-identical
+    /// to both other carriers.
+    ///
+    /// [`threaded`]: DeploymentBuilder::threaded
+    pub fn event_loop(mut self) -> Self {
+        self.carrier = CarrierKind::EventLoop;
         self
     }
 
@@ -410,6 +492,11 @@ impl DeploymentBuilder {
             .unwrap_or_else(|| Rect::from_coords(0.0, 0.0, 1.0, 1.0))
         });
         let fanout = self.rtree_fanout;
+        // One reactor thread carries every endpoint of an event-loop
+        // deployment; it lives on the `Deployment` so links can never
+        // outlive it accidentally.
+        let reactor = (self.carrier == CarrierKind::EventLoop)
+            .then(|| Arc::new(asj_net::EventLoop::spawn("deploy")));
         // Frozen servers answer straight from an immutable R-tree; live
         // servers wrap the same store in a `VersionedStore` whose rebuild
         // closure re-packs the R-tree at the same fanout, so generation 0
@@ -420,7 +507,8 @@ impl DeploymentBuilder {
                     VersionedStore::new(objects, move |objs| RTreeStore::with_fanout(objs, fanout));
                 Endpoint::spawn(
                     Arc::new(SpatialService::new(store).with_policy(policy)),
-                    self.threaded,
+                    self.carrier,
+                    reactor.as_ref(),
                     name,
                 )
             } else {
@@ -429,7 +517,8 @@ impl DeploymentBuilder {
                         SpatialService::new(RTreeStore::with_fanout(objects, fanout))
                             .with_policy(policy),
                     ),
-                    self.threaded,
+                    self.carrier,
+                    reactor.as_ref(),
                     name,
                 )
             }
@@ -476,6 +565,7 @@ impl DeploymentBuilder {
             cache_r: cache(self.net.client_cache),
             cache_s: cache(self.net.client_cache),
             net: self.net,
+            reactor,
         }
     }
 }
@@ -590,6 +680,72 @@ mod tests {
             rb.meter().snapshot().total_bytes(),
             "carrier must not change accounting"
         );
+    }
+
+    #[test]
+    fn event_loop_deployment_matches_in_process_bytes() {
+        let a = Deployment::in_process(pts(50, 0.0), pts(50, 5.0), NetConfig::default());
+        let b = DeploymentBuilder::new(pts(50, 0.0), pts(50, 5.0))
+            .event_loop()
+            .build();
+        assert!(!a.is_event_loop());
+        assert!(b.is_event_loop());
+        let w = Rect::from_coords(0.0, 0.0, 25.0, 25.0);
+        let (ra, sa) = a.connect();
+        let (rb, sb) = b.connect();
+        assert_eq!(
+            ra.request(&Request::Count(w)).into_count(),
+            rb.request(&Request::Count(w)).into_count()
+        );
+        assert_eq!(
+            sa.request(&Request::Window(w)).into_objects(),
+            sb.request(&Request::Window(w)).into_objects()
+        );
+        assert_eq!(
+            ra.meter().snapshot().total_bytes(),
+            rb.meter().snapshot().total_bytes(),
+            "carrier must not change accounting"
+        );
+        let stats = b.event_stats(Side::R);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].served(), 1);
+        assert!(a.event_stats(Side::R).is_empty());
+    }
+
+    #[test]
+    fn event_loop_fleet_matches_threaded_fleet() {
+        let build = |kind: u8| {
+            let mut b = DeploymentBuilder::new(pts(40, 0.0), pts(40, 2.0)).with_shards(3, 2);
+            b = match kind {
+                0 => b,
+                1 => b.threaded(),
+                _ => b.event_loop(),
+            };
+            b.build()
+        };
+        let w = Rect::from_coords(0.0, 0.0, 25.0, 25.0);
+        let run = |d: &Deployment| {
+            let (r, s) = d.connect();
+            let count = r.request(&Request::Count(w)).into_count();
+            let objs = s.request(&Request::Window(w)).into_objects();
+            (
+                count,
+                objs,
+                r.meter().snapshot().total_bytes(),
+                s.meter().snapshot().total_bytes(),
+            )
+        };
+        let inproc = run(&build(0));
+        let threaded = run(&build(1));
+        let looped = run(&build(2));
+        assert_eq!(inproc, threaded);
+        assert_eq!(inproc, looped);
+        // One reactor endpoint per shard, all served by one thread.
+        let d = build(2);
+        let (r, _) = d.connect();
+        r.request(&Request::Count(w));
+        assert_eq!(d.event_stats(Side::R).len(), 3);
+        assert_eq!(d.event_stats(Side::S).len(), 2);
     }
 
     #[test]

@@ -17,9 +17,17 @@
 //!   grid-hash + per-cell sweep ([`memjoin::grid_hash_join`]) matching the
 //!   paper's Hash-Based Spatial Join terminology.
 
+//! * [`traffic`] — the **many-device traffic harness**: thousands of
+//!   deterministic scripted devices driven by a small worker pool over a
+//!   shared carrier, with per-device outcome digests (responses, pairs,
+//!   meters) proven identical to a serial replay, plus the latency
+//!   percentiles and fairness gauges the scaling benchmarks report.
+
 pub mod buffer;
 pub mod collect;
 pub mod memjoin;
+pub mod traffic;
 
 pub use buffer::{BufferExceeded, DeviceBuffer};
 pub use collect::{IcebergResult, ResultCollector};
+pub use traffic::{run_traffic, DeviceOutcome, TrafficConfig, TrafficReport};

@@ -531,8 +531,16 @@ impl CacheLayer {
     fn forward(&self, raw: Bytes, req: &Request) -> (Bytes, Option<Response>, u64) {
         if self.inner_premetered {
             let reply = self.inner.exchange(raw);
-            // Peek the stamp only — the reply is forwarded verbatim.
-            let (generation, _) = peel_generation(reply.clone()).expect("malformed response");
+            if crate::codec::is_unavailable(&reply) {
+                // The fleet below died: the fabricated frame propagates
+                // verbatim — nothing is metered, no generation noted.
+                return (reply, Some(Response::Unavailable), 0);
+            }
+            // Peek the stamp only — the reply is forwarded verbatim. An
+            // undecodable stamp degrades to "unstamped" and the fronting
+            // link surfaces the malformed payload itself.
+            let (generation, _) =
+                peel_generation(reply.clone()).unwrap_or((0, Bytes::from_static(&[])));
             self.cache.note_generation(generation);
             return (reply, None, generation);
         }
@@ -545,12 +553,17 @@ impl CacheLayer {
         } else {
             raw
         };
-        self.meter
-            .record_request(req, raw.len() as u64, &self.packet);
+        let up_len = raw.len() as u64;
         let reply = self.inner.exchange(raw);
+        if crate::codec::is_unavailable(&reply) {
+            // Dead server: meter neither direction — only completed
+            // exchanges count.
+            return (reply, Some(Response::Unavailable), 0);
+        }
+        self.meter.record_request(req, up_len, &self.packet);
         let ctx = QuantCtx::for_request(req);
-        let (resp, generation) =
-            decode_response_gen_ctx(reply.clone(), ctx.as_ref()).expect("malformed response");
+        let (resp, generation) = decode_response_gen_ctx(reply.clone(), ctx.as_ref())
+            .unwrap_or((Response::Malformed, 0));
         self.cache.note_generation(generation);
         self.meter.record_response(
             reply.len() as u64,
@@ -565,8 +578,8 @@ impl CacheLayer {
     fn decoded(reply: &Bytes, prior: Option<Response>) -> Response {
         prior.unwrap_or_else(|| {
             decode_response_gen(reply.clone())
-                .expect("malformed response")
-                .0
+                .map(|(resp, _)| resp)
+                .unwrap_or(Response::Malformed)
         })
     }
 
@@ -578,11 +591,20 @@ impl CacheLayer {
     fn forward_raw(&self, raw: Bytes) -> Bytes {
         if self.inner_premetered {
             let reply = self.inner.exchange(raw);
-            let (generation, _) = peel_generation(reply.clone()).expect("malformed response");
+            if crate::codec::is_unavailable(&reply) {
+                return reply;
+            }
+            let (generation, _) =
+                peel_generation(reply.clone()).unwrap_or((0, Bytes::from_static(&[])));
             self.cache.note_generation(generation);
             return reply;
         }
-        let req = decode_request(raw.clone()).expect("malformed request");
+        let req = match decode_request(raw.clone()) {
+            Ok(req) => req,
+            // Same contract as every other shared serving path: garbage
+            // in, typed error out, layer keeps serving.
+            Err(_) => return crate::codec::malformed_frame(),
+        };
         self.forward(raw, &req).0
     }
 
@@ -743,12 +765,15 @@ impl RawExchange for CacheLayer {
             | Some(crate::codec::op::WINDOW)
             | Some(crate::codec::op::EPS_RANGE)
             | Some(crate::codec::op::MULTI_COUNT) => {
-                match decode_request(raw.clone()).expect("malformed request") {
-                    Request::Count(w) => self.handle_count(raw, w),
-                    Request::MultiCount(windows) => self.handle_multi_count(raw, windows),
-                    Request::Window(w) => self.handle_window(raw, w),
-                    Request::EpsRange { q, eps } => self.handle_eps_range(raw, q, eps),
-                    _ => unreachable!("opcode dispatch matches the decoder"),
+                match decode_request(raw.clone()) {
+                    Ok(Request::Count(w)) => self.handle_count(raw, w),
+                    Ok(Request::MultiCount(windows)) => self.handle_multi_count(raw, windows),
+                    Ok(Request::Window(w)) => self.handle_window(raw, w),
+                    Ok(Request::EpsRange { q, eps }) => self.handle_eps_range(raw, q, eps),
+                    Ok(_) => unreachable!("opcode dispatch matches the decoder"),
+                    // A known opcode with a garbled payload (truncated
+                    // window, bad varint) still answers typed.
+                    Err(_) => crate::codec::malformed_frame(),
                 }
             }
             Some(crate::codec::op::APPLY_UPDATES) => {

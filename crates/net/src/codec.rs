@@ -61,6 +61,14 @@ pub const PAIRS_HEADER_BYTES: u64 = 1 + 4;
 pub const PAIR_BYTES: u64 = 8;
 /// Wire size of a `Refused` response (opcode only).
 pub const REFUSED_BYTES: u64 = 1;
+/// Wire size of a `Malformed` response (opcode only) — the typed error
+/// frame a server answers an undecodable request with, instead of dying.
+pub const MALFORMED_BYTES: u64 = 1;
+/// Wire size of the `Unavailable` pseudo-frame (opcode only). Never sent
+/// by a server: carriers fabricate it locally when the peer is gone, so
+/// the client degrades to a typed [`crate::proto::Response::Unavailable`]
+/// instead of panicking. Zero wire bytes actually cross for it.
+pub const UNAVAILABLE_BYTES: u64 = 1;
 /// Fixed overhead of an `ApplyUpdates` request (opcode + u32 n); each
 /// update adds its tagged wire size ([`UPDATE_INSERT_BYTES`],
 /// [`UPDATE_DELETE_BYTES`] or [`UPDATE_MOVE_BYTES`]).
@@ -201,6 +209,15 @@ pub(crate) mod op {
     pub const R_ACK_V2: u8 = 0x8F;
     /// Compact generation-stamp envelope: `[R_GEN_V2][varint generation]`.
     pub const R_GEN_V2: u8 = 0x90;
+    /// Typed decode-error reply `[R_MALFORMED]`: the server could not
+    /// decode the request and is telling the sender so — and nobody
+    /// else. A garbled frame from one client must never take down a
+    /// server thread shared by every other client.
+    pub const R_MALFORMED: u8 = 0x91;
+    /// Local transport-failure pseudo-frame `[R_UNAVAILABLE]`: fabricated
+    /// by a carrier whose peer is gone (server thread terminated, reply
+    /// channel dropped). Reserved — a live server never sends it.
+    pub const R_UNAVAILABLE: u8 = 0x92;
 
     /// v2 object tag bit: min == max on both axes (a point) — the max
     /// coordinates are omitted entirely.
@@ -271,6 +288,8 @@ pub fn response_wire_bytes(resp: &Response) -> u64 {
         Response::Rects(rects) => RECTS_HEADER_BYTES + rects.len() as u64 * RECT_BYTES,
         Response::Pairs(pairs) => PAIRS_HEADER_BYTES + pairs.len() as u64 * PAIR_BYTES,
         Response::Refused => REFUSED_BYTES,
+        Response::Malformed => MALFORMED_BYTES,
+        Response::Unavailable => UNAVAILABLE_BYTES,
         Response::Ack { .. } => ACK_BYTES,
     }
 }
@@ -595,6 +614,12 @@ pub fn encode_response_into(resp: &Response, buf: &mut BytesMut) {
         Response::Refused => {
             buf.put_u8(op::R_REFUSED);
         }
+        Response::Malformed => {
+            buf.put_u8(op::R_MALFORMED);
+        }
+        Response::Unavailable => {
+            buf.put_u8(op::R_UNAVAILABLE);
+        }
         Response::Ack { generation } => {
             buf.put_u8(op::R_ACK);
             buf.put_u64(*generation);
@@ -794,6 +819,8 @@ pub fn decode_response(mut buf: Bytes) -> Result<Response, CodecError> {
             Ok(Response::Counts(counts))
         }
         op::R_REFUSED => Ok(Response::Refused),
+        op::R_MALFORMED => Ok(Response::Malformed),
+        op::R_UNAVAILABLE => Ok(Response::Unavailable),
         op::R_ACK => {
             if buf.remaining() < 8 {
                 return Err(CodecError::Truncated);
@@ -1273,6 +1300,29 @@ pub fn try_answer_hello(raw: &[u8]) -> Option<Bytes> {
 /// back to v1, so this returns `Option`, not `Result`.
 pub fn decode_accept(raw: &[u8]) -> Option<u8> {
     (raw.len() == ACCEPT_BYTES as usize && raw[0] == op::R_ACCEPT).then(|| raw[1])
+}
+
+/// The typed error reply a transport adapter sends back when it cannot
+/// decode a request frame ([`op::R_MALFORMED`]). Answering — instead of
+/// `expect`ing — is what keeps a shared server thread alive when one
+/// client garbles a frame.
+pub fn malformed_frame() -> Bytes {
+    Bytes::copy_from_slice(&[op::R_MALFORMED])
+}
+
+/// The locally fabricated pseudo-reply of a carrier whose peer is gone
+/// ([`op::R_UNAVAILABLE`]). Decodes to
+/// [`crate::proto::Response::Unavailable`]; metering layers must treat it
+/// as zero wire traffic — nothing crossed.
+pub fn unavailable_frame() -> Bytes {
+    Bytes::copy_from_slice(&[op::R_UNAVAILABLE])
+}
+
+/// `true` iff `raw` is the carrier-fabricated [`unavailable_frame`] — the
+/// check metering sites use to skip charging an exchange that never
+/// happened.
+pub fn is_unavailable(raw: &[u8]) -> bool {
+    raw.len() == UNAVAILABLE_BYTES as usize && raw[0] == op::R_UNAVAILABLE
 }
 
 #[cfg(test)]

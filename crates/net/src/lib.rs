@@ -27,6 +27,12 @@
 //!   in-process call (fast, used by the experiment sweeps) and a
 //!   crossbeam-channel connection to a server thread (the "distributed"
 //!   deployment used by examples and integration tests);
+//! * [`event_loop`] — the **many-device carrier**: one reactor thread
+//!   multiplexing every server endpoint and every device connection over
+//!   a ready-queue, per-connection `HELLO`/`ACCEPT` negotiation state
+//!   owned by the reactor, typed error frames for garbled input, and
+//!   per-endpoint queue-depth gauges — thousands of simulated devices
+//!   without a thread per connection;
 //! * [`router`] — the **scatter-gather extension**: a [`ShardRouter`]
 //!   fronts a fleet of shard servers behind the same carrier seam, pruning
 //!   shards by advertised bounds, sub-batching batched requests, merging
@@ -55,6 +61,7 @@
 
 pub mod cache;
 pub mod codec;
+pub mod event_loop;
 pub mod meter;
 pub mod packet;
 pub mod proto;
@@ -131,6 +138,7 @@ pub mod testutil {
 }
 
 pub use cache::{CacheConfig, CacheLayer, CacheView, ClientCache};
+pub use event_loop::{ConnState, EndpointStats, EventConnection, EventEndpoint, EventLoop};
 pub use meter::{CacheSnapshot, CacheTelemetry, LinkMeter, LinkSnapshot};
 pub use packet::{NetConfig, PacketModel};
 pub use proto::{QueryHandler, Request, Response, Update};

@@ -115,6 +115,16 @@ pub enum Response {
     /// Acknowledges [`Request::ApplyUpdates`]: the generation number of the
     /// freshly published snapshot.
     Ack { generation: u64 },
+    /// The server could not decode the request frame. A *typed* error
+    /// reply — answering it instead of panicking is what keeps a shared
+    /// server thread serving its other devices when one client garbles a
+    /// frame. One opcode byte on the wire.
+    Malformed,
+    /// The carrier's peer is gone (server dropped mid-session). This
+    /// variant never crosses the wire: carriers fabricate it locally in
+    /// place of a reply, and meters must not charge either direction for
+    /// it — nothing was sent or received.
+    Unavailable,
 }
 
 impl Response {

@@ -354,14 +354,27 @@ impl ShardRouter {
     /// with the shard's generation — so everything above the router
     /// keeps speaking v1 regardless of the fleet's mix.
     fn pass_through(&self, raw: Bytes) -> Bytes {
-        let req = decode_request(raw.clone()).expect("malformed request");
+        let req = match decode_request(raw.clone()) {
+            Ok(req) => req,
+            // A garbled frame from above gets the typed error reply a
+            // real server would send — routers never panic a shared path.
+            Err(_) => return crate::codec::malformed_frame(),
+        };
         if self.shards[0].wire == WireVersion::V2 {
             let encoded = encode_request_versioned(&req, WireVersion::V2);
-            self.record_request(0, &req, encoded.len() as u64);
+            let up_len = encoded.len() as u64;
             let reply = self.shards[0].carrier.exchange(encoded);
+            if crate::codec::is_unavailable(&reply) {
+                // The shard died: nothing crossed the wire, nothing is
+                // metered — the fabricated frame propagates upward.
+                return reply;
+            }
+            self.record_request(0, &req, up_len);
             let ctx = QuantCtx::for_request(&req);
-            let (resp, generation) =
-                decode_response_gen_ctx(reply.clone(), ctx.as_ref()).expect("malformed response");
+            // An undecodable shard reply was still real traffic: meter
+            // it, degrade to the typed `Malformed`.
+            let (resp, generation) = decode_response_gen_ctx(reply.clone(), ctx.as_ref())
+                .unwrap_or((Response::Malformed, 0));
             match &resp {
                 Response::Ack { generation } => self.shards[0].meta.note_generation(*generation),
                 _ if generation > 0 => self.shards[0].meta.note_generation(generation),
@@ -375,9 +388,14 @@ impl ShardRouter {
             encode_response_into(&resp, &mut buf);
             return buf.freeze();
         }
-        self.record_request(0, &req, raw.len() as u64);
+        let up_len = raw.len() as u64;
         let reply = self.shards[0].carrier.exchange(raw);
-        let (resp, generation) = decode_response_gen(reply.clone()).expect("malformed response");
+        if crate::codec::is_unavailable(&reply) {
+            return reply;
+        }
+        self.record_request(0, &req, up_len);
+        let (resp, generation) =
+            decode_response_gen(reply.clone()).unwrap_or((Response::Malformed, 0));
         match &resp {
             Response::Ack { generation } => self.shards[0].meta.note_generation(*generation),
             _ if generation > 0 => self.shards[0].meta.note_generation(generation),
@@ -397,8 +415,10 @@ impl ShardRouter {
             match sub {
                 Some(req) => {
                     let encoded = encode_request_versioned(req, self.shards[i].wire);
-                    self.record_request(i, req, encoded.len() as u64);
-                    pending.push(Some(self.shards[i].carrier.begin(encoded)));
+                    pending.push(Some((
+                        encoded.len() as u64,
+                        self.shards[i].carrier.begin(encoded),
+                    )));
                 }
                 None => {
                     self.telemetry.pruned.fetch_add(1, Ordering::Relaxed);
@@ -410,20 +430,30 @@ impl ShardRouter {
             .into_iter()
             .enumerate()
             .map(|(i, slot)| {
-                slot.map(|complete| {
+                slot.map(|(up_len, complete)| {
                     let raw = complete();
+                    if crate::codec::is_unavailable(&raw) {
+                        // A dead shard completes with the fabricated
+                        // frame: neither direction is metered (nothing
+                        // crossed), and the merge propagates the error.
+                        return Response::Unavailable;
+                    }
+                    let sub = subs[i].as_ref().expect("sent slot");
+                    // Both directions are charged only now, on a
+                    // completed exchange — a failed shard leaves no
+                    // phantom uplink bytes behind.
+                    self.record_request(i, sub, up_len);
                     let len = raw.len() as u64;
                     // Quantized v2 frames decode against the grid of the
                     // *sub-request* this shard was sent — the same grid
                     // the shard derived server-side.
-                    let ctx = QuantCtx::for_request(subs[i].as_ref().expect("sent slot"));
-                    let (resp, generation) =
-                        decode_response_gen_ctx(raw, ctx.as_ref()).expect("malformed response");
+                    let ctx = QuantCtx::for_request(sub);
+                    let (resp, generation) = decode_response_gen_ctx(raw, ctx.as_ref())
+                        .unwrap_or((Response::Malformed, 0));
                     if generation > 0 {
                         self.shards[i].meta.note_generation(generation);
                     }
-                    let aggregate = subs[i].as_ref().expect("sent slot").is_aggregate();
-                    self.record_response(i, len, &resp, aggregate);
+                    self.record_response(i, len, &resp, sub.is_aggregate());
                     resp
                 })
             })
@@ -470,7 +500,9 @@ impl ShardRouter {
                 {
                     match resp {
                         Response::Count(c) => total += c,
-                        Response::Refused => return Response::Refused,
+                        e @ (Response::Refused | Response::Malformed | Response::Unavailable) => {
+                            return e
+                        }
                         other => panic!("protocol mismatch: expected Count, got {other:?}"),
                     }
                 }
@@ -495,7 +527,9 @@ impl ShardRouter {
                                 totals[i] += c;
                             }
                         }
-                        Some(Response::Refused) => return Response::Refused,
+                        Some(
+                            e @ (Response::Refused | Response::Malformed | Response::Unavailable),
+                        ) => return e,
                         Some(other) => {
                             panic!("protocol mismatch: expected Counts, got {other:?}")
                         }
@@ -525,7 +559,9 @@ impl ShardRouter {
                                 merged[i].extend(bucket);
                             }
                         }
-                        Some(Response::Refused) => return Response::Refused,
+                        Some(
+                            e @ (Response::Refused | Response::Malformed | Response::Unavailable),
+                        ) => return e,
                         Some(other) => {
                             panic!("protocol mismatch: expected Buckets, got {other:?}")
                         }
@@ -546,7 +582,9 @@ impl ShardRouter {
                 for resp in self.round(&subs).into_iter().flatten() {
                     match resp {
                         Response::Rects(r) => mbrs.extend(r),
-                        Response::Refused => return Response::Refused,
+                        e @ (Response::Refused | Response::Malformed | Response::Unavailable) => {
+                            return e
+                        }
                         other => panic!("protocol mismatch: expected Rects, got {other:?}"),
                     }
                 }
@@ -606,7 +644,9 @@ impl ShardRouter {
                                 }
                             }
                         }
-                        Response::Refused => return Response::Refused,
+                        e @ (Response::Refused | Response::Malformed | Response::Unavailable) => {
+                            return e
+                        }
                         other => panic!("protocol mismatch: expected Pairs, got {other:?}"),
                     }
                 }
@@ -673,7 +713,7 @@ impl ShardRouter {
                     self.shards[i].meta.note_generation(generation);
                     sum += generation;
                 }
-                Response::Refused => return Response::Refused,
+                e @ (Response::Refused | Response::Malformed | Response::Unavailable) => return e,
                 other => panic!("protocol mismatch: expected Ack, got {other:?}"),
             }
         }
@@ -691,7 +731,9 @@ impl ShardRouter {
             match resp {
                 None => {}
                 Some(Response::Count(c)) => counts[i] = c,
-                Some(Response::Refused) => return Response::Refused,
+                Some(e @ (Response::Refused | Response::Malformed | Response::Unavailable)) => {
+                    return e
+                }
                 Some(other) => panic!("protocol mismatch: expected Count, got {other:?}"),
             }
         }
@@ -705,7 +747,9 @@ impl ShardRouter {
             match resp {
                 None => {}
                 Some(Response::Area(a)) => weighted += a * counts[i] as f64,
-                Some(Response::Refused) => return Response::Refused,
+                Some(e @ (Response::Refused | Response::Malformed | Response::Unavailable)) => {
+                    return e
+                }
                 Some(other) => panic!("protocol mismatch: expected Area, got {other:?}"),
             }
         }
@@ -774,7 +818,7 @@ fn merge_objects(responses: Vec<Option<Response>>) -> Response {
     for resp in responses.into_iter().flatten() {
         match resp {
             Response::Objects(v) => out.extend(v),
-            Response::Refused => return Response::Refused,
+            e @ (Response::Refused | Response::Malformed | Response::Unavailable) => return e,
             other => panic!("protocol mismatch: expected Objects, got {other:?}"),
         }
     }

@@ -65,8 +65,12 @@ impl<H: QueryHandler> RawExchange for InProcExchange<H> {
         if let Some(accept) = crate::codec::try_answer_hello(&request) {
             return accept;
         }
-        let (req, wire) =
-            crate::codec::decode_request_versioned(request).expect("malformed request");
+        let (req, wire) = match crate::codec::decode_request_versioned(request) {
+            Ok(pair) => pair,
+            // A garbled frame is answered with a typed error, never
+            // panicked on — same contract as the shared server thread.
+            Err(_) => return crate::codec::malformed_frame(),
+        };
         // The zero-copy serving path: the handler encodes straight into
         // the reply buffer (exact-capacity reserve inside the codec), so
         // no intermediate `Response` vectors are materialized.
@@ -82,9 +86,18 @@ struct Rpc {
     reply: Sender<Bytes>,
 }
 
+/// What flows to a server thread: RPCs from client handles, or the
+/// shutdown sentinel [`ChannelServer::drop`] enqueues so dropping the
+/// server never blocks on handles that are still alive. FIFO ordering
+/// guarantees every RPC enqueued before the sentinel is still served.
+enum ServerMsg {
+    Rpc(Rpc),
+    Shutdown,
+}
+
 /// Client side of the channel carrier.
 pub struct ChannelExchange {
-    tx: Sender<Rpc>,
+    tx: Sender<ServerMsg>,
 }
 
 impl RawExchange for ChannelExchange {
@@ -94,25 +107,46 @@ impl RawExchange for ChannelExchange {
 
     fn begin<'a>(&'a self, request: Bytes) -> Box<dyn FnOnce() -> Bytes + Send + 'a> {
         let (reply_tx, reply_rx) = bounded(1);
-        self.tx
-            .send(Rpc {
+        if self
+            .tx
+            .send(ServerMsg::Rpc(Rpc {
                 request,
                 reply: reply_tx,
-            })
-            .expect("server thread terminated");
-        Box::new(move || reply_rx.recv().expect("server dropped the reply"))
+            }))
+            .is_err()
+        {
+            // The server thread is gone. Degrade to the locally
+            // fabricated unavailable frame instead of panicking the
+            // client — a shard dying mid-session must not take the
+            // device down with it.
+            return Box::new(crate::codec::unavailable_frame);
+        }
+        // A recv error here means the server accepted the request but
+        // shut down before replying (it raced the shutdown sentinel):
+        // same degradation as a refused send.
+        Box::new(move || {
+            reply_rx
+                .recv()
+                .unwrap_or_else(|_| crate::codec::unavailable_frame())
+        })
     }
 }
 
 /// A server running on its own thread, draining RPCs until every client
-/// handle is dropped.
+/// handle is dropped — or until the server itself is dropped, whichever
+/// comes first (drop enqueues a shutdown sentinel, so it never deadlocks
+/// waiting on handles that outlive it).
 pub struct ChannelServer {
     thread: Option<std::thread::JoinHandle<u64>>,
+    /// The server's own sender, used only to enqueue the shutdown
+    /// sentinel from `drop`. Held here (not by handles) so `join` can
+    /// release it and restore the legacy wait-for-all-handles semantics.
+    ctrl: Option<Sender<ServerMsg>>,
 }
 
 /// Keeps the server thread alive; dropping all handles shuts it down.
 pub struct ServerHandle {
-    tx: Sender<Rpc>,
+    tx: Sender<ServerMsg>,
 }
 
 impl ChannelServer {
@@ -120,7 +154,7 @@ impl ChannelServer {
     /// handle from which any number of [`ChannelExchange`] carriers can be
     /// cloned.
     pub fn spawn<H: QueryHandler + 'static>(handler: Arc<H>, name: &str) -> (Self, ServerHandle) {
-        let (tx, rx): (Sender<Rpc>, Receiver<Rpc>) = unbounded();
+        let (tx, rx): (Sender<ServerMsg>, Receiver<ServerMsg>) = unbounded();
         let thread = std::thread::Builder::new()
             .name(format!("asj-server-{name}"))
             .spawn(move || {
@@ -132,15 +166,28 @@ impl ChannelServer {
                 // only per-request allocation left is the reply message
                 // itself.
                 let mut buf = BytesMut::with_capacity(4096);
-                while let Ok(rpc) = rx.recv() {
+                while let Ok(msg) = rx.recv() {
+                    let rpc = match msg {
+                        ServerMsg::Rpc(rpc) => rpc,
+                        ServerMsg::Shutdown => break,
+                    };
                     if let Some(accept) = crate::codec::try_answer_hello(&rpc.request) {
                         // Handshake frames are link control: answered here,
                         // never counted as served queries.
                         let _ = rpc.reply.send(accept);
                         continue;
                     }
-                    let (req, wire) = crate::codec::decode_request_versioned(rpc.request)
-                        .expect("malformed request");
+                    let (req, wire) = match crate::codec::decode_request_versioned(rpc.request) {
+                        Ok(pair) => pair,
+                        Err(_) => {
+                            // This thread is shared by every connected
+                            // device: one garbled frame gets a typed
+                            // error reply and the loop keeps serving —
+                            // it must never panic the thread.
+                            let _ = rpc.reply.send(crate::codec::malformed_frame());
+                            continue;
+                        }
+                    };
                     buf.clear();
                     handler.handle_into(req, wire, &mut buf);
                     served += 1;
@@ -159,6 +206,7 @@ impl ChannelServer {
         (
             ChannelServer {
                 thread: Some(thread),
+                ctrl: Some(tx.clone()),
             },
             ServerHandle { tx },
         )
@@ -167,6 +215,9 @@ impl ChannelServer {
     /// Waits for the server to drain and stop (all handles dropped);
     /// returns the number of requests served.
     pub fn join(mut self) -> u64 {
+        // Release the control sender first: the thread's `recv` loop must
+        // be able to disconnect once every client handle is gone.
+        self.ctrl = None;
         self.thread
             .take()
             .expect("already joined")
@@ -178,6 +229,14 @@ impl ChannelServer {
 impl Drop for ChannelServer {
     fn drop(&mut self) {
         if let Some(t) = self.thread.take() {
+            // Enqueue the shutdown sentinel behind any in-flight RPCs
+            // (FIFO: they are all still served), then join. Without the
+            // sentinel this join deadlocked whenever a `ServerHandle` or
+            // `ChannelExchange` outlived the server — their senders kept
+            // the channel connected forever.
+            if let Some(ctrl) = self.ctrl.take() {
+                let _ = ctrl.send(ServerMsg::Shutdown);
+            }
             let _ = t.join();
         }
     }
@@ -302,15 +361,26 @@ impl Link {
     pub fn request(&self, req: &Request) -> Response {
         let aggregate = req.is_aggregate();
         let encoded = encode_request_versioned(req, self.wire);
-        if !self.premetered {
-            self.meter
-                .record_request(req, encoded.len() as u64, &self.packet);
-        }
+        let up_len = encoded.len() as u64;
         let raw = self.carrier.exchange(encoded);
+        if crate::codec::is_unavailable(&raw) {
+            // The peer is gone and the carrier fabricated this reply
+            // locally: no byte crossed the wire in either direction, so
+            // the meter charges nothing. (Charging the uplink *before*
+            // the exchange — the old order — left failed exchanges
+            // counting bytes that were never sent.)
+            return Response::Unavailable;
+        }
+        if !self.premetered {
+            self.meter.record_request(req, up_len, &self.packet);
+        }
         let len = raw.len() as u64;
         let ctx = QuantCtx::for_request(req);
+        // A reply that crossed the wire but does not decode degrades to
+        // the typed `Malformed` response — both directions are still
+        // charged below, because those bytes were real traffic.
         let (resp, generation) =
-            decode_response_gen_ctx(raw, ctx.as_ref()).expect("malformed response");
+            decode_response_gen_ctx(raw, ctx.as_ref()).unwrap_or((Response::Malformed, 0));
         match &resp {
             Response::Ack { generation } => self
                 .last_generation
@@ -482,5 +552,83 @@ mod tests {
         let link = Link::in_process(Arc::new(Fixed), PacketModel::default(), 1.0);
         let r = link.request(&Request::CoopLevelMbrs(0));
         assert_eq!(r, Response::Refused);
+    }
+
+    #[test]
+    fn garbled_frame_gets_typed_error_and_server_keeps_serving() {
+        let (server, handle) = ChannelServer::spawn(Arc::new(Fixed), "garbled");
+        let ex = handle.connect();
+        // An unknown opcode and a truncated frame both answer R_MALFORMED
+        // instead of killing the shared thread.
+        for garbage in [
+            Bytes::copy_from_slice(&[0xFF, 0x01]),
+            Bytes::from_static(&[]),
+        ] {
+            let reply = ex.exchange(garbage);
+            assert_eq!(
+                crate::codec::decode_response(reply).unwrap(),
+                Response::Malformed
+            );
+        }
+        // The same thread still serves healthy traffic afterwards.
+        let link = Link::new(Box::new(handle.connect()), PacketModel::default(), 1.0);
+        assert_eq!(link.request(&Request::Count(w())).into_count(), 7);
+        drop(link);
+        drop(ex);
+        drop(handle);
+        // Garbled frames are not counted as served queries.
+        assert_eq!(server.join(), 1);
+    }
+
+    #[test]
+    fn in_process_garbled_frame_degrades_identically() {
+        let ex = InProcExchange::new(Arc::new(Fixed));
+        let reply = ex.exchange(Bytes::copy_from_slice(&[0xFF]));
+        assert_eq!(
+            crate::codec::decode_response(reply).unwrap(),
+            Response::Malformed
+        );
+    }
+
+    #[test]
+    fn dropping_server_before_handles_does_not_hang() {
+        let (server, handle) = ChannelServer::spawn(Arc::new(Fixed), "drop-first");
+        let ex = handle.connect();
+        // Handles and carriers are still alive: the old Drop joined a
+        // thread whose recv loop could never disconnect.
+        drop(server);
+        // The surviving client degrades instead of panicking.
+        let link = Link::new(Box::new(ex), PacketModel::default(), 1.0);
+        assert_eq!(link.request(&Request::Count(w())), Response::Unavailable);
+        drop(handle);
+    }
+
+    #[test]
+    fn client_outliving_server_sees_unavailable_not_panic() {
+        let (server, handle) = ChannelServer::spawn(Arc::new(Fixed), "short-lived");
+        let link = Link::new(Box::new(handle.connect()), PacketModel::default(), 1.0);
+        assert_eq!(link.request(&Request::Count(w())).into_count(), 7);
+        drop(server);
+        drop(handle);
+        assert_eq!(link.request(&Request::Count(w())), Response::Unavailable);
+        assert_eq!(link.request(&Request::Window(w())), Response::Unavailable);
+    }
+
+    #[test]
+    fn failed_exchange_charges_no_meter_bytes() {
+        let (server, handle) = ChannelServer::spawn(Arc::new(Fixed), "meter-conservation");
+        let link = Link::new(Box::new(handle.connect()), PacketModel::default(), 1.0);
+        link.request(&Request::Count(w()));
+        let before = link.meter().snapshot();
+        drop(server);
+        drop(handle);
+        // Failed exchanges must not move the meter: only completed
+        // exchanges count, in both directions.
+        assert_eq!(link.request(&Request::Count(w())), Response::Unavailable);
+        let after = link.meter().snapshot();
+        assert_eq!(before.total_bytes(), after.total_bytes());
+        assert_eq!(before.up_bytes, after.up_bytes);
+        assert_eq!(before.down_bytes, after.down_bytes);
+        assert_eq!(before.count_queries, after.count_queries);
     }
 }

@@ -1,0 +1,283 @@
+//! Transport robustness — a garbled frame must never kill a shared server.
+//!
+//! The channel server thread and the event-loop reactor are shared by
+//! every connected device, so the failure modes this suite pins are the
+//! ones that take *other* clients down with them:
+//!
+//! * **Garbled frames** (fuzz-ish: empty, truncated, bit-flipped, alien
+//!   opcodes, absurd length prefixes) get a typed `R_MALFORMED` error
+//!   frame back — the serving thread must survive every one of them, and
+//!   every *healthy* client's run must stay byte-identical (meters) and
+//!   pair-identical (local joins) to an uncontended replay.
+//! * **Shutdown ordering**: dropping a `ChannelServer` while handles and
+//!   connections are still alive must not deadlock (regression for the
+//!   join-on-drop deadlock) — and an `EventLoop` dropped with live
+//!   connections likewise.
+//! * **Dead servers**: a client outliving its server sees
+//!   `Response::Unavailable`, never a panic — and the failed exchange
+//!   charges **no** meter bytes in either direction (meters record
+//!   completed exchanges only).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use adhoc_spatial_joins::prelude::*;
+use asj_device::{run_traffic, TrafficConfig};
+use asj_geom::SpatialObject;
+use asj_net::codec;
+use asj_net::{ChannelServer, EventLoop, Link, PacketModel, RawExchange, Request, Response};
+use asj_server::{RTreeStore, SpatialService};
+use asj_workloads::{default_space, gaussian_clusters, SyntheticSpec};
+use bytes::Bytes;
+
+fn clusters(k: usize, n: usize, seed: u64) -> Vec<SpatialObject> {
+    gaussian_clusters(&SyntheticSpec::new(default_space(), n, k), seed)
+}
+
+fn service(seed: u64) -> Arc<SpatialService<RTreeStore>> {
+    Arc::new(SpatialService::new(RTreeStore::new(clusters(4, 300, seed))))
+}
+
+/// Deterministic fuzz-ish garbage: empty frames, truncated valid
+/// opcodes, alien opcodes, absurd length prefixes, and LCG noise. None
+/// of these decode as a request (the two-byte HELLO shape is excluded —
+/// that one is *valid* link control, answered with an ACCEPT). Opcode
+/// bytes are written literally here; the suite deliberately speaks raw
+/// wire bytes, not the codec's vocabulary.
+fn garbage_frames() -> Vec<Bytes> {
+    let mut frames: Vec<Vec<u8>> = vec![
+        vec![],
+        vec![0xff],
+        vec![0x02],                         // COUNT with no window
+        vec![0x01, 1, 2, 3],                // truncated WINDOW
+        vec![0x06, 0xff, 0xff, 0xff, 0xff], // MULTI_COUNT claiming 4 G windows
+        vec![0x00; 64],
+        vec![0x91], // the R_MALFORMED *response* opcode as a request
+    ];
+    let mut x: u64 = 0x2545_f491_4f6c_dd1d;
+    for len in [3usize, 5, 17, 33] {
+        let mut f = Vec::with_capacity(len);
+        for _ in 0..len {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            f.push((x >> 33) as u8);
+        }
+        // Keep the fuzz out of the one valid 2-byte control frame shape.
+        if f.len() == codec::HELLO_BYTES as usize {
+            f.push(0);
+        }
+        frames.push(f);
+    }
+    frames
+        .into_iter()
+        .map(|f| Bytes::copy_from_slice(&f))
+        .collect()
+}
+
+/// The healthy-client script both carriers replay.
+fn scripted_requests() -> Vec<Request> {
+    (0..20)
+        .map(|i| {
+            let a = (i * 37 % 97) as f64 / 97.0 * 8000.0;
+            let b = (i * 17 % 89) as f64 / 89.0 * 8000.0;
+            let w = Rect::from_coords(a, b, a + 1500.0, b + 1500.0);
+            match i % 3 {
+                0 => Request::Window(w),
+                1 => Request::Count(w),
+                _ => Request::EpsRange { q: w, eps: 90.0 },
+            }
+        })
+        .collect()
+}
+
+/// Channel server: an attacker connection spraying garbage concurrently
+/// with healthy clients. Every garbage frame gets the typed error frame;
+/// every healthy client's meter equals the uncontended replay; the
+/// served count excludes the garbage.
+#[test]
+fn garbled_frames_leave_healthy_channel_clients_byte_identical() {
+    let (server, handle) = ChannelServer::spawn(service(29), "robust");
+    let sequence = scripted_requests();
+    let run = |carrier: Box<dyn RawExchange>| {
+        let link = Link::new(carrier, PacketModel::default(), 1.0);
+        let responses: Vec<Response> = sequence.iter().map(|r| link.request(r)).collect();
+        (responses, link.meter().snapshot())
+    };
+
+    // Uncontended replay: the baseline every healthy client must match.
+    let (baseline_responses, baseline_meter) = run(Box::new(handle.connect()));
+    assert!(baseline_meter.total_bytes() > 0);
+
+    const HEALTHY: usize = 4;
+    let stop = AtomicBool::new(false);
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let attacker = {
+            let conn = handle.connect();
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut sprayed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for g in garbage_frames() {
+                        let reply = conn.exchange(g);
+                        assert_eq!(
+                            reply.as_slice(),
+                            codec::malformed_frame().as_slice(),
+                            "garbage must get the typed error frame"
+                        );
+                        sprayed += 1;
+                    }
+                }
+                sprayed
+            })
+        };
+        let healthy: Vec<_> = (0..HEALTHY)
+            .map(|_| {
+                let conn = handle.connect();
+                scope.spawn(move || run(Box::new(conn)))
+            })
+            .collect();
+        let results: Vec<_> = healthy.into_iter().map(|h| h.join().unwrap()).collect();
+        stop.store(true, Ordering::Relaxed);
+        assert!(attacker.join().unwrap() > 0, "attacker must have sprayed");
+        results
+    });
+
+    for (client, (responses, meter)) in results.iter().enumerate() {
+        assert_eq!(
+            responses, &baseline_responses,
+            "client {client}: answers diverged under garbage contention"
+        );
+        assert_eq!(
+            meter, &baseline_meter,
+            "client {client}: wire bytes diverged under garbage contention"
+        );
+    }
+    drop(handle);
+    assert_eq!(
+        server.join(),
+        ((HEALTHY + 1) * sequence.len()) as u64,
+        "garbage and handshakes must not count as served queries"
+    );
+}
+
+/// Event-loop reactor: same contract, plus the per-endpoint gauges. The
+/// healthy side here is the traffic harness running real local joins, so
+/// "byte-identical" extends to the join pairs themselves.
+#[test]
+fn garbled_frames_leave_event_loop_joins_pair_identical() {
+    let reactor = EventLoop::spawn("robust");
+    let endpoint_r = reactor.serve(service(31));
+    let endpoint_s = reactor.serve(service(131));
+    let space = default_space();
+    let cfg = TrafficConfig::new(48, 4, space);
+    let connect = |_| {
+        (
+            Link::new(Box::new(endpoint_r.connect()), PacketModel::default(), 1.0),
+            Link::new(Box::new(endpoint_s.connect()), PacketModel::default(), 1.0),
+        )
+    };
+
+    // Uncontended replay first…
+    let baseline = run_traffic(&cfg, connect);
+    assert!(baseline.total_pairs() > 0, "non-vacuous workload");
+    let malformed_before = endpoint_r.stats().malformed();
+
+    // …then the same traffic with an attacker spraying both endpoints.
+    let stop = AtomicBool::new(false);
+    let contended = std::thread::scope(|scope| {
+        let attacker = {
+            let (atk_r, atk_s) = (endpoint_r.connect(), endpoint_s.connect());
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    for g in garbage_frames() {
+                        assert_eq!(
+                            atk_r.exchange(g.clone()).as_slice(),
+                            codec::malformed_frame().as_slice()
+                        );
+                        assert_eq!(
+                            atk_s.exchange(g).as_slice(),
+                            codec::malformed_frame().as_slice()
+                        );
+                    }
+                }
+            })
+        };
+        let report = run_traffic(&cfg, connect);
+        stop.store(true, Ordering::Relaxed);
+        attacker.join().unwrap();
+        report
+    });
+
+    assert_eq!(
+        contended.determinism_digest(),
+        baseline.determinism_digest(),
+        "garbage into the shared reactor perturbed healthy devices"
+    );
+    assert!(
+        endpoint_r.stats().malformed() > malformed_before,
+        "the reactor must have seen (and gauged) the garbage"
+    );
+    assert!(reactor.shutdown() > 0);
+}
+
+/// Regression: dropping the server value while handles/connections are
+/// still alive used to deadlock the join-on-drop. Now the shutdown
+/// sentinel drains queued RPCs and the drop returns.
+#[test]
+fn dropping_carriers_with_live_clients_never_hangs() {
+    // Channel server: handle outlives the server value.
+    let (server, handle) = ChannelServer::spawn(service(37), "drop-order");
+    let link = Link::new(Box::new(handle.connect()), PacketModel::default(), 1.0);
+    assert!(matches!(
+        link.request(&Request::Count(default_space())),
+        Response::Count(_)
+    ));
+    drop(server); // must return, not deadlock on the live handle
+    assert_eq!(
+        link.request(&Request::Count(default_space())),
+        Response::Unavailable
+    );
+
+    // Event loop: connections outlive the loop value.
+    let reactor = EventLoop::spawn("drop-order");
+    let endpoint = reactor.serve(service(41));
+    let conn = endpoint.connect();
+    drop(reactor); // must return, not deadlock on the live connection
+    assert!(codec::is_unavailable(
+        &conn.exchange(Bytes::from_static(&[0x02]))
+    ));
+}
+
+/// A client outliving a dead server sees `Unavailable` — and the failed
+/// exchange charges no bytes in either direction (meters record
+/// completed exchanges only).
+#[test]
+fn dead_server_yields_unavailable_and_charges_no_bytes() {
+    let (server, handle) = ChannelServer::spawn(service(43), "mortal");
+    let link = Link::new(Box::new(handle.connect()), PacketModel::default(), 1.0);
+    let w = Rect::from_coords(1000.0, 1000.0, 4000.0, 4000.0);
+    assert!(matches!(
+        link.request(&Request::Window(w)),
+        Response::Objects(_)
+    ));
+    let before = link.meter().snapshot();
+    assert!(before.up_bytes > 0 && before.down_bytes > 0);
+
+    drop(handle);
+    drop(server);
+
+    for _ in 0..3 {
+        assert_eq!(
+            link.request(&Request::Window(w)),
+            Response::Unavailable,
+            "a dead server surfaces as a typed response, never a panic"
+        );
+    }
+    assert_eq!(
+        link.meter().snapshot(),
+        before,
+        "failed exchanges must not move the meter in either direction"
+    );
+}

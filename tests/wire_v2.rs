@@ -239,3 +239,61 @@ fn mixed_version_fleet_falls_back_per_link() {
         assert_eq!(got, want, "mixed-version WINDOW diverged");
     }
 }
+
+/// Concurrent negotiation: 64 devices race their `HELLO`/`ACCEPT`
+/// handshakes over one shared reactor (plus a crowd of v1 holdouts that
+/// never probe). Versions are per physical edge, and the reactor is the
+/// only writer of each connection's state — so every negotiating link
+/// must land on v2, every holdout must stay v1, and each connection's
+/// recorded state must agree with what its link speaks. Queries issued
+/// through the racing links afterwards must all decode to the same
+/// answers.
+#[test]
+fn concurrent_negotiation_settles_every_edge_consistently() {
+    use asj_net::{EventLoop, PacketModel};
+
+    let objs = clusters(4, 250, 17);
+    let oracle = ScanStore::new(objs.clone());
+    let reactor = EventLoop::spawn("nego-race");
+    let endpoint = reactor.serve(Arc::new(SpatialService::new(ScanStore::new(objs))));
+    let w = Rect::from_coords(1_500.0, 1_500.0, 6_000.0, 6_000.0);
+    let want = oracle.count(&w);
+
+    const RACERS: usize = 64;
+    const HOLDOUTS: usize = 16;
+    let outcomes: Vec<(WireVersion, WireVersion, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..RACERS + HOLDOUTS)
+            .map(|i| {
+                let conn = endpoint.connect();
+                scope.spawn(move || {
+                    let state = Arc::clone(conn.state());
+                    let mut link = Link::new(Box::new(conn), PacketModel::default(), 1.0);
+                    if i < RACERS {
+                        link = link.negotiate();
+                    }
+                    let count = link.request(&Request::Count(w)).into_count();
+                    (link.wire(), state.negotiated(), count)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (i, (spoken, recorded, count)) in outcomes.iter().enumerate() {
+        let expected = if i < RACERS {
+            WireVersion::V2
+        } else {
+            WireVersion::V1
+        };
+        assert_eq!(
+            *spoken, expected,
+            "link {i}: negotiation raced to the wrong version"
+        );
+        assert_eq!(
+            *recorded, *spoken,
+            "link {i}: reactor-owned connection state disagrees with the link"
+        );
+        assert_eq!(*count, want, "link {i}: answer diverged after the race");
+    }
+    reactor.shutdown();
+}
