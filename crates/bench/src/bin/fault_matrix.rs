@@ -1,0 +1,67 @@
+//! CLI: the drop-rate × retry-budget fault matrix.
+//!
+//! ```text
+//! fault-matrix [--seeds N] [--points N] [--out DIR]
+//! ```
+//!
+//! Prints the success/retry table to stdout, writes
+//! `<out>/fault-matrix.csv`, and fails (non-zero exit) if success within
+//! the retry budget is not monotone in the budget at every drop rate —
+//! the invariant CI pins.
+
+use asj_bench::fault::{check_fault_matrix, run_fault_matrix, FaultMatrixConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = FaultMatrixConfig::default();
+    let mut out_dir = String::from("results");
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                cfg.seeds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seeds needs a number"));
+            }
+            "--points" => {
+                cfg.n_points = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--points needs a number"));
+            }
+            "--out" => {
+                out_dir = it.next().unwrap_or_else(|| usage("--out needs a path"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    eprintln!(
+        "running fault matrix ({} seeds, {} points, {} drop rates × {} budgets)…",
+        cfg.seeds,
+        cfg.n_points,
+        cfg.drop_rates.len(),
+        cfg.budgets.len()
+    );
+    let start = std::time::Instant::now();
+    let matrix = run_fault_matrix(&cfg);
+    check_fault_matrix(&matrix, &cfg);
+    print!("{}", matrix.to_csv());
+    std::fs::create_dir_all(&out_dir).expect("cannot create output dir");
+    let csv_path = format!("{out_dir}/fault-matrix.csv");
+    std::fs::write(&csv_path, matrix.to_csv()).expect("cannot write CSV");
+    eprintln!(
+        "fault-matrix done in {:.1}s → {csv_path}",
+        start.elapsed().as_secs_f64()
+    );
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: fault-matrix [--seeds N] [--points N] [--out DIR]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

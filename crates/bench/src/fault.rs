@@ -1,0 +1,288 @@
+//! Fault matrix: drop rate × retry budget, measured on real deployments.
+//!
+//! Each cell connects to a deployment whose physical edges run a seeded
+//! [`FaultPlan`] at the row's drop rate, fires a fixed script of probe
+//! requests through links carrying the column's [`RetryPolicy`], and
+//! records what survived: probes answered within the budget, retries
+//! spent, probes abandoned, wire bytes. Because the fault layer's rolls
+//! are a pure function of `(plan seed, request bytes, attempt)` and its
+//! per-request fault prefixes are budget-stable, a probe that succeeds
+//! under budget `b` succeeds under every budget `> b` — so the success
+//! column must be *monotone in the retry budget at every drop rate*,
+//! and [`check_fault_matrix`] fails the run if it is not.
+//!
+//! The CSV also carries the [`CostModel`] prediction
+//! ([`CostModel::expected_attempts`]) next to the measured
+//! attempts-per-probe, so the pricing the planner uses can be eyeballed
+//! against the wire truth it abstracts.
+
+use asj_core::{CostModel, DeploymentBuilder};
+use asj_geom::{Point, Rect};
+use asj_net::{FaultPlan, NetConfig, Request, Response, RetryPolicy};
+use asj_workloads::{default_space, gaussian_clusters, SyntheticSpec};
+
+/// Axes and sizing of one fault-matrix run.
+#[derive(Debug, Clone)]
+pub struct FaultMatrixConfig {
+    /// Dataset seeds summed into each cell.
+    pub seeds: u64,
+    /// Points per synthetic dataset side.
+    pub n_points: usize,
+    /// Row axis: the drop probability injected on every physical edge.
+    pub drop_rates: Vec<f64>,
+    /// Column axis: total delivery attempts per exchange (1 = retries off).
+    pub budgets: Vec<u32>,
+}
+
+impl Default for FaultMatrixConfig {
+    fn default() -> Self {
+        FaultMatrixConfig {
+            seeds: 2,
+            n_points: 150,
+            drop_rates: vec![0.0, 0.15, 0.30, 0.45],
+            budgets: vec![1, 2, 4, 8],
+        }
+    }
+}
+
+/// One `(drop rate, budget)` cell, summed over the config's seeds.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultCell {
+    pub drop_rate: f64,
+    pub max_attempts: u32,
+    /// Probe requests fired.
+    pub probes: u64,
+    /// Probes answered within the retry budget.
+    pub succeeded: u64,
+    /// Extra delivery attempts spent (link meters' `retried`).
+    pub retried: u64,
+    /// Probes that came back [`Response::Unavailable`] — the budget (or,
+    /// at budget 1, the single attempt) did not survive the loss.
+    pub abandoned: u64,
+    /// What the link meters' `abandoned` gauge recorded; 0 at budget 1,
+    /// where the retry loop never engages.
+    pub metered_abandoned: u64,
+    /// Wire bytes metered across both links.
+    pub bytes: u64,
+}
+
+impl FaultCell {
+    pub fn success_rate(&self) -> f64 {
+        self.succeeded as f64 / self.probes as f64
+    }
+
+    /// Measured mean deliveries per probe (first attempts plus retries).
+    pub fn attempts_per_probe(&self) -> f64 {
+        (self.probes + self.retried) as f64 / self.probes as f64
+    }
+}
+
+/// The full matrix, row-major over `drop_rates` × `budgets`.
+#[derive(Debug, Clone)]
+pub struct FaultMatrix {
+    pub cells: Vec<FaultCell>,
+}
+
+/// The probe script: one COUNT and one WINDOW per cell of a 4×4 grid
+/// over the space, so request byte strings (and therefore the fault
+/// layer's deterministic rolls) vary across probes.
+fn probe_script(space: Rect) -> Vec<Request> {
+    let (w, h) = (space.width() / 4.0, space.height() / 4.0);
+    let mut probes = Vec::new();
+    for i in 0..4 {
+        for j in 0..4 {
+            let cell = Rect::new(
+                Point::new(space.min.x + i as f64 * w, space.min.y + j as f64 * h),
+                Point::new(
+                    space.min.x + (i + 1) as f64 * w,
+                    space.min.y + (j + 1) as f64 * h,
+                ),
+            );
+            probes.push(Request::Count(cell));
+            probes.push(Request::Window(cell));
+        }
+    }
+    probes
+}
+
+/// Runs the matrix: every cell builds fresh fault-wrapped deployments
+/// (one per seed) and fires the probe script over both links.
+pub fn run_fault_matrix(cfg: &FaultMatrixConfig) -> FaultMatrix {
+    let space = default_space();
+    let probes = probe_script(space);
+    let mut cells = Vec::new();
+    for &drop_rate in &cfg.drop_rates {
+        for &budget in &cfg.budgets {
+            let mut cell = FaultCell {
+                drop_rate,
+                max_attempts: budget,
+                probes: 0,
+                succeeded: 0,
+                retried: 0,
+                abandoned: 0,
+                metered_abandoned: 0,
+                bytes: 0,
+            };
+            for seed in 0..cfg.seeds {
+                let data_seed = 7 + seed * 97;
+                let r = gaussian_clusters(&SyntheticSpec::new(space, cfg.n_points, 4), data_seed);
+                let s = gaussian_clusters(
+                    &SyntheticSpec::new(space, cfg.n_points, 8),
+                    data_seed + 1000,
+                );
+                let dep = DeploymentBuilder::new(r, s)
+                    .with_buffer(cfg.n_points * 2)
+                    .with_space(space)
+                    .with_net(NetConfig::default().with_retry(RetryPolicy::attempts(budget)))
+                    .with_faults(FaultPlan::seeded(seed).with_drops(drop_rate))
+                    .build();
+                let (link_r, link_s) = dep.connect();
+                for (i, req) in probes.iter().enumerate() {
+                    let link = if i % 2 == 0 { &link_r } else { &link_s };
+                    cell.probes += 1;
+                    if link.request(req) == Response::Unavailable {
+                        cell.abandoned += 1;
+                    } else {
+                        cell.succeeded += 1;
+                    }
+                }
+                for link in [&link_r, &link_s] {
+                    let snap = link.meter().snapshot();
+                    cell.retried += snap.retried;
+                    cell.metered_abandoned += snap.abandoned;
+                    cell.bytes += snap.total_bytes();
+                }
+            }
+            cells.push(cell);
+        }
+    }
+    FaultMatrix { cells }
+}
+
+impl FaultMatrix {
+    /// CSV with the measured columns plus the cost model's predicted
+    /// expected-attempts factor for the cell's `(drop, budget)` pair.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "drop_rate,max_attempts,probes,succeeded,success_rate,\
+             retried,abandoned,bytes,attempts_per_probe,model_expected_attempts\n",
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:.2},{},{},{},{:.4},{},{},{},{:.3},{:.3}\n",
+                c.drop_rate,
+                c.max_attempts,
+                c.probes,
+                c.succeeded,
+                c.success_rate(),
+                c.retried,
+                c.abandoned,
+                c.bytes,
+                c.attempts_per_probe(),
+                CostModel::expected_attempts(c.drop_rate, c.max_attempts),
+            ));
+        }
+        out
+    }
+
+    /// Cells of one drop-rate row, in budget order.
+    fn row(&self, drop_rate: f64) -> Vec<&FaultCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.drop_rate == drop_rate)
+            .collect()
+    }
+}
+
+/// The invariants every run (CI included) is held to:
+///
+/// * at every fixed drop rate, success within the retry budget is
+///   **monotone in the budget** (budget-stable fault prefixes make this
+///   exact, not statistical);
+/// * the zero-drop row is perfect — every probe answered, zero retries,
+///   zero abandons — at every budget;
+/// * abandons account exactly for the missing successes;
+/// * faults really fired: some lossy cell retried, and the largest
+///   budget recovers strictly more than budget 1 on the lossiest row.
+pub fn check_fault_matrix(m: &FaultMatrix, cfg: &FaultMatrixConfig) {
+    for &drop_rate in &cfg.drop_rates {
+        let row = m.row(drop_rate);
+        assert_eq!(row.len(), cfg.budgets.len(), "missing cells at {drop_rate}");
+        for pair in row.windows(2) {
+            assert!(
+                pair[1].succeeded >= pair[0].succeeded,
+                "drop {drop_rate}: success must be monotone in the retry budget \
+                 ({} attempts → {} ok, {} attempts → {} ok)",
+                pair[0].max_attempts,
+                pair[0].succeeded,
+                pair[1].max_attempts,
+                pair[1].succeeded
+            );
+        }
+        for c in &row {
+            assert_eq!(
+                c.succeeded + c.abandoned,
+                c.probes,
+                "drop {drop_rate} budget {}: every probe either succeeds or abandons",
+                c.max_attempts
+            );
+            if c.max_attempts > 1 {
+                assert_eq!(
+                    c.metered_abandoned, c.abandoned,
+                    "drop {drop_rate} budget {}: the link meters' abandoned gauge \
+                     must agree with the observed unavailable replies",
+                    c.max_attempts
+                );
+            }
+            if drop_rate == 0.0 {
+                assert_eq!((c.succeeded, c.retried), (c.probes, 0), "clean row");
+            }
+        }
+    }
+    assert!(
+        m.cells.iter().any(|c| c.retried > 0),
+        "no cell ever retried — the fault layer did not fire"
+    );
+    let lossiest = *cfg
+        .drop_rates
+        .last()
+        .expect("at least one drop rate is required");
+    if lossiest > 0.0 && cfg.budgets.len() > 1 {
+        let row = m.row(lossiest);
+        assert!(
+            row.last().unwrap().succeeded > row[0].succeeded,
+            "drop {lossiest}: the retry budget must recover probes budget 1 loses"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_matrix_is_monotone_and_deterministic() {
+        let cfg = FaultMatrixConfig {
+            seeds: 1,
+            n_points: 60,
+            drop_rates: vec![0.0, 0.4],
+            budgets: vec![1, 4],
+        };
+        let a = run_fault_matrix(&cfg);
+        check_fault_matrix(&a, &cfg);
+        let csv = a.to_csv();
+        assert!(csv.contains("model_expected_attempts"));
+        assert_eq!(csv.lines().count(), 1 + 4);
+        // Same seeds, same plan → bit-identical rerun.
+        let b = run_fault_matrix(&cfg);
+        assert_eq!(a.to_csv(), b.to_csv());
+        // The lossy budget-1 cell really lost probes (otherwise the
+        // monotonicity check is vacuous at this size).
+        let lossy1 = a
+            .cells
+            .iter()
+            .find(|c| c.drop_rate == 0.4 && c.max_attempts == 1)
+            .unwrap();
+        assert!(lossy1.abandoned > 0, "drop 0.4 must defeat budget 1");
+    }
+}

@@ -62,6 +62,14 @@ pub struct CostModel {
     /// frames keep pricing [`OBJ_BYTES`]: v2 compacts only the object
     /// response stream, not request payloads or bucket framing.
     pub object_bytes: f64,
+    /// Price multiplier for expected retransmissions on a lossy fleet,
+    /// ≥ 1: every packetized transfer ([`CostModel::tb`]) is priced at
+    /// its *expected delivered* cost, i.e. scaled by the expected attempt
+    /// count of the link's retry loop (see
+    /// [`CostModel::expected_attempts`]). `1.0` — a bit-exact no-op —
+    /// on reliable links, which keeps fault-free decisions byte-for-byte
+    /// identical to the undecorated model.
+    pub retry_factor: f64,
 }
 
 impl CostModel {
@@ -81,7 +89,40 @@ impl CostModel {
             } else {
                 OBJ_BYTES as f64
             },
+            retry_factor: 1.0,
         }
+    }
+
+    /// Prices retransmissions: every round trip costs `factor` times its
+    /// wire bytes, where `factor` is the expected attempt count of the
+    /// deployment's retry loop — derive it with
+    /// [`CostModel::expected_attempts`] from the fault plan's drop rate
+    /// and [`asj_net::RetryPolicy`] budget. Must be ≥ 1 and finite;
+    /// `with_retry_factor(1.0)` is a bit-exact no-op.
+    pub fn with_retry_factor(mut self, factor: f64) -> Self {
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "retry factor is an expected attempt count, at least 1"
+        );
+        self.retry_factor = factor;
+        self
+    }
+
+    /// Expected attempts issued per request under iid loss `drop_rate`
+    /// with a budget of `max_attempts`: attempt `k + 1` is issued iff the
+    /// first `k` all failed, so `E = Σ pᵏ = (1 − pⁿ)/(1 − p)` — exactly
+    /// `1.0` on a reliable link or a single-attempt budget, approaching
+    /// `1/(1 − p)` as the budget grows.
+    pub fn expected_attempts(drop_rate: f64, max_attempts: u32) -> f64 {
+        assert!(
+            (0.0..1.0).contains(&drop_rate),
+            "drop rate must be in [0, 1)"
+        );
+        assert!(max_attempts >= 1, "the first attempt is always issued");
+        if drop_rate == 0.0 {
+            return 1.0;
+        }
+        (1.0 - drop_rate.powi(max_attempts as i32)) / (1.0 - drop_rate)
     }
 
     /// Sets the per-side shard fan-out factors (≥ 1).
@@ -117,7 +158,7 @@ impl CostModel {
     pub fn tb(&self, payload: f64) -> f64 {
         let cap = self.packet.payload_per_packet() as f64;
         let packets = (payload / cap).ceil().max(1.0);
-        payload + packets * self.packet.header_bytes as f64
+        self.retry_factor * (payload + packets * self.packet.header_bytes as f64)
     }
 
     /// One aggregate (COUNT) round trip on one link, unweighted —
@@ -573,6 +614,52 @@ mod tests {
     #[should_panic(expected = "price multipliers")]
     fn zero_discount_rejected() {
         model(800).with_cache_discount(0.0, 1.0);
+    }
+
+    #[test]
+    fn unit_retry_factor_is_bit_exact_noop() {
+        let a = model(800);
+        let b = model(800).with_retry_factor(1.0);
+        for bytes in [0.0, 1.0, 100.0, 1460.5, 20_000.0] {
+            assert_eq!(a.tb(bytes), b.tb(bytes));
+        }
+        assert_eq!(a.taq(), b.taq());
+        assert_eq!(a.c1(100.0, 100.0), b.c1(100.0, 100.0));
+        assert_eq!(
+            a.nlsj(&w(), 50.0, 100.0, 1.0, 1.0, 1.0, 1.0, 20.0, true),
+            b.nlsj(&w(), 50.0, 100.0, 1.0, 1.0, 1.0, 1.0, 20.0, true)
+        );
+    }
+
+    #[test]
+    fn retry_factor_prices_expected_attempts() {
+        // E = (1 − pⁿ)/(1 − p): half the requests retry once at p = 0.5
+        // with a budget of 2.
+        assert_eq!(CostModel::expected_attempts(0.5, 2), 1.5);
+        assert_eq!(CostModel::expected_attempts(0.0, 5), 1.0);
+        assert_eq!(CostModel::expected_attempts(0.5, 1), 1.0);
+        // Monotone in the budget, approaching 1/(1 − p) from below.
+        let mut last = 0.0;
+        for n in 1..20 {
+            let e = CostModel::expected_attempts(0.5, n);
+            assert!(e > last && e < 2.0);
+            last = e;
+        }
+        // The factor scales every round trip linearly.
+        let flat = model(800);
+        let lossy = model(800).with_retry_factor(1.5);
+        assert_eq!(lossy.taq(), 1.5 * flat.taq());
+        assert_eq!(lossy.split_stats_cost(), 1.5 * flat.split_stats_cost());
+        assert_eq!(
+            lossy.window_download(100.0),
+            1.5 * flat.window_download(100.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn sub_unit_retry_factor_rejected() {
+        model(800).with_retry_factor(0.9);
     }
 
     #[test]

@@ -13,8 +13,8 @@ use std::sync::Arc;
 
 use asj_geom::{Rect, SpatialObject};
 use asj_net::{
-    CacheLayer, ChannelServer, ClientCache, Link, NetConfig, QueryHandler, RawExchange, Request,
-    Response, ShardEndpoint, ShardMeta, ShardRouter, Update,
+    CacheLayer, ChannelServer, ClientCache, FaultLayer, FaultPlan, Link, NetConfig, QueryHandler,
+    RawExchange, Request, Response, ShardEndpoint, ShardMeta, ShardRouter, Update,
 };
 use asj_server::{partition_objects, RTreeStore, ServicePolicy, SpatialService, VersionedStore};
 
@@ -87,9 +87,28 @@ impl Endpoint {
 
 /// One logical side of the join: a single server, or a fleet of shard
 /// servers reached through a scatter-gather [`ShardRouter`].
+///
+/// Endpoints are reference-counted so a [`FaultLayer`] restart hook can
+/// reconnect to the *same* server after a scripted crash: the store (and
+/// its published generation) survives; only the connection is lost.
 enum Carrier {
-    Single(Endpoint),
-    Fleet(Vec<(Arc<ShardMeta>, Endpoint)>),
+    Single(Arc<Endpoint>),
+    Fleet(Vec<(Arc<ShardMeta>, Arc<Endpoint>)>),
+}
+
+/// Wraps an endpoint's raw exchange in a [`FaultLayer`] when a plan is
+/// configured. The restart hook reconnects to the same endpoint, so a
+/// crash-then-restart resumes serving the `VersionedStore` at its last
+/// published generation — exactly the recovery contract the chaos suite
+/// checks.
+fn physical_edge(e: &Arc<Endpoint>, fault: Option<&FaultPlan>) -> Box<dyn RawExchange> {
+    match fault {
+        None => e.raw(),
+        Some(plan) => {
+            let ep = Arc::clone(e);
+            Box::new(FaultLayer::new(e.raw(), *plan).with_restart(Box::new(move || ep.raw())))
+        }
+    }
 }
 
 impl Carrier {
@@ -106,18 +125,27 @@ impl Carrier {
     /// the server behind it, a shard router per shard. With the flag
     /// off (the default) no handshake frame is ever sent and every link
     /// speaks v1 byte-identically.
-    fn link(&self, net: &NetConfig, tariff: f64, cache: Option<&Arc<ClientCache>>) -> Link {
+    fn link(
+        &self,
+        net: &NetConfig,
+        tariff: f64,
+        cache: Option<&Arc<ClientCache>>,
+        fault: Option<&FaultPlan>,
+    ) -> Link {
         match self {
             Carrier::Single(e) => match cache {
                 Some(c) => {
-                    let mut layer = CacheLayer::new(e.raw(), net.packet, Arc::clone(c));
+                    let mut layer =
+                        CacheLayer::new(physical_edge(e, fault), net.packet, Arc::clone(c))
+                            .with_retry(net.retry);
                     if net.wire_v2 {
                         layer.negotiate_v2();
                     }
                     Link::cached(layer, tariff)
                 }
                 None => {
-                    let link = Link::new(e.raw(), net.packet, tariff);
+                    let link = Link::new(physical_edge(e, fault), net.packet, tariff)
+                        .with_retry(net.retry);
                     if net.wire_v2 {
                         link.negotiate()
                     } else {
@@ -128,9 +156,14 @@ impl Carrier {
             Carrier::Fleet(members) => {
                 let shards = members
                     .iter()
-                    .map(|(meta, e)| ShardEndpoint::with_meta(Arc::clone(meta), e.raw()))
+                    .map(|(meta, e)| {
+                        ShardEndpoint::with_meta(Arc::clone(meta), physical_edge(e, fault))
+                    })
                     .collect();
-                let mut router = ShardRouter::new(shards, net.packet);
+                // Retries live on the router (the layer that owns the
+                // physical edges): a cache stacked over a fleet must not
+                // re-deliver, or every scatter would double-count.
+                let mut router = ShardRouter::new(shards, net.packet).with_retry(net.retry);
                 if net.wire_v2 {
                     router.negotiate_v2();
                 }
@@ -173,6 +206,21 @@ impl asj_net::RawExchange for InProcDyn {
         if let Some(accept) = asj_net::codec::try_answer_hello(&request) {
             return accept;
         }
+        // Retried update batches arrive wrapped in a dedup envelope; peel
+        // it and route through the tagged at-most-once path so a
+        // duplicated delivery can never double-bump a generation. The
+        // same contract every server-side transport adapter honours.
+        if let Some((tag, body)) = asj_net::codec::peel_dedup(&request) {
+            let mut buf = bytes::BytesMut::new();
+            match asj_net::codec::decode_request_versioned(body) {
+                Ok((Request::ApplyUpdates(updates), wire)) => {
+                    let resp = self.0.handle_tagged_updates(tag, updates);
+                    asj_net::codec::encode_response_versioned(&resp, wire, None, &mut buf);
+                    return buf.freeze();
+                }
+                _ => return asj_net::codec::malformed_frame(),
+            }
+        }
         let (req, wire) = match asj_net::codec::decode_request_versioned(request) {
             Ok(pair) => pair,
             // Same contract as every transport adapter: a garbled frame
@@ -211,6 +259,12 @@ pub struct Deployment {
     /// never share a store (they front different datasets).
     cache_r: Option<Arc<ClientCache>>,
     cache_s: Option<Arc<ClientCache>>,
+    /// Scripted fault plan wrapped around every physical edge (both
+    /// sides, every shard) when set via [`DeploymentBuilder::with_faults`].
+    /// Each link opened by [`Deployment::connect`] gets its own
+    /// [`FaultLayer`] seeded from this plan, so fault sequences are
+    /// deterministic per link and replayable by seed.
+    fault: Option<FaultPlan>,
     /// The shared reactor thread when the deployment was built with
     /// [`DeploymentBuilder::event_loop`]: every endpoint of both sides is
     /// served by this one thread, and it must outlive every link handed
@@ -241,10 +295,18 @@ impl Deployment {
     /// link, so reports never bleed into each other.
     pub fn connect(&self) -> (Link, Link) {
         (
-            self.r
-                .link(&self.net, self.net.tariff_r, self.cache_r.as_ref()),
-            self.s
-                .link(&self.net, self.net.tariff_s, self.cache_s.as_ref()),
+            self.r.link(
+                &self.net,
+                self.net.tariff_r,
+                self.cache_r.as_ref(),
+                self.fault.as_ref(),
+            ),
+            self.s.link(
+                &self.net,
+                self.net.tariff_s,
+                self.cache_s.as_ref(),
+                self.fault.as_ref(),
+            ),
         )
     }
 
@@ -311,16 +373,25 @@ impl Deployment {
     /// Panics when the deployment is frozen (built without
     /// [`DeploymentBuilder::live`]) — frozen stores refuse updates.
     pub fn apply_updates(&self, side: Side, batch: Vec<Update>) -> u64 {
-        let (carrier, tariff, cache) = match side {
-            Side::R => (&self.r, self.net.tariff_r, self.cache_r.as_ref()),
-            Side::S => (&self.s, self.net.tariff_s, self.cache_s.as_ref()),
-        };
-        let link = carrier.link(&self.net, tariff, cache);
-        match link.request(&Request::ApplyUpdates(batch)) {
+        match self.try_apply_updates(side, batch) {
             Response::Ack { generation } => generation,
             Response::Refused => panic!("apply_updates on a frozen deployment"),
             other => panic!("unexpected update acknowledgement: {other:?}"),
         }
+    }
+
+    /// Like [`Deployment::apply_updates`] but surfaces the typed response
+    /// instead of panicking — on a faulted deployment an update tick can
+    /// legitimately exhaust its retry budget and come back
+    /// [`Response::Unavailable`]. The chaos suites' writer threads use
+    /// this to keep streaming through injected outages.
+    pub fn try_apply_updates(&self, side: Side, batch: Vec<Update>) -> Response {
+        let (carrier, tariff, cache) = match side {
+            Side::R => (&self.r, self.net.tariff_r, self.cache_r.as_ref()),
+            Side::S => (&self.s, self.net.tariff_s, self.cache_s.as_ref()),
+        };
+        let link = carrier.link(&self.net, tariff, cache, self.fault.as_ref());
+        link.request(&Request::ApplyUpdates(batch))
     }
 
     /// Shard servers behind each side: `(R, S)`. `(1, 1)` for flat
@@ -360,6 +431,7 @@ pub struct DeploymentBuilder {
     live: bool,
     rtree_fanout: usize,
     shards: Option<(usize, usize)>,
+    fault: Option<FaultPlan>,
 }
 
 impl DeploymentBuilder {
@@ -375,6 +447,7 @@ impl DeploymentBuilder {
             live: false,
             rtree_fanout: asj_rtree::DEFAULT_MAX_ENTRIES,
             shards: None,
+            fault: None,
         }
     }
 
@@ -461,6 +534,18 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Wraps every physical edge of the deployment (both sides, every
+    /// shard) in a deterministic [`FaultLayer`] scripted by `plan` —
+    /// drops, delays, garbled replies, crash-then-restart. Pair with
+    /// [`NetConfig::with_retry`] to give links a recovery budget; the
+    /// chaos suites prove the faulted deployment still answers exactly
+    /// like a clean one whenever the budget suffices. A
+    /// [`FaultPlan::is_noop`] plan leaves traffic byte-identical.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Shards each side across a fleet of `n_r` / `n_s` spatially
     /// partitioned servers behind a client-side scatter-gather router
     /// (see `asj_server::partition` and `asj_net::router`). `n = 1` is a
@@ -501,18 +586,18 @@ impl DeploymentBuilder {
         // servers wrap the same store in a `VersionedStore` whose rebuild
         // closure re-packs the R-tree at the same fanout, so generation 0
         // answers identically either way.
-        let spawn = |objects: Vec<SpatialObject>, name: &str| -> Endpoint {
+        let spawn = |objects: Vec<SpatialObject>, name: &str| -> Arc<Endpoint> {
             if self.live {
                 let store =
                     VersionedStore::new(objects, move |objs| RTreeStore::with_fanout(objs, fanout));
-                Endpoint::spawn(
+                Arc::new(Endpoint::spawn(
                     Arc::new(SpatialService::new(store).with_policy(policy)),
                     self.carrier,
                     reactor.as_ref(),
                     name,
-                )
+                ))
             } else {
-                Endpoint::spawn(
+                Arc::new(Endpoint::spawn(
                     Arc::new(
                         SpatialService::new(RTreeStore::with_fanout(objects, fanout))
                             .with_policy(policy),
@@ -520,7 +605,7 @@ impl DeploymentBuilder {
                     self.carrier,
                     reactor.as_ref(),
                     name,
-                )
+                ))
             }
         };
         let make = |objects: Vec<SpatialObject>, shards: Option<usize>, name: &str| -> Carrier {
@@ -564,6 +649,7 @@ impl DeploymentBuilder {
             live: self.live,
             cache_r: cache(self.net.client_cache),
             cache_s: cache(self.net.client_cache),
+            fault: self.fault,
             net: self.net,
             reactor,
         }
@@ -911,6 +997,116 @@ mod tests {
         let (r3, _) = d.connect();
         assert_eq!(r3.request(&Request::Count(w)).into_count(), 19);
         assert_eq!(r3.cache().unwrap().snapshot().stats_hits, 1);
+    }
+
+    #[test]
+    fn faulted_deployment_with_retries_matches_clean_answers() {
+        let clean = Deployment::in_process(pts(40, 0.0), pts(40, 5.0), NetConfig::default());
+        let lossy = DeploymentBuilder::new(pts(40, 0.0), pts(40, 5.0))
+            .with_net(NetConfig::default().with_retry(asj_net::RetryPolicy::attempts(6)))
+            .with_faults(FaultPlan::seeded(7).with_drops(0.3).with_garbles(0.2))
+            .build();
+        let w = Rect::from_coords(0.0, 0.0, 25.0, 25.0);
+        let (cr, cs) = clean.connect();
+        let (lr, ls) = lossy.connect();
+        assert_eq!(
+            cr.request(&Request::Count(w)),
+            lr.request(&Request::Count(w))
+        );
+        assert_eq!(
+            cs.request(&Request::Window(w)),
+            ls.request(&Request::Window(w))
+        );
+        // Recovery shows up in the meters, never in the answers.
+        let recovered = lr.meter().snapshot().retried + ls.meter().snapshot().retried;
+        assert!(recovered > 0, "plan must actually fire at these rates");
+        assert_eq!(lr.meter().snapshot().abandoned, 0);
+    }
+
+    #[test]
+    fn faulted_fleet_matches_clean_fleet_answers() {
+        let build = |faulted: bool| {
+            let mut b = DeploymentBuilder::new(pts(40, 0.0), pts(40, 2.0)).with_shards(4, 2);
+            if faulted {
+                b = b
+                    .with_net(NetConfig::default().with_retry(asj_net::RetryPolicy::attempts(6)))
+                    .with_faults(FaultPlan::seeded(13).with_drops(0.3));
+            }
+            b.build()
+        };
+        let clean = build(false);
+        let lossy = build(true);
+        let w = Rect::from_coords(0.0, 0.0, 30.0, 30.0);
+        let (cr, _) = clean.connect();
+        let (lr, _) = lossy.connect();
+        assert_eq!(
+            cr.request(&Request::Count(w)),
+            lr.request(&Request::Count(w))
+        );
+        let t = lr.fleet().expect("fleet telemetry").snapshot();
+        assert!(t.failed_shards.is_empty(), "budget must suffice at seed 13");
+        // Conservation law survives injection: per-shard sums match the
+        // aggregate meter, retries included.
+        assert_eq!(t.summed(), lr.meter().snapshot());
+    }
+
+    #[test]
+    fn noop_fault_plan_with_retry_off_is_byte_identical() {
+        let clean = Deployment::in_process(pts(30, 0.0), pts(30, 3.0), NetConfig::default());
+        let wrapped = DeploymentBuilder::new(pts(30, 0.0), pts(30, 3.0))
+            .with_faults(FaultPlan::seeded(99))
+            .build();
+        let w = Rect::from_coords(0.0, 0.0, 20.0, 20.0);
+        let (cr, _) = clean.connect();
+        let (wr, _) = wrapped.connect();
+        assert_eq!(
+            cr.request(&Request::Count(w)),
+            wr.request(&Request::Count(w))
+        );
+        assert_eq!(cr.meter().snapshot(), wr.meter().snapshot());
+    }
+
+    #[test]
+    fn crash_restart_resumes_at_the_published_generation() {
+        let d = DeploymentBuilder::new(pts(20, 0.0), pts(20, 0.0))
+            .live()
+            .with_net(NetConfig::default().with_retry(asj_net::RetryPolicy::attempts(4)))
+            .with_faults(FaultPlan::seeded(5).with_crash(1, 2))
+            .build();
+        // The update link's crash window never opens (one exchange).
+        assert_eq!(
+            d.apply_updates(
+                Side::R,
+                vec![Update::Insert(SpatialObject::point(99, 150.0, 150.0))],
+            ),
+            1
+        );
+        let w = Rect::from_coords(-10.0, -10.0, 200.0, 200.0);
+        let (r, _) = d.connect();
+        // Exchange 0 is clean; exchanges 1–2 hit the scripted dark window
+        // and the retries ride the restart hook back to the same store —
+        // every answer resumes at the published generation, never before.
+        for _ in 0..4 {
+            assert_eq!(r.request(&Request::Count(w)).into_count(), 21);
+            assert_eq!(r.last_generation(), 1, "generation must never regress");
+        }
+        assert!(r.meter().snapshot().retried > 0, "the window must fire");
+    }
+
+    #[test]
+    fn exhausted_faulted_deployment_surfaces_typed_unavailable() {
+        // Certain loss with no retry budget: the typed outcome (not a
+        // panic) reaches the caller, and try_apply_updates carries it too.
+        let d = DeploymentBuilder::new(pts(10, 0.0), pts(10, 0.0))
+            .live()
+            .with_faults(FaultPlan::seeded(1).with_drops(1.0))
+            .build();
+        let (r, _) = d.connect();
+        assert_eq!(r.request(&Request::Count(d.space())), Response::Unavailable);
+        assert_eq!(
+            d.try_apply_updates(Side::R, vec![Update::Delete(0)]),
+            Response::Unavailable
+        );
     }
 
     #[test]

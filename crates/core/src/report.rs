@@ -193,6 +193,7 @@ mod tests {
             generations: vec![0; 3],
             scattered: 6,
             pruned: 2,
+            failed_shards: vec![],
         };
         let rep = JoinReport {
             algorithm: "test",

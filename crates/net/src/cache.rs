@@ -80,7 +80,7 @@ use crate::codec::{
     stamp_generation, QuantCtx, WireVersion, OBJECTS_HEADER_BYTES, OBJ_BYTES,
 };
 use crate::meter::{CacheSnapshot, CacheTelemetry, LinkMeter};
-use crate::packet::PacketModel;
+use crate::packet::{PacketModel, RetryPolicy};
 use crate::proto::{Request, Response};
 use crate::transport::RawExchange;
 
@@ -446,6 +446,14 @@ pub struct CacheLayer {
     /// window downloaded over v2 answers later v1-framed lookups and
     /// vice versa.
     wire: WireVersion,
+    /// Retry policy for this layer's *own* physical edge. Off by
+    /// default; meaningful only when the inner carrier is a direct
+    /// server link — a premetered inner [`ShardRouter`] runs its own
+    /// per-shard recovery, and retrying above it would double-deliver.
+    retry: RetryPolicy,
+    /// At-most-once identity of this layer's retried update batches.
+    dedup_nonce: u64,
+    dedup_seq: AtomicU64,
 }
 
 impl CacheLayer {
@@ -461,6 +469,9 @@ impl CacheLayer {
             cache,
             telemetry: Arc::new(CacheTelemetry::new()),
             wire: WireVersion::V1,
+            retry: RetryPolicy::default(),
+            dedup_nonce: crate::transport::next_link_nonce(),
+            dedup_seq: AtomicU64::new(0),
         }
     }
 
@@ -478,7 +489,22 @@ impl CacheLayer {
             cache,
             telemetry: Arc::new(CacheTelemetry::new()),
             wire: WireVersion::V1,
+            retry: RetryPolicy::default(),
+            dedup_nonce: crate::transport::next_link_nonce(),
+            dedup_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Enables retry/backoff on this layer's own physical edge. Leave
+    /// off (the default) when the inner carrier is a premetered fleet
+    /// router — the router recovers its own scatter slots.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        debug_assert!(
+            !(retry.enabled() && self.inner_premetered),
+            "retry above a fleet router double-delivers; configure the router instead"
+        );
+        self.retry = retry;
+        self
     }
 
     /// Negotiates wire protocol v2 with the server behind this layer's
@@ -548,30 +574,68 @@ impl CacheLayer {
         // comes back v2 and is handed upstream as-is (the fronting link
         // decodes either version), so the meter below prices exactly the
         // frames that crossed the physical edge.
-        let raw = if self.wire == WireVersion::V2 {
+        let mut encoded = if self.wire == WireVersion::V2 {
             encode_request_versioned(req, WireVersion::V2)
         } else {
             raw
         };
-        let up_len = raw.len() as u64;
-        let reply = self.inner.exchange(raw);
-        if crate::codec::is_unavailable(&reply) {
-            // Dead server: meter neither direction — only completed
-            // exchanges count.
-            return (reply, Some(Response::Unavailable), 0);
+        if self.retry.enabled() && matches!(req, Request::ApplyUpdates(_)) {
+            // Same tag on every retry: duplicated delivery replays the
+            // server's recorded Ack instead of re-applying.
+            encoded = crate::codec::wrap_dedup(
+                crate::codec::DedupTag {
+                    nonce: self.dedup_nonce,
+                    seq: self.dedup_seq.fetch_add(1, Ordering::Relaxed),
+                },
+                &encoded,
+            );
         }
-        self.meter.record_request(req, up_len, &self.packet);
+        let up_len = encoded.len() as u64;
         let ctx = QuantCtx::for_request(req);
-        let (resp, generation) = decode_response_gen_ctx(reply.clone(), ctx.as_ref())
-            .unwrap_or((Response::Malformed, 0));
-        self.cache.note_generation(generation);
-        self.meter.record_response(
-            reply.len() as u64,
-            resp.object_count(),
-            &self.packet,
-            req.is_aggregate(),
+        let attempts = if self.retry.enabled() {
+            self.retry.max_attempts
+        } else {
+            1
+        };
+        let mut outcome = (
+            crate::codec::unavailable_frame(),
+            Some(Response::Unavailable),
+            0,
         );
-        (reply, Some(resp), generation)
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.meter.record_retry();
+                self.retry.sleep(attempt);
+            }
+            let reply = self.inner.exchange(encoded.clone());
+            if crate::codec::is_unavailable(&reply) {
+                // Dead server: meter neither direction — only completed
+                // exchanges count.
+                outcome = (reply, Some(Response::Unavailable), 0);
+                continue;
+            }
+            self.meter.record_request(req, up_len, &self.packet);
+            let (resp, generation) = decode_response_gen_ctx(reply.clone(), ctx.as_ref())
+                .unwrap_or((Response::Malformed, 0));
+            self.meter.record_response(
+                reply.len() as u64,
+                resp.object_count(),
+                &self.packet,
+                req.is_aggregate(),
+            );
+            if resp == Response::Malformed {
+                // A garbled reply crossed the wire (metered above) but
+                // must never key a cache entry or note a generation.
+                outcome = (reply, Some(Response::Malformed), 0);
+                continue;
+            }
+            self.cache.note_generation(generation);
+            return (reply, Some(resp), generation);
+        }
+        if self.retry.enabled() {
+            self.meter.record_abandon();
+        }
+        outcome
     }
 
     /// The decoded reply: reuses what metering decoded, or decodes now.
@@ -703,10 +767,11 @@ impl CacheLayer {
         let fresh = match Self::decoded(&sub_reply, resp) {
             Response::Counts(cs) if cs.len() == miss_idx.len() => cs,
             Response::Refused => return encode_response(&Response::Refused),
-            other => panic!(
-                "protocol mismatch: MultiCount({}) answered with {other:?}",
-                miss_idx.len()
-            ),
+            // A failed sub-exchange surfaces typed — the locally answered
+            // entries are discarded rather than spliced against an error,
+            // and nothing from this reply is admitted to the cache.
+            Response::Unavailable => return crate::codec::unavailable_frame(),
+            _ => return crate::codec::malformed_frame(),
         };
         let mut counts: Vec<u64> = answers.into_iter().map(|c| c.unwrap_or(0)).collect();
         for (&i, &c) in miss_idx.iter().zip(&fresh) {
@@ -784,6 +849,34 @@ impl RawExchange for CacheLayer {
                 let reply = self.forward_raw(raw);
                 // `Ack`s need no window context to decode in either wire
                 // version.
+                if let Ok((Response::Ack { generation }, _)) =
+                    decode_response_gen_ctx(reply.clone(), None)
+                {
+                    self.cache.note_generation(generation);
+                }
+                reply
+            }
+            Some(crate::codec::op::APPLY_UPDATES_SEQ) => {
+                // An update already enveloped by an upstream retry layer:
+                // ship it verbatim so the original dedup tag survives to
+                // the server's at-most-once table (re-framing would mint
+                // a fresh tag and defeat the replay). Metered as the one
+                // update exchange it is when this layer owns the meter.
+                let reply = self.inner.exchange(raw.clone());
+                if !self.inner_premetered && !crate::codec::is_unavailable(&reply) {
+                    if let Some((_, body)) = crate::codec::peel_dedup(&raw) {
+                        if let Ok(req) = decode_request(body) {
+                            self.meter
+                                .record_request(&req, raw.len() as u64, &self.packet);
+                            self.meter.record_response(
+                                reply.len() as u64,
+                                0,
+                                &self.packet,
+                                req.is_aggregate(),
+                            );
+                        }
+                    }
+                }
                 if let Ok((Response::Ack { generation }, _)) =
                     decode_response_gen_ctx(reply.clone(), None)
                 {
@@ -1210,5 +1303,185 @@ mod tests {
         // Telemetry is per link; the store is shared.
         assert_eq!(second.cache().unwrap().snapshot().window_hits, 1);
         assert_eq!(first.cache().unwrap().snapshot().window_hits, 0);
+    }
+
+    /// Garbles the first `garble` replies on their way back, then
+    /// forwards clean — a lossy edge whose payloads get corrupted.
+    struct GarbleReplies {
+        garble: AtomicU64,
+        inner: Box<dyn RawExchange>,
+    }
+
+    impl RawExchange for GarbleReplies {
+        fn exchange(&self, raw: Bytes) -> Bytes {
+            let reply = self.inner.exchange(raw);
+            if self.garble.load(Ordering::SeqCst) > 0 {
+                self.garble.fetch_sub(1, Ordering::SeqCst);
+                return crate::codec::garble_frame(&reply);
+            }
+            reply
+        }
+    }
+
+    fn lossy_cached_link(garble: u64, retry: RetryPolicy, budget: u64) -> Link {
+        let layer = CacheLayer::new(
+            Box::new(GarbleReplies {
+                garble: AtomicU64::new(garble),
+                inner: Box::new(InProcExchange::new(Arc::new(Scan(lattice(10))))),
+            }),
+            PacketModel::default(),
+            Arc::new(ClientCache::new(budget)),
+        )
+        .with_retry(retry);
+        Link::cached(layer, 1.0)
+    }
+
+    #[test]
+    fn garbled_attempt_never_poisons_the_cache() {
+        let cached = lossy_cached_link(1, RetryPolicy::attempts(3), 1 << 20);
+        let q = w(0.0, 0.0, 3.0, 3.0);
+        // Attempt 1 comes back garbled, attempt 2 succeeds: the answer is
+        // authoritative and only that answer is keyed.
+        assert_eq!(cached.request(&Request::Count(q)).into_count(), 16);
+        let view = cached.cache().unwrap();
+        assert_eq!(view.store().cached_counts(), 1);
+        let m = cached.meter().snapshot();
+        assert_eq!(m.retried, 1);
+        assert_eq!(m.abandoned, 0);
+        // The repeat serves the *correct* cached value, locally.
+        let before = cached.meter().snapshot();
+        assert_eq!(cached.request(&Request::Count(q)).into_count(), 16);
+        assert_eq!(cached.meter().snapshot(), before);
+    }
+
+    #[test]
+    fn error_replies_are_never_admitted_or_keyed() {
+        // Every attempt garbled: the final outcome is typed Malformed and
+        // the cache stays empty — nothing admitted, no generation noted.
+        let cached = lossy_cached_link(u64::MAX, RetryPolicy::attempts(2), 1 << 20);
+        let q = w(0.0, 0.0, 3.0, 3.0);
+        assert_eq!(cached.request(&Request::Count(q)), Response::Malformed);
+        assert_eq!(cached.request(&Request::Window(q)), Response::Malformed);
+        let view = cached.cache().unwrap();
+        assert_eq!(view.store().cached_counts(), 0, "no poisoned count keyed");
+        assert_eq!(
+            view.store().cached_windows(),
+            0,
+            "no poisoned window admitted"
+        );
+        assert_eq!(view.store().generation(), 0);
+        let m = cached.meter().snapshot();
+        assert_eq!(m.retried, 2);
+        assert_eq!(m.abandoned, 2);
+    }
+
+    #[test]
+    fn partial_hit_splice_failure_surfaces_typed_not_panicked() {
+        let server = Box::new(InProcExchange::new(Arc::new(Scan(lattice(10)))));
+        let garbler = Box::new(GarbleReplies {
+            garble: AtomicU64::new(0),
+            inner: server,
+        });
+        // Keep a raw pointer-free handle on the knob via Arc.
+        struct Knob(Arc<AtomicU64>, Box<dyn RawExchange>);
+        impl RawExchange for Knob {
+            fn exchange(&self, raw: Bytes) -> Bytes {
+                let reply = self.1.exchange(raw);
+                if self.0.load(Ordering::SeqCst) > 0 {
+                    self.0.fetch_sub(1, Ordering::SeqCst);
+                    return crate::codec::garble_frame(&reply);
+                }
+                reply
+            }
+        }
+        let knob = Arc::new(AtomicU64::new(0));
+        let layer = CacheLayer::new(
+            Box::new(Knob(Arc::clone(&knob), garbler)),
+            PacketModel::default(),
+            Arc::new(ClientCache::new(1 << 20)),
+        );
+        let cached = Link::cached(layer, 1.0);
+        let a = w(0.0, 0.0, 2.0, 2.0);
+        let b = w(5.0, 5.0, 9.0, 9.0);
+        cached.request(&Request::Count(a)); // prime a: the next batch is a partial hit
+        knob.store(u64::MAX, Ordering::SeqCst);
+        // Retries are off: the garbled sub-reply must degrade typed.
+        assert_eq!(
+            cached.request(&Request::MultiCount(vec![a, b])),
+            Response::Malformed,
+            "splice against a garbled sub-reply must not panic"
+        );
+        assert_eq!(
+            cached.cache().unwrap().store().cached_counts(),
+            1,
+            "only the primed entry"
+        );
+    }
+
+    #[test]
+    fn exhausted_cache_edge_surfaces_unavailable_without_admission() {
+        struct Dead;
+        impl RawExchange for Dead {
+            fn exchange(&self, _: Bytes) -> Bytes {
+                crate::codec::unavailable_frame()
+            }
+        }
+        let layer = CacheLayer::new(
+            Box::new(Dead),
+            PacketModel::default(),
+            Arc::new(ClientCache::new(1 << 20)),
+        )
+        .with_retry(RetryPolicy::attempts(3));
+        let cached = Link::cached(layer, 1.0);
+        let q = w(0.0, 0.0, 3.0, 3.0);
+        assert_eq!(cached.request(&Request::Count(q)), Response::Unavailable);
+        let m = cached.meter().snapshot();
+        assert_eq!(m.total_bytes(), 0, "nothing ever crossed");
+        assert_eq!(m.retried, 2);
+        assert_eq!(m.abandoned, 1);
+        assert_eq!(cached.cache().unwrap().store().cached_counts(), 0);
+    }
+
+    #[test]
+    fn enveloped_updates_pass_through_with_tag_intact() {
+        use crate::proto::Update;
+        // A server double that peels the envelope and acks, recording the
+        // tags it saw.
+        struct TagWitness {
+            tags: Mutex<Vec<crate::codec::DedupTag>>,
+        }
+        impl RawExchange for TagWitness {
+            fn exchange(&self, raw: Bytes) -> Bytes {
+                let (tag, _body) = crate::codec::peel_dedup(&raw).expect("enveloped");
+                self.tags.lock().unwrap().push(tag);
+                encode_response(&Response::Ack { generation: 7 })
+            }
+        }
+        let witness = Arc::new(TagWitness {
+            tags: Mutex::new(Vec::new()),
+        });
+        struct Shared(Arc<TagWitness>);
+        impl RawExchange for Shared {
+            fn exchange(&self, raw: Bytes) -> Bytes {
+                self.0.exchange(raw)
+            }
+        }
+        let layer = CacheLayer::new(
+            Box::new(Shared(Arc::clone(&witness))),
+            PacketModel::default(),
+            Arc::new(ClientCache::new(1 << 20)),
+        );
+        let inner = encode_request(&Request::ApplyUpdates(vec![Update::Delete(3)]));
+        let tag = crate::codec::DedupTag { nonce: 42, seq: 9 };
+        let reply = layer.exchange(crate::codec::wrap_dedup(tag, &inner));
+        let (resp, _) = decode_response_gen(reply).unwrap();
+        assert_eq!(resp, Response::Ack { generation: 7 });
+        assert_eq!(
+            *witness.tags.lock().unwrap(),
+            vec![tag],
+            "tag survives verbatim"
+        );
+        // The Ack's generation was noted so stale entries stop matching.
+        assert_eq!(layer.view().store().generation(), 7);
     }
 }

@@ -86,6 +86,11 @@ pub const ACK_BYTES: u64 = 1 + 8;
 /// frames carry **no** stamp, so frozen-store traffic is bit-for-bit the
 /// pre-generation wire format.
 pub const GEN_STAMP_BYTES: u64 = 1 + 8;
+/// Wire size of the retry-dedup envelope prefixed to `ApplyUpdates`
+/// requests when a [`crate::packet::RetryPolicy`] is enabled (opcode +
+/// u64 nonce + u64 seq). With retries off the envelope is never attached
+/// and update traffic is bit-for-bit the plain format.
+pub const DEDUP_HEADER_BYTES: u64 = 1 + 8 + 8;
 
 /// Frame-layout strategy of one physical link — the negotiated wire
 /// protocol version. `V1` is the seed format every peer speaks; `V2` is a
@@ -165,6 +170,14 @@ pub(crate) mod op {
     pub const AVG_AREA: u8 = 0x05;
     pub const MULTI_COUNT: u8 = 0x06;
     pub const APPLY_UPDATES: u8 = 0x07;
+    /// Idempotency envelope for retried update deliveries:
+    /// `[APPLY_UPDATES_SEQ][u64 nonce][u64 seq][inner request frame]`.
+    /// Attached by a link only when its retry policy is enabled; every
+    /// re-delivery of the same batch carries the same `(nonce, seq)`, so
+    /// the server can detect a duplicate and replay the remembered `Ack`
+    /// instead of double-applying (see `QueryHandler::
+    /// handle_tagged_updates`).
+    pub const APPLY_UPDATES_SEQ: u8 = 0x08;
     pub const COOP_LEVEL_MBRS: u8 = 0x10;
     pub const COOP_FILTER: u8 = 0x11;
     pub const COOP_JOIN_PUSH: u8 = 0x12;
@@ -218,6 +231,14 @@ pub(crate) mod op {
     /// by a carrier whose peer is gone (server thread terminated, reply
     /// channel dropped). Reserved — a live server never sends it.
     pub const R_UNAVAILABLE: u8 = 0x92;
+    /// Marker a deterministic fault injector stamps over byte 0 of a
+    /// frame it garbles (see `crate::fault::FaultLayer`). Deliberately
+    /// outside every valid opcode range so a garbled frame can never
+    /// silently decode as a different valid value — decoders reject it as
+    /// `UnknownOpcode(0xEE)` — while chaos-aware stats (the event loop's
+    /// `garbled` gauge) can still tell an injected garble from a
+    /// genuinely alien frame.
+    pub const GARBLE: u8 = 0xEE;
 
     /// v2 object tag bit: min == max on both axes (a point) — the max
     /// coordinates are omitted entirely.
@@ -1325,12 +1346,122 @@ pub fn is_unavailable(raw: &[u8]) -> bool {
     raw.len() == UNAVAILABLE_BYTES as usize && raw[0] == op::R_UNAVAILABLE
 }
 
+/// Identity of one at-most-once update delivery: `nonce` names the sender
+/// (one per link, process-unique), `seq` the batch within that sender.
+/// Every retry of the same batch carries the identical tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DedupTag {
+    pub nonce: u64,
+    pub seq: u64,
+}
+
+/// Wraps an encoded `ApplyUpdates` frame in the retry-dedup envelope
+/// `[APPLY_UPDATES_SEQ][u64 nonce][u64 seq][inner frame]`. Only attached
+/// when retries are enabled — see [`DEDUP_HEADER_BYTES`].
+pub fn wrap_dedup(tag: DedupTag, inner: &[u8]) -> Bytes {
+    let mut buf = Vec::with_capacity(DEDUP_HEADER_BYTES as usize + inner.len());
+    buf.push(op::APPLY_UPDATES_SEQ);
+    buf.extend_from_slice(&tag.nonce.to_be_bytes());
+    buf.extend_from_slice(&tag.seq.to_be_bytes());
+    buf.extend_from_slice(inner);
+    Bytes::from(buf)
+}
+
+/// Splits a retry-dedup envelope off a request frame: `Some((tag,
+/// inner))` when `raw` is a well-formed envelope, `None` for every other
+/// frame (including a truncated envelope, which the caller's ordinary
+/// request decoder then rejects as malformed).
+pub fn peel_dedup(raw: &Bytes) -> Option<(DedupTag, Bytes)> {
+    if raw.len() < DEDUP_HEADER_BYTES as usize || raw[0] != op::APPLY_UPDATES_SEQ {
+        return None;
+    }
+    let nonce = u64::from_be_bytes(raw[1..9].try_into().expect("8-byte nonce"));
+    let seq = u64::from_be_bytes(raw[9..17].try_into().expect("8-byte seq"));
+    Some((
+        DedupTag { nonce, seq },
+        raw.slice(DEDUP_HEADER_BYTES as usize..raw.len()),
+    ))
+}
+
+/// Stamps [`op::GARBLE`] over byte 0 of a frame — the deterministic
+/// fault injector's reply corruption. The result never decodes to any
+/// valid value (the marker is outside every opcode range), so a garbled
+/// reply always surfaces as a typed `Malformed`, never as a silently
+/// different answer.
+pub fn garble_frame(raw: &[u8]) -> Bytes {
+    let mut out = Vec::with_capacity(raw.len().max(1));
+    out.push(op::GARBLE);
+    if raw.len() > 1 {
+        out.extend_from_slice(&raw[1..]);
+    }
+    Bytes::from(out)
+}
+
+/// `true` iff `raw` leads with the injected-garble marker — how
+/// chaos-aware stats distinguish injected corruption from genuinely
+/// alien frames.
+pub fn is_injected_garble(raw: &[u8]) -> bool {
+    !raw.is_empty() && raw[0] == op::GARBLE
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn obj(id: u32, x: f64, y: f64) -> SpatialObject {
         SpatialObject::point(id, x, y)
+    }
+
+    #[test]
+    fn dedup_envelope_roundtrips_and_rejects_short_frames() {
+        let inner = encode_request(&Request::ApplyUpdates(vec![Update::Delete(7)]));
+        let tag = DedupTag {
+            nonce: 0xDEAD_BEEF,
+            seq: 42,
+        };
+        let wrapped = wrap_dedup(tag, &inner);
+        assert_eq!(
+            wrapped.len() as u64,
+            DEDUP_HEADER_BYTES + inner.len() as u64
+        );
+        let (back_tag, back_inner) = peel_dedup(&wrapped).expect("well-formed envelope");
+        assert_eq!(back_tag, tag);
+        assert_eq!(back_inner.as_ref(), inner.as_ref());
+        // The inner frame still decodes as the plain request.
+        assert_eq!(
+            decode_request(back_inner).unwrap(),
+            Request::ApplyUpdates(vec![Update::Delete(7)])
+        );
+        // Non-envelope and truncated-envelope frames peel to None; the
+        // truncated one then fails ordinary decoding (typed, no panic).
+        assert!(peel_dedup(&inner).is_none());
+        let truncated = wrapped.slice(0..DEDUP_HEADER_BYTES as usize - 1);
+        assert!(peel_dedup(&truncated).is_none());
+        assert!(decode_request(truncated).is_err());
+    }
+
+    #[test]
+    fn garbled_frames_are_typed_errors_never_values() {
+        let frames = [
+            encode_response(&Response::Count(7)),
+            encode_response(&Response::Objects(vec![obj(1, 1.0, 2.0)])),
+            encode_response(&Response::Ack { generation: 3 }),
+        ];
+        for f in frames {
+            let g = garble_frame(&f);
+            assert!(is_injected_garble(&g));
+            assert_eq!(g.len(), f.len());
+            assert_eq!(
+                decode_response(g.clone()),
+                Err(CodecError::UnknownOpcode(op::GARBLE))
+            );
+            assert_eq!(
+                decode_response_gen_ctx(g, None),
+                Err(CodecError::UnknownOpcode(op::GARBLE))
+            );
+        }
+        assert!(!is_injected_garble(&encode_response(&Response::Refused)));
+        assert!(!is_injected_garble(&[]));
     }
 
     #[test]

@@ -100,8 +100,19 @@ pub struct EndpointStats {
     max_depth: AtomicU64,
     /// Query frames served (handshakes and malformed frames excluded).
     served: AtomicU64,
-    /// Garbled frames answered with the typed error.
+    /// Undecodable frames with a recognizable-but-broken shape (alien
+    /// opcode, truncated payload) answered with the typed error.
     malformed: AtomicU64,
+    /// Undecodable frames bearing the fault layer's garble marker
+    /// (first byte [`crate::codec::op::GARBLE`]) — corruption injected
+    /// in transit, counted apart from genuinely alien traffic.
+    garbled: AtomicU64,
+    /// Duplicate deliveries of an already-seen retry-dedup tag — each
+    /// one is a client retry the endpoint absorbed at-most-once.
+    retried: AtomicU64,
+    /// Replies that could not be delivered because the client had
+    /// already given up on the exchange.
+    abandoned: AtomicU64,
 }
 
 impl EndpointStats {
@@ -124,9 +135,26 @@ impl EndpointStats {
         self.served.load(Ordering::Acquire)
     }
 
-    /// Garbled frames answered with [`crate::Response::Malformed`].
+    /// Undecodable non-garble frames answered with
+    /// [`crate::Response::Malformed`].
     pub fn malformed(&self) -> u64 {
         self.malformed.load(Ordering::Acquire)
+    }
+
+    /// Injected-garble frames (first byte `0xEE`) answered with
+    /// [`crate::Response::Malformed`], counted apart from alien opcodes.
+    pub fn garbled(&self) -> u64 {
+        self.garbled.load(Ordering::Acquire)
+    }
+
+    /// Duplicate dedup-tagged deliveries absorbed at-most-once.
+    pub fn retried(&self) -> u64 {
+        self.retried.load(Ordering::Acquire)
+    }
+
+    /// Replies dropped because the client abandoned the exchange.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned.load(Ordering::Acquire)
     }
 }
 
@@ -174,6 +202,12 @@ impl EventLoop {
     fn run(rx: Receiver<Event>) -> u64 {
         let mut served = 0u64;
         let mut buf = BytesMut::with_capacity(4096);
+        // Reactor-owned retry-observability table: the last dedup seq
+        // seen per (endpoint, nonce). A re-delivery of the same seq is a
+        // client retry the endpoint's handler absorbs at-most-once —
+        // counted here without touching the handler's own dedup state.
+        let mut last_tags: std::collections::HashMap<(usize, u64), u64> =
+            std::collections::HashMap::new();
         while let Ok(event) = rx.recv() {
             let (request, reply, conn, handler, stats) = match event {
                 Event::Rpc {
@@ -197,24 +231,40 @@ impl EventLoop {
                 let _ = reply.send(accept);
                 continue;
             }
-            let (req, wire) = match crate::codec::decode_request_versioned(request) {
-                Ok(pair) => pair,
-                Err(_) => {
-                    // The reactor serves every device: a garbled frame
-                    // gets the typed error and the loop keeps running.
-                    stats.malformed.fetch_add(1, Ordering::AcqRel);
-                    stats.dequeued();
-                    let _ = reply.send(crate::codec::malformed_frame());
-                    continue;
+            // Classification peek before serving: the body an envelope
+            // wraps (or the frame itself) decides garbled-vs-malformed,
+            // and a repeated tag is a retry the stats surface.
+            let body_head = match crate::codec::peel_dedup(&request) {
+                Some((tag, body)) => {
+                    let key = (Arc::as_ptr(&stats) as usize, tag.nonce);
+                    if last_tags.insert(key, tag.seq) == Some(tag.seq) {
+                        stats.retried.fetch_add(1, Ordering::AcqRel);
+                    }
+                    body.as_ref().first().copied()
                 }
+                None => request.as_ref().first().copied(),
             };
             buf.clear();
-            handler.handle_into(req, wire, &mut buf);
-            served += 1;
-            stats.served.fetch_add(1, Ordering::AcqRel);
+            if crate::transport::serve_frame_into(handler.as_ref(), request, &mut buf) {
+                served += 1;
+                stats.served.fetch_add(1, Ordering::AcqRel);
+            } else {
+                // The reactor serves every device: a garbled frame gets
+                // the typed error (already encoded into `buf`) and the
+                // loop keeps running. Injected corruption (the fault
+                // layer's 0xEE marker) is counted apart from genuinely
+                // alien opcodes.
+                if body_head == Some(crate::codec::op::GARBLE) {
+                    stats.garbled.fetch_add(1, Ordering::AcqRel);
+                } else {
+                    stats.malformed.fetch_add(1, Ordering::AcqRel);
+                }
+            }
             stats.dequeued();
             // A dropped reply receiver just means the client gave up.
-            let _ = reply.send(Bytes::copy_from_slice(&buf));
+            if reply.send(Bytes::copy_from_slice(&buf)).is_err() {
+                stats.abandoned.fetch_add(1, Ordering::AcqRel);
+            }
         }
         served
     }
@@ -400,15 +450,81 @@ mod tests {
         let reactor = EventLoop::spawn("garbled");
         let endpoint = reactor.serve(Arc::new(ScanHandler(objects(5))));
         let conn = endpoint.connect();
+        // An injected-garble frame (0xEE marker) and a genuinely alien
+        // opcode are both answered typed but counted apart.
         let reply = conn.exchange(Bytes::copy_from_slice(&[0xEE, 0x01, 0x02]));
         assert_eq!(
             crate::codec::decode_response(reply).unwrap(),
             Response::Malformed
         );
-        assert_eq!(endpoint.stats().malformed(), 1);
+        let reply = conn.exchange(Bytes::copy_from_slice(&[0x5A, 0x01, 0x02]));
+        assert_eq!(
+            crate::codec::decode_response(reply).unwrap(),
+            Response::Malformed
+        );
+        assert_eq!(endpoint.stats().garbled(), 1, "injected corruption");
+        assert_eq!(endpoint.stats().malformed(), 1, "alien opcode");
         // Healthy traffic still flows on the same reactor.
         let link = Link::new(Box::new(endpoint.connect()), PacketModel::default(), 1.0);
         assert_eq!(link.request(&Request::Count(w(100.0))).into_count(), 5);
+    }
+
+    #[test]
+    fn duplicate_tagged_deliveries_count_as_retries() {
+        use crate::codec::DedupTag;
+        use crate::proto::Update;
+        let reactor = EventLoop::spawn("dedup");
+        let endpoint = reactor.serve(Arc::new(ScanHandler(objects(5))));
+        let conn = endpoint.connect();
+        let inner = crate::codec::encode_request(&Request::ApplyUpdates(vec![Update::Delete(1)]));
+        let tagged = crate::codec::wrap_dedup(DedupTag { nonce: 11, seq: 0 }, &inner);
+        // Same tag delivered twice: the second is a retry. ScanHandler
+        // refuses updates, but the retry gauge counts deliveries, not
+        // outcomes.
+        let first = conn.exchange(tagged.clone());
+        let second = conn.exchange(tagged);
+        assert_eq!(first, second);
+        assert_eq!(endpoint.stats().retried(), 1);
+        // A fresh seq on the same nonce is new work, not a retry.
+        let next = crate::codec::wrap_dedup(DedupTag { nonce: 11, seq: 1 }, &inner);
+        conn.exchange(next);
+        assert_eq!(endpoint.stats().retried(), 1);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn undeliverable_replies_count_as_abandoned() {
+        // A handler that blocks until released, so the client can give
+        // up on a queued exchange *before* the reactor serves it.
+        struct Gated(Receiver<()>);
+        impl QueryHandler for Gated {
+            fn handle(&self, _req: Request) -> Response {
+                let _ = self.0.recv();
+                Response::Count(0)
+            }
+        }
+        let (release, gate) = unbounded::<()>();
+        let reactor = EventLoop::spawn("abandon");
+        let endpoint = reactor.serve(Arc::new(Gated(gate)));
+        let conn = endpoint.connect();
+        let first = conn.begin(crate::codec::encode_request(&Request::Count(w(2.0))));
+        let second = conn.begin(crate::codec::encode_request(&Request::Count(w(2.0))));
+        // The client abandons the queued second exchange, then the
+        // reactor is released to serve both.
+        drop(second);
+        release.send(()).unwrap();
+        release.send(()).unwrap();
+        assert_eq!(
+            crate::codec::decode_response(first()).unwrap(),
+            Response::Count(0)
+        );
+        assert_eq!(
+            reactor.shutdown(),
+            2,
+            "the abandoned frame was still served"
+        );
+        assert_eq!(endpoint.stats().abandoned(), 1);
+        assert_eq!(endpoint.stats().served(), 2);
     }
 
     #[test]

@@ -49,6 +49,14 @@
 //!   age out of the LRU budget. Gated by [`NetConfig::client_cache`] and
 //!   **off by default** (off ⇒ byte-identical wire traffic);
 //!   hits/misses/saved bytes are tallied in a [`CacheSnapshot`];
+//! * [`fault`] — the **deterministic fault injector**: a [`FaultLayer`]
+//!   on the same carrier seam replays scripted drops, delays, garbled
+//!   frames and crash-then-restart windows from a seeded [`FaultPlan`],
+//!   so every chaos run is reproducible. Pairs with the
+//!   [`packet::RetryPolicy`] retry/backoff discipline (off by default —
+//!   off ⇒ byte-identical wire traffic) that re-issues failed exchanges,
+//!   dedup-enveloping `ApplyUpdates` so retried deliveries are
+//!   at-most-once;
 //! * the **generation stamp** — servers answering from a generation > 0
 //!   prefix every response frame with `[R_GEN][u64 generation]`
 //!   ([`codec::stamp_generation`]); generation-0 (frozen) traffic carries
@@ -62,6 +70,7 @@
 pub mod cache;
 pub mod codec;
 pub mod event_loop;
+pub mod fault;
 pub mod meter;
 pub mod packet;
 pub mod proto;
@@ -139,8 +148,9 @@ pub mod testutil {
 
 pub use cache::{CacheConfig, CacheLayer, CacheView, ClientCache};
 pub use event_loop::{ConnState, EndpointStats, EventConnection, EventEndpoint, EventLoop};
+pub use fault::{CrashPlan, FaultLayer, FaultPlan, FaultStats};
 pub use meter::{CacheSnapshot, CacheTelemetry, LinkMeter, LinkSnapshot};
-pub use packet::{NetConfig, PacketModel};
+pub use packet::{NetConfig, PacketModel, RetryPolicy};
 pub use proto::{QueryHandler, Request, Response, Update};
 pub use router::{FleetSnapshot, ShardEndpoint, ShardMeta, ShardRouter, ShardTelemetry};
 pub use transport::{ChannelServer, Link, RawExchange, ServerHandle};

@@ -30,6 +30,8 @@ pub struct LinkMeter {
     objects_received: AtomicU64,
     aggregate_up_bytes: AtomicU64,
     aggregate_down_bytes: AtomicU64,
+    retried: AtomicU64,
+    abandoned: AtomicU64,
 }
 
 /// A point-in-time copy of a [`LinkMeter`].
@@ -51,6 +53,15 @@ pub struct LinkSnapshot {
     pub aggregate_up_bytes: u64,
     /// Wire bytes of aggregate answers (downlink direction).
     pub aggregate_down_bytes: u64,
+    /// Exchanges re-issued under a [`crate::packet::RetryPolicy`] after a
+    /// failed attempt (unavailable or undecodable reply). 0 when retries
+    /// are off.
+    pub retried: u64,
+    /// Exchanges that exhausted their retry budget and surfaced a typed
+    /// error to the caller. 0 when retries are off (a first-attempt
+    /// failure with no budget is not an abandonment — nothing was ever
+    /// retried).
+    pub abandoned: u64,
 }
 
 impl LinkSnapshot {
@@ -90,6 +101,8 @@ impl LinkSnapshot {
             objects_received: self.objects_received + other.objects_received,
             aggregate_up_bytes: self.aggregate_up_bytes + other.aggregate_up_bytes,
             aggregate_down_bytes: self.aggregate_down_bytes + other.aggregate_down_bytes,
+            retried: self.retried + other.retried,
+            abandoned: self.abandoned + other.abandoned,
         }
     }
 
@@ -108,6 +121,8 @@ impl LinkSnapshot {
             objects_received: self.objects_received - earlier.objects_received,
             aggregate_up_bytes: self.aggregate_up_bytes - earlier.aggregate_up_bytes,
             aggregate_down_bytes: self.aggregate_down_bytes - earlier.aggregate_down_bytes,
+            retried: self.retried - earlier.retried,
+            abandoned: self.abandoned - earlier.abandoned,
         }
     }
 }
@@ -314,6 +329,16 @@ impl LinkMeter {
         self.objects_received.fetch_add(objects, Ordering::Relaxed);
     }
 
+    /// Records one re-issued exchange attempt (retry `k` of a request).
+    pub fn record_retry(&self) {
+        self.retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one exchange that exhausted its retry budget.
+    pub fn record_abandon(&self) {
+        self.abandoned.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the counters.
     pub fn snapshot(&self) -> LinkSnapshot {
         LinkSnapshot {
@@ -329,6 +354,8 @@ impl LinkMeter {
             objects_received: self.objects_received.load(Ordering::Relaxed),
             aggregate_up_bytes: self.aggregate_up_bytes.load(Ordering::Relaxed),
             aggregate_down_bytes: self.aggregate_down_bytes.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            abandoned: self.abandoned.load(Ordering::Relaxed),
         }
     }
 
@@ -346,6 +373,8 @@ impl LinkMeter {
         self.objects_received.store(0, Ordering::Relaxed);
         self.aggregate_up_bytes.store(0, Ordering::Relaxed);
         self.aggregate_down_bytes.store(0, Ordering::Relaxed);
+        self.retried.store(0, Ordering::Relaxed);
+        self.abandoned.store(0, Ordering::Relaxed);
     }
 }
 
@@ -411,6 +440,23 @@ mod tests {
         let m = LinkMeter::new();
         let p = PacketModel::default();
         m.record_response(100, 5, &p, true);
+        m.reset();
+        assert_eq!(m.snapshot(), LinkSnapshot::default());
+    }
+
+    #[test]
+    fn retry_counters_flow_through_plus_since_reset() {
+        let m = LinkMeter::new();
+        m.record_retry();
+        m.record_retry();
+        m.record_abandon();
+        let s = m.snapshot();
+        assert_eq!(s.retried, 2);
+        assert_eq!(s.abandoned, 1);
+        let doubled = s.plus(&s);
+        assert_eq!(doubled.retried, 4);
+        assert_eq!(doubled.abandoned, 2);
+        assert_eq!(doubled.since(&s).retried, 2);
         m.reset();
         assert_eq!(m.snapshot(), LinkSnapshot::default());
     }

@@ -54,6 +54,86 @@ impl PacketModel {
     }
 }
 
+/// Retry discipline of one device's physical exchanges.
+///
+/// `max_attempts` counts *total* deliveries of one request, so `1` (the
+/// default) means retries are off — a failed exchange surfaces its typed
+/// error immediately and the wire traffic is byte-identical to a build
+/// without the retry machinery. With `max_attempts > 1`, an exchange whose
+/// reply is locally fabricated `R_UNAVAILABLE` or fails to decode is
+/// re-issued with the *same* request bytes after a deterministic
+/// exponential backoff (`backoff_base_us · 2^(k-1)` before retry `k`,
+/// capped at [`RetryPolicy::BACKOFF_CAP_US`]).
+///
+/// Idempotency classes: queries are read-only and retry freely.
+/// `ApplyUpdates` retries only under the batch-sequence dedup envelope
+/// (`codec::wrap_dedup`) that the link attaches when retries are enabled,
+/// so a duplicated delivery can never double-bump a generation or
+/// double-apply a move — the server replays the remembered `Ack` instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total delivery attempts per physical exchange; `1` disables
+    /// retries entirely.
+    pub max_attempts: u32,
+    /// Base backoff in microseconds before the first retry; each further
+    /// retry doubles it. `0` retries immediately (the deterministic
+    /// chaos suites use this — backoff affects wall-clock only, never
+    /// results).
+    pub backoff_base_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_us: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Upper bound on a single backoff sleep (100 ms): exhausting a
+    /// generous budget must never hang a test suite.
+    pub const BACKOFF_CAP_US: u64 = 100_000;
+
+    /// A policy allowing `max_attempts` total deliveries with immediate
+    /// (zero-backoff) retries.
+    pub fn attempts(max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1, "at least one attempt is required");
+        RetryPolicy {
+            max_attempts,
+            backoff_base_us: 0,
+        }
+    }
+
+    /// `true` when failed exchanges are re-issued at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Deterministic backoff before retry number `retry` (1-based):
+    /// `base · 2^(retry-1)`, saturating, capped at
+    /// [`RetryPolicy::BACKOFF_CAP_US`].
+    #[inline]
+    pub fn backoff_us(&self, retry: u32) -> u64 {
+        if self.backoff_base_us == 0 || retry == 0 {
+            return 0;
+        }
+        self.backoff_base_us
+            .saturating_mul(1u64 << (retry - 1).min(20))
+            .min(Self::BACKOFF_CAP_US)
+    }
+
+    /// Sleeps the backoff for retry number `retry` (no-op at base 0).
+    pub fn sleep(&self, retry: u32) {
+        let us = self.backoff_us(retry);
+        if us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+    }
+}
+
 /// Full network configuration of a deployment: one packet model shared by
 /// both links (the paper's prototype used the same WiFi interface for both
 /// servers) and the per-byte tariffs `bR`, `bS`.
@@ -98,6 +178,11 @@ pub struct NetConfig {
     /// every worker count (differentially tested), so this only moves
     /// wall-clock time.
     pub sweep_workers: usize,
+    /// Retry/backoff discipline of the device's physical exchanges (see
+    /// [`RetryPolicy`]). **Off by default** (`max_attempts == 1`): no
+    /// dedup envelope is attached, no exchange is re-issued, and every
+    /// wire byte is identical to a build without the extension.
+    pub retry: RetryPolicy,
 }
 
 impl Default for NetConfig {
@@ -110,6 +195,7 @@ impl Default for NetConfig {
             client_cache: crate::cache::CacheConfig::default(),
             wire_v2: false,
             sweep_workers: 0,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -153,6 +239,13 @@ impl NetConfig {
     /// serial). Results and wire traffic are identical at every value.
     pub fn with_sweep_workers(mut self, workers: usize) -> Self {
         self.sweep_workers = workers;
+        self
+    }
+
+    /// Sets the retry/backoff discipline of the device's physical
+    /// exchanges.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -228,6 +321,32 @@ mod tests {
         assert!(!NetConfig::default().wire_v2);
         assert!(!NetConfig::dialup().wire_v2);
         assert!(NetConfig::default().with_wire_v2(true).wire_v2);
+    }
+
+    #[test]
+    fn retry_defaults_off() {
+        let p = NetConfig::default().retry;
+        assert_eq!(p.max_attempts, 1);
+        assert!(!p.enabled());
+        assert!(!NetConfig::dialup().retry.enabled());
+        let on = NetConfig::default().with_retry(RetryPolicy::attempts(3));
+        assert!(on.retry.enabled());
+        assert_eq!(on.retry.max_attempts, 3);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            backoff_base_us: 100,
+        };
+        assert_eq!(p.backoff_us(1), 100);
+        assert_eq!(p.backoff_us(2), 200);
+        assert_eq!(p.backoff_us(3), 400);
+        // Saturates at the cap, never overflows.
+        assert_eq!(p.backoff_us(63), RetryPolicy::BACKOFF_CAP_US);
+        // Base 0 never sleeps.
+        assert_eq!(RetryPolicy::attempts(4).backoff_us(3), 0);
     }
 
     #[test]

@@ -259,6 +259,24 @@ pub trait QueryHandler: Send + Sync {
         let ctx = crate::codec::QuantCtx::for_request(&req);
         crate::codec::encode_response_versioned(&self.handle(req), wire, ctx.as_ref(), buf);
     }
+
+    /// Handles an `ApplyUpdates` batch delivered under the retry-dedup
+    /// envelope (`codec::wrap_dedup`): `tag` identifies this delivery's
+    /// `(sender nonce, batch seq)`, identical across every retry of the
+    /// same batch. The default ignores the tag and applies the batch
+    /// plainly — correct for handlers that refuse updates anyway.
+    /// Stateful update servers (`SpatialService` over a live store)
+    /// override this with an at-most-once check: a duplicate `(nonce,
+    /// seq)` replays the remembered `Ack` instead of re-applying, so a
+    /// retried delivery can never double-bump a generation or
+    /// double-apply a move.
+    fn handle_tagged_updates(
+        &self,
+        _tag: crate::codec::DedupTag,
+        updates: Vec<Update>,
+    ) -> Response {
+        self.handle(Request::ApplyUpdates(updates))
+    }
 }
 
 #[cfg(test)]

@@ -68,10 +68,10 @@ use bytes::{Bytes, BytesMut};
 
 use crate::codec::{
     decode_request, decode_response_gen, decode_response_gen_ctx, encode_request_versioned,
-    encode_response_into, stamp_generation, QuantCtx, WireVersion,
+    encode_response_into, stamp_generation, DedupTag, QuantCtx, WireVersion,
 };
 use crate::meter::{LinkMeter, LinkSnapshot};
-use crate::packet::PacketModel;
+use crate::packet::{PacketModel, RetryPolicy};
 use crate::proto::{Request, Response, Update};
 use crate::transport::RawExchange;
 
@@ -213,8 +213,15 @@ impl ShardTelemetry {
 
     /// Point-in-time copy of the whole fleet's accounting.
     pub fn snapshot(&self) -> FleetSnapshot {
+        let per_shard: Vec<LinkSnapshot> = self.meters.iter().map(|m| m.snapshot()).collect();
         FleetSnapshot {
-            per_shard: self.meters.iter().map(|m| m.snapshot()).collect(),
+            failed_shards: per_shard
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.abandoned > 0)
+                .map(|(i, _)| i)
+                .collect(),
+            per_shard,
             generations: self.generations(),
             scattered: self.scattered.load(Ordering::Relaxed),
             pruned: self.pruned.load(Ordering::Relaxed),
@@ -236,6 +243,11 @@ pub struct FleetSnapshot {
     /// contribute to the answer — a bounds miss, or a zero-COUNT shard
     /// skipped by the second phase of a merged `AvgArea`.
     pub pruned: u64,
+    /// Shards that have exhausted a retry budget at least once (their
+    /// meter shows an abandonment), in shard order. Empty on a healthy
+    /// fleet — and always empty with retries off, when a first-attempt
+    /// failure is not an abandonment.
+    pub failed_shards: Vec<usize>,
 }
 
 impl FleetSnapshot {
@@ -277,6 +289,14 @@ pub struct ShardRouter {
     packet: PacketModel,
     aggregate: Arc<LinkMeter>,
     telemetry: Arc<ShardTelemetry>,
+    /// Retry/backoff discipline of the physical per-shard exchanges. Off
+    /// by default — one attempt per slot, wire traffic byte-identical to
+    /// a policy-less router.
+    retry: RetryPolicy,
+    /// Per-shard retry-dedup identity: (sender nonce, next batch seq).
+    /// Each (router, shard) edge is its own sender, so sub-batch retries
+    /// dedup independently per shard.
+    dedup: Vec<(u64, AtomicU64)>,
 }
 
 impl ShardRouter {
@@ -286,12 +306,29 @@ impl ShardRouter {
         let telemetry = Arc::new(ShardTelemetry::new(
             shards.iter().map(|s| Arc::clone(&s.meta)).collect(),
         ));
+        let dedup = shards
+            .iter()
+            .map(|_| (crate::transport::next_link_nonce(), AtomicU64::new(0)))
+            .collect();
         ShardRouter {
             shards,
             packet,
             aggregate: Arc::new(LinkMeter::new()),
             telemetry,
+            retry: RetryPolicy::default(),
+            dedup,
         }
+    }
+
+    /// Adopts a retry/backoff discipline for the per-shard physical
+    /// exchanges. Failed slots recover **individually**: a retried shard
+    /// never causes healthy shards' replies to be re-fetched, and a slot
+    /// that exhausts its budget surfaces as a typed
+    /// [`Response::Unavailable`] with the shard recorded in
+    /// [`FleetSnapshot::failed_shards`].
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The aggregate meter every physical exchange is recorded into.
@@ -340,6 +377,43 @@ impl ShardRouter {
             .record_response(payload, objects, &self.packet, aggregate);
     }
 
+    fn record_retry(&self, shard: usize) {
+        self.telemetry.meters[shard].record_retry();
+        self.aggregate.record_retry();
+    }
+
+    fn record_abandon(&self, shard: usize) {
+        self.telemetry.meters[shard].record_abandon();
+        self.aggregate.record_abandon();
+    }
+
+    /// Attempts per physical exchange under the current policy.
+    fn attempt_budget(&self) -> u32 {
+        if self.retry.enabled() {
+            self.retry.max_attempts
+        } else {
+            1
+        }
+    }
+
+    /// Encodes one sub-request for `shard`, wrapping `ApplyUpdates`
+    /// batches in the per-shard retry-dedup envelope when retries are on
+    /// (same tag across every retry of the sub-batch).
+    fn encode_sub(&self, shard: usize, req: &Request) -> Bytes {
+        let encoded = encode_request_versioned(req, self.shards[shard].wire);
+        if self.retry.enabled() && matches!(req, Request::ApplyUpdates(_)) {
+            let (nonce, seq) = &self.dedup[shard];
+            return crate::codec::wrap_dedup(
+                DedupTag {
+                    nonce: *nonce,
+                    seq: seq.fetch_add(1, Ordering::Relaxed),
+                },
+                &encoded,
+            );
+        }
+        encoded
+    }
+
     /// The fleet generation: sum of per-shard observed generations.
     pub fn fleet_generation(&self) -> u64 {
         self.shards.iter().map(|s| s.meta.generation()).sum()
@@ -360,63 +434,102 @@ impl ShardRouter {
             // real server would send — routers never panic a shared path.
             Err(_) => return crate::codec::malformed_frame(),
         };
-        if self.shards[0].wire == WireVersion::V2 {
-            let encoded = encode_request_versioned(&req, WireVersion::V2);
-            let up_len = encoded.len() as u64;
-            let reply = self.shards[0].carrier.exchange(encoded);
+        let v2 = self.shards[0].wire == WireVersion::V2;
+        let mut encoded = if v2 {
+            encode_request_versioned(&req, WireVersion::V2)
+        } else {
+            raw
+        };
+        if self.retry.enabled() && matches!(req, Request::ApplyUpdates(_)) {
+            let (nonce, seq) = &self.dedup[0];
+            encoded = crate::codec::wrap_dedup(
+                DedupTag {
+                    nonce: *nonce,
+                    seq: seq.fetch_add(1, Ordering::Relaxed),
+                },
+                &encoded,
+            );
+        }
+        let up_len = encoded.len() as u64;
+        let ctx = QuantCtx::for_request(&req);
+        // Typed-failure bytes of the last completed attempt, forwarded
+        // verbatim on exhaustion (a garbled v1 reply stays garbled on the
+        // way up — byte-transparency is per attempt).
+        let mut last_failure: Option<Bytes> = None;
+        for attempt in 0..self.attempt_budget() {
+            if attempt > 0 {
+                self.record_retry(0);
+                self.retry.sleep(attempt);
+            }
+            let reply = self.shards[0].carrier.exchange(encoded.clone());
             if crate::codec::is_unavailable(&reply) {
                 // The shard died: nothing crossed the wire, nothing is
-                // metered — the fabricated frame propagates upward.
-                return reply;
+                // metered — the fabricated frame propagates upward (after
+                // any remaining retries).
+                last_failure = None;
+                continue;
             }
-            self.record_request(0, &req, up_len);
-            let ctx = QuantCtx::for_request(&req);
             // An undecodable shard reply was still real traffic: meter
             // it, degrade to the typed `Malformed`.
-            let (resp, generation) = decode_response_gen_ctx(reply.clone(), ctx.as_ref())
-                .unwrap_or((Response::Malformed, 0));
+            self.record_request(0, &req, up_len);
+            let (resp, generation) = if v2 {
+                decode_response_gen_ctx(reply.clone(), ctx.as_ref())
+            } else {
+                decode_response_gen(reply.clone())
+            }
+            .unwrap_or((Response::Malformed, 0));
+            self.record_response(0, reply.len() as u64, &resp, req.is_aggregate());
+            let out = if v2 {
+                let mut buf = BytesMut::new();
+                if !matches!(resp, Response::Ack { .. }) {
+                    stamp_generation(generation, &mut buf);
+                }
+                encode_response_into(&resp, &mut buf);
+                buf.freeze()
+            } else {
+                reply
+            };
+            if resp == Response::Malformed {
+                last_failure = Some(out);
+                continue;
+            }
             match &resp {
                 Response::Ack { generation } => self.shards[0].meta.note_generation(*generation),
                 _ if generation > 0 => self.shards[0].meta.note_generation(generation),
                 _ => {}
             }
-            self.record_response(0, reply.len() as u64, &resp, req.is_aggregate());
-            let mut buf = BytesMut::new();
-            if !matches!(resp, Response::Ack { .. }) {
-                stamp_generation(generation, &mut buf);
-            }
-            encode_response_into(&resp, &mut buf);
-            return buf.freeze();
+            return out;
         }
-        let up_len = raw.len() as u64;
-        let reply = self.shards[0].carrier.exchange(raw);
-        if crate::codec::is_unavailable(&reply) {
-            return reply;
+        if self.retry.enabled() {
+            self.record_abandon(0);
         }
-        self.record_request(0, &req, up_len);
-        let (resp, generation) =
-            decode_response_gen(reply.clone()).unwrap_or((Response::Malformed, 0));
-        match &resp {
-            Response::Ack { generation } => self.shards[0].meta.note_generation(*generation),
-            _ if generation > 0 => self.shards[0].meta.note_generation(generation),
-            _ => {}
-        }
-        self.record_response(0, reply.len() as u64, &resp, req.is_aggregate());
-        reply
+        last_failure.unwrap_or_else(crate::codec::unavailable_frame)
     }
 
     /// One scatter round: sends `subs[i]` (when `Some`) to shard `i`
     /// split-phase, meters every exchange, counts pruned slots, and
     /// returns the decoded responses in shard order.
+    ///
+    /// **Partial-scatter recovery.** Under a retry policy each slot fails
+    /// and recovers *individually*: a failed shard is re-asked alone
+    /// (synchronously, with backoff) while every healthy shard's reply —
+    /// already completed split-phase — is kept as-is, never re-fetched. A
+    /// slot that exhausts its budget yields a typed
+    /// [`Response::Unavailable`] and its abandonment is tallied on that
+    /// shard's meter (surfacing in [`FleetSnapshot::failed_shards`]).
+    /// Observed shard generations only ever move through the monotone
+    /// [`ShardMeta::note_generation`] max — and failed attempts never
+    /// note one — so a retried round can never regress the generation
+    /// vector.
     fn round(&self, subs: &[Option<Request>]) -> Vec<Option<Response>> {
         debug_assert_eq!(subs.len(), self.shards.len());
         let mut pending = Vec::with_capacity(subs.len());
         for (i, sub) in subs.iter().enumerate() {
             match sub {
                 Some(req) => {
-                    let encoded = encode_request_versioned(req, self.shards[i].wire);
+                    let encoded = self.encode_sub(i, req);
                     pending.push(Some((
-                        encoded.len() as u64,
+                        encoded.clone(),
                         self.shards[i].carrier.begin(encoded),
                     )));
                 }
@@ -430,31 +543,57 @@ impl ShardRouter {
             .into_iter()
             .enumerate()
             .map(|(i, slot)| {
-                slot.map(|(up_len, complete)| {
-                    let raw = complete();
-                    if crate::codec::is_unavailable(&raw) {
-                        // A dead shard completes with the fabricated
-                        // frame: neither direction is metered (nothing
-                        // crossed), and the merge propagates the error.
-                        return Response::Unavailable;
-                    }
+                slot.map(|(encoded, complete)| {
                     let sub = subs[i].as_ref().expect("sent slot");
-                    // Both directions are charged only now, on a
-                    // completed exchange — a failed shard leaves no
-                    // phantom uplink bytes behind.
-                    self.record_request(i, sub, up_len);
-                    let len = raw.len() as u64;
+                    let up_len = encoded.len() as u64;
                     // Quantized v2 frames decode against the grid of the
                     // *sub-request* this shard was sent — the same grid
                     // the shard derived server-side.
                     let ctx = QuantCtx::for_request(sub);
-                    let (resp, generation) = decode_response_gen_ctx(raw, ctx.as_ref())
-                        .unwrap_or((Response::Malformed, 0));
-                    if generation > 0 {
-                        self.shards[i].meta.note_generation(generation);
+                    let mut complete = Some(complete);
+                    let mut outcome = Response::Unavailable;
+                    for attempt in 0..self.attempt_budget() {
+                        let raw = match complete.take() {
+                            Some(c) => c(),
+                            None => {
+                                // Only this failed slot is re-asked;
+                                // healthy shards' replies are kept.
+                                self.record_retry(i);
+                                self.retry.sleep(attempt);
+                                self.shards[i].carrier.exchange(encoded.clone())
+                            }
+                        };
+                        if crate::codec::is_unavailable(&raw) {
+                            // A dead shard completes with the fabricated
+                            // frame: neither direction is metered (nothing
+                            // crossed), and the merge propagates the
+                            // error.
+                            outcome = Response::Unavailable;
+                            continue;
+                        }
+                        // Both directions are charged only now, on a
+                        // completed exchange — a failed shard leaves no
+                        // phantom uplink bytes behind.
+                        self.record_request(i, sub, up_len);
+                        let len = raw.len() as u64;
+                        let (resp, generation) = decode_response_gen_ctx(raw, ctx.as_ref())
+                            .unwrap_or((Response::Malformed, 0));
+                        self.record_response(i, len, &resp, sub.is_aggregate());
+                        if resp == Response::Malformed {
+                            // Real traffic (charged above), garbled
+                            // answer: worth another attempt.
+                            outcome = Response::Malformed;
+                            continue;
+                        }
+                        if generation > 0 {
+                            self.shards[i].meta.note_generation(generation);
+                        }
+                        return resp;
                     }
-                    self.record_response(i, len, &resp, sub.is_aggregate());
-                    resp
+                    if self.retry.enabled() {
+                        self.record_abandon(i);
+                    }
+                    outcome
                 })
             })
             .collect()
@@ -766,7 +905,12 @@ impl RawExchange for ShardRouter {
         if self.shards.len() == 1 {
             return self.pass_through(request);
         }
-        let req = decode_request(request).expect("malformed request");
+        let req = match decode_request(request) {
+            Ok(req) => req,
+            // A garbled frame from above gets the typed error reply a
+            // real server would send — routers never panic a shared path.
+            Err(_) => return crate::codec::malformed_frame(),
+        };
         let resp = self.scatter_gather(&req);
         let mut buf = BytesMut::new();
         // Merged responses are re-encoded, so the per-shard stamps are
@@ -1332,5 +1476,303 @@ mod tests {
         assert_eq!(fleet.generations, vec![1, 1]);
         assert_eq!(fleet.fleet_generation(), 2);
         assert_eq!(fleet.summed(), l.meter().snapshot());
+    }
+
+    use crate::packet::RetryPolicy;
+    use std::collections::HashMap;
+
+    /// Fabricates `fails` unavailable replies before forwarding — a
+    /// transiently-dead endpoint.
+    struct FlakyExchange {
+        fails: AtomicU64,
+        inner: Box<dyn RawExchange>,
+    }
+
+    impl RawExchange for FlakyExchange {
+        fn exchange(&self, raw: Bytes) -> Bytes {
+            if self.fails.load(Ordering::SeqCst) > 0 {
+                self.fails.fetch_sub(1, Ordering::SeqCst);
+                return crate::codec::unavailable_frame();
+            }
+            self.inner.exchange(raw)
+        }
+    }
+
+    /// Delivers to the inner endpoint but loses the first `lose` replies
+    /// on the way back — the duplicated-delivery hazard: the server has
+    /// already applied when the client decides to retry.
+    struct LoseReplies {
+        lose: AtomicU64,
+        inner: Box<dyn RawExchange>,
+    }
+
+    impl RawExchange for LoseReplies {
+        fn exchange(&self, raw: Bytes) -> Bytes {
+            let reply = self.inner.exchange(raw);
+            if self.lose.load(Ordering::SeqCst) > 0 {
+                self.lose.fetch_sub(1, Ordering::SeqCst);
+                return crate::codec::unavailable_frame();
+            }
+            reply
+        }
+    }
+
+    /// A [`LiveShard`] behind the at-most-once dedup discipline of a real
+    /// `SpatialService`: enveloped updates replay their recorded Ack
+    /// instead of re-applying.
+    struct DedupShard {
+        inner: LiveShard,
+        seen: Mutex<HashMap<u64, (u64, u64)>>,
+    }
+
+    impl DedupShard {
+        fn new(objects: Vec<SpatialObject>) -> Self {
+            DedupShard {
+                inner: LiveShard::new(objects),
+                seen: Mutex::new(HashMap::new()),
+            }
+        }
+    }
+
+    impl RawExchange for DedupShard {
+        fn exchange(&self, raw: Bytes) -> Bytes {
+            match crate::codec::peel_dedup(&raw) {
+                Some((tag, body)) => {
+                    let mut seen = self.seen.lock().unwrap();
+                    if let Some(&(seq, generation)) = seen.get(&tag.nonce) {
+                        if tag.seq == seq {
+                            return encode_response(&Response::Ack { generation });
+                        }
+                    }
+                    let reply = self.inner.exchange(body);
+                    if let Ok((Response::Ack { generation }, _)) =
+                        decode_response_gen(reply.clone())
+                    {
+                        seen.insert(tag.nonce, (tag.seq, generation));
+                    }
+                    reply
+                }
+                None => self.inner.exchange(raw),
+            }
+        }
+    }
+
+    fn live_shard_endpoint(
+        objects: Vec<SpatialObject>,
+        cell: Rect,
+        carrier: Box<dyn RawExchange>,
+    ) -> ShardEndpoint {
+        let bounds = Rect::union_of(objects.iter().map(|o| o.mbr));
+        ShardEndpoint::with_meta(Arc::new(ShardMeta::with_cell(bounds, Some(cell))), carrier)
+    }
+
+    #[test]
+    fn scatter_retry_keeps_healthy_replies_and_meters_per_shard() {
+        let left: Vec<SpatialObject> = (0..10)
+            .map(|i| SpatialObject::point(i, i as f64, 0.0))
+            .collect();
+        let right: Vec<SpatialObject> = (0..10)
+            .map(|i| SpatialObject::point(100 + i, 100.0 + i as f64, 0.0))
+            .collect();
+        let flaky_left = Box::new(FlakyExchange {
+            fails: AtomicU64::new(2),
+            inner: Box::new(InProcExchange::new(Arc::new(Scan(left.clone())))),
+        });
+        let router = ShardRouter::new(
+            vec![
+                ShardEndpoint::new(Rect::union_of(left.iter().map(|o| o.mbr)), flaky_left),
+                endpoint(right),
+            ],
+            PacketModel::default(),
+        )
+        .with_retry(RetryPolicy::attempts(3));
+        let all = Rect::from_coords(-1.0, -1.0, 200.0, 1.0);
+        let (resp, _) = roundtrip(&router, &Request::Count(all));
+        assert_eq!(
+            resp,
+            Response::Count(20),
+            "healthy reply kept, flaky slot recovered"
+        );
+        let fleet = router.telemetry().snapshot();
+        assert_eq!(
+            fleet.per_shard[0].retried, 2,
+            "only the failed slot re-sent"
+        );
+        assert_eq!(fleet.per_shard[1].retried, 0);
+        assert_eq!(fleet.summed().retried, 2);
+        assert_eq!(fleet.summed().abandoned, 0);
+        assert!(fleet.failed_shards.is_empty());
+        // The healthy shard crossed the wire exactly once; the flaky
+        // slot's dropped attempts were never metered.
+        assert_eq!(fleet.per_shard[0].count_queries, 1);
+        assert_eq!(fleet.per_shard[1].count_queries, 1);
+        assert_eq!(
+            fleet.per_shard[0].total_bytes(),
+            fleet.per_shard[1].total_bytes(),
+            "a recovered slot costs the same as a clean one"
+        );
+    }
+
+    #[test]
+    fn exhausted_shard_surfaces_unavailable_and_is_recorded() {
+        let left: Vec<SpatialObject> = (0..10)
+            .map(|i| SpatialObject::point(i, i as f64, 0.0))
+            .collect();
+        let right: Vec<SpatialObject> = (0..10)
+            .map(|i| SpatialObject::point(100 + i, 100.0 + i as f64, 0.0))
+            .collect();
+        let dead_left = Box::new(FlakyExchange {
+            fails: AtomicU64::new(u64::MAX),
+            inner: Box::new(InProcExchange::new(Arc::new(Scan(left.clone())))),
+        });
+        let router = ShardRouter::new(
+            vec![
+                ShardEndpoint::new(Rect::union_of(left.iter().map(|o| o.mbr)), dead_left),
+                endpoint(right),
+            ],
+            PacketModel::default(),
+        )
+        .with_retry(RetryPolicy::attempts(2));
+        let all = Rect::from_coords(-1.0, -1.0, 200.0, 1.0);
+        let (resp, _) = roundtrip(&router, &Request::Count(all));
+        assert_eq!(
+            resp,
+            Response::Unavailable,
+            "exhaustion is typed, not panicked"
+        );
+        let fleet = router.telemetry().snapshot();
+        assert_eq!(fleet.failed_shards, vec![0]);
+        assert_eq!(fleet.per_shard[0].retried, 1);
+        assert_eq!(fleet.per_shard[0].abandoned, 1);
+        assert_eq!(fleet.per_shard[0].total_bytes(), 0, "nothing ever crossed");
+        assert_eq!(
+            fleet.per_shard[1].count_queries, 1,
+            "healthy shard still served"
+        );
+        assert_eq!(fleet.generations, vec![0, 0], "generations never regress");
+        assert_eq!(fleet.summed(), router.aggregate_meter().snapshot());
+    }
+
+    #[test]
+    fn update_retries_replay_the_envelope_and_never_double_bump() {
+        let left: Vec<SpatialObject> = (0..10)
+            .map(|i| SpatialObject::point(i, i as f64, 0.0))
+            .collect();
+        let right: Vec<SpatialObject> = (0..10)
+            .map(|i| SpatialObject::point(100 + i, 100.0 + i as f64, 0.0))
+            .collect();
+        // The left shard applies the batch, then its Ack is lost in
+        // flight; the retried duplicate must replay, not re-apply.
+        let lossy_left = Box::new(LoseReplies {
+            lose: AtomicU64::new(1),
+            inner: Box::new(DedupShard::new(left.clone())),
+        });
+        let router = ShardRouter::new(
+            vec![
+                live_shard_endpoint(left, Rect::from_coords(0.0, -10.0, 50.0, 10.0), lossy_left),
+                live_shard_endpoint(
+                    right.clone(),
+                    Rect::from_coords(50.0, -10.0, 110.0, 10.0),
+                    Box::new(DedupShard::new(right)),
+                ),
+            ],
+            PacketModel::default(),
+        )
+        .with_retry(RetryPolicy::attempts(3));
+        let (ack, _) = roundtrip(
+            &router,
+            &Request::ApplyUpdates(vec![Update::Insert(SpatialObject::point(900, 10.0, 0.0))]),
+        );
+        // Every shard is contacted per fleet batch (the non-owner gets
+        // the disjointness Delete), so each bumps once: 1 + 1. A double
+        // apply on the lossy left would have summed to 3.
+        assert_eq!(
+            ack,
+            Response::Ack { generation: 2 },
+            "duplicated delivery bumps the owner exactly once"
+        );
+        assert_eq!(router.telemetry().generations(), vec![1, 1]);
+        let fleet = router.telemetry().snapshot();
+        assert_eq!(fleet.per_shard[0].retried, 1);
+        assert_eq!(fleet.summed().abandoned, 0);
+        // The object landed exactly once.
+        let (resp, stamp) = roundtrip(
+            &router,
+            &Request::Window(Rect::from_coords(-1.0, -1.0, 200.0, 1.0)),
+        );
+        assert_eq!(stamp, 2);
+        let ids: Vec<u32> = resp.into_objects().iter().map(|o| o.id).collect();
+        assert_eq!(ids.iter().filter(|&&id| id == 900).count(), 1);
+        assert_eq!(ids.len(), 21);
+    }
+
+    #[test]
+    fn single_shard_pass_through_retries_and_dedups() {
+        let data: Vec<SpatialObject> = (0..5)
+            .map(|i| SpatialObject::point(i, i as f64, 0.0))
+            .collect();
+        let lossy = Box::new(LoseReplies {
+            lose: AtomicU64::new(1),
+            inner: Box::new(DedupShard::new(data.clone())),
+        });
+        let router = ShardRouter::new(
+            vec![live_shard_endpoint(
+                data,
+                Rect::from_coords(0.0, -10.0, 10.0, 10.0),
+                lossy,
+            )],
+            PacketModel::default(),
+        )
+        .with_retry(RetryPolicy::attempts(3));
+        let (ack, _) = roundtrip(&router, &Request::ApplyUpdates(vec![Update::Delete(0)]));
+        assert_eq!(
+            ack,
+            Response::Ack { generation: 1 },
+            "replayed, not re-applied"
+        );
+        assert_eq!(router.telemetry().generations(), vec![1]);
+        let fleet = router.telemetry().snapshot();
+        assert_eq!(fleet.per_shard[0].retried, 1);
+        assert_eq!(fleet.summed().abandoned, 0);
+        // Queries retry through the same path.
+        let w = Rect::from_coords(-1.0, -1.0, 10.0, 1.0);
+        let (resp, stamp) = roundtrip(&router, &Request::Window(w));
+        assert_eq!(stamp, 1);
+        assert_eq!(resp.into_objects().len(), 4);
+    }
+
+    #[test]
+    fn exhausted_pass_through_surfaces_unavailable() {
+        let data: Vec<SpatialObject> = (0..5)
+            .map(|i| SpatialObject::point(i, i as f64, 0.0))
+            .collect();
+        let dead = Box::new(FlakyExchange {
+            fails: AtomicU64::new(u64::MAX),
+            inner: Box::new(InProcExchange::new(Arc::new(Scan(data.clone())))),
+        });
+        let router = ShardRouter::new(
+            vec![ShardEndpoint::new(
+                Rect::union_of(data.iter().map(|o| o.mbr)),
+                dead,
+            )],
+            PacketModel::default(),
+        )
+        .with_retry(RetryPolicy::attempts(2));
+        let raw = router.exchange(encode_request(&Request::Count(Rect::from_coords(
+            0.0, -1.0, 4.0, 1.0,
+        ))));
+        assert!(crate::codec::is_unavailable(&raw));
+        let fleet = router.telemetry().snapshot();
+        assert_eq!(fleet.failed_shards, vec![0]);
+        assert_eq!(fleet.per_shard[0].abandoned, 1);
+        assert_eq!(fleet.per_shard[0].total_bytes(), 0);
+    }
+
+    #[test]
+    fn garbled_frame_to_the_router_answers_typed_malformed() {
+        for router in [two_shard_router(), live_fleet()] {
+            let raw = router.exchange(Bytes::copy_from_slice(&[0xEE, 0x01, 0x02]));
+            assert_eq!(raw, crate::codec::malformed_frame(), "routers never panic");
+        }
     }
 }

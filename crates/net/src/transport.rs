@@ -19,11 +19,65 @@ use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
 use crate::codec::{
-    decode_response_gen_ctx, encode_request_versioned, QuantCtx, WireVersion, MAX_WIRE_VERSION,
+    decode_response_gen_ctx, encode_request_versioned, DedupTag, QuantCtx, WireVersion,
+    MAX_WIRE_VERSION,
 };
 use crate::meter::LinkMeter;
-use crate::packet::PacketModel;
+use crate::packet::{PacketModel, RetryPolicy};
 use crate::proto::{QueryHandler, Request, Response};
+
+/// Process-unique sender nonce for the retry-dedup envelope: each link
+/// draws one at construction, so two links never collide in a server's
+/// at-most-once table.
+static LINK_NONCE: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_link_nonce() -> u64 {
+    LINK_NONCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Serves one request frame into `buf` — the decode path shared by every
+/// server-side adapter. Peels the retry-dedup envelope first: a tagged
+/// `ApplyUpdates` delivery goes through
+/// [`QueryHandler::handle_tagged_updates`] so stateful servers can make
+/// it at-most-once; an envelope wrapping anything else is garbage and
+/// answers the typed malformed frame. Returns `false` when a typed error
+/// was encoded instead of an answer, so callers keep served-query counts
+/// honest.
+pub(crate) fn serve_frame_into<H: QueryHandler + ?Sized>(
+    handler: &H,
+    request: Bytes,
+    buf: &mut BytesMut,
+) -> bool {
+    let (tag, body) = match crate::codec::peel_dedup(&request) {
+        Some((tag, inner)) => (Some(tag), inner),
+        None => (None, request),
+    };
+    let (req, wire) = match crate::codec::decode_request_versioned(body) {
+        Ok(pair) => pair,
+        Err(_) => {
+            crate::codec::encode_response_into(&Response::Malformed, buf);
+            return false;
+        }
+    };
+    match (tag, req) {
+        (Some(tag), Request::ApplyUpdates(updates)) => {
+            // Acks carry their generation in-band and are never stamped,
+            // so encoding straight here (bypassing any stamping wrapper)
+            // is wire-identical to the untagged path.
+            let resp = handler.handle_tagged_updates(tag, updates);
+            crate::codec::encode_response_versioned(&resp, wire, None, buf);
+            true
+        }
+        (Some(_), _) => {
+            crate::codec::encode_response_into(&Response::Malformed, buf);
+            false
+        }
+        (None, req) => {
+            handler.handle_into(req, wire, buf);
+            true
+        }
+    }
+}
 
 /// A byte-level carrier: ships an encoded request, returns the encoded
 /// response. Carriers are `Sync` so one carrier can serve interleaved
@@ -65,17 +119,13 @@ impl<H: QueryHandler> RawExchange for InProcExchange<H> {
         if let Some(accept) = crate::codec::try_answer_hello(&request) {
             return accept;
         }
-        let (req, wire) = match crate::codec::decode_request_versioned(request) {
-            Ok(pair) => pair,
-            // A garbled frame is answered with a typed error, never
-            // panicked on — same contract as the shared server thread.
-            Err(_) => return crate::codec::malformed_frame(),
-        };
         // The zero-copy serving path: the handler encodes straight into
         // the reply buffer (exact-capacity reserve inside the codec), so
-        // no intermediate `Response` vectors are materialized.
+        // no intermediate `Response` vectors are materialized. A garbled
+        // frame is answered with a typed error, never panicked on — same
+        // contract as the shared server thread.
         let mut buf = BytesMut::new();
-        self.handler.handle_into(req, wire, &mut buf);
+        serve_frame_into(self.handler.as_ref(), request, &mut buf);
         buf.freeze()
     }
 }
@@ -177,20 +227,14 @@ impl ChannelServer {
                         let _ = rpc.reply.send(accept);
                         continue;
                     }
-                    let (req, wire) = match crate::codec::decode_request_versioned(rpc.request) {
-                        Ok(pair) => pair,
-                        Err(_) => {
-                            // This thread is shared by every connected
-                            // device: one garbled frame gets a typed
-                            // error reply and the loop keeps serving —
-                            // it must never panic the thread.
-                            let _ = rpc.reply.send(crate::codec::malformed_frame());
-                            continue;
-                        }
-                    };
                     buf.clear();
-                    handler.handle_into(req, wire, &mut buf);
-                    served += 1;
+                    // This thread is shared by every connected device:
+                    // one garbled frame gets a typed error reply (and is
+                    // not counted as served) and the loop keeps serving —
+                    // it must never panic the thread.
+                    if serve_frame_into(handler.as_ref(), rpc.request, &mut buf) {
+                        served += 1;
+                    }
                     // A dropped reply channel just means the client gave up.
                     // With the real `bytes` crate this would be
                     // `buf.split().freeze()` (zero-copy hand-off that
@@ -276,6 +320,15 @@ pub struct Link {
     /// `V1` on premetered carriers (a router or cache negotiates its own
     /// physical edges itself).
     wire: WireVersion,
+    /// Retry/backoff discipline of this link's own physical exchanges.
+    /// Off by default (one attempt, byte-identical traffic); ignored on
+    /// premetered carriers, whose layers retry their own physical edges.
+    retry: RetryPolicy,
+    /// Sender nonce of the retry-dedup envelope (process-unique).
+    dedup_nonce: u64,
+    /// Batch sequence within this sender; one per `ApplyUpdates` request,
+    /// identical across its retries.
+    dedup_seq: AtomicU64,
 }
 
 /// Runs the `HELLO`/`ACCEPT` handshake over a carrier and returns the
@@ -305,6 +358,9 @@ impl Link {
             cache: None,
             last_generation: AtomicU64::new(0),
             wire: WireVersion::V1,
+            retry: RetryPolicy::default(),
+            dedup_nonce: next_link_nonce(),
+            dedup_seq: AtomicU64::new(0),
         }
     }
 
@@ -324,6 +380,9 @@ impl Link {
             cache: None,
             last_generation: AtomicU64::new(0),
             wire: WireVersion::V1,
+            retry: RetryPolicy::default(),
+            dedup_nonce: next_link_nonce(),
+            dedup_seq: AtomicU64::new(0),
         }
     }
 
@@ -342,6 +401,9 @@ impl Link {
             premetered: true,
             last_generation: AtomicU64::new(0),
             wire: WireVersion::V1,
+            retry: RetryPolicy::default(),
+            dedup_nonce: next_link_nonce(),
+            dedup_seq: AtomicU64::new(0),
         }
     }
 
@@ -354,44 +416,88 @@ impl Link {
         Link::new(Box::new(InProcExchange::new(handler)), packet, tariff)
     }
 
+    /// Adopts a retry/backoff discipline for this link's own physical
+    /// exchanges. With the default (off) policy every request is one
+    /// attempt and the wire traffic is byte-identical to a policy-less
+    /// link. On premetered carriers the policy is ignored here — the
+    /// router/cache layer retries its own physical edges instead.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Issues one RPC, metering both directions (unless the carrier is a
     /// shard router or cache layer, which meters each physical exchange
     /// itself). Takes the request by reference — framing a request never
     /// requires surrendering (or cloning) its payload.
+    ///
+    /// When a [`RetryPolicy`] is enabled, failed attempts — the locally
+    /// fabricated unavailable frame, or a reply that crossed the wire but
+    /// does not decode — are re-issued up to the budget with deterministic
+    /// backoff, `retried`/`abandoned` tallied on the meter. `ApplyUpdates`
+    /// retries ride under the at-most-once dedup envelope (the identical
+    /// `(nonce, seq)` tag on every attempt), so a duplicated delivery can
+    /// never double-bump a generation or double-apply a move.
     pub fn request(&self, req: &Request) -> Response {
         let aggregate = req.is_aggregate();
-        let encoded = encode_request_versioned(req, self.wire);
+        let mut encoded = encode_request_versioned(req, self.wire);
+        let retrying = !self.premetered && self.retry.enabled();
+        if retrying && matches!(req, Request::ApplyUpdates(_)) {
+            let tag = DedupTag {
+                nonce: self.dedup_nonce,
+                seq: self.dedup_seq.fetch_add(1, Ordering::Relaxed),
+            };
+            encoded = crate::codec::wrap_dedup(tag, &encoded);
+        }
         let up_len = encoded.len() as u64;
-        let raw = self.carrier.exchange(encoded);
-        if crate::codec::is_unavailable(&raw) {
-            // The peer is gone and the carrier fabricated this reply
-            // locally: no byte crossed the wire in either direction, so
-            // the meter charges nothing. (Charging the uplink *before*
-            // the exchange — the old order — left failed exchanges
-            // counting bytes that were never sent.)
-            return Response::Unavailable;
-        }
-        if !self.premetered {
-            self.meter.record_request(req, up_len, &self.packet);
-        }
-        let len = raw.len() as u64;
         let ctx = QuantCtx::for_request(req);
-        // A reply that crossed the wire but does not decode degrades to
-        // the typed `Malformed` response — both directions are still
-        // charged below, because those bytes were real traffic.
-        let (resp, generation) =
-            decode_response_gen_ctx(raw, ctx.as_ref()).unwrap_or((Response::Malformed, 0));
-        match &resp {
-            Response::Ack { generation } => self
-                .last_generation
-                .fetch_max(*generation, Ordering::AcqRel),
-            _ => self.last_generation.fetch_max(generation, Ordering::AcqRel),
-        };
-        if !self.premetered {
-            self.meter
-                .record_response(len, resp.object_count(), &self.packet, aggregate);
+        let attempts = if retrying { self.retry.max_attempts } else { 1 };
+        let mut outcome = Response::Unavailable;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.meter.record_retry();
+                self.retry.sleep(attempt);
+            }
+            let raw = self.carrier.exchange(encoded.clone());
+            if crate::codec::is_unavailable(&raw) {
+                // The peer is gone and the carrier fabricated this reply
+                // locally: no byte crossed the wire in either direction,
+                // so the meter charges nothing. (Charging the uplink
+                // *before* the exchange — the old order — left failed
+                // exchanges counting bytes that were never sent.)
+                outcome = Response::Unavailable;
+                continue;
+            }
+            if !self.premetered {
+                self.meter.record_request(req, up_len, &self.packet);
+            }
+            let len = raw.len() as u64;
+            // A reply that crossed the wire but does not decode degrades
+            // to the typed `Malformed` response — both directions are
+            // still charged, because those bytes were real traffic (every
+            // completed attempt is, including superseded ones).
+            let (resp, generation) =
+                decode_response_gen_ctx(raw, ctx.as_ref()).unwrap_or((Response::Malformed, 0));
+            if !self.premetered {
+                self.meter
+                    .record_response(len, resp.object_count(), &self.packet, aggregate);
+            }
+            if resp == Response::Malformed {
+                outcome = Response::Malformed;
+                continue;
+            }
+            match &resp {
+                Response::Ack { generation } => self
+                    .last_generation
+                    .fetch_max(*generation, Ordering::AcqRel),
+                _ => self.last_generation.fetch_max(generation, Ordering::AcqRel),
+            };
+            return resp;
         }
-        resp
+        if retrying {
+            self.meter.record_abandon();
+        }
+        outcome
     }
 
     /// Runs the version handshake over this link's own carrier and
@@ -612,6 +718,169 @@ mod tests {
         drop(handle);
         assert_eq!(link.request(&Request::Count(w())), Response::Unavailable);
         assert_eq!(link.request(&Request::Window(w())), Response::Unavailable);
+    }
+
+    /// Fails the first `fails` exchanges with the fabricated unavailable
+    /// frame, then forwards to an in-process server.
+    struct Flaky {
+        fails: AtomicU64,
+        inner: InProcExchange<Fixed>,
+    }
+
+    impl Flaky {
+        fn failing(n: u64) -> Self {
+            Flaky {
+                fails: AtomicU64::new(n),
+                inner: InProcExchange::new(Arc::new(Fixed)),
+            }
+        }
+    }
+
+    impl RawExchange for Flaky {
+        fn exchange(&self, request: Bytes) -> Bytes {
+            let left = self.fails.load(Ordering::SeqCst);
+            if left > 0 {
+                self.fails.store(left - 1, Ordering::SeqCst);
+                return crate::codec::unavailable_frame();
+            }
+            self.inner.exchange(request)
+        }
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_unavailability() {
+        let link = Link::new(Box::new(Flaky::failing(2)), PacketModel::default(), 1.0)
+            .with_retry(RetryPolicy::attempts(3));
+        assert_eq!(link.request(&Request::Count(w())).into_count(), 7);
+        let s = link.meter().snapshot();
+        assert_eq!(s.retried, 2);
+        assert_eq!(s.abandoned, 0);
+        // Failed attempts never touched the wire: the meter shows exactly
+        // one clean exchange.
+        let clean = Link::in_process(Arc::new(Fixed), PacketModel::default(), 1.0);
+        clean.request(&Request::Count(w()));
+        let c = clean.meter().snapshot();
+        assert_eq!(s.up_bytes, c.up_bytes);
+        assert_eq!(s.down_bytes, c.down_bytes);
+        assert_eq!(s.count_queries, c.count_queries);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_unavailable_and_abandon() {
+        let link = Link::new(Box::new(Flaky::failing(10)), PacketModel::default(), 1.0)
+            .with_retry(RetryPolicy::attempts(3));
+        assert_eq!(link.request(&Request::Count(w())), Response::Unavailable);
+        let s = link.meter().snapshot();
+        assert_eq!(s.retried, 2);
+        assert_eq!(s.abandoned, 1);
+        assert_eq!(s.total_bytes(), 0, "no attempt completed, nothing metered");
+    }
+
+    #[test]
+    fn garbled_reply_is_retried_and_both_attempts_metered() {
+        /// Garbles the first reply; every frame still crosses the wire.
+        struct GarbleOnce {
+            garbled: AtomicU64,
+            inner: InProcExchange<Fixed>,
+        }
+        impl RawExchange for GarbleOnce {
+            fn exchange(&self, request: Bytes) -> Bytes {
+                let reply = self.inner.exchange(request);
+                if self.garbled.fetch_add(1, Ordering::SeqCst) == 0 {
+                    crate::codec::garble_frame(&reply)
+                } else {
+                    reply
+                }
+            }
+        }
+        let link = Link::new(
+            Box::new(GarbleOnce {
+                garbled: AtomicU64::new(0),
+                inner: InProcExchange::new(Arc::new(Fixed)),
+            }),
+            PacketModel::default(),
+            1.0,
+        )
+        .with_retry(RetryPolicy::attempts(2));
+        assert_eq!(link.request(&Request::Count(w())).into_count(), 7);
+        let s = link.meter().snapshot();
+        assert_eq!(s.retried, 1);
+        assert_eq!(s.abandoned, 0);
+        // Both attempts were real traffic (the garbled reply crossed the
+        // wire too), so both are charged — and the garble preserves frame
+        // length, so the two downlink charges are equal.
+        assert_eq!(s.up_bytes, 2 * PacketModel::default().tb(17));
+        assert_eq!(s.down_bytes, 2 * PacketModel::default().tb(9));
+    }
+
+    #[test]
+    fn update_retries_carry_the_identical_dedup_envelope() {
+        /// Records every request frame; fails the first exchange.
+        struct Capture {
+            seen: Arc<std::sync::Mutex<Vec<Bytes>>>,
+            flaky: Flaky,
+        }
+        impl RawExchange for Capture {
+            fn exchange(&self, request: Bytes) -> Bytes {
+                self.seen.lock().unwrap().push(request.clone());
+                self.flaky.exchange(request)
+            }
+        }
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let carrier = Box::new(Capture {
+            seen: Arc::clone(&seen),
+            flaky: Flaky::failing(1),
+        });
+        let link =
+            Link::new(carrier, PacketModel::default(), 1.0).with_retry(RetryPolicy::attempts(2));
+        // Fixed refuses updates — a typed refusal, which is a final
+        // answer, not a retryable failure.
+        assert_eq!(
+            link.request(&Request::ApplyUpdates(vec![])),
+            Response::Refused
+        );
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2, "one failed attempt + one retry");
+        for frame in seen.iter() {
+            assert_eq!(
+                frame[0],
+                crate::codec::op::APPLY_UPDATES_SEQ,
+                "retried updates ride the dedup envelope"
+            );
+        }
+        assert_eq!(
+            seen[0].as_ref(),
+            seen[1].as_ref(),
+            "every retry carries the identical (nonce, seq) tag"
+        );
+    }
+
+    #[test]
+    fn retry_off_sends_plain_update_frames() {
+        let ex = InProcExchange::new(Arc::new(crate::testutil::ScanHandler(vec![])));
+        // Without a retry budget no envelope is ever attached: the wire
+        // stays byte-identical to the pre-retry protocol.
+        let encoded = crate::codec::encode_request(&Request::ApplyUpdates(vec![]));
+        assert_ne!(encoded[0], crate::codec::op::APPLY_UPDATES_SEQ);
+        // And the server path still answers envelope frames when they do
+        // arrive (a retrying client against any server).
+        let tagged =
+            crate::codec::wrap_dedup(crate::codec::DedupTag { nonce: 9, seq: 0 }, &encoded);
+        let reply = ex.exchange(tagged);
+        assert_eq!(
+            crate::codec::decode_response(reply).unwrap(),
+            Response::Refused,
+            "ScanHandler refuses updates, tagged or not"
+        );
+        // An envelope wrapping anything but updates is garbage.
+        let bogus = crate::codec::wrap_dedup(
+            crate::codec::DedupTag { nonce: 9, seq: 1 },
+            &crate::codec::encode_request(&Request::Count(w())),
+        );
+        assert_eq!(
+            crate::codec::decode_response(ex.exchange(bogus)).unwrap(),
+            Response::Malformed
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ use asj_net::codec::{
     encode_response_versioned, stamp_generation_versioned, QuantCtx, WireVersion, OBJ_BYTES,
 };
 use asj_net::Response;
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 use proptest::prelude::*;
 
 /// Grid-aligned, exactly-f32 coordinates. Windows are built from the
@@ -110,6 +110,106 @@ fn encode_v2(resp: &Response, ctx: Option<&QuantCtx>) -> bytes::Bytes {
     let mut buf = BytesMut::new();
     encode_response_versioned(resp, WireVersion::V2, ctx, &mut buf);
     buf.freeze()
+}
+
+/// A deterministic LCG (Knuth's MMIX constants) for the seeded garble
+/// sweep — byte positions and replacement values replay from the seed.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695_040_888_963_407);
+    *state >> 33
+}
+
+/// A corpus of valid frames in both wire versions: every response shape
+/// the retry loops re-decode, as v1 frames and as generation-stamped v2
+/// frames, plus request frames (the server-facing decode surface).
+fn garble_corpus() -> Vec<(Bytes, Option<QuantCtx>)> {
+    use asj_net::codec::{encode_request_versioned, ANSWER_BYTES};
+    let _ = ANSWER_BYTES; // corpus shapes mirror the costed frames
+    let win = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+    let ctx = QuantCtx::new(win);
+    let objs = vec![
+        SpatialObject::point(1, 1.0, 1.0),
+        SpatialObject::new(900, Rect::from_coords(2.0, 2.0, 1.0e7, 3.0)),
+        SpatialObject::point(901, -4.5, 9.5),
+    ];
+    let responses = [
+        Response::Objects(objs),
+        Response::Count(123_456),
+        Response::Counts(vec![0, 7, u64::MAX, 42]),
+        Response::Ack { generation: 7 },
+    ];
+    let mut corpus = Vec::new();
+    for resp in &responses {
+        corpus.push((encode_response(resp), None));
+        let mut buf = BytesMut::new();
+        stamp_generation_versioned(9, WireVersion::V2, &mut buf);
+        encode_response_versioned(resp, WireVersion::V2, ctx.as_ref(), &mut buf);
+        corpus.push((buf.freeze(), ctx));
+    }
+    for req in [
+        asj_net::Request::Count(win),
+        asj_net::Request::Window(win),
+        asj_net::Request::MultiCount(vec![win, win]),
+    ] {
+        for wire in [WireVersion::V1, WireVersion::V2] {
+            corpus.push((encode_request_versioned(&req, wire), None));
+        }
+    }
+    corpus
+}
+
+/// The seeded garble sweep: 10 000 LCG-mutated valid frames (v1 and v2,
+/// responses and requests) must decode to a typed error or a value —
+/// never panic. The injected-garble marker specifically must *never*
+/// silently decode to a valid value, and truncating any frame anywhere
+/// is always caught.
+#[test]
+fn seeded_garble_sweep_decodes_typed_or_errors_never_panics() {
+    use asj_net::codec::{decode_request_versioned, garble_frame, is_injected_garble};
+    let corpus = garble_corpus();
+    let mut state = 0x5eed_0dd5_u64;
+    let (mut ok, mut err) = (0u64, 0u64);
+    for _ in 0..10_000 {
+        let (frame, ctx) = &corpus[lcg(&mut state) as usize % corpus.len()];
+        let mut bytes = frame.to_vec();
+        let pos = lcg(&mut state) as usize % bytes.len();
+        bytes[pos] = lcg(&mut state) as u8;
+        let mutated = Bytes::from(bytes);
+        // Both decode surfaces must stay total on the mutated frame: the
+        // client-side response path and the server-side request path.
+        let as_resp = decode_response_gen_ctx(mutated.clone(), ctx.as_ref());
+        let as_req = decode_request_versioned(mutated);
+        match (as_resp.is_ok(), as_req.is_ok()) {
+            (false, false) => err += 1,
+            _ => ok += 1,
+        }
+    }
+    assert_eq!(ok + err, 10_000);
+    assert!(err > 1_000, "the sweep must actually reach the decoders");
+    assert!(ok > 0, "some single-byte mutations stay well-formed");
+
+    for (frame, ctx) in &corpus {
+        // The injected-garble marker (byte 0 stamped) can never silently
+        // decode to a different valid value — it is always a typed error.
+        let garbled = garble_frame(frame);
+        assert!(is_injected_garble(&garbled));
+        assert!(decode_response_gen_ctx(garbled.clone(), ctx.as_ref()).is_err());
+        assert!(decode_request_versioned(garbled).is_err());
+        // Every truncation — the frame cut short at *any* length, the
+        // single-byte tail loss included — leaves a frame both decoders
+        // reject: no strict prefix of a valid frame is itself valid.
+        for len in 0..frame.len() {
+            let truncated = frame.slice(0..len);
+            assert!(
+                decode_response_gen_ctx(truncated.clone(), ctx.as_ref()).is_err()
+                    && decode_request_versioned(truncated).is_err(),
+                "a {len}-byte prefix of a {}-byte frame must not decode",
+                frame.len()
+            );
+        }
+    }
 }
 
 proptest! {

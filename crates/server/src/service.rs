@@ -1,9 +1,10 @@
 //! The request handler a server exposes over the network.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use asj_geom::{plane_sweep_join, JoinPredicate, Rect, SpatialObject};
-use asj_net::codec::{ObjectsEncoder, QuantCtx, WireVersion};
+use asj_net::codec::{DedupTag, ObjectsEncoder, QuantCtx, WireVersion};
 use asj_net::{QueryHandler, Request, Response};
 use bytes::BytesMut;
 
@@ -35,6 +36,12 @@ pub struct SpatialService<S: SpatialStore> {
     policy: ServicePolicy,
     /// Worker threads used for large bucket queries.
     bucket_workers: usize,
+    /// At-most-once table of the retry-dedup envelope: sender nonce →
+    /// (last applied batch seq, the generation its Ack carried). A
+    /// duplicated delivery replays the remembered Ack instead of
+    /// re-applying, so a retried batch can never double-bump the
+    /// generation or double-apply a move.
+    dedup: Mutex<HashMap<u64, (u64, u64)>>,
 }
 
 impl<S: SpatialStore> SpatialService<S> {
@@ -46,6 +53,7 @@ impl<S: SpatialStore> SpatialService<S> {
             bucket_workers: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            dedup: Mutex::new(HashMap::new()),
         }
     }
 
@@ -176,6 +184,37 @@ fn answer(
 }
 
 impl<S: SpatialStore> QueryHandler for SpatialService<S> {
+    /// The at-most-once check behind the retry-dedup envelope. Holding the
+    /// table lock across the apply serializes tagged batches, so two
+    /// concurrent deliveries of the same `(nonce, seq)` can never both
+    /// miss the table and double-apply. Refusals are not recorded — a
+    /// frozen store's refusal is stateless and safely repeatable.
+    fn handle_tagged_updates(&self, tag: DedupTag, updates: Vec<asj_net::Update>) -> Response {
+        let mut table = self.dedup.lock().expect("dedup lock poisoned");
+        match table.get(&tag.nonce) {
+            Some(&(last_seq, last_gen)) if tag.seq == last_seq => {
+                // Duplicate delivery of the batch just applied: replay its
+                // remembered Ack.
+                return Response::Ack {
+                    generation: last_gen,
+                };
+            }
+            Some(&(last_seq, _)) if tag.seq < last_seq => {
+                // A straggler retry of a batch superseded by later ones.
+                // Its sender moved on (the original delivery was either
+                // acknowledged or abandoned); re-applying now would
+                // reorder history, so refuse.
+                return Response::Refused;
+            }
+            _ => {}
+        }
+        let resp = self.apply(&updates);
+        if let Response::Ack { generation } = resp {
+            table.insert(tag.nonce, (tag.seq, generation));
+        }
+        resp
+    }
+
     fn handle(&self, req: Request) -> Response {
         if let Request::ApplyUpdates(batch) = req {
             return self.apply(&batch);
@@ -443,6 +482,55 @@ mod tests {
             Response::Ack { generation: 2 },
             "empty batches still tick the generation"
         );
+    }
+
+    #[test]
+    fn duplicate_tagged_deliveries_never_double_bump() {
+        use crate::versioned::VersionedStore;
+        use asj_net::Update;
+
+        let svc = SpatialService::new(VersionedStore::new(lattice(4), RTreeStore::new));
+        let tag = |nonce, seq| DedupTag { nonce, seq };
+        let batch = vec![Update::Delete(0)];
+        assert_eq!(
+            svc.handle_tagged_updates(tag(1, 0), batch.clone()),
+            Response::Ack { generation: 1 }
+        );
+        // The retried delivery replays the remembered Ack: same
+        // generation, nothing re-applied.
+        assert_eq!(
+            svc.handle_tagged_updates(tag(1, 0), batch.clone()),
+            Response::Ack { generation: 1 }
+        );
+        assert_eq!(svc.store().generation(), 1);
+        assert_eq!(svc.store().len(), 15, "the delete applied exactly once");
+        // The next batch from the same sender advances normally.
+        assert_eq!(
+            svc.handle_tagged_updates(tag(1, 1), vec![Update::Delete(1)]),
+            Response::Ack { generation: 2 }
+        );
+        // A straggler retry of the superseded batch is refused, never
+        // re-applied.
+        assert_eq!(
+            svc.handle_tagged_updates(tag(1, 0), batch),
+            Response::Refused
+        );
+        assert_eq!(svc.store().generation(), 2);
+        // Senders are independent: a different nonce with seq 0 applies.
+        assert_eq!(
+            svc.handle_tagged_updates(tag(2, 0), vec![]),
+            Response::Ack { generation: 3 }
+        );
+    }
+
+    #[test]
+    fn frozen_service_refuses_tagged_updates_without_recording() {
+        let svc = SpatialService::new(ScanStore::new(lattice(4)));
+        let tag = DedupTag { nonce: 7, seq: 0 };
+        assert_eq!(svc.handle_tagged_updates(tag, vec![]), Response::Refused);
+        // The refusal was not recorded: the retry takes the same path and
+        // is refused again (not replayed as a phantom Ack).
+        assert_eq!(svc.handle_tagged_updates(tag, vec![]), Response::Refused);
     }
 
     #[test]

@@ -22,6 +22,32 @@
 //! * [`workloads`] — Gaussian-cluster / uniform / synthetic-rail dataset
 //!   generators.
 //!
+//! ## Fault tolerance
+//!
+//! Real fleets are lossy, so every physical edge can be wrapped in a
+//! deterministic, seeded fault layer (`net::FaultLayer`) injecting
+//! drops, delays, garbled reply frames and crash-then-restart windows
+//! from a replayable `net::FaultPlan` —
+//! `Deployment` builders stack it with `with_faults`. Recovery rides on
+//! `net::RetryPolicy` (`NetConfig::with_retry`): bounded attempts with
+//! deterministic exponential backoff, split by idempotency class —
+//! read-only queries retry freely, while `ApplyUpdates` batches retry
+//! only under a sequence-numbered dedup envelope, so a duplicated
+//! delivery can never double-bump a generation. A sharded scatter
+//! retries failed shards *individually*; when one exhausts its budget
+//! the client gets a typed `Unavailable` (never a panic, never a torn
+//! result), the failing shard is recorded in the fleet snapshot, and
+//! per-shard generation vectors never regress. Retries are **off by
+//! default**, and off means off: with `RetryPolicy::default()` and a
+//! no-op plan the whole machinery is byte-identical to an unwrapped
+//! deployment — proven for all six algorithms in `tests/chaos.rs`,
+//! which also races joins against a live writer over faulted fleets
+//! across pinned seeds. `CostModel::with_retry_factor` prices the
+//! expected retransmission cost so planners can reason about lossy
+//! links, and the `fault-matrix` bench sweeps drop rate × retry budget
+//! (success within the budget is exactly monotone in the budget —
+//! asserted in CI).
+//!
 //! ## Quickstart
 //!
 //! ```

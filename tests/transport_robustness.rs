@@ -281,3 +281,119 @@ fn dead_server_yields_unavailable_and_charges_no_bytes() {
         "failed exchanges must not move the meter in either direction"
     );
 }
+
+/// The traffic harness over a lossy fleet: with a retry budget every
+/// device's answers equal the fault-free serial replay; with the budget
+/// exhausted the dark devices report typed outcomes (and charge no
+/// bytes) while the healthy devices' digests are untouched.
+#[test]
+fn lossy_traffic_with_retries_matches_fault_free_replay() {
+    use asj_net::{FaultLayer, FaultPlan, RetryPolicy};
+    let reactor = EventLoop::spawn("lossy");
+    let endpoint_r = reactor.serve(service(31));
+    let endpoint_s = reactor.serve(service(131));
+    let space = default_space();
+    let clean = |_device: usize| {
+        (
+            Link::new(Box::new(endpoint_r.connect()), PacketModel::default(), 1.0),
+            Link::new(Box::new(endpoint_s.connect()), PacketModel::default(), 1.0),
+        )
+    };
+    // Fault-free serial replay: the oracle digests.
+    let baseline = run_traffic(&TrafficConfig::new(24, 1, space), clean);
+    assert!(baseline.total_pairs() > 0, "non-vacuous workload");
+
+    // Lossy links, one seeded plan per device, retry budget 6: the
+    // answers (and therefore the local joins) must all be recovered.
+    let cfg = TrafficConfig::new(24, 4, space);
+    let lossy = |device: usize| {
+        let plan = FaultPlan::seeded(device as u64)
+            .with_drops(0.3)
+            .with_garbles(0.15);
+        let faulted = |conn: Box<dyn RawExchange>| -> Box<dyn RawExchange> {
+            Box::new(FaultLayer::new(conn, plan))
+        };
+        (
+            Link::new(
+                faulted(Box::new(endpoint_r.connect())),
+                PacketModel::default(),
+                1.0,
+            )
+            .with_retry(RetryPolicy::attempts(6)),
+            Link::new(
+                faulted(Box::new(endpoint_s.connect())),
+                PacketModel::default(),
+                1.0,
+            )
+            .with_retry(RetryPolicy::attempts(6)),
+        )
+    };
+    let recovered = run_traffic(&cfg, lossy);
+    assert_eq!(
+        recovered.result_digest(),
+        baseline.result_digest(),
+        "retries must recover every scripted answer bit-for-bit"
+    );
+    let (r_sum, s_sum) = recovered.summed_meters();
+    assert!(r_sum.retried + s_sum.retried > 0, "the plans must fire");
+    assert_eq!(
+        r_sum.abandoned + s_sum.abandoned,
+        0,
+        "budget 6 must suffice at these seeds"
+    );
+
+    // Exhausted budget: every fifth device sits behind a totally dark
+    // link with no retry budget at all.
+    let dark = |device: usize| {
+        if device % 5 == 0 {
+            let plan = FaultPlan::seeded(device as u64).with_drops(1.0);
+            (
+                Link::new(
+                    Box::new(FaultLayer::new(Box::new(endpoint_r.connect()), plan)),
+                    PacketModel::default(),
+                    1.0,
+                ),
+                Link::new(
+                    Box::new(FaultLayer::new(Box::new(endpoint_s.connect()), plan)),
+                    PacketModel::default(),
+                    1.0,
+                ),
+            )
+        } else {
+            clean(device)
+        }
+    };
+    let partial = run_traffic(&cfg, dark);
+    for (o, b) in partial.outcomes.iter().zip(&baseline.outcomes) {
+        if o.device % 5 == 0 {
+            assert_eq!(o.pairs, 0, "device {}: dark links join nothing", o.device);
+            assert_eq!(
+                o.r_meter.total_bytes(),
+                0,
+                "dropped exchanges must not charge the meter"
+            );
+            assert_ne!(
+                o.digest, b.digest,
+                "dark devices decode typed Unavailable, not the real answers"
+            );
+        } else {
+            assert_eq!(
+                (o.digest, o.pairs, o.pair_digest),
+                (b.digest, b.pairs, b.pair_digest),
+                "device {}: a healthy device was perturbed",
+                o.device
+            );
+            assert_eq!(o.r_meter, b.r_meter, "device {}: bytes diverged", o.device);
+        }
+    }
+    // Every dark device decoded the identical all-Unavailable script —
+    // the typed outcome is uniform, not device-dependent garbage.
+    let dark_digests: Vec<u64> = partial
+        .outcomes
+        .iter()
+        .filter(|o| o.device % 5 == 0)
+        .map(|o| o.digest)
+        .collect();
+    assert!(dark_digests.windows(2).all(|w| w[0] == w[1]));
+    assert!(reactor.shutdown() > 0);
+}
