@@ -1,13 +1,14 @@
-//! CLI: the drop-rate × retry-budget fault matrix.
+//! CLI: the drop-rate × retry-budget × replica-count fault matrix.
 //!
 //! ```text
-//! fault-matrix [--seeds N] [--points N] [--out DIR]
+//! fault-matrix [--seeds N] [--points N] [--replicas N[,N...]] [--out DIR]
 //! ```
 //!
-//! Prints the success/retry table to stdout, writes
+//! Prints the success/retry/failover table to stdout, writes
 //! `<out>/fault-matrix.csv`, and fails (non-zero exit) if success within
-//! the retry budget is not monotone in the budget at every drop rate —
-//! the invariant CI pins.
+//! the retry budget is not monotone in the budget at every (drop rate,
+//! replica count), or not monotone in the replica count at every
+//! (drop rate, budget) — the invariants CI pins.
 
 use asj_bench::fault::{check_fault_matrix, run_fault_matrix, FaultMatrixConfig};
 
@@ -30,6 +31,22 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--points needs a number"));
             }
+            "--replicas" => {
+                let spec = it
+                    .next()
+                    .unwrap_or_else(|| usage("--replicas needs a comma-separated list"));
+                cfg.replica_counts = spec
+                    .split(',')
+                    .map(|v| {
+                        v.trim()
+                            .parse()
+                            .unwrap_or_else(|_| usage("--replicas needs numbers"))
+                    })
+                    .collect();
+                if cfg.replica_counts.is_empty() || cfg.replica_counts.contains(&0) {
+                    usage("--replicas needs positive counts");
+                }
+            }
             "--out" => {
                 out_dir = it.next().unwrap_or_else(|| usage("--out needs a path"));
             }
@@ -39,11 +56,13 @@ fn main() {
     }
 
     eprintln!(
-        "running fault matrix ({} seeds, {} points, {} drop rates × {} budgets)…",
+        "running fault matrix ({} seeds, {} points, {} drop rates × {} budgets \
+         × {} replica counts)…",
         cfg.seeds,
         cfg.n_points,
         cfg.drop_rates.len(),
-        cfg.budgets.len()
+        cfg.budgets.len(),
+        cfg.replica_counts.len()
     );
     let start = std::time::Instant::now();
     let matrix = run_fault_matrix(&cfg);
@@ -62,6 +81,6 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: fault-matrix [--seeds N] [--points N] [--out DIR]");
+    eprintln!("usage: fault-matrix [--seeds N] [--points N] [--replicas N[,N...]] [--out DIR]");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

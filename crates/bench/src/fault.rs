@@ -15,6 +15,15 @@
 //! ([`CostModel::expected_attempts`]) next to the measured
 //! attempts-per-probe, so the pricing the planner uses can be eyeballed
 //! against the wire truth it abstracts.
+//!
+//! A third axis replicates every server ([`FaultMatrixConfig::replica_counts`]):
+//! replica `j`'s fault stream is decorrelated by seed *independently of
+//! the replica count*, and a failed exchange fails over to a sibling
+//! before spending retry budget, so the attempt schedule a probe sees
+//! under `n` replicas is a superset of the one under `n - 1`. Success is
+//! therefore **monotone in the replica count at every (drop rate,
+//! budget) cell** — exactly, not statistically — and `check_fault_matrix`
+//! pins that too.
 
 use asj_core::{CostModel, DeploymentBuilder};
 use asj_geom::{Point, Rect};
@@ -32,6 +41,9 @@ pub struct FaultMatrixConfig {
     pub drop_rates: Vec<f64>,
     /// Column axis: total delivery attempts per exchange (1 = retries off).
     pub budgets: Vec<u32>,
+    /// Replica axis: servers per side (1 = unreplicated; `n > 1` routes
+    /// through a replica-aware fleet that fails over between siblings).
+    pub replica_counts: Vec<usize>,
 }
 
 impl Default for FaultMatrixConfig {
@@ -41,6 +53,7 @@ impl Default for FaultMatrixConfig {
             n_points: 150,
             drop_rates: vec![0.0, 0.15, 0.30, 0.45],
             budgets: vec![1, 2, 4, 8],
+            replica_counts: vec![1, 2],
         }
     }
 }
@@ -50,17 +63,22 @@ impl Default for FaultMatrixConfig {
 pub struct FaultCell {
     pub drop_rate: f64,
     pub max_attempts: u32,
+    /// Replicas per server in this cell.
+    pub replicas: usize,
     /// Probe requests fired.
     pub probes: u64,
     /// Probes answered within the retry budget.
     pub succeeded: u64,
     /// Extra delivery attempts spent (link meters' `retried`).
     pub retried: u64,
+    /// Exchanges failed over to a sibling replica (0 when `replicas` is 1).
+    pub failovers: u64,
     /// Probes that came back [`Response::Unavailable`] — the budget (or,
     /// at budget 1, the single attempt) did not survive the loss.
     pub abandoned: u64,
-    /// What the link meters' `abandoned` gauge recorded; 0 at budget 1,
-    /// where the retry loop never engages.
+    /// What the link meters' `abandoned` gauge recorded; 0 at budget 1
+    /// on an unreplicated link, where the retry loop never engages (the
+    /// replica-aware router gauges exhaustion at every budget).
     pub metered_abandoned: u64,
     /// Wire bytes metered across both links.
     pub bytes: u64,
@@ -113,47 +131,54 @@ pub fn run_fault_matrix(cfg: &FaultMatrixConfig) -> FaultMatrix {
     let mut cells = Vec::new();
     for &drop_rate in &cfg.drop_rates {
         for &budget in &cfg.budgets {
-            let mut cell = FaultCell {
-                drop_rate,
-                max_attempts: budget,
-                probes: 0,
-                succeeded: 0,
-                retried: 0,
-                abandoned: 0,
-                metered_abandoned: 0,
-                bytes: 0,
-            };
-            for seed in 0..cfg.seeds {
-                let data_seed = 7 + seed * 97;
-                let r = gaussian_clusters(&SyntheticSpec::new(space, cfg.n_points, 4), data_seed);
-                let s = gaussian_clusters(
-                    &SyntheticSpec::new(space, cfg.n_points, 8),
-                    data_seed + 1000,
-                );
-                let dep = DeploymentBuilder::new(r, s)
-                    .with_buffer(cfg.n_points * 2)
-                    .with_space(space)
-                    .with_net(NetConfig::default().with_retry(RetryPolicy::attempts(budget)))
-                    .with_faults(FaultPlan::seeded(seed).with_drops(drop_rate))
-                    .build();
-                let (link_r, link_s) = dep.connect();
-                for (i, req) in probes.iter().enumerate() {
-                    let link = if i % 2 == 0 { &link_r } else { &link_s };
-                    cell.probes += 1;
-                    if link.request(req) == Response::Unavailable {
-                        cell.abandoned += 1;
-                    } else {
-                        cell.succeeded += 1;
+            for &replicas in &cfg.replica_counts {
+                let mut cell = FaultCell {
+                    drop_rate,
+                    max_attempts: budget,
+                    replicas,
+                    probes: 0,
+                    succeeded: 0,
+                    retried: 0,
+                    failovers: 0,
+                    abandoned: 0,
+                    metered_abandoned: 0,
+                    bytes: 0,
+                };
+                for seed in 0..cfg.seeds {
+                    let data_seed = 7 + seed * 97;
+                    let r =
+                        gaussian_clusters(&SyntheticSpec::new(space, cfg.n_points, 4), data_seed);
+                    let s = gaussian_clusters(
+                        &SyntheticSpec::new(space, cfg.n_points, 8),
+                        data_seed + 1000,
+                    );
+                    let dep = DeploymentBuilder::new(r, s)
+                        .with_buffer(cfg.n_points * 2)
+                        .with_space(space)
+                        .with_net(NetConfig::default().with_retry(RetryPolicy::attempts(budget)))
+                        .with_replicas(replicas)
+                        .with_faults(FaultPlan::seeded(seed).with_drops(drop_rate))
+                        .build();
+                    let (link_r, link_s) = dep.connect();
+                    for (i, req) in probes.iter().enumerate() {
+                        let link = if i % 2 == 0 { &link_r } else { &link_s };
+                        cell.probes += 1;
+                        if link.request(req) == Response::Unavailable {
+                            cell.abandoned += 1;
+                        } else {
+                            cell.succeeded += 1;
+                        }
+                    }
+                    for link in [&link_r, &link_s] {
+                        let snap = link.meter().snapshot();
+                        cell.retried += snap.retried;
+                        cell.failovers += snap.failovers;
+                        cell.metered_abandoned += snap.abandoned;
+                        cell.bytes += snap.total_bytes();
                     }
                 }
-                for link in [&link_r, &link_s] {
-                    let snap = link.meter().snapshot();
-                    cell.retried += snap.retried;
-                    cell.metered_abandoned += snap.abandoned;
-                    cell.bytes += snap.total_bytes();
-                }
+                cells.push(cell);
             }
-            cells.push(cell);
         }
     }
     FaultMatrix { cells }
@@ -164,18 +189,20 @@ impl FaultMatrix {
     /// expected-attempts factor for the cell's `(drop, budget)` pair.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "drop_rate,max_attempts,probes,succeeded,success_rate,\
-             retried,abandoned,bytes,attempts_per_probe,model_expected_attempts\n",
+            "drop_rate,max_attempts,replicas,probes,succeeded,success_rate,\
+             retried,failovers,abandoned,bytes,attempts_per_probe,model_expected_attempts\n",
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "{:.2},{},{},{},{:.4},{},{},{},{:.3},{:.3}\n",
+                "{:.2},{},{},{},{},{:.4},{},{},{},{},{:.3},{:.3}\n",
                 c.drop_rate,
                 c.max_attempts,
+                c.replicas,
                 c.probes,
                 c.succeeded,
                 c.success_rate(),
                 c.retried,
+                c.failovers,
                 c.abandoned,
                 c.bytes,
                 c.attempts_per_probe(),
@@ -185,57 +212,103 @@ impl FaultMatrix {
         out
     }
 
-    /// Cells of one drop-rate row, in budget order.
-    fn row(&self, drop_rate: f64) -> Vec<&FaultCell> {
+    /// Cells of one (drop rate, replica count) row, in budget order.
+    fn row(&self, drop_rate: f64, replicas: usize) -> Vec<&FaultCell> {
         self.cells
             .iter()
-            .filter(|c| c.drop_rate == drop_rate)
+            .filter(|c| c.drop_rate == drop_rate && c.replicas == replicas)
+            .collect()
+    }
+
+    /// Cells of one (drop rate, budget) column, in replica-count order.
+    fn replica_column(&self, drop_rate: f64, budget: u32) -> Vec<&FaultCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.drop_rate == drop_rate && c.max_attempts == budget)
             .collect()
     }
 }
 
 /// The invariants every run (CI included) is held to:
 ///
-/// * at every fixed drop rate, success within the retry budget is
-///   **monotone in the budget** (budget-stable fault prefixes make this
-///   exact, not statistical);
-/// * the zero-drop row is perfect — every probe answered, zero retries,
-///   zero abandons — at every budget;
+/// * at every fixed (drop rate, replica count), success within the retry
+///   budget is **monotone in the budget** (budget-stable fault prefixes
+///   make this exact, not statistical);
+/// * at every fixed (drop rate, budget), success is **monotone in the
+///   replica count** — count-independent per-replica fault seeds plus
+///   budget-free failover make a bigger fleet's attempt schedule a
+///   superset of a smaller one's;
+/// * the zero-drop rows are perfect — every probe answered, zero
+///   retries, zero failovers, zero abandons — at every budget and
+///   replica count;
 /// * abandons account exactly for the missing successes;
-/// * faults really fired: some lossy cell retried, and the largest
-///   budget recovers strictly more than budget 1 on the lossiest row.
+/// * faults really fired: some lossy cell retried, the largest budget
+///   recovers strictly more than budget 1 on the lossiest row, and —
+///   when a replicated column is configured — some lossy cell failed
+///   over to a sibling.
 pub fn check_fault_matrix(m: &FaultMatrix, cfg: &FaultMatrixConfig) {
     for &drop_rate in &cfg.drop_rates {
-        let row = m.row(drop_rate);
-        assert_eq!(row.len(), cfg.budgets.len(), "missing cells at {drop_rate}");
-        for pair in row.windows(2) {
-            assert!(
-                pair[1].succeeded >= pair[0].succeeded,
-                "drop {drop_rate}: success must be monotone in the retry budget \
-                 ({} attempts → {} ok, {} attempts → {} ok)",
-                pair[0].max_attempts,
-                pair[0].succeeded,
-                pair[1].max_attempts,
-                pair[1].succeeded
-            );
-        }
-        for c in &row {
+        for &replicas in &cfg.replica_counts {
+            let row = m.row(drop_rate, replicas);
             assert_eq!(
-                c.succeeded + c.abandoned,
-                c.probes,
-                "drop {drop_rate} budget {}: every probe either succeeds or abandons",
-                c.max_attempts
+                row.len(),
+                cfg.budgets.len(),
+                "missing cells at drop {drop_rate} × {replicas} replicas"
             );
-            if c.max_attempts > 1 {
-                assert_eq!(
-                    c.metered_abandoned, c.abandoned,
-                    "drop {drop_rate} budget {}: the link meters' abandoned gauge \
-                     must agree with the observed unavailable replies",
-                    c.max_attempts
+            for pair in row.windows(2) {
+                assert!(
+                    pair[1].succeeded >= pair[0].succeeded,
+                    "drop {drop_rate} × {replicas} replicas: success must be \
+                     monotone in the retry budget ({} attempts → {} ok, \
+                     {} attempts → {} ok)",
+                    pair[0].max_attempts,
+                    pair[0].succeeded,
+                    pair[1].max_attempts,
+                    pair[1].succeeded
                 );
             }
-            if drop_rate == 0.0 {
-                assert_eq!((c.succeeded, c.retried), (c.probes, 0), "clean row");
+            for c in &row {
+                assert_eq!(
+                    c.succeeded + c.abandoned,
+                    c.probes,
+                    "drop {drop_rate} budget {} × {replicas} replicas: every \
+                     probe either succeeds or abandons",
+                    c.max_attempts
+                );
+                if c.max_attempts > 1 {
+                    assert_eq!(
+                        c.metered_abandoned, c.abandoned,
+                        "drop {drop_rate} budget {} × {replicas} replicas: the \
+                         link meters' abandoned gauge must agree with the \
+                         observed unavailable replies",
+                        c.max_attempts
+                    );
+                }
+                if drop_rate == 0.0 {
+                    assert_eq!(
+                        (c.succeeded, c.retried, c.failovers),
+                        (c.probes, 0, 0),
+                        "clean row at {replicas} replicas"
+                    );
+                }
+                if c.replicas == 1 {
+                    assert_eq!(c.failovers, 0, "no siblings, no failovers");
+                }
+            }
+        }
+        for &budget in &cfg.budgets {
+            let col = m.replica_column(drop_rate, budget);
+            for pair in col.windows(2) {
+                assert!(
+                    pair[1].succeeded >= pair[0].succeeded,
+                    "drop {drop_rate} budget {budget}: success must be monotone \
+                     in the replica count ({} replicas → {} ok, {} replicas → \
+                     {} ok)",
+                    pair[0].replicas,
+                    pair[0].succeeded,
+                    pair[1].replicas,
+                    pair[1].succeeded
+                );
             }
         }
     }
@@ -243,14 +316,29 @@ pub fn check_fault_matrix(m: &FaultMatrix, cfg: &FaultMatrixConfig) {
         m.cells.iter().any(|c| c.retried > 0),
         "no cell ever retried — the fault layer did not fire"
     );
+    if cfg.replica_counts.iter().any(|&n| n > 1) && cfg.drop_rates.iter().any(|&d| d > 0.0) {
+        assert!(
+            m.cells.iter().any(|c| c.failovers > 0),
+            "no lossy replicated cell ever failed over — the sibling \
+             routing did not engage"
+        );
+    }
     let lossiest = *cfg
         .drop_rates
         .last()
         .expect("at least one drop rate is required");
     if lossiest > 0.0 && cfg.budgets.len() > 1 {
-        let row = m.row(lossiest);
+        for &replicas in &cfg.replica_counts {
+            let row = m.row(lossiest, replicas);
+            assert!(
+                row.last().unwrap().succeeded >= row[0].succeeded,
+                "drop {lossiest} × {replicas} replicas: a bigger budget must \
+                 never recover fewer probes"
+            );
+        }
+        let flat = m.row(lossiest, cfg.replica_counts[0]);
         assert!(
-            row.last().unwrap().succeeded > row[0].succeeded,
+            flat.last().unwrap().succeeded > flat[0].succeeded,
             "drop {lossiest}: the retry budget must recover probes budget 1 loses"
         );
     }
@@ -267,22 +355,34 @@ mod tests {
             n_points: 60,
             drop_rates: vec![0.0, 0.4],
             budgets: vec![1, 4],
+            replica_counts: vec![1, 2],
         };
         let a = run_fault_matrix(&cfg);
         check_fault_matrix(&a, &cfg);
         let csv = a.to_csv();
         assert!(csv.contains("model_expected_attempts"));
-        assert_eq!(csv.lines().count(), 1 + 4);
+        assert_eq!(csv.lines().count(), 1 + 2 * 2 * 2);
         // Same seeds, same plan → bit-identical rerun.
         let b = run_fault_matrix(&cfg);
         assert_eq!(a.to_csv(), b.to_csv());
-        // The lossy budget-1 cell really lost probes (otherwise the
-        // monotonicity check is vacuous at this size).
+        // The lossy unreplicated budget-1 cell really lost probes
+        // (otherwise the monotonicity checks are vacuous at this size).
         let lossy1 = a
             .cells
             .iter()
-            .find(|c| c.drop_rate == 0.4 && c.max_attempts == 1)
+            .find(|c| c.drop_rate == 0.4 && c.max_attempts == 1 && c.replicas == 1)
             .unwrap();
         assert!(lossy1.abandoned > 0, "drop 0.4 must defeat budget 1");
+        // A sibling covered at least one of those losses.
+        let lossy2 = a
+            .cells
+            .iter()
+            .find(|c| c.drop_rate == 0.4 && c.max_attempts == 1 && c.replicas == 2)
+            .unwrap();
+        assert!(lossy2.failovers > 0, "the replica axis must engage");
+        assert!(
+            lossy2.succeeded > lossy1.succeeded,
+            "a sibling must recover probes budget 1 alone loses"
+        );
     }
 }

@@ -42,6 +42,15 @@ pub struct CostModel {
     pub fanout_r: f64,
     /// Shard fan-out of the S side.
     pub fanout_s: f64,
+    /// Replica fan-out of the fleets (≥ 1): update batches are broadcast
+    /// to every replica of a shard — each replica receives its own copy
+    /// of the sub-batch and answers its own framed ack — so the *update*
+    /// round trip is amplified `n`-fold. Read traffic is **not**
+    /// amplified: exactly one replica serves each scatter slot, so every
+    /// query formula above is independent of this factor. `1.0` (an
+    /// unreplicated deployment) prices updates bit-exactly like the
+    /// replica-less model.
+    pub replica_fanout: f64,
     /// Price multiplier on statistics (COUNT/`MultiCount`) rounds,
     /// `(0, 1]`. With the client cache enabled, repeated statistics cost
     /// nothing on the wire; decisions should price a round at its
@@ -82,6 +91,7 @@ impl CostModel {
             batched_stats: net.batched_stats,
             fanout_r: 1.0,
             fanout_s: 1.0,
+            replica_fanout: 1.0,
             stats_discount: 1.0,
             window_discount: 1.0,
             object_bytes: if net.wire_v2 {
@@ -131,6 +141,27 @@ impl CostModel {
         self.fanout_r = fanout_r;
         self.fanout_s = fanout_s;
         self
+    }
+
+    /// Sets the replica fan-out (≥ 1) — the update-broadcast
+    /// amplification of a replicated fleet. `with_replica_fanout(1.0)`
+    /// is a bit-exact no-op: every formula of the model, including
+    /// [`CostModel::update_round_trip`], then reduces to the
+    /// replica-less pricing.
+    pub fn with_replica_fanout(mut self, n: f64) -> Self {
+        assert!(n >= 1.0, "replica fan-out is at least 1");
+        self.replica_fanout = n;
+        self
+    }
+
+    /// Wire cost of delivering one update batch of `payload` request
+    /// bytes to a single shard, unweighted: the batch goes to every
+    /// replica (same bytes each) and every replica answers one framed
+    /// ack, so the plain round trip is amplified by the replica
+    /// fan-out. Queries never pay this factor — reads are served by
+    /// exactly one replica.
+    pub fn update_round_trip(&self, payload: f64) -> f64 {
+        self.replica_fanout * (self.tb(payload) + self.tb(ANSWER_BYTES as f64))
     }
 
     /// Applies client-cache hit-rate discounts to the statistics and
@@ -574,6 +605,47 @@ mod tests {
     #[should_panic(expected = "fan-out is at least 1")]
     fn fanout_below_one_rejected() {
         model(800).with_fanout(0.5, 1.0);
+    }
+
+    #[test]
+    fn unit_replica_fanout_is_bit_exact_noop() {
+        let flat = model(800);
+        let replicated = model(800).with_replica_fanout(1.0);
+        for payload in [0.0, 9.0, 1460.5, 20_000.0] {
+            assert_eq!(
+                flat.update_round_trip(payload),
+                replicated.update_round_trip(payload)
+            );
+        }
+        // Reads never pay the replica factor at any fan-out.
+        let heavy = model(800).with_replica_fanout(3.0);
+        assert_eq!(flat.taq(), heavy.taq());
+        assert_eq!(flat.c1(100.0, 100.0), heavy.c1(100.0, 100.0));
+        assert_eq!(flat.split_stats_cost(), heavy.split_stats_cost());
+        assert_eq!(
+            flat.nlsj(&w(), 50.0, 100.0, 1.0, 1.0, 1.0, 1.0, 20.0, true),
+            heavy.nlsj(&w(), 50.0, 100.0, 1.0, 1.0, 1.0, 1.0, 20.0, true)
+        );
+    }
+
+    #[test]
+    fn replica_fanout_amplifies_update_broadcasts_linearly() {
+        let one = model(800);
+        let three = model(800).with_replica_fanout(3.0);
+        assert_eq!(
+            three.update_round_trip(500.0),
+            3.0 * one.update_round_trip(500.0)
+        );
+        assert_eq!(
+            one.update_round_trip(500.0),
+            one.tb(500.0) + one.tb(ANSWER_BYTES as f64)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "replica fan-out is at least 1")]
+    fn replica_fanout_below_one_rejected() {
+        model(800).with_replica_fanout(0.5);
     }
 
     #[test]

@@ -16,7 +16,9 @@ use asj_net::{
     CacheLayer, ChannelServer, ClientCache, FaultLayer, FaultPlan, Link, NetConfig, QueryHandler,
     RawExchange, Request, Response, ShardEndpoint, ShardMeta, ShardRouter, Update,
 };
-use asj_server::{partition_objects, RTreeStore, ServicePolicy, SpatialService, VersionedStore};
+use asj_server::{
+    partition_objects, RTreeStore, ServicePolicy, SpatialService, SpatialStore, VersionedStore,
+};
 
 use crate::Side;
 
@@ -85,15 +87,25 @@ impl Endpoint {
     }
 }
 
+/// One replica of a shard server: its endpoint plus — on a live
+/// deployment — a handle on its versioned store, kept so the
+/// crash-restart hook can resynchronize a replica that stayed dark from
+/// the freshest sibling before it serves again.
+struct Replica {
+    endpoint: Arc<Endpoint>,
+    live: Option<Arc<VersionedStore<RTreeStore>>>,
+}
+
 /// One logical side of the join: a single server, or a fleet of shard
-/// servers reached through a scatter-gather [`ShardRouter`].
+/// servers — each optionally replicated — reached through a
+/// scatter-gather [`ShardRouter`].
 ///
 /// Endpoints are reference-counted so a [`FaultLayer`] restart hook can
 /// reconnect to the *same* server after a scripted crash: the store (and
 /// its published generation) survives; only the connection is lost.
 enum Carrier {
     Single(Arc<Endpoint>),
-    Fleet(Vec<(Arc<ShardMeta>, Arc<Endpoint>)>),
+    Fleet(Vec<(Arc<ShardMeta>, Vec<Replica>)>),
 }
 
 /// Wraps an endpoint's raw exchange in a [`FaultLayer`] when a plan is
@@ -107,6 +119,54 @@ fn physical_edge(e: &Arc<Endpoint>, fault: Option<&FaultPlan>) -> Box<dyn RawExc
         Some(plan) => {
             let ep = Arc::clone(e);
             Box::new(FaultLayer::new(e.raw(), *plan).with_restart(Box::new(move || ep.raw())))
+        }
+    }
+}
+
+/// Decorrelates the scripted fault stream per replica edge: replica 0
+/// keeps the plan's seed, sibling `j` gets `seed ^ j·φ`. The derivation
+/// is independent of the replica *count*, so growing a fleet from 1 to
+/// n replicas never reshuffles the faults an existing edge sees — the
+/// fault-matrix monotonicity claim (more replicas, never fewer
+/// successes) rests on exactly this.
+fn replica_plan(plan: &FaultPlan, replica: usize) -> FaultPlan {
+    let mut p = *plan;
+    p.seed ^= (replica as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    p
+}
+
+/// The physical edge to replica `j` of one shard's replica group. Under
+/// a fault plan the edge gets its own decorrelated [`FaultLayer`]; its
+/// restart hook first catches the replica's store up from the
+/// freshest sibling (a replica that stayed dark through an outage missed
+/// the update batches its siblings acked — resynchronizing here is what
+/// lets the router's generation floor readmit it), then reconnects.
+fn replica_edge(group: &[Replica], j: usize, fault: Option<&FaultPlan>) -> Box<dyn RawExchange> {
+    match fault {
+        None => group[j].endpoint.raw(),
+        Some(plan) => {
+            let ep = Arc::clone(&group[j].endpoint);
+            let own = group[j].live.clone();
+            let siblings: Vec<Arc<VersionedStore<RTreeStore>>> = group
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != j)
+                .filter_map(|(_, r)| r.live.clone())
+                .collect();
+            let restart = move || {
+                if let Some(own) = &own {
+                    if let Some(best) = siblings.iter().max_by_key(|s| s.generation()) {
+                        // `catch_up` no-ops unless the donor is ahead, so
+                        // a replica that never lagged restarts untouched.
+                        own.catch_up((*best.current_objects()).clone(), best.generation());
+                    }
+                }
+                ep.raw()
+            };
+            Box::new(
+                FaultLayer::new(group[j].endpoint.raw(), replica_plan(plan, j))
+                    .with_restart(Box::new(restart)),
+            )
         }
     }
 }
@@ -156,14 +216,20 @@ impl Carrier {
             Carrier::Fleet(members) => {
                 let shards = members
                     .iter()
-                    .map(|(meta, e)| {
-                        ShardEndpoint::with_meta(Arc::clone(meta), physical_edge(e, fault))
+                    .map(|(meta, group)| {
+                        let edges = (0..group.len())
+                            .map(|j| replica_edge(group, j, fault))
+                            .collect();
+                        ShardEndpoint::with_replicas(Arc::clone(meta), edges)
                     })
                     .collect();
                 // Retries live on the router (the layer that owns the
                 // physical edges): a cache stacked over a fleet must not
                 // re-deliver, or every scatter would double-count.
-                let mut router = ShardRouter::new(shards, net.packet).with_retry(net.retry);
+                let mut router = ShardRouter::new(shards, net.packet)
+                    .with_retry(net.retry)
+                    .with_breakers(net.breaker)
+                    .with_allow_partial(net.allow_partial);
                 if net.wire_v2 {
                     router.negotiate_v2();
                 }
@@ -183,14 +249,24 @@ impl Carrier {
         }
     }
 
-    /// Per-shard reactor endpoint stats, in shard order; empty unless
-    /// this side rides the event-loop carrier.
+    /// Replicas per shard (1 for a single server or a replica-less
+    /// fleet). Every shard of a fleet carries the same replica count.
+    fn replica_count(&self) -> usize {
+        match self {
+            Carrier::Single(_) => 1,
+            Carrier::Fleet(members) => members.first().map_or(1, |(_, g)| g.len()),
+        }
+    }
+
+    /// Reactor endpoint stats for every replica of every shard,
+    /// shard-major order; empty unless this side rides the event-loop
+    /// carrier.
     fn event_stats(&self) -> Vec<Arc<asj_net::EndpointStats>> {
         match self {
             Carrier::Single(e) => e.event_stats().into_iter().collect(),
             Carrier::Fleet(members) => members
                 .iter()
-                .filter_map(|(_, e)| e.event_stats())
+                .flat_map(|(_, group)| group.iter().filter_map(|r| r.endpoint.event_stats()))
                 .collect(),
         }
     }
@@ -402,6 +478,14 @@ impl Deployment {
         (self.r.shard_count(), self.s.shard_count())
     }
 
+    /// Replica servers behind each shard (both sides use the same
+    /// count). `1` for flat deployments and unreplicated fleets — where
+    /// the wire traffic is byte-identical to a deployment that never
+    /// heard of replication.
+    pub fn replica_count(&self) -> usize {
+        self.r.replica_count().max(self.s.replica_count())
+    }
+
     /// `true` when every server is multiplexed onto the shared reactor
     /// thread (built via [`DeploymentBuilder::event_loop`]).
     pub fn is_event_loop(&self) -> bool {
@@ -431,6 +515,7 @@ pub struct DeploymentBuilder {
     live: bool,
     rtree_fanout: usize,
     shards: Option<(usize, usize)>,
+    replicas: usize,
     fault: Option<FaultPlan>,
 }
 
@@ -447,6 +532,7 @@ impl DeploymentBuilder {
             live: false,
             rtree_fanout: asj_rtree::DEFAULT_MAX_ENTRIES,
             shards: None,
+            replicas: 1,
             fault: None,
         }
     }
@@ -561,7 +647,43 @@ impl DeploymentBuilder {
         self
     }
 
+    /// Replicates every shard server `n`-fold. Each replica is a full
+    /// server over the shard's data; the router spreads reads across the
+    /// replica set by request hash, fails a lost exchange over to the
+    /// next sibling before any retry budget is spent, and broadcasts
+    /// update batches to every replica (one surviving ack carries the
+    /// batch; a replica that stayed dark catches up at its restart
+    /// hook). Under [`with_faults`] every replica edge gets its own
+    /// decorrelated fault stream. `n = 1` (the default) is byte-identical
+    /// to an unreplicated deployment; `n > 1` without [`with_shards`]
+    /// implies a 1-shard fleet per side.
+    ///
+    /// ```
+    /// use asj_core::DeploymentBuilder;
+    /// use asj_geom::SpatialObject;
+    /// let pts = |b: u32| (0..16).map(|i| SpatialObject::point(b + i, i as f64, 0.0)).collect();
+    /// let deploy = DeploymentBuilder::new(pts(0), pts(100))
+    ///     .with_shards(2, 2)
+    ///     .with_replicas(2)
+    ///     .live()
+    ///     .build();
+    /// assert_eq!(deploy.replica_count(), 2);
+    /// ```
+    ///
+    /// [`with_faults`]: DeploymentBuilder::with_faults
+    /// [`with_shards`]: DeploymentBuilder::with_shards
+    pub fn with_replicas(mut self, n: usize) -> Self {
+        assert!(n >= 1, "each shard needs at least one replica");
+        self.replicas = n;
+        self
+    }
+
     pub fn build(self) -> Deployment {
+        assert!(
+            !(self.net.allow_partial && self.net.client_cache.enabled),
+            "allow_partial cannot run with the client cache: a partial reply \
+             must never be cached as the truth"
+        );
         let policy = if self.cooperative {
             ServicePolicy::Cooperative
         } else {
@@ -586,31 +708,49 @@ impl DeploymentBuilder {
         // servers wrap the same store in a `VersionedStore` whose rebuild
         // closure re-packs the R-tree at the same fanout, so generation 0
         // answers identically either way.
-        let spawn = |objects: Vec<SpatialObject>, name: &str| -> Arc<Endpoint> {
+        let spawn = |objects: Vec<SpatialObject>, name: &str| -> Replica {
             if self.live {
                 let store =
                     VersionedStore::new(objects, move |objs| RTreeStore::with_fanout(objs, fanout));
-                Arc::new(Endpoint::spawn(
-                    Arc::new(SpatialService::new(store).with_policy(policy)),
-                    self.carrier,
-                    reactor.as_ref(),
-                    name,
-                ))
+                let service = Arc::new(SpatialService::new(store).with_policy(policy));
+                // The store handle outlives the endpoint wiring so a
+                // replica restart hook can catch up from a sibling.
+                let live = Arc::clone(service.store());
+                Replica {
+                    endpoint: Arc::new(Endpoint::spawn(
+                        service,
+                        self.carrier,
+                        reactor.as_ref(),
+                        name,
+                    )),
+                    live: Some(live),
+                }
             } else {
-                Arc::new(Endpoint::spawn(
-                    Arc::new(
-                        SpatialService::new(RTreeStore::with_fanout(objects, fanout))
-                            .with_policy(policy),
-                    ),
-                    self.carrier,
-                    reactor.as_ref(),
-                    name,
-                ))
+                Replica {
+                    endpoint: Arc::new(Endpoint::spawn(
+                        Arc::new(
+                            SpatialService::new(RTreeStore::with_fanout(objects, fanout))
+                                .with_policy(policy),
+                        ),
+                        self.carrier,
+                        reactor.as_ref(),
+                        name,
+                    )),
+                    live: None,
+                }
             }
         };
+        // Replication without sharding still needs a router (it owns the
+        // replica sets): an implicit 1-shard fleet per side.
+        let shards = if self.replicas > 1 {
+            self.shards.or(Some((1, 1)))
+        } else {
+            self.shards
+        };
+        let replicas = self.replicas;
         let make = |objects: Vec<SpatialObject>, shards: Option<usize>, name: &str| -> Carrier {
             match shards {
-                None => Carrier::Single(spawn(objects, name)),
+                None => Carrier::Single(spawn(objects, name).endpoint),
                 Some(n) => {
                     let part = partition_objects(&space, n, objects);
                     // Advertised bounds come from the partitioner's
@@ -627,9 +767,18 @@ impl DeploymentBuilder {
                             .zip(part.cells)
                             .enumerate()
                             .map(|(i, ((bounds, members), cell))| {
-                                let endpoint = spawn(members, &format!("{name}{i}"));
+                                let group = (0..replicas)
+                                    .map(|j| {
+                                        let rname = if replicas > 1 {
+                                            format!("{name}{i}.{j}")
+                                        } else {
+                                            format!("{name}{i}")
+                                        };
+                                        spawn(members.clone(), &rname)
+                                    })
+                                    .collect();
                                 let meta = Arc::new(ShardMeta::with_cell(bounds, Some(cell)));
-                                (meta, endpoint)
+                                (meta, group)
                             })
                             .collect(),
                     )
@@ -641,8 +790,8 @@ impl DeploymentBuilder {
                 .then(|| Arc::new(ClientCache::new(cfg.window_budget_bytes)))
         };
         Deployment {
-            r: make(self.r_objects, self.shards.map(|s| s.0), "R"),
-            s: make(self.s_objects, self.shards.map(|s| s.1), "S"),
+            r: make(self.r_objects, shards.map(|s| s.0), "R"),
+            s: make(self.s_objects, shards.map(|s| s.1), "S"),
             buffer_capacity: self.buffer_capacity,
             space,
             cooperative: self.cooperative,
@@ -1107,6 +1256,113 @@ mod tests {
             d.try_apply_updates(Side::R, vec![Update::Delete(0)]),
             Response::Unavailable
         );
+    }
+
+    #[test]
+    fn replicated_live_fleet_matches_flat_and_reports_replicas() {
+        let flat = DeploymentBuilder::new(pts(40, 0.0), pts(40, 5.0))
+            .with_shards(2, 2)
+            .live()
+            .build();
+        let repl = DeploymentBuilder::new(pts(40, 0.0), pts(40, 5.0))
+            .with_shards(2, 2)
+            .with_replicas(2)
+            .live()
+            .build();
+        assert_eq!(flat.replica_count(), 1);
+        assert_eq!(repl.replica_count(), 2);
+        // The broadcast acks the same fleet generation as the
+        // unreplicated update path: per-shard acks are maxed over the
+        // replica set, never summed across it.
+        let batch = vec![Update::Insert(SpatialObject::point(99, 30.0, 30.0))];
+        assert_eq!(
+            flat.apply_updates(Side::R, batch.clone()),
+            repl.apply_updates(Side::R, batch)
+        );
+        let w = Rect::from_coords(0.0, 0.0, 35.0, 35.0);
+        let (fr, _) = flat.connect();
+        let (rr, _) = repl.connect();
+        assert_eq!(
+            fr.request(&Request::Count(w)),
+            rr.request(&Request::Count(w))
+        );
+        let t = rr.fleet().expect("fleet telemetry").snapshot();
+        assert!(t.per_replica.iter().all(|row| row.len() == 2));
+        assert!(t.health.iter().all(|row| row.len() == 2));
+        assert!(t.failed_shards.is_empty());
+    }
+
+    #[test]
+    fn single_replica_fleet_is_byte_identical() {
+        let build = |explicit: bool| {
+            let mut b = DeploymentBuilder::new(pts(40, 0.0), pts(40, 2.0)).with_shards(3, 2);
+            if explicit {
+                b = b.with_replicas(1);
+            }
+            b.build()
+        };
+        let plain = build(false);
+        let one = build(true);
+        let w = Rect::from_coords(0.0, 0.0, 25.0, 25.0);
+        let (pr, ps) = plain.connect();
+        let (or, os) = one.connect();
+        assert_eq!(
+            pr.request(&Request::Count(w)),
+            or.request(&Request::Count(w))
+        );
+        assert_eq!(
+            ps.request(&Request::Window(w)),
+            os.request(&Request::Window(w))
+        );
+        assert_eq!(pr.meter().snapshot(), or.meter().snapshot());
+        assert_eq!(ps.meter().snapshot(), os.meter().snapshot());
+    }
+
+    #[test]
+    fn replicated_faulted_fleet_fails_over_and_matches_clean() {
+        // Replication without sharding: an implicit 1-shard fleet per
+        // side owns the replica sets. Each replica edge draws from a
+        // decorrelated fault stream, so a drop on one sibling fails over
+        // to the other instead of spending retry budget.
+        let clean = Deployment::in_process(pts(40, 0.0), pts(40, 5.0), NetConfig::default());
+        let lossy = DeploymentBuilder::new(pts(40, 0.0), pts(40, 5.0))
+            .with_replicas(2)
+            .with_net(NetConfig::default().with_retry(asj_net::RetryPolicy::attempts(4)))
+            .with_faults(FaultPlan::seeded(21).with_drops(0.4))
+            .build();
+        assert_eq!(lossy.shard_counts(), (1, 1));
+        let w = Rect::from_coords(0.0, 0.0, 25.0, 25.0);
+        let (cr, _) = clean.connect();
+        let (lr, _) = lossy.connect();
+        for _ in 0..6 {
+            assert_eq!(
+                cr.request(&Request::Count(w)),
+                lr.request(&Request::Count(w))
+            );
+        }
+        let snap = lr.meter().snapshot();
+        assert!(snap.failovers > 0, "a sibling must cover a drop at seed 21");
+        assert_eq!(snap.abandoned, 0);
+        let t = lr.fleet().expect("fleet telemetry").snapshot();
+        assert!(t.failed_shards.is_empty());
+        // Conservation holds through failover: replica rows sum to their
+        // shard, shards sum to the aggregate meter.
+        assert_eq!(t.summed(), snap);
+        for (shard, row) in t.per_shard.iter().zip(&t.per_replica) {
+            let row_sum = row
+                .iter()
+                .fold(asj_net::LinkSnapshot::default(), |acc, r| acc.plus(r));
+            assert_eq!(&row_sum, shard);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "allow_partial cannot run with the client cache")]
+    fn allow_partial_refuses_the_client_cache() {
+        let _ = DeploymentBuilder::new(pts(5, 0.0), pts(5, 0.0))
+            .with_net(NetConfig::default().with_allow_partial(true))
+            .with_client_cache(true)
+            .build();
     }
 
     #[test]

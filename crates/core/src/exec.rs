@@ -131,11 +131,19 @@ impl<'a> ExecCtx<'a> {
             link_r,
             link_s,
             buffer: DeviceBuffer::new(deployment.buffer_capacity()),
-            out: ResultCollector::new(),
+            // A live deployment can race a writer: disjoint-window reads
+            // are distinct snapshots, so a moving object may honestly
+            // re-derive a pair — collapse instead of double-reporting.
+            out: if deployment.is_live() {
+                ResultCollector::deduplicating()
+            } else {
+                ResultCollector::new()
+            },
             spec,
             space,
             cost: CostModel::new(deployment.net(), deployment.buffer_capacity())
-                .with_fanout(shards_r as f64, shards_s as f64),
+                .with_fanout(shards_r as f64, shards_s as f64)
+                .with_replica_fanout(deployment.replica_count() as f64),
             rng: ChaCha8Rng::seed_from_u64(spec.seed),
             stats: ExecStats::default(),
             max_depth: 24,
@@ -517,6 +525,13 @@ impl<'a> ExecCtx<'a> {
             OutputKind::Pairs => None,
             OutputKind::Iceberg { min_matches } => Some(self.out.iceberg(min_matches)),
         };
+        // Worst case over both sides: a single uncovered shard on either
+        // fleet already makes the pair list a subset.
+        let coverage = [&fleet_r, &fleet_s]
+            .into_iter()
+            .flatten()
+            .map(|f| f.coverage())
+            .fold(1.0f64, f64::min);
         JoinReport {
             algorithm,
             pairs: self.out.into_pairs(),
@@ -527,6 +542,7 @@ impl<'a> ExecCtx<'a> {
             fleet_s,
             cache_r,
             cache_s,
+            coverage,
             cost_units,
             peak_buffer,
             stats: self.stats,

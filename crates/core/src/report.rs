@@ -58,6 +58,14 @@ pub struct JoinReport {
     pub cache_r: Option<CacheSnapshot>,
     /// Client-cache accounting of the S link.
     pub cache_s: Option<CacheSnapshot>,
+    /// Fraction of fleet shards whose replica sets stayed reachable
+    /// while this join ran: the minimum of the two fleets'
+    /// [`FleetSnapshot::coverage`] values (a flat link counts as fully
+    /// covered). `1.0` on a healthy run; below `1.0` only when
+    /// `NetConfig::allow_partial` let reads complete over exhausted
+    /// replica sets — the pair list is then a *subset* of the true
+    /// answer.
+    pub coverage: f64,
     /// Tariff-weighted cost: `bR·bytes_R + bS·bytes_S`.
     pub cost_units: f64,
     /// Highest device-buffer occupancy observed.
@@ -173,6 +181,7 @@ mod tests {
             fleet_s: None,
             cache_r: None,
             cache_s: None,
+            coverage: 1.0,
             cost_units: 310.0,
             peak_buffer: 42,
             stats: ExecStats::default(),
@@ -194,6 +203,8 @@ mod tests {
             scattered: 6,
             pruned: 2,
             failed_shards: vec![],
+            per_replica: vec![vec![LinkSnapshot::default()]; 3],
+            health: vec![Vec::new(); 3],
         };
         let rep = JoinReport {
             algorithm: "test",
@@ -211,6 +222,7 @@ mod tests {
             fleet_s: None,
             cache_r: None,
             cache_s: None,
+            coverage: 1.0,
             cost_units: 400.0,
             peak_buffer: 0,
             stats: ExecStats::default(),

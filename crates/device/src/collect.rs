@@ -6,14 +6,24 @@ use asj_geom::ObjectId;
 
 /// Accumulates the join output on the device.
 ///
-/// Pairs must arrive **exactly once** — the duplicate-avoidance discipline
-/// upstream guarantees it, and debug builds verify it with a hash set (the
-/// set is compiled out in release so the PDA memory model stays honest).
+/// In the default **strict** mode pairs must arrive *exactly once* — the
+/// duplicate-avoidance discipline upstream guarantees it on a frozen
+/// snapshot, and debug builds verify it with a hash set (the set is
+/// compiled out in release so the PDA memory model stays honest). Against
+/// a **live** deployment that guarantee is not derivable: two reads of
+/// disjoint windows are not one snapshot, and an object moving between
+/// them while a writer races the join can honestly qualify in both. The
+/// [`ResultCollector::deduplicating`] mode collapses such re-derived
+/// pairs instead of treating them as a logic bug.
 #[derive(Debug, Default)]
 pub struct ResultCollector {
     pairs: Vec<(ObjectId, ObjectId)>,
     /// Matches per R-object, for iceberg semi-joins.
     r_counts: HashMap<ObjectId, u32>,
+    /// `Some` in deduplicating mode (live deployments), in every build
+    /// profile — the "exactly once" report contract then holds by
+    /// construction rather than by upstream discipline.
+    dedup: Option<std::collections::HashSet<(ObjectId, ObjectId)>>,
     #[cfg(debug_assertions)]
     seen: std::collections::HashSet<(ObjectId, ObjectId)>,
 }
@@ -23,13 +33,27 @@ impl ResultCollector {
         ResultCollector::default()
     }
 
+    /// A collector that silently collapses duplicate pairs — for joins
+    /// over live deployments, where snapshot skew between reads can
+    /// re-derive a pair without any upstream bug.
+    pub fn deduplicating() -> Self {
+        ResultCollector {
+            dedup: Some(std::collections::HashSet::new()),
+            ..ResultCollector::default()
+        }
+    }
+
     /// Records one qualifying pair `(r, s)`.
     ///
-    /// # Panics (debug builds)
+    /// # Panics (strict mode, debug builds)
     /// If the pair was already reported — a duplicate-avoidance bug.
     pub fn push(&mut self, r: ObjectId, s: ObjectId) {
-        #[cfg(debug_assertions)]
-        {
+        if let Some(dedup) = &mut self.dedup {
+            if !dedup.insert((r, s)) {
+                return;
+            }
+        } else {
+            #[cfg(debug_assertions)]
             assert!(
                 self.seen.insert((r, s)),
                 "pair ({r}, {s}) reported twice: duplicate-avoidance violation"

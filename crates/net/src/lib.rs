@@ -57,6 +57,16 @@
 //!   off ⇒ byte-identical wire traffic) that re-issues failed exchanges,
 //!   dedup-enveloping `ApplyUpdates` so retried deliveries are
 //!   at-most-once;
+//! * [`health`] — the **replica failover extension**: per-replica-edge
+//!   circuit breakers (closed → open after K consecutive failures →
+//!   half-open probe after a deterministic, exchange-counted cooldown)
+//!   and integer EWMA failure tracking. The [`ShardRouter`] spreads reads
+//!   across a shard's replicas by request hash, skips open breakers,
+//!   fails a lost exchange over to the next sibling *before* consuming
+//!   retry budget, and rejects replies below the shard's observed
+//!   generation floor so handoff never serves stale state. Gated by
+//!   [`NetConfig::breaker`] / replica count and **off by default** (one
+//!   replica ⇒ byte-identical wire traffic);
 //! * the **generation stamp** — servers answering from a generation > 0
 //!   prefix every response frame with `[R_GEN][u64 generation]`
 //!   ([`codec::stamp_generation`]); generation-0 (frozen) traffic carries
@@ -71,6 +81,7 @@ pub mod cache;
 pub mod codec;
 pub mod event_loop;
 pub mod fault;
+pub mod health;
 pub mod meter;
 pub mod packet;
 pub mod proto;
@@ -149,6 +160,7 @@ pub mod testutil {
 pub use cache::{CacheConfig, CacheLayer, CacheView, ClientCache};
 pub use event_loop::{ConnState, EndpointStats, EventConnection, EventEndpoint, EventLoop};
 pub use fault::{CrashPlan, FaultLayer, FaultPlan, FaultStats};
+pub use health::{BreakerConfig, BreakerState, EdgeHealth, HealthSnapshot, ReplicaSetHealth};
 pub use meter::{CacheSnapshot, CacheTelemetry, LinkMeter, LinkSnapshot};
 pub use packet::{NetConfig, PacketModel, RetryPolicy};
 pub use proto::{QueryHandler, Request, Response, Update};

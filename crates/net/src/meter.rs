@@ -32,6 +32,8 @@ pub struct LinkMeter {
     aggregate_down_bytes: AtomicU64,
     retried: AtomicU64,
     abandoned: AtomicU64,
+    failovers: AtomicU64,
+    breaker_open: AtomicU64,
 }
 
 /// A point-in-time copy of a [`LinkMeter`].
@@ -62,6 +64,12 @@ pub struct LinkSnapshot {
     /// failure with no budget is not an abandonment — nothing was ever
     /// retried).
     pub abandoned: u64,
+    /// Failed exchanges re-routed to a sibling replica of the same shard
+    /// *before* consuming retry budget. 0 on replica-less links.
+    pub failovers: u64,
+    /// Circuit-breaker trips to Open observed on this edge (a half-open
+    /// probe failing counts again). 0 with breakers off.
+    pub breaker_open: u64,
 }
 
 impl LinkSnapshot {
@@ -103,6 +111,8 @@ impl LinkSnapshot {
             aggregate_down_bytes: self.aggregate_down_bytes + other.aggregate_down_bytes,
             retried: self.retried + other.retried,
             abandoned: self.abandoned + other.abandoned,
+            failovers: self.failovers + other.failovers,
+            breaker_open: self.breaker_open + other.breaker_open,
         }
     }
 
@@ -123,6 +133,8 @@ impl LinkSnapshot {
             aggregate_down_bytes: self.aggregate_down_bytes - earlier.aggregate_down_bytes,
             retried: self.retried - earlier.retried,
             abandoned: self.abandoned - earlier.abandoned,
+            failovers: self.failovers - earlier.failovers,
+            breaker_open: self.breaker_open - earlier.breaker_open,
         }
     }
 }
@@ -339,6 +351,16 @@ impl LinkMeter {
         self.abandoned.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one failover to a sibling replica after a failed exchange.
+    pub fn record_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one circuit-breaker trip to Open on this edge.
+    pub fn record_breaker_open(&self) {
+        self.breaker_open.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the counters.
     pub fn snapshot(&self) -> LinkSnapshot {
         LinkSnapshot {
@@ -356,6 +378,8 @@ impl LinkMeter {
             aggregate_down_bytes: self.aggregate_down_bytes.load(Ordering::Relaxed),
             retried: self.retried.load(Ordering::Relaxed),
             abandoned: self.abandoned.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            breaker_open: self.breaker_open.load(Ordering::Relaxed),
         }
     }
 
@@ -375,6 +399,8 @@ impl LinkMeter {
         self.aggregate_down_bytes.store(0, Ordering::Relaxed);
         self.retried.store(0, Ordering::Relaxed);
         self.abandoned.store(0, Ordering::Relaxed);
+        self.failovers.store(0, Ordering::Relaxed);
+        self.breaker_open.store(0, Ordering::Relaxed);
     }
 }
 
@@ -450,13 +476,22 @@ mod tests {
         m.record_retry();
         m.record_retry();
         m.record_abandon();
+        m.record_failover();
+        m.record_failover();
+        m.record_failover();
+        m.record_breaker_open();
         let s = m.snapshot();
         assert_eq!(s.retried, 2);
         assert_eq!(s.abandoned, 1);
+        assert_eq!(s.failovers, 3);
+        assert_eq!(s.breaker_open, 1);
         let doubled = s.plus(&s);
         assert_eq!(doubled.retried, 4);
         assert_eq!(doubled.abandoned, 2);
+        assert_eq!(doubled.failovers, 6);
+        assert_eq!(doubled.breaker_open, 2);
         assert_eq!(doubled.since(&s).retried, 2);
+        assert_eq!(doubled.since(&s).failovers, 3);
         m.reset();
         assert_eq!(m.snapshot(), LinkSnapshot::default());
     }

@@ -183,6 +183,22 @@ pub struct NetConfig {
     /// dedup envelope is attached, no exchange is re-issued, and every
     /// wire byte is identical to a build without the extension.
     pub retry: RetryPolicy,
+    /// Per-replica-edge circuit breakers on sharded fleets (see
+    /// [`crate::health`]). **Off by default**: health is still tracked
+    /// for observability, but routing never skips an edge and no breaker
+    /// ever opens, so traffic stays byte-identical to a build without the
+    /// machinery. Only meaningful with replicated shards — a replica set
+    /// of one has no sibling to route around.
+    pub breaker: crate::health::BreakerConfig,
+    /// Graceful degradation of scatter reads. **Off by default**: a shard
+    /// whose whole replica set exhausts its budget fails the logical
+    /// request with a typed [`crate::Response::Unavailable`]. When on,
+    /// the scatter instead completes *without* that shard's contribution
+    /// — the result is a provable subset of the truth — recording the
+    /// uncovered shard in `FleetSnapshot::failed_shards` and surfacing
+    /// the covered fraction as `JoinReport::coverage`. Never applies to
+    /// `ApplyUpdates` (partial writes are refused, not degraded).
+    pub allow_partial: bool,
 }
 
 impl Default for NetConfig {
@@ -196,6 +212,8 @@ impl Default for NetConfig {
             wire_v2: false,
             sweep_workers: 0,
             retry: RetryPolicy::default(),
+            breaker: crate::health::BreakerConfig::disabled(),
+            allow_partial: false,
         }
     }
 }
@@ -246,6 +264,19 @@ impl NetConfig {
     /// exchanges.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Sets the per-replica-edge circuit-breaker discipline.
+    pub fn with_breakers(mut self, breaker: crate::health::BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Lets scatter reads complete without shards whose entire replica
+    /// set is exhausted (results degrade to a subset instead of failing).
+    pub fn with_allow_partial(mut self, on: bool) -> Self {
+        self.allow_partial = on;
         self
     }
 }
@@ -347,6 +378,20 @@ mod tests {
         assert_eq!(p.backoff_us(63), RetryPolicy::BACKOFF_CAP_US);
         // Base 0 never sleeps.
         assert_eq!(RetryPolicy::attempts(4).backoff_us(3), 0);
+    }
+
+    #[test]
+    fn breakers_and_partial_results_default_off() {
+        let d = NetConfig::default();
+        assert!(!d.breaker.enabled);
+        assert!(!d.allow_partial);
+        assert!(!NetConfig::dialup().breaker.enabled);
+        let on = NetConfig::default()
+            .with_breakers(crate::health::BreakerConfig::new(2, 4))
+            .with_allow_partial(true);
+        assert!(on.breaker.enabled);
+        assert_eq!((on.breaker.threshold, on.breaker.cooldown), (2, 4));
+        assert!(on.allow_partial);
     }
 
     #[test]

@@ -59,9 +59,9 @@
 //! every shard is contacted (with a payload trimmed to its bounds) so the
 //! policy refusal propagates exactly as it would from a flat server.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use asj_geom::{Point, Rect, SpatialObject};
 use bytes::{Bytes, BytesMut};
@@ -70,6 +70,7 @@ use crate::codec::{
     decode_request, decode_response_gen, decode_response_gen_ctx, encode_request_versioned,
     encode_response_into, stamp_generation, DedupTag, QuantCtx, WireVersion,
 };
+use crate::health::{spread_hash, BreakerConfig, HealthSnapshot, ReplicaSetHealth};
 use crate::meter::{LinkMeter, LinkSnapshot};
 use crate::packet::{PacketModel, RetryPolicy};
 use crate::proto::{Request, Response, Update};
@@ -141,12 +142,16 @@ impl ShardMeta {
 }
 
 /// One shard of a fleet: its client-side meta (bounds, cell, observed
-/// generation) and the carrier that reaches it.
+/// generation) and the replica carriers that reach it. Every replica
+/// serves the same partition cell and member set; the router spreads
+/// reads across them and broadcasts updates to all of them.
 pub struct ShardEndpoint {
     meta: Arc<ShardMeta>,
-    carrier: Box<dyn RawExchange>,
-    /// Wire version of this shard's physical link: [`WireVersion::V1`]
-    /// until [`ShardRouter::negotiate_v2`] runs and the shard `ACCEPT`s.
+    replicas: Vec<Box<dyn RawExchange>>,
+    /// Wire version of this shard's physical links: [`WireVersion::V1`]
+    /// until [`ShardRouter::negotiate_v2`] runs and **every** replica
+    /// `ACCEPT`s (a mixed replica set stays v1 so failover never changes
+    /// the frame format mid-request).
     wire: WireVersion,
 }
 
@@ -160,9 +165,16 @@ impl ShardEndpoint {
     /// Endpoint over externally shared meta (a deployment keeps the
     /// `Arc` so several links to the same fleet share one view).
     pub fn with_meta(meta: Arc<ShardMeta>, carrier: Box<dyn RawExchange>) -> Self {
+        ShardEndpoint::with_replicas(meta, vec![carrier])
+    }
+
+    /// Endpoint over a replica set: `carriers[0]` is the primary edge,
+    /// the rest are siblings serving the same data.
+    pub fn with_replicas(meta: Arc<ShardMeta>, carriers: Vec<Box<dyn RawExchange>>) -> Self {
+        assert!(!carriers.is_empty(), "a shard needs at least one replica");
         ShardEndpoint {
             meta,
-            carrier,
+            replicas: carriers,
             wire: WireVersion::V1,
         }
     }
@@ -171,27 +183,54 @@ impl ShardEndpoint {
     pub fn meta(&self) -> &Arc<ShardMeta> {
         &self.meta
     }
+
+    /// Number of replica edges behind this shard.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
 }
 
-/// Shared scatter accounting of one router: per-shard meters plus the
-/// prune/scatter decision counters the bench experiments report.
+/// Shared scatter accounting of one router: per-shard meters (each the
+/// field-wise sum of its per-replica meters), per-replica meters and
+/// breaker health, plus the prune/scatter decision counters the bench
+/// experiments report.
 #[derive(Debug)]
 pub struct ShardTelemetry {
     meters: Vec<Arc<LinkMeter>>,
+    replica_meters: Vec<Vec<Arc<LinkMeter>>>,
+    health: Vec<Arc<ReplicaSetHealth>>,
+    breaker: BreakerConfig,
     metas: Vec<Arc<ShardMeta>>,
     scattered: AtomicU64,
     pruned: AtomicU64,
+    /// Shards that actually failed to serve: a read whose entire replica
+    /// set was exhausted (whether surfaced as `Unavailable` or skipped by
+    /// a partial-tolerant router), or an update batch no replica acked.
+    /// A dark replica whose *sibling* answered does not mark its shard —
+    /// the shard served. Surfaced as [`FleetSnapshot::failed_shards`].
+    failed: Mutex<BTreeSet<usize>>,
 }
 
 impl ShardTelemetry {
-    fn new(metas: Vec<Arc<ShardMeta>>) -> Self {
+    fn new(metas: Vec<Arc<ShardMeta>>, replicas: Vec<usize>) -> Self {
+        debug_assert_eq!(metas.len(), replicas.len());
         ShardTelemetry {
             meters: (0..metas.len())
                 .map(|_| Arc::new(LinkMeter::new()))
                 .collect(),
+            replica_meters: replicas
+                .iter()
+                .map(|&n| (0..n).map(|_| Arc::new(LinkMeter::new())).collect())
+                .collect(),
+            health: replicas
+                .iter()
+                .map(|&n| Arc::new(ReplicaSetHealth::new(n)))
+                .collect(),
+            breaker: BreakerConfig::disabled(),
             metas,
             scattered: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
+            failed: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -200,9 +239,24 @@ impl ShardTelemetry {
         self.meters.len()
     }
 
-    /// The meter of one shard.
+    /// The meter of one shard (sums the shard's replica edges).
     pub fn meter(&self, shard: usize) -> &Arc<LinkMeter> {
         &self.meters[shard]
+    }
+
+    /// The meter of one replica edge of one shard.
+    pub fn replica_meter(&self, shard: usize, replica: usize) -> &Arc<LinkMeter> {
+        &self.replica_meters[shard][replica]
+    }
+
+    /// The breaker health of one shard's replica set.
+    pub fn health(&self, shard: usize) -> &Arc<ReplicaSetHealth> {
+        &self.health[shard]
+    }
+
+    /// The breaker configuration this router routes under.
+    pub fn breaker_config(&self) -> BreakerConfig {
+        self.breaker
     }
 
     /// The per-shard generation vector, in shard order — each entry the
@@ -211,15 +265,32 @@ impl ShardTelemetry {
         self.metas.iter().map(|m| m.generation()).collect()
     }
 
+    fn note_failed(&self, shard: usize) {
+        self.failed
+            .lock()
+            .expect("failed-shard lock poisoned")
+            .insert(shard);
+    }
+
     /// Point-in-time copy of the whole fleet's accounting.
     pub fn snapshot(&self) -> FleetSnapshot {
         let per_shard: Vec<LinkSnapshot> = self.meters.iter().map(|m| m.snapshot()).collect();
+        let failed = self
+            .failed
+            .lock()
+            .expect("failed-shard lock poisoned")
+            .clone();
         FleetSnapshot {
-            failed_shards: per_shard
+            failed_shards: failed.into_iter().collect(),
+            per_replica: self
+                .replica_meters
                 .iter()
-                .enumerate()
-                .filter(|(_, s)| s.abandoned > 0)
-                .map(|(i, _)| i)
+                .map(|rs| rs.iter().map(|m| m.snapshot()).collect())
+                .collect(),
+            health: self
+                .health
+                .iter()
+                .map(|h| h.snapshot(&self.breaker))
                 .collect(),
             per_shard,
             generations: self.generations(),
@@ -243,11 +314,21 @@ pub struct FleetSnapshot {
     /// contribute to the answer — a bounds miss, or a zero-COUNT shard
     /// skipped by the second phase of a merged `AvgArea`.
     pub pruned: u64,
-    /// Shards that have exhausted a retry budget at least once (their
-    /// meter shows an abandonment), in shard order. Empty on a healthy
-    /// fleet — and always empty with retries off, when a first-attempt
-    /// failure is not an abandonment.
+    /// Shards that failed to *serve* at least once, in shard order: a
+    /// read exhausted the whole replica set (surfaced as `Unavailable`,
+    /// or skipped under partial tolerance), or no replica acked an
+    /// update batch. Empty on a healthy fleet. A dark replica covered by
+    /// a sibling — failed over on a read, out-acked on an update — does
+    /// not mark its shard: the shard still served.
     pub failed_shards: Vec<usize>,
+    /// Wire accounting per replica edge, `per_replica[shard][replica]`.
+    /// Each shard's entry in [`FleetSnapshot::per_shard`] is the
+    /// field-wise sum of its row here. Rows of length 1 on a
+    /// replica-less fleet.
+    pub per_replica: Vec<Vec<LinkSnapshot>>,
+    /// Circuit-breaker health per replica edge, `health[shard][replica]`:
+    /// breaker state, consecutive failures, failure EWMA, trip count.
+    pub health: Vec<Vec<HealthSnapshot>>,
 }
 
 impl FleetSnapshot {
@@ -269,6 +350,16 @@ impl FleetSnapshot {
     /// advances by `shard_count` per batch).
     pub fn fleet_generation(&self) -> u64 {
         self.generations.iter().sum()
+    }
+
+    /// Fraction of shards that answered: `1 - failed/total`. `1.0` on a
+    /// healthy fleet; below it only when shards abandoned or a
+    /// partial-tolerant read skipped an exhausted replica set.
+    pub fn coverage(&self) -> f64 {
+        if self.per_shard.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.failed_shards.len() as f64 / self.per_shard.len() as f64
     }
 
     /// Fraction of scatter slots avoided by bounds pruning.
@@ -295,8 +386,15 @@ pub struct ShardRouter {
     retry: RetryPolicy,
     /// Per-shard retry-dedup identity: (sender nonce, next batch seq).
     /// Each (router, shard) edge is its own sender, so sub-batch retries
-    /// dedup independently per shard.
+    /// dedup independently per shard — and every replica of a shard
+    /// receives the *same* tagged bytes, so a replica that sees a
+    /// broadcast sub-batch twice (retry, or catch-up replay) applies it
+    /// once.
     dedup: Vec<(u64, AtomicU64)>,
+    /// Partial-result tolerance: when on, a read whose entire replica
+    /// set for some shard is exhausted completes without that shard's
+    /// contribution instead of surfacing `Unavailable`. Off by default.
+    allow_partial: bool,
 }
 
 impl ShardRouter {
@@ -305,6 +403,7 @@ impl ShardRouter {
         assert!(!shards.is_empty(), "a fleet needs at least one shard");
         let telemetry = Arc::new(ShardTelemetry::new(
             shards.iter().map(|s| Arc::clone(&s.meta)).collect(),
+            shards.iter().map(|s| s.replicas.len()).collect(),
         ));
         let dedup = shards
             .iter()
@@ -317,6 +416,7 @@ impl ShardRouter {
             telemetry,
             retry: RetryPolicy::default(),
             dedup,
+            allow_partial: false,
         }
     }
 
@@ -328,6 +428,28 @@ impl ShardRouter {
     /// [`FleetSnapshot::failed_shards`].
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Adopts a circuit-breaker discipline for replica routing: replicas
+    /// whose breaker is open are skipped when picking read targets (see
+    /// [`crate::health`] for the state machine and its exchange-counted
+    /// cooldown clock). Must be called before the telemetry `Arc` is
+    /// shared (i.e. before a [`crate::cache::CacheLayer`] adopts it).
+    pub fn with_breakers(mut self, cfg: BreakerConfig) -> Self {
+        Arc::get_mut(&mut self.telemetry)
+            .expect("configure breakers before sharing the telemetry")
+            .breaker = cfg;
+        self
+    }
+
+    /// Tolerates partial scatter reads: an exhausted replica set no
+    /// longer fails the whole merge, it drops that shard's contribution
+    /// and records the shard as uncovered (surfacing in
+    /// [`FleetSnapshot::failed_shards`] and the snapshot's
+    /// [`FleetSnapshot::coverage`]). Never applies to `ApplyUpdates`.
+    pub fn with_allow_partial(mut self, on: bool) -> Self {
+        self.allow_partial = on;
         self
     }
 
@@ -346,15 +468,25 @@ impl ShardRouter {
         self.packet
     }
 
-    /// Negotiates wire protocol v2 on every shard's physical link (one
-    /// `HELLO`/`ACCEPT` round trip per shard; 4 unmetered link-control
-    /// bytes each). A shard that never answers `ACCEPT` — a v1-only
-    /// build — keeps its link at [`WireVersion::V1`]: mixed-version
-    /// fleets degrade per link, never fail. Only the deployment layer
-    /// calls this, and only when `NetConfig::wire_v2` is on.
+    /// Negotiates wire protocol v2 on every shard's physical links (one
+    /// `HELLO`/`ACCEPT` round trip per replica edge; 4 unmetered
+    /// link-control bytes each). A shard speaks v2 only when **every**
+    /// replica `ACCEPT`s — a mixed replica set stays at
+    /// [`WireVersion::V1`] so failing over mid-request never changes the
+    /// frame format. Mixed-version fleets degrade per shard, never fail.
+    /// Only the deployment layer calls this, and only when
+    /// `NetConfig::wire_v2` is on.
     pub fn negotiate_v2(&mut self) {
         for s in &mut self.shards {
-            s.wire = crate::transport::negotiate_wire(s.carrier.as_ref());
+            let all_v2 = s
+                .replicas
+                .iter()
+                .all(|c| crate::transport::negotiate_wire(c.as_ref()) == WireVersion::V2);
+            s.wire = if all_v2 {
+                WireVersion::V2
+            } else {
+                WireVersion::V1
+            };
         }
     }
 
@@ -364,27 +496,66 @@ impl ShardRouter {
         self.shards.iter().map(|s| s.wire).collect()
     }
 
-    fn record_request(&self, shard: usize, req: &Request, payload: u64) {
+    // Every event is recorded three times — aggregate, per-shard meter,
+    // per-replica meter — so `aggregate == Σ shard == Σ Σ replica` holds
+    // by construction (the conservation law the stress tests pin).
+    fn record_request(&self, shard: usize, replica: usize, req: &Request, payload: u64) {
         self.telemetry.meters[shard].record_request(req, payload, &self.packet);
+        self.telemetry.replica_meters[shard][replica].record_request(req, payload, &self.packet);
         self.aggregate.record_request(req, payload, &self.packet);
         self.telemetry.scattered.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn record_response(&self, shard: usize, payload: u64, resp: &Response, aggregate: bool) {
+    fn record_response(
+        &self,
+        shard: usize,
+        replica: usize,
+        payload: u64,
+        resp: &Response,
+        aggregate: bool,
+    ) {
         let objects = resp.object_count();
         self.telemetry.meters[shard].record_response(payload, objects, &self.packet, aggregate);
+        self.telemetry.replica_meters[shard][replica].record_response(
+            payload,
+            objects,
+            &self.packet,
+            aggregate,
+        );
         self.aggregate
             .record_response(payload, objects, &self.packet, aggregate);
     }
 
-    fn record_retry(&self, shard: usize) {
+    fn record_retry(&self, shard: usize, replica: usize) {
         self.telemetry.meters[shard].record_retry();
+        self.telemetry.replica_meters[shard][replica].record_retry();
         self.aggregate.record_retry();
     }
 
-    fn record_abandon(&self, shard: usize) {
+    fn record_abandon(&self, shard: usize, replica: usize) {
         self.telemetry.meters[shard].record_abandon();
+        self.telemetry.replica_meters[shard][replica].record_abandon();
         self.aggregate.record_abandon();
+    }
+
+    fn record_failover(&self, shard: usize, replica: usize) {
+        self.telemetry.meters[shard].record_failover();
+        self.telemetry.replica_meters[shard][replica].record_failover();
+        self.aggregate.record_failover();
+    }
+
+    /// Notes a failed exchange on one replica edge's breaker; meters the
+    /// trip when this failure is the one that opens (or re-opens) it.
+    fn note_edge_failure(&self, shard: usize, replica: usize) {
+        let set = &self.telemetry.health[shard];
+        if set
+            .edge(replica)
+            .on_failure(&self.telemetry.breaker, set.now())
+        {
+            self.telemetry.meters[shard].record_breaker_open();
+            self.telemetry.replica_meters[shard][replica].record_breaker_open();
+            self.aggregate.record_breaker_open();
+        }
     }
 
     /// Attempts per physical exchange under the current policy.
@@ -458,10 +629,10 @@ impl ShardRouter {
         let mut last_failure: Option<Bytes> = None;
         for attempt in 0..self.attempt_budget() {
             if attempt > 0 {
-                self.record_retry(0);
+                self.record_retry(0, 0);
                 self.retry.sleep(attempt);
             }
-            let reply = self.shards[0].carrier.exchange(encoded.clone());
+            let reply = self.shards[0].replicas[0].exchange(encoded.clone());
             if crate::codec::is_unavailable(&reply) {
                 // The shard died: nothing crossed the wire, nothing is
                 // metered — the fabricated frame propagates upward (after
@@ -471,14 +642,14 @@ impl ShardRouter {
             }
             // An undecodable shard reply was still real traffic: meter
             // it, degrade to the typed `Malformed`.
-            self.record_request(0, &req, up_len);
+            self.record_request(0, 0, &req, up_len);
             let (resp, generation) = if v2 {
                 decode_response_gen_ctx(reply.clone(), ctx.as_ref())
             } else {
                 decode_response_gen(reply.clone())
             }
             .unwrap_or((Response::Malformed, 0));
-            self.record_response(0, reply.len() as u64, &resp, req.is_aggregate());
+            self.record_response(0, 0, reply.len() as u64, &resp, req.is_aggregate());
             let out = if v2 {
                 let mut buf = BytesMut::new();
                 if !matches!(resp, Response::Ack { .. }) {
@@ -501,102 +672,239 @@ impl ShardRouter {
             return out;
         }
         if self.retry.enabled() {
-            self.record_abandon(0);
+            self.record_abandon(0, 0);
         }
+        self.telemetry.note_failed(0);
         last_failure.unwrap_or_else(crate::codec::unavailable_frame)
+    }
+
+    /// Read rotation for one shard's replica set: the admitting replicas
+    /// (breaker closed or half-open), started at the request-hash pick so
+    /// independent requests spread across siblings, in failover order.
+    /// When *every* breaker is open, routing around the whole set would
+    /// guarantee failure, so the full set is used anyway (last resort).
+    fn rotation(&self, shard: usize, hash: u64) -> Vec<usize> {
+        let set = &self.telemetry.health[shard];
+        let cfg = &self.telemetry.breaker;
+        let now = set.now();
+        let n = self.shards[shard].replicas.len();
+        let mut rot: Vec<usize> = (0..n).filter(|&j| set.edge(j).admits(cfg, now)).collect();
+        if rot.is_empty() {
+            rot = (0..n).collect();
+        }
+        let start = (hash % rot.len() as u64) as usize;
+        rot.rotate_left(start);
+        rot
+    }
+
+    /// Issues `f`'s current try split-phase and ticks the replica set's
+    /// exchange clock (the breakers' deterministic cooldown time base).
+    fn issue<'a>(&'a self, f: &mut Flight<'a>) {
+        let replica = f.rotation[f.pos];
+        self.telemetry.health[f.shard].tick();
+        f.inflight = Some((
+            replica,
+            self.shards[f.shard].replicas[replica].begin(f.encoded.clone()),
+        ));
+    }
+
+    /// Judges one completed exchange: meters what crossed the wire,
+    /// resolves the flight on success, records a breaker failure (and
+    /// leaves the flight unresolved, to fail over or retry) otherwise.
+    fn evaluate(&self, f: &mut Flight, replica: usize, raw: Bytes) {
+        if crate::codec::is_unavailable(&raw) {
+            // A dead replica completes with the fabricated frame: neither
+            // direction is metered (nothing crossed the wire).
+            f.outcome = Response::Unavailable;
+            self.note_edge_failure(f.shard, replica);
+            return;
+        }
+        // Both directions are charged only now, on a completed exchange —
+        // a failed replica leaves no phantom uplink bytes behind.
+        self.record_request(f.shard, replica, f.req, f.up_len);
+        let len = raw.len() as u64;
+        let (resp, generation) =
+            decode_response_gen_ctx(raw, f.ctx.as_ref()).unwrap_or((Response::Malformed, 0));
+        self.record_response(f.shard, replica, len, &resp, f.req.is_aggregate());
+        if resp == Response::Malformed {
+            // Real traffic (charged above), garbled answer: worth
+            // another sibling or attempt.
+            f.outcome = Response::Malformed;
+            self.note_edge_failure(f.shard, replica);
+            return;
+        }
+        // The generation floor: a read reply stamped below the highest
+        // generation already observed from this shard came from a
+        // lagging replica. Serving it would hand a generation-keyed
+        // cache (and the client) state known to be superseded, so it is
+        // rejected like a lost exchange — metered, noted on the breaker,
+        // re-fetched from a sibling. Only replica *sets* are floored: a
+        // single-replica shard has no sibling to lag behind, its sole
+        // edge is authoritative, and flooring it would make reads that
+        // race a writer on a shared fleet view reject their own current
+        // replies.
+        if self.shards[f.shard].replicas.len() > 1
+            && !matches!(resp, Response::Ack { .. })
+            && generation < self.shards[f.shard].meta.generation()
+        {
+            f.outcome = Response::Unavailable;
+            self.note_edge_failure(f.shard, replica);
+            return;
+        }
+        if generation > 0 {
+            self.shards[f.shard].meta.note_generation(generation);
+        }
+        self.telemetry.health[f.shard].edge(replica).on_success();
+        f.result = Some(Landing::Resp(resp));
+    }
+
+    /// Drives a set of flights to resolution. All in-flight tries are
+    /// issued split-phase before any completion is awaited, and *failed*
+    /// flights re-issue together too — so recovery latency is the max of
+    /// the failures, not their sum. A failed try first **fails over**
+    /// along the flight's rotation (siblings cost no retry budget);
+    /// only once the rotation is exhausted does a retry round — with the
+    /// policy's backoff, slept once per round — begin, re-picking the
+    /// rotation so breaker trips observed meanwhile are honored.
+    /// Observed shard generations only ever move through the monotone
+    /// [`ShardMeta::note_generation`] max — and failed attempts never
+    /// note one — so a retried round can never regress the generation
+    /// vector.
+    fn execute<'a>(&'a self, flights: &mut [Flight<'a>]) {
+        for f in flights.iter_mut() {
+            self.issue(f);
+        }
+        loop {
+            for f in flights.iter_mut() {
+                if let Some((replica, complete)) = f.inflight.take() {
+                    self.evaluate(f, replica, complete());
+                }
+            }
+            let mut backoff_round = 0u32;
+            let mut unresolved = false;
+            for f in flights.iter_mut() {
+                if f.result.is_some() {
+                    continue;
+                }
+                unresolved = true;
+                f.pos += 1;
+                if f.pos < f.rotation.len() {
+                    // Failover to the next sibling, before any retry
+                    // budget is consumed (tallied on the edge failed
+                    // *from*).
+                    self.record_failover(f.shard, f.rotation[f.pos - 1]);
+                    f.scheduled = true;
+                    continue;
+                }
+                f.round += 1;
+                if f.round >= self.attempt_budget() {
+                    if self.retry.enabled() {
+                        self.record_abandon(f.shard, f.primary);
+                    }
+                    if !f.pinned {
+                        // The whole replica set is exhausted: the shard
+                        // failed to serve this read. (Pinned update
+                        // flights are judged per *batch* in
+                        // `apply_updates` — a sibling's ack can still
+                        // carry the shard.)
+                        self.telemetry.note_failed(f.shard);
+                    }
+                    f.result = Some(if self.allow_partial && !f.pinned {
+                        // Partial tolerance: the merge proceeds without
+                        // this shard; the hole is recorded, never cached
+                        // as truth (the deployment layer forbids the
+                        // combination with a client cache).
+                        Landing::Skipped
+                    } else {
+                        Landing::Resp(f.outcome.clone())
+                    });
+                    continue;
+                }
+                if !f.pinned {
+                    f.rotation = self.rotation(f.shard, f.hash);
+                }
+                f.pos = 0;
+                self.record_retry(f.shard, f.rotation[0]);
+                backoff_round = backoff_round.max(f.round);
+                f.scheduled = true;
+            }
+            if !unresolved {
+                return;
+            }
+            if backoff_round > 0 {
+                self.retry.sleep(backoff_round);
+            }
+            for f in flights.iter_mut() {
+                if f.scheduled {
+                    f.scheduled = false;
+                    self.issue(f);
+                }
+            }
+        }
     }
 
     /// One scatter round: sends `subs[i]` (when `Some`) to shard `i`
     /// split-phase, meters every exchange, counts pruned slots, and
     /// returns the decoded responses in shard order.
     ///
-    /// **Partial-scatter recovery.** Under a retry policy each slot fails
-    /// and recovers *individually*: a failed shard is re-asked alone
-    /// (synchronously, with backoff) while every healthy shard's reply —
-    /// already completed split-phase — is kept as-is, never re-fetched. A
-    /// slot that exhausts its budget yields a typed
-    /// [`Response::Unavailable`] and its abandonment is tallied on that
-    /// shard's meter (surfacing in [`FleetSnapshot::failed_shards`]).
-    /// Observed shard generations only ever move through the monotone
-    /// [`ShardMeta::note_generation`] max — and failed attempts never
-    /// note one — so a retried round can never regress the generation
-    /// vector.
+    /// **Partial-scatter recovery.** Each slot fails and recovers
+    /// *individually*: a failed shard is re-asked (failing over across
+    /// its replicas first, then retrying with backoff) while every
+    /// healthy shard's reply — already completed split-phase — is kept
+    /// as-is, never re-fetched. A slot that exhausts its budget yields a
+    /// typed [`Response::Unavailable`] (or, under
+    /// [`ShardRouter::with_allow_partial`], drops out of the merge) and
+    /// its abandonment is tallied on that shard's meter (surfacing in
+    /// [`FleetSnapshot::failed_shards`]).
     fn round(&self, subs: &[Option<Request>]) -> Vec<Option<Response>> {
         debug_assert_eq!(subs.len(), self.shards.len());
-        let mut pending = Vec::with_capacity(subs.len());
+        let mut flights: Vec<Flight> = Vec::with_capacity(subs.len());
         for (i, sub) in subs.iter().enumerate() {
             match sub {
                 Some(req) => {
                     let encoded = self.encode_sub(i, req);
-                    pending.push(Some((
-                        encoded.clone(),
-                        self.shards[i].carrier.begin(encoded),
-                    )));
+                    let hash = spread_hash(&encoded);
+                    let rotation = self.rotation(i, hash);
+                    flights.push(Flight::rotating(i, req, encoded, hash, rotation));
                 }
                 None => {
                     self.telemetry.pruned.fetch_add(1, Ordering::Relaxed);
-                    pending.push(None);
                 }
             }
         }
-        pending
-            .into_iter()
-            .enumerate()
-            .map(|(i, slot)| {
-                slot.map(|(encoded, complete)| {
-                    let sub = subs[i].as_ref().expect("sent slot");
-                    let up_len = encoded.len() as u64;
-                    // Quantized v2 frames decode against the grid of the
-                    // *sub-request* this shard was sent — the same grid
-                    // the shard derived server-side.
-                    let ctx = QuantCtx::for_request(sub);
-                    let mut complete = Some(complete);
-                    let mut outcome = Response::Unavailable;
-                    for attempt in 0..self.attempt_budget() {
-                        let raw = match complete.take() {
-                            Some(c) => c(),
-                            None => {
-                                // Only this failed slot is re-asked;
-                                // healthy shards' replies are kept.
-                                self.record_retry(i);
-                                self.retry.sleep(attempt);
-                                self.shards[i].carrier.exchange(encoded.clone())
-                            }
-                        };
-                        if crate::codec::is_unavailable(&raw) {
-                            // A dead shard completes with the fabricated
-                            // frame: neither direction is metered (nothing
-                            // crossed), and the merge propagates the
-                            // error.
-                            outcome = Response::Unavailable;
-                            continue;
-                        }
-                        // Both directions are charged only now, on a
-                        // completed exchange — a failed shard leaves no
-                        // phantom uplink bytes behind.
-                        self.record_request(i, sub, up_len);
-                        let len = raw.len() as u64;
-                        let (resp, generation) = decode_response_gen_ctx(raw, ctx.as_ref())
-                            .unwrap_or((Response::Malformed, 0));
-                        self.record_response(i, len, &resp, sub.is_aggregate());
-                        if resp == Response::Malformed {
-                            // Real traffic (charged above), garbled
-                            // answer: worth another attempt.
-                            outcome = Response::Malformed;
-                            continue;
-                        }
-                        if generation > 0 {
-                            self.shards[i].meta.note_generation(generation);
-                        }
-                        return resp;
-                    }
-                    if self.retry.enabled() {
-                        self.record_abandon(i);
-                    }
-                    outcome
-                })
-            })
-            .collect()
+        self.execute(&mut flights);
+        let mut out: Vec<Option<Response>> = subs.iter().map(|_| None).collect();
+        for f in flights {
+            if let Some(Landing::Resp(resp)) = f.result {
+                out[f.shard] = Some(resp);
+            }
+        }
+        out
+    }
+
+    /// One update round: broadcasts `subs[i]` to **every** replica of
+    /// shard `i` (same tagged bytes, so the dedup envelope collapses
+    /// duplicate deliveries), each replica retrying *in place* — an
+    /// update never fails over, every replica must receive it. Returns
+    /// the per-replica responses in shard order.
+    fn update_round(&self, subs: &[Request]) -> Vec<Vec<Response>> {
+        debug_assert_eq!(subs.len(), self.shards.len());
+        let mut flights: Vec<Flight> = Vec::new();
+        for (i, req) in subs.iter().enumerate() {
+            let encoded = self.encode_sub(i, req);
+            for j in 0..self.shards[i].replicas.len() {
+                flights.push(Flight::pinned(i, req, encoded.clone(), j));
+            }
+        }
+        self.execute(&mut flights);
+        let mut out: Vec<Vec<Response>> = self.shards.iter().map(|_| Vec::new()).collect();
+        for f in flights {
+            match f.result.expect("update flights always resolve") {
+                Landing::Resp(resp) => out[f.shard].push(resp),
+                Landing::Skipped => unreachable!("updates are never partial"),
+            }
+        }
+        out
     }
 
     /// Clones `req` to every shard whose bounds satisfy `reach`.
@@ -841,19 +1149,37 @@ impl ShardRouter {
                 }
             }
         }
-        let reqs: Vec<Option<Request>> = subs
-            .into_iter()
-            .map(|s| Some(Request::ApplyUpdates(s)))
-            .collect();
+        let reqs: Vec<Request> = subs.into_iter().map(Request::ApplyUpdates).collect();
+        // The batch is durable on a shard once *any* replica acks (the
+        // shard generation fetch-maxes over the replica acks); a replica
+        // that stayed dark catches up at its restart hook, and until
+        // then the generation floor keeps its stale replies out of
+        // reads. Only a shard with **no** acking replica fails the
+        // batch, propagating its first typed failure.
         let mut sum = 0u64;
-        for (i, resp) in self.round(&reqs).into_iter().enumerate() {
-            match resp.expect("every shard is contacted") {
-                Response::Ack { generation } => {
+        for (i, replies) in self.update_round(&reqs).into_iter().enumerate() {
+            let mut acked: Option<u64> = None;
+            let mut failure: Option<Response> = None;
+            for resp in replies {
+                match resp {
+                    Response::Ack { generation } => {
+                        acked = Some(acked.map_or(generation, |g| g.max(generation)));
+                    }
+                    e @ (Response::Refused | Response::Malformed | Response::Unavailable) => {
+                        failure.get_or_insert(e);
+                    }
+                    other => panic!("protocol mismatch: expected Ack, got {other:?}"),
+                }
+            }
+            match acked {
+                Some(generation) => {
                     self.shards[i].meta.note_generation(generation);
                     sum += generation;
                 }
-                e @ (Response::Refused | Response::Malformed | Response::Unavailable) => return e,
-                other => panic!("protocol mismatch: expected Ack, got {other:?}"),
+                None => {
+                    self.telemetry.note_failed(i);
+                    return failure.expect("every replica is contacted");
+                }
             }
         }
         Response::Ack { generation: sum }
@@ -900,9 +1226,94 @@ impl ShardRouter {
     }
 }
 
+/// How a resolved flight lands in its round's result set.
+enum Landing {
+    /// A decoded response (success or, on exhaustion, the typed failure
+    /// of the last completed attempt).
+    Resp(Response),
+    /// Dropped from the merge under partial tolerance.
+    Skipped,
+}
+
+/// One in-progress sub-request: a (shard, encoded bytes) pair working
+/// its way through a replica rotation and a retry budget.
+struct Flight<'a> {
+    shard: usize,
+    req: &'a Request,
+    encoded: Bytes,
+    up_len: u64,
+    /// Grid context of the *sub-request* this shard was sent — the same
+    /// grid the shard derives server-side for quantized v2 frames.
+    ctx: Option<QuantCtx>,
+    /// Request-hash spread key; re-picks the rotation on retry rounds.
+    hash: u64,
+    /// Replica try order for the current round.
+    rotation: Vec<usize>,
+    pos: usize,
+    round: u32,
+    /// Pinned flights (update broadcast) retry one replica in place and
+    /// never fail over.
+    pinned: bool,
+    /// The first-picked replica — abandonment is attributed to it.
+    primary: usize,
+    outcome: Response,
+    inflight: Option<(usize, Box<dyn FnOnce() -> Bytes + Send + 'a>)>,
+    scheduled: bool,
+    result: Option<Landing>,
+}
+
+impl<'a> Flight<'a> {
+    fn rotating(
+        shard: usize,
+        req: &'a Request,
+        encoded: Bytes,
+        hash: u64,
+        rotation: Vec<usize>,
+    ) -> Self {
+        let primary = rotation[0];
+        Flight {
+            shard,
+            up_len: encoded.len() as u64,
+            ctx: QuantCtx::for_request(req),
+            req,
+            encoded,
+            hash,
+            rotation,
+            pos: 0,
+            round: 0,
+            pinned: false,
+            primary,
+            outcome: Response::Unavailable,
+            inflight: None,
+            scheduled: false,
+            result: None,
+        }
+    }
+
+    fn pinned(shard: usize, req: &'a Request, encoded: Bytes, replica: usize) -> Self {
+        Flight {
+            shard,
+            up_len: encoded.len() as u64,
+            ctx: QuantCtx::for_request(req),
+            req,
+            encoded,
+            hash: 0,
+            rotation: vec![replica],
+            pos: 0,
+            round: 0,
+            pinned: true,
+            primary: replica,
+            outcome: Response::Unavailable,
+            inflight: None,
+            scheduled: false,
+            result: None,
+        }
+    }
+}
+
 impl RawExchange for ShardRouter {
     fn exchange(&self, request: Bytes) -> Bytes {
-        if self.shards.len() == 1 {
+        if self.shards.len() == 1 && self.shards[0].replicas.len() == 1 {
             return self.pass_through(request);
         }
         let req = match decode_request(request) {
@@ -1774,5 +2185,410 @@ mod tests {
             let raw = router.exchange(Bytes::copy_from_slice(&[0xEE, 0x01, 0x02]));
             assert_eq!(raw, crate::codec::malformed_frame(), "routers never panic");
         }
+    }
+
+    // ---- replica sets: spread, failover, breakers, the generation floor ----
+
+    use crate::health::BreakerState;
+    use proptest::prelude::*;
+
+    /// The canonical ten-point dataset (ids 0..10 at x ≈ 0..9).
+    fn ten_points() -> Vec<SpatialObject> {
+        (0..10)
+            .map(|i| SpatialObject::point(i, i as f64, 0.0))
+            .collect()
+    }
+
+    fn scan_carrier(objects: &[SpatialObject]) -> Box<dyn RawExchange> {
+        Box::new(InProcExchange::new(Arc::new(Scan(objects.to_vec()))))
+    }
+
+    /// One shard whose replica set is `carriers`, bounds from `objects`.
+    fn replicated(objects: &[SpatialObject], carriers: Vec<Box<dyn RawExchange>>) -> ShardEndpoint {
+        let bounds = Rect::union_of(objects.iter().map(|o| o.mbr));
+        ShardEndpoint::with_replicas(Arc::new(ShardMeta::new(bounds)), carriers)
+    }
+
+    /// Searches integer-nudged all-covering windows for one whose encoded
+    /// request the router's spread hash starts at replica `want` of `n` —
+    /// making the pick order of the tests below deterministic.
+    fn request_picking(want: usize, n: usize, mk: impl Fn(Rect) -> Request) -> Request {
+        (0..64)
+            .map(|k| mk(Rect::from_coords(-1.0 - k as f64, -1.0, 200.0, 1.0)))
+            .find(|req| spread_hash(&encode_request(req)) % n as u64 == want as u64)
+            .expect("one of 64 candidate windows hashes to the wanted replica")
+    }
+
+    #[test]
+    fn reads_spread_across_siblings_by_request_hash() {
+        let data = ten_points();
+        let router = ShardRouter::new(
+            vec![replicated(
+                &data,
+                vec![scan_carrier(&data), scan_carrier(&data)],
+            )],
+            PacketModel::default(),
+        );
+        for want in 0..2 {
+            let req = request_picking(want, 2, Request::Count);
+            let (resp, _) = roundtrip(&router, &req);
+            assert_eq!(resp, Response::Count(10));
+        }
+        let fleet = router.telemetry().snapshot();
+        assert_eq!(
+            fleet.per_replica[0][0].count_queries, 1,
+            "each sibling took one of the two reads"
+        );
+        assert_eq!(fleet.per_replica[0][1].count_queries, 1);
+        assert_eq!(fleet.summed().failovers, 0);
+        assert_eq!(
+            fleet.per_shard[0],
+            fleet.per_replica[0][0].plus(&fleet.per_replica[0][1]),
+            "the shard meter is the field-wise sum of its replica edges"
+        );
+        assert_eq!(fleet.summed(), router.aggregate_meter().snapshot());
+    }
+
+    #[test]
+    fn failed_read_fails_over_to_a_sibling_without_retry_budget() {
+        let data = ten_points();
+        let dead = Box::new(FlakyExchange {
+            fails: AtomicU64::new(u64::MAX),
+            inner: scan_carrier(&data),
+        });
+        // No retry policy at all: the failover to the sibling is what
+        // recovers the read.
+        let router = ShardRouter::new(
+            vec![replicated(&data, vec![dead, scan_carrier(&data)])],
+            PacketModel::default(),
+        );
+        let req = request_picking(0, 2, Request::Count);
+        let (resp, _) = roundtrip(&router, &req);
+        assert_eq!(resp, Response::Count(10), "the sibling served the read");
+        let fleet = router.telemetry().snapshot();
+        assert_eq!(
+            fleet.per_replica[0][0].failovers, 1,
+            "tallied on the edge failed *from*"
+        );
+        assert_eq!(
+            fleet.per_replica[0][0].total_bytes(),
+            0,
+            "the dead edge never crossed the wire"
+        );
+        assert_eq!(fleet.per_replica[0][1].count_queries, 1);
+        assert_eq!(fleet.summed().retried, 0, "no retry budget was consumed");
+        assert_eq!(fleet.summed().abandoned, 0);
+        assert!(fleet.failed_shards.is_empty(), "the shard served");
+        assert_eq!(
+            fleet.health[0][0].consecutive_failures, 1,
+            "EWMA health tracks failures even with breakers off"
+        );
+        assert_eq!(
+            fleet.per_shard[0],
+            fleet.per_replica[0][0].plus(&fleet.per_replica[0][1])
+        );
+        assert_eq!(fleet.summed(), router.aggregate_meter().snapshot());
+    }
+
+    #[test]
+    fn open_breaker_routes_reads_around_a_dead_sibling() {
+        let data = ten_points();
+        let dead = Box::new(FlakyExchange {
+            fails: AtomicU64::new(u64::MAX),
+            inner: scan_carrier(&data),
+        });
+        let router = ShardRouter::new(
+            vec![replicated(&data, vec![dead, scan_carrier(&data)])],
+            PacketModel::default(),
+        )
+        .with_breakers(BreakerConfig::new(1, 1_000));
+        // First read picks the dead replica, fails, trips the breaker.
+        let req = request_picking(0, 2, Request::Count);
+        let (resp, _) = roundtrip(&router, &req);
+        assert_eq!(resp, Response::Count(10));
+        let fleet = router.telemetry().snapshot();
+        assert_eq!(fleet.per_replica[0][0].breaker_open, 1);
+        assert_eq!(fleet.per_replica[0][0].failovers, 1);
+        assert_eq!(fleet.health[0][0].state, BreakerState::Open);
+        assert_eq!(fleet.health[0][0].trips, 1);
+        // Subsequent reads — even ones whose hash prefers the dead
+        // replica — route straight to the healthy sibling: no more
+        // failovers, no more trips, nothing offered to the open edge.
+        for _ in 0..5 {
+            let (resp, _) = roundtrip(&router, &req);
+            assert_eq!(resp, Response::Count(10));
+        }
+        let fleet = router.telemetry().snapshot();
+        assert_eq!(
+            fleet.summed().failovers,
+            1,
+            "only the trip-read failed over"
+        );
+        assert_eq!(fleet.summed().breaker_open, 1);
+        assert_eq!(fleet.per_replica[0][1].count_queries, 6);
+        assert_eq!(fleet.health[0][0].state, BreakerState::Open);
+    }
+
+    #[test]
+    fn half_open_probe_reclaims_a_recovered_sibling() {
+        let data = ten_points();
+        let flaky = Box::new(FlakyExchange {
+            fails: AtomicU64::new(1),
+            inner: scan_carrier(&data),
+        });
+        let router = ShardRouter::new(
+            vec![replicated(&data, vec![flaky, scan_carrier(&data)])],
+            PacketModel::default(),
+        )
+        .with_breakers(BreakerConfig::new(1, 2));
+        let req = request_picking(0, 2, Request::Count);
+        // Read 1: replica 0 fails once (trip at clock 1), sibling serves
+        // (clock 2).
+        roundtrip(&router, &req);
+        assert_eq!(
+            router.telemetry().snapshot().health[0][0].state,
+            BreakerState::Open
+        );
+        // Read 2 at clock 3: cooldown (2 ticks) not yet elapsed — the
+        // open edge is skipped even though the hash prefers it.
+        roundtrip(&router, &req);
+        // Read 3: the breaker is HalfOpen, the probe goes back to the
+        // recovered replica and succeeds — the breaker closes.
+        let (resp, _) = roundtrip(&router, &req);
+        assert_eq!(resp, Response::Count(10));
+        let fleet = router.telemetry().snapshot();
+        assert_eq!(fleet.health[0][0].state, BreakerState::Closed);
+        assert_eq!(fleet.health[0][0].consecutive_failures, 0);
+        assert_eq!(fleet.health[0][0].trips, 1);
+        assert_eq!(
+            fleet.per_replica[0][0].count_queries, 1,
+            "the successful probe is the only metered exchange on the edge"
+        );
+        assert_eq!(fleet.per_replica[0][1].count_queries, 2);
+        assert_eq!(fleet.summed().failovers, 1);
+        assert_eq!(fleet.summed().breaker_open, 1);
+    }
+
+    /// A lagging/fresh replica pair behind one shard: the stale replica
+    /// serves generation 1 *without* object 900, the fresh one serves
+    /// generation 2 *with* it, and the shard's meta already observed
+    /// generation 2 (the floor). Returns the router and the fresh view.
+    fn floored_pair() -> (ShardRouter, Vec<SpatialObject>) {
+        let data = ten_points();
+        let stale = LiveShard::new(data.clone());
+        stale.exchange(encode_request(&Request::ApplyUpdates(Vec::new())));
+        let fresh = LiveShard::new(data.clone());
+        fresh.exchange(encode_request(&Request::ApplyUpdates(vec![
+            Update::Insert(SpatialObject::point(900, 5.5, 0.0)),
+        ])));
+        fresh.exchange(encode_request(&Request::ApplyUpdates(Vec::new())));
+        let mut view = data.clone();
+        view.push(SpatialObject::point(900, 5.5, 0.0));
+        let meta = Arc::new(ShardMeta::with_cell(
+            Rect::union_of(data.iter().map(|o| o.mbr)),
+            Some(Rect::from_coords(0.0, -10.0, 10.0, 10.0)),
+        ));
+        meta.note_generation(2);
+        let router = ShardRouter::new(
+            vec![ShardEndpoint::with_replicas(
+                meta,
+                vec![Box::new(stale) as Box<dyn RawExchange>, Box::new(fresh)],
+            )],
+            PacketModel::default(),
+        );
+        (router, view)
+    }
+
+    #[test]
+    fn lagging_replica_reply_is_refetched_from_its_sibling() {
+        let (router, view) = floored_pair();
+        let req = request_picking(0, 2, Request::Window);
+        let (resp, stamp) = roundtrip(&router, &req);
+        assert_eq!(stamp, 2);
+        let ids: Vec<u32> = resp.into_objects().iter().map(|o| o.id).collect();
+        assert_eq!(ids.len(), view.len());
+        assert!(ids.contains(&900), "the floored read served the fresh view");
+        let fleet = router.telemetry().snapshot();
+        assert_eq!(
+            fleet.per_replica[0][0].window_queries, 1,
+            "the rejected stale reply still crossed the wire — metered"
+        );
+        assert_eq!(fleet.per_replica[0][0].objects_received, 10);
+        assert_eq!(fleet.per_replica[0][0].failovers, 1);
+        assert_eq!(fleet.health[0][0].consecutive_failures, 1);
+        assert_eq!(fleet.generations, vec![2], "the floor never regressed");
+        // A read whose hash picks the fresh replica first never touches
+        // the lagging one.
+        let (resp, _) = roundtrip(&router, &request_picking(1, 2, Request::Window));
+        assert_eq!(resp.into_objects().len(), view.len());
+        assert_eq!(router.telemetry().snapshot().summed().failovers, 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // Satellite (c): whatever the window and whichever replica the
+        // hash picks first, a floored read never serves the lagging
+        // view — the answer is always exactly the fresh replica's.
+        #[test]
+        fn failover_never_serves_below_the_generation_floor(
+            coords in (-40i32..=88, -40i32..=88, -40i32..=88, -40i32..=88)
+        ) {
+            let (x0, y0, x1, y1) = coords;
+            let w = Rect::new(
+                Point::new(x0 as f64 * 0.25, y0 as f64 * 0.25),
+                Point::new(x1 as f64 * 0.25, y1 as f64 * 0.25),
+            );
+            let (router, view) = floored_pair();
+            let bounds = Rect::union_of(view[..10].iter().map(|o| o.mbr)).unwrap();
+            let (resp, stamp) = roundtrip(&router, &Request::Window(w));
+            prop_assert_eq!(stamp, 2, "merged replies carry the floored fleet generation");
+            let got: Vec<u32> = resp.into_objects().iter().map(|o| o.id).collect();
+            let expected: Vec<u32> = if w.intersects(&bounds) {
+                view.iter().filter(|o| o.mbr.intersects(&w)).map(|o| o.id).collect()
+            } else {
+                Vec::new() // pruned by shard bounds before any replica is asked
+            };
+            prop_assert_eq!(got, expected);
+            prop_assert_eq!(router.telemetry().generations(), vec![2]);
+        }
+    }
+
+    #[test]
+    fn updates_broadcast_to_every_replica_and_ack_the_max() {
+        let data = ten_points();
+        let cell = Rect::from_coords(0.0, -10.0, 10.0, 10.0);
+        let bounds = Rect::union_of(data.iter().map(|o| o.mbr));
+        // Replica 1 applies the batch but loses its Ack — the pinned
+        // in-place retry must replay the dedup envelope, not re-apply.
+        let lossy = Box::new(LoseReplies {
+            lose: AtomicU64::new(1),
+            inner: Box::new(DedupShard::new(data.clone())),
+        });
+        let router = ShardRouter::new(
+            vec![ShardEndpoint::with_replicas(
+                Arc::new(ShardMeta::with_cell(bounds, Some(cell))),
+                vec![
+                    Box::new(DedupShard::new(data.clone())) as Box<dyn RawExchange>,
+                    lossy,
+                ],
+            )],
+            PacketModel::default(),
+        )
+        .with_retry(RetryPolicy::attempts(3));
+        let (ack, stamp) = roundtrip(
+            &router,
+            &Request::ApplyUpdates(vec![Update::Insert(SpatialObject::point(900, 5.5, 0.0))]),
+        );
+        assert_eq!(stamp, 0, "Acks are never stamped");
+        assert_eq!(
+            ack,
+            Response::Ack { generation: 1 },
+            "the shard ack is the max over replica acks, not their sum"
+        );
+        assert_eq!(router.telemetry().generations(), vec![1]);
+        let fleet = router.telemetry().snapshot();
+        assert_eq!(
+            fleet.per_replica[0][1].retried, 1,
+            "lost Ack replayed in place"
+        );
+        assert_eq!(fleet.per_replica[0][0].retried, 0);
+        assert_eq!(fleet.summed().failovers, 0, "updates never fail over");
+        assert_eq!(
+            fleet.per_shard[0],
+            fleet.per_replica[0][0].plus(&fleet.per_replica[0][1])
+        );
+        // Read-your-write holds on *either* replica: force both pick
+        // orders and find the insert each time, stamped at the floor.
+        for want in 0..2 {
+            let (resp, stamp) = roundtrip(&router, &request_picking(want, 2, Request::Window));
+            assert_eq!(stamp, 1);
+            let objs = resp.into_objects();
+            assert_eq!(objs.iter().filter(|o| o.id == 900).count(), 1);
+            assert_eq!(objs.len(), 11);
+        }
+    }
+
+    #[test]
+    fn update_tolerates_a_dark_replica_when_a_sibling_acks() {
+        let data = ten_points();
+        let cell = Rect::from_coords(0.0, -10.0, 10.0, 10.0);
+        let bounds = Rect::union_of(data.iter().map(|o| o.mbr));
+        let dark = Box::new(FlakyExchange {
+            fails: AtomicU64::new(u64::MAX),
+            inner: Box::new(DedupShard::new(data.clone())),
+        });
+        let router = ShardRouter::new(
+            vec![ShardEndpoint::with_replicas(
+                Arc::new(ShardMeta::with_cell(bounds, Some(cell))),
+                vec![
+                    Box::new(DedupShard::new(data.clone())) as Box<dyn RawExchange>,
+                    dark,
+                ],
+            )],
+            PacketModel::default(),
+        )
+        .with_retry(RetryPolicy::attempts(2))
+        // Partial tolerance must never leak into the update path.
+        .with_allow_partial(true);
+        let (ack, _) = roundtrip(
+            &router,
+            &Request::ApplyUpdates(vec![Update::Insert(SpatialObject::point(900, 5.5, 0.0))]),
+        );
+        assert_eq!(
+            ack,
+            Response::Ack { generation: 1 },
+            "one surviving replica carries the batch"
+        );
+        let fleet = router.telemetry().snapshot();
+        assert_eq!(fleet.per_replica[0][1].retried, 1);
+        assert_eq!(fleet.per_replica[0][1].abandoned, 1);
+        assert_eq!(fleet.per_replica[0][1].total_bytes(), 0);
+        assert!(
+            fleet.failed_shards.is_empty(),
+            "a dark replica out-acked by its sibling does not fail the shard"
+        );
+        assert_eq!(fleet.coverage(), 1.0);
+        assert_eq!(router.telemetry().generations(), vec![1]);
+    }
+
+    #[test]
+    fn allow_partial_drops_exhausted_shards_from_the_merge() {
+        let left = ten_points();
+        let right: Vec<SpatialObject> = (0..10)
+            .map(|i| SpatialObject::point(100 + i, 100.0 + i as f64, 0.0))
+            .collect();
+        let dead_left = Box::new(FlakyExchange {
+            fails: AtomicU64::new(u64::MAX),
+            inner: scan_carrier(&left),
+        });
+        let router = ShardRouter::new(
+            vec![
+                ShardEndpoint::new(Rect::union_of(left.iter().map(|o| o.mbr)), dead_left),
+                endpoint(right),
+            ],
+            PacketModel::default(),
+        )
+        .with_retry(RetryPolicy::attempts(2))
+        .with_allow_partial(true);
+        let all = Rect::from_coords(-1.0, -1.0, 200.0, 1.0);
+        let (resp, _) = roundtrip(&router, &Request::Count(all));
+        assert_eq!(
+            resp,
+            Response::Count(10),
+            "the merge completed over the surviving shard"
+        );
+        let (resp, _) = roundtrip(&router, &Request::Window(all));
+        let ids: Vec<u32> = resp.into_objects().iter().map(|o| o.id).collect();
+        assert_eq!(ids.len(), 10);
+        assert!(
+            ids.iter().all(|&id| id >= 100),
+            "only the right shard answered"
+        );
+        let fleet = router.telemetry().snapshot();
+        assert_eq!(fleet.failed_shards, vec![0], "the hole is on the record");
+        assert_eq!(fleet.coverage(), 0.5);
+        assert_eq!(fleet.per_shard[0].abandoned, 2);
+        assert_eq!(fleet.per_shard[0].total_bytes(), 0);
     }
 }

@@ -143,6 +143,29 @@ impl<S: SpatialStore> VersionedStore<S> {
     pub fn current_objects(&self) -> Arc<Vec<SpatialObject>> {
         self.snapshot().objects
     }
+
+    /// Adopts a sibling replica's published state wholesale: rebuilds
+    /// from `objects` and publishes it at exactly `generation`. The
+    /// replica-restart path — a store that stayed dark while its
+    /// siblings kept acking update batches resynchronizes from the
+    /// freshest sibling before serving again, so the fleet's generation
+    /// floor readmits it.
+    ///
+    /// A no-op when `generation` is not ahead of the current one: a
+    /// racing local write that already published past the donor must not
+    /// be rolled back (generations never regress).
+    pub fn catch_up(&self, objects: Vec<SpatialObject>, generation: u64) {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        if generation <= self.generation() {
+            return;
+        }
+        let next = Generation {
+            store: Arc::new((self.build)(objects.clone())),
+            objects: Arc::new(objects),
+            number: generation,
+        };
+        *self.current.write().expect("snapshot lock poisoned") = next;
+    }
 }
 
 /// Every query delegates to the generation current at call time. A single
@@ -338,6 +361,26 @@ mod tests {
         assert_eq!(reborn.count(&w), live.count(&w));
         // Updates continue the numbering — no regression, no reuse.
         assert_eq!(reborn.apply(&[]), 3);
+    }
+
+    #[test]
+    fn catch_up_adopts_ahead_state_and_never_regresses() {
+        let donor = versioned(lattice(3));
+        donor.apply(&[Update::Insert(SpatialObject::point(100, 5.0, 5.0))]);
+        donor.apply(&[Update::Delete(0)]);
+        let lagging = versioned(lattice(3));
+        lagging.catch_up((*donor.current_objects()).clone(), donor.generation());
+        assert_eq!(lagging.generation(), 2);
+        assert_eq!(*lagging.current_objects(), *donor.current_objects());
+        let w = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(lagging.count(&w), donor.count(&w), "served store rebuilt");
+        // At or behind the current generation: nothing moves.
+        lagging.catch_up(lattice(3), 2);
+        lagging.catch_up(lattice(3), 1);
+        assert_eq!(lagging.generation(), 2);
+        assert_eq!(*lagging.current_objects(), *donor.current_objects());
+        // Numbering continues from the adopted generation.
+        assert_eq!(lagging.apply(&[]), 3);
     }
 
     #[test]

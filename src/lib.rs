@@ -48,6 +48,48 @@
 //! (success within the budget is exactly monotone in the budget —
 //! asserted in CI).
 //!
+//! ## Replication & failover
+//!
+//! `DeploymentBuilder::with_replicas(n)` replicates every shard server
+//! `n`-fold behind the same scatter-gather router. Reads are spread
+//! across a shard's replica set by request hash; a lost exchange fails
+//! over to the next sibling *before* any retry budget is spent, and a
+//! per-endpoint circuit breaker (`net::BreakerConfig`, set via
+//! `NetConfig::with_breakers`) trips after K consecutive failures so
+//! later scatters route around a dead sibling until a half-open probe —
+//! scheduled by exchange count, never wall clock — reclaims it. Update
+//! batches broadcast to **all** replicas under the dedup envelope (one
+//! surviving ack carries the batch), a per-shard generation floor
+//! rejects replies from a lagging replica (the read refetches from a
+//! sibling), and a replica that stayed dark resynchronizes from its
+//! freshest sibling at its crash-restart hook. For degraded reads,
+//! `NetConfig::with_allow_partial` (off by default, and refused when
+//! the client cache is on) lets a scatter complete when a whole replica
+//! set is exhausted: the uncovered shards land in
+//! `FleetSnapshot::failed_shards` and every `JoinReport` carries a
+//! `coverage` fraction. `with_replicas(1)` is byte-identical to an
+//! unreplicated deployment, `CostModel::with_replica_fanout` prices the
+//! update broadcast, and the fault matrix's replica axis asserts in CI
+//! that success is exactly monotone in the replica count:
+//!
+//! ```
+//! use adhoc_spatial_joins::prelude::*;
+//! use asj_core::DeploymentBuilder;
+//!
+//! let space = Rect::from_coords(0.0, 0.0, 10_000.0, 10_000.0);
+//! let hotels = gaussian_clusters(&SyntheticSpec::new(space, 200, 4), 7);
+//! let restaurants = gaussian_clusters(&SyntheticSpec::new(space, 300, 8), 8);
+//! let deployment = DeploymentBuilder::new(hotels, restaurants)
+//!     .with_shards(4, 4)
+//!     .with_replicas(2) // two full servers per shard
+//!     .live()
+//!     .build();
+//! let report = SrJoin::default()
+//!     .run(&deployment, &JoinSpec::distance_join(500.0))
+//!     .unwrap();
+//! assert_eq!(report.coverage, 1.0); // every shard served
+//! ```
+//!
 //! ## Quickstart
 //!
 //! ```

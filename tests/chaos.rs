@@ -327,11 +327,140 @@ fn chaos_matrix_joins_race_writer_over_faulted_fleets() {
     }
 }
 
+/// Replica-topology chaos cell: a cached 4-shard fleet with two
+/// replicas per shard rides out scripted crash-restart outages while a
+/// writer races. Replication must *mask* the outages entirely — every
+/// join completes (zero `Unavailable` surfaced), no shard is ever
+/// marked failed, every report carries full coverage — and a replica
+/// that stayed dark through acked batches resynchronizes at its
+/// restart hook, so per-shard generations never regress.
+#[test]
+fn replicated_cached_fleet_rides_out_crash_restarts() {
+    let r0 = clusters(4, 200, 7);
+    let s0 = clusters(8, 200, 1007);
+    let spec = JoinSpec::distance_join(150.0);
+    let eps = 150.0;
+    const TICKS: usize = 3;
+
+    for seed in [5u64, 23] {
+        let label = format!("replicated seed {seed}");
+        let tl_r = timeline(&r0, seed, TICKS);
+        let tl_s = timeline(&s0, seed + 1000, TICKS);
+        let live = DeploymentBuilder::new(r0.clone(), s0.clone())
+            .with_buffer(800)
+            .with_space(default_space())
+            .with_net(NetConfig::default().with_retry(RETRY))
+            .with_shards(4, 4)
+            .with_replicas(2)
+            .with_client_cache(true)
+            .live()
+            .with_faults(FaultKind::CrashRestart.plan(seed))
+            .build();
+
+        let exact: Vec<Vec<Vec<(u32, u32)>>> = tl_r
+            .states
+            .iter()
+            .map(|r| tl_s.states.iter().map(|s| brute_pairs(r, s, eps)).collect())
+            .collect();
+        let union: std::collections::HashSet<(u32, u32)> =
+            exact.iter().flatten().flatten().copied().collect();
+        let stable: Vec<(u32, u32)> = exact[0][0]
+            .iter()
+            .filter(|(a, b)| !tl_r.movers.contains(a) && !tl_s.movers.contains(b))
+            .filter(|p| exact.iter().flatten().all(|o| o.binary_search(p).is_ok()))
+            .copied()
+            .collect();
+        assert!(!union.is_empty(), "{label}: vacuous workload");
+
+        let reports: Vec<JoinReport> = std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for t in 0..TICKS {
+                    for (side, tl) in [(Side::R, &tl_r), (Side::S, &tl_s)] {
+                        match live.try_apply_updates(side, tl.batches[t].clone()) {
+                            Response::Ack { .. } => {}
+                            other => panic!(
+                                "{label} writer tick {t}: one surviving replica \
+                                 must ack the broadcast, got {other:?}"
+                            ),
+                        }
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(300));
+                }
+            });
+            let mut reports = Vec::new();
+            loop {
+                for alg in [
+                    Box::new(NaiveJoin) as Box<dyn DistributedJoin>,
+                    Box::new(SrJoin::default()),
+                ] {
+                    reports.push(alg.run(&live, &spec).unwrap_or_else(|e| {
+                        panic!("{label}: {} failed despite replication: {e}", alg.name())
+                    }));
+                }
+                if writer.is_finished() {
+                    break;
+                }
+            }
+            writer.join().expect("writer thread");
+            reports.push(NaiveJoin.run(&live, &spec).expect("final run"));
+            reports
+        });
+
+        let mut last_fleet_gens: Vec<u64> = Vec::new();
+        for rep in &reports {
+            let got = sorted_pairs(rep);
+            for p in &got {
+                assert!(
+                    union.contains(p),
+                    "{label}: {} reported pair {p:?} that exists at no \
+                     observed generation",
+                    rep.algorithm
+                );
+            }
+            for p in &stable {
+                assert!(
+                    got.binary_search(p).is_ok(),
+                    "{label}: {} lost stable pair {p:?}",
+                    rep.algorithm
+                );
+            }
+            assert_eq!(
+                rep.coverage, 1.0,
+                "{label}: {} must report full coverage — a dark replica \
+                 covered by its sibling is not a failed shard",
+                rep.algorithm
+            );
+            for fleet in [&rep.fleet_r, &rep.fleet_s].into_iter().flatten() {
+                assert!(
+                    fleet.failed_shards.is_empty(),
+                    "{label}: failover plus retries must mask every outage"
+                );
+            }
+            if let Some(fleet) = &rep.fleet_r {
+                if !last_fleet_gens.is_empty() {
+                    for (shard, (now, before)) in
+                        fleet.generations.iter().zip(&last_fleet_gens).enumerate()
+                    {
+                        assert!(
+                            now >= before,
+                            "{label}: shard {shard} generation regressed \
+                             {before} -> {now}"
+                        );
+                    }
+                }
+                last_fleet_gens = fleet.generations.clone();
+            }
+        }
+    }
+}
+
 /// `RetryPolicy::default()` = off ⇒ the fault/retry machinery is
 /// byte-transparent: all six algorithms, on flat / 4-shard / cached
 /// frozen deployments, report identical pairs and identical link
 /// snapshots through a no-op-plan wrapped deployment as through a plain
-/// one.
+/// one. The wrapped deployment additionally pins `with_replicas(1)`
+/// byte-identical: a single-replica fleet must be indistinguishable
+/// from an unreplicated one.
 #[test]
 fn retry_off_and_noop_plan_are_byte_identical_on_all_six_algorithms() {
     let r = clusters(4, 200, 7);
@@ -348,8 +477,9 @@ fn retry_off_and_noop_plan_are_byte_identical_on_all_six_algorithms() {
         }
         if wrapped {
             // A seeded but fault-free plan: the layer is stacked on every
-            // edge yet must never be observable.
-            b = b.with_faults(FaultPlan::seeded(42));
+            // edge yet must never be observable. `with_replicas(1)` rides
+            // along — a group of one must route exactly like no group.
+            b = b.with_faults(FaultPlan::seeded(42)).with_replicas(1);
         }
         b.build()
     };

@@ -12,7 +12,10 @@ use std::sync::Arc;
 use adhoc_spatial_joins::prelude::*;
 use asj_core::DeploymentBuilder;
 use asj_geom::SpatialObject;
-use asj_net::{ChannelServer, Link, PacketModel, Request};
+use asj_net::{
+    BreakerConfig, ChannelServer, FaultPlan, Link, LinkSnapshot, NetConfig, PacketModel, Request,
+    RetryPolicy,
+};
 use asj_server::{RTreeStore, SpatialService};
 use asj_workloads::default_space;
 
@@ -54,6 +57,23 @@ fn assert_concurrent_replay_identical(dep: &Deployment, spec: &JoinSpec, fleet: 
                     *link,
                     "client {client}, side {side}: per-shard meters must sum to the aggregate"
                 );
+                // Replica rows sum field-wise to their shard — failovers
+                // and breaker trips included, never lost or double-counted.
+                for (shard, (total, row)) in fleet_snap
+                    .per_shard
+                    .iter()
+                    .zip(&fleet_snap.per_replica)
+                    .enumerate()
+                {
+                    let row_sum = row
+                        .iter()
+                        .fold(LinkSnapshot::default(), |acc, r| acc.plus(r));
+                    assert_eq!(
+                        &row_sum, total,
+                        "client {client}, side {side}, shard {shard}: replica \
+                         meters must sum to the shard meter"
+                    );
+                }
             }
         }
     }
@@ -78,6 +98,41 @@ fn concurrent_clients_of_a_4_shard_threaded_fleet_replay_identically() {
         .threaded()
         .build();
     let spec = JoinSpec::distance_join(150.0).with_bucket_nlsj(true);
+    assert_concurrent_replay_identical(&dep, &spec, true);
+}
+
+/// A replicated, faulted fleet under concurrency: each client's link
+/// owns its fault layers and breakers, so every concurrent report is
+/// byte-identical to the serial replay even while drops fire, siblings
+/// cover failovers and breakers trip — and the failover/breaker
+/// counters obey exact summation (replica rows → shard → aggregate).
+#[test]
+fn concurrent_clients_of_a_replicated_faulted_fleet_conserve_meters() {
+    let dep = DeploymentBuilder::new(clusters(4, 250, 43), clusters(8, 250, 143))
+        .with_space(default_space())
+        .with_shards(2, 2)
+        .with_replicas(2)
+        .with_net(
+            NetConfig::default()
+                .with_retry(RetryPolicy::attempts(6))
+                .with_breakers(BreakerConfig::new(1, 3)),
+        )
+        .with_faults(FaultPlan::seeded(9).with_drops(0.25))
+        .threaded()
+        .build();
+    let spec = JoinSpec::distance_join(150.0);
+    // Non-vacuity: this seed must actually exercise the counters the
+    // summation law is pinned on.
+    let serial = SrJoin::default().run(&dep, &spec).expect("serial replay");
+    assert!(
+        serial.link_r.failovers + serial.link_s.failovers > 0,
+        "seed 9 must drive at least one failover"
+    );
+    assert!(
+        serial.link_r.breaker_open + serial.link_s.breaker_open > 0,
+        "a 1-failure breaker must trip at least once at seed 9"
+    );
+    assert_eq!(serial.link_r.abandoned + serial.link_s.abandoned, 0);
     assert_concurrent_replay_identical(&dep, &spec, true);
 }
 
